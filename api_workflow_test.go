@@ -1,0 +1,129 @@
+package tcpls_test
+
+import (
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+	"github.com/pluginized-protocols/gotcpls/simnet"
+)
+
+// TestFigure3APIWorkflow walks the exact call flow of the paper's
+// Figure 3 against the public API: tcpls_new, add addresses, connect
+// (with the happy-eyeballs fallback), handshake, callbacks, stream
+// creation/attachment, a TCP option over the secure channel, send and
+// receive.
+func TestFigure3APIWorkflow(t *testing.T) {
+	cV4 := netip.MustParseAddr("10.0.0.1")
+	sV4 := netip.MustParseAddr("10.0.0.2")
+	cV6 := netip.MustParseAddr("fc00::1")
+	sV6 := netip.MustParseAddr("fc00::2")
+
+	n := simnet.NewNetwork()
+	defer n.Close()
+	ch, sh := n.Host("client"), n.Host("server")
+	n.AddLink(ch, sh, cV4, sV4, simnet.LinkConfig{Delay: time.Millisecond})
+	n.AddLink(ch, sh, cV6, sV6, simnet.LinkConfig{Delay: 2 * time.Millisecond})
+	cs := simnet.NewTCPStack(ch, simnet.TCPConfig{})
+	ss := simnet.NewTCPStack(sh, simnet.TCPConfig{})
+	defer cs.Close()
+	defer ss.Close()
+
+	cert, err := tcpls.GenerateSelfSigned("fig3", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sender side of the figure: listen(), tcpls_new(), tcpls_accept().
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan string, 16)
+	serverCfg := &tcpls.Config{
+		TLS: &tcpls.TLSConfig{Certificate: cert},
+		AdvertiseAddresses: []netip.AddrPort{
+			netip.AddrPortFrom(sV4, 443),
+			netip.AddrPortFrom(sV6, 443),
+		},
+		Callbacks: tcpls.Callbacks{
+			TCPOption: func(kind uint8, data []byte) {
+				events <- "tcp-option"
+			},
+		},
+		Clock: n,
+	}
+	lst := tcpls.NewListener(tl, serverCfg)
+	defer lst.Close()
+
+	type acceptRes struct {
+		s   *tcpls.Session
+		err error
+	}
+	acceptCh := make(chan acceptRes, 1)
+	go func() {
+		s, err := lst.Accept()
+		acceptCh <- acceptRes{s, err}
+	}()
+
+	// Receiver side: tcpls_new(); tcpls_add_v4(addr, primary);
+	// tcpls_add_v6(addr6); tcpls_connect with the 50 ms fallback.
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS:   &tcpls.TLSConfig{InsecureSkipVerify: true},
+		Clock: n,
+	}, simnet.Dialer{Stack: cs})
+	if _, err := cli.ConnectHappyEyeballs(
+		[]netip.AddrPort{netip.AddrPortFrom(sV4, 443), netip.AddrPortFrom(sV6, 443)},
+		50*time.Millisecond, 2*time.Second); err != nil {
+		t.Fatalf("tcpls_connect: %v", err)
+	}
+
+	// tcpls_handshake().
+	if err := cli.Handshake(); err != nil {
+		t.Fatalf("tcpls_handshake: %v", err)
+	}
+	r := <-acceptCh
+	if r.err != nil {
+		t.Fatalf("tcpls_accept: %v", r.err)
+	}
+	srv := r.s
+
+	// Optional calls of the figure: tcpls_handshake(addr6) (JOIN),
+	// tcpls_stream_new, tcpls_streams_attach, tcpls_send_tcpoption.
+	v6Path, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), 2*time.Second)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	st, err := cli.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Attach(v6Path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendUserTimeout(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// {TCPLS Data}: tcpls_send / tcpls_receive.
+	go func() {
+		st.Write([]byte("figure three"))
+		st.Close()
+	}()
+	sst, err := srv.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(sst)
+	if err != nil || string(got) != "figure three" {
+		t.Fatalf("tcpls_receive: %q %v", got, err)
+	}
+	select {
+	case <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TCP option callback never fired")
+	}
+	cli.Close()
+}

@@ -1,0 +1,143 @@
+// Command tcpls-failover runs ablation A2: a middlebox forges a TCP
+// reset mid-transfer (the §2.1 scenario) and we measure how long the
+// application-visible stall lasts for
+//
+//   - TCPLS: the session JOINs a fresh TCP connection and replays the
+//     unacknowledged records — the transfer completes;
+//   - TLS/TCP baseline: the connection dies; the "recovery" is a fresh
+//     handshake plus restarting the transfer from the beginning.
+//
+// Usage: tcpls-failover [-size 8] [-bw 50] [-at 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/labs"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+func main() {
+	sizeMB := flag.Int("size", 8, "transfer size in MB")
+	bw := flag.Float64("bw", 50, "link bandwidth in Mbps")
+	at := flag.Int("at", 100, "inject the reset after this many data segments")
+	flag.Parse()
+	size := *sizeMB << 20
+
+	fmt.Printf("# failover ablation: %d MB transfer, spurious RST after %d segments\n\n", *sizeMB, *at)
+
+	// --- TCPLS with automatic failover ---
+	tb, err := labs.NewTestbed(labs.TestbedConfig{
+		V4:   netsim.LinkConfig{BandwidthBps: *bw * 1e6, Delay: 5 * time.Millisecond},
+		V6:   netsim.LinkConfig{BandwidthBps: *bw * 1e6, Delay: 8 * time.Millisecond},
+		Seed: 3,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	tb.LinkV4.Use(&netsim.RSTInjector{AfterSegments: *at, Once: true, BothDirections: true})
+	cli, srv, err := tb.ConnectClient(&core.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	labs.ServeDownload(srv, size)
+	req, _ := cli.NewStream()
+	req.Write([]byte("GET"))
+	req.Close()
+	down, err := cli.AcceptStream()
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	var maxGap time.Duration
+	lastRead := time.Now()
+	total := 0
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := down.Read(buf)
+		if gap := time.Since(lastRead); gap > maxGap {
+			maxGap = gap
+		}
+		lastRead = time.Now()
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(fmt.Errorf("tcpls transfer failed: %w", err))
+		}
+	}
+	el := tb.Net.VirtualSince(start)
+	fmt.Printf("TCPLS:    transfer COMPLETED: %.1f MB in %.2fs, longest stall %s (failover via JOIN + replay)\n",
+		float64(total)/(1<<20), el.Seconds(), maxGap.Truncate(time.Millisecond))
+	tb.Close()
+
+	// --- TLS/TCP baseline: the RST kills the connection ---
+	tb2, err := labs.NewTestbed(labs.TestbedConfig{
+		V4:   netsim.LinkConfig{BandwidthBps: *bw * 1e6, Delay: 5 * time.Millisecond},
+		V6:   netsim.LinkConfig{BandwidthBps: *bw * 1e6, Delay: 8 * time.Millisecond},
+		Seed: 3,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tb2.Close()
+	tb2.LinkV4.Use(&netsim.RSTInjector{AfterSegments: *at, Once: true, BothDirections: true})
+	l, err := tb2.Server.Listen(netip.Addr{}, 9000)
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				srvTLS := tls13.Server(c, &tls13.Config{Certificate: tb2.Cert})
+				if srvTLS.Handshake() != nil {
+					return
+				}
+				buf := make([]byte, 64<<10)
+				for sent := 0; sent < size; sent += len(buf) {
+					if _, err := srvTLS.Write(buf); err != nil {
+						return
+					}
+				}
+				srvTLS.CloseWrite()
+			}()
+		}
+	}()
+	start2 := time.Now()
+	received := 0
+	c, err := tb2.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9000), 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	cl := tls13.Client(c, &tls13.Config{InsecureSkipVerify: true})
+	if err := cl.Handshake(); err != nil {
+		fatal(err)
+	}
+	for {
+		n, err := cl.Read(buf)
+		received += n
+		if err != nil {
+			break
+		}
+	}
+	fmt.Printf("TLS/TCP:  transfer DIED after %.1f of %d MB (%.2fs): the application must\n",
+		float64(received)/(1<<20), *sizeMB, tb2.Net.VirtualSince(start2).Seconds())
+	fmt.Printf("          reconnect and restart from zero — all progress lost\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpls-failover:", err)
+	os.Exit(1)
+}

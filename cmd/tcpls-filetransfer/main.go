@@ -1,0 +1,166 @@
+// Command tcpls-filetransfer is a small file-transfer tool over TCPLS on
+// real TCP sockets (loopback or LAN) — the "downstream user" face of the
+// library: a server that serves one file, and a client that fetches it,
+// optionally migrating between two server addresses mid-download.
+//
+//	tcpls-filetransfer -serve file.bin -listen 127.0.0.1:4443
+//	tcpls-filetransfer -get 127.0.0.1:4443 -out copy.bin
+//	tcpls-filetransfer -get 127.0.0.1:4443 -migrate "[::1]:4443" -out copy.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+)
+
+func main() {
+	serve := flag.String("serve", "", "file to serve (server mode)")
+	listen := flag.String("listen", "127.0.0.1:4443", "listen address (server mode)")
+	get := flag.String("get", "", "server address to fetch from (client mode)")
+	migrate := flag.String("migrate", "", "second server address to migrate to mid-download")
+	out := flag.String("out", "", "output file (client mode; default stdout)")
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		runServer(*serve, *listen, *migrate)
+	case *get != "":
+		runClient(*get, *migrate, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runServer(path, listen, second string) {
+	cert, err := tcpls.GenerateSelfSigned("tcpls-filetransfer", nil,
+		[]net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")})
+	if err != nil {
+		fatal(err)
+	}
+	inner, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := &tcpls.Config{TLS: &tcpls.TLSConfig{Certificate: cert}}
+	if second != "" {
+		if ap, err := netip.ParseAddrPort(second); err == nil {
+			cfg.AdvertiseAddresses = append(cfg.AdvertiseAddresses, ap)
+			if inner2, err := net.Listen("tcp", second); err == nil {
+				go serveLoop(tcpls.NewListener(inner2, cfg), path)
+			}
+		}
+	}
+	fmt.Printf("serving %s on %s (TCPLS)\n", path, listen)
+	serveLoop(tcpls.NewListener(inner, cfg), path)
+}
+
+func serveLoop(lst *tcpls.Listener, path string) {
+	for {
+		sess, err := lst.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer sess.Close()
+			req, err := sess.AcceptStream()
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, req)
+			f, err := os.Open(path)
+			if err != nil {
+				return
+			}
+			defer f.Close()
+			st, err := sess.NewStream()
+			if err != nil {
+				return
+			}
+			n, _ := io.Copy(st, f)
+			st.Close()
+			fmt.Printf("served %d bytes to session %08x\n", n, sess.ConnID())
+		}()
+	}
+}
+
+func runClient(addr, migrateTo, out string) {
+	raddr, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		fatal(err)
+	}
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS: &tcpls.TLSConfig{InsecureSkipVerify: true},
+	}, tcpls.NetDialer{})
+	if _, err := cli.Connect(netip.Addr{}, raddr, 10*time.Second); err != nil {
+		fatal(err)
+	}
+	if err := cli.Handshake(); err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	req, err := cli.NewStream()
+	if err != nil {
+		fatal(err)
+	}
+	req.Write([]byte("GET"))
+	req.Close()
+	down, err := cli.AcceptStream()
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	start := time.Now()
+	var total int64
+	buf := make([]byte, 64<<10)
+	migrated := migrateTo == ""
+	for {
+		n, err := down.Read(buf)
+		w.Write(buf[:n])
+		total += int64(n)
+		if !migrated && total > 1<<20 {
+			migrated = true
+			ap, perr := netip.ParseAddrPort(migrateTo)
+			if perr == nil {
+				v4 := cli.PathIDs()[0]
+				if _, jerr := cli.Connect(netip.Addr{}, ap, 10*time.Second); jerr == nil {
+					cli.ClosePath(v4)
+					fmt.Fprintf(os.Stderr, "migrated to %s mid-download\n", ap)
+				} else {
+					fmt.Fprintf(os.Stderr, "migration failed: %v (continuing)\n", jerr)
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	el := time.Since(start)
+	fmt.Fprintf(os.Stderr, "received %d bytes in %s (%.1f Mbps)\n",
+		total, el.Truncate(time.Millisecond), float64(total)*8/el.Seconds()/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpls-filetransfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Command tcpls-migrate reproduces Figure 4 of the TCPLS paper:
+// application-level connection migration during a file download.
+//
+// Topology (as in the paper's IPMininet setup): a dual-stack client and
+// server joined by an IPv4-only path and an IPv6-only path, both at
+// 30 Mbps, with the lower delay on the v4 link. The client downloads a
+// 60 MB file over v4 and, at the midpoint, performs the 5-call
+// migration sequence of §3.2 — JOIN over v6, new stream, attach, close
+// the v4 connection — while the server keeps looping over tcpls_send.
+//
+// Output: one line per 250 ms of virtual time with the instantaneous
+// goodput, suitable for plotting against the paper's figure. The shape
+// to expect: goodput near the link rate before and after the handover,
+// with only a brief dip at the migration point.
+//
+// Usage:
+//
+//	tcpls-migrate [-size 60] [-bw 30] [-scale 0.25] [-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/labs"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+func main() {
+	sizeMB := flag.Int("size", 60, "download size in MB")
+	bwMbps := flag.Float64("bw", 30, "link bandwidth in Mbps")
+	scale := flag.Float64("scale", 0.25, "time scale (0.25 = 4x faster than real time)")
+	interval := flag.Duration("interval", 250*time.Millisecond, "sampling interval (virtual)")
+	baseline := flag.Bool("baseline", false, "run the TLS/TCP baseline instead: no migration support, the v4 close kills the transfer")
+	flag.Parse()
+
+	size := *sizeMB << 20
+	queue := int(*bwMbps * 1e6 / 8 * 0.08) // ~80 ms of buffering, a common edge-router default
+	tb, err := labs.NewTestbed(labs.TestbedConfig{
+		V4:        netsim.LinkConfig{BandwidthBps: *bwMbps * 1e6, Delay: 10 * time.Millisecond, Name: "v4", QueueBytes: queue},
+		V6:        netsim.LinkConfig{BandwidthBps: *bwMbps * 1e6, Delay: 15 * time.Millisecond, Name: "v6", QueueBytes: queue},
+		TimeScale: *scale,
+		Seed:      1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tb.Close()
+
+	mode := "tcpls"
+	if *baseline {
+		mode = "tls-tcp-baseline"
+	}
+	fmt.Printf("# tcpls-migrate: %d MB download, %.0f Mbps links, migrate at %d MB (%s)\n",
+		*sizeMB, *bwMbps, *sizeMB/2, mode)
+	fmt.Printf("# %10s %12s %10s %6s  %s\n", "time", "goodput", "total", "conns", "event")
+
+	if *baseline {
+		runBaseline(tb, size, *interval)
+		return
+	}
+
+	cli, srv, err := tb.ConnectClient(&core.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	labs.ServeDownload(srv, size)
+
+	req, err := cli.NewStream()
+	if err != nil {
+		fatal(err)
+	}
+	req.Write([]byte("GET /60mb"))
+	req.Close()
+	down, err := cli.AcceptStream()
+	if err != nil {
+		fatal(err)
+	}
+
+	migrated := false
+	half := int64(size / 2)
+	total, err := labs.SampleGoodput(tb.Net, down, *interval, func(s labs.GoodputSample) {
+		event := ""
+		if !migrated && s.Total >= half {
+			migrated = true
+			event = "MIGRATION: join v6, attach stream, close v4 (§3.2)"
+			go func() {
+				v4 := cli.PathIDs()[0]
+				if _, err := cli.Connect(labs.ClientV6, netip.AddrPortFrom(labs.ServerV6, labs.Port), 5*time.Second); err != nil {
+					fmt.Fprintf(os.Stderr, "join v6: %v\n", err)
+					return
+				}
+				cli.ClosePath(v4)
+			}()
+		}
+		fmt.Printf("  %10s %9.2f Mb %8.1f MB %6d  %s\n",
+			s.Time.Truncate(time.Millisecond), s.Mbps, float64(s.Total)/(1<<20), s.NumConn, event)
+	}, cli)
+
+	if err != nil {
+		fmt.Printf("# transfer FAILED after %.1f MB: %v\n", float64(total)/(1<<20), err)
+		if *baseline {
+			fmt.Println("# (expected: TLS/TCP cannot survive losing its TCP connection)")
+		}
+		os.Exit(0)
+	}
+	fmt.Printf("# transfer complete: %.1f MB\n", float64(total)/(1<<20))
+}
+
+// runBaseline downloads over plain TLS/TCP; at the midpoint the "v4
+// interface disappears" (the only TCP connection is aborted). With no
+// session layer above TCP, the transfer simply dies.
+func runBaseline(tb *labs.Testbed, size int, interval time.Duration) {
+	l, err := tb.Server.Listen(netip.Addr{}, 9000)
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		c, err := l.AcceptTCP()
+		if err != nil {
+			return
+		}
+		srv := tls13.Server(c, &tls13.Config{Certificate: tb.Cert})
+		if srv.Handshake() != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for sent := 0; sent < size; sent += len(buf) {
+			if _, err := srv.Write(buf); err != nil {
+				return
+			}
+		}
+		srv.CloseWrite()
+	}()
+	tcp, err := tb.Client.Dial(netip.Addr{}, netip.AddrPortFrom(labs.ServerV4, 9000), 10*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	cl := tls13.Client(tcp, &tls13.Config{InsecureSkipVerify: true})
+	if err := cl.Handshake(); err != nil {
+		fatal(err)
+	}
+	half := int64(size / 2)
+	dropped := false
+	total, err := labs.SampleGoodput(tb.Net, cl, interval, func(s labs.GoodputSample) {
+		event := ""
+		if !dropped && s.Total >= half {
+			dropped = true
+			event = "v4 interface lost — TLS/TCP has no second connection to move to"
+			go tcp.Abort()
+		}
+		fmt.Printf("  %10s %9.2f Mb %8.1f MB %6d  %s\n",
+			s.Time.Truncate(time.Millisecond), s.Mbps, float64(s.Total)/(1<<20), 1, event)
+	}, nil)
+	if err != nil {
+		fmt.Printf("# transfer FAILED after %.1f MB: %v\n", float64(total)/(1<<20), err)
+		fmt.Println("# (expected: TLS/TCP cannot survive losing its TCP connection —")
+		fmt.Println("#  the same event TCPLS migrates across)")
+		return
+	}
+	fmt.Printf("# transfer complete: %.1f MB\n", float64(total)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpls-migrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Plugin-cc: pluginized TCPLS (§3(iii), §4.3 of the paper). The client
+// ships a congestion-control algorithm as eBPF bytecode over the secure
+// channel; the server verifies the program and installs it on its
+// userspace TCP connection — "the supported TCP extensibility capability
+// is not frozen by a given TCPLS version".
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+	"github.com/pluginized-protocols/gotcpls/simnet"
+)
+
+func main() {
+	n := simnet.NewNetwork()
+	defer n.Close()
+	client, server := n.Host("client"), n.Host("server")
+	cV4, sV4 := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	n.AddLink(client, server, cV4, sV4, simnet.LinkConfig{BandwidthBps: 50e6, Delay: 5 * time.Millisecond})
+	cs := simnet.NewTCPStack(client, simnet.TCPConfig{})
+	ss := simnet.NewTCPStack(server, simnet.TCPConfig{})
+	defer cs.Close()
+	defer ss.Close()
+
+	cert, _ := tcpls.GenerateSelfSigned("plugin", nil, nil)
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		log.Fatal(err)
+	}
+	installed := make(chan string, 1)
+	lst := tcpls.NewListener(tl, &tcpls.Config{
+		TLS:   &tcpls.TLSConfig{Certificate: cert},
+		Clock: n,
+		Callbacks: tcpls.Callbacks{
+			CCInstalled: func(name string) { installed <- name },
+		},
+	})
+	defer lst.Close()
+	go lst.Accept()
+
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS:   &tcpls.TLSConfig{InsecureSkipVerify: true},
+		Clock: n,
+	}, simnet.Dialer{Stack: cs})
+	if _, err := cli.Connect(cV4, netip.AddrPortFrom(sV4, 443), 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Handshake(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile the AIMD controller from eBPF assembly and ship it.
+	bytecode, err := tcpls.AssembleBPF(tcpls.AIMDProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: shipping %d bytes of eBPF congestion control\n", len(bytecode))
+	if err := cli.SendBPFCC("aimd", bytecode); err != nil {
+		log.Fatal(err)
+	}
+
+	select {
+	case name := <-installed:
+		fmt.Printf("server: verified and installed %q on its TCP connection\n", name)
+	case <-time.After(5 * time.Second):
+		log.Fatal("plugin never installed")
+	}
+
+	// Hostile bytecode is rejected by the verifier and ignored.
+	if err := cli.SendBPFCC("evil", []byte{0xff, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case name := <-installed:
+		log.Fatalf("unverified program %q installed!", name)
+	case <-time.After(500 * time.Millisecond):
+		fmt.Println("server: malformed plugin rejected by the verifier (as it should be)")
+	}
+	cli.Close()
+}

@@ -1,0 +1,115 @@
+// Quickstart: the Figure 3 workflow end to end on an emulated network —
+// create a session, connect with happy-eyeballs fallback, handshake,
+// open a stream, ship a TCP option through the encrypted channel, and
+// exchange data.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+	"github.com/pluginized-protocols/gotcpls/simnet"
+)
+
+func main() {
+	// A dual-stack topology: two hosts, one v4 link, one v6 link.
+	n := simnet.NewNetwork()
+	defer n.Close()
+	client, server := n.Host("client"), n.Host("server")
+	cV4, sV4 := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	cV6, sV6 := netip.MustParseAddr("fc00::1"), netip.MustParseAddr("fc00::2")
+	n.AddLink(client, server, cV4, sV4, simnet.LinkConfig{Delay: 5 * time.Millisecond})
+	n.AddLink(client, server, cV6, sV6, simnet.LinkConfig{Delay: 8 * time.Millisecond})
+	cs := simnet.NewTCPStack(client, simnet.TCPConfig{})
+	ss := simnet.NewTCPStack(server, simnet.TCPConfig{})
+	defer cs.Close()
+	defer ss.Close()
+
+	// Server: a certificate, a TCPLS listener, an echo loop.
+	cert, err := tcpls.GenerateSelfSigned("quickstart", nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lst := tcpls.NewListener(tl, &tcpls.Config{
+		TLS:   &tcpls.TLSConfig{Certificate: cert},
+		Clock: n,
+		Callbacks: tcpls.Callbacks{
+			TCPOption: func(kind uint8, data []byte) {
+				fmt.Printf("server: TCP option %d received over the encrypted channel\n", kind)
+			},
+		},
+	})
+	defer lst.Close()
+	go func() {
+		for {
+			sess, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					st, err := sess.AcceptStream()
+					if err != nil {
+						return
+					}
+					go func() {
+						data, _ := io.ReadAll(st)
+						back, err := sess.NewStream()
+						if err != nil {
+							return
+						}
+						fmt.Fprintf(back, "echo: %s", data)
+						back.Close()
+					}()
+				}
+			}()
+		}
+	}()
+
+	// Client: tcpls_new -> tcpls_connect (happy eyeballs) ->
+	// tcpls_handshake.
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS:   &tcpls.TLSConfig{InsecureSkipVerify: true},
+		Clock: n,
+	}, simnet.Dialer{Stack: cs})
+	addr, err := cli.ConnectHappyEyeballs([]netip.AddrPort{
+		netip.AddrPortFrom(sV4, 443),
+		netip.AddrPortFrom(sV6, 443),
+	}, 50*time.Millisecond, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Handshake(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected to %s (session %08x, %d join cookies)\n",
+		addr, cli.ConnID(), cli.CookiesLeft())
+
+	// A TCP option through the secure channel (§3.1 of the paper).
+	if err := cli.SendUserTimeout(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// tcpls_stream_new -> tcpls_send -> tcpls_receive.
+	st, err := cli.NewStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Write([]byte("hello over TCPLS"))
+	st.Close()
+	back, err := cli.AcceptStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply, _ := io.ReadAll(back)
+	fmt.Printf("client: %s\n", reply)
+	cli.Close()
+}

@@ -1,0 +1,3 @@
+module github.com/pluginized-protocols/gotcpls
+
+go 1.24

@@ -1,0 +1,114 @@
+// Package cc implements the congestion-control algorithms used by the
+// userspace TCP stack in internal/tcpnet: NewReno and CUBIC natively, plus
+// an adapter that runs a controller delivered as eBPF bytecode — the
+// "pluginized TCPLS" mechanism of §3(iii)/§4.3 of the paper, where the
+// server ships a congestion-control upgrade to the client over the secure
+// channel.
+package cc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Controller is the congestion-control contract. All byte counts are in
+// bytes; implementations convert to segments with the MSS given to Init.
+// Controllers are driven under the owning connection's lock and must not
+// block.
+type Controller interface {
+	// Name identifies the algorithm ("newreno", "cubic", "ebpf:<name>").
+	Name() string
+	// Init is called once with the connection's MSS before any event.
+	Init(mss int)
+	// CWnd returns the current congestion window in bytes.
+	CWnd() int
+	// Ssthresh returns the slow-start threshold in bytes.
+	Ssthresh() int
+	// OnAck reports acked new bytes, the latest RTT sample (0 if none),
+	// and the bytes left in flight after the ack.
+	OnAck(acked int, rtt time.Duration, inflight int)
+	// OnDupAck reports one duplicate acknowledgment.
+	OnDupAck()
+	// OnFastRetransmit signals entry into fast recovery (3rd dupack).
+	OnFastRetransmit(inflight int)
+	// OnRecoveryExit signals the first new ack after fast recovery.
+	OnRecoveryExit()
+	// OnRetransmitTimeout signals an RTO: collapse to one segment.
+	OnRetransmitTimeout(inflight int)
+}
+
+// Factory builds a fresh controller per connection.
+type Factory func() Controller
+
+// registry of named factories lets the stack (and the eBPF plugin layer)
+// select algorithms by name.
+var registry = map[string]Factory{}
+
+// Register installs a named controller factory. Later registrations with
+// the same name replace earlier ones (plugins may shadow built-ins).
+func Register(name string, f Factory) { registry[name] = f }
+
+// New returns a fresh controller for name, or an error if unknown.
+func New(name string) (Controller, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown congestion controller %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns the registered controller names (order unspecified).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}
+
+func init() {
+	Register("newreno", func() Controller { return NewNewReno() })
+	Register("cubic", func() Controller { return NewCubic() })
+}
+
+// hystart implements a HyStart-like delay-increase detector shared by the
+// built-in controllers: it tracks the minimum RTT seen and reports true
+// after several consecutive samples show meaningful queueing delay, at
+// which point the caller should set ssthresh = cwnd and move to
+// congestion avoidance before the bottleneck queue overflows. Requiring
+// consecutive samples filters the scheduling jitter that emulated (time-
+// scaled) networks add to individual RTT measurements.
+type hystart struct {
+	minRTT time.Duration
+	above  int
+}
+
+// hystartSamples is how many consecutive inflated RTTs trigger the exit.
+const hystartSamples = 3
+
+func (h *hystart) exitSlowStart(rtt time.Duration) bool {
+	if rtt <= 0 {
+		return false
+	}
+	if h.minRTT == 0 || rtt < h.minRTT {
+		h.minRTT = rtt
+	}
+	thresh := h.minRTT / 4
+	if thresh < 8*time.Millisecond {
+		thresh = 8 * time.Millisecond
+	}
+	if rtt >= h.minRTT+thresh {
+		h.above++
+	} else {
+		h.above = 0
+	}
+	return h.above >= hystartSamples
+}
+
+// clampMin returns v, but at least lo.
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}

@@ -1,0 +1,223 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"newreno", "cubic"} {
+		c, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("Name() = %s", c.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "cubic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() missing cubic")
+	}
+	// Registration shadows.
+	Register("newreno2", func() Controller { return NewNewReno() })
+	if _, err := New("newreno2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRenoSlowStartDoubles(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	w0 := r.CWnd()
+	if w0 != InitialWindowSegments*1000 {
+		t.Fatalf("IW = %d", w0)
+	}
+	// One RTT of acks for the whole window roughly doubles it.
+	for i := 0; i < 10; i++ {
+		r.OnAck(1000, 10*time.Millisecond, w0)
+	}
+	if r.CWnd() < 2*w0-1000 {
+		t.Fatalf("slow start grew %d -> %d", w0, r.CWnd())
+	}
+}
+
+func TestNewRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	r.OnRetransmitTimeout(20000) // ssthresh = 10000, cwnd = 1000
+	if r.CWnd() != 1000 || r.Ssthresh() != 10000 {
+		t.Fatalf("after RTO: cwnd=%d ssthresh=%d", r.CWnd(), r.Ssthresh())
+	}
+	// Grow back into CA.
+	for r.CWnd() < r.Ssthresh() {
+		r.OnAck(1000, 10*time.Millisecond, r.CWnd())
+	}
+	w := r.CWnd()
+	// One full window of acks in CA adds about one MSS.
+	acks := w / 1000
+	for i := 0; i < acks; i++ {
+		r.OnAck(1000, 10*time.Millisecond, w)
+	}
+	growth := r.CWnd() - w
+	if growth < 500 || growth > 2500 {
+		t.Fatalf("CA growth over one RTT = %d bytes", growth)
+	}
+}
+
+func TestNewRenoFastRecovery(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	r.OnFastRetransmit(40000)
+	if r.Ssthresh() != 20000 {
+		t.Fatalf("ssthresh = %d", r.Ssthresh())
+	}
+	if r.CWnd() != 20000 {
+		t.Fatalf("cwnd = %d", r.CWnd())
+	}
+	// Acks during recovery do not grow the window.
+	w := r.CWnd()
+	r.OnAck(1000, 10*time.Millisecond, 30000)
+	if r.CWnd() != w {
+		t.Fatal("window grew during recovery")
+	}
+	r.OnRecoveryExit()
+	if r.CWnd() != r.Ssthresh() {
+		t.Fatalf("post-recovery cwnd = %d", r.CWnd())
+	}
+}
+
+func TestNewRenoFloorsAtTwoMSS(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	r.OnFastRetransmit(1000) // tiny flight
+	if r.Ssthresh() < 2000 {
+		t.Fatalf("ssthresh below 2*MSS: %d", r.Ssthresh())
+	}
+}
+
+func TestHystartExitsOnDelayIncrease(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	base := 20 * time.Millisecond
+	// Establish the min RTT.
+	for i := 0; i < 5; i++ {
+		r.OnAck(1000, base, 10000)
+	}
+	before := r.CWnd()
+	// Queueing delay builds: consecutive inflated samples end slow start.
+	for i := 0; i < hystartSamples+1; i++ {
+		r.OnAck(1000, base*2, 10000)
+	}
+	if r.Ssthresh() > before+(hystartSamples+2)*2000 {
+		t.Fatalf("hystart did not cap ssthresh: %d", r.Ssthresh())
+	}
+	if r.CWnd() >= 1<<29 {
+		t.Fatal("still in unbounded slow start")
+	}
+}
+
+func TestHystartIgnoresJitterSpikes(t *testing.T) {
+	r := NewNewReno()
+	r.Init(1000)
+	base := 20 * time.Millisecond
+	r.OnAck(1000, base, 10000)
+	w := r.CWnd()
+	// Alternating spikes never trip the consecutive-sample filter.
+	for i := 0; i < 20; i++ {
+		rtt := base
+		if i%2 == 0 {
+			rtt = base * 3
+		}
+		r.OnAck(1000, rtt, 10000)
+	}
+	if r.Ssthresh() != 1<<30 {
+		t.Fatal("jitter tripped hystart")
+	}
+	if r.CWnd() <= w {
+		t.Fatal("slow start stopped growing")
+	}
+}
+
+func TestCubicReductionAndRegrowth(t *testing.T) {
+	c := NewCubic()
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Init(1000)
+	// Force out of slow start.
+	c.OnFastRetransmit(100000)
+	c.OnRecoveryExit()
+	w := c.CWnd()
+	if w >= 100000 {
+		t.Fatalf("no reduction: %d", w)
+	}
+	// Growth resumes as virtual time advances.
+	for i := 0; i < 200; i++ {
+		now = now.Add(10 * time.Millisecond)
+		c.OnAck(1000, 10*time.Millisecond, w)
+	}
+	if c.CWnd() <= w {
+		t.Fatalf("cubic did not regrow: %d -> %d", w, c.CWnd())
+	}
+}
+
+func TestCubicConcaveThenConvex(t *testing.T) {
+	c := NewCubic()
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Init(1000)
+	// Grow to ~100 KB in slow start (constant RTT keeps hystart quiet).
+	for c.CWnd() < 100000 {
+		c.OnAck(1000, 10*time.Millisecond, c.CWnd())
+	}
+	wMax := c.CWnd()
+	c.OnFastRetransmit(wMax)
+	c.OnRecoveryExit()
+	if c.CWnd() >= wMax {
+		t.Fatalf("no reduction: %d", c.CWnd())
+	}
+	// Regrow: one ack per segment in flight per 10 ms round; the cubic
+	// curve must carry the window back to (and past) wMax once the time
+	// since the reduction passes K.
+	for i := 0; i < 1200 && c.CWnd() < wMax; i++ {
+		for j := 0; j < c.CWnd()/1000+1; j++ {
+			c.OnAck(1000, 10*time.Millisecond, c.CWnd())
+		}
+		now = now.Add(10 * time.Millisecond)
+	}
+	if c.CWnd() < wMax {
+		t.Fatalf("cubic never regained wMax=%d: %d", wMax, c.CWnd())
+	}
+}
+
+func TestCubicTimeoutCollapses(t *testing.T) {
+	c := NewCubic()
+	c.Init(1000)
+	c.OnRetransmitTimeout(50000)
+	if c.CWnd() != 1000 {
+		t.Fatalf("cwnd after RTO = %d", c.CWnd())
+	}
+}
+
+func TestDupAckNoInflation(t *testing.T) {
+	for _, name := range []string{"newreno", "cubic"} {
+		c, _ := New(name)
+		c.Init(1000)
+		c.OnFastRetransmit(50000)
+		w := c.CWnd()
+		for i := 0; i < 10; i++ {
+			c.OnDupAck()
+		}
+		if c.CWnd() != w {
+			t.Fatalf("%s inflated on dupacks", name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Cubic implements RFC 8312 CUBIC: the window grows as a cubic function
+// of the time since the last reduction, anchored at the window size where
+// the loss occurred (Wmax), with a TCP-friendly lower bound.
+type Cubic struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	wMax       float64 // segments
+	epochStart time.Time
+	k          float64 // seconds until the plateau
+	ackedBytes int     // bytes acked this virtual RTT for tcp-friendly est
+	tcpCwnd    float64 // segments, Reno-equivalent estimate
+	inRecovery bool
+	hs         hystart
+	now        func() time.Time // injectable for tests
+}
+
+// RFC 8312 constants: C in segments/s^3 and the multiplicative decrease.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller.
+func NewCubic() *Cubic { return &Cubic{now: time.Now} }
+
+// Name implements Controller.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements Controller.
+func (c *Cubic) Init(mss int) {
+	c.mss = mss
+	c.cwnd = InitialWindowSegments * mss
+	c.ssthresh = 1 << 30
+}
+
+// CWnd implements Controller.
+func (c *Cubic) CWnd() int { return c.cwnd }
+
+// Ssthresh implements Controller.
+func (c *Cubic) Ssthresh() int { return c.ssthresh }
+
+// OnAck implements Controller.
+func (c *Cubic) OnAck(acked int, rtt time.Duration, inflight int) {
+	if c.inRecovery {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		if c.hs.exitSlowStart(rtt) {
+			c.ssthresh = c.cwnd
+		} else {
+			c.cwnd += min(acked, 2*c.mss)
+			return
+		}
+	}
+	if c.epochStart.IsZero() {
+		c.epochStart = c.now()
+		if c.wMax == 0 {
+			c.wMax = float64(c.cwnd) / float64(c.mss)
+		}
+		c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+		c.tcpCwnd = float64(c.cwnd) / float64(c.mss)
+	}
+	t := c.now().Sub(c.epochStart).Seconds()
+	target := cubicC*math.Pow(t-c.k, 3) + c.wMax // segments
+	// TCP-friendly region (simplified Reno estimate).
+	c.ackedBytes += acked
+	if c.ackedBytes >= c.cwnd {
+		c.tcpCwnd++
+		c.ackedBytes = 0
+	}
+	if target < c.tcpCwnd {
+		target = c.tcpCwnd
+	}
+	cur := float64(c.cwnd) / float64(c.mss)
+	if target > cur {
+		// Approach the cubic target over roughly one RTT.
+		inc := (target - cur) / cur
+		c.cwnd += int(inc * float64(c.mss))
+		if c.cwnd < c.mss {
+			c.cwnd = c.mss
+		}
+	} else {
+		c.cwnd++ // minimal growth in the concave plateau
+	}
+}
+
+// OnDupAck implements Controller: no window inflation, the transport
+// does SACK pipe accounting.
+func (c *Cubic) OnDupAck() {}
+
+func (c *Cubic) reduce(inflight int) {
+	c.wMax = float64(c.cwnd) / float64(c.mss)
+	c.ssthresh = clampMin(int(float64(c.cwnd)*cubicBeta), 2*c.mss)
+	c.epochStart = time.Time{}
+}
+
+// OnFastRetransmit implements Controller.
+func (c *Cubic) OnFastRetransmit(inflight int) {
+	c.reduce(inflight)
+	c.cwnd = c.ssthresh
+	c.inRecovery = true
+}
+
+// OnRecoveryExit implements Controller.
+func (c *Cubic) OnRecoveryExit() {
+	c.cwnd = c.ssthresh
+	c.inRecovery = false
+}
+
+// OnRetransmitTimeout implements Controller.
+func (c *Cubic) OnRetransmitTimeout(inflight int) {
+	c.reduce(inflight)
+	c.cwnd = c.mss
+	c.inRecovery = false
+}

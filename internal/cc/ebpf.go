@@ -1,0 +1,216 @@
+package cc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/ebpfvm"
+)
+
+// The eBPF congestion-control ABI (§3(iii)/§4.3 of the TCPLS paper): the
+// program is invoked once per congestion event with a context of
+// little-endian u64 fields and writes its decisions into the out fields.
+//
+//	offset  field
+//	  0     event (see EventXxx)
+//	  8     mss
+//	 16     cwnd (current, bytes)
+//	 24     ssthresh (current, bytes)
+//	 32     acked bytes (EventAck only)
+//	 40     rtt in microseconds (0 if no sample)
+//	 48     bytes in flight
+//	 56     out: new cwnd   (0 = keep)
+//	 64     out: new ssthresh (0 = keep)
+const (
+	ctxEvent       = 0
+	ctxMSS         = 8
+	ctxCWnd        = 16
+	ctxSsthresh    = 24
+	ctxAcked       = 32
+	ctxRTTus       = 40
+	ctxInflight    = 48
+	ctxOutCWnd     = 56
+	ctxOutSsthresh = 64
+	ctxSize        = 72
+)
+
+// Congestion events delivered to eBPF controllers.
+const (
+	EventInit = iota
+	EventAck
+	EventDupAck
+	EventFastRetransmit
+	EventRTO
+	EventRecoveryExit
+)
+
+// EBPF runs a congestion controller delivered as eBPF bytecode. It
+// implements Controller; the transport cannot tell it from a native one.
+type EBPF struct {
+	name     string
+	prog     *ebpfvm.Program
+	vm       *ebpfvm.VM
+	mss      int
+	cwnd     int
+	ssthresh int
+	ctx      [ctxSize]byte
+}
+
+// NewEBPF wraps a verified program as a Controller. name is reported as
+// "ebpf:<name>".
+func NewEBPF(name string, prog *ebpfvm.Program) *EBPF {
+	return &EBPF{name: "ebpf:" + name, prog: prog, vm: ebpfvm.New()}
+}
+
+// LoadEBPF verifies raw bytecode (as received over the TCPLS control
+// channel) and wraps it as a Controller.
+func LoadEBPF(name string, bytecode []byte) (*EBPF, error) {
+	prog, err := ebpfvm.Unmarshal(bytecode)
+	if err != nil {
+		return nil, fmt.Errorf("cc: rejected eBPF controller %q: %w", name, err)
+	}
+	return NewEBPF(name, prog), nil
+}
+
+// Name implements Controller.
+func (e *EBPF) Name() string { return e.name }
+
+// Init implements Controller.
+func (e *EBPF) Init(mss int) {
+	e.mss = mss
+	e.cwnd = InitialWindowSegments * mss
+	e.ssthresh = 1 << 30
+	e.run(EventInit, 0, 0, 0)
+}
+
+// CWnd implements Controller.
+func (e *EBPF) CWnd() int { return e.cwnd }
+
+// Ssthresh implements Controller.
+func (e *EBPF) Ssthresh() int { return e.ssthresh }
+
+// OnAck implements Controller.
+func (e *EBPF) OnAck(acked int, rtt time.Duration, inflight int) {
+	e.run(EventAck, acked, rtt, inflight)
+}
+
+// OnDupAck implements Controller.
+func (e *EBPF) OnDupAck() { e.run(EventDupAck, 0, 0, 0) }
+
+// OnFastRetransmit implements Controller.
+func (e *EBPF) OnFastRetransmit(inflight int) { e.run(EventFastRetransmit, 0, 0, inflight) }
+
+// OnRecoveryExit implements Controller.
+func (e *EBPF) OnRecoveryExit() { e.run(EventRecoveryExit, 0, 0, 0) }
+
+// OnRetransmitTimeout implements Controller.
+func (e *EBPF) OnRetransmitTimeout(inflight int) { e.run(EventRTO, 0, 0, inflight) }
+
+func (e *EBPF) run(event int, acked int, rtt time.Duration, inflight int) {
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(e.ctx[off:], v) }
+	put(ctxEvent, uint64(event))
+	put(ctxMSS, uint64(e.mss))
+	put(ctxCWnd, uint64(e.cwnd))
+	put(ctxSsthresh, uint64(e.ssthresh))
+	put(ctxAcked, uint64(acked))
+	put(ctxRTTus, uint64(rtt/time.Microsecond))
+	put(ctxInflight, uint64(inflight))
+	put(ctxOutCWnd, 0)
+	put(ctxOutSsthresh, 0)
+	if _, err := e.vm.Run(e.prog, e.ctx[:]); err != nil {
+		// A faulting plugin freezes its last window rather than killing
+		// the connection; the stack keeps working at the current rate.
+		return
+	}
+	if v := binary.LittleEndian.Uint64(e.ctx[ctxOutCWnd:]); v != 0 {
+		e.cwnd = clampMin(int(v), e.mss)
+	}
+	if v := binary.LittleEndian.Uint64(e.ctx[ctxOutSsthresh:]); v != 0 {
+		e.ssthresh = clampMin(int(v), 2*e.mss)
+	}
+}
+
+// AIMDProgram is a complete congestion controller written in eBPF
+// assembly: slow start to ssthresh, additive increase of one MSS per
+// window afterwards, multiplicative decrease of one half on fast
+// retransmit, collapse to one MSS on RTO. It is the program the example
+// server ships to clients to demonstrate pluginization.
+const AIMDProgram = `
+        ; r6 = event, r7 = mss, r8 = cwnd, r9 = ssthresh
+        ldxdw r6, [r1+0]
+        ldxdw r7, [r1+8]
+        ldxdw r8, [r1+16]
+        ldxdw r9, [r1+24]
+
+        jeq   r6, 1, ack
+        jeq   r6, 3, fastrtx
+        jeq   r6, 4, rto
+        jeq   r6, 5, recovery_exit
+        ja    out              ; init/dupack: keep current windows
+
+ack:
+        jge   r8, r9, avoid    ; cwnd >= ssthresh -> congestion avoidance
+        ; slow start: cwnd += min(acked, 2*mss)
+        ldxdw r2, [r1+32]      ; acked
+        mov   r3, r7
+        lsh   r3, 1
+        jle   r2, r3, ssgrow
+        mov   r2, r3
+ssgrow:
+        add   r8, r2
+        stxdw [r1+56], r8
+        ja    out
+avoid:
+        ; cwnd += mss*mss/cwnd (at least 1)
+        mov   r2, r7
+        mul   r2, r7
+        div   r2, r8
+        jne   r2, 0, aigrow
+        mov   r2, 1
+aigrow:
+        add   r8, r2
+        stxdw [r1+56], r8
+        ja    out
+
+fastrtx:
+        ; ssthresh = max(inflight/2, 2*mss); cwnd = ssthresh
+        ldxdw r2, [r1+48]
+        rsh   r2, 1
+        mov   r3, r7
+        lsh   r3, 1
+        jge   r2, r3, cut
+        mov   r2, r3
+cut:
+        stxdw [r1+64], r2
+        stxdw [r1+56], r2
+        ja    out
+
+rto:
+        ldxdw r2, [r1+48]
+        rsh   r2, 1
+        mov   r3, r7
+        lsh   r3, 1
+        jge   r2, r3, cut2
+        mov   r2, r3
+cut2:
+        stxdw [r1+64], r2
+        stxdw [r1+56], r7      ; cwnd = 1 MSS
+        ja    out
+
+recovery_exit:
+        stxdw [r1+56], r9      ; cwnd = ssthresh
+        ja    out
+
+out:
+        mov   r0, 0
+        exit
+`
+
+// RegisterAIMD compiles AIMDProgram and registers it as "ebpf:aimd".
+func RegisterAIMD() {
+	prog := ebpfvm.MustAssemble(AIMDProgram)
+	Register("ebpf:aimd", func() Controller { return NewEBPF("aimd", prog) })
+}
+
+func init() { RegisterAIMD() }

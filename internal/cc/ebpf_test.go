@@ -1,0 +1,106 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/ebpfvm"
+)
+
+func TestAIMDProgramBehavesLikeReno(t *testing.T) {
+	e, err := New("ebpf:aimd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Init(1000)
+	if e.CWnd() != InitialWindowSegments*1000 {
+		t.Fatalf("IW = %d", e.CWnd())
+	}
+	// Slow start doubles.
+	w0 := e.CWnd()
+	for i := 0; i < 10; i++ {
+		e.OnAck(1000, time.Millisecond, w0)
+	}
+	if e.CWnd() < 2*w0-1000 {
+		t.Fatalf("ebpf slow start grew %d -> %d", w0, e.CWnd())
+	}
+	// Fast retransmit halves.
+	e.OnFastRetransmit(40000)
+	if e.Ssthresh() != 20000 || e.CWnd() != 20000 {
+		t.Fatalf("after fastrtx: cwnd=%d ssthresh=%d", e.CWnd(), e.Ssthresh())
+	}
+	// RTO collapses to one MSS.
+	e.OnRetransmitTimeout(20000)
+	if e.CWnd() != 1000 {
+		t.Fatalf("after RTO: cwnd=%d", e.CWnd())
+	}
+	// Recovery exit restores ssthresh.
+	e.OnFastRetransmit(30000)
+	e.OnRecoveryExit()
+	if e.CWnd() != e.Ssthresh() {
+		t.Fatalf("after exit: cwnd=%d ssthresh=%d", e.CWnd(), e.Ssthresh())
+	}
+	// Congestion avoidance is roughly linear.
+	w := e.CWnd()
+	for i := 0; i < w/1000; i++ {
+		e.OnAck(1000, time.Millisecond, w)
+	}
+	growth := e.CWnd() - w
+	if growth < 500 || growth > 2500 {
+		t.Fatalf("ebpf CA growth = %d", growth)
+	}
+}
+
+func TestAIMDBytecodeRoundTrip(t *testing.T) {
+	// The program survives the wire: assemble -> bytes -> LoadEBPF.
+	prog := ebpfvm.MustAssemble(AIMDProgram)
+	ctrl, err := LoadEBPF("aimd-wire", prog.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Name() != "ebpf:aimd-wire" {
+		t.Fatalf("name = %s", ctrl.Name())
+	}
+	ctrl.Init(1400)
+	ctrl.OnFastRetransmit(28000)
+	if ctrl.Ssthresh() != 14000 {
+		t.Fatalf("wire-loaded controller ssthresh = %d", ctrl.Ssthresh())
+	}
+}
+
+func TestLoadEBPFRejectsGarbage(t *testing.T) {
+	if _, err := LoadEBPF("bad", []byte{1, 2, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Fatal("garbage bytecode accepted")
+	}
+}
+
+func TestFaultingPluginFreezesWindow(t *testing.T) {
+	// A program that reads out of bounds: the adapter must keep the last
+	// window rather than break the connection.
+	prog := ebpfvm.MustAssemble("ldxdw r0, [r1+4096]\nexit")
+	ctrl := NewEBPF("faulty", prog)
+	ctrl.Init(1000)
+	w := ctrl.CWnd()
+	ctrl.OnAck(1000, time.Millisecond, w)
+	if ctrl.CWnd() != w {
+		t.Fatalf("faulting plugin changed window: %d", ctrl.CWnd())
+	}
+}
+
+func TestEBPFMinimumWindows(t *testing.T) {
+	// A hostile program writing 1-byte windows is clamped to >= 1 MSS.
+	prog := ebpfvm.MustAssemble(`
+		stdw [r1+56], 1
+		stdw [r1+64], 1
+		exit
+	`)
+	ctrl := NewEBPF("tiny", prog)
+	ctrl.Init(1000)
+	ctrl.OnAck(1000, time.Millisecond, 0)
+	if ctrl.CWnd() < 1000 {
+		t.Fatalf("cwnd below MSS: %d", ctrl.CWnd())
+	}
+	if ctrl.Ssthresh() < 2000 {
+		t.Fatalf("ssthresh below 2*MSS: %d", ctrl.Ssthresh())
+	}
+}

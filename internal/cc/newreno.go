@@ -1,0 +1,88 @@
+package cc
+
+import "time"
+
+// NewReno is the classic RFC 5681/6582 loss-based controller: slow start,
+// congestion avoidance, fast retransmit/fast recovery with window
+// inflation, and multiplicative decrease of one half.
+type NewReno struct {
+	mss        int
+	cwnd       int
+	ssthresh   int
+	inRecovery bool
+	hs         hystart
+}
+
+// InitialWindowSegments is the RFC 6928 initial window.
+const InitialWindowSegments = 10
+
+// NewNewReno returns a NewReno controller.
+func NewNewReno() *NewReno { return &NewReno{} }
+
+// Name implements Controller.
+func (r *NewReno) Name() string { return "newreno" }
+
+// Init implements Controller.
+func (r *NewReno) Init(mss int) {
+	r.mss = mss
+	r.cwnd = InitialWindowSegments * mss
+	r.ssthresh = 1 << 30 // "infinite": slow start until first loss
+}
+
+// CWnd implements Controller.
+func (r *NewReno) CWnd() int { return r.cwnd }
+
+// Ssthresh implements Controller.
+func (r *NewReno) Ssthresh() int { return r.ssthresh }
+
+// OnAck implements Controller.
+func (r *NewReno) OnAck(acked int, rtt time.Duration, inflight int) {
+	if r.inRecovery {
+		// Partial acks during recovery keep the window deflated; growth
+		// resumes after OnRecoveryExit.
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		// HyStart-style delay increase detection: when queueing delay
+		// builds, leave slow start before the queue overflows.
+		if r.hs.exitSlowStart(rtt) {
+			r.ssthresh = r.cwnd
+		} else {
+			// Slow start: one MSS per MSS acked (byte counting, RFC 3465).
+			r.cwnd += min(acked, 2*r.mss)
+			return
+		}
+	}
+	// Congestion avoidance: ~one MSS per RTT.
+	inc := r.mss * r.mss / r.cwnd
+	if inc == 0 {
+		inc = 1
+	}
+	r.cwnd += inc
+}
+
+// OnDupAck implements Controller. The transport uses SACK-based pipe
+// accounting instead of classic window inflation, so dupacks do not
+// change the window.
+func (r *NewReno) OnDupAck() {}
+
+// OnFastRetransmit implements Controller. inflight should be the
+// SACK-adjusted flight size.
+func (r *NewReno) OnFastRetransmit(inflight int) {
+	r.ssthresh = clampMin(inflight/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+	r.inRecovery = true
+}
+
+// OnRecoveryExit implements Controller.
+func (r *NewReno) OnRecoveryExit() {
+	r.cwnd = r.ssthresh
+	r.inRecovery = false
+}
+
+// OnRetransmitTimeout implements Controller.
+func (r *NewReno) OnRetransmitTimeout(inflight int) {
+	r.ssthresh = clampMin(inflight/2, 2*r.mss)
+	r.cwnd = r.mss
+	r.inRecovery = false
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+)
+
+// handleConnFailure reacts to the death of a TCP connection (§2.1):
+// if other connections exist, unacked data replays there immediately;
+// a client whose last connection died — e.g. a middlebox-forged RST —
+// automatically re-establishes a TCP connection (JOIN) and replays, so
+// the TCPLS session survives events that kill plain TCP/TLS.
+func (s *Session) handleConnFailure(pc *pathConn, err error, orderly bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.primary == pc {
+		s.primary = nil
+		for _, cand := range s.conns {
+			if !cand.isClosed() {
+				s.primary = cand
+				break
+			}
+		}
+	}
+	delete(s.conns, pc.id)
+	s.mu.Unlock()
+
+	if orderly {
+		// Peer closed this connection deliberately (migration or session
+		// end). If it was the last one and the session saw SessionClose,
+		// teardown already ran; if streams remain open with no paths and
+		// no close, treat as failure below.
+		if s.primaryPath() != nil || !s.hasOpenStreams() {
+			return
+		}
+	}
+
+	if next := s.primaryPath(); next != nil {
+		// Fast failover: surviving connection takes over.
+		s.replayAll(next)
+		return
+	}
+
+	if s.role == RoleServer {
+		// Servers cannot reconnect (the client is behind NATs etc.);
+		// they hold the session state and wait for a JOIN rescue.
+		return
+	}
+
+	go s.reconnect(err)
+}
+
+// hasOpenStreams reports whether any stream still expects data.
+func (s *Session) hasOpenStreams() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.streams {
+		st.mu.Lock()
+		open := !(st.finKnown && st.recvNext >= st.finalOffset && st.finSent)
+		st.mu.Unlock()
+		if open {
+			return true
+		}
+	}
+	return false
+}
+
+// reconnect dials the peer's known addresses and JOINs, with bounded
+// exponential backoff. On success the replay buffers flush onto the new
+// connection ("reestablishing a new TCP connection to continue the
+// transfer of data and replay the records that have been lost", §2.1).
+func (s *Session) reconnect(cause error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		if s.Closed() {
+			return
+		}
+		for _, addr := range s.reconnectCandidates() {
+			tcp, err := s.dialer.Dial(netip.Addr{}, addr, 2*time.Second)
+			if err != nil {
+				continue
+			}
+			pc, err := s.join(tcp)
+			if err != nil {
+				tcp.Close()
+				continue
+			}
+			s.replayAll(pc)
+			return
+		}
+		time.Sleep(s.cfg.Clock.ScaleDuration(backoff))
+		backoff *= 2
+	}
+	s.teardown(cause)
+}
+
+// reconnectCandidates lists addresses to try: advertised addresses
+// first (primary-flagged ones before others), then the remote of any
+// connection we ever had.
+func (s *Session) reconnectCandidates() []netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var primary, rest []netip.AddrPort
+	for _, a := range s.peerAddrs {
+		ap := netip.AddrPortFrom(a.Addr, a.Port)
+		if a.Primary {
+			primary = append(primary, ap)
+		} else {
+			rest = append(rest, ap)
+		}
+	}
+	out := append(primary, rest...)
+	if s.lastRemote.IsValid() {
+		out = append(out, s.lastRemote)
+	}
+	return out
+}

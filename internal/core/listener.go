@@ -1,0 +1,305 @@
+package core
+
+import (
+	"crypto/hmac"
+	"encoding/binary"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Listener accepts TCPLS sessions: every inbound TCP connection runs a
+// TLS handshake; fresh handshakes become new sessions, JOIN handshakes
+// (Figure 2) attach to existing sessions after cookie validation.
+type Listener struct {
+	inner net.Listener
+	cfg   *Config
+
+	mu       sync.Mutex
+	sessions map[uint32]*Session
+	closed   bool
+	accepts  chan *Session
+	errs     chan error
+}
+
+// NewListener wraps a transport listener (tcpnet or net) as a TCPLS
+// listener and starts accepting.
+func NewListener(inner net.Listener, cfg *Config) *Listener {
+	if cfg.TLS == nil {
+		cfg.TLS = &tls13.Config{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	l := &Listener{
+		inner:    inner,
+		cfg:      cfg,
+		sessions: make(map[uint32]*Session),
+		accepts:  make(chan *Session, 16),
+		errs:     make(chan error, 1),
+	}
+	go l.acceptLoop()
+	return l
+}
+
+// Accept returns the next new session (not JOINs — those attach to
+// their session silently, firing the Join callback).
+func (l *Listener) Accept() (*Session, error) {
+	s, ok := <-l.accepts
+	if !ok {
+		select {
+		case err := <-l.errs:
+			return nil, err
+		default:
+			return nil, ErrSessionClosed
+		}
+	}
+	return s, nil
+}
+
+// Close stops accepting; existing sessions keep running.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := l.inner.Close()
+	close(l.accepts)
+	return err
+}
+
+// Addr returns the transport listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Sessions snapshots the live sessions.
+func (l *Listener) Sessions() []*Session {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		conn, err := l.inner.Accept()
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if !closed {
+				select {
+				case l.errs <- err:
+				default:
+				}
+				l.Close()
+			}
+			return
+		}
+		go l.handleConn(conn)
+	}
+}
+
+// handshakeResult carries the decision made while inspecting the
+// ClientHello into the post-handshake phase.
+type handshakeResult struct {
+	hello   *record.ClientHelloTCPLS
+	session *Session // join target (nil for new sessions)
+	reply   *record.ServerTCPLS
+}
+
+func (l *Listener) handleConn(conn net.Conn) {
+	res := &handshakeResult{}
+	tlsCfg := l.serverTLSConfig(conn, res)
+	tc := tls13.Server(conn, tlsCfg)
+	if err := tc.Handshake(); err != nil {
+		conn.Close()
+		return
+	}
+	if res.hello == nil || res.reply == nil {
+		// Plain TLS client (no TCPLS extension): not a session.
+		conn.Close()
+		return
+	}
+
+	if res.session != nil {
+		// JOIN: attach the path to the existing session.
+		s := res.session
+		pc := newPathConn(s, conn, tc)
+		s.registerPath(pc)
+		if cb := s.cfg.Callbacks.Join; cb != nil {
+			cb(pc.id, conn.RemoteAddr())
+		}
+		// Replay any unacked data: the join may be a failover rescue.
+		s.replayAll(pc)
+		return
+	}
+
+	// New session.
+	cfg := l.sessionConfig()
+	s := newSession(RoleServer, cfg, nil)
+	s.connID = res.reply.ConnID
+	s.multipath = res.reply.Multipath
+	for _, c := range res.reply.Cookies {
+		s.issuedCookies[string(c)] = true
+	}
+	joinKey, err := deriveJoinKey(tc, s.connID)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	s.joinKey = joinKey
+	l.mu.Lock()
+	closed := l.closed
+	if !closed {
+		l.sessions[s.connID] = s
+	}
+	l.mu.Unlock()
+	if closed {
+		conn.Close()
+		return
+	}
+	pc := newPathConn(s, conn, tc)
+	s.registerPath(pc)
+	select {
+	case l.accepts <- s:
+	default:
+		s.teardown(errors.New("tcpls: accept backlog full"))
+	}
+}
+
+// serverTLSConfig builds the per-connection TLS config with the TCPLS
+// extension logic: ClientHello inspection (JOIN validation) and the
+// EncryptedExtensions payload (CONNID, cookies, addresses).
+func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.Config {
+	src := l.cfg.TLS
+	cfg := &tls13.Config{
+		Certificate:  src.Certificate,
+		ALPN:         src.ALPN,
+		CipherSuites: src.CipherSuites,
+		MaxEarlyData: src.MaxEarlyData,
+		TicketKey:    src.TicketKey,
+		NumTickets:   src.NumTickets,
+	}
+	cfg.OnClientHello = func(info tls13.ClientHelloInfo) error {
+		if info.TCPLS == nil {
+			return nil // plain TLS; tolerated but not a session
+		}
+		hello, err := record.DecodeClientHelloTCPLS(info.TCPLS)
+		if err != nil {
+			return err
+		}
+		res.hello = hello
+		if hello.Join == nil {
+			return nil
+		}
+		// Figure 2 validation: the session must exist, the cookie must
+		// be one we issued and still unused, and the binder must prove
+		// possession of the session secret.
+		l.mu.Lock()
+		target := l.sessions[hello.Join.ConnID]
+		l.mu.Unlock()
+		if target == nil {
+			return ErrJoinRejected
+		}
+		target.mu.Lock()
+		ok := target.issuedCookies[string(hello.Join.Cookie)]
+		if ok {
+			delete(target.issuedCookies, string(hello.Join.Cookie)) // one-time
+		}
+		joinKey := target.joinKey
+		target.mu.Unlock()
+		if !ok {
+			return ErrJoinRejected
+		}
+		expect := joinBinder(joinKey, hello.Join.Cookie)
+		if !hmac.Equal(expect, hello.Join.Binder) {
+			return ErrJoinRejected
+		}
+		res.session = target
+		return nil
+	}
+	cfg.EncryptedExtensions = func(info tls13.ClientHelloInfo) []tls13.Extension {
+		if res.hello == nil {
+			return nil
+		}
+		if res.session != nil {
+			// JOIN reply: echo the CONNID and replenish cookies.
+			fresh := [][]byte{randomCookie(), randomCookie()}
+			res.session.mu.Lock()
+			for _, c := range fresh {
+				res.session.issuedCookies[string(c)] = true
+			}
+			res.session.mu.Unlock()
+			res.reply = &record.ServerTCPLS{
+				Version:   record.Version,
+				ConnID:    res.session.connID,
+				Cookies:   fresh,
+				Multipath: res.session.multipath,
+			}
+			return []tls13.Extension{{Type: tls13.ExtTCPLS, Data: res.reply.Encode()}}
+		}
+		// New session: mint a CONNID and the cookie set; advertise the
+		// configured addresses (the dual-stack case of §2.2).
+		n := l.cfg.NumCookies
+		if n == 0 {
+			n = 8
+		}
+		cookies := make([][]byte, n)
+		for i := range cookies {
+			cookies[i] = randomCookie()
+		}
+		var addrs []record.Advertisement
+		for _, ap := range l.cfg.AdvertiseAddresses {
+			addrs = append(addrs, record.Advertisement{Addr: ap.Addr(), Port: ap.Port()})
+		}
+		res.reply = &record.ServerTCPLS{
+			Version:   record.Version,
+			ConnID:    newConnID(),
+			Cookies:   cookies,
+			Addresses: addrs,
+			Multipath: l.cfg.Multipath && res.hello.Multipath,
+		}
+		return []tls13.Extension{{Type: tls13.ExtTCPLS, Data: res.reply.Encode()}}
+	}
+	return cfg
+}
+
+// sessionConfig derives the per-session config from the listener's.
+func (l *Listener) sessionConfig() *Config {
+	cfg := *l.cfg
+	return &cfg
+}
+
+func newConnID() uint32 {
+	c := randomCookie()
+	return binary.BigEndian.Uint32(c[:4])
+}
+
+// replayAll resends every stream's unacked data on pc — the failover
+// rescue path when a client reattaches after total connection loss.
+func (s *Session) replayAll(pc *pathConn) {
+	s.mu.Lock()
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.replayUnacked(pc)
+	}
+}
+
+// AdvertisedAddr is a helper constructing netip.AddrPort values.
+func AdvertisedAddr(ip string, port uint16) netip.AddrPort {
+	return netip.AddrPortFrom(netip.MustParseAddr(ip), port)
+}

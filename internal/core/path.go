@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+
+	"github.com/pluginized-protocols/gotcpls/internal/cc"
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// ccSwapper is the optional transport hook for installing a congestion
+// controller delivered over the secure channel (tcpnet.Conn has it).
+type ccSwapper interface {
+	SetCongestionControlImpl(ctrl cc.Controller)
+}
+
+// pathConn is one TCP connection of a session, with its TLS machine.
+type pathConn struct {
+	id      uint32
+	session *Session
+	tcp     net.Conn
+	tls     *tls13.Conn
+
+	writeMu sync.Mutex
+	ctxMu   sync.Mutex
+	ctxs    map[uint32]bool // stream contexts added on this conn
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+func newPathConn(s *Session, tcp net.Conn, tc *tls13.Conn) *pathConn {
+	return &pathConn{
+		id:      s.allocPathID(),
+		session: s,
+		tcp:     tcp,
+		tls:     tc,
+		ctxs:    make(map[uint32]bool),
+	}
+}
+
+func (pc *pathConn) isClosed() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.closed
+}
+
+// close tears the path down; err nil means orderly.
+func (pc *pathConn) close(err error) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return
+	}
+	pc.closed = true
+	pc.err = err
+	pc.mu.Unlock()
+	pc.tcp.Close()
+	if cb := pc.session.cfg.Callbacks.ConnClosed; cb != nil {
+		cb(pc.id, err != nil)
+	}
+}
+
+// introspector returns the cross-layer view of the underlying TCP
+// connection, or nil when running over an opaque transport.
+func (pc *pathConn) introspector() Introspector {
+	if in, ok := pc.tcp.(Introspector); ok {
+		return in
+	}
+	return nil
+}
+
+// ensureStreamContext makes sure both ends have the stream's crypto
+// context on this connection: the first use of a stream on a connection
+// sends a StreamOpen control frame (the receiver derives the context on
+// receipt) and derives the local context.
+func (pc *pathConn) ensureStreamContext(id uint32) error {
+	pc.ctxMu.Lock()
+	have := pc.ctxs[id]
+	if !have {
+		pc.ctxs[id] = true
+	}
+	pc.ctxMu.Unlock()
+	if have {
+		return nil
+	}
+	if err := pc.writeControl(record.StreamOpen{StreamID: id}); err != nil {
+		return err
+	}
+	return pc.tls.AddStreamContext(id)
+}
+
+// writeControl sends control frames on the default context.
+func (pc *pathConn) writeControl(frames ...record.Frame) error {
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	return pc.tls.WriteRecordContext(tls13.DefaultContext, record.EncodeControl(frames...))
+}
+
+// writeTCPOption ships one TCP option through the secure channel.
+func (pc *pathConn) writeTCPOption(o *record.TCPOption) error {
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	return pc.tls.WriteRecordContext(tls13.DefaultContext, record.EncodeTCPOption(o))
+}
+
+// writeChunk sends one stream-data record under the stream's context.
+func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
+	if err := pc.ensureStreamContext(c.StreamID); err != nil {
+		return err
+	}
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	return pc.tls.WriteRecordContext(c.StreamID, record.EncodeStreamChunk(c))
+}
+
+// chunkSize picks the stream-chunk size: fixed if configured, otherwise
+// matched to the congestion window's free space so records do not get
+// fragmented across segments more than necessary (§4.6).
+func (pc *pathConn) chunkSize() int {
+	if n := pc.session.cfg.RecordSize; n > 0 {
+		return min(n, MaxRecordPayload)
+	}
+	if in := pc.introspector(); in != nil {
+		cwnd, inflight, mss := in.CWndInfo()
+		free := cwnd - inflight
+		if free < mss {
+			free = mss
+		}
+		// Round down to whole segments, leaving room for the record
+		// framing inside the first segment.
+		segs := free / mss
+		if segs < 1 {
+			segs = 1
+		}
+		n := segs*mss - record.StreamHeaderLen - 64
+		return max(min(n, MaxRecordPayload), 512)
+	}
+	return DefaultRecordSize
+}
+
+// readLoop pumps inbound records until the connection dies.
+func (pc *pathConn) readLoop() {
+	for {
+		_, plain, err := pc.tls.ReadRecordContext()
+		if err != nil {
+			if errors.Is(err, tls13.ErrNoContext) {
+				// A record for a context we dropped (stream closed while
+				// data was in flight): skip it.
+				continue
+			}
+			pc.handleDeath(err)
+			return
+		}
+		tt, content, err := record.Decode(plain)
+		if err != nil {
+			continue
+		}
+		switch tt {
+		case record.TTypeStreamData:
+			chunk, err := record.DecodeStreamChunk(content)
+			if err != nil {
+				continue
+			}
+			pc.session.dispatchChunk(pc, chunk)
+		case record.TTypeControl:
+			frames, err := record.DecodeControl(content)
+			if err != nil {
+				continue
+			}
+			for _, f := range frames {
+				pc.session.dispatchFrame(pc, f)
+			}
+		case record.TTypeTCPOption:
+			opt, err := record.DecodeTCPOption(content)
+			if err != nil {
+				continue
+			}
+			pc.session.applyTCPOption(pc, opt)
+		}
+	}
+}
+
+// handleDeath classifies a read-loop error and triggers failover.
+func (pc *pathConn) handleDeath(err error) {
+	orderly := errors.Is(err, io.EOF)
+	if orderly {
+		pc.close(nil)
+	} else {
+		pc.close(err)
+	}
+	pc.session.handleConnFailure(pc, err, orderly)
+}
+
+// --- session-side dispatch ---
+
+func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
+	st := s.getOrCreateStream(chunk.StreamID, pc)
+	if st == nil {
+		return
+	}
+	st.deliver(pc, chunk)
+}
+
+func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
+	switch fr := f.(type) {
+	case record.Ping:
+		pc.writeControl(record.Pong{})
+	case record.Pong:
+		// liveness confirmed; nothing to update yet
+	case record.Ack:
+		s.mu.Lock()
+		st := s.streams[fr.StreamID]
+		s.mu.Unlock()
+		if st != nil {
+			st.handleAck(fr.Offset)
+		}
+	case record.StreamOpen:
+		// Peer will send stream data on this conn: derive the context
+		// before its first data record arrives (FIFO on this conn).
+		pc.ctxMu.Lock()
+		known := pc.ctxs[fr.StreamID]
+		pc.ctxs[fr.StreamID] = true
+		pc.ctxMu.Unlock()
+		if !known {
+			pc.tls.AddStreamContext(fr.StreamID)
+		}
+		s.getOrCreateStream(fr.StreamID, pc)
+	case record.StreamClose:
+		s.mu.Lock()
+		st := s.streams[fr.StreamID]
+		s.mu.Unlock()
+		if st != nil {
+			st.deliver(pc, &record.StreamChunk{
+				StreamID: fr.StreamID, Offset: fr.FinalOffset, Fin: true,
+			})
+		}
+	case record.AddAddress:
+		s.mu.Lock()
+		s.peerAddrs = append(s.peerAddrs, record.Advertisement{
+			Addr: fr.Addr, Port: fr.Port, Primary: fr.Primary,
+		})
+		s.mu.Unlock()
+		if cb := s.cfg.Callbacks.AddressAdvertised; cb != nil {
+			cb(netip.AddrPortFrom(fr.Addr, fr.Port), fr.Primary)
+		}
+	case record.RemoveAddress:
+		s.mu.Lock()
+		out := s.peerAddrs[:0]
+		for _, a := range s.peerAddrs {
+			if a.Addr != fr.Addr {
+				out = append(out, a)
+			}
+		}
+		s.peerAddrs = out
+		s.mu.Unlock()
+	case record.BPFCC:
+		// Verify the bytecode, then swap the controller on every live
+		// connection whose transport supports it (§3(iii)).
+		installed := false
+		for _, path := range s.livePaths() {
+			if sw, ok := path.tcp.(ccSwapper); ok {
+				ctrl, err := cc.LoadEBPF(fr.Name, fr.Bytecode)
+				if err != nil {
+					return // rejected by the verifier: ignore the plugin
+				}
+				sw.SetCongestionControlImpl(ctrl)
+				installed = true
+			}
+		}
+		if installed {
+			if cb := s.cfg.Callbacks.CCInstalled; cb != nil {
+				cb("ebpf:" + fr.Name)
+			}
+		}
+	case record.SessionClose:
+		s.teardown(nil)
+	case record.ConnClose:
+		// Peer finished with this TCP connection (migration, §3.2):
+		// close it gracefully without failover.
+		pc.close(nil)
+	}
+}
+
+// applyTCPOption performs the receiver side of §3.1: "the server
+// extracts it and performs the required setsockopt".
+func (s *Session) applyTCPOption(pc *pathConn, opt *record.TCPOption) {
+	if d, ok := opt.UserTimeout(); ok {
+		// Durations on the secure channel are virtual; introspectable
+		// transports (tcpnet) scale internally.
+		if in := pc.introspector(); in != nil {
+			in.SetUserTimeout(d)
+		}
+	}
+	if cb := s.cfg.Callbacks.TCPOption; cb != nil {
+		cb(opt.Kind, opt.Data)
+	}
+}

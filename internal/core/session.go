@@ -1,0 +1,463 @@
+// Package core implements the TCPLS session: one encrypted session
+// multiplexed over one or more TCP connections.
+//
+// It is the paper's §2 design rendered in Go: the TLS 1.3 handshake
+// doubles as the TCPLS handshake (transport parameters ride a ClientHello
+// extension, the server's CONNID/cookies/addresses ride
+// EncryptedExtensions — Figure 2); the TLS record layer doubles as a
+// secure control channel (TCP options, acknowledgments, address
+// advertisements, eBPF programs — §2.2/§3); datastreams with their own
+// crypto contexts are multiplexed over the session's TCP connections
+// (§2.3); and the session survives the failure or migration of any
+// individual TCP connection (§2.1, §3.2).
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Role distinguishes the two ends of a session.
+type Role int
+
+// Session roles.
+const (
+	RoleClient Role = iota
+	RoleServer
+)
+
+// Errors.
+var (
+	ErrSessionClosed = errors.New("tcpls: session closed")
+	ErrNoConnection  = errors.New("tcpls: no live TCP connection")
+	ErrNoCookies     = errors.New("tcpls: no join cookies left")
+	ErrJoinRejected  = errors.New("tcpls: join rejected")
+	ErrUnknownStream = errors.New("tcpls: unknown stream")
+	ErrNoAddresses   = errors.New("tcpls: no addresses to connect to")
+)
+
+// Dialer opens transport connections: satisfied by tcpnet stacks and by
+// adapters over net.Dialer, so TCPLS runs identically on the emulated
+// network and on real sockets.
+type Dialer interface {
+	Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (net.Conn, error)
+}
+
+// Introspector is the cross-layer window into a TCP connection
+// (tcpnet.Conn implements it). Code must treat it as optional: kernel
+// sockets don't provide it.
+type Introspector interface {
+	// CWndInfo returns (cwnd, bytesInFlight, mss).
+	CWndInfo() (int, int, int)
+	// SetUserTimeout applies RFC 5482 locally ("performs the required
+	// setsockopt", §3.1).
+	SetUserTimeout(d time.Duration)
+}
+
+// SchedulingMode selects how stream data maps onto TCP connections
+// (§2.4: HOL-blocking avoidance and bandwidth aggregation are exclusive).
+type SchedulingMode int
+
+// Scheduling modes.
+const (
+	// ModeSinglePath sends every stream on its attached connection.
+	// Streams on different connections cannot block each other (the
+	// "HOL-avoidance" mode).
+	ModeSinglePath SchedulingMode = iota
+	// ModeAggregate sprays every stream across all live connections for
+	// bandwidth aggregation; a loss on one TCP connection can then stall
+	// delivery of the whole stream (the HOL tradeoff of §2.1).
+	ModeAggregate
+)
+
+// Callbacks deliver session events to the application, mirroring the
+// "CB events" arrows of Figure 3. All callbacks are optional and are
+// invoked from internal goroutines — they must not block.
+type Callbacks struct {
+	// ConnEstablished fires when a TCP connection finishes its TCPLS
+	// handshake (initial or JOIN).
+	ConnEstablished func(pathID uint32, local, remote net.Addr)
+	// ConnClosed fires when a TCP connection dies or is closed; failed
+	// reports whether it was an error (failover candidates) or orderly.
+	ConnClosed func(pathID uint32, failed bool)
+	// StreamOpened fires when the peer opens a stream.
+	StreamOpened func(s *Stream)
+	// TCPOption fires when a TCP option arrives over the secure channel
+	// (after the session applied it, §3.1).
+	TCPOption func(kind uint8, data []byte)
+	// AddressAdvertised fires for each address learned over the secure
+	// channel (§2.2).
+	AddressAdvertised func(addr netip.AddrPort, primary bool)
+	// CCInstalled fires after an eBPF congestion controller shipped by
+	// the peer was verified and installed (§3(iii)).
+	CCInstalled func(name string)
+	// Join fires on servers when a client attaches a new connection.
+	Join func(pathID uint32, remote net.Addr)
+	// SessionClosed fires once, when the session terminates.
+	SessionClosed func(err error)
+}
+
+// Config configures a TCPLS session endpoint.
+type Config struct {
+	// TLS carries certificates, roots, ALPN and resumption state. The
+	// TCPLS extension plumbing is installed by this package.
+	TLS *tls13.Config
+	// Multipath advertises/accepts bandwidth aggregation (§2.4).
+	Multipath bool
+	// Mode selects the scheduling mode once multiple connections exist.
+	Mode SchedulingMode
+	// NumCookies is how many JOIN cookies the server issues (default 8).
+	NumCookies int
+	// AdvertiseAddresses are extra server endpoints announced in the
+	// handshake (the dual-stack advertisement of §2.2).
+	AdvertiseAddresses []netip.AddrPort
+	// UserTimeout, when set on a client, is sent to the server over the
+	// secure channel as a TCP User Timeout option (§3.1) and applied
+	// locally where the transport allows.
+	UserTimeout time.Duration
+	// EnableAcks turns on TCPLS acknowledgments (default true via
+	// DisableAcks=false); they drive the failover replay buffer (§2.1).
+	DisableAcks bool
+	// RecordSize fixes the stream-chunk size. Zero means cross-layer
+	// sizing: match the chunk to the congestion window to avoid
+	// fragmented records (§4.6) when the transport is introspectable,
+	// else DefaultRecordSize.
+	RecordSize int
+	// Callbacks receive session events.
+	Callbacks Callbacks
+	// Clock scales protocol timers on emulated networks (optional).
+	Clock Clock
+}
+
+// Clock abstracts timer scaling; netsim.Network implements it.
+type Clock interface {
+	AfterFunc(d time.Duration, f func()) *time.Timer
+	ScaleDuration(d time.Duration) time.Duration
+}
+
+type realClock struct{}
+
+func (realClock) AfterFunc(d time.Duration, f func()) *time.Timer { return time.AfterFunc(d, f) }
+func (realClock) ScaleDuration(d time.Duration) time.Duration     { return d }
+
+// DefaultRecordSize is the stream chunk size when the transport offers
+// no congestion-window introspection.
+const DefaultRecordSize = 4096
+
+// MaxRecordPayload bounds a stream chunk to what one TLS record holds.
+const MaxRecordPayload = tls13.MaxPlaintext - record.StreamHeaderLen - 1
+
+// ackInterval is how many received bytes trigger a TCPLS ack.
+const ackInterval = 64 << 10
+
+// replayBufferLimit bounds un-acked retained data per stream; Write
+// blocks when the buffer is full (ack-driven flow control).
+const replayBufferLimit = 4 << 20
+
+// Session is one TCPLS session: a secure byte-stream multiplexer over a
+// set of TCP connections.
+type Session struct {
+	role Role
+	cfg  *Config
+
+	mu       sync.Mutex
+	conns    map[uint32]*pathConn
+	primary  *pathConn
+	nextPath uint32
+
+	streams      map[uint32]*Stream
+	nextStreamID uint32
+	acceptCh     chan *Stream
+
+	connID    uint32   // session identifier (Figure 2's CONNID)
+	cookies   [][]byte // client: unused cookies received from the server
+	joinKey   []byte   // HMAC key authenticating JOINs
+	peerAddrs []record.Advertisement
+
+	multipath bool // negotiated
+
+	dialer     Dialer
+	pendingTCP net.Conn   // dialed before Handshake (primary-to-be)
+	preJoin    []net.Conn // dialed before Handshake (extra paths)
+	lastRemote netip.AddrPort
+
+	closed    bool
+	closeErr  error
+	closeOnce sync.Once
+
+	// server-side bookkeeping
+	issuedCookies map[string]bool // outstanding (unused) cookie set
+}
+
+func newSession(role Role, cfg *Config, dialer Dialer) *Session {
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	s := &Session{
+		role:          role,
+		cfg:           cfg,
+		conns:         make(map[uint32]*pathConn),
+		streams:       make(map[uint32]*Stream),
+		acceptCh:      make(chan *Stream, 64),
+		dialer:        dialer,
+		issuedCookies: make(map[string]bool),
+	}
+	if role == RoleClient {
+		s.nextStreamID = 1 // client-initiated streams are odd
+	} else {
+		s.nextStreamID = 2 // server-initiated streams are even
+	}
+	return s
+}
+
+// Role returns which end of the session this is.
+func (s *Session) Role() Role { return s.role }
+
+// ConnID returns the session identifier assigned by the server.
+func (s *Session) ConnID() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connID
+}
+
+// CookiesLeft reports how many unused JOIN cookies the client holds.
+func (s *Session) CookiesLeft() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role == RoleClient {
+		return len(s.cookies)
+	}
+	return len(s.issuedCookies)
+}
+
+// PeerAddresses returns the addresses the peer advertised (encrypted
+// ADD_ADDR semantics, §2.2/§4.1).
+func (s *Session) PeerAddresses() []netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]netip.AddrPort, 0, len(s.peerAddrs))
+	for _, a := range s.peerAddrs {
+		out = append(out, netip.AddrPortFrom(a.Addr, a.Port))
+	}
+	return out
+}
+
+// Multipath reports whether bandwidth aggregation was negotiated.
+func (s *Session) Multipath() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.multipath
+}
+
+// NumConns returns the number of live TCP connections in the session.
+func (s *Session) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, pc := range s.conns {
+		if !pc.isClosed() {
+			n++
+		}
+	}
+	return n
+}
+
+// PathIDs lists the live path ids.
+func (s *Session) PathIDs() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, 0, len(s.conns))
+	for id, pc := range s.conns {
+		if !pc.isClosed() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// deriveJoinKey computes the session's JOIN authentication key from the
+// primary connection's exporter interface.
+func deriveJoinKey(tc *tls13.Conn, connID uint32) ([]byte, error) {
+	var ctx [4]byte
+	binary.BigEndian.PutUint32(ctx[:], connID)
+	return tc.ExportSecret("tcpls join", ctx[:], 32)
+}
+
+// joinBinder authenticates a cookie for a JOIN: an on-path observer of
+// the original handshake cannot compute it (§4.1's fix for MPTCP's
+// plaintext keys).
+func joinBinder(joinKey, cookie []byte) []byte {
+	m := hmac.New(sha256.New, joinKey)
+	m.Write([]byte("tcpls join binder"))
+	m.Write(cookie)
+	return m.Sum(nil)
+}
+
+func randomCookie() []byte {
+	c := make([]byte, record.CookieLen)
+	if _, err := rand.Read(c); err != nil {
+		panic("tcpls: rand: " + err.Error())
+	}
+	return c
+}
+
+// registerPath adds a ready pathConn to the session and starts its read
+// loop.
+func (s *Session) registerPath(pc *pathConn) {
+	s.mu.Lock()
+	if s.primary == nil {
+		s.primary = pc
+	}
+	s.conns[pc.id] = pc
+	s.mu.Unlock()
+	go pc.readLoop()
+	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
+		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
+	}
+}
+
+func (s *Session) allocPathID() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextPath++
+	return s.nextPath
+}
+
+// livePaths returns the live connections, primary first.
+func (s *Session) livePaths() []*pathConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*pathConn
+	if s.primary != nil && !s.primary.isClosed() {
+		out = append(out, s.primary)
+	}
+	for _, pc := range s.conns {
+		if pc != s.primary && !pc.isClosed() {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// Path returns a live path by id.
+func (s *Session) path(id uint32) *pathConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pc := s.conns[id]
+	if pc == nil || pc.isClosed() {
+		return nil
+	}
+	return pc
+}
+
+// Close terminates the session: a SessionClose control record tells the
+// peer this is a deliberate, authenticated termination (§2.1 "securely
+// terminate"), then every TCP connection closes.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if pc := s.primaryPath(); pc != nil {
+		pc.writeControl(record.SessionClose{})
+	}
+	s.teardown(nil)
+	return nil
+}
+
+func (s *Session) primaryPath() *pathConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.primary != nil && !s.primary.isClosed() {
+		return s.primary
+	}
+	for _, pc := range s.conns {
+		if !pc.isClosed() {
+			return pc
+		}
+	}
+	return nil
+}
+
+// teardown closes everything; err is the cause (nil for orderly close).
+func (s *Session) teardown(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeErr = err
+	conns := make([]*pathConn, 0, len(s.conns))
+	for _, pc := range s.conns {
+		conns = append(conns, pc)
+	}
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, pc := range conns {
+		pc.close(nil)
+	}
+	termErr := err
+	if termErr == nil {
+		termErr = ErrSessionClosed
+	}
+	for _, st := range streams {
+		st.terminate(termErr)
+	}
+	close(s.acceptCh)
+	s.closeOnce.Do(func() {
+		if cb := s.cfg.Callbacks.SessionClosed; cb != nil {
+			cb(err)
+		}
+	})
+}
+
+// Err returns the terminal session error, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErr
+}
+
+// Closed reports whether the session has terminated.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// waitForPath blocks until a live connection exists (returning it), the
+// session closes, or the (virtual) timeout expires.
+func (s *Session) waitForPath(d time.Duration) *pathConn {
+	deadline := time.Now().Add(s.cfg.Clock.ScaleDuration(d))
+	for time.Now().Before(deadline) {
+		if s.Closed() {
+			return nil
+		}
+		if pc := s.primaryPath(); pc != nil {
+			return pc
+		}
+		time.Sleep(s.cfg.Clock.ScaleDuration(2 * time.Millisecond))
+	}
+	return nil
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("tcpls session connid=%d conns=%d", s.ConnID(), s.NumConns())
+}

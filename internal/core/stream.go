@@ -1,0 +1,427 @@
+package core
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+)
+
+// Stream is one TCPLS datastream (§2.3): an ordered, reliable byte
+// stream with its own cryptographic context, multiplexed over the
+// session's TCP connections. Data carries TCPLS sequence numbers
+// (offsets), so it can be sprayed over several connections (multipath)
+// and replayed after a connection failure (failover) — the receiver
+// reorders and deduplicates by offset.
+type Stream struct {
+	id      uint32
+	session *Session
+	remote  bool // opened by the peer
+
+	mu        sync.Mutex
+	readCond  *sync.Cond
+	writeCond *sync.Cond
+
+	// Send side.
+	sendOffset uint64 // next offset to assign
+	ackedTo    uint64
+	unacked    []*record.StreamChunk // replay buffer (§2.1)
+	unackedLen int
+	finSent    bool
+	attached   *pathConn // preferred connection (ModeSinglePath)
+
+	// Receive side.
+	recvBuf      []byte
+	recvNext     uint64
+	ooo          []*record.StreamChunk
+	finalOffset  uint64
+	finKnown     bool
+	sinceLastAck uint64
+
+	err    error
+	closed bool
+}
+
+func newStream(s *Session, id uint32, remote bool) *Stream {
+	st := &Stream{id: id, session: s, remote: remote}
+	st.readCond = sync.NewCond(&st.mu)
+	st.writeCond = sync.NewCond(&st.mu)
+	return st
+}
+
+// ID returns the stream identifier.
+func (st *Stream) ID() uint32 { return st.id }
+
+// Remote reports whether the peer opened this stream.
+func (st *Stream) Remote() bool { return st.remote }
+
+// NewStream opens a stream (tcpls_stream_new).
+func (s *Session) NewStream() (*Stream, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	id := s.nextStreamID
+	s.nextStreamID += 2
+	st := newStream(s, id, false)
+	s.streams[id] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// AcceptStream waits for the peer to open a stream.
+func (s *Session) AcceptStream() (*Stream, error) {
+	st, ok := <-s.acceptCh
+	if !ok {
+		return nil, ErrSessionClosed
+	}
+	return st, nil
+}
+
+// Streams returns a snapshot of the session's streams.
+func (s *Session) Streams() []*Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// getOrCreateStream resolves inbound stream ids, creating peer-opened
+// streams and announcing them via AcceptStream/StreamOpened.
+func (s *Session) getOrCreateStream(id uint32, pc *pathConn) *Stream {
+	s.mu.Lock()
+	if st, ok := s.streams[id]; ok {
+		s.mu.Unlock()
+		return st
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	st := newStream(s, id, true)
+	st.attached = pc
+	s.streams[id] = st
+	s.mu.Unlock()
+	select {
+	case s.acceptCh <- st:
+	default:
+	}
+	if cb := s.cfg.Callbacks.StreamOpened; cb != nil {
+		cb(st)
+	}
+	return st
+}
+
+// Attach pins the stream to one of the session's TCP connections
+// (tcpls_streams_attach): in single-path mode, all its data flows there.
+func (st *Stream) Attach(pathID uint32) error {
+	pc := st.session.path(pathID)
+	if pc == nil {
+		return ErrNoConnection
+	}
+	st.mu.Lock()
+	st.attached = pc
+	st.mu.Unlock()
+	return nil
+}
+
+// AttachedPath returns the current attachment (0 if none).
+func (st *Stream) AttachedPath() uint32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.attached == nil {
+		return 0
+	}
+	return st.attached.id
+}
+
+// pickConn selects the connection for the next chunk.
+func (st *Stream) pickConn() *pathConn {
+	pc, _, _ := st.pickConnInfo()
+	return pc
+}
+
+// pickConnInfo selects the connection for the next chunk, also
+// reporting the free congestion-window estimate and whether the
+// transport is introspectable (aggregate pacing uses both).
+func (st *Stream) pickConnInfo() (*pathConn, int, bool) {
+	s := st.session
+	st.mu.Lock()
+	attached := st.attached
+	st.mu.Unlock()
+	if s.cfg.Mode == ModeSinglePath {
+		if attached != nil && !attached.isClosed() {
+			return attached, 0, false
+		}
+		pc := s.primaryPath()
+		if pc != nil {
+			st.mu.Lock()
+			st.attached = pc
+			st.mu.Unlock()
+		}
+		return pc, 0, false
+	}
+	// Aggregation: pick the live connection with the most free
+	// congestion window (cross-layer scheduling); fall back to the
+	// primary when nothing is introspectable.
+	var best *pathConn
+	bestFree := -1
+	introspectable := false
+	for _, pc := range s.livePaths() {
+		free := 0
+		if in := pc.introspector(); in != nil {
+			introspectable = true
+			cwnd, inflight, _ := in.CWndInfo()
+			free = cwnd - inflight
+		}
+		if free > bestFree {
+			best, bestFree = pc, free
+		}
+	}
+	return best, bestFree, introspectable
+}
+
+// Write implements io.Writer: data is chunked, sequenced, encrypted
+// under the stream's context and retained for replay until acked.
+func (st *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		st.mu.Lock()
+		for st.unackedLen >= replayBufferLimit && st.err == nil && !st.session.cfg.DisableAcks {
+			st.writeCond.Wait()
+		}
+		if st.err != nil {
+			err := st.err
+			st.mu.Unlock()
+			return total, err
+		}
+		if st.finSent || st.closed {
+			st.mu.Unlock()
+			return total, ErrSessionClosed
+		}
+		st.mu.Unlock()
+
+		pc, free, introspectable := st.pickConnInfo()
+		if pc == nil {
+			// Migration/failover gap: wait for the session to re-establish
+			// connectivity rather than failing the write — the paper's
+			// server "seamlessly switches the path while looping over
+			// tcpls_send" (§3.2).
+			pc = st.session.waitForPath(30 * time.Second)
+			if pc == nil {
+				return total, ErrNoConnection
+			}
+			continue
+		}
+		if st.session.cfg.Mode == ModeAggregate && introspectable && free < 1024 {
+			// Every path's window is full: writing now would block on one
+			// TCP connection's buffer and starve the others. Yield until
+			// acks open a window somewhere (cross-layer pacing).
+			time.Sleep(st.session.cfg.Clock.ScaleDuration(500 * time.Microsecond))
+			continue
+		}
+		n := min(len(p), pc.chunkSize())
+		st.mu.Lock()
+		chunk := &record.StreamChunk{
+			StreamID: st.id,
+			Offset:   st.sendOffset,
+			Data:     append([]byte(nil), p[:n]...),
+		}
+		st.sendOffset += uint64(n)
+		st.unacked = append(st.unacked, chunk)
+		st.unackedLen += n
+		st.mu.Unlock()
+
+		if err := pc.writeChunk(chunk); err != nil {
+			// The connection died mid-write: the chunk stays in the
+			// replay buffer, failover will resend it. Surface the error
+			// only if the whole session is done.
+			pc.handleDeath(err)
+			if st.session.Closed() {
+				return total, err
+			}
+		}
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Close half-closes the stream (tcpls_stream_close): a FIN chunk marks
+// the final offset; the peer reads io.EOF after consuming everything.
+// Closing the last stream attached to a connection is the paper's
+// mechanism for closing that connection (§2.1) — the session handles
+// that at the public-API layer.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.finSent {
+		st.mu.Unlock()
+		return nil
+	}
+	st.finSent = true
+	chunk := &record.StreamChunk{StreamID: st.id, Offset: st.sendOffset, Fin: true}
+	st.unacked = append(st.unacked, chunk)
+	st.mu.Unlock()
+	pc := st.pickConn()
+	if pc == nil {
+		pc = st.session.waitForPath(30 * time.Second)
+	}
+	if pc == nil {
+		return ErrNoConnection
+	}
+	if err := pc.writeChunk(chunk); err != nil {
+		pc.handleDeath(err)
+	}
+	return nil
+}
+
+// Read implements io.Reader with in-order delivery.
+func (st *Stream) Read(p []byte) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if len(st.recvBuf) > 0 {
+			n := copy(p, st.recvBuf)
+			st.recvBuf = st.recvBuf[n:]
+			return n, nil
+		}
+		if st.finKnown && st.recvNext >= st.finalOffset {
+			return 0, io.EOF
+		}
+		if st.err != nil {
+			return 0, st.err
+		}
+		st.readCond.Wait()
+	}
+}
+
+// deliver ingests one inbound chunk: trim duplicates, reorder, ack.
+func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk) {
+	st.mu.Lock()
+	if chunk.Fin && !st.finKnown {
+		st.finKnown = true
+		st.finalOffset = chunk.Offset + uint64(len(chunk.Data))
+	}
+	st.ingest(chunk)
+	st.sinceLastAck += uint64(len(chunk.Data))
+	needAck := !st.session.cfg.DisableAcks &&
+		(st.sinceLastAck >= ackInterval || (st.finKnown && st.recvNext >= st.finalOffset))
+	var ackOffset uint64
+	if needAck {
+		st.sinceLastAck = 0
+		ackOffset = st.recvNext
+	}
+	st.readCond.Broadcast()
+	st.mu.Unlock()
+	if needAck {
+		pc.writeControl(record.Ack{StreamID: st.id, Offset: ackOffset})
+	}
+}
+
+// ingest merges a chunk into the receive state. Caller holds st.mu.
+func (st *Stream) ingest(chunk *record.StreamChunk) {
+	data := chunk.Data
+	off := chunk.Offset
+	if off < st.recvNext {
+		skip := st.recvNext - off
+		if skip >= uint64(len(data)) {
+			return // complete duplicate (failover replay)
+		}
+		data = data[skip:]
+		off = st.recvNext
+	}
+	if off == st.recvNext {
+		st.recvBuf = append(st.recvBuf, data...)
+		st.recvNext += uint64(len(data))
+		st.drainOOO()
+		return
+	}
+	// Out of order: insert sorted by offset (multipath reordering).
+	c := &record.StreamChunk{StreamID: chunk.StreamID, Offset: off, Data: append([]byte(nil), data...)}
+	idx := sort.Search(len(st.ooo), func(i int) bool { return st.ooo[i].Offset >= off })
+	if idx < len(st.ooo) && st.ooo[idx].Offset == off && len(st.ooo[idx].Data) >= len(c.Data) {
+		return
+	}
+	st.ooo = append(st.ooo, nil)
+	copy(st.ooo[idx+1:], st.ooo[idx:])
+	st.ooo[idx] = c
+}
+
+// drainOOO pulls newly contiguous chunks into recvBuf. Caller holds st.mu.
+func (st *Stream) drainOOO() {
+	for len(st.ooo) > 0 {
+		c := st.ooo[0]
+		if c.Offset > st.recvNext {
+			return
+		}
+		st.ooo = st.ooo[1:]
+		data := c.Data
+		if skip := st.recvNext - c.Offset; skip < uint64(len(data)) {
+			st.recvBuf = append(st.recvBuf, data[skip:]...)
+			st.recvNext += uint64(len(data)) - skip
+		}
+	}
+}
+
+// handleAck trims the replay buffer below offset.
+func (st *Stream) handleAck(offset uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if offset <= st.ackedTo {
+		return
+	}
+	st.ackedTo = offset
+	out := st.unacked[:0]
+	for _, c := range st.unacked {
+		if c.Offset+uint64(len(c.Data)) <= offset && !c.Fin {
+			st.unackedLen -= len(c.Data)
+			continue
+		}
+		if c.Fin && offset >= c.Offset {
+			continue
+		}
+		out = append(out, c)
+	}
+	st.unacked = out
+	st.writeCond.Broadcast()
+}
+
+// replayUnacked resends the replay buffer on pc (failover, §2.1: "replay
+// the records that have been lost"; the receiver deduplicates).
+func (st *Stream) replayUnacked(pc *pathConn) {
+	st.mu.Lock()
+	chunks := append([]*record.StreamChunk(nil), st.unacked...)
+	st.attached = pc
+	st.mu.Unlock()
+	for _, c := range chunks {
+		if err := pc.writeChunk(c); err != nil {
+			return
+		}
+	}
+}
+
+// terminate fails the stream (session death).
+func (st *Stream) terminate(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.closed = true
+	st.readCond.Broadcast()
+	st.writeCond.Broadcast()
+	st.mu.Unlock()
+}
+
+// BytesUnacked reports the replay-buffer occupancy (introspection).
+func (st *Stream) BytesUnacked() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.unackedLen
+}

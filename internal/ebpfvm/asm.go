@@ -1,0 +1,376 @@
+package ebpfvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble turns a small textual assembly dialect into a verified
+// Program. One instruction per line; ';' and '#' start comments; labels
+// end with ':'. Registers are r0..r10. Examples:
+//
+//	mov   r0, 0            ; 64-bit ALU with immediate
+//	add   r0, r1           ; 64-bit ALU with register
+//	mov32 r2, 7            ; 32-bit ALU
+//	lddw  r1, 0x100000000  ; 64-bit immediate load (two slots)
+//	ldxdw r2, [r1+8]       ; r2 = *(u64*)(r1+8)
+//	stxw  [r1+16], r2      ; *(u32*)(r1+16) = r2
+//	stdw  [r10-8], 5       ; *(u64*)(r10-8) = 5
+//	jgt   r2, 100, done    ; conditional jump to label
+//	ja    done
+//	call  1                ; helper 1
+//
+// done:
+//
+//	exit
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		insn  int
+		label string
+		line  int
+	}
+	var insns []Instruction
+	labels := map[string]int{}
+	var fixups []pending
+
+	aluOps := map[string]uint8{
+		"add": opAdd, "sub": opSub, "mul": opMul, "div": opDiv,
+		"or": opOr, "and": opAnd, "lsh": opLsh, "rsh": opRsh,
+		"mod": opMod, "xor": opXor, "mov": opMov, "arsh": opArsh,
+	}
+	jmpOps := map[string]uint8{
+		"jeq": opJeq, "jne": opJne, "jgt": opJgt, "jge": opJge,
+		"jlt": opJlt, "jle": opJle, "jset": opJset,
+		"jsgt": opJsgt, "jsge": opJsge, "jslt": opJslt, "jsle": opJsle,
+	}
+	sizes := map[string]uint8{"b": sizeB, "h": sizeH, "w": sizeW, "dw": sizeDW}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("ebpfvm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(insns)
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		mnem := strings.ToLower(fields[0])
+		args := fields[1:]
+		errf := func(format string, a ...any) error {
+			return fmt.Errorf("ebpfvm: line %d: "+format, append([]any{lineNo + 1}, a...)...)
+		}
+
+		base := strings.TrimSuffix(mnem, "32")
+		is32 := strings.HasSuffix(mnem, "32")
+		cls := uint8(classALU64)
+		if is32 {
+			cls = classALU
+		}
+
+		switch {
+		case mnem == "exit":
+			insns = append(insns, Instruction{Op: classJMP | opExit})
+
+		case mnem == "call":
+			if len(args) != 1 {
+				return nil, errf("call needs one immediate")
+			}
+			imm, err := parseImm(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			insns = append(insns, Instruction{Op: classJMP | opCall, Imm: int32(imm)})
+
+		case mnem == "ja":
+			if len(args) != 1 {
+				return nil, errf("ja needs a label")
+			}
+			fixups = append(fixups, pending{len(insns), args[0], lineNo + 1})
+			insns = append(insns, Instruction{Op: classJMP | opJa})
+
+		case mnem == "neg" || mnem == "neg32":
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			insns = append(insns, Instruction{Op: cls | opNeg, Dst: dst})
+
+		case mnem == "lddw":
+			if len(args) != 2 {
+				return nil, errf("lddw needs register and immediate")
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(args[1], "+"), 0, 64)
+			if err != nil {
+				sv, serr := strconv.ParseInt(args[1], 0, 64)
+				if serr != nil {
+					return nil, errf("bad immediate %q", args[1])
+				}
+				v = uint64(sv)
+			}
+			insns = append(insns,
+				Instruction{Op: 0x18, Dst: dst, Imm: int32(uint32(v))},
+				Instruction{Imm: int32(uint32(v >> 32))})
+
+		case aluOps[base] != 0 || base == "add": // add maps to 0
+			op, ok := aluOps[base]
+			if !ok {
+				return nil, errf("unknown mnemonic %q", mnem)
+			}
+			if len(args) != 2 {
+				return nil, errf("%s needs two operands", mnem)
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if r, err := parseReg(args[1]); err == nil {
+				insns = append(insns, Instruction{Op: cls | op | srcX, Dst: dst, Src: r})
+			} else {
+				imm, err := parseImm(args[1])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				insns = append(insns, Instruction{Op: cls | op, Dst: dst, Imm: int32(imm)})
+			}
+
+		case strings.HasPrefix(mnem, "ldx"):
+			sz, ok := sizes[strings.TrimPrefix(mnem, "ldx")]
+			if !ok {
+				return nil, errf("unknown mnemonic %q", mnem)
+			}
+			if len(args) != 2 {
+				return nil, errf("%s needs register and [reg+off]", mnem)
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			src, off, err := parseMem(args[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			insns = append(insns, Instruction{Op: classLDX | sz | modeMEM, Dst: dst, Src: src, Off: off})
+
+		case strings.HasPrefix(mnem, "stx"):
+			sz, ok := sizes[strings.TrimPrefix(mnem, "stx")]
+			if !ok {
+				return nil, errf("unknown mnemonic %q", mnem)
+			}
+			dst, off, err := parseMem(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			src, err := parseReg(args[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			insns = append(insns, Instruction{Op: classSTX | sz | modeMEM, Dst: dst, Src: src, Off: off})
+
+		case strings.HasPrefix(mnem, "st"):
+			sz, ok := sizes[strings.TrimPrefix(mnem, "st")]
+			if !ok {
+				return nil, errf("unknown mnemonic %q", mnem)
+			}
+			dst, off, err := parseMem(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			imm, err := parseImm(args[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			insns = append(insns, Instruction{Op: classST | sz | modeMEM, Dst: dst, Off: off, Imm: int32(imm)})
+
+		case jmpOps[base] != 0:
+			op := jmpOps[base]
+			if len(args) != 3 {
+				return nil, errf("%s needs dst, operand, label", mnem)
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			in := Instruction{Op: classJMP | op, Dst: dst}
+			if r, err := parseReg(args[1]); err == nil {
+				in.Op |= srcX
+				in.Src = r
+			} else {
+				imm, err := parseImm(args[1])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				in.Imm = int32(imm)
+			}
+			fixups = append(fixups, pending{len(insns), args[2], lineNo + 1})
+			insns = append(insns, in)
+
+		default:
+			return nil, errf("unknown mnemonic %q", mnem)
+		}
+	}
+
+	for _, f := range fixups {
+		tgt, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("ebpfvm: line %d: undefined label %q", f.line, f.label)
+		}
+		insns[f.insn].Off = int16(tgt - f.insn - 1)
+	}
+	p := &Program{insns: insns}
+	if err := p.verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and builtins.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program one instruction per line.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i := 0; i < len(p.insns); i++ {
+		in := p.insns[i]
+		fmt.Fprintf(&b, "%4d: ", i)
+		cls := in.Op & 0x07
+		switch cls {
+		case classALU64, classALU:
+			name := aluName(in.Op & 0xf0)
+			if cls == classALU {
+				name += "32"
+			}
+			if in.Op&srcX != 0 {
+				fmt.Fprintf(&b, "%s r%d, r%d", name, in.Dst, in.Src)
+			} else {
+				fmt.Fprintf(&b, "%s r%d, %d", name, in.Dst, in.Imm)
+			}
+		case classJMP:
+			switch in.Op & 0xf0 {
+			case opExit:
+				b.WriteString("exit")
+			case opCall:
+				fmt.Fprintf(&b, "call %d", in.Imm)
+			case opJa:
+				fmt.Fprintf(&b, "ja %+d", in.Off)
+			default:
+				if in.Op&srcX != 0 {
+					fmt.Fprintf(&b, "%s r%d, r%d, %+d", jmpName(in.Op&0xf0), in.Dst, in.Src, in.Off)
+				} else {
+					fmt.Fprintf(&b, "%s r%d, %d, %+d", jmpName(in.Op&0xf0), in.Dst, in.Imm, in.Off)
+				}
+			}
+		case classLD:
+			var hi int32
+			if i+1 < len(p.insns) {
+				hi = p.insns[i+1].Imm
+			}
+			fmt.Fprintf(&b, "lddw r%d, %#x", in.Dst, uint64(uint32(in.Imm))|uint64(uint32(hi))<<32)
+			i++
+		case classLDX:
+			fmt.Fprintf(&b, "ldx%s r%d, [r%d%+d]", sizeName(in.Op), in.Dst, in.Src, in.Off)
+		case classSTX:
+			fmt.Fprintf(&b, "stx%s [r%d%+d], r%d", sizeName(in.Op), in.Dst, in.Off, in.Src)
+		case classST:
+			fmt.Fprintf(&b, "st%s [r%d%+d], %d", sizeName(in.Op), in.Dst, in.Off, in.Imm)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func aluName(op uint8) string {
+	names := map[uint8]string{
+		opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div",
+		opOr: "or", opAnd: "and", opLsh: "lsh", opRsh: "rsh",
+		opNeg: "neg", opMod: "mod", opXor: "xor", opMov: "mov", opArsh: "arsh",
+	}
+	return names[op]
+}
+
+func jmpName(op uint8) string {
+	names := map[uint8]string{
+		opJeq: "jeq", opJne: "jne", opJgt: "jgt", opJge: "jge",
+		opJlt: "jlt", opJle: "jle", opJset: "jset",
+		opJsgt: "jsgt", opJsge: "jsge", opJslt: "jslt", opJsle: "jsle",
+	}
+	return names[op]
+}
+
+func sizeName(op uint8) string {
+	switch op & 0x18 {
+	case sizeB:
+		return "b"
+	case sizeH:
+		return "h"
+	case sizeW:
+		return "w"
+	default:
+		return "dw"
+	}
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 10 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 1<<31-1 || v < -(1<<31) {
+		return 0, fmt.Errorf("immediate %q overflows 32 bits (use lddw)", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMem(s string) (uint8, int16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(inner[sep:], 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int16(off), nil
+}

@@ -1,0 +1,525 @@
+// Package ebpfvm implements a small eBPF virtual machine: the classic
+// 64-bit register machine (r0..r10, 512-byte stack) with the ALU, ALU32,
+// jump, memory and call instruction classes, a static verifier, a text
+// assembler/disassembler, and a helper-call mechanism.
+//
+// It reproduces the substrate behind §3(iii) and §4.3 of the TCPLS paper:
+// the server ships congestion-control logic as eBPF bytecode over the
+// encrypted channel and the client installs it into its TCP stack, so the
+// protocol's extensibility is "not frozen by a given TCPLS version". The
+// instruction encoding is the Linux one (8-byte instructions, LDDW taking
+// two slots), so programs are plain bytes that can cross the wire.
+package ebpfvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Instruction classes (low 3 bits of the opcode).
+const (
+	classLD    = 0x00
+	classLDX   = 0x01
+	classST    = 0x02
+	classSTX   = 0x03
+	classALU   = 0x04
+	classJMP   = 0x05
+	classALU64 = 0x07
+)
+
+// ALU/JMP operation codes (high 4 bits).
+const (
+	opAdd  = 0x00
+	opSub  = 0x10
+	opMul  = 0x20
+	opDiv  = 0x30
+	opOr   = 0x40
+	opAnd  = 0x50
+	opLsh  = 0x60
+	opRsh  = 0x70
+	opNeg  = 0x80
+	opMod  = 0x90
+	opXor  = 0xa0
+	opMov  = 0xb0
+	opArsh = 0xc0
+
+	opJa   = 0x00
+	opJeq  = 0x10
+	opJgt  = 0x20
+	opJge  = 0x30
+	opJset = 0x40
+	opJne  = 0x50
+	opJsgt = 0x60
+	opJsge = 0x70
+	opCall = 0x80
+	opExit = 0x90
+	opJlt  = 0xa0
+	opJle  = 0xb0
+	opJslt = 0xc0
+	opJsle = 0xd0
+)
+
+// Source bit: K uses the immediate, X uses the source register.
+const (
+	srcK = 0x00
+	srcX = 0x08
+)
+
+// Memory access sizes (bits 3-4 of load/store opcodes).
+const (
+	sizeW  = 0x00 // 4 bytes
+	sizeH  = 0x08 // 2 bytes
+	sizeB  = 0x10 // 1 byte
+	sizeDW = 0x18 // 8 bytes
+)
+
+// mode bits for LD class.
+const (
+	modeIMM = 0x00
+	modeMEM = 0x60
+)
+
+// InstructionSize is the encoded size of one instruction in bytes.
+const InstructionSize = 8
+
+// Instruction is one decoded eBPF instruction.
+type Instruction struct {
+	Op  uint8
+	Dst uint8
+	Src uint8
+	Off int16
+	Imm int32
+}
+
+// Program is a verified sequence of instructions.
+type Program struct {
+	insns []Instruction
+}
+
+// Errors reported by the VM and verifier.
+var (
+	ErrTooLong        = errors.New("ebpfvm: program too long")
+	ErrBadInstruction = errors.New("ebpfvm: invalid instruction")
+	ErrBadJump        = errors.New("ebpfvm: jump out of bounds")
+	ErrBadRegister    = errors.New("ebpfvm: invalid register")
+	ErrNoExit         = errors.New("ebpfvm: program does not end with exit")
+	ErrOOB            = errors.New("ebpfvm: memory access out of bounds")
+	ErrSteps          = errors.New("ebpfvm: instruction budget exhausted")
+	ErrUnknownHelper  = errors.New("ebpfvm: unknown helper")
+	ErrTruncated      = errors.New("ebpfvm: truncated bytecode")
+)
+
+// MaxInstructions bounds program length, like the kernel's limit.
+const MaxInstructions = 4096
+
+// MaxSteps bounds interpreted steps per run (runaway-loop protection; the
+// kernel instead proves termination, which is beyond verifier-lite).
+const MaxSteps = 100000
+
+// StackSize is the per-invocation stack below r10.
+const StackSize = 512
+
+// Memory layout: the context buffer occupies [CtxBase, CtxBase+len) and
+// the stack occupies [StackTop-StackSize, StackTop). r1 starts at CtxBase
+// and r10 at StackTop. These are virtual addresses private to the VM.
+const (
+	CtxBase  = 0x1000
+	StackTop = 0x8000_0000
+)
+
+// Helper is a function callable from bytecode via CALL imm.
+type Helper func(vm *VM, r1, r2, r3, r4, r5 uint64) uint64
+
+// VM executes verified programs against a context buffer.
+type VM struct {
+	helpers map[int32]Helper
+	stack   [StackSize]byte
+	ctx     []byte
+	steps   int
+}
+
+// New creates a VM with no helpers registered.
+func New() *VM {
+	return &VM{helpers: make(map[int32]Helper)}
+}
+
+// RegisterHelper makes fn callable as CALL id.
+func (vm *VM) RegisterHelper(id int32, fn Helper) { vm.helpers[id] = fn }
+
+// Ctx returns the context buffer of the current run (for helpers).
+func (vm *VM) Ctx() []byte { return vm.ctx }
+
+// Unmarshal decodes raw little-endian bytecode and verifies it.
+func Unmarshal(b []byte) (*Program, error) {
+	if len(b)%InstructionSize != 0 {
+		return nil, ErrTruncated
+	}
+	n := len(b) / InstructionSize
+	insns := make([]Instruction, n)
+	for i := 0; i < n; i++ {
+		o := b[i*InstructionSize:]
+		insns[i] = Instruction{
+			Op:  o[0],
+			Dst: o[1] & 0x0f,
+			Src: o[1] >> 4,
+			Off: int16(binary.LittleEndian.Uint16(o[2:])),
+			Imm: int32(binary.LittleEndian.Uint32(o[4:])),
+		}
+	}
+	p := &Program{insns: insns}
+	if err := p.verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Marshal encodes the program as little-endian bytecode.
+func (p *Program) Marshal() []byte {
+	b := make([]byte, len(p.insns)*InstructionSize)
+	for i, in := range p.insns {
+		o := b[i*InstructionSize:]
+		o[0] = in.Op
+		o[1] = in.Dst&0x0f | in.Src<<4
+		binary.LittleEndian.PutUint16(o[2:], uint16(in.Off))
+		binary.LittleEndian.PutUint32(o[4:], uint32(in.Imm))
+	}
+	return b
+}
+
+// Len returns the number of instructions (LDDW counts as two).
+func (p *Program) Len() int { return len(p.insns) }
+
+// Run executes the program. ctx is mapped at CtxBase and mutations are
+// visible to the caller. Returns r0.
+func (vm *VM) Run(p *Program, ctx []byte) (uint64, error) {
+	var r [11]uint64
+	r[1] = CtxBase
+	r[10] = StackTop
+	vm.ctx = ctx
+	vm.steps = 0
+	for i := range vm.stack {
+		vm.stack[i] = 0
+	}
+
+	pc := 0
+	for {
+		vm.steps++
+		if vm.steps > MaxSteps {
+			return 0, ErrSteps
+		}
+		if pc < 0 || pc >= len(p.insns) {
+			return 0, ErrBadJump
+		}
+		in := p.insns[pc]
+		cls := in.Op & 0x07
+		switch cls {
+		case classALU64, classALU:
+			is64 := cls == classALU64
+			var operand uint64
+			if in.Op&srcX != 0 {
+				operand = r[in.Src]
+			} else {
+				operand = uint64(int64(in.Imm))
+			}
+			res, err := aluOp(in.Op&0xf0, r[in.Dst], operand, is64)
+			if err != nil {
+				return 0, err
+			}
+			r[in.Dst] = res
+
+		case classJMP:
+			op := in.Op & 0xf0
+			switch op {
+			case opCall:
+				fn := vm.helpers[in.Imm]
+				if fn == nil {
+					return 0, fmt.Errorf("%w: %d", ErrUnknownHelper, in.Imm)
+				}
+				r[0] = fn(vm, r[1], r[2], r[3], r[4], r[5])
+			case opExit:
+				vm.ctx = nil
+				return r[0], nil
+			default:
+				var operand uint64
+				if in.Op&srcX != 0 {
+					operand = r[in.Src]
+				} else {
+					operand = uint64(int64(in.Imm))
+				}
+				if jumpTaken(op, r[in.Dst], operand) {
+					pc += int(in.Off)
+				}
+			}
+
+		case classLD: // LDDW only
+			if in.Op != 0x18 {
+				return 0, ErrBadInstruction
+			}
+			if pc+1 >= len(p.insns) {
+				return 0, ErrTruncated
+			}
+			next := p.insns[pc+1]
+			r[in.Dst] = uint64(uint32(in.Imm)) | uint64(uint32(next.Imm))<<32
+			pc++
+
+		case classLDX:
+			v, err := vm.load(r[in.Src]+uint64(int64(in.Off)), sizeOf(in.Op))
+			if err != nil {
+				return 0, err
+			}
+			r[in.Dst] = v
+
+		case classST, classSTX:
+			var v uint64
+			if cls == classSTX {
+				v = r[in.Src]
+			} else {
+				v = uint64(int64(in.Imm))
+			}
+			if err := vm.store(r[in.Dst]+uint64(int64(in.Off)), sizeOf(in.Op), v); err != nil {
+				return 0, err
+			}
+
+		default:
+			return 0, ErrBadInstruction
+		}
+		pc++
+	}
+}
+
+func aluOp(op uint8, dst, src uint64, is64 bool) (uint64, error) {
+	if !is64 {
+		dst, src = uint64(uint32(dst)), uint64(uint32(src))
+	}
+	var res uint64
+	switch op {
+	case opAdd:
+		res = dst + src
+	case opSub:
+		res = dst - src
+	case opMul:
+		res = dst * src
+	case opDiv:
+		// eBPF defines division by zero as zero.
+		if src == 0 {
+			res = 0
+		} else {
+			res = dst / src
+		}
+	case opMod:
+		if src == 0 {
+			res = dst
+		} else {
+			res = dst % src
+		}
+	case opOr:
+		res = dst | src
+	case opAnd:
+		res = dst & src
+	case opLsh:
+		res = dst << (src & 63)
+	case opRsh:
+		res = dst >> (src & 63)
+	case opNeg:
+		res = uint64(-int64(dst))
+	case opXor:
+		res = dst ^ src
+	case opMov:
+		res = src
+	case opArsh:
+		res = uint64(int64(dst) >> (src & 63))
+	default:
+		return 0, ErrBadInstruction
+	}
+	if !is64 {
+		res = uint64(uint32(res))
+	}
+	return res, nil
+}
+
+func jumpTaken(op uint8, dst, src uint64) bool {
+	switch op {
+	case opJa:
+		return true
+	case opJeq:
+		return dst == src
+	case opJne:
+		return dst != src
+	case opJgt:
+		return dst > src
+	case opJge:
+		return dst >= src
+	case opJlt:
+		return dst < src
+	case opJle:
+		return dst <= src
+	case opJset:
+		return dst&src != 0
+	case opJsgt:
+		return int64(dst) > int64(src)
+	case opJsge:
+		return int64(dst) >= int64(src)
+	case opJslt:
+		return int64(dst) < int64(src)
+	case opJsle:
+		return int64(dst) <= int64(src)
+	}
+	return false
+}
+
+func sizeOf(op uint8) int {
+	switch op & 0x18 {
+	case sizeB:
+		return 1
+	case sizeH:
+		return 2
+	case sizeW:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// resolve maps a virtual address to a concrete slice.
+func (vm *VM) resolve(addr uint64, n int) ([]byte, error) {
+	switch {
+	case addr >= CtxBase && addr+uint64(n) <= CtxBase+uint64(len(vm.ctx)):
+		off := addr - CtxBase
+		return vm.ctx[off : off+uint64(n)], nil
+	case addr >= StackTop-StackSize && addr+uint64(n) <= StackTop:
+		off := addr - (StackTop - StackSize)
+		return vm.stack[off : off+uint64(n)], nil
+	}
+	return nil, fmt.Errorf("%w: addr %#x len %d", ErrOOB, addr, n)
+}
+
+func (vm *VM) load(addr uint64, n int) (uint64, error) {
+	b, err := vm.resolve(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	switch n {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	default:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+}
+
+func (vm *VM) store(addr uint64, n int, v uint64) error {
+	b, err := vm.resolve(addr, n)
+	if err != nil {
+		return err
+	}
+	switch n {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+	return nil
+}
+
+// verify performs the static checks of verifier-lite: opcode validity,
+// register ranges, jump targets, LDDW pairing, and a terminating EXIT.
+// Unlike the kernel it does not prove termination; Run's step budget
+// bounds runaway loops instead.
+func (p *Program) verify() error {
+	if len(p.insns) > MaxInstructions {
+		return ErrTooLong
+	}
+	if len(p.insns) == 0 {
+		return ErrNoExit
+	}
+	// First pass: mark the second slots of LDDW pairs so forward jumps
+	// into them can be rejected in the main pass.
+	isLDDWHigh := make([]bool, len(p.insns))
+	for i := 0; i < len(p.insns); i++ {
+		if p.insns[i].Op == 0x18 {
+			if i+1 < len(p.insns) {
+				isLDDWHigh[i+1] = true
+			}
+			i++
+		}
+	}
+	sawExit := false
+	for i := 0; i < len(p.insns); i++ {
+		in := p.insns[i]
+		if in.Dst > 10 || in.Src > 10 {
+			return ErrBadRegister
+		}
+		cls := in.Op & 0x07
+		switch cls {
+		case classALU, classALU64:
+			switch in.Op & 0xf0 {
+			case opAdd, opSub, opMul, opDiv, opOr, opAnd, opLsh, opRsh,
+				opNeg, opMod, opXor, opMov, opArsh:
+			default:
+				return fmt.Errorf("%w: opcode %#x at %d", ErrBadInstruction, in.Op, i)
+			}
+			if in.Dst == 10 {
+				return fmt.Errorf("%w: write to r10 at %d", ErrBadRegister, i)
+			}
+		case classJMP:
+			op := in.Op & 0xf0
+			switch op {
+			case opCall, opExit:
+				if op == opExit {
+					sawExit = true
+				}
+			case opJa, opJeq, opJne, opJgt, opJge, opJlt, opJle, opJset,
+				opJsgt, opJsge, opJslt, opJsle:
+				tgt := i + 1 + int(in.Off)
+				if tgt < 0 || tgt >= len(p.insns) {
+					return fmt.Errorf("%w: insn %d -> %d", ErrBadJump, i, tgt)
+				}
+				if isLDDWHigh[tgt] {
+					return fmt.Errorf("%w: jump into LDDW at %d", ErrBadJump, tgt)
+				}
+			default:
+				return fmt.Errorf("%w: opcode %#x at %d", ErrBadInstruction, in.Op, i)
+			}
+		case classLD:
+			if in.Op != 0x18 {
+				return fmt.Errorf("%w: opcode %#x at %d", ErrBadInstruction, in.Op, i)
+			}
+			if i+1 >= len(p.insns) {
+				return ErrTruncated
+			}
+			if in.Dst == 10 {
+				return fmt.Errorf("%w: write to r10 at %d", ErrBadRegister, i)
+			}
+			i++
+		case classLDX:
+			if in.Op&0xe0 != modeMEM {
+				return fmt.Errorf("%w: opcode %#x at %d", ErrBadInstruction, in.Op, i)
+			}
+			if in.Dst == 10 {
+				return fmt.Errorf("%w: write to r10 at %d", ErrBadRegister, i)
+			}
+		case classST, classSTX:
+			if in.Op&0xe0 != modeMEM {
+				return fmt.Errorf("%w: opcode %#x at %d", ErrBadInstruction, in.Op, i)
+			}
+		default:
+			return fmt.Errorf("%w: class %#x at %d", ErrBadInstruction, cls, i)
+		}
+	}
+	if !sawExit {
+		return ErrNoExit
+	}
+	if last := p.insns[len(p.insns)-1]; last.Op&0x07 != classJMP ||
+		(last.Op&0xf0 != opExit && last.Op&0xf0 != opJa) {
+		return ErrNoExit
+	}
+	return nil
+}

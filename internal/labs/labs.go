@@ -1,0 +1,231 @@
+// Package labs provides the shared experiment harness used by the cmd/
+// binaries and the benchmark suite: canonical topologies (the paper's
+// dual-stack two-path testbed), server bootstrapping, and goodput
+// sampling for time-series output.
+package labs
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Canonical addresses of the dual-stack testbed.
+var (
+	ClientV4 = netip.MustParseAddr("10.0.0.1")
+	ServerV4 = netip.MustParseAddr("10.0.0.2")
+	ClientV6 = netip.MustParseAddr("fc00::1")
+	ServerV6 = netip.MustParseAddr("fc00::2")
+)
+
+// Port is the canonical server port.
+const Port = 443
+
+// Testbed is the paper's evaluation topology: a client and a server
+// joined by an IPv4-only path and an IPv6-only path (Figure 4 uses
+// 30 Mbps links with the lower delay on v4).
+type Testbed struct {
+	Net      *netsim.Network
+	LinkV4   *netsim.Link
+	LinkV6   *netsim.Link
+	Client   *tcpnet.Stack
+	Server   *tcpnet.Stack
+	Cert     *tls13.Certificate
+	Listener *core.Listener
+}
+
+// TestbedConfig parametrizes the topology.
+type TestbedConfig struct {
+	V4        netsim.LinkConfig
+	V6        netsim.LinkConfig
+	TimeScale float64
+	Seed      int64
+	Server    *core.Config // optional overrides (callbacks etc.)
+}
+
+// NewTestbed builds the topology and starts a TCPLS listener.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	opts := []netsim.Option{}
+	if cfg.TimeScale > 0 {
+		opts = append(opts, netsim.WithTimeScale(cfg.TimeScale))
+	}
+	if cfg.Seed != 0 {
+		opts = append(opts, netsim.WithSeed(cfg.Seed))
+	}
+	n := netsim.New(opts...)
+	ch, sh := n.Host("client"), n.Host("server")
+	if cfg.V4.Name == "" {
+		cfg.V4.Name = "v4"
+	}
+	if cfg.V6.Name == "" {
+		cfg.V6.Name = "v6"
+	}
+	l4 := n.AddLink(ch, sh, ClientV4, ServerV4, cfg.V4)
+	l6 := n.AddLink(ch, sh, ClientV6, ServerV6, cfg.V6)
+	cs := tcpnet.NewStack(ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{})
+	cert, err := tls13.GenerateSelfSigned("labs", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := ss.Listen(netip.Addr{}, Port)
+	if err != nil {
+		return nil, err
+	}
+	scfg := cfg.Server
+	if scfg == nil {
+		scfg = &core.Config{}
+	}
+	if scfg.TLS == nil {
+		scfg.TLS = &tls13.Config{}
+	}
+	scfg.TLS.Certificate = cert
+	scfg.Clock = n
+	if len(scfg.AdvertiseAddresses) == 0 {
+		scfg.AdvertiseAddresses = []netip.AddrPort{
+			netip.AddrPortFrom(ServerV4, Port),
+			netip.AddrPortFrom(ServerV6, Port),
+		}
+	}
+	return &Testbed{
+		Net:      n,
+		LinkV4:   l4,
+		LinkV6:   l6,
+		Client:   cs,
+		Server:   ss,
+		Cert:     cert,
+		Listener: core.NewListener(tl, scfg),
+	}, nil
+}
+
+// Close releases the testbed.
+func (tb *Testbed) Close() {
+	tb.Listener.Close()
+	tb.Client.Close()
+	tb.Server.Close()
+	tb.Net.Close()
+}
+
+// ConnectClient dials + handshakes a TCPLS session over v4 and returns
+// both session ends.
+func (tb *Testbed) ConnectClient(cfg *core.Config) (*core.Session, *core.Session, error) {
+	if cfg == nil {
+		cfg = &core.Config{}
+	}
+	if cfg.TLS == nil {
+		cfg.TLS = &tls13.Config{}
+	}
+	cfg.TLS.InsecureSkipVerify = true
+	cfg.Clock = tb.Net
+	cli := core.NewClient(cfg, tcpnet.Dialer{Stack: tb.Client})
+	type res struct {
+		s   *core.Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := tb.Listener.Accept()
+		ch <- res{s, err}
+	}()
+	if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, Port), 10*time.Second); err != nil {
+		return nil, nil, fmt.Errorf("connect: %w", err)
+	}
+	if err := cli.Handshake(); err != nil {
+		return nil, nil, fmt.Errorf("handshake: %w", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("accept: %w", r.err)
+	}
+	return cli, r.s, nil
+}
+
+// ServeDownload makes the server answer the first stream of each session
+// by streaming size bytes on a fresh stream — the Figure 4 workload.
+func ServeDownload(srv *core.Session, size int) {
+	go func() {
+		req, err := srv.AcceptStream()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, req)
+		down, err := srv.NewStream()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		sent := 0
+		for sent < size {
+			n := min(len(buf), size-sent)
+			if _, err := down.Write(buf[:n]); err != nil {
+				return
+			}
+			sent += n
+		}
+		down.Close()
+	}()
+}
+
+// GoodputSample is one point of a goodput time series.
+type GoodputSample struct {
+	Time    time.Duration // virtual time since the transfer started
+	Mbps    float64       // goodput over the sampling interval
+	Total   int64         // cumulative bytes
+	NumConn int           // live TCP connections at sample time
+}
+
+// SampleGoodput reads from r until EOF, emitting a sample every interval
+// of virtual time. The returned series is in virtual time.
+func SampleGoodput(net *netsim.Network, r io.Reader, interval time.Duration, onSample func(GoodputSample), session *core.Session) (int64, error) {
+	var total atomic.Int64
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			total.Add(int64(n))
+			if err == io.EOF {
+				done <- nil
+				return
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	tick := time.NewTicker(net.ScaleDuration(interval))
+	defer tick.Stop()
+	var last int64
+	lastT := time.Duration(0)
+	for {
+		select {
+		case err := <-done:
+			return total.Load(), err
+		case <-tick.C:
+			now := net.VirtualSince(start)
+			cur := total.Load()
+			dt := now - lastT
+			if dt <= 0 {
+				continue
+			}
+			mbps := float64(cur-last) * 8 / dt.Seconds() / 1e6
+			conns := 0
+			if session != nil {
+				conns = session.NumConns()
+			}
+			if onSample != nil {
+				onSample(GoodputSample{Time: now, Mbps: mbps, Total: cur, NumConn: conns})
+			}
+			last, lastT = cur, now
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package labs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+)
+
+func TestTestbedDownloadAndSampler(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{
+		V4:        netsim.LinkConfig{BandwidthBps: 50e6, Delay: 2 * time.Millisecond},
+		V6:        netsim.LinkConfig{Delay: 2 * time.Millisecond},
+		TimeScale: 0.5,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	cli, srv, err := tb.ConnectClient(&core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1 << 20
+	ServeDownload(srv, size)
+	req, _ := cli.NewStream()
+	req.Write([]byte("GET"))
+	req.Close()
+	down, err := cli.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	total, err := SampleGoodput(tb.Net, down, 50*time.Millisecond, func(s GoodputSample) {
+		samples++
+		if s.Mbps < 0 || s.Total < 0 {
+			t.Errorf("bad sample %+v", s)
+		}
+	}, cli)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if total != size {
+		t.Fatalf("downloaded %d of %d", total, size)
+	}
+	if samples == 0 {
+		t.Fatal("sampler produced no samples")
+	}
+}
+
+func TestTestbedConnectFailsCleanlyWhenDown(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{
+		V4: netsim.LinkConfig{Delay: time.Millisecond},
+		V6: netsim.LinkConfig{Delay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.LinkV4.SetDown(true)
+	tb.LinkV6.SetDown(true)
+	if _, _, err := tb.ConnectClient(&core.Config{}); err == nil {
+		t.Fatal("connect succeeded over dead links")
+	}
+}

@@ -1,0 +1,269 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// LinkConfig sets the characteristics of one point-to-point link. Both
+// directions share the same parameters.
+type LinkConfig struct {
+	// Name appears in traces; defaults to "a-b".
+	Name string
+	// BandwidthBps is the link rate in bits per second. 0 means infinite
+	// (no serialization delay).
+	BandwidthBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes bounds the drop-tail queue at the link entrance.
+	// 0 means a default of 100 full-size packets.
+	QueueBytes int
+	// Loss is the independent per-packet drop probability in [0,1).
+	Loss float64
+}
+
+// DefaultQueueBytes is the drop-tail queue bound when none is configured:
+// roughly 100 full-size packets, a common router default.
+const DefaultQueueBytes = 100 * 1500
+
+// Direction identifies which way a packet traverses a link.
+type Direction int
+
+// Link directions: AtoB flows from the first host passed to AddLink
+// toward the second.
+const (
+	AtoB Direction = iota
+	BtoA
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// Link is a full-duplex point-to-point link between two hosts.
+type Link struct {
+	cfg  LinkConfig
+	net  *Network
+	a, b *Host
+	ab   *linkDir // a -> b
+	ba   *linkDir // b -> a
+
+	mu      sync.Mutex
+	mboxes  []Middlebox
+	downABi bool // direction a->b administratively down
+	downBAi bool
+}
+
+// LinkEnd is one host's attachment to a link: transmitting on it sends
+// toward the peer host.
+type LinkEnd struct {
+	link *Link
+	dir  Direction
+}
+
+// linkDir carries state for one direction of the link. Delivery is
+// strictly FIFO: a dedicated goroutine drains the in-flight queue in
+// order, which matters because TCP interprets reordering as loss.
+type linkDir struct {
+	link *Link
+	dir  Direction
+	dst  *Host
+
+	mu       sync.Mutex
+	nextFree time.Time // when the transmitter finishes the current queue
+	inflight chan timedPacket
+}
+
+type timedPacket struct {
+	p         *wire.Packet
+	deliverAt time.Time
+}
+
+// drain delivers queued packets in order at their scheduled times.
+func (d *linkDir) drain(done <-chan struct{}) {
+	for {
+		select {
+		case tp := <-d.inflight:
+			if wait := time.Until(tp.deliverAt); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-done:
+					return
+				}
+			}
+			d.link.net.emit(TraceEvent{Kind: "recv", Host: d.dst.name, Packet: tp.p})
+			d.dst.deliver(tp.p)
+		case <-done:
+			return
+		}
+	}
+}
+
+// AddLink connects two hosts with a link, assigns addrA/addrB to the
+// respective hosts, and installs host routes so each host reaches the
+// peer's address (and its /24 or /64 neighborhood) through this link.
+func (n *Network) AddLink(a, b *Host, addrA, addrB netip.Addr, cfg LinkConfig) *Link {
+	if cfg.Name == "" {
+		cfg.Name = a.name + "-" + b.name
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	l := &Link{cfg: cfg, net: n, a: a, b: b}
+	l.ab = &linkDir{link: l, dir: AtoB, dst: b, inflight: make(chan timedPacket, 8192)}
+	l.ba = &linkDir{link: l, dir: BtoA, dst: a, inflight: make(chan timedPacket, 8192)}
+	go l.ab.drain(n.done)
+	go l.ba.drain(n.done)
+	a.AddAddr(addrA)
+	b.AddAddr(addrB)
+	bitsFor := func(ad netip.Addr) int {
+		if ad.Is4() {
+			return 24
+		}
+		return 64
+	}
+	pa, _ := addrA.Prefix(bitsFor(addrA))
+	pb, _ := addrB.Prefix(bitsFor(addrB))
+	a.AddRoute(pb, &LinkEnd{l, AtoB})
+	b.AddRoute(pa, &LinkEnd{l, BtoA})
+	n.mu.Lock()
+	n.links = append(n.links, l)
+	n.mu.Unlock()
+	return l
+}
+
+// Name returns the link's trace name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Use appends middleboxes to the link's processing chain. Every packet in
+// either direction passes through them in order.
+func (l *Link) Use(m ...Middlebox) *Link {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mboxes = append(l.mboxes, m...)
+	return l
+}
+
+// SetDown administratively disables or enables both directions of the
+// link: while down, every packet entering it is dropped. Used to emulate
+// the network outages behind the paper's failover scenarios.
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.downABi, l.downBAi = down, down
+}
+
+func (l *Link) isDown(dir Direction) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dir == AtoB {
+		return l.downABi
+	}
+	return l.downBAi
+}
+
+func (l *Link) middleboxes() []Middlebox {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Middlebox(nil), l.mboxes...)
+}
+
+// EndA returns the a-side attachment (transmits toward b). Useful when
+// installing extra routes by hand.
+func (l *Link) EndA() *LinkEnd { return &LinkEnd{l, AtoB} }
+
+// EndB returns the b-side attachment (transmits toward a).
+func (l *Link) EndB() *LinkEnd { return &LinkEnd{l, BtoA} }
+
+func (e *LinkEnd) transmit(p *wire.Packet) {
+	l := e.link
+	dirState := l.ab
+	if e.dir == BtoA {
+		dirState = l.ba
+	}
+	if l.isDown(e.dir) {
+		l.net.emit(TraceEvent{Kind: "drop-down", Link: l.cfg.Name, Packet: p})
+		return
+	}
+	// Middlebox chain. Forward-direction results continue down the link;
+	// reverse injections enter the opposite direction.
+	fwd := []*wire.Packet{p}
+	for _, m := range l.middleboxes() {
+		var next []*wire.Packet
+		for _, q := range fwd {
+			out, back := m.Process(q.Clone(), e.dir)
+			next = append(next, out...)
+			for _, bp := range back {
+				l.net.emit(TraceEvent{Kind: "inject", Link: l.cfg.Name, Packet: bp})
+				rev := l.ba
+				if e.dir == BtoA {
+					rev = l.ab
+				}
+				rev.enqueue(bp)
+			}
+			if len(out) == 0 {
+				l.net.emit(TraceEvent{Kind: "drop-mbox", Link: l.cfg.Name, Packet: q})
+			}
+		}
+		fwd = next
+	}
+	for _, q := range fwd {
+		dirState.enqueue(q)
+	}
+}
+
+// enqueue models the drop-tail queue plus the serialization and
+// propagation delays of the direction, then delivers to the peer host.
+func (d *linkDir) enqueue(p *wire.Packet) {
+	l := d.link
+	cfg := l.cfg
+	if cfg.Loss > 0 && l.net.lossDraw() < cfg.Loss {
+		l.net.emit(TraceEvent{Kind: "drop-loss", Link: cfg.Name, Packet: p})
+		return
+	}
+	size := p.Len()
+	var txTime time.Duration
+	if cfg.BandwidthBps > 0 {
+		txTime = time.Duration(float64(size*8) / cfg.BandwidthBps * float64(time.Second))
+	}
+
+	d.mu.Lock()
+	now := time.Now()
+	backlog := d.nextFree.Sub(now) // wall-clock time of traffic ahead of us
+	if backlog < 0 {
+		backlog = 0
+		d.nextFree = now
+	}
+	// Queue occupancy approximated by the backlog converted back to bytes:
+	// (virtual backlog seconds) * bandwidth / 8.
+	if cfg.BandwidthBps > 0 {
+		virtualBacklog := float64(backlog) / l.net.scale
+		queued := virtualBacklog / float64(time.Second) * cfg.BandwidthBps / 8
+		if int(queued) > cfg.QueueBytes {
+			d.mu.Unlock()
+			l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
+			return
+		}
+	}
+	d.nextFree = d.nextFree.Add(l.net.ScaleDuration(txTime))
+	departIn := d.nextFree.Sub(now)
+	d.mu.Unlock()
+
+	l.net.emit(TraceEvent{Kind: "send", Link: cfg.Name, Packet: p})
+	deliverAt := now.Add(departIn + l.net.ScaleDuration(cfg.Delay))
+	select {
+	case d.inflight <- timedPacket{p, deliverAt}:
+	default:
+		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
+	}
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// Middlebox rewrites, drops, or injects packets traversing a link. It is
+// invoked with a private clone of each packet; it returns the packets to
+// forward onward (empty slice drops the packet) and packets to inject in
+// the reverse direction (e.g. a forged RST toward the sender).
+//
+// These implementations reproduce the interference catalogued in the
+// TCPLS paper (§2.1, §4.5): option stripping [35], spurious resets
+// [24, 74], NATs, and transparently terminating proxies [76].
+type Middlebox interface {
+	Process(p *wire.Packet, dir Direction) (forward, reverse []*wire.Packet)
+}
+
+// MiddleboxFunc adapts a function to the Middlebox interface.
+type MiddleboxFunc func(p *wire.Packet, dir Direction) (forward, reverse []*wire.Packet)
+
+// Process implements Middlebox.
+func (f MiddleboxFunc) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	return f(p, dir)
+}
+
+// parseTCP decodes the TCP segment in p, returning nil for non-TCP or
+// malformed packets (which middleboxes pass through untouched).
+func parseTCP(p *wire.Packet) *wire.Segment {
+	if p.Proto != wire.ProtoTCP {
+		return nil
+	}
+	seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, false)
+	if err != nil {
+		return nil
+	}
+	return seg
+}
+
+// reserialize writes seg back into p, recomputing the checksum.
+func reserialize(p *wire.Packet, seg *wire.Segment) *wire.Packet {
+	b, err := seg.Marshal(p.Src, p.Dst)
+	if err != nil {
+		// Options no longer fit; forward the original unmodified rather
+		// than blackholing (matches how buggy middleboxes fail "open").
+		return p
+	}
+	p.Payload = b
+	return p
+}
+
+// OptionStripper removes the listed TCP option kinds from every segment —
+// the classic enterprise/cellular middlebox behaviour that motivates
+// moving options into the encrypted channel (§2.1, [35]).
+type OptionStripper struct {
+	// Kinds lists the TCP option kinds to remove.
+	Kinds []uint8
+
+	mu       sync.Mutex
+	stripped int
+}
+
+// Process implements Middlebox.
+func (s *OptionStripper) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil {
+		return []*wire.Packet{p}, nil
+	}
+	before := len(seg.Options)
+	seg.Options = wire.StripOptions(seg.Options, s.Kinds...)
+	if len(seg.Options) == before {
+		return []*wire.Packet{p}, nil
+	}
+	s.mu.Lock()
+	s.stripped += before - len(seg.Options)
+	s.mu.Unlock()
+	return []*wire.Packet{reserialize(p, seg)}, nil
+}
+
+// Stripped reports how many options the middlebox has removed.
+func (s *OptionStripper) Stripped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stripped
+}
+
+// RSTInjector forges a TCP reset toward the receiver (and optionally the
+// sender) after a configurable number of data-bearing segments, emulating
+// the middleboxes that "force the termination of TCP connections by
+// sending RST packets" (§2.1, [24, 74]). The original segment is still
+// forwarded: the reset is spurious.
+type RSTInjector struct {
+	// AfterSegments counts data-bearing segments before the reset fires.
+	AfterSegments int
+	// BothDirections also forges a reset toward the sender.
+	BothDirections bool
+	// Once fires a single reset and then goes quiet; otherwise it resets
+	// again every AfterSegments segments.
+	Once bool
+
+	mu    sync.Mutex
+	seen  int
+	fired int
+}
+
+// Process implements Middlebox.
+func (r *RSTInjector) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 {
+		return []*wire.Packet{p}, nil
+	}
+	r.mu.Lock()
+	r.seen++
+	fire := r.seen >= r.AfterSegments && (!r.Once || r.fired == 0)
+	if fire {
+		r.fired++
+		r.seen = 0
+	}
+	r.mu.Unlock()
+	if !fire {
+		return []*wire.Packet{p}, nil
+	}
+	fwdRST := forgeRST(p, seg, false)
+	out := []*wire.Packet{p, fwdRST}
+	var back []*wire.Packet
+	if r.BothDirections {
+		back = append(back, forgeRST(p, seg, true))
+	}
+	return out, back
+}
+
+// Fired reports how many resets have been injected.
+func (r *RSTInjector) Fired() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired
+}
+
+// forgeRST builds a reset that the victim will accept: sequence numbers
+// are taken from the observed segment, exactly as an on-path attacker
+// would.
+func forgeRST(p *wire.Packet, seg *wire.Segment, towardSender bool) *wire.Packet {
+	rst := &wire.Segment{Flags: wire.FlagRST | wire.FlagACK}
+	q := &wire.Packet{Proto: wire.ProtoTCP, TTL: 64}
+	if towardSender {
+		q.Src, q.Dst = p.Dst, p.Src
+		rst.SrcPort, rst.DstPort = seg.DstPort, seg.SrcPort
+		rst.Seq = seg.Ack
+		rst.Ack = seg.Seq + uint32(len(seg.Payload))
+	} else {
+		q.Src, q.Dst = p.Src, p.Dst
+		rst.SrcPort, rst.DstPort = seg.SrcPort, seg.DstPort
+		// The victim will have consumed the payload by the time the reset
+		// arrives (the link is FIFO), so aim at its next expected seq.
+		rst.Seq = seg.Seq + uint32(len(seg.Payload))
+		rst.Ack = seg.Ack
+	}
+	b, _ := rst.Marshal(q.Src, q.Dst)
+	q.Payload = b
+	return q
+}
+
+// NAT rewrites the source address of packets flowing in the configured
+// direction to a public address, and reverses the mapping for return
+// traffic, recomputing checksums. Like real NATs it breaks any protocol
+// that authenticates addresses in cleartext — but not TCPLS's encrypted
+// control channel.
+type NAT struct {
+	// Inside is the private address to translate.
+	Inside netip.Addr
+	// Outside is the public address presented to the far side.
+	Outside netip.Addr
+	// Dir is the inside-to-outside direction on the link.
+	Dir Direction
+}
+
+// Process implements Middlebox.
+func (n *NAT) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	if dir == n.Dir && p.Src == n.Inside {
+		p.Src = n.Outside
+		if seg := parseTCP(p); seg != nil {
+			p = reserialize(p, seg) // checksum covers the pseudo-header
+		}
+	} else if dir != n.Dir && p.Dst == n.Outside {
+		p.Dst = n.Inside
+		if seg := parseTCP(p); seg != nil {
+			p = reserialize(p, seg)
+		}
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// Mangler flips bits in TCP payloads with the given probability — a
+// corrupting path that checksums (and AEAD tags above) must catch.
+type Mangler struct {
+	// EveryN corrupts one byte in every Nth data segment.
+	EveryN int
+
+	mu   sync.Mutex
+	seen int
+}
+
+// Process implements Middlebox.
+func (m *Mangler) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 {
+		return []*wire.Packet{p}, nil
+	}
+	m.mu.Lock()
+	m.seen++
+	corrupt := m.EveryN > 0 && m.seen%m.EveryN == 0
+	m.mu.Unlock()
+	if corrupt {
+		// Flip a payload bit but fix the TCP checksum, emulating a
+		// middlebox that rewrites payloads "helpfully": only the
+		// cryptographic layer can detect it.
+		seg.Payload[len(seg.Payload)/2] ^= 0x01
+		p = reserialize(p, seg)
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// SYNOptionEcho records the TCP options seen on SYN segments, emulating
+// the measurement view a middlebox detector needs (§4.5): tests compare
+// what the sender put on the wire with what arrived.
+type SYNOptionEcho struct {
+	mu   sync.Mutex
+	last []wire.Option
+}
+
+// Process implements Middlebox.
+func (s *SYNOptionEcho) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	if seg := parseTCP(p); seg != nil && seg.Flags.Has(wire.FlagSYN) {
+		s.mu.Lock()
+		s.last = append([]wire.Option(nil), seg.Options...)
+		s.mu.Unlock()
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// LastSYNOptions returns the options on the most recent SYN observed.
+func (s *SYNOptionEcho) LastSYNOptions() []wire.Option {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]wire.Option(nil), s.last...)
+}

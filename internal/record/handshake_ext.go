@@ -1,0 +1,194 @@
+package record
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// This file encodes the TCPLS handshake-extension payloads of Figure 2:
+// the client's transport parameter in the ClientHello (willingness to
+// use TCPLS, or a JOIN proof on additional connections), and the
+// server's EncryptedExtensions payload (CONNID, one-time cookies
+// α0..αn, and the server's addresses — e.g. a dual-stack server
+// advertising its IPv6 address over IPv4, §2.2).
+
+// Version is the TCPLS protocol version advertised in the extension.
+const Version uint8 = 1
+
+// CookieLen is the length of the one-time JOIN cookies ("random
+// 128-bits bitstrings sent as Encrypted Extensions", §4.1).
+const CookieLen = 16
+
+// Hello kinds.
+const (
+	helloKindNew  uint8 = 0
+	helloKindJoin uint8 = 1
+)
+
+// ClientHelloTCPLS is the client's TCPLS extension payload.
+type ClientHelloTCPLS struct {
+	Version uint8
+	// Multipath advertises willingness to aggregate bandwidth across
+	// TCP connections.
+	Multipath bool
+	// Join is non-nil on additional-connection handshakes (Figure 2).
+	Join *JoinRequest
+}
+
+// JoinRequest attaches a new TCP connection to an existing session.
+type JoinRequest struct {
+	// ConnID is the session identifier the server handed out.
+	ConnID uint32
+	// Cookie is one of the server's one-time cookies.
+	Cookie []byte
+	// Binder authenticates the join: HMAC over the cookie keyed by a
+	// secret derived from the session (a middlebox that saw the
+	// original handshake cannot forge it — fixing the Multipath TCP
+	// weakness of §4.1).
+	Binder []byte
+}
+
+// Encode serializes the ClientHello payload.
+func (h *ClientHelloTCPLS) Encode() []byte {
+	b := []byte{h.Version}
+	flags := uint8(0)
+	if h.Multipath {
+		flags |= 1
+	}
+	b = append(b, flags)
+	if h.Join == nil {
+		return append(b, helloKindNew)
+	}
+	b = append(b, helloKindJoin)
+	b = binary.BigEndian.AppendUint32(b, h.Join.ConnID)
+	b = append(b, byte(len(h.Join.Cookie)))
+	b = append(b, h.Join.Cookie...)
+	b = append(b, byte(len(h.Join.Binder)))
+	b = append(b, h.Join.Binder...)
+	return b
+}
+
+// DecodeClientHelloTCPLS parses the ClientHello payload.
+func DecodeClientHelloTCPLS(b []byte) (*ClientHelloTCPLS, error) {
+	if len(b) < 3 {
+		return nil, ErrBadFrame
+	}
+	h := &ClientHelloTCPLS{Version: b[0], Multipath: b[1]&1 != 0}
+	kind := b[2]
+	rest := b[3:]
+	if kind == helloKindNew {
+		if len(rest) != 0 {
+			return nil, ErrBadFrame
+		}
+		return h, nil
+	}
+	if kind != helloKindJoin || len(rest) < 5 {
+		return nil, ErrBadFrame
+	}
+	j := &JoinRequest{ConnID: binary.BigEndian.Uint32(rest)}
+	rest = rest[4:]
+	n := int(rest[0])
+	if len(rest) < 1+n+1 {
+		return nil, ErrBadFrame
+	}
+	j.Cookie = rest[1 : 1+n]
+	rest = rest[1+n:]
+	m := int(rest[0])
+	if len(rest) != 1+m {
+		return nil, ErrBadFrame
+	}
+	j.Binder = rest[1:]
+	h.Join = j
+	return h, nil
+}
+
+// Advertisement is one server address in the EE payload.
+type Advertisement struct {
+	Addr    netip.Addr
+	Port    uint16
+	Primary bool
+}
+
+// ServerTCPLS is the server's EncryptedExtensions payload: everything
+// the ServerHello+TCPLS(α0..αn) arrow of Figure 2 carries.
+type ServerTCPLS struct {
+	Version uint8
+	// ConnID uniquely identifies this TCPLS session on the server.
+	ConnID uint32
+	// Cookies are one-time tokens for future JOINs.
+	Cookies [][]byte
+	// Addresses advertises the server's other endpoints (§2.2).
+	Addresses []Advertisement
+	// Multipath acknowledges the client's multipath request.
+	Multipath bool
+}
+
+// Encode serializes the EE payload.
+func (s *ServerTCPLS) Encode() []byte {
+	b := []byte{s.Version}
+	flags := uint8(0)
+	if s.Multipath {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, s.ConnID)
+	b = append(b, byte(len(s.Cookies)))
+	for _, c := range s.Cookies {
+		b = append(b, byte(len(c)))
+		b = append(b, c...)
+	}
+	b = append(b, byte(len(s.Addresses)))
+	for _, a := range s.Addresses {
+		b = appendAddr(b, a.Addr)
+		b = binary.BigEndian.AppendUint16(b, a.Port)
+		if a.Primary {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeServerTCPLS parses the EE payload.
+func DecodeServerTCPLS(b []byte) (*ServerTCPLS, error) {
+	if len(b) < 7 {
+		return nil, ErrBadFrame
+	}
+	s := &ServerTCPLS{Version: b[0], Multipath: b[1]&1 != 0, ConnID: binary.BigEndian.Uint32(b[2:])}
+	rest := b[6:]
+	nCookies := int(rest[0])
+	rest = rest[1:]
+	for i := 0; i < nCookies; i++ {
+		if len(rest) < 1 {
+			return nil, ErrBadFrame
+		}
+		n := int(rest[0])
+		if len(rest) < 1+n {
+			return nil, ErrBadFrame
+		}
+		s.Cookies = append(s.Cookies, rest[1:1+n])
+		rest = rest[1+n:]
+	}
+	if len(rest) < 1 {
+		return nil, ErrBadFrame
+	}
+	nAddrs := int(rest[0])
+	rest = rest[1:]
+	for i := 0; i < nAddrs; i++ {
+		addr, r, ok := parseAddr(rest)
+		if !ok || len(r) < 3 {
+			return nil, ErrBadFrame
+		}
+		s.Addresses = append(s.Addresses, Advertisement{
+			Addr:    addr,
+			Port:    binary.BigEndian.Uint16(r),
+			Primary: r[2] == 1,
+		})
+		rest = r[3:]
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadFrame
+	}
+	return s, nil
+}

@@ -1,0 +1,408 @@
+// Package record implements TCPLS's record semantics on top of the TLS
+// 1.3 record layer: the hidden "true type" (TType) of Figure 1, the
+// control-channel frames that ride it (TCP options, TCPLS acks, address
+// advertisement, eBPF programs, stream and session control), and the
+// codecs for the TCPLS handshake-extension payloads of Figure 2.
+//
+// Figure 1's trick: every TCPLS record travels as an ordinary TLS
+// application-data record — outer content type 23, inner content type 23
+// — and the REAL type is one encrypted byte at the very end of the
+// payload. A middlebox (or a censor fingerprinting message types) sees
+// nothing but application data; the paper calls this "a reasonable
+// approach to designing extensibility mechanisms in today's Internet".
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// TType is the true TCPLS record type, hidden at the end of the
+// encrypted payload (Figure 1).
+type TType uint8
+
+// TCPLS record types.
+const (
+	// TTypeAppData is ordinary application data on the default context.
+	TTypeAppData TType = 0
+	// TTypeControl carries a batch of control frames.
+	TTypeControl TType = 1
+	// TTypeStreamData carries one stream-data chunk with its TCPLS
+	// sequence number (multipath reordering + failover replay, §2.1).
+	TTypeStreamData TType = 2
+	// TTypeTCPOption carries one TCP option through the encrypted
+	// channel (§3.1, the record Figure 1 depicts).
+	TTypeTCPOption TType = 3
+)
+
+// Errors.
+var (
+	ErrEmpty    = errors.New("record: empty TCPLS record")
+	ErrBadFrame = errors.New("record: malformed frame")
+)
+
+// Encode appends the TType trailer to payload, producing the plaintext
+// handed to the TLS record protection.
+func Encode(t TType, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, payload...)
+	return append(out, byte(t))
+}
+
+// Decode splits a decrypted TLS record payload into TType and content.
+func Decode(plaintext []byte) (TType, []byte, error) {
+	if len(plaintext) == 0 {
+		return 0, nil, ErrEmpty
+	}
+	return TType(plaintext[len(plaintext)-1]), plaintext[:len(plaintext)-1], nil
+}
+
+// --- stream data records ---
+
+// StreamHeaderLen is the fixed stream-data header size.
+const StreamHeaderLen = 4 + 8 + 1
+
+// StreamChunk is one stream-data record body.
+type StreamChunk struct {
+	StreamID uint32
+	// Offset is the TCPLS sequence number: the byte offset of Data in
+	// the stream. It lets the receiver reorder across TCP connections
+	// (multipath) and deduplicate replays (failover).
+	Offset uint64
+	// Fin marks the end of the stream; Data may be empty.
+	Fin  bool
+	Data []byte
+}
+
+// EncodeStreamChunk builds the full TCPLS plaintext for a chunk.
+func EncodeStreamChunk(c *StreamChunk) []byte {
+	out := make([]byte, StreamHeaderLen, StreamHeaderLen+len(c.Data)+1)
+	binary.BigEndian.PutUint32(out[0:], c.StreamID)
+	binary.BigEndian.PutUint64(out[4:], c.Offset)
+	if c.Fin {
+		out[12] = 1
+	}
+	out = append(out, c.Data...)
+	return append(out, byte(TTypeStreamData))
+}
+
+// DecodeStreamChunk parses a stream-data record content (without TType).
+func DecodeStreamChunk(b []byte) (*StreamChunk, error) {
+	if len(b) < StreamHeaderLen {
+		return nil, ErrBadFrame
+	}
+	return &StreamChunk{
+		StreamID: binary.BigEndian.Uint32(b[0:]),
+		Offset:   binary.BigEndian.Uint64(b[4:]),
+		Fin:      b[12] == 1,
+		Data:     b[StreamHeaderLen:],
+	}, nil
+}
+
+// --- TCP option records (§3.1, Figure 1) ---
+
+// TCPOption is a TCP option shipped over the secure channel. Unlike the
+// 40-byte cleartext header, the record can carry options of any size,
+// and middleboxes cannot see or strip them.
+type TCPOption struct {
+	Kind uint8
+	Data []byte
+}
+
+// EncodeTCPOption builds the full TCPLS plaintext for a TCP option
+// record — the exact record Figure 1 shows for User Timeout.
+func EncodeTCPOption(o *TCPOption) []byte {
+	out := make([]byte, 0, 3+len(o.Data)+1)
+	out = append(out, o.Kind)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(o.Data)))
+	out = append(out, o.Data...)
+	return append(out, byte(TTypeTCPOption))
+}
+
+// DecodeTCPOption parses a TCP option record content.
+func DecodeTCPOption(b []byte) (*TCPOption, error) {
+	if len(b) < 3 {
+		return nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	if len(b) != 3+n {
+		return nil, ErrBadFrame
+	}
+	return &TCPOption{Kind: b[0], Data: b[3:]}, nil
+}
+
+// UserTimeoutOption builds the RFC 5482 option for the secure channel.
+func UserTimeoutOption(d time.Duration) *TCPOption {
+	o := wire.UserTimeoutOption(d)
+	return &TCPOption{Kind: o.Kind, Data: o.Data}
+}
+
+// UserTimeout decodes an RFC 5482 user-timeout option.
+func (o *TCPOption) UserTimeout() (time.Duration, bool) {
+	w := wire.Option{Kind: o.Kind, Data: o.Data}
+	return w.UserTimeout()
+}
+
+// --- control frames ---
+
+// FrameType identifies a control frame.
+type FrameType uint8
+
+// Control frame types.
+const (
+	FramePing FrameType = iota + 1
+	FramePong
+	FrameAck           // cumulative TCPLS ack for one stream
+	FrameStreamOpen    // sender will use this stream id
+	FrameStreamClose   // no more data after FinalOffset
+	FrameAddAddress    // advertise an address (the paper's §2.2 example)
+	FrameRemoveAddress // withdraw an address
+	FrameBPFCC         // eBPF congestion-control program (§3(iii))
+	FrameSessionClose  // secure session termination (§2.1)
+	FrameConnClose     // orderly close of one TCP connection
+)
+
+// Frame is one control frame.
+type Frame interface {
+	frameType() FrameType
+	encodeBody(b []byte) []byte
+}
+
+// Ping elicits a Pong (used for path liveness probing).
+type Ping struct{}
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// Ack acknowledges contiguous stream bytes below Offset, enabling the
+// sender to drop its replay buffer (§2.1 failover).
+type Ack struct {
+	StreamID uint32
+	Offset   uint64
+}
+
+// StreamOpen announces a stream id before first data.
+type StreamOpen struct {
+	StreamID uint32
+}
+
+// StreamClose announces the final offset of a stream.
+type StreamClose struct {
+	StreamID    uint32
+	FinalOffset uint64
+}
+
+// AddAddress advertises an endpoint address over the encrypted channel —
+// the dual-stack server advertising its IPv6 address of §2.2, and the
+// encrypted ADD_ADDR of §4.1.
+type AddAddress struct {
+	Addr    netip.Addr
+	Port    uint16
+	Primary bool
+}
+
+// RemoveAddress withdraws an advertised address.
+type RemoveAddress struct {
+	Addr netip.Addr
+}
+
+// BPFCC carries an eBPF congestion-control program (§3(iii), §4.3).
+type BPFCC struct {
+	Name     string
+	Bytecode []byte
+}
+
+// SessionClose terminates the whole TCPLS session securely: unlike a
+// cleartext FIN or RST it cannot be forged by a middlebox.
+type SessionClose struct{}
+
+// ConnClose asks the peer to tear down one TCP connection gracefully
+// (used during application-level migration, §3.2).
+type ConnClose struct {
+	ConnID uint32
+}
+
+func (Ping) frameType() FrameType          { return FramePing }
+func (Pong) frameType() FrameType          { return FramePong }
+func (Ack) frameType() FrameType           { return FrameAck }
+func (StreamOpen) frameType() FrameType    { return FrameStreamOpen }
+func (StreamClose) frameType() FrameType   { return FrameStreamClose }
+func (AddAddress) frameType() FrameType    { return FrameAddAddress }
+func (RemoveAddress) frameType() FrameType { return FrameRemoveAddress }
+func (BPFCC) frameType() FrameType         { return FrameBPFCC }
+func (SessionClose) frameType() FrameType  { return FrameSessionClose }
+func (ConnClose) frameType() FrameType     { return FrameConnClose }
+
+func (Ping) encodeBody(b []byte) []byte { return b }
+func (Pong) encodeBody(b []byte) []byte { return b }
+
+func (f Ack) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, f.StreamID)
+	return binary.BigEndian.AppendUint64(b, f.Offset)
+}
+
+func (f StreamOpen) encodeBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, f.StreamID)
+}
+
+func (f StreamClose) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, f.StreamID)
+	return binary.BigEndian.AppendUint64(b, f.FinalOffset)
+}
+
+func appendAddr(b []byte, a netip.Addr) []byte {
+	if a.Is4() {
+		b = append(b, 4)
+		v := a.As4()
+		return append(b, v[:]...)
+	}
+	b = append(b, 6)
+	v := a.As16()
+	return append(b, v[:]...)
+}
+
+func parseAddr(b []byte) (netip.Addr, []byte, bool) {
+	if len(b) < 1 {
+		return netip.Addr{}, nil, false
+	}
+	switch b[0] {
+	case 4:
+		if len(b) < 5 {
+			return netip.Addr{}, nil, false
+		}
+		return netip.AddrFrom4([4]byte(b[1:5])), b[5:], true
+	case 6:
+		if len(b) < 17 {
+			return netip.Addr{}, nil, false
+		}
+		return netip.AddrFrom16([16]byte(b[1:17])), b[17:], true
+	}
+	return netip.Addr{}, nil, false
+}
+
+func (f AddAddress) encodeBody(b []byte) []byte {
+	b = appendAddr(b, f.Addr)
+	b = binary.BigEndian.AppendUint16(b, f.Port)
+	if f.Primary {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func (f RemoveAddress) encodeBody(b []byte) []byte {
+	return appendAddr(b, f.Addr)
+}
+
+func (f BPFCC) encodeBody(b []byte) []byte {
+	b = append(b, byte(len(f.Name)))
+	b = append(b, f.Name...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Bytecode)))
+	return append(b, f.Bytecode...)
+}
+
+func (SessionClose) encodeBody(b []byte) []byte { return b }
+
+func (f ConnClose) encodeBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, f.ConnID)
+}
+
+// EncodeControl packs frames into one control-record plaintext
+// (including the TType trailer).
+func EncodeControl(frames ...Frame) []byte {
+	var b []byte
+	for _, f := range frames {
+		b = append(b, byte(f.frameType()))
+		body := f.encodeBody(nil)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(body)))
+		b = append(b, body...)
+	}
+	return append(b, byte(TTypeControl))
+}
+
+// DecodeControl parses a control-record content (without TType) into
+// frames.
+func DecodeControl(b []byte) ([]Frame, error) {
+	var frames []Frame
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, ErrBadFrame
+		}
+		ft := FrameType(b[0])
+		n := int(binary.BigEndian.Uint16(b[1:]))
+		if len(b) < 3+n {
+			return nil, ErrBadFrame
+		}
+		body := b[3 : 3+n]
+		b = b[3+n:]
+		f, err := decodeFrame(ft, body)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+func decodeFrame(ft FrameType, body []byte) (Frame, error) {
+	switch ft {
+	case FramePing:
+		return Ping{}, nil
+	case FramePong:
+		return Pong{}, nil
+	case FrameAck:
+		if len(body) != 12 {
+			return nil, ErrBadFrame
+		}
+		return Ack{binary.BigEndian.Uint32(body), binary.BigEndian.Uint64(body[4:])}, nil
+	case FrameStreamOpen:
+		if len(body) != 4 {
+			return nil, ErrBadFrame
+		}
+		return StreamOpen{binary.BigEndian.Uint32(body)}, nil
+	case FrameStreamClose:
+		if len(body) != 12 {
+			return nil, ErrBadFrame
+		}
+		return StreamClose{binary.BigEndian.Uint32(body), binary.BigEndian.Uint64(body[4:])}, nil
+	case FrameAddAddress:
+		addr, rest, ok := parseAddr(body)
+		if !ok || len(rest) != 3 {
+			return nil, ErrBadFrame
+		}
+		return AddAddress{addr, binary.BigEndian.Uint16(rest), rest[2] == 1}, nil
+	case FrameRemoveAddress:
+		addr, rest, ok := parseAddr(body)
+		if !ok || len(rest) != 0 {
+			return nil, ErrBadFrame
+		}
+		return RemoveAddress{addr}, nil
+	case FrameBPFCC:
+		if len(body) < 1 {
+			return nil, ErrBadFrame
+		}
+		nameLen := int(body[0])
+		if len(body) < 1+nameLen+4 {
+			return nil, ErrBadFrame
+		}
+		name := string(body[1 : 1+nameLen])
+		progLen := int(binary.BigEndian.Uint32(body[1+nameLen:]))
+		rest := body[1+nameLen+4:]
+		if len(rest) != progLen {
+			return nil, ErrBadFrame
+		}
+		return BPFCC{name, rest}, nil
+	case FrameSessionClose:
+		return SessionClose{}, nil
+	case FrameConnClose:
+		if len(body) != 4 {
+			return nil, ErrBadFrame
+		}
+		return ConnClose{binary.BigEndian.Uint32(body)}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, ft)
+}

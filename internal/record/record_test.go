@@ -1,0 +1,232 @@
+package record
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTTypeRoundTrip(t *testing.T) {
+	for _, tt := range []TType{TTypeAppData, TTypeControl, TTypeStreamData, TTypeTCPOption} {
+		enc := Encode(tt, []byte("payload"))
+		got, payload, err := Decode(enc)
+		if err != nil || got != tt || string(payload) != "payload" {
+			t.Fatalf("ttype %d: %v %q %v", tt, got, payload, err)
+		}
+	}
+	if _, _, err := Decode(nil); err != ErrEmpty {
+		t.Fatal("empty record accepted")
+	}
+}
+
+// TestFigure1Layout pins the byte layout of the record in Figure 1: a
+// User Timeout TCP option whose true type (TCP_OPTION) is the last
+// plaintext byte, invisible before decryption.
+func TestFigure1Layout(t *testing.T) {
+	opt := UserTimeoutOption(30 * time.Second)
+	rec := EncodeTCPOption(opt)
+	// [kind][len hi][len lo][payload...][TType]
+	if rec[0] != 28 {
+		t.Fatalf("option kind byte = %d, want 28 (User Timeout)", rec[0])
+	}
+	if rec[len(rec)-1] != byte(TTypeTCPOption) {
+		t.Fatalf("TType trailer = %d", rec[len(rec)-1])
+	}
+	tt, content, err := Decode(rec)
+	if err != nil || tt != TTypeTCPOption {
+		t.Fatal(err)
+	}
+	got, err := DecodeTCPOption(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := got.UserTimeout()
+	if !ok || d != 30*time.Second {
+		t.Fatalf("uto = %v %v", d, ok)
+	}
+}
+
+func TestStreamChunkRoundTrip(t *testing.T) {
+	c := &StreamChunk{StreamID: 7, Offset: 1 << 40, Fin: true, Data: []byte("abc")}
+	enc := EncodeStreamChunk(c)
+	tt, content, err := Decode(enc)
+	if err != nil || tt != TTypeStreamData {
+		t.Fatal(err)
+	}
+	got, err := DecodeStreamChunk(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StreamID != 7 || got.Offset != 1<<40 || !got.Fin || string(got.Data) != "abc" {
+		t.Fatalf("%+v", got)
+	}
+	if _, err := DecodeStreamChunk([]byte{1, 2}); err == nil {
+		t.Fatal("short chunk accepted")
+	}
+}
+
+func TestControlFramesRoundTrip(t *testing.T) {
+	v6 := netip.MustParseAddr("fc00::2")
+	v4 := netip.MustParseAddr("192.0.2.1")
+	frames := []Frame{
+		Ping{},
+		Pong{},
+		Ack{StreamID: 3, Offset: 123456789},
+		StreamOpen{StreamID: 5},
+		StreamClose{StreamID: 5, FinalOffset: 999},
+		AddAddress{Addr: v6, Port: 443, Primary: true},
+		AddAddress{Addr: v4, Port: 8443},
+		RemoveAddress{Addr: v4},
+		BPFCC{Name: "aimd", Bytecode: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		SessionClose{},
+		ConnClose{ConnID: 42},
+	}
+	enc := EncodeControl(frames...)
+	tt, content, err := Decode(enc)
+	if err != nil || tt != TTypeControl {
+		t.Fatal(err)
+	}
+	got, err := DecodeControl(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("%d frames, want %d", len(got), len(frames))
+	}
+	if a := got[2].(Ack); a.StreamID != 3 || a.Offset != 123456789 {
+		t.Fatalf("ack: %+v", a)
+	}
+	if a := got[5].(AddAddress); a.Addr != v6 || a.Port != 443 || !a.Primary {
+		t.Fatalf("addaddr: %+v", a)
+	}
+	if a := got[6].(AddAddress); a.Addr != v4 || a.Primary {
+		t.Fatalf("addaddr4: %+v", a)
+	}
+	if r := got[7].(RemoveAddress); r.Addr != v4 {
+		t.Fatalf("rmaddr: %+v", r)
+	}
+	if b := got[8].(BPFCC); b.Name != "aimd" || len(b.Bytecode) != 8 {
+		t.Fatalf("bpf: %+v", b)
+	}
+	if c := got[10].(ConnClose); c.ConnID != 42 {
+		t.Fatalf("connclose: %+v", c)
+	}
+}
+
+func TestControlFrameErrors(t *testing.T) {
+	bad := [][]byte{
+		{1},                                 // truncated header
+		{99, 0, 0},                          // unknown type
+		{byte(FrameAck), 0, 4, 1, 2, 3, 4},  // wrong ack length
+		{byte(FrameAddAddress), 0, 2, 9, 9}, // bad family
+		{byte(FrameBPFCC), 0, 1, 5},         // name overruns
+		{byte(FrameStreamOpen), 0, 8, 0, 0, 0, 0, 0, 0, 0, 0}, // wrong len
+	}
+	for i, b := range bad {
+		if _, err := DecodeControl(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestClientHelloTCPLSRoundTrip(t *testing.T) {
+	h := &ClientHelloTCPLS{Version: Version, Multipath: true}
+	got, err := DecodeClientHelloTCPLS(h.Encode())
+	if err != nil || got.Version != Version || !got.Multipath || got.Join != nil {
+		t.Fatalf("%+v %v", got, err)
+	}
+	j := &ClientHelloTCPLS{
+		Version: Version,
+		Join: &JoinRequest{
+			ConnID: 0xdeadbeef,
+			Cookie: bytes.Repeat([]byte{0xaa}, CookieLen),
+			Binder: bytes.Repeat([]byte{0xbb}, 32),
+		},
+	}
+	got, err = DecodeClientHelloTCPLS(j.Encode())
+	if err != nil || got.Join == nil {
+		t.Fatal(err)
+	}
+	if got.Join.ConnID != 0xdeadbeef || len(got.Join.Cookie) != CookieLen || len(got.Join.Binder) != 32 {
+		t.Fatalf("%+v", got.Join)
+	}
+	if _, err := DecodeClientHelloTCPLS([]byte{1}); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestServerTCPLSRoundTrip(t *testing.T) {
+	s := &ServerTCPLS{
+		Version:   Version,
+		ConnID:    77,
+		Multipath: true,
+		Cookies:   [][]byte{bytes.Repeat([]byte{1}, 16), bytes.Repeat([]byte{2}, 16)},
+		Addresses: []Advertisement{
+			{Addr: netip.MustParseAddr("10.0.0.2"), Port: 443, Primary: true},
+			{Addr: netip.MustParseAddr("fc00::2"), Port: 443},
+		},
+	}
+	got, err := DecodeServerTCPLS(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConnID != 77 || !got.Multipath || len(got.Cookies) != 2 || len(got.Addresses) != 2 {
+		t.Fatalf("%+v", got)
+	}
+	if got.Addresses[1].Addr != netip.MustParseAddr("fc00::2") {
+		t.Fatalf("v6 addr: %v", got.Addresses[1].Addr)
+	}
+	if !got.Addresses[0].Primary || got.Addresses[1].Primary {
+		t.Fatal("primary flags")
+	}
+	// Truncations rejected.
+	enc := s.Encode()
+	for _, n := range []int{1, 5, 8, len(enc) - 1} {
+		if _, err := DecodeServerTCPLS(enc[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+// Property: control frames survive a round trip for arbitrary ack and
+// stream values.
+func TestFrameProperty(t *testing.T) {
+	f := func(sid uint32, off uint64, connID uint32) bool {
+		enc := EncodeControl(Ack{sid, off}, StreamClose{sid, off}, ConnClose{connID})
+		_, content, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		frames, err := DecodeControl(content)
+		if err != nil || len(frames) != 3 {
+			return false
+		}
+		a := frames[0].(Ack)
+		sc := frames[1].(StreamClose)
+		cc := frames[2].(ConnClose)
+		return a.StreamID == sid && a.Offset == off &&
+			sc.StreamID == sid && sc.FinalOffset == off && cc.ConnID == connID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stream chunks round-trip.
+func TestStreamChunkProperty(t *testing.T) {
+	f := func(sid uint32, off uint64, fin bool, data []byte) bool {
+		enc := EncodeStreamChunk(&StreamChunk{sid, off, fin, data})
+		_, content, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		c, err := DecodeStreamChunk(content)
+		return err == nil && c.StreamID == sid && c.Offset == off &&
+			c.Fin == fin && bytes.Equal(c.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,871 @@
+package tcpnet
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/cc"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// state is the TCP connection state (RFC 793 §3.2).
+type state int
+
+const (
+	stateClosed state = iota
+	stateListen
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateClosing
+	stateLastAck
+	stateTimeWait
+)
+
+var stateNames = [...]string{
+	"Closed", "Listen", "SynSent", "SynRcvd", "Established", "FinWait1",
+	"FinWait2", "CloseWait", "Closing", "LastAck", "TimeWait",
+}
+
+func (s state) String() string { return stateNames[s] }
+
+// Sequence-number comparison modulo 2^32.
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// RTO bounds in virtual time (RFC 6298 with the common 200 ms floor).
+const (
+	minRTO     = 200 * time.Millisecond
+	maxRTO     = 60 * time.Second
+	initialRTO = 1 * time.Second
+	timeWaitD  = 1 * time.Second // shortened 2*MSL, virtual
+)
+
+type oooSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// txEntry records when the segment ending at end was first transmitted.
+// The log is cleared on any retransmission (Karn's algorithm), so every
+// entry that survives until its ack yields a valid RTT sample.
+type txEntry struct {
+	end uint32
+	at  time.Time // wall clock
+}
+
+// Conn is a userspace TCP connection. It implements net.Conn.
+type Conn struct {
+	stack    *Stack
+	listener *Listener // non-nil on passively opened conns until offered
+
+	mu        sync.Mutex
+	readCond  *sync.Cond
+	writeCond *sync.Cond
+
+	local, remote netip.AddrPort
+	active        bool
+	st            state
+	err           error
+	established   chan struct{}
+	estOnce       sync.Once
+
+	// Send state.
+	iss      uint32
+	sndUna   uint32
+	sndNxt   uint32
+	sndMax   uint32 // highest sequence ever sent (for Karn after go-back-N)
+	sndBuf   []byte // bytes [sndUna, sndUna+len)
+	sndWnd   int    // peer's advertised window, scaled
+	sndScale uint8  // peer's window scale
+	mss      int
+	ctrl     cc.Controller
+
+	closePending bool // Close/CloseWrite called: send FIN once drained
+	finSent      bool
+	finSeq       uint32 // sequence number of our FIN
+
+	dupAcks     int
+	inRecovery  bool
+	recoveryEnd uint32
+	rtxNext     uint32           // next candidate for SACK-driven recovery retransmit
+	rtoRecover  uint32           // after an RTO, no fast recovery below this seq
+	sacked      []wire.SACKBlock // peer-reported sacked ranges
+	sackOK      bool
+
+	// RTT estimation (virtual time).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoBackoff   int
+	rttPending   bool
+	rttSeq       uint32
+	rttStart     time.Time // wall clock
+	txLog        []txEntry // per-segment send times for dense RTT samples
+
+	rtxTimer *time.Timer
+	rtxArmed bool
+	tlpFired bool      // a tail-loss probe was sent for the current flight
+	oldestTx time.Time // wall time the oldest unacked byte was first sent
+	userTO   time.Duration
+	synTries int
+	persistQ bool // retransmit timer armed in persist (zero-window) mode
+
+	// Receive state.
+	peerSYNOpts []wire.Option // options observed on the peer's SYN (§4.5 detection)
+	irs         uint32
+	rcvNxt      uint32
+	rcvBuf      []byte
+	ooo         []oooSeg
+	rcvScale    uint8
+	peerFin     bool // FIN consumed into the stream (EOF after rcvBuf drains)
+	lastAdvW    int
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	timeWaitTimer *time.Timer
+
+	stats Stats
+}
+
+// Stats counts protocol events for introspection and tests.
+type Stats struct {
+	SegsSent        uint64
+	SegsRcvd        uint64
+	BytesSent       uint64
+	BytesRcvd       uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	DupAcksRcvd     uint64
+	SpuriousRsts    uint64
+}
+
+// Info is a cross-layer snapshot of the connection — the introspection
+// interface the TCPLS session layer builds on (record sizing per §4.6,
+// state for failover decisions).
+type Info struct {
+	State             string
+	CongestionControl string
+	MSS               int
+	CWnd              int
+	Ssthresh          int
+	BytesInFlight     int
+	PeerWindow        int
+	SendQueue         int
+	RecvQueue         int
+	SRTT              time.Duration
+	RTTVar            time.Duration
+	RTO               time.Duration
+	SackedBytes       int
+	InRecovery        bool
+	Stats             Stats
+}
+
+func newConn(s *Stack, local, remote netip.AddrPort, active bool) *Conn {
+	ctrl, err := cc.New(s.config.CongestionControl)
+	if err != nil {
+		ctrl = cc.NewNewReno()
+	}
+	c := &Conn{
+		stack:       s,
+		local:       local,
+		remote:      remote,
+		active:      active,
+		established: make(chan struct{}),
+		mss:         s.config.MSS,
+		ctrl:        ctrl,
+		rto:         initialRTO,
+		sndWnd:      s.config.MSS, // until the peer tells us
+	}
+	c.readCond = sync.NewCond(&c.mu)
+	c.writeCond = sync.NewCond(&c.mu)
+	s.mu.Lock()
+	c.iss = s.rng.Uint32()
+	s.mu.Unlock()
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	if !active {
+		c.st = stateListen
+	}
+	c.ctrl.Init(c.mss)
+	return c
+}
+
+// startConnect sends the initial SYN (active open).
+func (c *Conn) startConnect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st = stateSynSent
+	c.sendSYN(false)
+	c.armRetransmit()
+}
+
+func (c *Conn) synOptions() []wire.Option {
+	return []wire.Option{
+		wire.MSSOption(uint16(c.stack.config.MSS)),
+		wire.WindowScaleOption(c.stack.config.WindowScale),
+		wire.SACKPermittedOption(),
+	}
+}
+
+// sendSYN emits SYN or SYN+ACK. Caller holds c.mu.
+func (c *Conn) sendSYN(ack bool) {
+	seg := &wire.Segment{
+		SrcPort: c.local.Port(), DstPort: c.remote.Port(),
+		Seq:     c.iss,
+		Flags:   wire.FlagSYN,
+		Window:  uint16(min(c.recvWindow(), 65535)), // unscaled in SYN
+		Options: c.synOptions(),
+	}
+	if ack {
+		seg.Flags |= wire.FlagACK
+		seg.Ack = c.rcvNxt
+	}
+	c.sndNxt = c.iss + 1
+	if seqLT(c.sndMax, c.sndNxt) {
+		c.sndMax = c.sndNxt
+	}
+	c.transmit(seg)
+}
+
+// input processes one inbound segment.
+func (c *Conn) input(seg *wire.Segment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.SegsRcvd++
+
+	switch c.st {
+	case stateListen:
+		// Freshly created by a listener: this segment is the peer's SYN.
+		if !seg.Flags.Has(wire.FlagSYN) || seg.Flags.Has(wire.FlagACK|wire.FlagRST) {
+			return
+		}
+		c.irs = seg.Seq
+		c.rcvNxt = seg.Seq + 1
+		c.processSynOptions(seg)
+		c.sndWnd = int(seg.Window) // unscaled in SYN
+		c.st = stateSynRcvd
+		c.sendSYN(true)
+		c.armRetransmit()
+		return
+	case stateClosed:
+		return
+	case stateSynSent:
+		c.inputSynSent(seg)
+		return
+	case stateSynRcvd:
+		if seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK) {
+			// Retransmitted SYN: repeat our SYN+ACK.
+			c.processSynOptions(seg)
+			c.sendSYN(true)
+			return
+		}
+	}
+
+	if seg.Flags.Has(wire.FlagRST) {
+		c.handleRST(seg)
+		return
+	}
+	if seg.Flags.Has(wire.FlagSYN) {
+		// SYN on a synchronized connection: protocol violation; ignore
+		// (robustness against old duplicates).
+		return
+	}
+	if !seg.Flags.Has(wire.FlagACK) {
+		return
+	}
+
+	c.processAck(seg)
+	if len(seg.Payload) > 0 || seg.Flags.Has(wire.FlagFIN) {
+		c.processData(seg)
+	}
+	c.maybeSendLocked()
+}
+
+// inputSynSent handles segments in SYN-SENT. Caller holds c.mu.
+func (c *Conn) inputSynSent(seg *wire.Segment) {
+	if seg.Flags.Has(wire.FlagRST) {
+		if seg.Flags.Has(wire.FlagACK) && seg.Ack == c.sndNxt {
+			c.failLocked(ErrRefused)
+		}
+		return
+	}
+	if !seg.Flags.Has(wire.FlagSYN) || !seg.Flags.Has(wire.FlagACK) || seg.Ack != c.sndNxt {
+		return
+	}
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.sndUna = seg.Ack
+	c.processSynOptions(seg)
+	c.sndWnd = int(seg.Window) // SYN windows are unscaled
+	c.st = stateEstablished
+	c.cancelRetransmit()
+	c.rtoBackoff = 0
+	c.sendAck()
+	c.estOnce.Do(func() { close(c.established) })
+	c.readCond.Broadcast()
+	c.writeCond.Broadcast()
+}
+
+// processSynOptions applies MSS/WScale/SACK from the peer's SYN.
+// Caller holds c.mu.
+func (c *Conn) processSynOptions(seg *wire.Segment) {
+	c.peerSYNOpts = append([]wire.Option(nil), seg.Options...)
+	sawScale := false
+	for i := range seg.Options {
+		o := &seg.Options[i]
+		switch o.Kind {
+		case wire.OptKindMSS:
+			if v, ok := o.MSS(); ok && int(v) < c.mss {
+				c.mss = int(v)
+				c.ctrl.Init(c.mss)
+			}
+		case wire.OptKindWindowScale:
+			if v, ok := o.WindowScale(); ok {
+				c.sndScale = v
+				sawScale = true
+			}
+		case wire.OptKindSACKPermitted:
+			c.sackOK = true
+		}
+	}
+	if sawScale {
+		c.rcvScale = c.stack.config.WindowScale
+	} else {
+		// Peer did not negotiate scaling (or a middlebox stripped it):
+		// neither side scales.
+		c.rcvScale, c.sndScale = 0, 0
+	}
+}
+
+// handleRST tears the connection down. Caller holds c.mu.
+func (c *Conn) handleRST(seg *wire.Segment) {
+	// Accept only in-window resets (blind-RST protection; our forged
+	// middlebox RSTs use observed sequence numbers, so they pass).
+	if c.st == stateSynRcvd || seqLEQ(c.rcvNxt, seg.Seq) || seg.Seq == c.rcvNxt-1 {
+		c.stats.SpuriousRsts++
+		c.failLocked(ErrReset)
+	}
+}
+
+// processAck advances the send side. Caller holds c.mu.
+func (c *Conn) processAck(seg *wire.Segment) {
+	if c.st == stateSynRcvd {
+		if seg.Ack == c.sndNxt {
+			c.st = stateEstablished
+			c.cancelRetransmit()
+			c.rtoBackoff = 0
+			c.estOnce.Do(func() { close(c.established) })
+			if c.listener != nil {
+				l := c.listener
+				c.listener = nil
+				// Offer outside the lock: the listener may Abort us.
+				go l.offer(c)
+			}
+		} else {
+			return
+		}
+	}
+
+	// Record SACK information.
+	if opt := wire.FindOption(seg.Options, wire.OptKindSACK); opt != nil {
+		if blocks, ok := opt.SACKBlocks(); ok {
+			c.mergeSACK(blocks)
+		}
+	}
+
+	ack := seg.Ack
+	newWnd := int(seg.Window) << c.sndScale
+
+	switch {
+	case seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndMax):
+		// Note the comparison against sndMax, not sndNxt: after a
+		// go-back-N timeout reset, acks for data sent before the reset
+		// must still count.
+		acked := int(ack - c.sndUna)
+		finAcked := c.finSent && seqLT(c.finSeq, ack)
+		dataAcked := acked
+		if finAcked {
+			dataAcked-- // the FIN's sequence slot
+		}
+		if dataAcked > len(c.sndBuf) {
+			dataAcked = len(c.sndBuf)
+		}
+		c.sndBuf = c.sndBuf[dataAcked:]
+		c.sndUna = ack
+		if seqLT(c.sndNxt, c.sndUna) {
+			c.sndNxt = c.sndUna // ack overtook a go-back-N reset point
+		}
+		c.pruneSACK()
+		c.dupAcks = 0
+		c.sndWnd = newWnd
+
+		// RTT sample (Karn: only if the timed segment was never
+		// retransmitted — rttPending is cleared on any retransmission).
+		var rtt time.Duration
+		if c.rttPending && seqLEQ(c.rttSeq, ack) {
+			rtt = c.stack.clock.VirtualSince(c.rttStart)
+			c.updateRTO(rtt)
+			c.rttPending = false
+		}
+		// Dense per-segment samples from the transmit log feed the
+		// congestion controller (HyStart needs per-ack delay signals).
+		for len(c.txLog) > 0 && seqLEQ(c.txLog[0].end, ack) {
+			e := c.txLog[0]
+			c.txLog = c.txLog[1:]
+			if e.end == ack {
+				rtt = c.stack.clock.VirtualSince(e.at)
+			}
+		}
+
+		if c.inRecovery {
+			if seqLEQ(c.recoveryEnd, ack) {
+				c.inRecovery = false
+				c.ctrl.OnRecoveryExit()
+			} else {
+				// Partial ack: the byte at the new sndUna is a hole
+				// (RFC 6582); retransmit it and keep the pipe full from
+				// the SACK scoreboard.
+				if seqLT(c.rtxNext, c.sndUna) {
+					c.rtxNext = c.sndUna
+				}
+				c.sackRetransmit(4)
+			}
+		} else {
+			c.ctrl.OnAck(acked, rtt, c.bytesInFlight())
+		}
+
+		if c.bytesInFlight() == 0 && !c.finSent {
+			c.cancelRetransmit()
+		} else {
+			c.armRetransmit() // restart for the next oldest segment
+		}
+		c.oldestTx = time.Time{}
+		if c.bytesInFlight() > 0 {
+			c.oldestTx = time.Now()
+		}
+		c.rtoBackoff = 0
+		c.tlpFired = false
+		c.writeCond.Broadcast()
+
+		if finAcked {
+			c.ourFinAcked()
+		}
+
+	case ack == c.sndUna:
+		c.sndWnd = newWnd
+		isDup := len(seg.Payload) == 0 && !seg.Flags.Has(wire.FlagSYN|wire.FlagFIN) &&
+			c.bytesInFlight() > 0
+		if isDup {
+			c.dupAcks++
+			c.stats.DupAcksRcvd++
+			if c.dupAcks == 3 && !c.inRecovery && !seqLT(c.sndUna, c.rtoRecover) {
+				// The rtoRecover guard (RFC 5681 §4.3 spirit) stops the
+				// dupacks generated by go-back-N resends of delivered
+				// data from re-crushing ssthresh after a timeout.
+				c.enterFastRecovery()
+			} else if c.inRecovery {
+				c.ctrl.OnDupAck()
+				c.sackRetransmit(4)
+			}
+		}
+	default:
+		// Old ACK: ignore.
+	}
+	if c.sndWnd > 0 {
+		c.writeCond.Broadcast()
+	}
+}
+
+// ourFinAcked advances teardown after the peer acknowledged our FIN.
+// Caller holds c.mu.
+func (c *Conn) ourFinAcked() {
+	switch c.st {
+	case stateFinWait1:
+		c.st = stateFinWait2
+		c.cancelRetransmit()
+	case stateClosing:
+		c.enterTimeWait()
+	case stateLastAck:
+		c.teardown(nil)
+	}
+}
+
+// processData handles the payload and FIN of a segment. Caller holds c.mu.
+func (c *Conn) processData(seg *wire.Segment) {
+	seq := seg.Seq
+	data := seg.Payload
+	fin := seg.Flags.Has(wire.FlagFIN)
+
+	// Trim data already received.
+	if seqLT(seq, c.rcvNxt) {
+		skip := int(c.rcvNxt - seq)
+		if skip >= len(data) {
+			if !fin || seqLT(seq+uint32(len(data)), c.rcvNxt) {
+				c.sendAck() // pure duplicate: re-ack
+				return
+			}
+			data = nil
+			seq = c.rcvNxt
+		} else {
+			data = data[skip:]
+			seq = c.rcvNxt
+		}
+	}
+
+	// Enforce the receive buffer. Data beyond the window is dropped; the
+	// ACK below tells the peer where we stand.
+	if avail := c.recvSpace(); len(data) > avail {
+		data = data[:avail]
+		fin = false
+	}
+
+	if seq == c.rcvNxt {
+		c.ingest(data, fin)
+		c.drainOOO()
+	} else if len(data) > 0 || fin {
+		c.insertOOO(oooSeg{seq: seq, data: append([]byte(nil), data...), fin: fin})
+	}
+	c.sendAck()
+	c.readCond.Broadcast()
+}
+
+// ingest appends in-order data (and FIN) to the receive stream.
+// Caller holds c.mu.
+func (c *Conn) ingest(data []byte, fin bool) {
+	if len(data) > 0 {
+		c.rcvBuf = append(c.rcvBuf, data...)
+		c.rcvNxt += uint32(len(data))
+		c.stats.BytesRcvd += uint64(len(data))
+	}
+	if fin && !c.peerFin {
+		c.peerFin = true
+		c.rcvNxt++
+		switch c.st {
+		case stateEstablished:
+			c.st = stateCloseWait
+		case stateFinWait1:
+			// Our FIN is unacked: simultaneous close.
+			c.st = stateClosing
+		case stateFinWait2:
+			c.enterTimeWait()
+		}
+	}
+}
+
+func (c *Conn) insertOOO(s oooSeg) {
+	// Bound out-of-order buffering to the receive buffer size.
+	total := 0
+	for _, o := range c.ooo {
+		total += len(o.data)
+	}
+	if total+len(s.data) > c.stack.config.RecvBuf {
+		return
+	}
+	for i, o := range c.ooo {
+		if seqLT(s.seq, o.seq) {
+			c.ooo = append(c.ooo[:i], append([]oooSeg{s}, c.ooo[i:]...)...)
+			return
+		}
+		if s.seq == o.seq {
+			if len(s.data) > len(o.data) {
+				c.ooo[i] = s
+			}
+			return
+		}
+	}
+	c.ooo = append(c.ooo, s)
+}
+
+func (c *Conn) drainOOO() {
+	for len(c.ooo) > 0 {
+		o := c.ooo[0]
+		if seqLT(c.rcvNxt, o.seq) {
+			return
+		}
+		c.ooo = c.ooo[1:]
+		if skip := int(c.rcvNxt - o.seq); skip < len(o.data) {
+			c.ingest(o.data[skip:], o.fin)
+		} else if o.fin && seqLEQ(o.seq+uint32(len(o.data)), c.rcvNxt) {
+			c.ingest(nil, true)
+		}
+	}
+}
+
+// sackBlocks builds up to 3 SACK blocks from the out-of-order queue.
+// Caller holds c.mu.
+func (c *Conn) sackBlocks() []wire.SACKBlock {
+	if !c.sackOK || len(c.ooo) == 0 {
+		return nil
+	}
+	var blocks []wire.SACKBlock
+	for _, o := range c.ooo {
+		r := wire.SACKBlock{Left: o.seq, Right: o.seq + uint32(len(o.data))}
+		if n := len(blocks); n > 0 && blocks[n-1].Right == r.Left {
+			blocks[n-1].Right = r.Right
+			continue
+		}
+		if len(blocks) == 3 {
+			break
+		}
+		blocks = append(blocks, r)
+	}
+	return blocks
+}
+
+// mergeSACK folds peer-reported blocks into the scoreboard.
+// Caller holds c.mu.
+func (c *Conn) mergeSACK(blocks []wire.SACKBlock) {
+	for _, b := range blocks {
+		if seqLEQ(b.Right, c.sndUna) || !seqLT(b.Left, b.Right) {
+			continue
+		}
+		c.sacked = append(c.sacked, b)
+	}
+	// Normalize: sort by Left and merge overlaps.
+	for i := 1; i < len(c.sacked); i++ {
+		for j := i; j > 0 && seqLT(c.sacked[j].Left, c.sacked[j-1].Left); j-- {
+			c.sacked[j], c.sacked[j-1] = c.sacked[j-1], c.sacked[j]
+		}
+	}
+	out := c.sacked[:0]
+	for _, b := range c.sacked {
+		if n := len(out); n > 0 && seqLEQ(b.Left, out[n-1].Right) {
+			if seqLT(out[n-1].Right, b.Right) {
+				out[n-1].Right = b.Right
+			}
+			continue
+		}
+		out = append(out, b)
+	}
+	c.sacked = out
+}
+
+// pruneSACK drops scoreboard entries at or below sndUna. Caller holds c.mu.
+func (c *Conn) pruneSACK() {
+	out := c.sacked[:0]
+	for _, b := range c.sacked {
+		if seqLT(c.sndUna, b.Right) {
+			out = append(out, b)
+		}
+	}
+	c.sacked = out
+}
+
+func (c *Conn) bytesInFlight() int {
+	n := int(c.sndNxt - c.sndUna)
+	if c.finSent && n > 0 {
+		n-- // FIN occupies a sequence slot but no bytes
+	}
+	return n
+}
+
+func (c *Conn) recvSpace() int {
+	used := len(c.rcvBuf)
+	for _, o := range c.ooo {
+		used += len(o.data)
+	}
+	if used >= c.stack.config.RecvBuf {
+		return 0
+	}
+	return c.stack.config.RecvBuf - used
+}
+
+// recvWindow is the window to advertise, in unscaled bytes.
+func (c *Conn) recvWindow() int { return c.recvSpace() }
+
+func (c *Conn) windowField() uint16 {
+	w := c.recvWindow() >> c.rcvScale
+	if w > 65535 {
+		w = 65535
+	}
+	c.lastAdvW = w << c.rcvScale
+	return uint16(w)
+}
+
+// sendAck emits a pure ACK (with SACK blocks if any). Caller holds c.mu.
+func (c *Conn) sendAck() {
+	seg := &wire.Segment{
+		SrcPort: c.local.Port(), DstPort: c.remote.Port(),
+		Seq: c.sndNxt, Ack: c.rcvNxt,
+		Flags:  wire.FlagACK,
+		Window: c.windowField(),
+	}
+	if blocks := c.sackBlocks(); blocks != nil {
+		seg.Options = append(seg.Options, wire.SACKOption(blocks))
+	}
+	c.transmit(seg)
+}
+
+// transmit serializes and hands the segment to the host. Caller holds c.mu.
+func (c *Conn) transmit(seg *wire.Segment) {
+	c.stats.SegsSent++
+	c.stack.sendSegment(c.local.Addr(), c.remote.Addr(), seg)
+}
+
+// failLocked terminates with err. Caller holds c.mu.
+func (c *Conn) failLocked(err error) { c.teardown(err) }
+
+// teardown finalizes the connection. Caller holds c.mu.
+func (c *Conn) teardown(err error) {
+	if c.st == stateClosed && c.err != nil {
+		return
+	}
+	c.st = stateClosed
+	if c.err == nil {
+		c.err = err
+	}
+	c.cancelRetransmit()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.estOnce.Do(func() { close(c.established) })
+	c.readCond.Broadcast()
+	c.writeCond.Broadcast()
+	c.stack.unregister(c)
+}
+
+// fail is the exported-path teardown with locking.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st == stateEstablished || c.st == stateClosed {
+		return // dial timeout racing establishment
+	}
+	c.teardown(err)
+}
+
+func (c *Conn) enterTimeWait() {
+	c.st = stateTimeWait
+	c.cancelRetransmit()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.timeWaitTimer = c.stack.clock.AfterFunc(timeWaitD, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.st == stateTimeWait {
+			c.teardown(nil)
+		}
+	})
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return Addr{c.local} }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return Addr{c.remote} }
+
+// LocalAddrPort returns the local address as a netip.AddrPort.
+func (c *Conn) LocalAddrPort() netip.AddrPort { return c.local }
+
+// RemoteAddrPort returns the remote address as a netip.AddrPort.
+func (c *Conn) RemoteAddrPort() netip.AddrPort { return c.remote }
+
+// State returns the connection state name (cross-layer introspection).
+func (c *Conn) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.String()
+}
+
+// Info returns a cross-layer snapshot.
+func (c *Conn) Info() Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Info{
+		State:             c.st.String(),
+		CongestionControl: c.ctrl.Name(),
+		MSS:               c.mss,
+		CWnd:              c.ctrl.CWnd(),
+		Ssthresh:          c.ctrl.Ssthresh(),
+		BytesInFlight:     c.bytesInFlight(),
+		PeerWindow:        c.sndWnd,
+		SendQueue:         len(c.sndBuf),
+		RecvQueue:         len(c.rcvBuf),
+		SRTT:              c.srtt,
+		RTTVar:            c.rttvar,
+		RTO:               c.rto,
+		SackedBytes:       c.sackedBytes(),
+		InRecovery:        c.inRecovery,
+		Stats:             c.stats,
+	}
+}
+
+// CWndInfo returns (cwnd, bytesInFlight, mss) — the cross-layer
+// introspection TCPLS uses to size records to the congestion window
+// (§4.6 of the paper).
+func (c *Conn) CWndInfo() (int, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl.CWnd(), c.bytesInFlight(), c.mss
+}
+
+// SetUserTimeout installs the RFC 5482 user timeout: if unacknowledged
+// data stays outstanding this long, the connection aborts with
+// ErrUserTimeout. Zero disables. This is the local effect of the TCP_USER_
+// TIMEOUT socket option — and the action the server takes when a TCPLS
+// User Timeout option arrives over the encrypted channel (§3.1).
+func (c *Conn) SetUserTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.userTO = d
+}
+
+// UserTimeout returns the configured user timeout.
+func (c *Conn) UserTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.userTO
+}
+
+// SetCongestionControl swaps the congestion controller by registered
+// name, live. The new controller starts from its initial window.
+func (c *Conn) SetCongestionControl(name string) error {
+	ctrl, err := cc.New(name)
+	if err != nil {
+		return err
+	}
+	c.SetCongestionControlImpl(ctrl)
+	return nil
+}
+
+// SetCongestionControlImpl swaps in a concrete controller instance —
+// the installation hook for eBPF-delivered controllers (§3(iii)).
+func (c *Conn) SetCongestionControlImpl(ctrl cc.Controller) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctrl.Init(c.mss)
+	c.ctrl = ctrl
+	c.inRecovery = false
+	c.dupAcks = 0
+}
+
+// PeerSYNOptions returns the TCP options observed on the peer's SYN, as
+// they arrived — i.e. after any middlebox interference. Comparing them
+// with what the peer claims to have sent (over the TCPLS secure channel)
+// "immediately and reliably detects the presence of NAT, transparent
+// proxies or other types of middleboxes" (§4.5 of the TCPLS paper).
+func (c *Conn) PeerSYNOptions() []wire.Option {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.Option(nil), c.peerSYNOpts...)
+}
+
+// SYNOptions returns the options this endpoint sent on its own SYN —
+// the "original header" a TCPLS client would copy into the encrypted
+// channel for middlebox detection.
+func (c *Conn) SYNOptions() []wire.Option { return c.synOptions() }
+
+// CongestionControlName returns the active controller's name.
+func (c *Conn) CongestionControlName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl.Name()
+}

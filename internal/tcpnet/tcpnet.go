@@ -1,0 +1,432 @@
+// Package tcpnet is a userspace TCP implementation running over the
+// packet network in internal/netsim. It provides net.Conn / net.Listener
+// semantics with a faithful protocol engine: three-way handshake,
+// cumulative and selective acknowledgments, retransmission with RFC 6298
+// RTO estimation and fast retransmit, receive-side reassembly, window
+// scaling and flow control, FIN/RST teardown, the RFC 5482 user timeout,
+// and pluggable congestion control (internal/cc, including eBPF-delivered
+// controllers).
+//
+// It exists because the TCPLS paper's cross-layer features need a TCP the
+// upper layer can see into and reach into: matching TLS record sizes to
+// the congestion window (§4.6), installing a User Timeout received over
+// the encrypted channel (§3.1), swapping the congestion controller for
+// one shipped as eBPF bytecode (§3(iii)), and reacting to spurious resets
+// (§2.1). Conn implements the Introspector interface consumed by the
+// TCPLS session layer; code that runs over kernel TCP simply does without
+// those extras.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// Errors returned by connections and listeners.
+var (
+	// ErrReset reports that the connection was torn down by a RST
+	// segment — possibly a spurious, middlebox-forged one (§2.1). The
+	// TCPLS session layer matches on it to trigger failover.
+	ErrReset = errors.New("tcpnet: connection reset")
+	// ErrUserTimeout reports that unacknowledged data stayed outstanding
+	// longer than the RFC 5482 user timeout.
+	ErrUserTimeout = errors.New("tcpnet: user timeout")
+	// ErrTimeout reports handshake retransmission exhaustion.
+	ErrTimeout = errors.New("tcpnet: connection timed out")
+	// ErrClosed reports use of a closed connection, listener or stack.
+	ErrClosed = errors.New("tcpnet: closed")
+	// ErrRefused reports a RST in response to our SYN.
+	ErrRefused = errors.New("tcpnet: connection refused")
+	// ErrAddrInUse reports a bind conflict.
+	ErrAddrInUse = errors.New("tcpnet: address in use")
+)
+
+// Addr is the net.Addr implementation for the emulated network.
+type Addr struct{ AP netip.AddrPort }
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "tcpsim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return a.AP.String() }
+
+// Stack is one host's TCP instance: it demultiplexes segments delivered
+// by the netsim host to connections and listeners.
+type Stack struct {
+	host  *netsim.Host
+	clock *netsim.Network
+
+	mu        sync.Mutex
+	conns     map[fourTuple]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+	rng       *rand.Rand
+	closed    bool
+
+	// Config defaults applied to new connections.
+	config Config
+}
+
+// Config carries stack-wide defaults for new connections.
+type Config struct {
+	// MSS is the maximum segment size. Default 1400.
+	MSS int
+	// SendBuf / RecvBuf bound the socket buffers. Default 512 KiB.
+	SendBuf int
+	RecvBuf int
+	// CongestionControl names the cc algorithm. Default "newreno".
+	CongestionControl string
+	// WindowScale is the wscale shift advertised. Default 8.
+	WindowScale uint8
+	// DisableSACK turns off selective acknowledgments.
+	DisableSACK bool
+	// SYNRetries bounds handshake retransmissions. Default 6.
+	SYNRetries int
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = 1400
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = 512 << 10
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = 512 << 10
+	}
+	if c.CongestionControl == "" {
+		c.CongestionControl = "newreno"
+	}
+	if c.WindowScale == 0 {
+		c.WindowScale = 8
+	}
+	if c.SYNRetries == 0 {
+		c.SYNRetries = 6
+	}
+}
+
+type fourTuple struct {
+	local, remote netip.AddrPort
+}
+
+// NewStack attaches a TCP stack to a netsim host.
+func NewStack(h *netsim.Host, config Config) *Stack {
+	config.fill()
+	s := &Stack{
+		host:      h,
+		clock:     h.Network(),
+		conns:     make(map[fourTuple]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		config:    config,
+	}
+	h.Register(wire.ProtoTCP, s.input)
+	return s
+}
+
+// Host returns the underlying netsim host.
+func (s *Stack) Host() *netsim.Host { return s.host }
+
+// Close aborts every connection and closes every listener.
+func (s *Stack) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	listeners := make([]*Listener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Abort()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return nil
+}
+
+func (s *Stack) allocPort() uint16 {
+	// Caller holds s.mu.
+	for i := 0; i < 1<<14; i++ {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 49152
+		}
+		if _, busy := s.listeners[p]; busy {
+			continue
+		}
+		inUse := false
+		for t := range s.conns {
+			if t.local.Port() == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+	return 0
+}
+
+func (s *Stack) register(c *Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := fourTuple{c.local, c.remote}
+	if _, dup := s.conns[t]; dup {
+		return ErrAddrInUse
+	}
+	s.conns[t] = c
+	return nil
+}
+
+func (s *Stack) unregister(c *Conn) {
+	s.mu.Lock()
+	delete(s.conns, fourTuple{c.local, c.remote})
+	s.mu.Unlock()
+}
+
+// input demultiplexes one delivered packet. It runs on netsim delivery
+// goroutines.
+func (s *Stack) input(p *wire.Packet) {
+	seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, true)
+	if err != nil {
+		return // checksum or framing failure: drop silently like a NIC
+	}
+	local := netip.AddrPortFrom(p.Dst, seg.DstPort)
+	remote := netip.AddrPortFrom(p.Src, seg.SrcPort)
+
+	s.mu.Lock()
+	c := s.conns[fourTuple{local, remote}]
+	var l *Listener
+	if c == nil {
+		l = s.listeners[seg.DstPort]
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	switch {
+	case c != nil:
+		c.input(seg)
+	case l != nil && seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK):
+		l.inputSYN(local, remote, seg)
+	case seg.Flags.Has(wire.FlagRST):
+		// RST to nobody: ignore.
+	default:
+		// No socket: answer with RST (unless it's an old ACK).
+		s.sendRST(local, remote, seg)
+	}
+}
+
+func (s *Stack) sendRST(local, remote netip.AddrPort, in *wire.Segment) {
+	rst := &wire.Segment{
+		SrcPort: local.Port(), DstPort: remote.Port(),
+		Flags: wire.FlagRST | wire.FlagACK,
+		Ack:   in.Seq + uint32(len(in.Payload)),
+	}
+	if in.Flags.Has(wire.FlagSYN) {
+		rst.Ack++
+	}
+	if in.Flags.Has(wire.FlagACK) {
+		rst.Seq = in.Ack
+	}
+	s.sendSegment(local.Addr(), remote.Addr(), rst)
+}
+
+func (s *Stack) sendSegment(src, dst netip.Addr, seg *wire.Segment) {
+	b, err := seg.Marshal(src, dst)
+	if err != nil {
+		return
+	}
+	pkt := &wire.Packet{Src: src, Dst: dst, Proto: wire.ProtoTCP, TTL: 64, Payload: b}
+	_ = s.host.Send(pkt)
+}
+
+// Listener accepts inbound connections on a local port.
+type Listener struct {
+	stack *Stack
+	addr  netip.AddrPort
+
+	mu      sync.Mutex
+	backlog chan *Conn
+	closed  bool
+}
+
+// Listen binds a listener to the given port on addr. A zero addr accepts
+// connections to any of the host's addresses.
+func (s *Stack) Listen(addr netip.Addr, port uint16) (*Listener, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, busy := s.listeners[port]; busy {
+		return nil, ErrAddrInUse
+	}
+	l := &Listener{
+		stack:   s,
+		addr:    netip.AddrPortFrom(addr, port),
+		backlog: make(chan *Conn, 128),
+	}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Accept waits for the next established connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// AcceptTCP is Accept returning the concrete type.
+func (l *Listener) AcceptTCP() (*Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return Addr{l.addr} }
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.backlog)
+	l.mu.Unlock()
+	l.stack.mu.Lock()
+	delete(l.stack.listeners, l.addr.Port())
+	l.stack.mu.Unlock()
+	return nil
+}
+
+// inputSYN handles a SYN for this listener: create the half-open conn and
+// answer SYN+ACK. If the conn already exists (retransmitted SYN) the
+// stack demux routes it there instead.
+func (l *Listener) inputSYN(local, remote netip.AddrPort, seg *wire.Segment) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	if l.addr.Addr().IsValid() && !l.addr.Addr().IsUnspecified() && local.Addr() != l.addr.Addr() {
+		return // bound to a specific address
+	}
+	c := newConn(l.stack, local, remote, false)
+	if err := l.stack.register(c); err != nil {
+		return
+	}
+	c.listener = l
+	c.input(seg)
+}
+
+// offer queues an established connection for Accept; drops it if the
+// backlog is full or the listener closed (the peer will retransmit or
+// reset).
+func (l *Listener) offer(c *Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		c.Abort()
+		return
+	}
+	select {
+	case l.backlog <- c:
+	default:
+		c.Abort()
+	}
+}
+
+// Dial opens a connection from laddr to raddr. A zero laddr picks the
+// host's first address of raddr's family; port 0 allocates an ephemeral
+// port. Dial blocks until the handshake completes, the timeout elapses
+// (0 means the stack's handshake retransmission limit) or the peer
+// refuses.
+func (s *Stack) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (*Conn, error) {
+	if !laddr.IsValid() || laddr.IsUnspecified() {
+		for _, a := range s.host.Addrs() {
+			if a.Is4() == raddr.Addr().Is4() {
+				laddr = a
+				break
+			}
+		}
+		if !laddr.IsValid() || laddr.IsUnspecified() {
+			return nil, fmt.Errorf("tcpnet: no local address for %s", raddr)
+		}
+	}
+	s.mu.Lock()
+	port := s.allocPort()
+	s.mu.Unlock()
+	if port == 0 {
+		return nil, ErrAddrInUse
+	}
+	c := newConn(s, netip.AddrPortFrom(laddr, port), raddr, true)
+	if err := s.register(c); err != nil {
+		return nil, err
+	}
+	c.startConnect()
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = s.clock.AfterFunc(timeout, func() {
+			c.fail(ErrTimeout)
+		})
+	}
+	<-c.established
+	if timer != nil {
+		timer.Stop()
+	}
+	c.mu.Lock()
+	err := c.err
+	st := c.st
+	c.mu.Unlock()
+	if st != stateEstablished && err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dialer adapts the stack to interfaces that expect net.Conn results
+// (core.Dialer); Go method values cannot re-type *Conn to net.Conn.
+type Dialer struct{ Stack *Stack }
+
+// Dial implements the core.Dialer contract over this stack.
+func (d Dialer) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (net.Conn, error) {
+	c, err := d.Stack.Dial(laddr, raddr, timeout)
+	if err != nil {
+		return nil, err // avoid a typed-nil net.Conn
+	}
+	return c, nil
+}

@@ -1,0 +1,148 @@
+package tls13
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// Certificate is a server identity: a DER chain and its private key.
+type Certificate struct {
+	// Chain is the DER-encoded certificate chain, leaf first.
+	Chain [][]byte
+	// Key signs the CertificateVerify. Only ECDSA P-256 is implemented.
+	Key *ecdsa.PrivateKey
+
+	leaf *x509.Certificate
+}
+
+// Leaf parses and caches the leaf certificate.
+func (c *Certificate) Leaf() (*x509.Certificate, error) {
+	if c.leaf != nil {
+		return c.leaf, nil
+	}
+	if len(c.Chain) == 0 {
+		return nil, errors.New("tls13: empty certificate chain")
+	}
+	leaf, err := x509.ParseCertificate(c.Chain[0])
+	if err != nil {
+		return nil, err
+	}
+	c.leaf = leaf
+	return leaf, nil
+}
+
+// GenerateSelfSigned creates a self-signed ECDSA-P256 certificate for the
+// given DNS names / IPs, valid for a year. Intended for tests, examples
+// and the emulated testbed.
+func GenerateSelfSigned(commonName string, dnsNames []string, ips []net.IP) (*Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: commonName},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		DNSNames:              dnsNames,
+		IPAddresses:           ips,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{Chain: [][]byte{der}, Key: key}, nil
+}
+
+// signatureContext builds the RFC 8446 §4.4.3 signed content.
+func signatureContext(server bool, transcriptHash []byte) []byte {
+	pad := make([]byte, 64)
+	for i := range pad {
+		pad[i] = 0x20
+	}
+	label := "TLS 1.3, client CertificateVerify"
+	if server {
+		label = "TLS 1.3, server CertificateVerify"
+	}
+	var out []byte
+	out = append(out, pad...)
+	out = append(out, label...)
+	out = append(out, 0)
+	out = append(out, transcriptHash...)
+	return out
+}
+
+// signHandshake produces the CertificateVerify signature.
+func signHandshake(key *ecdsa.PrivateKey, server bool, transcriptHash []byte) ([]byte, error) {
+	if key.Curve != elliptic.P256() {
+		return nil, errors.New("tls13: only ECDSA P-256 keys supported")
+	}
+	digest := sha256.Sum256(signatureContext(server, transcriptHash))
+	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+}
+
+// verifyHandshakeSignature checks a CertificateVerify.
+func verifyHandshakeSignature(cert *x509.Certificate, scheme uint16, server bool, transcriptHash, sig []byte) error {
+	if scheme != sigECDSAP256SHA256 {
+		return fmt.Errorf("tls13: unsupported signature scheme %#04x", scheme)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok || pub.Curve != elliptic.P256() {
+		return errors.New("tls13: certificate key is not ECDSA P-256")
+	}
+	digest := sha256.Sum256(signatureContext(server, transcriptHash))
+	if !ecdsa.VerifyASN1(pub, digest[:], sig) {
+		return errors.New("tls13: invalid CertificateVerify signature")
+	}
+	return nil
+}
+
+// verifyChain validates the peer chain against roots (or, with insecure
+// set, only parses the leaf).
+func verifyChain(chain [][]byte, serverName string, roots *x509.CertPool, insecure bool) (*x509.Certificate, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("tls13: server sent no certificate")
+	}
+	leaf, err := x509.ParseCertificate(chain[0])
+	if err != nil {
+		return nil, err
+	}
+	if insecure {
+		return leaf, nil
+	}
+	inter := x509.NewCertPool()
+	for _, der := range chain[1:] {
+		c, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, err
+		}
+		inter.AddCert(c)
+	}
+	opts := x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inter,
+		DNSName:       serverName,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	if _, err := leaf.Verify(opts); err != nil {
+		return nil, fmt.Errorf("tls13: certificate verification: %w", err)
+	}
+	return leaf, nil
+}

@@ -1,0 +1,324 @@
+package tls13
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// clientHandshake drives the client side of the TLS 1.3 handshake,
+// including PSK resumption and 0-RTT early data.
+func (c *Conn) clientHandshake() error {
+	cfg := c.cfg
+	priv, err := ecdh.X25519().GenerateKey(randReader())
+	if err != nil {
+		return err
+	}
+
+	offered := cfg.CipherSuites
+	if len(offered) == 0 {
+		offered = DefaultCipherSuites
+	}
+	sess := cfg.Session
+	if sess != nil {
+		if suites[sess.SuiteID] == nil {
+			sess = nil
+		} else {
+			// The resumed suite must be offered first.
+			reordered := []uint16{sess.SuiteID}
+			for _, s := range offered {
+				if s != sess.SuiteID {
+					reordered = append(reordered, s)
+				}
+			}
+			offered = reordered
+		}
+	}
+	sendEarly := len(cfg.EarlyData) > 0 && sess != nil && sess.MaxEarlyData > 0
+	if len(cfg.EarlyData) > 0 && !sendEarly {
+		return errors.New("tls13: early data requires a session with MaxEarlyData")
+	}
+
+	ch := &clientHello{
+		random:       randomBytes(32),
+		sessionID:    randomBytes(32), // middlebox compatibility
+		cipherSuites: offered,
+	}
+	var w builder
+	// supported_versions
+	w = builder{}
+	w.vec(1, func(w *builder) { w.u16(VersionTLS13) })
+	ch.extensions = append(ch.extensions, Extension{extSupportedVersions, w.b})
+	// supported_groups
+	w = builder{}
+	w.vec(2, func(w *builder) { w.u16(groupX25519) })
+	ch.extensions = append(ch.extensions, Extension{extSupportedGroups, w.b})
+	// signature_algorithms
+	w = builder{}
+	w.vec(2, func(w *builder) { w.u16(sigECDSAP256SHA256) })
+	ch.extensions = append(ch.extensions, Extension{extSignatureAlgorithms, w.b})
+	// key_share
+	w = builder{}
+	w.vec(2, func(w *builder) {
+		w.u16(groupX25519)
+		w.vec(2, func(w *builder) { w.bytes(priv.PublicKey().Bytes()) })
+	})
+	ch.extensions = append(ch.extensions, Extension{extKeyShare, w.b})
+	// server_name
+	if cfg.ServerName != "" {
+		w = builder{}
+		w.vec(2, func(w *builder) {
+			w.u8(0) // host_name
+			w.vec(2, func(w *builder) { w.bytes([]byte(cfg.ServerName)) })
+		})
+		ch.extensions = append(ch.extensions, Extension{extServerName, w.b})
+	}
+	// alpn
+	if len(cfg.ALPN) > 0 {
+		w = builder{}
+		w.vec(2, func(w *builder) {
+			for _, proto := range cfg.ALPN {
+				w.vec(1, func(w *builder) { w.bytes([]byte(proto)) })
+			}
+		})
+		ch.extensions = append(ch.extensions, Extension{extALPN, w.b})
+	}
+	// TCPLS and other caller extensions.
+	ch.extensions = append(ch.extensions, cfg.ExtraClientHello...)
+
+	var ks *keySchedule
+	var suite *suiteParams
+	if sess != nil {
+		suite = suites[sess.SuiteID]
+		ks = newKeySchedule(suite, sess.PSK)
+		// psk_key_exchange_modes
+		w = builder{}
+		w.vec(1, func(w *builder) { w.u8(pskModePSKDHE) })
+		ch.extensions = append(ch.extensions, Extension{extPSKModes, w.b})
+		if sendEarly {
+			ch.extensions = append(ch.extensions, Extension{extEarlyData, nil})
+		}
+		// pre_shared_key MUST be last: placeholder binder, patched below.
+		age := uint32(time.Since(sess.ReceivedAt)/time.Millisecond) + sess.AgeAdd
+		w = builder{}
+		w.vec(2, func(w *builder) { // identities
+			w.vec(2, func(w *builder) { w.bytes(sess.Ticket) })
+			w.u32(age)
+		})
+		w.vec(2, func(w *builder) { // binders
+			w.vec(1, func(w *builder) { w.bytes(make([]byte, suite.hashLen)) })
+		})
+		ch.extensions = append(ch.extensions, Extension{extPreSharedKey, w.b})
+	}
+
+	raw := ch.marshal()
+	if sess != nil {
+		// Patch the binder: HMAC over the transcript of CH truncated
+		// before the binders list (RFC 8446 §4.2.11.2).
+		bindersLen := 2 + 1 + suite.hashLen
+		truncated := raw[:len(raw)-bindersLen]
+		th := suite.newHash()
+		th.Write(truncated)
+		binder := suite.finishedMAC(ks.binderKey(), th.Sum(nil))
+		copy(raw[len(raw)-suite.hashLen:], binder)
+	}
+
+	if err := c.writeHandshakeRecord(raw); err != nil {
+		return err
+	}
+
+	// 0-RTT: switch the write direction to the early traffic keys and
+	// flush the early data before even hearing from the server.
+	if sendEarly {
+		ks.addMessage(raw)
+		earlySecret := ks.clientEarlyTrafficSecret()
+		c.rl.out.setKeys(suite, earlySecret)
+		data := cfg.EarlyData
+		for len(data) > 0 {
+			n := min(len(data), MaxPlaintext)
+			if err := c.rl.writeRecord(RecordTypeApplicationData, data[:n]); err != nil {
+				return err
+			}
+			data = data[n:]
+		}
+	}
+
+	// ServerHello.
+	typ, body, rawSH, err := c.readHandshakeMessage()
+	if err != nil {
+		return err
+	}
+	if typ != typeServerHello {
+		return fmt.Errorf("tls13: expected ServerHello, got message %d", typ)
+	}
+	sh, err := parseServerHello(body)
+	if err != nil {
+		return err
+	}
+	if v, ok := findExt(sh.extensions, extSupportedVersions); !ok || len(v) != 2 ||
+		v[0] != 0x03 || v[1] != 0x04 {
+		return errors.New("tls13: server did not negotiate TLS 1.3")
+	}
+	negotiated := suites[sh.cipherSuite]
+	if negotiated == nil {
+		return fmt.Errorf("tls13: server chose unknown suite %#04x", sh.cipherSuite)
+	}
+	if sh.keyShareX25519 == nil {
+		return errors.New("tls13: server sent no X25519 key share")
+	}
+	resumed := sh.selectedPSK
+	if resumed && sess == nil {
+		return errors.New("tls13: server selected a PSK we did not offer")
+	}
+	if resumed && sh.cipherSuite != sess.SuiteID {
+		return errors.New("tls13: server resumed with a different suite")
+	}
+
+	if ks == nil || negotiated != suite || !resumed {
+		// Fresh (non-PSK) schedule with the negotiated suite.
+		suite = negotiated
+		ks = newKeySchedule(suite, nil)
+		if resumed {
+			ks = newKeySchedule(suite, sess.PSK)
+		}
+		ks.addMessage(raw)
+	} else if !sendEarly {
+		ks.addMessage(raw)
+	}
+	c.suite = suite
+	ks.addMessage(rawSH)
+
+	peerPub, err := ecdh.X25519().NewPublicKey(sh.keyShareX25519)
+	if err != nil {
+		return err
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return err
+	}
+	ks.toHandshake(shared)
+	clientHS, serverHS := ks.handshakeTrafficSecrets()
+	c.rl.in.setKeys(suite, serverHS)
+
+	// EncryptedExtensions.
+	typ, body, rawMsg, err := c.readHandshakeMessage()
+	if err != nil {
+		return err
+	}
+	if typ != typeEncryptedExtensions {
+		return fmt.Errorf("tls13: expected EncryptedExtensions, got %d", typ)
+	}
+	ee, err := parseEncryptedExtensions(body)
+	if err != nil {
+		return err
+	}
+	ks.addMessage(rawMsg)
+	c.state.PeerEncryptedExtensions = ee
+	if data, ok := findExt(ee, ExtTCPLS); ok {
+		c.state.PeerTCPLS = data
+	}
+	if data, ok := findExt(ee, extALPN); ok {
+		p := parser{data}
+		var list []byte
+		if p.vec(2, &list) {
+			lp := parser{list}
+			var proto []byte
+			if lp.vec(1, &proto) {
+				c.state.ALPN = string(proto)
+			}
+		}
+	}
+	_, earlyOK := findExt(ee, extEarlyData)
+	earlyOK = earlyOK && sendEarly
+
+	// Certificate + CertificateVerify (skipped under PSK).
+	if !resumed {
+		typ, body, rawMsg, err = c.readHandshakeMessage()
+		if err != nil {
+			return err
+		}
+		if typ != typeCertificate {
+			return fmt.Errorf("tls13: expected Certificate, got %d", typ)
+		}
+		chain, err := parseCertificate(body)
+		if err != nil {
+			return err
+		}
+		leaf, err := verifyChain(chain, cfg.ServerName, cfg.RootCAs, cfg.InsecureSkipVerify)
+		if err != nil {
+			return err
+		}
+		c.peerCert = leaf
+		ks.addMessage(rawMsg)
+		certTranscript := ks.transcriptHash()
+
+		typ, body, rawMsg, err = c.readHandshakeMessage()
+		if err != nil {
+			return err
+		}
+		if typ != typeCertificateVerify {
+			return fmt.Errorf("tls13: expected CertificateVerify, got %d", typ)
+		}
+		scheme, sig, err := parseCertificateVerify(body)
+		if err != nil {
+			return err
+		}
+		if err := verifyHandshakeSignature(leaf, scheme, true, certTranscript, sig); err != nil {
+			return err
+		}
+		ks.addMessage(rawMsg)
+	}
+
+	// Server Finished.
+	typ, body, rawMsg, err = c.readHandshakeMessage()
+	if err != nil {
+		return err
+	}
+	if typ != typeFinished {
+		return fmt.Errorf("tls13: expected Finished, got %d", typ)
+	}
+	expected := suite.finishedMAC(serverHS, ks.transcriptHash())
+	if !hmac.Equal(expected, body) {
+		return errors.New("tls13: server Finished verification failed")
+	}
+	ks.addMessage(rawMsg)
+
+	// Application secrets are derived over the transcript through the
+	// server Finished.
+	ks.toMaster()
+	cApp, sApp := ks.appTrafficSecrets()
+	c.exporterSecret = ks.exporterMasterSecret()
+
+	// EndOfEarlyData (only when the server accepted), then Finished.
+	if earlyOK {
+		eoed := handshakeMessage(typeEndOfEarlyData, nil)
+		if err := c.writeHandshakeRecord(eoed); err != nil {
+			return err
+		}
+		ks.addMessage(eoed)
+	} else if sendEarly {
+		// Early data was rejected; the bytes are lost unless the caller
+		// retransmits them over the established connection.
+		c.state.EarlyDataAccepted = false
+	}
+	c.rl.out.setKeys(suite, clientHS)
+
+	fin := marshalFinished(suite.finishedMAC(clientHS, ks.transcriptHash()))
+	if err := c.writeHandshakeRecord(fin); err != nil {
+		return err
+	}
+	ks.addMessage(fin)
+	c.resumptionMS = ks.resumptionMasterSecret()
+
+	c.rl.in.setKeys(suite, sApp)
+	c.rl.out.setKeys(suite, cApp)
+	c.clientAppSecret, c.serverAppSecret = cApp, sApp
+	c.ks = ks
+	c.state.CipherSuite = suite.id
+	c.state.Resumed = resumed
+	c.state.EarlyDataAccepted = earlyOK
+	c.state.ServerName = cfg.ServerName
+	return nil
+}

@@ -1,0 +1,64 @@
+package tls13
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAEADUsageLimits pins the enforcement of the AEAD confidentiality
+// limits the paper cites ([31, 46]): once a direction has protected (or
+// failed to open) ~2^24 records under one key, the connection refuses to
+// continue rather than weaken.
+func TestAEADUsageLimits(t *testing.T) {
+	client, server := handshakePair(t, clientConfig(), serverConfig())
+
+	// Sender side: fast-forward the write sequence to the limit.
+	client.muWrite.Lock()
+	client.rl.out.seq = aeadLimit
+	client.muWrite.Unlock()
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrKeyLimit) {
+		t.Fatalf("write past key limit: %v", err)
+	}
+
+	// Receiver side: forgeries count toward the limit too (§2.3's
+	// note that each failed decryption is a forgery attempt).
+	server.muRead.Lock()
+	server.rl.in.forgery = aeadLimit
+	server.muRead.Unlock()
+	go func() {
+		// A fresh client record arrives; the server must refuse it.
+		c2 := client
+		c2.muWrite.Lock()
+		c2.rl.out.seq = 1 // reset below the limit so the write succeeds
+		c2.muWrite.Unlock()
+		c2.Write([]byte("y"))
+	}()
+	buf := make([]byte, 8)
+	if _, err := server.Read(buf); !errors.Is(err, ErrKeyLimit) {
+		t.Fatalf("read past forgery limit: %v", err)
+	}
+}
+
+// TestForgeryCounter checks that unopenable records increment the
+// forgery counter exposed to the TCPLS layer.
+func TestForgeryCounter(t *testing.T) {
+	client, server := handshakePair(t, clientConfig(), serverConfig())
+	if server.ForgeryCount() != 0 {
+		t.Fatalf("initial forgeries: %d", server.ForgeryCount())
+	}
+	// A record under a context the server does not know looks like a
+	// forgery (that is exactly how trial decryption accounts it).
+	if err := client.AddStreamContext(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteRecordContext(42, []byte("mystery")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := server.ReadRecordContext()
+	if !errors.Is(err, ErrNoContext) {
+		t.Fatalf("want ErrNoContext, got %v", err)
+	}
+	if server.ForgeryCount() == 0 {
+		t.Fatal("forgery not counted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package tls13 is a from-scratch TLS 1.3 (RFC 8446) implementation on
+// the Go standard library's crypto primitives: X25519 key exchange,
+// HKDF key schedule, AES-GCM record protection, ECDSA-P256 certificates,
+// session tickets with PSK resumption and 0-RTT early data.
+//
+// It plays the role picotls plays for the TCPLS prototype: a TLS stack
+// open enough to host the TCPLS extensions — extra ClientHello /
+// EncryptedExtensions contents, exported secrets for per-stream crypto
+// contexts and JOIN cookies, and record-layer hooks for the hidden
+// record type of Figure 1. Everything TCPLS-specific lives above, in
+// internal/record and internal/core; this package is plain TLS 1.3.
+package tls13
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hkdf"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/binary"
+	"fmt"
+	"hash"
+)
+
+// CipherSuite identifiers (RFC 8446 §B.4).
+const (
+	TLS_AES_128_GCM_SHA256 uint16 = 0x1301
+	TLS_AES_256_GCM_SHA384 uint16 = 0x1302
+)
+
+// suiteParams describes a cipher suite's primitives.
+type suiteParams struct {
+	id      uint16
+	keyLen  int
+	ivLen   int
+	hashLen int
+	newHash func() hash.Hash
+}
+
+var suites = map[uint16]*suiteParams{
+	TLS_AES_128_GCM_SHA256: {TLS_AES_128_GCM_SHA256, 16, 12, 32, sha256.New},
+	TLS_AES_256_GCM_SHA384: {TLS_AES_256_GCM_SHA384, 32, 12, 48, sha512.New384},
+}
+
+// DefaultCipherSuites is the offer order.
+var DefaultCipherSuites = []uint16{TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384}
+
+// CipherSuiteName renders the suite for diagnostics.
+func CipherSuiteName(id uint16) string {
+	switch id {
+	case TLS_AES_128_GCM_SHA256:
+		return "TLS_AES_128_GCM_SHA256"
+	case TLS_AES_256_GCM_SHA384:
+		return "TLS_AES_256_GCM_SHA384"
+	default:
+		return fmt.Sprintf("unknown(%#04x)", id)
+	}
+}
+
+// hkdfExtract is HKDF-Extract with the suite hash.
+func (s *suiteParams) extract(salt, ikm []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, s.hashLen)
+	}
+	if ikm == nil {
+		ikm = make([]byte, s.hashLen)
+	}
+	out, err := hkdf.Extract(s.newHash, ikm, salt)
+	if err != nil {
+		panic("tls13: hkdf extract: " + err.Error())
+	}
+	return out
+}
+
+// expandLabel implements HKDF-Expand-Label (RFC 8446 §7.1).
+func (s *suiteParams) expandLabel(secret []byte, label string, context []byte, length int) []byte {
+	var info []byte
+	info = binary.BigEndian.AppendUint16(info, uint16(length))
+	full := "tls13 " + label
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, byte(len(context)))
+	info = append(info, context...)
+	out, err := hkdf.Expand(s.newHash, secret, string(info), length)
+	if err != nil {
+		panic("tls13: hkdf expand: " + err.Error())
+	}
+	return out
+}
+
+// deriveSecret is Derive-Secret (RFC 8446 §7.1): transcript is the raw
+// hash output of the messages so far (may be of an empty transcript).
+func (s *suiteParams) deriveSecret(secret []byte, label string, transcript []byte) []byte {
+	return s.expandLabel(secret, label, transcript, s.hashLen)
+}
+
+// emptyHash returns Hash("").
+func (s *suiteParams) emptyHash() []byte {
+	h := s.newHash()
+	return h.Sum(nil)
+}
+
+// finishedMAC computes the Finished verify_data over the transcript.
+func (s *suiteParams) finishedMAC(baseKey, transcript []byte) []byte {
+	finishedKey := s.expandLabel(baseKey, "finished", nil, s.hashLen)
+	m := hmac.New(s.newHash, finishedKey)
+	m.Write(transcript)
+	return m.Sum(nil)
+}
+
+// aead builds the record-protection AEAD for a traffic secret.
+func (s *suiteParams) aead(trafficSecret []byte) (cipher.AEAD, []byte) {
+	key := s.expandLabel(trafficSecret, "key", nil, s.keyLen)
+	iv := s.expandLabel(trafficSecret, "iv", nil, s.ivLen)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("tls13: aes: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("tls13: gcm: " + err.Error())
+	}
+	return gcm, iv
+}
+
+// keySchedule tracks the RFC 8446 §7.1 schedule through the handshake.
+type keySchedule struct {
+	suite      *suiteParams
+	transcript hash.Hash
+	secret     []byte // current extract output
+	stage      int    // 0 = early, 1 = handshake, 2 = master
+}
+
+func newKeySchedule(suite *suiteParams, psk []byte) *keySchedule {
+	ks := &keySchedule{suite: suite, transcript: suite.newHash()}
+	ks.secret = suite.extract(nil, psk) // early secret
+	return ks
+}
+
+// addMessage feeds a raw handshake message into the transcript.
+func (ks *keySchedule) addMessage(msg []byte) { ks.transcript.Write(msg) }
+
+// transcriptHash returns the hash of the transcript so far.
+func (ks *keySchedule) transcriptHash() []byte { return ks.transcript.Sum(nil) }
+
+// earlySecrets derives the 0-RTT secrets; call before any ServerHello is
+// in the transcript (i.e. right after ClientHello).
+func (ks *keySchedule) clientEarlyTrafficSecret() []byte {
+	return ks.suite.deriveSecret(ks.secret, "c e traffic", ks.transcriptHash())
+}
+
+// binderKey derives the PSK binder key (resumption flavor).
+func (ks *keySchedule) binderKey() []byte {
+	return ks.suite.deriveSecret(ks.secret, "res binder", ks.suite.emptyHash())
+}
+
+// toHandshake mixes in the ECDHE shared secret.
+func (ks *keySchedule) toHandshake(ecdhe []byte) {
+	derived := ks.suite.deriveSecret(ks.secret, "derived", ks.suite.emptyHash())
+	ks.secret = ks.suite.extract(derived, ecdhe)
+	ks.stage = 1
+}
+
+// handshakeTrafficSecrets returns (client, server) handshake secrets.
+func (ks *keySchedule) handshakeTrafficSecrets() ([]byte, []byte) {
+	th := ks.transcriptHash()
+	return ks.suite.deriveSecret(ks.secret, "c hs traffic", th),
+		ks.suite.deriveSecret(ks.secret, "s hs traffic", th)
+}
+
+// toMaster finishes the schedule.
+func (ks *keySchedule) toMaster() {
+	derived := ks.suite.deriveSecret(ks.secret, "derived", ks.suite.emptyHash())
+	ks.secret = ks.suite.extract(derived, nil)
+	ks.stage = 2
+}
+
+// appTrafficSecrets returns (client, server) application secrets; the
+// transcript must cover ClientHello..server Finished.
+func (ks *keySchedule) appTrafficSecrets() ([]byte, []byte) {
+	th := ks.transcriptHash()
+	return ks.suite.deriveSecret(ks.secret, "c ap traffic", th),
+		ks.suite.deriveSecret(ks.secret, "s ap traffic", th)
+}
+
+// resumptionMasterSecret needs the transcript through client Finished.
+func (ks *keySchedule) resumptionMasterSecret() []byte {
+	return ks.suite.deriveSecret(ks.secret, "res master", ks.transcriptHash())
+}
+
+// exporterMasterSecret needs the transcript through server Finished.
+func (ks *keySchedule) exporterMasterSecret() []byte {
+	return ks.suite.deriveSecret(ks.secret, "exp master", ks.transcriptHash())
+}
+
+// Suite is the public handle on a cipher suite's key-derivation
+// primitives, for layers (TCPLS records, quicbase packets) that build
+// their own AEAD protection from exported traffic secrets.
+type Suite struct{ p *suiteParams }
+
+// SuiteByID resolves a cipher suite.
+func SuiteByID(id uint16) (*Suite, error) {
+	p := suites[id]
+	if p == nil {
+		return nil, fmt.Errorf("tls13: unknown suite %#04x", id)
+	}
+	return &Suite{p}, nil
+}
+
+// NewAEAD derives (key, iv) from a traffic secret per RFC 8446 §7.3 and
+// returns the record-protection AEAD with its static IV.
+func (s *Suite) NewAEAD(trafficSecret []byte) (cipher.AEAD, []byte) {
+	return s.p.aead(trafficSecret)
+}
+
+// ExpandLabel exposes HKDF-Expand-Label for higher layers.
+func (s *Suite) ExpandLabel(secret []byte, label string, context []byte, length int) []byte {
+	return s.p.expandLabel(secret, label, context, length)
+}
+
+// HashLen returns the suite hash length.
+func (s *Suite) HashLen() int { return s.p.hashLen }

@@ -1,0 +1,563 @@
+package tls13
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Handshake message types (RFC 8446 §4).
+const (
+	typeClientHello         uint8 = 1
+	typeServerHello         uint8 = 2
+	typeNewSessionTicket    uint8 = 4
+	typeEndOfEarlyData      uint8 = 5
+	typeEncryptedExtensions uint8 = 8
+	typeCertificate         uint8 = 11
+	typeCertificateVerify   uint8 = 15
+	typeFinished            uint8 = 20
+)
+
+// Extension types.
+const (
+	extServerName          uint16 = 0
+	extSupportedGroups     uint16 = 10
+	extSignatureAlgorithms uint16 = 13
+	extALPN                uint16 = 16
+	extEarlyData           uint16 = 42
+	extPreSharedKey        uint16 = 41
+	extSupportedVersions   uint16 = 43
+	extCookie              uint16 = 44
+	extPSKModes            uint16 = 45
+	extKeyShare            uint16 = 51
+	// ExtTCPLS is the private-use extension carrying the TCPLS transport
+	// parameter (the client's willingness to speak TCPLS, §2.2) and, on
+	// JOIN handshakes, the CONNID + cookie proof of Figure 2.
+	ExtTCPLS uint16 = 0xff5c
+)
+
+// Named groups and signature schemes we implement.
+const (
+	groupX25519        uint16 = 29
+	sigECDSAP256SHA256 uint16 = 0x0403
+)
+
+// pskModePSKDHE requires a fresh ECDHE exchange alongside the PSK.
+const pskModePSKDHE uint8 = 1
+
+// VersionTLS13 is the supported_versions codepoint.
+const VersionTLS13 uint16 = 0x0304
+
+// Extension is a raw TLS extension.
+type Extension struct {
+	Type uint16
+	Data []byte
+}
+
+// ErrDecode reports a malformed handshake message.
+var ErrDecode = errors.New("tls13: malformed message")
+
+// --- little builder/parser helpers (no x/crypto/cryptobyte offline) ---
+
+type builder struct{ b []byte }
+
+func (w *builder) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *builder) u16(v uint16)   { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *builder) u32(v uint32)   { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *builder) bytes(p []byte) { w.b = append(w.b, p...) }
+
+// vec appends a length-prefixed vector; lenBytes in {1,2,3}.
+func (w *builder) vec(lenBytes int, fn func(*builder)) {
+	start := len(w.b)
+	for i := 0; i < lenBytes; i++ {
+		w.b = append(w.b, 0)
+	}
+	fn(w)
+	n := len(w.b) - start - lenBytes
+	switch lenBytes {
+	case 1:
+		w.b[start] = uint8(n)
+	case 2:
+		binary.BigEndian.PutUint16(w.b[start:], uint16(n))
+	case 3:
+		w.b[start] = uint8(n >> 16)
+		binary.BigEndian.PutUint16(w.b[start+1:], uint16(n))
+	}
+}
+
+type parser struct{ b []byte }
+
+func (p *parser) empty() bool { return len(p.b) == 0 }
+
+func (p *parser) u8(v *uint8) bool {
+	if len(p.b) < 1 {
+		return false
+	}
+	*v = p.b[0]
+	p.b = p.b[1:]
+	return true
+}
+
+func (p *parser) u16(v *uint16) bool {
+	if len(p.b) < 2 {
+		return false
+	}
+	*v = binary.BigEndian.Uint16(p.b)
+	p.b = p.b[2:]
+	return true
+}
+
+func (p *parser) u32(v *uint32) bool {
+	if len(p.b) < 4 {
+		return false
+	}
+	*v = binary.BigEndian.Uint32(p.b)
+	p.b = p.b[4:]
+	return true
+}
+
+func (p *parser) take(n int, out *[]byte) bool {
+	if n < 0 || len(p.b) < n {
+		return false
+	}
+	*out = p.b[:n:n]
+	p.b = p.b[n:]
+	return true
+}
+
+func (p *parser) vec(lenBytes int, out *[]byte) bool {
+	var n int
+	switch lenBytes {
+	case 1:
+		var v uint8
+		if !p.u8(&v) {
+			return false
+		}
+		n = int(v)
+	case 2:
+		var v uint16
+		if !p.u16(&v) {
+			return false
+		}
+		n = int(v)
+	case 3:
+		var hi uint8
+		var lo uint16
+		if !p.u8(&hi) || !p.u16(&lo) {
+			return false
+		}
+		n = int(hi)<<16 | int(lo)
+	}
+	return p.take(n, out)
+}
+
+func parseExtensions(b []byte) ([]Extension, error) {
+	p := parser{b}
+	var exts []Extension
+	for !p.empty() {
+		var typ uint16
+		var data []byte
+		if !p.u16(&typ) || !p.vec(2, &data) {
+			return nil, ErrDecode
+		}
+		exts = append(exts, Extension{typ, data})
+	}
+	return exts, nil
+}
+
+func writeExtensions(w *builder, exts []Extension) {
+	w.vec(2, func(w *builder) {
+		for _, e := range exts {
+			w.u16(e.Type)
+			w.vec(2, func(w *builder) { w.bytes(e.Data) })
+		}
+	})
+}
+
+func findExt(exts []Extension, typ uint16) ([]byte, bool) {
+	for _, e := range exts {
+		if e.Type == typ {
+			return e.Data, true
+		}
+	}
+	return nil, false
+}
+
+// handshakeHeader prepends the 4-byte handshake message header.
+func handshakeMessage(typ uint8, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	out[0] = typ
+	out[1] = uint8(len(body) >> 16)
+	binary.BigEndian.PutUint16(out[2:], uint16(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// --- ClientHello ---
+
+// clientHello is the decoded ClientHello message.
+type clientHello struct {
+	random       []byte // 32 bytes
+	sessionID    []byte
+	cipherSuites []uint16
+	extensions   []Extension
+
+	// Decoded extension views.
+	versions       []uint16
+	groups         []uint16
+	keyShareX25519 []byte
+	serverName     string
+	alpn           []string
+	pskModes       []uint8
+	psk            *pskOffer
+	earlyData      bool
+	tcpls          []byte
+}
+
+// pskOffer is the pre_shared_key extension (single identity offered).
+type pskOffer struct {
+	identity   []byte
+	obfAgeMS   uint32
+	binder     []byte
+	bindersLen int // encoded length of the binders vector incl. prefix
+}
+
+func (ch *clientHello) marshal() []byte {
+	var w builder
+	w.u16(0x0303) // legacy_version
+	w.bytes(ch.random)
+	w.vec(1, func(w *builder) { w.bytes(ch.sessionID) })
+	w.vec(2, func(w *builder) {
+		for _, cs := range ch.cipherSuites {
+			w.u16(cs)
+		}
+	})
+	w.vec(1, func(w *builder) { w.u8(0) }) // legacy_compression_methods: null
+	writeExtensions(&w, ch.extensions)
+	return handshakeMessage(typeClientHello, w.b)
+}
+
+func parseClientHello(body []byte) (*clientHello, error) {
+	p := parser{body}
+	ch := &clientHello{}
+	var legacyVersion uint16
+	var suitesRaw, compRaw, extRaw []byte
+	if !p.u16(&legacyVersion) || !p.take(32, &ch.random) ||
+		!p.vec(1, &ch.sessionID) || !p.vec(2, &suitesRaw) ||
+		!p.vec(1, &compRaw) {
+		return nil, ErrDecode
+	}
+	if len(suitesRaw)%2 != 0 {
+		return nil, ErrDecode
+	}
+	for i := 0; i < len(suitesRaw); i += 2 {
+		ch.cipherSuites = append(ch.cipherSuites, binary.BigEndian.Uint16(suitesRaw[i:]))
+	}
+	if !p.vec(2, &extRaw) || !p.empty() {
+		return nil, ErrDecode
+	}
+	exts, err := parseExtensions(extRaw)
+	if err != nil {
+		return nil, err
+	}
+	ch.extensions = exts
+	if err := ch.decodeExtensions(); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (ch *clientHello) decodeExtensions() error {
+	for _, e := range ch.extensions {
+		p := parser{e.Data}
+		switch e.Type {
+		case extSupportedVersions:
+			var raw []byte
+			if !p.vec(1, &raw) || len(raw)%2 != 0 {
+				return ErrDecode
+			}
+			for i := 0; i < len(raw); i += 2 {
+				ch.versions = append(ch.versions, binary.BigEndian.Uint16(raw[i:]))
+			}
+		case extSupportedGroups:
+			var raw []byte
+			if !p.vec(2, &raw) || len(raw)%2 != 0 {
+				return ErrDecode
+			}
+			for i := 0; i < len(raw); i += 2 {
+				ch.groups = append(ch.groups, binary.BigEndian.Uint16(raw[i:]))
+			}
+		case extKeyShare:
+			var list []byte
+			if !p.vec(2, &list) {
+				return ErrDecode
+			}
+			lp := parser{list}
+			for !lp.empty() {
+				var group uint16
+				var key []byte
+				if !lp.u16(&group) || !lp.vec(2, &key) {
+					return ErrDecode
+				}
+				if group == groupX25519 && len(key) == 32 {
+					ch.keyShareX25519 = key
+				}
+			}
+		case extServerName:
+			var list []byte
+			if !p.vec(2, &list) {
+				return ErrDecode
+			}
+			lp := parser{list}
+			var typ uint8
+			var name []byte
+			if !lp.u8(&typ) || !lp.vec(2, &name) {
+				return ErrDecode
+			}
+			ch.serverName = string(name)
+		case extALPN:
+			var list []byte
+			if !p.vec(2, &list) {
+				return ErrDecode
+			}
+			lp := parser{list}
+			for !lp.empty() {
+				var proto []byte
+				if !lp.vec(1, &proto) {
+					return ErrDecode
+				}
+				ch.alpn = append(ch.alpn, string(proto))
+			}
+		case extPSKModes:
+			var raw []byte
+			if !p.vec(1, &raw) {
+				return ErrDecode
+			}
+			ch.pskModes = raw
+		case extEarlyData:
+			ch.earlyData = true
+		case ExtTCPLS:
+			ch.tcpls = e.Data
+		case extPreSharedKey:
+			var ids, binders []byte
+			if !p.vec(2, &ids) || !p.vec(2, &binders) {
+				return ErrDecode
+			}
+			idp := parser{ids}
+			var identity []byte
+			var age uint32
+			if !idp.vec(2, &identity) || !idp.u32(&age) {
+				return ErrDecode
+			}
+			bp := parser{binders}
+			var binder []byte
+			if !bp.vec(1, &binder) {
+				return ErrDecode
+			}
+			ch.psk = &pskOffer{
+				identity:   identity,
+				obfAgeMS:   age,
+				binder:     binder,
+				bindersLen: 2 + len(binders),
+			}
+		}
+	}
+	return nil
+}
+
+// --- ServerHello ---
+
+type serverHello struct {
+	random      []byte
+	sessionID   []byte
+	cipherSuite uint16
+	extensions  []Extension
+
+	keyShareX25519 []byte
+	selectedPSK    bool
+}
+
+func (sh *serverHello) marshal() []byte {
+	var w builder
+	w.u16(0x0303)
+	w.bytes(sh.random)
+	w.vec(1, func(w *builder) { w.bytes(sh.sessionID) })
+	w.u16(sh.cipherSuite)
+	w.u8(0) // legacy compression
+	writeExtensions(&w, sh.extensions)
+	return handshakeMessage(typeServerHello, w.b)
+}
+
+func parseServerHello(body []byte) (*serverHello, error) {
+	p := parser{body}
+	sh := &serverHello{}
+	var legacyVersion uint16
+	var comp uint8
+	var extRaw []byte
+	if !p.u16(&legacyVersion) || !p.take(32, &sh.random) ||
+		!p.vec(1, &sh.sessionID) || !p.u16(&sh.cipherSuite) || !p.u8(&comp) ||
+		!p.vec(2, &extRaw) || !p.empty() {
+		return nil, ErrDecode
+	}
+	exts, err := parseExtensions(extRaw)
+	if err != nil {
+		return nil, err
+	}
+	sh.extensions = exts
+	for _, e := range exts {
+		ep := parser{e.Data}
+		switch e.Type {
+		case extKeyShare:
+			var group uint16
+			var key []byte
+			if !ep.u16(&group) || !ep.vec(2, &key) {
+				return nil, ErrDecode
+			}
+			if group == groupX25519 {
+				sh.keyShareX25519 = key
+			}
+		case extPreSharedKey:
+			var idx uint16
+			if !ep.u16(&idx) {
+				return nil, ErrDecode
+			}
+			sh.selectedPSK = true
+		}
+	}
+	return sh, nil
+}
+
+// --- EncryptedExtensions ---
+
+func marshalEncryptedExtensions(exts []Extension) []byte {
+	var w builder
+	writeExtensions(&w, exts)
+	return handshakeMessage(typeEncryptedExtensions, w.b)
+}
+
+func parseEncryptedExtensions(body []byte) ([]Extension, error) {
+	p := parser{body}
+	var extRaw []byte
+	if !p.vec(2, &extRaw) || !p.empty() {
+		return nil, ErrDecode
+	}
+	return parseExtensions(extRaw)
+}
+
+// --- Certificate ---
+
+func marshalCertificate(chain [][]byte) []byte {
+	var w builder
+	w.vec(1, func(w *builder) {}) // empty certificate_request_context
+	w.vec(3, func(w *builder) {
+		for _, cert := range chain {
+			w.vec(3, func(w *builder) { w.bytes(cert) })
+			w.vec(2, func(w *builder) {}) // no per-cert extensions
+		}
+	})
+	return handshakeMessage(typeCertificate, w.b)
+}
+
+func parseCertificate(body []byte) ([][]byte, error) {
+	p := parser{body}
+	var ctx, list []byte
+	if !p.vec(1, &ctx) || !p.vec(3, &list) || !p.empty() {
+		return nil, ErrDecode
+	}
+	lp := parser{list}
+	var chain [][]byte
+	for !lp.empty() {
+		var cert, certExts []byte
+		if !lp.vec(3, &cert) || !lp.vec(2, &certExts) {
+			return nil, ErrDecode
+		}
+		chain = append(chain, cert)
+	}
+	return chain, nil
+}
+
+// --- CertificateVerify ---
+
+func marshalCertificateVerify(scheme uint16, sig []byte) []byte {
+	var w builder
+	w.u16(scheme)
+	w.vec(2, func(w *builder) { w.bytes(sig) })
+	return handshakeMessage(typeCertificateVerify, w.b)
+}
+
+func parseCertificateVerify(body []byte) (uint16, []byte, error) {
+	p := parser{body}
+	var scheme uint16
+	var sig []byte
+	if !p.u16(&scheme) || !p.vec(2, &sig) || !p.empty() {
+		return 0, nil, ErrDecode
+	}
+	return scheme, sig, nil
+}
+
+// --- Finished ---
+
+func marshalFinished(verify []byte) []byte {
+	return handshakeMessage(typeFinished, verify)
+}
+
+// --- NewSessionTicket ---
+
+type sessionTicket struct {
+	lifetime     uint32
+	ageAdd       uint32
+	nonce        []byte
+	ticket       []byte
+	maxEarlyData uint32
+}
+
+func (t *sessionTicket) marshal() []byte {
+	var w builder
+	w.u32(t.lifetime)
+	w.u32(t.ageAdd)
+	w.vec(1, func(w *builder) { w.bytes(t.nonce) })
+	w.vec(2, func(w *builder) { w.bytes(t.ticket) })
+	var exts []Extension
+	if t.maxEarlyData > 0 {
+		var ew builder
+		ew.u32(t.maxEarlyData)
+		exts = append(exts, Extension{extEarlyData, ew.b})
+	}
+	writeExtensions(&w, exts)
+	return handshakeMessage(typeNewSessionTicket, w.b)
+}
+
+func parseNewSessionTicket(body []byte) (*sessionTicket, error) {
+	p := parser{body}
+	t := &sessionTicket{}
+	var extRaw []byte
+	if !p.u32(&t.lifetime) || !p.u32(&t.ageAdd) || !p.vec(1, &t.nonce) ||
+		!p.vec(2, &t.ticket) || !p.vec(2, &extRaw) || !p.empty() {
+		return nil, ErrDecode
+	}
+	exts, err := parseExtensions(extRaw)
+	if err != nil {
+		return nil, err
+	}
+	if data, ok := findExt(exts, extEarlyData); ok {
+		ep := parser{data}
+		if !ep.u32(&t.maxEarlyData) {
+			return nil, ErrDecode
+		}
+	}
+	return t, nil
+}
+
+// splitHandshakeMessage peels one handshake message off b, returning the
+// message type, body, the full raw message (for the transcript) and the
+// remainder.
+func splitHandshakeMessage(b []byte) (typ uint8, body, raw, rest []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: short header", ErrDecode)
+	}
+	n := int(b[1])<<16 | int(binary.BigEndian.Uint16(b[2:]))
+	if len(b) < 4+n {
+		return 0, nil, nil, nil, fmt.Errorf("%w: truncated body", ErrDecode)
+	}
+	return b[0], b[4 : 4+n], b[:4+n], b[4+n:], nil
+}

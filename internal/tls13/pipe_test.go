@@ -1,0 +1,76 @@
+package tls13
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// bufferedPipe returns an in-memory full-duplex connection pair with
+// buffered writes, matching TCP semantics (net.Pipe is synchronous,
+// which deadlocks against post-handshake ticket writes).
+func bufferedPipe() (net.Conn, net.Conn) {
+	a2b := &pipeBuf{}
+	b2a := &pipeBuf{}
+	a2b.cond = sync.NewCond(&a2b.mu)
+	b2a.cond = sync.NewCond(&b2a.mu)
+	return &pipeEnd{r: b2a, w: a2b}, &pipeEnd{r: a2b, w: b2a}
+}
+
+type pipeBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+type pipeEnd struct {
+	r, w *pipeBuf
+}
+
+func (p *pipeEnd) Read(b []byte) (int, error) {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	for len(p.r.data) == 0 && !p.r.closed {
+		p.r.cond.Wait()
+	}
+	if len(p.r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, p.r.data)
+	p.r.data = p.r.data[n:]
+	return n, nil
+}
+
+func (p *pipeEnd) Write(b []byte) (int, error) {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	if p.w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	p.w.data = append(p.w.data, b...)
+	p.w.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *pipeEnd) Close() error {
+	for _, buf := range []*pipeBuf{p.r, p.w} {
+		buf.mu.Lock()
+		buf.closed = true
+		buf.cond.Broadcast()
+		buf.mu.Unlock()
+	}
+	return nil
+}
+
+func (p *pipeEnd) LocalAddr() net.Addr                { return pipeAddr{} }
+func (p *pipeEnd) RemoteAddr() net.Addr               { return pipeAddr{} }
+func (p *pipeEnd) SetDeadline(t time.Time) error      { return nil }
+func (p *pipeEnd) SetReadDeadline(t time.Time) error  { return nil }
+func (p *pipeEnd) SetWriteDeadline(t time.Time) error { return nil }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

@@ -1,0 +1,209 @@
+package tls13
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record content types.
+const (
+	RecordTypeChangeCipherSpec uint8 = 20
+	RecordTypeAlert            uint8 = 21
+	RecordTypeHandshake        uint8 = 22
+	RecordTypeApplicationData  uint8 = 23
+)
+
+// Record-layer limits (RFC 8446 §5.1/§5.2).
+const (
+	MaxPlaintext  = 16384
+	MaxCiphertext = MaxPlaintext + 256
+	recordHeader  = 5
+)
+
+// Record-layer errors.
+var (
+	ErrRecordOverflow = errors.New("tls13: record overflows limit")
+	ErrBadRecordMAC   = errors.New("tls13: bad record MAC")
+	ErrKeyLimit       = errors.New("tls13: AEAD usage limit reached")
+)
+
+// aeadLimit is the confidentiality limit on records per key for AES-GCM
+// (2^24.5 per the AEAD-limits analysis the paper cites [31, 46]; we round
+// down). Hitting it returns ErrKeyLimit rather than weakening.
+const aeadLimit = 1 << 24
+
+// halfConn protects one direction of a connection.
+type halfConn struct {
+	aead    cipher.AEAD
+	iv      []byte
+	seq     uint64
+	forgery uint64 // failed decryptions count toward the limit too
+
+	// TCPLS per-stream contexts (tcpls_hooks.go). ctxMu guards the slice
+	// only: per-context sequence numbers are mutated exclusively by the
+	// direction's single record path (muRead for in, muWrite for out).
+	ctxMu sync.Mutex
+	ctxs  []*streamCtx
+}
+
+// setKeys installs a traffic secret (nil aead means plaintext).
+func (hc *halfConn) setKeys(s *suiteParams, trafficSecret []byte) {
+	hc.aead, hc.iv = s.aead(trafficSecret)
+	hc.seq = 0
+}
+
+// nonce XORs the sequence number into the static IV (RFC 8446 §5.3).
+func (hc *halfConn) nonce() []byte {
+	n := make([]byte, len(hc.iv))
+	copy(n, hc.iv)
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], hc.seq)
+	for i := 0; i < 8; i++ {
+		n[len(n)-8+i] ^= seqb[i]
+	}
+	return n
+}
+
+// recordLayer frames, protects and deprotects TLS records over an
+// io.ReadWriter (typically a TCP connection — kernel or tcpnet).
+type recordLayer struct {
+	rw  io.ReadWriter
+	in  halfConn
+	out halfConn
+	buf []byte // read buffer with partial record bytes
+}
+
+// writeRecord writes one record. If the write direction is encrypted,
+// payload is wrapped as TLSInnerPlaintext with the given inner type and
+// the outer type becomes application_data; otherwise typ goes on the
+// wire directly.
+func (rl *recordLayer) writeRecord(typ uint8, payload []byte) error {
+	if len(payload) > MaxPlaintext {
+		return ErrRecordOverflow
+	}
+	var out []byte
+	if rl.out.aead == nil {
+		out = make([]byte, recordHeader+len(payload))
+		out[0] = typ
+		binary.BigEndian.PutUint16(out[1:], 0x0301)
+		binary.BigEndian.PutUint16(out[3:], uint16(len(payload)))
+		copy(out[recordHeader:], payload)
+	} else {
+		if rl.out.seq >= aeadLimit {
+			return ErrKeyLimit
+		}
+		inner := make([]byte, 0, len(payload)+1)
+		inner = append(inner, payload...)
+		inner = append(inner, typ)
+		n := len(inner) + rl.out.aead.Overhead()
+		out = make([]byte, recordHeader, recordHeader+n)
+		out[0] = RecordTypeApplicationData
+		binary.BigEndian.PutUint16(out[1:], 0x0303)
+		binary.BigEndian.PutUint16(out[3:], uint16(n))
+		out = rl.out.aead.Seal(out, rl.out.nonce(), inner, out[:recordHeader])
+		rl.out.seq++
+	}
+	_, err := rl.rw.Write(out)
+	return err
+}
+
+// readRecord returns the next record's (inner) content type and payload.
+// ChangeCipherSpec records are skipped transparently.
+func (rl *recordLayer) readRecord() (uint8, []byte, error) {
+	for {
+		hdr, err := rl.fill(recordHeader)
+		if err != nil {
+			return 0, nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[3:]))
+		if n > MaxCiphertext {
+			return 0, nil, ErrRecordOverflow
+		}
+		full, err := rl.fill(recordHeader + n)
+		if err != nil {
+			return 0, nil, err
+		}
+		typ := full[0]
+		body := append([]byte(nil), full[recordHeader:recordHeader+n]...)
+		rl.consume(recordHeader + n)
+
+		if typ == RecordTypeChangeCipherSpec {
+			continue // middlebox-compat CCS: ignore
+		}
+		if rl.in.aead == nil || typ != RecordTypeApplicationData {
+			return typ, body, nil
+		}
+		if rl.in.seq+rl.in.forgery >= aeadLimit {
+			return 0, nil, ErrKeyLimit
+		}
+		hdrCopy := [recordHeader]byte{typ, 0x03, 0x03}
+		binary.BigEndian.PutUint16(hdrCopy[3:], uint16(n))
+		plain, err := rl.in.aead.Open(body[:0], rl.in.nonce(), body, hdrCopy[:])
+		if err != nil {
+			rl.in.forgery++
+			return 0, nil, ErrBadRecordMAC
+		}
+		rl.in.seq++
+		// Strip zero padding and the inner content type.
+		i := len(plain) - 1
+		for i >= 0 && plain[i] == 0 {
+			i--
+		}
+		if i < 0 {
+			return 0, nil, fmt.Errorf("%w: all-zero plaintext", ErrBadRecordMAC)
+		}
+		return plain[i], plain[:i], nil
+	}
+}
+
+// fill ensures n buffered bytes and returns them without consuming.
+func (rl *recordLayer) fill(n int) ([]byte, error) {
+	for len(rl.buf) < n {
+		chunk := make([]byte, 8192)
+		m, err := rl.rw.Read(chunk)
+		if m > 0 {
+			rl.buf = append(rl.buf, chunk[:m]...)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rl.buf[:n], nil
+}
+
+func (rl *recordLayer) consume(n int) { rl.buf = rl.buf[n:] }
+
+// Alert descriptions we emit or interpret.
+const (
+	alertCloseNotify     uint8 = 0
+	alertHandshakeFail   uint8 = 40
+	alertBadCertificate  uint8 = 42
+	alertDecryptError    uint8 = 51
+	alertProtocolVersion uint8 = 70
+	alertInternalError   uint8 = 80
+	alertUnexpectedMsg   uint8 = 10
+)
+
+// AlertError is a fatal alert received from the peer.
+type AlertError struct {
+	Description uint8
+}
+
+// Error implements error.
+func (a *AlertError) Error() string {
+	return fmt.Sprintf("tls13: alert %d from peer", a.Description)
+}
+
+// sendAlert writes a fatal (or close_notify) alert.
+func (rl *recordLayer) sendAlert(desc uint8) error {
+	level := uint8(2)
+	if desc == alertCloseNotify {
+		level = 1
+	}
+	return rl.writeRecord(RecordTypeAlert, []byte{level, desc})
+}

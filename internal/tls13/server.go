@@ -1,0 +1,295 @@
+package tls13
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+func randReader() io.Reader { return rand.Reader }
+
+// serverHandshake drives the server side of the TLS 1.3 handshake.
+func (c *Conn) serverHandshake() error {
+	cfg := c.cfg
+
+	// ClientHello.
+	typ, body, rawCH, err := c.readHandshakeMessage()
+	if err != nil {
+		return err
+	}
+	if typ != typeClientHello {
+		return fmt.Errorf("tls13: expected ClientHello, got %d", typ)
+	}
+	ch, err := parseClientHello(body)
+	if err != nil {
+		return err
+	}
+	has13 := false
+	for _, v := range ch.versions {
+		if v == VersionTLS13 {
+			has13 = true
+		}
+	}
+	if !has13 {
+		return errors.New("tls13: client does not offer TLS 1.3")
+	}
+	if ch.keyShareX25519 == nil {
+		return errors.New("tls13: client sent no X25519 key share")
+	}
+
+	info := ClientHelloInfo{
+		ServerName: ch.serverName,
+		ALPN:       ch.alpn,
+		TCPLS:      ch.tcpls,
+		Resumption: ch.psk != nil,
+	}
+	if cfg.OnClientHello != nil {
+		if err := cfg.OnClientHello(info); err != nil {
+			return err
+		}
+	}
+
+	// Suite selection: first offered suite we support; under PSK it must
+	// match the ticket's suite.
+	var suite *suiteParams
+	for _, cs := range ch.cipherSuites {
+		if s := suites[cs]; s != nil {
+			if len(cfg.CipherSuites) > 0 && !containsU16(cfg.CipherSuites, cs) {
+				continue
+			}
+			suite = s
+			break
+		}
+	}
+	if suite == nil {
+		return errors.New("tls13: no common cipher suite")
+	}
+
+	// PSK resumption.
+	var psk []byte
+	var ticket *ticketPayload
+	resumed := false
+	if ch.psk != nil {
+		if tp, ok := cfg.decryptTicket(ch.psk.identity); ok && tp.suiteID == suite.id {
+			// Verify the binder over the truncated ClientHello.
+			ks := newKeySchedule(suite, tp.psk)
+			truncated := rawCH[:len(rawCH)-ch.psk.bindersLen]
+			th := suite.newHash()
+			th.Write(truncated)
+			expect := suite.finishedMAC(ks.binderKey(), th.Sum(nil))
+			if hmac.Equal(expect, ch.psk.binder) {
+				psk = tp.psk
+				ticket = tp
+				resumed = true
+			}
+		}
+	}
+
+	ks := newKeySchedule(suite, psk)
+	ks.addMessage(rawCH)
+
+	// Early data decision: valid PSK, client asked, we allow it, and the
+	// ticket has not been replayed.
+	earlyOK := resumed && ch.earlyData && ticket.maxEarlyData > 0 &&
+		cfg.markTicketUsed(ch.psk.identity)
+	var clientEarlySecret []byte
+	if earlyOK {
+		clientEarlySecret = ks.clientEarlyTrafficSecret()
+	}
+
+	// ServerHello.
+	priv, err := ecdh.X25519().GenerateKey(randReader())
+	if err != nil {
+		return err
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(ch.keyShareX25519)
+	if err != nil {
+		return err
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return err
+	}
+	sh := &serverHello{
+		random:      randomBytes(32),
+		sessionID:   ch.sessionID,
+		cipherSuite: suite.id,
+	}
+	var w builder
+	w.u16(VersionTLS13)
+	sh.extensions = append(sh.extensions, Extension{extSupportedVersions, w.b})
+	w = builder{}
+	w.u16(groupX25519)
+	w.vec(2, func(w *builder) { w.bytes(priv.PublicKey().Bytes()) })
+	sh.extensions = append(sh.extensions, Extension{extKeyShare, w.b})
+	if resumed {
+		w = builder{}
+		w.u16(0) // selected identity index
+		sh.extensions = append(sh.extensions, Extension{extPreSharedKey, w.b})
+	}
+	rawSH := sh.marshal()
+	if err := c.writeHandshakeRecord(rawSH); err != nil {
+		return err
+	}
+	ks.addMessage(rawSH)
+
+	ks.toHandshake(shared)
+	clientHS, serverHS := ks.handshakeTrafficSecrets()
+	c.rl.out.setKeys(suite, serverHS)
+
+	// EncryptedExtensions: ALPN, early-data ack, and the TCPLS payload
+	// from the caller (CONNID, cookies, addresses — Fig. 2).
+	var ee []Extension
+	alpn := ""
+	for _, offered := range ch.alpn {
+		for _, ours := range cfg.ALPN {
+			if offered == ours {
+				alpn = offered
+				break
+			}
+		}
+		if alpn != "" {
+			break
+		}
+	}
+	if alpn != "" {
+		w = builder{}
+		w.vec(2, func(w *builder) {
+			w.vec(1, func(w *builder) { w.bytes([]byte(alpn)) })
+		})
+		ee = append(ee, Extension{extALPN, w.b})
+	}
+	if earlyOK {
+		ee = append(ee, Extension{extEarlyData, nil})
+	}
+	if cfg.EncryptedExtensions != nil {
+		ee = append(ee, cfg.EncryptedExtensions(info)...)
+	}
+	rawEE := marshalEncryptedExtensions(ee)
+	if err := c.writeHandshakeRecord(rawEE); err != nil {
+		return err
+	}
+	ks.addMessage(rawEE)
+
+	// Certificate + CertificateVerify (full handshakes only).
+	if !resumed {
+		if cfg.Certificate == nil {
+			return ErrNoCertificate
+		}
+		rawCert := marshalCertificate(cfg.Certificate.Chain)
+		if err := c.writeHandshakeRecord(rawCert); err != nil {
+			return err
+		}
+		ks.addMessage(rawCert)
+		sig, err := signHandshake(cfg.Certificate.Key, true, ks.transcriptHash())
+		if err != nil {
+			return err
+		}
+		rawCV := marshalCertificateVerify(sigECDSAP256SHA256, sig)
+		if err := c.writeHandshakeRecord(rawCV); err != nil {
+			return err
+		}
+		ks.addMessage(rawCV)
+	}
+
+	// Server Finished.
+	fin := marshalFinished(suite.finishedMAC(serverHS, ks.transcriptHash()))
+	if err := c.writeHandshakeRecord(fin); err != nil {
+		return err
+	}
+	ks.addMessage(fin)
+
+	ks.toMaster()
+	cApp, sApp := ks.appTrafficSecrets()
+	c.exporterSecret = ks.exporterMasterSecret()
+
+	// Read the client's remaining flight. With accepted early data the
+	// read direction first runs under the early keys until EndOfEarlyData.
+	c.suite = suite
+	if earlyOK {
+		c.earlyAccepted = true
+		c.earlyBudget = int(ticket.maxEarlyData)
+		c.rl.in.setKeys(suite, clientEarlySecret)
+		typ, _, rawEOED, err := c.readHandshakeMessage()
+		if err != nil {
+			return err
+		}
+		if typ != typeEndOfEarlyData {
+			return fmt.Errorf("tls13: expected EndOfEarlyData, got %d", typ)
+		}
+		ks.addMessage(rawEOED)
+		c.earlyAccepted = false
+	} else if ch.earlyData {
+		// The client may have sent early records we cannot (or refuse
+		// to) decrypt: skip undecryptable records, bounded.
+		c.skipEarlyData = true
+		c.earlyBudget = int(cfg.MaxEarlyData)
+		if c.earlyBudget == 0 {
+			c.earlyBudget = 128 << 10
+		}
+	}
+	c.rl.in.setKeys(suite, clientHS)
+
+	typ, body, rawFin, err := c.readClientFinished()
+	if err != nil {
+		return err
+	}
+	if typ != typeFinished {
+		return fmt.Errorf("tls13: expected client Finished, got %d", typ)
+	}
+	expect := suite.finishedMAC(clientHS, ks.transcriptHash())
+	if !hmac.Equal(expect, body) {
+		return errors.New("tls13: client Finished verification failed")
+	}
+	ks.addMessage(rawFin)
+	c.resumptionMS = ks.resumptionMasterSecret()
+
+	c.rl.in.setKeys(suite, cApp)
+	c.rl.out.setKeys(suite, sApp)
+	c.clientAppSecret, c.serverAppSecret = cApp, sApp
+	c.ks = ks
+	c.state.CipherSuite = suite.id
+	c.state.ALPN = alpn
+	c.state.Resumed = resumed
+	c.state.EarlyDataAccepted = earlyOK
+	c.state.ServerName = ch.serverName
+	c.state.PeerTCPLS = ch.tcpls
+	c.skipEarlyData = false
+
+	// Session tickets.
+	n := cfg.NumTickets
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if err := c.sendSessionTicket(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readClientFinished reads the next handshake message, skipping
+// undecryptable early-data records when the server rejected 0-RTT.
+func (c *Conn) readClientFinished() (uint8, []byte, []byte, error) {
+	for {
+		typ, body, raw, err := c.readHandshakeMessage()
+		if errors.Is(err, ErrBadRecordMAC) && c.skipEarlyData && c.earlyBudget > 0 {
+			c.earlyBudget -= MaxPlaintext
+			continue
+		}
+		return typ, body, raw, err
+	}
+}
+
+func containsU16(list []uint16, v uint16) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+package tls13
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file is the TCPLS attachment surface of the record layer (§2.3 of
+// the paper): additional cryptographic contexts that share the
+// direction's application traffic KEY but use a per-stream IV derived by
+// HKDF-Expand-Label(secret, "tcpls iv", streamID). Each context has its
+// own record sequence space starting at zero. The receiver does not
+// learn the stream id from the wire — it trial-verifies the AEAD tag
+// against its known contexts until one opens, exactly as the paper
+// describes ("configure the AEAD cipher to check the authentication tag
+// until we find the right stream").
+
+// DefaultContext identifies the connection's base TLS context (the one
+// the handshake established); TCPLS uses it for the control channel.
+const DefaultContext uint32 = 0xffffffff
+
+// streamCtx is one extra crypto context on a half connection.
+type streamCtx struct {
+	id  uint32
+	iv  []byte
+	seq uint64
+}
+
+func (sc *streamCtx) nonce(ivLen int) []byte {
+	n := make([]byte, ivLen)
+	copy(n, sc.iv)
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], sc.seq)
+	for i := 0; i < 8; i++ {
+		n[ivLen-8+i] ^= seqb[i]
+	}
+	return n
+}
+
+// ErrNoContext reports an inbound record that no context could open.
+var ErrNoContext = errors.New("tls13: no crypto context opens this record")
+
+// streamIVLabel derives the per-stream IV.
+func (s *suiteParams) streamIV(trafficSecret []byte, streamID uint32) []byte {
+	var ctx [4]byte
+	binary.BigEndian.PutUint32(ctx[:], streamID)
+	return s.expandLabel(trafficSecret, "tcpls iv", ctx[:], s.ivLen)
+}
+
+// AddStreamContext derives read+write contexts for a stream id.
+// Both directions share the stream id space in TCPLS. It intentionally
+// avoids the read/write record locks: a blocked reader must not prevent
+// context installation.
+func (c *Conn) AddStreamContext(id uint32) error {
+	if !c.hsDone {
+		return ErrHandshakeRequired
+	}
+	readSecret, writeSecret := c.serverAppSecret, c.clientAppSecret
+	if !c.isClient {
+		readSecret, writeSecret = c.clientAppSecret, c.serverAppSecret
+	}
+	c.rl.in.addContext(id, c.suite.streamIV(readSecret, id))
+	c.rl.out.addContext(id, c.suite.streamIV(writeSecret, id))
+	return nil
+}
+
+// RemoveStreamContext drops a stream's contexts (stream closed).
+func (c *Conn) RemoveStreamContext(id uint32) {
+	c.rl.in.removeContext(id)
+	c.rl.out.removeContext(id)
+}
+
+// WriteRecordContext writes one application-data record protected under
+// the given context (DefaultContext means the base TLS context).
+func (c *Conn) WriteRecordContext(id uint32, payload []byte) error {
+	c.muWrite.Lock()
+	defer c.muWrite.Unlock()
+	if err := c.handshakeNeeded(); err != nil {
+		return err
+	}
+	if id == DefaultContext {
+		return c.rl.writeRecord(RecordTypeApplicationData, payload)
+	}
+	return c.rl.writeRecordContext(id, payload)
+}
+
+// ReadRecordContext reads the next application-data record, returning
+// the context that opened it. Post-handshake messages (tickets) are
+// handled transparently; alerts surface as errors.
+func (c *Conn) ReadRecordContext() (uint32, []byte, error) {
+	c.muRead.Lock()
+	defer c.muRead.Unlock()
+	if err := c.handshakeNeeded(); err != nil {
+		return 0, nil, err
+	}
+	for {
+		id, typ, payload, err := c.rl.readRecordAny()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch typ {
+		case RecordTypeApplicationData:
+			return id, payload, nil
+		case RecordTypeHandshake:
+			if err := c.handlePostHandshake(payload); err != nil {
+				return 0, nil, err
+			}
+		case RecordTypeAlert:
+			return 0, nil, alertToError(payload)
+		default:
+			return 0, nil, fmt.Errorf("tls13: unexpected record type %d", typ)
+		}
+	}
+}
+
+// ForgeryCount reports failed AEAD openings on the read side — TCPLS
+// tracks these against the AEAD usage limits ([31,46] in the paper).
+func (c *Conn) ForgeryCount() uint64 {
+	c.muRead.Lock()
+	defer c.muRead.Unlock()
+	return c.rl.in.forgery
+}
+
+// --- halfConn context management ---
+
+func (hc *halfConn) addContext(id uint32, iv []byte) {
+	hc.ctxMu.Lock()
+	defer hc.ctxMu.Unlock()
+	for _, sc := range hc.ctxs {
+		if sc.id == id {
+			return
+		}
+	}
+	hc.ctxs = append(hc.ctxs, &streamCtx{id: id, iv: iv})
+}
+
+func (hc *halfConn) removeContext(id uint32) {
+	hc.ctxMu.Lock()
+	defer hc.ctxMu.Unlock()
+	for i, sc := range hc.ctxs {
+		if sc.id == id {
+			hc.ctxs = append(hc.ctxs[:i], hc.ctxs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (hc *halfConn) context(id uint32) *streamCtx {
+	hc.ctxMu.Lock()
+	defer hc.ctxMu.Unlock()
+	for _, sc := range hc.ctxs {
+		if sc.id == id {
+			return sc
+		}
+	}
+	return nil
+}
+
+// snapshotContexts copies the context list for trial decryption.
+func (hc *halfConn) snapshotContexts() []*streamCtx {
+	hc.ctxMu.Lock()
+	defer hc.ctxMu.Unlock()
+	return append([]*streamCtx(nil), hc.ctxs...)
+}
+
+// writeRecordContext protects payload under a stream context.
+func (rl *recordLayer) writeRecordContext(id uint32, payload []byte) error {
+	if len(payload) > MaxPlaintext {
+		return ErrRecordOverflow
+	}
+	sc := rl.out.context(id)
+	if sc == nil {
+		return fmt.Errorf("tls13: unknown write context %d", id)
+	}
+	if rl.out.aead == nil {
+		return ErrHandshakeRequired
+	}
+	if sc.seq >= aeadLimit {
+		return ErrKeyLimit
+	}
+	inner := make([]byte, 0, len(payload)+1)
+	inner = append(inner, payload...)
+	inner = append(inner, RecordTypeApplicationData)
+	n := len(inner) + rl.out.aead.Overhead()
+	out := make([]byte, recordHeader, recordHeader+n)
+	out[0] = RecordTypeApplicationData
+	binary.BigEndian.PutUint16(out[1:], 0x0303)
+	binary.BigEndian.PutUint16(out[3:], uint16(n))
+	out = rl.out.aead.Seal(out, sc.nonce(len(rl.out.iv)), inner, out[:recordHeader])
+	sc.seq++
+	_, err := rl.rw.Write(out)
+	return err
+}
+
+// readRecordAny reads one record and trial-decrypts: base context first,
+// then every stream context. Returns the context id that opened it
+// (DefaultContext for the base keys).
+func (rl *recordLayer) readRecordAny() (uint32, uint8, []byte, error) {
+	for {
+		hdr, err := rl.fill(recordHeader)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[3:]))
+		if n > MaxCiphertext {
+			return 0, 0, nil, ErrRecordOverflow
+		}
+		full, err := rl.fill(recordHeader + n)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		typ := full[0]
+		body := append([]byte(nil), full[recordHeader:recordHeader+n]...)
+		rl.consume(recordHeader + n)
+
+		if typ == RecordTypeChangeCipherSpec {
+			continue
+		}
+		if rl.in.aead == nil || typ != RecordTypeApplicationData {
+			return DefaultContext, typ, body, nil
+		}
+		if rl.in.seq+rl.in.forgery >= aeadLimit {
+			return 0, 0, nil, ErrKeyLimit
+		}
+		hdrCopy := [recordHeader]byte{typ, 0x03, 0x03}
+		binary.BigEndian.PutUint16(hdrCopy[3:], uint16(n))
+
+		// Base context first (control channel traffic dominates between
+		// stream bursts), then the stream contexts in attachment order.
+		if plain, err := rl.in.aead.Open(nil, rl.in.nonce(), body, hdrCopy[:]); err == nil {
+			rl.in.seq++
+			inner, ityp, ok := stripInner(plain)
+			if !ok {
+				return 0, 0, nil, ErrBadRecordMAC
+			}
+			return DefaultContext, ityp, inner, nil
+		}
+		rl.in.forgery++
+		opened := false
+		for _, sc := range rl.in.snapshotContexts() {
+			if plain, err := rl.in.aead.Open(nil, sc.nonce(len(rl.in.iv)), body, hdrCopy[:]); err == nil {
+				sc.seq++
+				inner, ityp, ok := stripInner(plain)
+				if !ok {
+					return 0, 0, nil, ErrBadRecordMAC
+				}
+				opened = true
+				return sc.id, ityp, inner, nil
+			}
+			rl.in.forgery++
+		}
+		if !opened {
+			return 0, 0, nil, ErrNoContext
+		}
+	}
+}
+
+// stripInner removes zero padding and the inner content type.
+func stripInner(plain []byte) ([]byte, uint8, bool) {
+	i := len(plain) - 1
+	for i >= 0 && plain[i] == 0 {
+		i--
+	}
+	if i < 0 {
+		return nil, 0, false
+	}
+	return plain[:i], plain[i], true
+}

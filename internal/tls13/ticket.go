@@ -1,0 +1,128 @@
+package tls13
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"time"
+)
+
+// ticketPayload is the server-side state sealed inside a session ticket.
+type ticketPayload struct {
+	suiteID      uint16
+	psk          []byte
+	maxEarlyData uint32
+	issuedAt     int64 // unix seconds
+}
+
+// ticketKeys holds the server's sealing AEAD.
+type ticketKeys struct {
+	aead cipher.AEAD
+}
+
+// defaultTicketLifetime is 7 days, the RFC 8446 maximum.
+const defaultTicketLifetime = 7 * 24 * time.Hour
+
+func (cfg *Config) ticketKeys() *ticketKeys {
+	cfg.ticketOnce.Do(func() {
+		key := cfg.TicketKey
+		var zero [32]byte
+		if key == zero {
+			if _, err := rand.Read(key[:]); err != nil {
+				panic("tls13: rand: " + err.Error())
+			}
+		}
+		block, err := aes.NewCipher(key[:16])
+		if err != nil {
+			panic(err)
+		}
+		aead, err := cipher.NewGCM(block)
+		if err != nil {
+			panic(err)
+		}
+		cfg.ticketState = &ticketKeys{aead: aead}
+	})
+	return cfg.ticketState
+}
+
+// sealTicket encrypts the payload into an opaque ticket identity.
+func (cfg *Config) sealTicket(tp *ticketPayload) []byte {
+	tk := cfg.ticketKeys()
+	var plain []byte
+	plain = binary.BigEndian.AppendUint16(plain, tp.suiteID)
+	plain = binary.BigEndian.AppendUint32(plain, tp.maxEarlyData)
+	plain = binary.BigEndian.AppendUint64(plain, uint64(tp.issuedAt))
+	plain = append(plain, uint8(len(tp.psk)))
+	plain = append(plain, tp.psk...)
+	nonce := randomBytes(12)
+	out := append([]byte(nil), nonce...)
+	return tk.aead.Seal(out, nonce, plain, nil)
+}
+
+// decryptTicket opens a ticket identity; reports false for garbage,
+// foreign, or expired tickets.
+func (cfg *Config) decryptTicket(identity []byte) (*ticketPayload, bool) {
+	tk := cfg.ticketKeys()
+	if len(identity) < 12 {
+		return nil, false
+	}
+	plain, err := tk.aead.Open(nil, identity[:12], identity[12:], nil)
+	if err != nil {
+		return nil, false
+	}
+	if len(plain) < 15 {
+		return nil, false
+	}
+	tp := &ticketPayload{
+		suiteID:      binary.BigEndian.Uint16(plain),
+		maxEarlyData: binary.BigEndian.Uint32(plain[2:]),
+		issuedAt:     int64(binary.BigEndian.Uint64(plain[6:])),
+	}
+	n := int(plain[14])
+	if len(plain) != 15+n {
+		return nil, false
+	}
+	tp.psk = plain[15:]
+	if time.Since(time.Unix(tp.issuedAt, 0)) > defaultTicketLifetime {
+		return nil, false
+	}
+	return tp, true
+}
+
+// markTicketUsed implements single-use anti-replay for 0-RTT: the first
+// caller wins, replays are rejected. The window is the Config's lifetime.
+func (cfg *Config) markTicketUsed(identity []byte) bool {
+	cfg.replayMu.Lock()
+	defer cfg.replayMu.Unlock()
+	if cfg.replayUsed == nil {
+		cfg.replayUsed = make(map[string]bool)
+	}
+	key := string(identity)
+	if cfg.replayUsed[key] {
+		return false
+	}
+	cfg.replayUsed[key] = true
+	return true
+}
+
+// sendSessionTicket issues one NewSessionTicket post-handshake.
+func (c *Conn) sendSessionTicket() error {
+	nonce := randomBytes(8)
+	psk := c.suite.expandLabel(c.resumptionMS, "resumption", nonce, c.suite.hashLen)
+	identity := c.cfg.sealTicket(&ticketPayload{
+		suiteID:      c.suite.id,
+		psk:          psk,
+		maxEarlyData: c.cfg.MaxEarlyData,
+		issuedAt:     time.Now().Unix(),
+	})
+	ageAddBytes := randomBytes(4)
+	t := &sessionTicket{
+		lifetime:     uint32(defaultTicketLifetime / time.Second),
+		ageAdd:       binary.BigEndian.Uint32(ageAddBytes),
+		nonce:        nonce,
+		ticket:       identity,
+		maxEarlyData: c.cfg.MaxEarlyData,
+	}
+	return c.writeHandshakeRecord(t.marshal())
+}

@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.0.0.1")
+	addrB = netip.MustParseAddr("10.0.0.2")
+	addr6 = netip.MustParseAddr("fc00::1")
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := &Segment{
+		SrcPort: 443, DstPort: 51000,
+		Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: FlagSYN | FlagACK, Window: 65535,
+		Options: []Option{MSSOption(1460), WindowScaleOption(7), SACKPermittedOption()},
+		Payload: []byte("hello tcpls"),
+	}
+	b, err := s.Marshal(addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSegment(b, addrA, addrB, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != s.SrcPort || got.DstPort != s.DstPort || got.Seq != s.Seq ||
+		got.Ack != s.Ack || got.Flags != s.Flags || got.Window != s.Window {
+		t.Fatalf("header mismatch: got %v want %v", got, s)
+	}
+	if !bytes.Equal(got.Payload, s.Payload) {
+		t.Fatalf("payload mismatch")
+	}
+	if len(got.Options) != 3 {
+		t.Fatalf("want 3 options, got %d", len(got.Options))
+	}
+	if mss, ok := got.Options[0].MSS(); !ok || mss != 1460 {
+		t.Fatalf("mss option mangled: %v", got.Options[0])
+	}
+}
+
+func TestSegmentRoundTripV6(t *testing.T) {
+	s := &Segment{SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: FlagACK, Payload: []byte{9}}
+	b, err := s.Marshal(addr6, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSegment(b, addr6, addrB, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	s := &Segment{SrcPort: 80, DstPort: 8080, Seq: 1, Flags: FlagACK, Payload: []byte("abcdef")}
+	b, err := s.Marshal(addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 4, 13, len(b) - 1} {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := UnmarshalSegment(c, addrA, addrB, true); err != ErrChecksum {
+			t.Fatalf("flipping byte %d: want ErrChecksum, got %v", i, err)
+		}
+	}
+	// Wrong pseudo-header (e.g. after a buggy NAT) must also fail.
+	if _, err := UnmarshalSegment(b, addrA, addr6, true); err != ErrChecksum {
+		t.Fatalf("wrong pseudo-header: want ErrChecksum, got %v", err)
+	}
+}
+
+// TestOptionSpaceCeiling pins the 40-byte option limit that motivates
+// TCPLS §3.1: a SACK option with 4 blocks plus timestamps plus MSS cannot
+// fit, while TCPLS can carry arbitrarily large options in TLS records.
+func TestOptionSpaceCeiling(t *testing.T) {
+	s := &Segment{
+		Options: []Option{
+			MSSOption(1460),                  // 4
+			TimestampsOption(1, 2),           // 10
+			SACKOption(make([]SACKBlock, 4)), // 34 -> 48 total
+		},
+	}
+	if _, err := s.Marshal(addrA, addrB); err != ErrOptionSpace {
+		t.Fatalf("want ErrOptionSpace, got %v", err)
+	}
+	// 3 SACK blocks + timestamps fits (the real-world squeeze).
+	s.Options[2] = SACKOption(make([]SACKBlock, 3))
+	if _, err := s.Marshal(addrA, addrB); err != nil {
+		t.Fatalf("3 blocks should fit: %v", err)
+	}
+	// A big option payload (like a long TFO cookie chain) cannot fit at all.
+	s.Options = []Option{{Kind: OptKindExperiment, Data: make([]byte, 41)}}
+	if _, err := s.Marshal(addrA, addrB); err != ErrOptionSpace {
+		t.Fatalf("want ErrOptionSpace for oversized option, got %v", err)
+	}
+}
+
+func TestOptionCodecs(t *testing.T) {
+	if o := MSSOption(1200); o.wireLen() != 4 {
+		t.Fatal("mss wire len")
+	}
+	ts := TimestampsOption(0xaabbccdd, 0x11223344)
+	v, e, ok := ts.Timestamps()
+	if !ok || v != 0xaabbccdd || e != 0x11223344 {
+		t.Fatal("timestamps codec")
+	}
+	for _, d := range []time.Duration{0, time.Second, 90 * time.Second, 9 * time.Hour} {
+		o := UserTimeoutOption(d)
+		got, ok := o.UserTimeout()
+		if !ok {
+			t.Fatalf("uto decode failed for %s", d)
+		}
+		// Minute granularity may round down.
+		if got > d || d-got > time.Minute {
+			t.Fatalf("uto %s decoded as %s", d, got)
+		}
+	}
+	blocks := []SACKBlock{{1000, 2000}, {3000, 4000}}
+	sackOpt := SACKOption(blocks)
+	got, ok := sackOpt.SACKBlocks()
+	if !ok || len(got) != 2 || got[0] != blocks[0] || got[1] != blocks[1] {
+		t.Fatal("sack codec")
+	}
+	ws := WindowScaleOption(9)
+	if sh, ok := ws.WindowScale(); !ok || sh != 9 {
+		t.Fatal("wscale codec")
+	}
+}
+
+func TestStripAndFindOptions(t *testing.T) {
+	opts := []Option{MSSOption(1000), SACKPermittedOption(), TimestampsOption(1, 2)}
+	if o := FindOption(opts, OptKindSACKPermitted); o == nil {
+		t.Fatal("find failed")
+	}
+	if o := FindOption(opts, OptKindUserTimeout); o != nil {
+		t.Fatal("found absent option")
+	}
+	stripped := StripOptions(opts, OptKindSACKPermitted, OptKindTimestamps)
+	if len(stripped) != 1 || stripped[0].Kind != OptKindMSS {
+		t.Fatalf("strip failed: %v", stripped)
+	}
+	// Original slice must be untouched (middleboxes clone packets).
+	if len(opts) != 3 {
+		t.Fatal("strip mutated input")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	s := &Segment{SrcPort: 1, DstPort: 2, Options: []Option{MSSOption(1460)}}
+	b, _ := s.Marshal(addrA, addrB)
+	for n := 0; n < len(b); n++ {
+		if _, err := UnmarshalSegment(b[:n], addrA, addrB, false); err == nil && n < BaseHeaderLen {
+			t.Fatalf("accepted %d-byte segment", n)
+		}
+	}
+	// Bogus data offset pointing past the end.
+	c := append([]byte(nil), b...)
+	c[12] = 15 << 4
+	if len(c) < 60 {
+		if _, err := UnmarshalSegment(c, addrA, addrB, false); err == nil {
+			t.Fatal("accepted bogus data offset")
+		}
+	}
+}
+
+func TestMalformedOptionList(t *testing.T) {
+	// Build a raw header whose option bytes declare a length running past
+	// the end of the option area.
+	raw := make([]byte, 24)
+	raw[12] = 6 << 4 // 24-byte header -> 4 option bytes
+	raw[20] = OptKindMSS
+	raw[21] = 10 // claims 10 bytes, only 4 available
+	if _, err := UnmarshalSegment(raw, addrA, addrB, false); err == nil {
+		t.Fatal("accepted malformed option")
+	}
+	// Zero-length option (len < 2) must be rejected, not loop forever.
+	raw[21] = 1
+	if _, err := UnmarshalSegment(raw, addrA, addrB, false); err == nil {
+		t.Fatal("accepted option with length 1")
+	}
+}
+
+func TestNOPAndEOLHandling(t *testing.T) {
+	raw := make([]byte, 28)
+	raw[12] = 7 << 4 // 28-byte header -> 8 option bytes
+	raw[20] = optNOP
+	raw[21] = optNOP
+	raw[22] = OptKindWindowScale
+	raw[23] = 3
+	raw[24] = 5
+	raw[25] = optEOL
+	s, err := UnmarshalSegment(raw, addrA, addrB, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Options) != 1 {
+		t.Fatalf("want 1 option, got %d", len(s.Options))
+	}
+	if sh, ok := s.Options[0].WindowScale(); !ok || sh != 5 {
+		t.Fatal("wscale after NOPs")
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	d := &Datagram{SrcPort: 4433, DstPort: 9999, Payload: []byte("quic-lite")}
+	b := d.Marshal(addrA, addrB)
+	got, err := UnmarshalDatagram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != d.SrcPort || got.DstPort != d.DstPort || !bytes.Equal(got.Payload, d.Payload) {
+		t.Fatal("datagram mismatch")
+	}
+	if _, err := UnmarshalDatagram(b[:5]); err == nil {
+		t.Fatal("accepted truncated datagram")
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{Src: addrA, Dst: addrB, Proto: ProtoTCP, TTL: 64, Payload: []byte{1, 2, 3}}
+	q := p.Clone()
+	q.Payload[0] = 9
+	if p.Payload[0] != 1 {
+		t.Fatal("clone shares payload")
+	}
+	if p.Len() != 3+40 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Fatalf("got %q", s)
+	}
+	if s := Flags(0).String(); s != "none" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+// Property: any segment with random fields and in-budget options survives
+// a marshal/unmarshal round trip with checksum verification.
+func TestSegmentRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8, win uint16, payload []byte) bool {
+		s := &Segment{
+			SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack,
+			Flags: Flags(flags) & 0x3f, Window: win, Payload: payload,
+		}
+		if rng.Intn(2) == 0 {
+			s.Options = append(s.Options, MSSOption(uint16(rng.Intn(9000))), TimestampsOption(rng.Uint32(), rng.Uint32()))
+		}
+		b, err := s.Marshal(addrA, addr6)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalSegment(b, addrA, addr6, true)
+		if err != nil {
+			return false
+		}
+		return got.Seq == s.Seq && got.Ack == s.Ack && got.Flags == s.Flags &&
+			bytes.Equal(got.Payload, s.Payload) && len(got.Options) == len(s.Options)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Internet checksum detects any single-bit flip in the
+// segment bytes (guaranteed for 16-bit one's-complement sums).
+func TestChecksumSingleBitProperty(t *testing.T) {
+	f := func(payload []byte, bit uint16) bool {
+		s := &Segment{SrcPort: 1, DstPort: 2, Seq: 3, Flags: FlagACK, Payload: payload}
+		b, err := s.Marshal(addrA, addrB)
+		if err != nil {
+			return false
+		}
+		i := int(bit) % (len(b) * 8)
+		b[i/8] ^= 1 << (i % 8)
+		_, err = UnmarshalSegment(b, addrA, addrB, true)
+		return err == ErrChecksum || err == ErrTruncated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

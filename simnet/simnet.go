@@ -1,0 +1,78 @@
+// Package simnet is the public facade over the repository's emulated
+// network: a real-time packet network (links with bandwidth, delay,
+// queueing, loss; middleboxes that strip options, forge resets, rewrite
+// addresses) and a userspace TCP stack with the cross-layer hooks TCPLS
+// exploits (congestion-window introspection, RFC 5482 user timeouts,
+// pluggable — including eBPF-delivered — congestion control).
+//
+// It reproduces the role of the paper's IPMininet testbed: the Figure 4
+// topology is
+//
+//	n := simnet.NewNetwork(simnet.WithTimeScale(0.25))
+//	client, server := n.Host("client"), n.Host("server")
+//	n.AddLink(client, server, v4c, v4s, simnet.LinkConfig{BandwidthBps: 30e6, Delay: 10 * time.Millisecond})
+//	n.AddLink(client, server, v6c, v6s, simnet.LinkConfig{BandwidthBps: 30e6, Delay: 15 * time.Millisecond})
+//
+// and TCPLS endpoints attach through NewTCPStack / Dialer.
+package simnet
+
+import (
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+)
+
+// Network emulation types.
+type (
+	// Network is an emulated network sharing one time scale.
+	Network = netsim.Network
+	// Host is an emulated end system.
+	Host = netsim.Host
+	// Link is a point-to-point link.
+	Link = netsim.Link
+	// LinkConfig sets bandwidth/delay/queue/loss.
+	LinkConfig = netsim.LinkConfig
+	// Option configures NewNetwork.
+	Option = netsim.Option
+	// TraceEvent is a packet-level trace record.
+	TraceEvent = netsim.TraceEvent
+	// Middlebox rewrites packets on a link.
+	Middlebox = netsim.Middlebox
+	// OptionStripper removes TCP options (the classic interference).
+	OptionStripper = netsim.OptionStripper
+	// RSTInjector forges spurious TCP resets.
+	RSTInjector = netsim.RSTInjector
+	// NAT rewrites addresses.
+	NAT = netsim.NAT
+	// Mangler corrupts payloads while fixing checksums.
+	Mangler = netsim.Mangler
+)
+
+// Userspace TCP types.
+type (
+	// TCPStack is one host's TCP instance.
+	TCPStack = tcpnet.Stack
+	// TCPConfig tunes the stack (MSS, buffers, congestion control...).
+	TCPConfig = tcpnet.Config
+	// TCPConn is a userspace TCP connection (net.Conn + introspection).
+	TCPConn = tcpnet.Conn
+	// TCPListener accepts userspace TCP connections (net.Listener).
+	TCPListener = tcpnet.Listener
+	// Dialer adapts a TCPStack to tcpls.Dialer.
+	Dialer = tcpnet.Dialer
+)
+
+// NewNetwork creates an emulated network.
+func NewNetwork(opts ...Option) *Network { return netsim.New(opts...) }
+
+// WithTimeScale compresses emulated time: 0.25 runs 4x faster than real
+// time while all rates and timers stay consistent in virtual time.
+func WithTimeScale(scale float64) Option { return netsim.WithTimeScale(scale) }
+
+// WithSeed makes loss draws reproducible.
+func WithSeed(seed int64) Option { return netsim.WithSeed(seed) }
+
+// WithTrace streams packet events (a tcpdump for the emulated network).
+func WithTrace(fn func(TraceEvent)) Option { return netsim.WithTrace(fn) }
+
+// NewTCPStack attaches a userspace TCP stack to a host.
+func NewTCPStack(h *Host, cfg TCPConfig) *TCPStack { return tcpnet.NewStack(h, cfg) }

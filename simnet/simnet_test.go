@@ -1,0 +1,119 @@
+package simnet_test
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+	"github.com/pluginized-protocols/gotcpls/simnet"
+)
+
+// TestPublicFacadeEndToEnd drives a whole TCPLS exchange exclusively
+// through the two public packages, as a downstream user would.
+func TestPublicFacadeEndToEnd(t *testing.T) {
+	n := simnet.NewNetwork(simnet.WithSeed(1))
+	defer n.Close()
+	client, server := n.Host("client"), n.Host("server")
+	cV4, sV4 := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	link := n.AddLink(client, server, cV4, sV4, simnet.LinkConfig{
+		BandwidthBps: 50e6, Delay: 2 * time.Millisecond,
+	})
+	_ = link
+	cs := simnet.NewTCPStack(client, simnet.TCPConfig{})
+	ss := simnet.NewTCPStack(server, simnet.TCPConfig{})
+	defer cs.Close()
+	defer ss.Close()
+
+	cert, err := tcpls.GenerateSelfSigned("facade", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := tcpls.NewListener(tl, &tcpls.Config{
+		TLS: &tcpls.TLSConfig{Certificate: cert}, Clock: n,
+	})
+	defer lst.Close()
+	go func() {
+		sess, err := lst.Accept()
+		if err != nil {
+			return
+		}
+		st, err := sess.AcceptStream()
+		if err != nil {
+			return
+		}
+		data, _ := io.ReadAll(st)
+		back, _ := sess.NewStream()
+		back.Write(bytes.ToUpper(data))
+		back.Close()
+	}()
+
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS: &tcpls.TLSConfig{InsecureSkipVerify: true}, Clock: n,
+	}, simnet.Dialer{Stack: cs})
+	if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(sV4, 443), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("public api"))
+	st.Close()
+	back, err := cli.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(back)
+	if err != nil || string(got) != "PUBLIC API" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMiddleboxTypesExposed makes sure the facade exports the middlebox
+// toolbox and it operates on public links.
+func TestMiddleboxTypesExposed(t *testing.T) {
+	n := simnet.NewNetwork()
+	defer n.Close()
+	a, b := n.Host("a"), n.Host("b")
+	link := n.AddLink(a, b,
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+		simnet.LinkConfig{Delay: time.Millisecond})
+	strip := &simnet.OptionStripper{Kinds: []uint8{4}}
+	link.Use(strip, &simnet.RSTInjector{AfterSegments: 1 << 30}, &simnet.Mangler{})
+	cs := simnet.NewTCPStack(a, simnet.TCPConfig{})
+	ss := simnet.NewTCPStack(b, simnet.TCPConfig{})
+	defer cs.Close()
+	defer ss.Close()
+	l, err := ss.Listen(netip.Addr{}, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			io.Copy(io.Discard, c)
+		}
+	}()
+	c, err := cs.Dial(netip.Addr{}, netip.AddrPortFrom(netip.MustParseAddr("10.0.0.2"), 9999), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("through the middleboxes"))
+	c.Close()
+	if strip.Stripped() == 0 {
+		t.Fatal("sackOK should have been stripped from the SYN")
+	}
+}

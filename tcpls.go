@@ -1,0 +1,150 @@
+// Package tcpls is a Go implementation of TCPLS — the close integration
+// of TCP and TLS proposed in "TCPLS: Closely Integrating TCP and TLS"
+// (Rochet, Assogba, Bonaventure — HotNets 2020).
+//
+// A TCPLS session looks like TLS 1.3 over TCP to the network, but the
+// TLS machinery is also the transport's control plane:
+//
+//   - the handshake carries TCPLS transport parameters (and, on
+//     additional connections, cryptographic JOIN proofs), so one session
+//     can span several TCP connections across addresses and families;
+//   - the record layer is a secure control channel carrying TCP options,
+//     TCPLS acknowledgments, address advertisements, and even eBPF
+//     congestion-control programs — none of it visible to middleboxes;
+//   - application data flows in datastreams with per-stream crypto
+//     contexts, multiplexed over the session's TCP connections with
+//     support for bandwidth aggregation, head-of-line isolation,
+//     connection migration and automatic failover.
+//
+// The API mirrors the workflow of the paper's Figure 3:
+//
+//	cli := tcpls.NewClient(&tcpls.Config{...}, dialer)    // tcpls_new
+//	cli.Connect(laddr, raddr, timeout)                     // tcpls_connect
+//	cli.Handshake()                                        // tcpls_handshake
+//	st, _ := cli.NewStream()                               // tcpls_stream_new
+//	st.Attach(pathID)                                      // tcpls_streams_attach
+//	st.Write(data)                                         // tcpls_send
+//	st.Read(buf)                                           // tcpls_receive
+//	cli.SendUserTimeout(30 * time.Second)                  // tcpls_send_tcpoption
+//	cli.ClosePath(pathID)                                  // tcpls_stream_close + conn close
+//
+// Sessions run over any transport exposing net.Conn/net.Listener: real
+// TCP sockets (NetDialer) or the emulated network in package simnet,
+// whose userspace TCP additionally exposes the cross-layer hooks
+// (congestion-window introspection, user timeouts, pluggable congestion
+// control) that the paper builds on.
+package tcpls
+
+import (
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/cc"
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/ebpfvm"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Core session types (see the package documentation for the workflow).
+type (
+	// Session is one TCPLS session over one or more TCP connections.
+	Session = core.Session
+	// Stream is an ordered, encrypted datastream within a session.
+	Stream = core.Stream
+	// Listener accepts TCPLS sessions on the server side.
+	Listener = core.Listener
+	// Config configures an endpoint.
+	Config = core.Config
+	// Callbacks deliver session events (Figure 3's "CB events").
+	Callbacks = core.Callbacks
+	// Dialer abstracts the TCP transport underneath the session.
+	Dialer = core.Dialer
+	// SchedulingMode selects multipath behaviour.
+	SchedulingMode = core.SchedulingMode
+	// Role distinguishes client and server sessions.
+	Role = core.Role
+)
+
+// TLS-level types, re-exported so applications can configure identity,
+// trust and resumption without importing internals.
+type (
+	// TLSConfig is the TLS 1.3 configuration embedded in Config.TLS.
+	TLSConfig = tls13.Config
+	// Certificate is a server identity (DER chain + ECDSA P-256 key).
+	Certificate = tls13.Certificate
+	// ClientSession is a resumable TLS session (ticket + PSK).
+	ClientSession = tls13.ClientSession
+)
+
+// Scheduling modes (§2.4 of the paper: HOL avoidance and bandwidth
+// aggregation are mutually exclusive).
+const (
+	// ModeSinglePath keeps each stream on its attached TCP connection.
+	ModeSinglePath = core.ModeSinglePath
+	// ModeAggregate sprays streams across all connections for bandwidth.
+	ModeAggregate = core.ModeAggregate
+)
+
+// Session roles.
+const (
+	RoleClient = core.RoleClient
+	RoleServer = core.RoleServer
+)
+
+// Errors.
+var (
+	ErrSessionClosed = core.ErrSessionClosed
+	ErrNoConnection  = core.ErrNoConnection
+	ErrNoCookies     = core.ErrNoCookies
+	ErrJoinRejected  = core.ErrJoinRejected
+	ErrNoAddresses   = core.ErrNoAddresses
+)
+
+// NewClient creates a client session (tcpls_new). Add TCP connections
+// with Connect / ConnectHappyEyeballs, then run Handshake.
+func NewClient(cfg *Config, dialer Dialer) *Session {
+	return core.NewClient(cfg, dialer)
+}
+
+// NewListener wraps a TCP listener (net.Listener or a simnet listener)
+// as a TCPLS session listener.
+func NewListener(inner net.Listener, cfg *Config) *Listener {
+	return core.NewListener(inner, cfg)
+}
+
+// GenerateSelfSigned creates a self-signed ECDSA P-256 certificate for
+// tests, examples and private deployments.
+func GenerateSelfSigned(commonName string, dnsNames []string, ips []net.IP) (*Certificate, error) {
+	return tls13.GenerateSelfSigned(commonName, dnsNames, ips)
+}
+
+// NetDialer adapts the operating system's TCP stack to the Dialer
+// interface. Cross-layer features that need transport introspection
+// (record sizing from cwnd, User-Timeout installation, eBPF congestion
+// control) degrade gracefully: kernel sockets do not expose them.
+type NetDialer struct{}
+
+// Dial implements Dialer over net.Dialer.
+func (NetDialer) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	if laddr.IsValid() && !laddr.IsUnspecified() {
+		d.LocalAddr = &net.TCPAddr{IP: laddr.AsSlice()}
+	}
+	return d.Dial("tcp", raddr.String())
+}
+
+// AssembleBPF compiles eBPF assembly text (the dialect documented in the
+// internal VM package) into verified bytecode suitable for SendBPFCC —
+// the pluginization mechanism of §3(iii)/§4.3 of the paper.
+func AssembleBPF(src string) ([]byte, error) {
+	p, err := ebpfvm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Marshal(), nil
+}
+
+// AIMDProgram is a complete AIMD congestion controller written in eBPF
+// assembly, ready to ship to a peer with Session.SendBPFCC.
+const AIMDProgram = cc.AIMDProgram

@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race chaos-smoke check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Deterministic chaos acceptance run: flap + stall + RST + 2% loss over
+# a 1 MB multi-stream transfer, with proactive (probe-timeout) failover.
+chaos-smoke:
+	$(GO) test ./internal/chaos/ -run 'TestChaosSmoke|TestChaosSinglePathRecovery' -count=1 -v
+
+check: build race chaos-smoke
+
+bench:
+	$(GO) test -bench=. -benchtime=3x .

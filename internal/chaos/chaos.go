@@ -1,0 +1,481 @@
+// Package chaos is the fault-injection harness for the TCPLS session
+// layer: it wires a client/server session pair over the netsim emulator,
+// executes a (seeded) fault schedule against the links — flaps, silent
+// stalls, forged RSTs, loss ramps, duplication, reordering — and asserts
+// the end-to-end invariants behind the paper's §2.1 headline claim that
+// a TCPLS session outlives the TCP connections beneath it:
+//
+//  1. Every stream's bytes arrive exactly once, in order (no loss, no
+//     duplication, no reordering above the session layer).
+//  2. The session survives any schedule that leaves at least one viable
+//     address, recovering within the scenario's virtual-time bound.
+//  3. Teardown is clean: no goroutine outlives the scenario.
+//
+// Every scenario is reproducible: the seed drives the emulator's loss
+// draws, the payload bytes, the backoff jitter and (for generated
+// schedules) the fault sequence itself, and failures always carry the
+// seed and the rendered schedule so the exact run can be replayed.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Emulated addresses (the paper's dual-stack testbed shape).
+var (
+	ClientV4 = netip.MustParseAddr("10.0.0.1")
+	ServerV4 = netip.MustParseAddr("10.0.0.2")
+	ClientV6 = netip.MustParseAddr("fc00::1")
+	ServerV6 = netip.MustParseAddr("fc00::2")
+)
+
+var (
+	certOnce sync.Once
+	cert     *tls13.Certificate
+)
+
+func serverCert() *tls13.Certificate {
+	certOnce.Do(func() {
+		var err error
+		cert, err = tls13.GenerateSelfSigned("tcpls-chaos", nil, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return cert
+}
+
+// Scenario describes one chaos run. Zero values take defaults.
+type Scenario struct {
+	// Name labels the scenario in logs.
+	Name string
+	// Seed drives every random choice (emulator loss, payloads, jitter,
+	// generated schedules). Default 1.
+	Seed int64
+	// TimeScale compresses virtual time (default 0.25: 4x faster than
+	// real time).
+	TimeScale float64
+	// TransferBytes is the total payload across all streams (default 1 MB).
+	TransferBytes int
+	// NumStreams is how many concurrent streams carry the transfer
+	// (default 4).
+	NumStreams int
+	// V4 and V6 configure the two links (defaults: 50 Mbps, 1/2 ms).
+	V4, V6 netsim.LinkConfig
+	// JoinSecondPath joins the v6 address right after the handshake, so
+	// proactive failover has a standing target.
+	JoinSecondPath bool
+	// ProbeInterval is the health-probe cadence (default 15ms virtual;
+	// set <0 to disable monitoring).
+	ProbeInterval time.Duration
+	// HealthFailAfter is the unanswered-probe threshold (default 3).
+	HealthFailAfter int
+	// Retry overrides the reconnect policy (default: 25ms base, 300ms
+	// cap, 12 attempts, 400ms dial timeout — tuned to emulated RTTs).
+	Retry core.RetryPolicy
+	// Schedule builds the fault schedule against the constructed
+	// environment. Nil uses RandomSchedule(Seed, RandomFaults).
+	Schedule func(*Env) *netsim.FaultSchedule
+	// RandomFaults is how many events RandomSchedule generates when
+	// Schedule is nil (default 6).
+	RandomFaults int
+	// MaxVirtual bounds the whole transfer in virtual time (default 30s).
+	MaxVirtual time.Duration
+	// Timeout bounds the whole run in wall-clock time (default 90s).
+	Timeout time.Duration
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.TimeScale <= 0 {
+		sc.TimeScale = 0.25
+	}
+	if sc.TransferBytes <= 0 {
+		sc.TransferBytes = 1 << 20
+	}
+	if sc.NumStreams <= 0 {
+		sc.NumStreams = 4
+	}
+	if sc.V4 == (netsim.LinkConfig{}) {
+		sc.V4 = netsim.LinkConfig{Name: "v4", Delay: time.Millisecond, BandwidthBps: 50e6}
+	}
+	if sc.V6 == (netsim.LinkConfig{}) {
+		sc.V6 = netsim.LinkConfig{Name: "v6", Delay: 2 * time.Millisecond, BandwidthBps: 50e6}
+	}
+	if sc.ProbeInterval == 0 {
+		sc.ProbeInterval = 15 * time.Millisecond
+	}
+	if sc.HealthFailAfter <= 0 {
+		sc.HealthFailAfter = 3
+	}
+	if sc.Retry == (core.RetryPolicy{}) {
+		sc.Retry = core.RetryPolicy{
+			Base:        25 * time.Millisecond,
+			Cap:         300 * time.Millisecond,
+			MaxAttempts: 12,
+			DialTimeout: 400 * time.Millisecond,
+		}
+	}
+	if sc.RandomFaults <= 0 {
+		sc.RandomFaults = 6
+	}
+	if sc.MaxVirtual <= 0 {
+		sc.MaxVirtual = 30 * time.Second
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 90 * time.Second
+	}
+	return sc
+}
+
+// Env is the constructed chaos environment handed to schedule builders.
+type Env struct {
+	Net            *netsim.Network
+	LinkV4, LinkV6 *netsim.Link
+	Client         *core.Session
+	Server         *core.Session
+}
+
+// Result summarizes a successful run.
+type Result struct {
+	Seed     int64
+	Schedule string
+	// Degraded counts proactive health-probe failovers (both endpoints).
+	Degraded int
+	// Joins counts JOIN attachments the server observed (initial extra
+	// path + failover reconnections).
+	Joins int
+	// ReadLoopFailovers counts connection deaths surfaced by transport
+	// errors (both endpoints) rather than probes.
+	ReadLoopFailovers int
+	// VirtualElapsed is the transfer's duration in emulated time.
+	VirtualElapsed time.Duration
+	// BytesTransferred is the total payload verified end-to-end.
+	BytesTransferred int
+}
+
+// Replay renders the reproduction recipe embedded in failure messages.
+func (r *Result) Replay() string {
+	return fmt.Sprintf("seed=%d schedule=%q", r.Seed, r.Schedule)
+}
+
+// Run executes the scenario and checks every invariant. The returned
+// error always embeds the seed and rendered schedule for exact replay.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	baseline := runtime.NumGoroutine()
+
+	n := netsim.New(netsim.WithSeed(sc.Seed), netsim.WithTimeScale(sc.TimeScale))
+	ch, sh := n.Host("client"), n.Host("server")
+	l4 := n.AddLink(ch, sh, ClientV4, ServerV4, sc.V4)
+	l6 := n.AddLink(ch, sh, ClientV6, ServerV6, sc.V6)
+	cs := tcpnet.NewStack(ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{})
+
+	res := &Result{Seed: sc.Seed}
+	var cliRef, srvRef *core.Session
+	fail := func(format string, args ...any) (*Result, error) {
+		diag := ""
+		if cliRef != nil {
+			diag += fmt.Sprintf(" client[conns=%d cookies=%d closed=%v err=%v streams=%+v]",
+				cliRef.NumConns(), cliRef.CookiesLeft(), cliRef.Closed(), cliRef.Err(), cliRef.StreamStates())
+		}
+		if srvRef != nil {
+			diag += fmt.Sprintf(" server[conns=%d closed=%v err=%v streams=%+v]",
+				srvRef.NumConns(), srvRef.Closed(), srvRef.Err(), srvRef.StreamStates())
+		}
+		args = append(args, diag, res.Replay())
+		return nil, fmt.Errorf(format+" —%s (replay: %s)", args...)
+	}
+
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+
+	var degraded, readLoopDeaths, joins counter
+	probe := sc.ProbeInterval
+	if probe < 0 {
+		probe = 0
+	}
+	mkCallbacks := func() core.Callbacks {
+		return core.Callbacks{
+			PathDegraded: func(uint32, error) { degraded.inc() },
+			ConnClosed: func(_ uint32, failed bool) {
+				if failed {
+					readLoopDeaths.inc()
+				}
+			},
+		}
+	}
+	srvCfg := &core.Config{
+		TLS:                 &tls13.Config{Certificate: serverCert()},
+		AdvertiseAddresses:  []netip.AddrPort{netip.AddrPortFrom(ServerV4, 443), netip.AddrPortFrom(ServerV6, 443)},
+		Clock:               n,
+		HealthProbeInterval: probe,
+		HealthFailAfter:     sc.HealthFailAfter,
+		Retry:               sc.Retry,
+		RetrySeed:           sc.Seed,
+		Callbacks:           mkCallbacks(),
+	}
+	srvCfg.Callbacks.Join = func(uint32, net.Addr) { joins.inc() }
+	lst := core.NewListener(tl, srvCfg)
+	defer func() {
+		lst.Close()
+		cs.Close()
+		ss.Close()
+		n.Close()
+	}()
+
+	cliCfg := &core.Config{
+		TLS:                 &tls13.Config{InsecureSkipVerify: true},
+		Clock:               n,
+		HealthProbeInterval: probe,
+		HealthFailAfter:     sc.HealthFailAfter,
+		Retry:               sc.Retry,
+		RetrySeed:           sc.Seed + 1,
+		Callbacks:           mkCallbacks(),
+	}
+	cli := core.NewClient(cliCfg, tcpnet.Dialer{Stack: cs})
+	cliRef = cli
+	defer cli.Close()
+
+	type acceptRes struct {
+		s   *core.Session
+		err error
+	}
+	acceptCh := make(chan acceptRes, 1)
+	go func() {
+		s, err := lst.Accept()
+		acceptCh <- acceptRes{s, err}
+	}()
+	if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 5*time.Second); err != nil {
+		return fail("connect: %v", err)
+	}
+	if err := cli.Handshake(); err != nil {
+		return fail("handshake: %v", err)
+	}
+	ar := <-acceptCh
+	if ar.err != nil {
+		return fail("accept: %v", ar.err)
+	}
+	srv := ar.s
+	srvRef = srv
+	defer srv.Close()
+
+	if sc.JoinSecondPath {
+		if _, err := cli.Connect(ClientV6, netip.AddrPortFrom(ServerV6, 443), 5*time.Second); err != nil {
+			return fail("join v6: %v", err)
+		}
+	}
+
+	env := &Env{Net: n, LinkV4: l4, LinkV6: l6, Client: cli, Server: srv}
+
+	var schedule *netsim.FaultSchedule
+	if sc.Schedule != nil {
+		schedule = sc.Schedule(env)
+	} else {
+		schedule = RandomSchedule(sc.Seed, env, sc.RandomFaults)
+	}
+	res.Schedule = schedule.String()
+
+	// Deterministic per-stream payloads.
+	perStream := sc.TransferBytes / sc.NumStreams
+	payloads := make([][]byte, sc.NumStreams)
+	for i := range payloads {
+		payloads[i] = make([]byte, perStream)
+		rand.New(rand.NewSource(sc.Seed + int64(i)*7919)).Read(payloads[i])
+	}
+
+	start := time.Now()
+	schedule.Start(n)
+	defer schedule.Stop()
+
+	// Client uploads every stream concurrently; the server reads them
+	// all back and we verify byte-exactness per stream.
+	type streamErr struct {
+		id  uint32
+		err error
+	}
+	writeErrs := make(chan streamErr, sc.NumStreams)
+	wantByID := make(map[uint32][]byte, sc.NumStreams)
+	for i := 0; i < sc.NumStreams; i++ {
+		st, err := cli.NewStream()
+		if err != nil {
+			return fail("new stream: %v", err)
+		}
+		wantByID[st.ID()] = payloads[i]
+		go func(st *core.Stream, p []byte) {
+			_, err := st.Write(p)
+			if err == nil {
+				err = st.Close()
+			}
+			writeErrs <- streamErr{st.ID(), err}
+		}(st, payloads[i])
+	}
+
+	type recvRes struct {
+		id   uint32
+		data []byte
+		err  error
+	}
+	recvCh := make(chan recvRes, sc.NumStreams)
+	for i := 0; i < sc.NumStreams; i++ {
+		go func() {
+			sst, err := srv.AcceptStream()
+			if err != nil {
+				recvCh <- recvRes{0, nil, err}
+				return
+			}
+			data, err := readAll(sst)
+			recvCh <- recvRes{sst.ID(), data, err}
+		}()
+	}
+
+	// Invariant 2: completion within the virtual-time bound (wall-clock
+	// guard on top, in case the emulator wedges entirely).
+	wallDeadline := time.After(sc.Timeout)
+	got := make(map[uint32][]byte, sc.NumStreams)
+	for done := 0; done < 2*sc.NumStreams; done++ {
+		select {
+		case we := <-writeErrs:
+			if we.err != nil {
+				return fail("stream %d write failed: %v", we.id, we.err)
+			}
+		case rr := <-recvCh:
+			if rr.err != nil {
+				return fail("stream %d read failed: %v", rr.id, rr.err)
+			}
+			got[rr.id] = rr.data
+		case <-wallDeadline:
+			return fail("transfer incomplete after %s wall-clock: client conns=%d server conns=%d",
+				sc.Timeout, cli.NumConns(), srv.NumConns())
+		}
+		if v := n.VirtualSince(start); v > sc.MaxVirtual {
+			return fail("transfer exceeded the virtual bound %s (elapsed %s)", sc.MaxVirtual, v)
+		}
+	}
+	res.VirtualElapsed = n.VirtualSince(start)
+
+	// Invariant 1: exactly-once, in-order bytes per stream.
+	for id, want := range wantByID {
+		data, ok := got[id]
+		if !ok {
+			return fail("stream %d never arrived", id)
+		}
+		if len(data) != len(want) {
+			return fail("stream %d length %d, want %d (loss or duplication)", id, len(data), len(want))
+		}
+		if idx := firstMismatch(data, want); idx >= 0 {
+			return fail("stream %d corrupted at offset %d", id, idx)
+		}
+		res.BytesTransferred += len(data)
+	}
+
+	// Invariant 2b: the session must still be alive — it survived the
+	// schedule, it didn't limp home on a torn-down error path.
+	if cli.Closed() {
+		return fail("client session died during the run: %v", cli.Err())
+	}
+	if srv.Closed() {
+		return fail("server session died during the run: %v", srv.Err())
+	}
+
+	// Orderly teardown, then invariant 3: no goroutine leaks.
+	schedule.Stop()
+	clearFaults(l4, l6)
+	cli.Close()
+	srv.Close()
+	lst.Close()
+	cs.Close()
+	ss.Close()
+	n.Close()
+	if err := waitGoroutines(baseline, 5*time.Second); err != nil {
+		return fail("goroutine leak: %v", err)
+	}
+
+	res.Degraded = degraded.get()
+	res.Joins = joins.get()
+	res.ReadLoopFailovers = readLoopDeaths.get()
+	return res, nil
+}
+
+// clearFaults returns the links to a clean state so teardown traffic
+// (FINs, session close records) is not blackholed.
+func clearFaults(links ...*netsim.Link) {
+	for _, l := range links {
+		l.SetDown(false)
+		l.StallBoth(false)
+		l.SetLoss(0)
+	}
+}
+
+func readAll(st *core.Stream) ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := st.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+func firstMismatch(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func waitGoroutines(baseline int, timeout time.Duration) error {
+	const slack = 4
+	deadline := time.Now().Add(timeout)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= baseline+slack {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutines alive, baseline %d (+%d slack)", now, baseline, slack)
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

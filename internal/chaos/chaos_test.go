@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+)
+
+// TestChaosSmoke is the acceptance scenario: a 1 MB multi-stream
+// transfer over a dual-stack pair where the v4 link carries 2% loss,
+// silently stalls mid-transfer (so only the health probes can notice),
+// a forged RST kills the v6 rescue path, and the v6 link flaps late.
+// The session must deliver every byte exactly once and the first
+// failover must be proactive — triggered by probe timeout, not by a
+// read-loop error.
+func TestChaosSmoke(t *testing.T) {
+	sc := Scenario{
+		Name:           "smoke-flap-stall-rst-loss",
+		Seed:           7,
+		TransferBytes:  1 << 20,
+		NumStreams:     4,
+		V4:             netsim.LinkConfig{Name: "v4", Delay: time.Millisecond, BandwidthBps: 50e6, Loss: 0.02},
+		JoinSecondPath: true,
+		Schedule: func(env *Env) *netsim.FaultSchedule {
+			fs := &netsim.FaultSchedule{}
+			// Silent blackhole on v4: the read loop sees nothing, only
+			// the unanswered probes can flag the path. Health probes run
+			// every 15ms with failAfter=3, so degrade lands ~45-60ms in.
+			fs.StallBoth(env.LinkV4, 40*time.Millisecond, 250*time.Millisecond)
+			// While traffic rides the v6 rescue path, a middlebox forges
+			// an RST there — the classic §2.1 failure TCPLS survives.
+			fs.At(60*time.Millisecond, "arm-rst(v6,after=100)", func() {
+				env.LinkV6.Use(&netsim.RSTInjector{AfterSegments: 100, Once: true, BothDirections: true})
+			})
+			// Late v6 flap: by now v4 is back; the session hops again.
+			fs.FlapLink(env.LinkV6, 400*time.Millisecond, 470*time.Millisecond)
+			return fs
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("chaos smoke failed: %v", err)
+	}
+	t.Logf("smoke: %s degraded=%d joins=%d readLoopFailovers=%d virtual=%s bytes=%d",
+		res.Replay(), res.Degraded, res.Joins, res.ReadLoopFailovers, res.VirtualElapsed, res.BytesTransferred)
+	if res.BytesTransferred != sc.TransferBytes {
+		t.Fatalf("transferred %d bytes, want %d (replay: %s)", res.BytesTransferred, sc.TransferBytes, res.Replay())
+	}
+	// The stall produces no transport error, so the failover away from
+	// the stalled v4 path can only have been proactive: a health-probe
+	// degrade, not a read-loop death.
+	if res.Degraded < 1 {
+		t.Fatalf("no proactive health-probe failover engaged: degraded=%d (replay: %s)", res.Degraded, res.Replay())
+	}
+	if res.Joins < 1 {
+		t.Fatalf("server observed no JOIN attachments: joins=%d (replay: %s)", res.Joins, res.Replay())
+	}
+}
+
+// TestChaosRandomSchedules drives seeded random fault schedules
+// (hard faults confined to v4, so v6 always remains viable) and
+// asserts the survival invariants for each. Failures log the seed and
+// rendered schedule for exact replay.
+func TestChaosRandomSchedules(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			sc := Scenario{
+				Name:           "random",
+				Seed:           seed,
+				TransferBytes:  256 << 10,
+				NumStreams:     2,
+				JoinSecondPath: true,
+				RandomFaults:   6,
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("random schedule seed=%d failed: %v", seed, err)
+			}
+			t.Logf("random: %s degraded=%d joins=%d readLoopFailovers=%d virtual=%s",
+				res.Replay(), res.Degraded, res.Joins, res.ReadLoopFailovers, res.VirtualElapsed)
+			if res.BytesTransferred != sc.TransferBytes {
+				t.Fatalf("transferred %d bytes, want %d (replay: %s)", res.BytesTransferred, sc.TransferBytes, res.Replay())
+			}
+		})
+	}
+}
+
+// TestChaosSinglePathRecovery exercises the reconnect path with no
+// standing rescue path: the only connection is stalled until the
+// health monitor degrades it, and the client must JOIN back through
+// the cancelable-backoff loop once the link heals.
+func TestChaosSinglePathRecovery(t *testing.T) {
+	sc := Scenario{
+		Name:          "single-path-stall-reconnect",
+		Seed:          11,
+		TransferBytes: 512 << 10, // ~82ms of transmission: the stall lands mid-flight
+		NumStreams:    2,
+		Schedule: func(env *Env) *netsim.FaultSchedule {
+			fs := &netsim.FaultSchedule{}
+			// Blackhole the only path long enough for the health monitor
+			// to degrade it (~100ms in), then RST the first retransmission
+			// once the stall lifts: the emulator's TCP would otherwise
+			// gracefully drain the degraded connection's send buffer, and
+			// the zombie would beat the JOIN rescue to the finish line.
+			fs.StallBoth(env.LinkV4, 15*time.Millisecond, 150*time.Millisecond)
+			fs.At(140*time.Millisecond, "arm-rst(v4,after=1)", func() {
+				env.LinkV4.Use(&netsim.RSTInjector{AfterSegments: 1, Once: true, BothDirections: true})
+			})
+			return fs
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("single-path recovery failed: %v", err)
+	}
+	t.Logf("single-path: %s degraded=%d joins=%d virtual=%s",
+		res.Replay(), res.Degraded, res.Joins, res.VirtualElapsed)
+	if res.Degraded < 1 {
+		t.Fatalf("stall was not detected proactively: degraded=%d (replay: %s)", res.Degraded, res.Replay())
+	}
+	if res.Joins < 1 {
+		t.Fatalf("client never rejoined after the stall: joins=%d (replay: %s)", res.Joins, res.Replay())
+	}
+}
+
+// TestRandomScheduleDeterministic pins the replay contract: the same
+// (seed, n) must render the identical schedule.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	mk := func() string {
+		n := netsim.New(netsim.WithSeed(42))
+		defer n.Close()
+		ch, sh := n.Host("c"), n.Host("s")
+		l4 := n.AddLink(ch, sh, ClientV4, ServerV4, netsim.LinkConfig{Name: "v4"})
+		l6 := n.AddLink(ch, sh, ClientV6, ServerV6, netsim.LinkConfig{Name: "v6"})
+		env := &Env{Net: n, LinkV4: l4, LinkV6: l6}
+		return RandomSchedule(42, env, 8).String()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("same seed rendered different schedules:\n%s\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty schedule rendered")
+	}
+}

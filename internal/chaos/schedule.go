@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+)
+
+// RandomSchedule generates a seeded fault schedule of n events. The v4
+// link takes the hard faults — flaps, silent stalls, forged RSTs, loss
+// bursts — while the v6 link only ever suffers survivable interference
+// (duplication, reordering, light loss), so every generated schedule
+// leaves at least one viable address and the survival invariant must
+// hold. The same (seed, n) always yields the same schedule.
+func RandomSchedule(seed int64, env *Env, n int) *netsim.FaultSchedule {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	fs := &netsim.FaultSchedule{}
+	for i := 0; i < n; i++ {
+		at := time.Duration(20+rng.Intn(700)) * time.Millisecond
+		switch rng.Intn(6) {
+		case 0: // link flap: administrative down, visible drops
+			down := time.Duration(30+rng.Intn(90)) * time.Millisecond
+			fs.FlapLink(env.LinkV4, at, at+down)
+		case 1: // silent stall: blackhole both directions
+			stall := time.Duration(40+rng.Intn(120)) * time.Millisecond
+			fs.StallBoth(env.LinkV4, at, at+stall)
+		case 2: // one-direction stall: data flows, acks vanish
+			dir := netsim.AtoB
+			if rng.Intn(2) == 1 {
+				dir = netsim.BtoA
+			}
+			stall := time.Duration(40+rng.Intn(120)) * time.Millisecond
+			fs.StallDir(env.LinkV4, dir, at, at+stall)
+		case 3: // forged RST after a burst of data segments
+			after := 10 + rng.Intn(40)
+			both := rng.Intn(2) == 1
+			link := env.LinkV4
+			fs.At(at, fmt.Sprintf("arm-rst(%s,after=%d)", link.Name(), after), func() {
+				link.Use(&netsim.RSTInjector{AfterSegments: after, Once: true, BothDirections: both})
+			})
+		case 4: // loss burst on v4, then back to the baseline
+			p := 0.01 + rng.Float64()*0.04
+			burst := time.Duration(50+rng.Intn(150)) * time.Millisecond
+			base := env.LinkV4.Loss()
+			fs.LossAt(env.LinkV4, at, p)
+			fs.LossAt(env.LinkV4, at+burst, base)
+		case 5: // survivable interference on v6: dup or reorder
+			link := env.LinkV6
+			if rng.Intn(2) == 0 {
+				every := 10 + rng.Intn(30)
+				fs.At(at, fmt.Sprintf("arm-dup(%s,every=%d)", link.Name(), every), func() {
+					link.Use(&netsim.Duplicator{EveryN: every})
+				})
+			} else {
+				every := 8 + rng.Intn(24)
+				fs.At(at, fmt.Sprintf("arm-reorder(%s,every=%d)", link.Name(), every), func() {
+					link.Use(&netsim.Reorderer{EveryN: every})
+				})
+			}
+		}
+	}
+	return fs
+}

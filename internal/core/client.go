@@ -233,6 +233,14 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 		tls13.Extension{Type: tls13.ExtTCPLS, Data: join.Encode()})
 	tc := tls13.Client(tcp, tlsCfg)
 	if err := tc.Handshake(); err != nil {
+		// Transport-level failure (the link died mid-JOIN): the cookie may
+		// never have reached the server, so requeue it at the back of the
+		// pool rather than burning it. If the server did consume it, the
+		// retry is simply rejected and the next cookie is used — without
+		// this, a fault burst can exhaust the pool and strand reconnect.
+		s.mu.Lock()
+		s.cookies = append(s.cookies, cookie)
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v", ErrJoinRejected, err)
 	}
 	st := tc.ConnectionState()
@@ -305,13 +313,16 @@ func (s *Session) AdvertiseAddress(ap netip.AddrPort, primary bool) error {
 	return pc.writeControl(record.AddAddress{Addr: ap.Addr(), Port: ap.Port(), Primary: primary})
 }
 
-// Ping probes the given path (liveness).
+// Ping probes the given path (liveness): the answering Pong feeds the
+// path's RTT estimate exactly like a monitor-initiated probe.
 func (s *Session) Ping(pathID uint32) error {
 	pc := s.path(pathID)
 	if pc == nil {
 		return ErrNoConnection
 	}
-	return pc.writeControl(record.Ping{})
+	seq := s.probeSeq.Add(1)
+	pc.health.noteSent(seq, time.Now())
+	return pc.writeControl(record.Ping{Seq: seq})
 }
 
 // ClosePath gracefully closes one TCP connection: the migration step of

@@ -706,9 +706,13 @@ func TestMultipathAggregation(t *testing.T) {
 	}
 	// 2 MB over a single 20 Mbps path cannot beat 800 ms; with both
 	// paths carrying data the transfer must finish well under that.
-	singlePathFloor := time.Duration(float64(len(data)*8) / 20e6 * float64(time.Second))
-	if elapsed > singlePathFloor*8/10 {
-		t.Fatalf("aggregate transfer took %s, want < 80%% of the single-path floor %s", elapsed, singlePathFloor)
+	// Race-detector instrumentation slows the real-time emulator below
+	// link rate, so the throughput bar only holds in normal builds.
+	if !raceEnabled {
+		singlePathFloor := time.Duration(float64(len(data)*8) / 20e6 * float64(time.Second))
+		if elapsed > singlePathFloor*8/10 {
+			t.Fatalf("aggregate transfer took %s, want < 80%% of the single-path floor %s", elapsed, singlePathFloor)
+		}
 	}
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"net/netip"
-	"time"
 )
 
 // handleConnFailure reacts to the death of a TCP connection (§2.1):
@@ -10,7 +9,16 @@ import (
 // a client whose last connection died — e.g. a middlebox-forged RST —
 // automatically re-establishes a TCP connection (JOIN) and replays, so
 // the TCPLS session survives events that kill plain TCP/TLS.
+//
+// The health monitor and the read loop can both report the same death
+// (proactive degrade closes the conn, which then errors the read loop);
+// the per-path once-guard makes whichever arrives first the only one
+// that acts.
 func (s *Session) handleConnFailure(pc *pathConn, err error, orderly bool) {
+	pc.failOnce.Do(func() { s.connFailed(pc, err, orderly) })
+}
+
+func (s *Session) connFailed(pc *pathConn, err error, orderly bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -19,7 +27,7 @@ func (s *Session) handleConnFailure(pc *pathConn, err error, orderly bool) {
 	if s.primary == pc {
 		s.primary = nil
 		for _, cand := range s.conns {
-			if !cand.isClosed() {
+			if cand != pc && !cand.isClosed() {
 				s.primary = cand
 				break
 			}
@@ -29,11 +37,18 @@ func (s *Session) handleConnFailure(pc *pathConn, err error, orderly bool) {
 	s.mu.Unlock()
 
 	if orderly {
-		// Peer closed this connection deliberately (migration or session
-		// end). If it was the last one and the session saw SessionClose,
-		// teardown already ran; if streams remain open with no paths and
-		// no close, treat as failure below.
-		if s.primaryPath() != nil || !s.hasOpenStreams() {
+		// Peer closed this connection deliberately (migration, proactive
+		// degrade on its side, or session end). Deliberate does not mean
+		// empty: records in flight on this connection may have died in
+		// its buffers, so a surviving path still gets a replay — the
+		// receiver deduplicates, making this idempotent. Without it an
+		// orderly EOF with a survivor silently strands unacked data and
+		// the transfer wedges with every connection healthy.
+		if next := s.primaryPath(); next != nil {
+			s.replayAll(next)
+			return
+		}
+		if !s.hasOpenStreams() {
 			return
 		}
 	}
@@ -50,6 +65,15 @@ func (s *Session) handleConnFailure(pc *pathConn, err error, orderly bool) {
 		return
 	}
 
+	// Single-flight: several paths dying near-simultaneously must not
+	// spawn competing reconnect loops burning cookies against each other.
+	s.mu.Lock()
+	already := s.reconnecting
+	s.reconnecting = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
 	go s.reconnect(err)
 }
 
@@ -68,18 +92,64 @@ func (s *Session) hasOpenStreams() bool {
 	return false
 }
 
-// reconnect dials the peer's known addresses and JOINs, with bounded
-// exponential backoff. On success the replay buffers flush onto the new
-// connection ("reestablishing a new TCP connection to continue the
-// transfer of data and replay the records that have been lost", §2.1).
+// reconnect dials the peer's known addresses and JOINs under the
+// session's retry policy: jittered, capped exponential backoff on the
+// session clock, aborted immediately by Close(). On success the replay
+// buffers flush onto the new connection ("reestablishing a new TCP
+// connection to continue the transfer of data and replay the records
+// that have been lost", §2.1). If a rescue path appears by other means
+// mid-backoff (the application Connect()ing a fresh path), the loop
+// adopts it instead of dialing.
 func (s *Session) reconnect(cause error) {
-	backoff := 50 * time.Millisecond
-	for attempt := 0; attempt < 8; attempt++ {
-		if s.Closed() {
+	for {
+		exhausted := s.reconnectRound(cause)
+		if exhausted {
+			s.mu.Lock()
+			s.reconnecting = false
+			s.mu.Unlock()
+			s.teardown(cause)
 			return
 		}
+		// Releasing the single-flight flag races with the rescue path
+		// dying: a connFailed that ran while we still held the flag was
+		// swallowed. Re-check liveness under the same lock that clears
+		// the flag — if nothing survived, take the failure back and run
+		// another round instead of stranding the session with no paths
+		// and no reconnect loop.
+		s.mu.Lock()
+		live := false
+		for _, pc := range s.conns {
+			if !pc.isClosed() {
+				live = true
+				break
+			}
+		}
+		if live || s.closed {
+			s.reconnecting = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+// reconnectRound runs one budget of dial attempts. It returns true when
+// the budget is exhausted (the session should tear down), false when a
+// live path was (re)established or the session is closing.
+func (s *Session) reconnectRound(cause error) (exhausted bool) {
+	pol := s.cfg.Retry.withDefaults()
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if s.Closed() {
+			return false
+		}
+		if pc := s.primaryPath(); pc != nil {
+			// Rescued while backing off: a path joined through another
+			// avenue. Replay onto it (receiver deduplicates) and stop.
+			s.replayAll(pc)
+			return false
+		}
 		for _, addr := range s.reconnectCandidates() {
-			tcp, err := s.dialer.Dial(netip.Addr{}, addr, 2*time.Second)
+			tcp, err := s.dialer.Dial(netip.Addr{}, addr, pol.DialTimeout)
 			if err != nil {
 				continue
 			}
@@ -89,12 +159,13 @@ func (s *Session) reconnect(cause error) {
 				continue
 			}
 			s.replayAll(pc)
-			return
+			return false
 		}
-		time.Sleep(s.cfg.Clock.ScaleDuration(backoff))
-		backoff *= 2
+		if !s.sleepCancelable(s.jitter.backoff(pol, attempt)) {
+			return false // Close() interrupted the backoff
+		}
 	}
-	s.teardown(cause)
+	return true
 }
 
 // reconnectCandidates lists addresses to try: advertised addresses
@@ -114,7 +185,16 @@ func (s *Session) reconnectCandidates() []netip.AddrPort {
 	}
 	out := append(primary, rest...)
 	if s.lastRemote.IsValid() {
-		out = append(out, s.lastRemote)
+		seen := false
+		for _, ap := range out {
+			if ap == s.lastRemote {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, s.lastRemote)
+		}
 	}
 	return out
 }

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+var errInjected = errors.New("injected path death")
+
+// countingDialer wraps a Dialer and counts attempts — it makes backoff
+// loops observable from tests.
+type countingDialer struct {
+	inner Dialer
+	calls atomic.Int32
+}
+
+func (d *countingDialer) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (net.Conn, error) {
+	d.calls.Add(1)
+	return d.inner.Dial(laddr, raddr, timeout)
+}
+
+// fastRetry keeps reconnect loops quick under emulated time.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		Base:        10 * time.Millisecond,
+		Cap:         50 * time.Millisecond,
+		MaxAttempts: 10,
+		DialTimeout: 250 * time.Millisecond,
+	}
+}
+
+// transfer pushes data through a fresh stream and verifies byte-exact
+// arrival, surviving whatever failover happens mid-flight.
+func transfer(t *testing.T, cli, srv *Session, size int) {
+	t.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	st, err := cli.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := st.Write(data)
+		if err == nil {
+			err = st.Close()
+		}
+		errCh <- err
+	}()
+	sst, err := srv.AcceptStream()
+	if err != nil {
+		t.Fatalf("accept stream: %v", err)
+	}
+	got, err := io.ReadAll(sst)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if werr := <-errCh; werr != nil {
+		t.Fatalf("write: %v", werr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer corrupted: got %d bytes, want %d", len(got), len(data))
+	}
+}
+
+// TestFailoverAllPathsSimultaneous kills every connection of a dual-path
+// session at once: the single-flight guard must produce exactly one
+// reconnect loop, and the session must recover and finish the transfer.
+func TestFailoverAllPathsSimultaneous(t *testing.T) {
+	v4, v6 := fastLinks()
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{Retry: fastRetry()})
+	cli, srv := e.connect(t, &Config{Retry: fastRetry(), RetrySeed: 42})
+	if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), time.Second); err != nil {
+		t.Fatalf("join v6: %v", err)
+	}
+	waitCond(t, time.Second, func() bool { return cli.NumConns() == 2 })
+
+	// Open the stream first so hasOpenStreams is true during the blast.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		transfer(t, cli, srv, 256<<10)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the transfer get airborne
+
+	paths := cli.livePaths()
+	if len(paths) != 2 {
+		t.Fatalf("live paths: %d", len(paths))
+	}
+	for _, pc := range paths {
+		go pc.handleDeath(errInjected)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer did not recover from simultaneous path death")
+	}
+	if cli.Closed() || srv.Closed() {
+		t.Fatalf("session died: cli=%v srv=%v", cli.Err(), srv.Err())
+	}
+}
+
+// TestFailoverOrderlyCloseWithOpenStreams has the server orderly-close
+// the session's only connection (ConnClose control frame) while client
+// streams are still open: the client must treat it as a failover case
+// and re-establish rather than strand the writers.
+func TestFailoverOrderlyCloseWithOpenStreams(t *testing.T) {
+	v4, v6 := fastLinks()
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{Retry: fastRetry()})
+	cli, srv := e.connect(t, &Config{Retry: fastRetry(), RetrySeed: 43})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		transfer(t, cli, srv, 512<<10)
+	}()
+	time.Sleep(15 * time.Millisecond)
+
+	if err := srv.ClosePath(srv.primaryPath().id); err != nil {
+		t.Fatalf("server close path: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer did not survive orderly close with open streams")
+	}
+	if cli.Closed() {
+		t.Fatalf("client died: %v", cli.Err())
+	}
+}
+
+// TestFailoverRescueMidBackoff parks the client's reconnect loop in a
+// long backoff against dead links, then rescues the session through the
+// application's own Connect on a healed link: the loop must adopt the
+// rescue path, replay, and stand down.
+func TestFailoverRescueMidBackoff(t *testing.T) {
+	v4, v6 := fastLinks()
+	retry := RetryPolicy{
+		Base:        800 * time.Millisecond, // park the loop in backoff
+		Cap:         800 * time.Millisecond,
+		MaxAttempts: 20,
+		DialTimeout: 100 * time.Millisecond,
+	}
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{Retry: fastRetry()},
+		netsim.WithTimeScale(0.25))
+	cli, srv := e.connect(t, &Config{Retry: retry, RetrySeed: 44})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		transfer(t, cli, srv, 128<<10)
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// Dead links: the reconnect loop's dials all time out, then it backs
+	// off for 800ms (virtual).
+	e.linkV4.SetDown(true)
+	e.linkV6.SetDown(true)
+	cli.primaryPath().handleDeath(errInjected)
+
+	// Heal v6 and rescue through the application avenue while the loop
+	// is still sleeping.
+	time.Sleep(100 * time.Millisecond)
+	e.linkV6.SetDown(false)
+	if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), 2*time.Second); err != nil {
+		t.Fatalf("rescue join: %v", err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("rescue path did not revive the transfer")
+	}
+	if cli.Closed() || srv.Closed() {
+		t.Fatalf("session died: cli=%v srv=%v", cli.Err(), srv.Err())
+	}
+}
+
+// TestServerWaitsForJoinRescue kills the only connection mid-transfer:
+// the server must not tear down or dial back — it holds the session
+// state until the client JOINs again (§2.1), then the transfer
+// finishes over the rescue connection. The transfer is bigger than the
+// replay buffer and the link is rate-limited, so the tail of the data
+// cannot ride out on the dying connection's send buffer: finishing
+// requires the JOIN.
+func TestServerWaitsForJoinRescue(t *testing.T) {
+	v4, v6 := fastLinks()
+	v4.BandwidthBps = 100e6
+	v6.BandwidthBps = 100e6
+	var joins atomic.Int32
+	srvCfg := &Config{
+		Retry:     fastRetry(),
+		Callbacks: Callbacks{Join: func(uint32, net.Addr) { joins.Add(1) }},
+	}
+	e := dualStackEnv(t, v4, v6, &Config{}, srvCfg)
+	cli, srv := e.connect(t, &Config{Retry: fastRetry(), RetrySeed: 45})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		transfer(t, cli, srv, 8<<20)
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	cli.primaryPath().handleDeath(errInjected)
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("transfer did not survive connection death")
+	}
+	if srv.Closed() {
+		t.Fatalf("server tore down instead of waiting for JOIN: %v", srv.Err())
+	}
+	if joins.Load() == 0 {
+		t.Fatal("client never joined back")
+	}
+}
+
+// TestCloseInterruptsBackoff verifies the retry loop is cancelable: with
+// every address dead, Close() must stop the dialing promptly instead of
+// letting it burn through the whole attempt budget.
+func TestCloseInterruptsBackoff(t *testing.T) {
+	v4, v6 := fastLinks()
+	retry := RetryPolicy{
+		Base:        200 * time.Millisecond,
+		Cap:         time.Second,
+		MaxAttempts: 50,
+		DialTimeout: 150 * time.Millisecond,
+	}
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{Retry: fastRetry()})
+	cd := &countingDialer{inner: tcpnet.Dialer{Stack: e.client}}
+	cfg := &Config{
+		Retry:     retry,
+		RetrySeed: 46,
+		TLS:       &tls13.Config{InsecureSkipVerify: true},
+		Clock:     e.net,
+	}
+	cli := NewClient(cfg, cd)
+	type res struct {
+		s   *Session
+		err error
+	}
+	acceptCh := make(chan res, 1)
+	go func() {
+		s, err := e.listener.Accept()
+		acceptCh <- res{s, err}
+	}()
+	if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(sV4, 443), 5*time.Second); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if err := cli.Handshake(); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	r := <-acceptCh
+	if r.err != nil {
+		t.Fatalf("accept: %v", r.err)
+	}
+	defer r.s.Close()
+
+	// Kill the links and the only path: every reconnect dial now times
+	// out, so the loop alternates dial timeouts and backoff sleeps.
+	e.linkV4.SetDown(true)
+	e.linkV6.SetDown(true)
+	base := cd.calls.Load()
+	cli.primaryPath().handleDeath(errInjected)
+	waitCond(t, 5*time.Second, func() bool { return cd.calls.Load() > base })
+
+	if err := cli.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !cli.Closed() {
+		t.Fatal("session not closed")
+	}
+	// The loop must stop dialing almost immediately: give it one grace
+	// window, then require the count to stay frozen.
+	time.Sleep(300 * time.Millisecond)
+	frozen := cd.calls.Load()
+	time.Sleep(700 * time.Millisecond)
+	if got := cd.calls.Load(); got != frozen {
+		t.Fatalf("reconnect kept dialing after Close: %d -> %d", frozen, got)
+	}
+	// And it cannot have burned the whole budget (50 attempts x 2 addrs)
+	// in the short window before Close landed.
+	if got := cd.calls.Load(); got > 20 {
+		t.Fatalf("suspiciously many dial attempts before Close: %d", got)
+	}
+}
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+)
+
+// Path health monitoring: lightweight PING/PONG probes over the secure
+// channel give every path an RTT estimate and a liveness signal. A path
+// that stops answering probes is failed over *proactively* — the paper's
+// §2.1 failover triggered by a health timeout instead of waiting for the
+// transport's read loop to error, which on a silently blackholed path
+// (stalled middlebox, dead link with no RST) can take many retransmission
+// timeouts.
+
+// defaultHealthFailAfter is how many consecutive unanswered probes mark
+// a path dead when Config.HealthFailAfter is 0.
+const defaultHealthFailAfter = 3
+
+// pathHealth is the probe bookkeeping for one pathConn. All times are
+// wall-clock internally; snapshots convert to virtual time.
+type pathHealth struct {
+	mu          sync.Mutex
+	outstanding map[uint32]time.Time // probe seq -> send time
+	srtt        time.Duration        // EWMA of probe RTTs (wall)
+	probesSent  uint64
+	pongsRecv   uint64
+	degraded    bool
+}
+
+// PathHealth is a snapshot of one path's probe state. Durations are in
+// virtual time when the session clock supports conversion.
+type PathHealth struct {
+	PathID        uint32
+	SRTT          time.Duration
+	ProbesSent    uint64
+	PongsReceived uint64
+	// Outstanding counts probes sent but not yet answered — the health
+	// monitor degrades the path when this reaches HealthFailAfter.
+	Outstanding int
+	Degraded    bool
+}
+
+func (h *pathHealth) noteSent(seq uint32, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.outstanding == nil {
+		h.outstanding = make(map[uint32]time.Time)
+	}
+	h.outstanding[seq] = now
+	h.probesSent++
+}
+
+// notePong matches a pong to its probe and returns the wall-clock RTT
+// sample (ok=false for unmatched/duplicate pongs).
+func (h *pathHealth) notePong(seq uint32, now time.Time) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sent, ok := h.outstanding[seq]
+	if !ok {
+		return 0, false
+	}
+	delete(h.outstanding, seq)
+	h.pongsRecv++
+	rtt := now.Sub(sent)
+	if rtt < 0 {
+		rtt = 0
+	}
+	if h.srtt == 0 {
+		h.srtt = rtt
+	} else {
+		h.srtt = (7*h.srtt + rtt) / 8 // RFC 6298-style smoothing
+	}
+	return rtt, true
+}
+
+func (h *pathHealth) outstandingCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.outstanding)
+}
+
+func (h *pathHealth) markDegraded() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.degraded {
+		return false
+	}
+	h.degraded = true
+	return true
+}
+
+// startHealthMonitor launches the probe loop once, if enabled.
+func (s *Session) startHealthMonitor() {
+	if s.cfg.HealthProbeInterval <= 0 {
+		return
+	}
+	s.healthOnce.Do(func() { go s.healthLoop() })
+}
+
+// healthLoop probes every live path each interval and degrades paths
+// whose unanswered-probe count crosses the threshold. It exits when the
+// session closes.
+func (s *Session) healthLoop() {
+	failAfter := s.cfg.HealthFailAfter
+	if failAfter <= 0 {
+		failAfter = defaultHealthFailAfter
+	}
+	for {
+		if !s.sleepCancelable(s.cfg.HealthProbeInterval) {
+			return // session closed
+		}
+		for _, pc := range s.livePaths() {
+			if pc.health.outstandingCount() >= failAfter {
+				s.degradePath(pc)
+				continue
+			}
+			seq := s.probeSeq.Add(1)
+			pc.health.noteSent(seq, time.Now())
+			// Write in a goroutine: on a stalled path the transport's send
+			// buffer eventually fills and the write blocks until the path
+			// is closed — the monitor itself must never wedge.
+			go pc.writeControl(record.Ping{Seq: seq})
+		}
+	}
+}
+
+// degradePath proactively fails over a path that stopped answering
+// probes: close it with ErrPathUnhealthy and run the ordinary failure
+// path (replay onto a survivor, or reconnect).
+func (s *Session) degradePath(pc *pathConn) {
+	if !pc.health.markDegraded() {
+		return
+	}
+	if cb := s.cfg.Callbacks.PathDegraded; cb != nil {
+		cb(pc.id, ErrPathUnhealthy)
+	}
+	pc.close(ErrPathUnhealthy)
+	s.handleConnFailure(pc, ErrPathUnhealthy, false)
+}
+
+// handlePong ingests a probe answer on pc.
+func (pc *pathConn) handlePong(seq uint32) {
+	pc.health.notePong(seq, time.Now())
+}
+
+// virtualSince converts a wall-clock elapsed time into virtual time when
+// the session clock knows the emulation scale (netsim.Network does).
+func (s *Session) virtualSince(t time.Time) time.Duration {
+	if v, ok := s.cfg.Clock.(interface{ VirtualSince(time.Time) time.Duration }); ok {
+		return v.VirtualSince(t)
+	}
+	return time.Since(t)
+}
+
+// scaleToVirtual converts a wall-clock duration into virtual time.
+func (s *Session) scaleToVirtual(d time.Duration) time.Duration {
+	// ScaleDuration maps virtual -> wall; invert via a unit probe.
+	unit := s.cfg.Clock.ScaleDuration(time.Second)
+	if unit <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * float64(time.Second) / float64(unit))
+}
+
+// PathHealthSnapshot reports the probe state of one live path.
+func (s *Session) PathHealthSnapshot(pathID uint32) (PathHealth, bool) {
+	pc := s.path(pathID)
+	if pc == nil {
+		return PathHealth{}, false
+	}
+	return pc.healthSnapshot(s), true
+}
+
+// PathHealths reports the probe state of every live path.
+func (s *Session) PathHealths() []PathHealth {
+	var out []PathHealth
+	for _, pc := range s.livePaths() {
+		out = append(out, pc.healthSnapshot(s))
+	}
+	return out
+}
+
+func (pc *pathConn) healthSnapshot(s *Session) PathHealth {
+	h := &pc.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return PathHealth{
+		PathID:        pc.id,
+		SRTT:          s.scaleToVirtual(h.srtt),
+		ProbesSent:    h.probesSent,
+		PongsReceived: h.pongsRecv,
+		Outstanding:   len(h.outstanding),
+		Degraded:      h.degraded,
+	}
+}

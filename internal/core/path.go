@@ -29,6 +29,9 @@ type pathConn struct {
 	ctxMu   sync.Mutex
 	ctxs    map[uint32]bool // stream contexts added on this conn
 
+	health   pathHealth
+	failOnce sync.Once // handleConnFailure runs at most once per path
+
 	mu     sync.Mutex
 	closed bool
 	err    error
@@ -210,9 +213,10 @@ func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
 func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
 	switch fr := f.(type) {
 	case record.Ping:
-		pc.writeControl(record.Pong{})
+		pc.writeControl(record.Pong{Seq: fr.Seq})
 	case record.Pong:
-		// liveness confirmed; nothing to update yet
+		// Liveness confirmed: match the probe, update RTT/loss scoring.
+		pc.handlePong(fr.Seq)
 	case record.Ack:
 		s.mu.Lock()
 		st := s.streams[fr.StreamID]
@@ -282,8 +286,11 @@ func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
 		s.teardown(nil)
 	case record.ConnClose:
 		// Peer finished with this TCP connection (migration, §3.2):
-		// close it gracefully without failover.
+		// close it gracefully. Failover still gets a look: if this was
+		// the last connection and streams are still open, the session
+		// must re-establish rather than strand the writers.
 		pc.close(nil)
+		s.handleConnFailure(pc, nil, true)
 	}
 }
 

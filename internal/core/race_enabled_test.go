@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled relaxes wall-clock performance assertions: the race
+// detector's instrumentation slows the real-time emulator enough to
+// break throughput expectations that hold in normal builds.
+const raceEnabled = true

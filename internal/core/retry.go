@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is the session's unified reconnection backoff: capped
+// exponential growth with proportional jitter, driven by the session
+// clock and aborted the instant the session closes. The zero value means
+// "use defaults".
+type RetryPolicy struct {
+	// Base is the first backoff (default 50ms, virtual time).
+	Base time.Duration
+	// Cap bounds any single backoff (default 2s).
+	Cap time.Duration
+	// Factor multiplies the backoff per attempt (default 2).
+	Factor float64
+	// Jitter randomizes each backoff within ±Jitter fraction of its
+	// nominal value (default 0.5). Zero-jitter retries from many clients
+	// synchronize into reconnection storms; jitter spreads them.
+	Jitter float64
+	// MaxAttempts bounds reconnection sweeps before the session gives up
+	// (default 8).
+	MaxAttempts int
+	// DialTimeout bounds each dial attempt (default 2s, virtual time).
+	DialTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.5
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 2 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the jittered, capped backoff for the given attempt
+// (0-based). rng may be nil for unjittered deterministic output.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Cap) {
+			d = float64(p.Cap)
+			break
+		}
+	}
+	if rng != nil && p.Jitter > 0 {
+		// Uniform in [d*(1-j), d*(1+j)], then re-capped.
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// jitterRNG is the session's backoff randomness, seeded for reproducible
+// chaos runs via Config.RetrySeed.
+type jitterRNG struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterRNG(seed int64) *jitterRNG {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &jitterRNG{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *jitterRNG) backoff(p RetryPolicy, attempt int) time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return p.Backoff(attempt, j.rng)
+}
+
+// sleepCancelable blocks for virtual duration d, returning false
+// immediately if the session closes first — Close() must interrupt an
+// in-flight backoff, not wait it out.
+func (s *Session) sleepCancelable(d time.Duration) bool {
+	t := time.NewTimer(s.cfg.Clock.ScaleDuration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.closeCh:
+		return false
+	}
+}

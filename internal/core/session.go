@@ -22,6 +22,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
@@ -45,6 +46,10 @@ var (
 	ErrJoinRejected  = errors.New("tcpls: join rejected")
 	ErrUnknownStream = errors.New("tcpls: unknown stream")
 	ErrNoAddresses   = errors.New("tcpls: no addresses to connect to")
+	// ErrPathUnhealthy reports that the health monitor declared a path
+	// dead (consecutive unanswered probes) and failed it over proactively,
+	// before the transport's own read loop noticed anything.
+	ErrPathUnhealthy = errors.New("tcpls: path failed health probes")
 )
 
 // Dialer opens transport connections: satisfied by tcpnet stacks and by
@@ -104,6 +109,10 @@ type Callbacks struct {
 	CCInstalled func(name string)
 	// Join fires on servers when a client attaches a new connection.
 	Join func(pathID uint32, remote net.Addr)
+	// PathDegraded fires when the health monitor declares a path dead
+	// (probe timeout) and fails it over proactively — before the
+	// transport surfaced any error.
+	PathDegraded func(pathID uint32, reason error)
 	// SessionClosed fires once, when the session terminates.
 	SessionClosed func(err error)
 }
@@ -138,6 +147,22 @@ type Config struct {
 	Callbacks Callbacks
 	// Clock scales protocol timers on emulated networks (optional).
 	Clock Clock
+	// HealthProbeInterval enables per-path health monitoring when > 0:
+	// every interval (virtual time) the session sends a PING over each
+	// live connection's secure channel and tracks RTT and unanswered
+	// probes. A path with HealthFailAfter consecutive unanswered probes
+	// is failed over proactively — detecting silent blackholes (stalled
+	// middleboxes, dead links) long before TCP's retransmission timers
+	// give up.
+	HealthProbeInterval time.Duration
+	// HealthFailAfter is how many consecutive unanswered probes mark a
+	// path dead (default 3).
+	HealthFailAfter int
+	// Retry tunes the reconnection backoff (zero value = defaults:
+	// 50ms base, 2s cap, ×2 growth, ±50% jitter, 8 attempts).
+	Retry RetryPolicy
+	// RetrySeed seeds backoff jitter for reproducible runs (0 = random).
+	RetrySeed int64
 }
 
 // Clock abstracts timer scaling; netsim.Network implements it.
@@ -195,6 +220,12 @@ type Session struct {
 	closed    bool
 	closeErr  error
 	closeOnce sync.Once
+	closeCh   chan struct{} // closed in teardown; cancels backoffs/probes
+
+	jitter       *jitterRNG    // reconnect backoff randomness
+	reconnecting bool          // single-flight guard for Session.reconnect
+	healthOnce   sync.Once     // starts the health monitor at most once
+	probeSeq     atomic.Uint32 // next health-probe sequence number
 
 	// server-side bookkeeping
 	issuedCookies map[string]bool // outstanding (unused) cookie set
@@ -212,6 +243,8 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 		acceptCh:      make(chan *Stream, 64),
 		dialer:        dialer,
 		issuedCookies: make(map[string]bool),
+		closeCh:       make(chan struct{}),
+		jitter:        newJitterRNG(cfg.RetrySeed),
 	}
 	if role == RoleClient {
 		s.nextStreamID = 1 // client-initiated streams are odd
@@ -313,15 +346,23 @@ func randomCookie() []byte {
 }
 
 // registerPath adds a ready pathConn to the session and starts its read
-// loop.
+// loop (and, on the first path, the health monitor).
 func (s *Session) registerPath(pc *pathConn) {
 	s.mu.Lock()
+	if s.closed {
+		// The session died while this path was handshaking: closing it
+		// here is the only way its read loop won't leak.
+		s.mu.Unlock()
+		pc.close(ErrSessionClosed)
+		return
+	}
 	if s.primary == nil {
 		s.primary = pc
 	}
 	s.conns[pc.id] = pc
 	s.mu.Unlock()
 	go pc.readLoop()
+	s.startHealthMonitor()
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
 		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
 	}
@@ -401,6 +442,7 @@ func (s *Session) teardown(err error) {
 	}
 	s.closed = true
 	s.closeErr = err
+	close(s.closeCh) // cancels in-flight backoffs and the health monitor
 	conns := make([]*pathConn, 0, len(s.conns))
 	for _, pc := range s.conns {
 		conns = append(conns, pc)
@@ -443,7 +485,8 @@ func (s *Session) Closed() bool {
 }
 
 // waitForPath blocks until a live connection exists (returning it), the
-// session closes, or the (virtual) timeout expires.
+// session closes, or the (virtual) timeout expires. Session close aborts
+// the wait immediately rather than burning the rest of the poll budget.
 func (s *Session) waitForPath(d time.Duration) *pathConn {
 	deadline := time.Now().Add(s.cfg.Clock.ScaleDuration(d))
 	for time.Now().Before(deadline) {
@@ -453,7 +496,9 @@ func (s *Session) waitForPath(d time.Duration) *pathConn {
 		if pc := s.primaryPath(); pc != nil {
 			return pc
 		}
-		time.Sleep(s.cfg.Clock.ScaleDuration(2 * time.Millisecond))
+		if !s.sleepCancelable(2 * time.Millisecond) {
+			return nil
+		}
 	}
 	return nil
 }

@@ -311,12 +311,21 @@ func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk) {
 	}
 	st.ingest(chunk)
 	st.sinceLastAck += uint64(len(chunk.Data))
+	finDelivered := st.finKnown && st.recvNext >= st.finalOffset
 	needAck := !st.session.cfg.DisableAcks &&
-		(st.sinceLastAck >= ackInterval || (st.finKnown && st.recvNext >= st.finalOffset))
+		(st.sinceLastAck >= ackInterval || finDelivered)
 	var ackOffset uint64
 	if needAck {
 		st.sinceLastAck = 0
 		ackOffset = st.recvNext
+		if finDelivered {
+			// The FIN occupies one virtual sequence slot: acking past the
+			// final offset tells the sender the FIN itself arrived, so it
+			// can release the FIN chunk from the replay buffer. An ack at
+			// exactly finalOffset only covers the data — the FIN may have
+			// died with a failed connection and still need replaying.
+			ackOffset = st.finalOffset + 1
+		}
 	}
 	st.readCond.Broadcast()
 	st.mu.Unlock()
@@ -384,7 +393,10 @@ func (st *Stream) handleAck(offset uint64) {
 			st.unackedLen -= len(c.Data)
 			continue
 		}
-		if c.Fin && offset >= c.Offset {
+		if c.Fin && offset > c.Offset {
+			// Strictly greater: the receiver acks finalOffset+1 once the
+			// FIN is delivered. An ack of exactly finalOffset covers the
+			// data only, and the FIN chunk must survive for replay.
 			continue
 		}
 		out = append(out, c)
@@ -424,4 +436,50 @@ func (st *Stream) BytesUnacked() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.unackedLen
+}
+
+// StreamState is a point-in-time snapshot of one stream's transfer
+// state — the first thing to look at when a chaos run wedges.
+type StreamState struct {
+	ID         uint32
+	SendOffset uint64 // next send offset to assign
+	AckedTo    uint64 // highest cumulative ack received
+	Unacked    int    // replay-buffer bytes
+	FinSent    bool
+	RecvNext   uint64 // next in-order receive offset
+	OOO        int    // buffered out-of-order chunks
+	FinKnown   bool
+	FinalOff   uint64
+}
+
+func (st *Stream) state() StreamState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StreamState{
+		ID:         st.id,
+		SendOffset: st.sendOffset,
+		AckedTo:    st.ackedTo,
+		Unacked:    st.unackedLen,
+		FinSent:    st.finSent,
+		RecvNext:   st.recvNext,
+		OOO:        len(st.ooo),
+		FinKnown:   st.finKnown,
+		FinalOff:   st.finalOffset,
+	}
+}
+
+// StreamStates snapshots every stream of the session.
+func (s *Session) StreamStates() []StreamState {
+	s.mu.Lock()
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	out := make([]StreamState, 0, len(streams))
+	for _, st := range streams {
+		out = append(out, st.state())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

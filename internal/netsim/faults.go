@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// FaultEvent is one scheduled fault: at virtual time At (since
+// FaultSchedule.Start), Do fires. Label names the fault for replay logs.
+type FaultEvent struct {
+	At    time.Duration
+	Label string
+	Do    func()
+}
+
+// FaultSchedule composes fault events over virtual time: link flaps,
+// per-direction stalls, loss ramps, middlebox arming — anything
+// expressible as a timed closure. It is the chaos harness's script: built
+// deterministically (by hand or from a seed), started against a network,
+// and printed into failure logs so any run can be replayed exactly.
+type FaultSchedule struct {
+	mu      sync.Mutex
+	events  []FaultEvent
+	timers  []*time.Timer
+	started bool
+}
+
+// At appends an event. Returns the schedule for chaining.
+func (fs *FaultSchedule) At(t time.Duration, label string, do func()) *FaultSchedule {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.events = append(fs.events, FaultEvent{At: t, Label: label, Do: do})
+	return fs
+}
+
+// FlapLink schedules the link down at downAt and back up at upAt.
+func (fs *FaultSchedule) FlapLink(l *Link, downAt, upAt time.Duration) *FaultSchedule {
+	fs.At(downAt, fmt.Sprintf("down(%s)", l.Name()), func() { l.SetDown(true) })
+	fs.At(upAt, fmt.Sprintf("up(%s)", l.Name()), func() { l.SetDown(false) })
+	return fs
+}
+
+// StallDir schedules a silent one-direction blackhole between from and
+// until.
+func (fs *FaultSchedule) StallDir(l *Link, dir Direction, from, until time.Duration) *FaultSchedule {
+	fs.At(from, fmt.Sprintf("stall(%s,%s)", l.Name(), dir), func() { l.SetStall(dir, true) })
+	fs.At(until, fmt.Sprintf("unstall(%s,%s)", l.Name(), dir), func() { l.SetStall(dir, false) })
+	return fs
+}
+
+// StallBoth schedules a silent blackhole of both directions between from
+// and until.
+func (fs *FaultSchedule) StallBoth(l *Link, from, until time.Duration) *FaultSchedule {
+	fs.StallDir(l, AtoB, from, until)
+	fs.StallDir(l, BtoA, from, until)
+	return fs
+}
+
+// LossAt schedules a change of the link's drop probability.
+func (fs *FaultSchedule) LossAt(l *Link, at time.Duration, p float64) *FaultSchedule {
+	return fs.At(at, fmt.Sprintf("loss(%s,%.3f)", l.Name(), p), func() { l.SetLoss(p) })
+}
+
+// Start arms every event as a virtual-time timer on n. Events whose time
+// already passed fire immediately (in At order).
+func (fs *FaultSchedule) Start(n *Network) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.started {
+		return
+	}
+	fs.started = true
+	evs := append([]FaultEvent(nil), fs.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		fs.timers = append(fs.timers, n.AfterFunc(ev.At, ev.Do))
+	}
+}
+
+// Stop cancels any events that have not fired yet.
+func (fs *FaultSchedule) Stop() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, t := range fs.timers {
+		t.Stop()
+	}
+	fs.timers = nil
+}
+
+// Len returns the number of scheduled events.
+func (fs *FaultSchedule) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.events)
+}
+
+// String renders the schedule in At order, one "t=... label" clause per
+// event — the replay record logged when a chaos run fails.
+func (fs *FaultSchedule) String() string {
+	fs.mu.Lock()
+	evs := append([]FaultEvent(nil), fs.events...)
+	fs.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	var b strings.Builder
+	for i, ev := range evs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "t=%s %s", ev.At.Truncate(time.Microsecond), ev.Label)
+	}
+	return b.String()
+}
+
+// --- fault-injecting middleboxes ---
+
+// Duplicator forwards every Nth data-bearing segment twice, emulating
+// the packet duplication some load balancers and failing NICs produce.
+// TCP must absorb duplicates without corrupting the byte stream.
+type Duplicator struct {
+	// EveryN duplicates one in every N data segments (N >= 1).
+	EveryN int
+
+	mu   sync.Mutex
+	seen int
+	dups int
+}
+
+// Process implements Middlebox.
+func (d *Duplicator) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 || d.EveryN < 1 {
+		return []*wire.Packet{p}, nil
+	}
+	d.mu.Lock()
+	d.seen++
+	dup := d.seen%d.EveryN == 0
+	if dup {
+		d.dups++
+	}
+	d.mu.Unlock()
+	if !dup {
+		return []*wire.Packet{p}, nil
+	}
+	return []*wire.Packet{p, p.Clone()}, nil
+}
+
+// Duplicated reports how many segments were duplicated.
+func (d *Duplicator) Duplicated() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
+}
+
+// Reorderer holds back every Nth data-bearing segment and releases it
+// after the following segment, swapping their order on the wire. TCP
+// reads mild reordering as potential loss (dup-ack pressure); the TCPLS
+// layers above must stay byte-exact regardless.
+type Reorderer struct {
+	// EveryN delays one in every N data segments (N >= 2 is sensible).
+	EveryN int
+
+	mu      sync.Mutex
+	seen    int
+	held    *wire.Packet
+	swapped int
+}
+
+// Process implements Middlebox.
+func (r *Reorderer) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 || r.EveryN < 1 {
+		return []*wire.Packet{p}, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.held != nil {
+		prev := r.held
+		r.held = nil
+		r.swapped++
+		return []*wire.Packet{p, prev}, nil
+	}
+	r.seen++
+	if r.seen%r.EveryN == 0 {
+		r.held = p
+		return nil, nil
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// Swapped reports how many segment pairs were reordered.
+func (r *Reorderer) Swapped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.swapped
+}
+
+// Corrupter flips one byte in a data segment's payload with probability
+// Prob, deliberately NOT fixing the TCP checksum — the receiver's
+// checksum validation discards the segment, so corruption degrades into
+// loss (retransmission recovers it). Contrast Mangler, which repairs the
+// checksum so only the cryptographic layer can catch the damage.
+type Corrupter struct {
+	// Prob is the per-data-segment corruption probability in [0,1).
+	Prob float64
+	// Rng drives the draws; seed it for reproducible runs (required).
+	Rng *rand.Rand
+
+	mu        sync.Mutex
+	corrupted int
+}
+
+// Process implements Middlebox.
+func (c *Corrupter) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 || c.Prob <= 0 || c.Rng == nil {
+		return []*wire.Packet{p}, nil
+	}
+	c.mu.Lock()
+	hit := c.Rng.Float64() < c.Prob
+	var idx int
+	if hit {
+		idx = c.Rng.Intn(len(seg.Payload))
+		c.corrupted++
+	}
+	c.mu.Unlock()
+	if hit {
+		// Flip a bit in the serialized packet past the TCP header so the
+		// checksum no longer matches.
+		off := len(p.Payload) - len(seg.Payload) + idx
+		if off >= 0 && off < len(p.Payload) {
+			p.Payload[off] ^= 0x20
+		}
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// Corrupted reports how many segments were damaged.
+func (c *Corrupter) Corrupted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupted
+}

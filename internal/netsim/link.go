@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"math"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
@@ -55,10 +57,13 @@ type Link struct {
 	ab   *linkDir // a -> b
 	ba   *linkDir // b -> a
 
-	mu      sync.Mutex
-	mboxes  []Middlebox
-	downABi bool // direction a->b administratively down
-	downBAi bool
+	mu       sync.Mutex
+	mboxes   []Middlebox
+	downABi  bool // direction a->b administratively down
+	downBAi  bool
+	stallABi bool // direction a->b stalled (silent blackhole)
+	stallBAi bool
+	lossBits atomic.Uint64 // dynamic loss probability (math.Float64bits)
 }
 
 // LinkEnd is one host's attachment to a link: transmitting on it sends
@@ -117,6 +122,7 @@ func (n *Network) AddLink(a, b *Host, addrA, addrB netip.Addr, cfg LinkConfig) *
 		cfg.QueueBytes = DefaultQueueBytes
 	}
 	l := &Link{cfg: cfg, net: n, a: a, b: b}
+	l.lossBits.Store(math.Float64bits(cfg.Loss))
 	l.ab = &linkDir{link: l, dir: AtoB, dst: b, inflight: make(chan timedPacket, 8192)}
 	l.ba = &linkDir{link: l, dir: BtoA, dst: a, inflight: make(chan timedPacket, 8192)}
 	go l.ab.drain(n.done)
@@ -163,6 +169,54 @@ func (l *Link) SetDown(down bool) {
 	l.downABi, l.downBAi = down, down
 }
 
+// SetDownDir disables or enables a single direction of the link,
+// emulating asymmetric outages (a route withdrawn one way only).
+func (l *Link) SetDownDir(dir Direction, down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dir == AtoB {
+		l.downABi = down
+	} else {
+		l.downBAi = down
+	}
+}
+
+// SetStall silently blackholes one direction of the link: unlike
+// SetDownDir the drop is not traced as an administrative event, matching
+// middleboxes and bugs that eat packets without any observable signal.
+// A stalled path produces no read-loop error at the transport — only a
+// health probe (or TCP user timeout) can detect it.
+func (l *Link) SetStall(dir Direction, stalled bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dir == AtoB {
+		l.stallABi = stalled
+	} else {
+		l.stallBAi = stalled
+	}
+}
+
+// StallBoth stalls or unstalls both directions at once.
+func (l *Link) StallBoth(stalled bool) {
+	l.SetStall(AtoB, stalled)
+	l.SetStall(BtoA, stalled)
+}
+
+// SetLoss changes the link's independent per-packet drop probability at
+// runtime (fault schedules ramp loss up and down mid-experiment).
+func (l *Link) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999999
+	}
+	l.lossBits.Store(math.Float64bits(p))
+}
+
+// Loss returns the current per-packet drop probability.
+func (l *Link) Loss() float64 { return math.Float64frombits(l.lossBits.Load()) }
+
 func (l *Link) isDown(dir Direction) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -170,6 +224,15 @@ func (l *Link) isDown(dir Direction) bool {
 		return l.downABi
 	}
 	return l.downBAi
+}
+
+func (l *Link) isStalled(dir Direction) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dir == AtoB {
+		return l.stallABi
+	}
+	return l.stallBAi
 }
 
 func (l *Link) middleboxes() []Middlebox {
@@ -193,6 +256,10 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 	}
 	if l.isDown(e.dir) {
 		l.net.emit(TraceEvent{Kind: "drop-down", Link: l.cfg.Name, Packet: p})
+		return
+	}
+	if l.isStalled(e.dir) {
+		l.net.emit(TraceEvent{Kind: "drop-stall", Link: l.cfg.Name, Packet: p})
 		return
 	}
 	// Middlebox chain. Forward-direction results continue down the link;
@@ -227,7 +294,7 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 func (d *linkDir) enqueue(p *wire.Packet) {
 	l := d.link
 	cfg := l.cfg
-	if cfg.Loss > 0 && l.net.lossDraw() < cfg.Loss {
+	if loss := l.Loss(); loss > 0 && l.net.lossDraw() < loss {
 		l.net.emit(TraceEvent{Kind: "drop-loss", Link: cfg.Name, Packet: p})
 		return
 	}

@@ -33,6 +33,7 @@ type Network struct {
 	links []*Link
 	trace func(TraceEvent)
 	rng   *rand.Rand
+	seed  int64
 }
 
 // Option configures a Network.
@@ -51,8 +52,13 @@ func WithTimeScale(scale float64) Option {
 }
 
 // WithSeed seeds the network's RNG (loss draws), making runs reproducible.
+// The seed is retained and reported by Seed so a failing run can log the
+// exact value needed to replay it.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) {
+		n.rng = rand.New(rand.NewSource(seed))
+		n.seed = seed
+	}
 }
 
 // WithTrace installs a callback invoked for every packet event. Used by
@@ -69,6 +75,7 @@ func New(opts ...Option) *Network {
 		done:  make(chan struct{}),
 		hosts: make(map[string]*Host),
 		rng:   rand.New(rand.NewSource(1)),
+		seed:  1,
 	}
 	for _, o := range opts {
 		o(n)
@@ -90,6 +97,11 @@ func (n *Network) Close() {
 
 // Scale returns the configured time-compression factor.
 func (n *Network) Scale() float64 { return n.scale }
+
+// Seed returns the RNG seed the network was created with (1 unless
+// WithSeed overrode it). Chaos and loss tests log it on failure so the
+// run can be replayed exactly.
+func (n *Network) Seed() int64 { return n.seed }
 
 // Now returns the current wall-clock time. Durations measured between two
 // Now calls are wall-clock; divide by Scale (or use VirtualSince) to get
@@ -264,7 +276,7 @@ func (h *Host) deliver(p *wire.Packet) {
 // TraceEvent describes a packet event for tracing.
 type TraceEvent struct {
 	Time   time.Duration // virtual time since network creation
-	Kind   string        // "send", "recv", "drop-queue", "drop-loss", "drop-mbox", "inject", "loop"
+	Kind   string        // "send", "recv", "drop-queue", "drop-loss", "drop-mbox", "drop-down", "drop-stall", "inject", "loop"
 	Host   string        // receiving or sending host (delivery events)
 	Link   string        // link name (link events)
 	Packet *wire.Packet

@@ -174,12 +174,13 @@ func TestLossDropsDeterministically(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		return col.count()
 	}
-	a1, a2 := run(7), run(7)
+	const seed = 7
+	a1, a2 := run(seed), run(seed)
 	if a1 != a2 {
-		t.Fatalf("same seed, different outcomes: %d vs %d", a1, a2)
+		t.Fatalf("WithSeed(%d): same seed, different outcomes: %d vs %d", seed, a1, a2)
 	}
 	if a1 == 0 || a1 == 40 {
-		t.Fatalf("loss=0.5 delivered %d/40", a1)
+		t.Fatalf("WithSeed(%d): loss=0.5 delivered %d/40", seed, a1)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"io"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -157,8 +158,8 @@ func TestResumptionHandshake(t *testing.T) {
 	// First connection: collect a ticket. quicbase's TLS runs over the
 	// crypto pipe, so tickets arrive with the server flight; give the
 	// session a moment.
-	var sess *tls13.ClientSession
-	e.client.tlsCfg.OnNewSession = func(s *tls13.ClientSession) { sess = s }
+	var sess atomic.Pointer[tls13.ClientSession]
+	e.client.tlsCfg.OnNewSession = func(s *tls13.ClientSession) { sess.Store(s) }
 	cli, srv := qpair(t, e)
 	st, _ := cli.OpenStream()
 	st.Write([]byte("x"))
@@ -166,14 +167,14 @@ func TestResumptionHandshake(t *testing.T) {
 	sst, _ := srv.AcceptStream()
 	io.ReadAll(sst)
 	deadline := time.Now().Add(2 * time.Second)
-	for sess == nil && time.Now().Before(deadline) {
+	for sess.Load() == nil && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
-	if sess == nil {
+	if sess.Load() == nil {
 		t.Skip("no ticket surfaced through the crypto pipe")
 	}
 	cli.Close()
-	e.client.tlsCfg.Session = sess
+	e.client.tlsCfg.Session = sess.Load()
 	cli2, _ := qpair(t, e)
 	if !cli2.TLSState().Resumed {
 		t.Fatal("second connection not resumed")

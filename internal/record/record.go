@@ -173,11 +173,14 @@ type Frame interface {
 	encodeBody(b []byte) []byte
 }
 
-// Ping elicits a Pong (used for path liveness probing).
-type Ping struct{}
+// Ping elicits a Pong (used for path liveness probing). Seq matches the
+// answering Pong to its probe so the session layer can measure per-path
+// RTT and count unanswered probes — the health signal behind proactive
+// failover.
+type Ping struct{ Seq uint32 }
 
-// Pong answers a Ping.
-type Pong struct{}
+// Pong answers a Ping, echoing its Seq.
+type Pong struct{ Seq uint32 }
 
 // Ack acknowledges contiguous stream bytes below Offset, enabling the
 // sender to drop its replay buffer (§2.1 failover).
@@ -238,8 +241,8 @@ func (BPFCC) frameType() FrameType         { return FrameBPFCC }
 func (SessionClose) frameType() FrameType  { return FrameSessionClose }
 func (ConnClose) frameType() FrameType     { return FrameConnClose }
 
-func (Ping) encodeBody(b []byte) []byte { return b }
-func (Pong) encodeBody(b []byte) []byte { return b }
+func (f Ping) encodeBody(b []byte) []byte { return binary.BigEndian.AppendUint32(b, f.Seq) }
+func (f Pong) encodeBody(b []byte) []byte { return binary.BigEndian.AppendUint32(b, f.Seq) }
 
 func (f Ack) encodeBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, f.StreamID)
@@ -351,9 +354,22 @@ func DecodeControl(b []byte) ([]Frame, error) {
 func decodeFrame(ft FrameType, body []byte) (Frame, error) {
 	switch ft {
 	case FramePing:
-		return Ping{}, nil
+		// A zero-length body is a legacy liveness ping (Seq 0).
+		switch len(body) {
+		case 0:
+			return Ping{}, nil
+		case 4:
+			return Ping{binary.BigEndian.Uint32(body)}, nil
+		}
+		return nil, ErrBadFrame
 	case FramePong:
-		return Pong{}, nil
+		switch len(body) {
+		case 0:
+			return Pong{}, nil
+		case 4:
+			return Pong{binary.BigEndian.Uint32(body)}, nil
+		}
+		return nil, ErrBadFrame
 	case FrameAck:
 		if len(body) != 12 {
 			return nil, ErrBadFrame

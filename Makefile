@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race chaos-smoke check bench
+.PHONY: all build test race vet chaos-smoke adversary fuzz-smoke check bench
 
 all: check
 
@@ -13,12 +14,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+vet:
+	$(GO) vet ./...
+
 # Deterministic chaos acceptance run: flap + stall + RST + 2% loss over
 # a 1 MB multi-stream transfer, with proactive (probe-timeout) failover.
 chaos-smoke:
 	$(GO) test ./internal/chaos/ -run 'TestChaosSmoke|TestChaosSinglePathRecovery' -count=1 -v
 
-check: build race chaos-smoke
+# Hostile-peer gauntlet: SYN flood, slowloris, malformed-record spray,
+# stream-open flood — run under the race detector.
+adversary:
+	$(GO) test ./internal/chaos/ -race -run 'TestAdversarialPeer|TestSessionSurvivesForgedRSTSinglePath' -count=1 -v
+
+# Short fuzz pass over every attacker-facing decoder. Seeds live in
+# testdata/fuzz/; any crasher Go saves there becomes a regression test.
+fuzz-smoke:
+	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeControl$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeClientHelloTCPLS$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeServerTCPLS$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeStreamChunk$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeTCPOption$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzUnmarshalSegment$$' -fuzztime $(FUZZTIME)
+
+check: build vet race chaos-smoke adversary fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=3x .

@@ -1,0 +1,373 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// AdversarialScenario drives a hostile peer against a TCPLS server: a
+// spoofed-source SYN flood, a slowloris mid-handshake stall, a spray of
+// malformed records from an authenticated peer, and a stream-open flood
+// past the server's budget. Unlike Scenario (which asserts survival of
+// *network* faults), this asserts graceful degradation under *attack*:
+// every resource stays at its configured bound, every rejection is a
+// typed error, the listener keeps serving honest clients, and no
+// goroutine outlives the run.
+type AdversarialScenario struct {
+	// Seed drives the junk-record generator. Default 1.
+	Seed int64
+	// TimeScale compresses virtual time (default 0.25).
+	TimeScale float64
+	// SYNFlood is how many spoofed SYNs to fire (default 200).
+	SYNFlood int
+	// SYNBacklog is the victim listener's half-open cap (default 16).
+	SYNBacklog int
+	// MaxStreams is the server session's stream budget (default 8).
+	MaxStreams int
+	// HandshakeTimeout is the server's slowloris bound (default 200ms
+	// virtual).
+	HandshakeTimeout time.Duration
+	// SprayRecords is how many malformed records the hostile peer sends
+	// (default 200).
+	SprayRecords int
+}
+
+func (sc AdversarialScenario) withDefaults() AdversarialScenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.TimeScale <= 0 {
+		sc.TimeScale = 0.25
+	}
+	if sc.SYNFlood <= 0 {
+		sc.SYNFlood = 200
+	}
+	if sc.SYNBacklog <= 0 {
+		sc.SYNBacklog = 16
+	}
+	if sc.MaxStreams <= 0 {
+		sc.MaxStreams = 8
+	}
+	if sc.HandshakeTimeout <= 0 {
+		sc.HandshakeTimeout = 200 * time.Millisecond
+	}
+	if sc.SprayRecords <= 0 {
+		sc.SprayRecords = 200
+	}
+	return sc
+}
+
+// AdversarialResult summarizes a successful adversarial run.
+type AdversarialResult struct {
+	SYNDrops     uint64 // flood SYNs dropped at the backlog cap
+	HalfOpenPeak int    // worst observed half-open count (≤ backlog)
+	SprayRecords int    // malformed records survived
+	FloodStreams int    // streams the server held at teardown (≤ budget)
+	EchoBytes    int    // honest-client bytes served after the attacks
+}
+
+// RunAdversarial executes the hostile-peer scenario. Any bound that
+// fails to hold is returned as an error naming the attack stage.
+func RunAdversarial(sc AdversarialScenario) (*AdversarialResult, error) {
+	sc = sc.withDefaults()
+	baseline := runtime.NumGoroutine()
+	res := &AdversarialResult{}
+
+	n := netsim.New(netsim.WithSeed(sc.Seed), netsim.WithTimeScale(sc.TimeScale))
+	ch, sh := n.Host("client"), n.Host("server")
+	n.AddLink(ch, sh, ClientV4, ServerV4, netsim.LinkConfig{Name: "v4", Delay: time.Millisecond, BandwidthBps: 50e6})
+	cs := tcpnet.NewStack(ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{SYNBacklog: sc.SYNBacklog})
+	defer func() {
+		cs.Close()
+		ss.Close()
+		n.Close()
+	}()
+
+	// Port 443: the TCPLS service under test. Port 444: the SYN-flood
+	// victim (its own half-open budget, so the flood assertions don't
+	// race the TCPLS handshakes).
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return nil, fmt.Errorf("listen 443: %v", err)
+	}
+	floodTl, err := ss.Listen(netip.Addr{}, 444)
+	if err != nil {
+		return nil, fmt.Errorf("listen 444: %v", err)
+	}
+	defer floodTl.Close()
+
+	srvCfg := &core.Config{
+		TLS:   &tls13.Config{Certificate: serverCert()},
+		Clock: n,
+		Limits: core.ResourceLimits{
+			MaxStreams:       sc.MaxStreams,
+			HandshakeTimeout: sc.HandshakeTimeout,
+		},
+	}
+	lst := core.NewListener(tl, srvCfg)
+	defer lst.Close()
+
+	// --- Stage 1: spoofed-source SYN flood -------------------------------
+	// SYN+ACKs to the spoofed source have no route and vanish, so each
+	// flood SYN would pin a half-open connection forever without the cap.
+	spoofed := netip.MustParseAddr("10.9.9.9")
+	for i := 0; i < sc.SYNFlood; i++ {
+		seg := &wire.Segment{
+			SrcPort: uint16(20000 + i), DstPort: 444,
+			Seq: uint32(i) * 101, Flags: wire.FlagSYN, Window: 65535,
+		}
+		b, err := seg.Marshal(spoofed, ServerV4)
+		if err != nil {
+			return nil, fmt.Errorf("syn flood: marshal: %v", err)
+		}
+		ch.Send(&wire.Packet{Src: spoofed, Dst: ServerV4, Proto: wire.ProtoTCP, TTL: 64, Payload: b})
+		if ho := floodTl.HalfOpen(); ho > res.HalfOpenPeak {
+			res.HalfOpenPeak = ho
+		}
+	}
+	wantDrops := uint64(sc.SYNFlood - sc.SYNBacklog)
+	deadline := time.Now().Add(10 * time.Second)
+	for floodTl.SYNDrops() < wantDrops && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ho := floodTl.HalfOpen(); ho > res.HalfOpenPeak {
+		res.HalfOpenPeak = ho
+	}
+	if res.HalfOpenPeak > sc.SYNBacklog {
+		return nil, fmt.Errorf("syn flood: half-open grew to %d, backlog is %d", res.HalfOpenPeak, sc.SYNBacklog)
+	}
+	res.SYNDrops = floodTl.SYNDrops()
+	if res.SYNDrops < wantDrops {
+		return nil, fmt.Errorf("syn flood: only %d drops recorded, want >= %d", res.SYNDrops, wantDrops)
+	}
+
+	// --- Stage 2: slowloris (connect, then silence) ----------------------
+	// The server's handshake deadline must reap the connection; without
+	// it, each such client pins an accept goroutine forever.
+	loris, err := (tcpnet.Dialer{Stack: cs}).Dial(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("slowloris: dial: %v", err)
+	}
+	lorisDone := make(chan error, 1)
+	go func() {
+		var b [1]byte
+		_, err := loris.Read(b[:])
+		lorisDone <- err
+	}()
+	select {
+	case err := <-lorisDone:
+		if err == nil {
+			return nil, errors.New("slowloris: read returned data; want deadline close")
+		}
+	case <-time.After(30 * time.Second):
+		loris.Close()
+		return nil, errors.New("slowloris: connection never reaped by the handshake deadline")
+	}
+	loris.Close()
+
+	// --- Stage 3: malformed-record spray from an authenticated peer ------
+	// The peer completes a real TCPLS handshake, then sprays garbage
+	// records. Each must be dropped in the read loop; a Ping afterwards
+	// proves the session (and its connection) survived the spray.
+	sprayConn, spraySess, err := adversaryHandshake(cs, lst)
+	if err != nil {
+		return nil, fmt.Errorf("spray: handshake: %v", err)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	for i := 0; i < sc.SprayRecords; i++ {
+		var junk []byte
+		switch i % 3 {
+		case 0: // unknown true type: ignored whole
+			junk = make([]byte, 1+rng.Intn(64))
+			rng.Read(junk)
+			junk[len(junk)-1] = 0xff
+		case 1: // control record with an unknown frame type
+			junk = []byte{0xee, 0xff, 0xff, byte(record.TTypeControl)}
+		case 2: // truncated stream chunk
+			junk = []byte{0, 0, 1, 2, 3, byte(record.TTypeStreamData)}
+		}
+		if err := sprayConn.WriteRecordContext(tls13.DefaultContext, junk); err != nil {
+			return nil, fmt.Errorf("spray: write %d: %v", i, err)
+		}
+		res.SprayRecords++
+	}
+	if err := pingPong(sprayConn); err != nil {
+		return nil, fmt.Errorf("spray: liveness ping after spray: %v", err)
+	}
+	if spraySess.Closed() {
+		return nil, fmt.Errorf("spray: session died on malformed records: %v", spraySess.Err())
+	}
+	sprayConn.Close()
+
+	// --- Stage 4: stream-open flood past the budget ----------------------
+	// Opening streams past MaxStreams is a protocol violation: the
+	// session must end with a typed error while holding at most the
+	// budgeted number of streams.
+	floodConn, floodSess, err := adversaryHandshake(cs, lst)
+	if err != nil {
+		return nil, fmt.Errorf("stream flood: handshake: %v", err)
+	}
+	for i := 0; i < 4*sc.MaxStreams; i++ {
+		id := uint32(2*i + 1)
+		if err := floodConn.WriteRecordContext(tls13.DefaultContext,
+			record.EncodeControl(record.StreamOpen{StreamID: id})); err != nil {
+			break // server already slammed the door
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for !floodSess.Closed() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(floodSess.Err(), core.ErrLimitExceeded) {
+		floodConn.Close()
+		return nil, fmt.Errorf("stream flood: session error = %v, want ErrLimitExceeded", floodSess.Err())
+	}
+	res.FloodStreams = len(floodSess.Streams())
+	if res.FloodStreams > sc.MaxStreams {
+		floodConn.Close()
+		return nil, fmt.Errorf("stream flood: server held %d streams, budget is %d", res.FloodStreams, sc.MaxStreams)
+	}
+	floodConn.Close()
+
+	// --- Stage 5: an honest client is still served -----------------------
+	honest := core.NewClient(&core.Config{
+		TLS:   &tls13.Config{InsecureSkipVerify: true},
+		Clock: n,
+	}, tcpnet.Dialer{Stack: cs})
+	acceptCh := make(chan *core.Session, 1)
+	go func() {
+		s, err := lst.Accept()
+		if err != nil {
+			acceptCh <- nil
+			return
+		}
+		acceptCh <- s
+	}()
+	if _, err := honest.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 5*time.Second); err != nil {
+		return nil, fmt.Errorf("honest client: connect: %v", err)
+	}
+	if err := honest.Handshake(); err != nil {
+		return nil, fmt.Errorf("honest client: handshake: %v", err)
+	}
+	honestSrv := <-acceptCh
+	if honestSrv == nil {
+		return nil, errors.New("honest client: accept failed")
+	}
+	payload := make([]byte, 64<<10)
+	rng.Read(payload)
+	st, err := honest.NewStream()
+	if err != nil {
+		return nil, fmt.Errorf("honest client: stream: %v", err)
+	}
+	go func() {
+		st.Write(payload)
+		st.Close()
+	}()
+	sst, err := honestSrv.AcceptStream()
+	if err != nil {
+		return nil, fmt.Errorf("honest client: server accept stream: %v", err)
+	}
+	got, err := readAll(sst)
+	if err != nil {
+		return nil, fmt.Errorf("honest client: read: %v", err)
+	}
+	if idx := firstMismatch(got, payload); len(got) != len(payload) || idx >= 0 {
+		return nil, fmt.Errorf("honest client: payload corrupted (len %d/%d, mismatch %d)", len(got), len(payload), idx)
+	}
+	res.EchoBytes = len(got)
+	honest.Close()
+	honestSrv.Close()
+
+	// --- Teardown: nothing may leak --------------------------------------
+	spraySess.Close()
+	floodSess.Close()
+	lst.Close()
+	floodTl.Close()
+	cs.Close()
+	ss.Close()
+	n.Close()
+	if err := waitGoroutines(baseline, 5*time.Second); err != nil {
+		return nil, fmt.Errorf("goroutine leak after adversarial run: %v", err)
+	}
+	return res, nil
+}
+
+// adversaryHandshake opens a raw TCPLS connection: a real TLS handshake
+// carrying the TCPLS extension, but driven byte-by-byte by the attacker
+// rather than by the core session machinery. Returns the attacker's TLS
+// conn and the server-side session it created.
+func adversaryHandshake(cs *tcpnet.Stack, lst *core.Listener) (*tls13.Conn, *core.Session, error) {
+	acceptCh := make(chan *core.Session, 1)
+	go func() {
+		s, err := lst.Accept()
+		if err != nil {
+			acceptCh <- nil
+			return
+		}
+		acceptCh <- s
+	}()
+	tcp, err := (tcpnet.Dialer{Stack: cs}).Dial(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	hello := &record.ClientHelloTCPLS{Version: record.Version}
+	tc := tls13.Client(tcp, &tls13.Config{
+		InsecureSkipVerify: true,
+		ExtraClientHello:   []tls13.Extension{{Type: tls13.ExtTCPLS, Data: hello.Encode()}},
+	})
+	if err := tc.Handshake(); err != nil {
+		tcp.Close()
+		return nil, nil, err
+	}
+	sess := <-acceptCh
+	if sess == nil {
+		tcp.Close()
+		return nil, nil, errors.New("listener refused the adversary handshake")
+	}
+	return tc, sess, nil
+}
+
+// pingPong sends a TCPLS Ping on the default context and waits for the
+// matching Pong — the attacker-visible liveness probe.
+func pingPong(tc *tls13.Conn) error {
+	const seq = 0x5eed
+	if err := tc.WriteRecordContext(tls13.DefaultContext, record.EncodeControl(record.Ping{Seq: seq})); err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		_, plain, err := tc.ReadRecordContext()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return errors.New("connection closed before pong")
+			}
+			return err
+		}
+		tt, content, err := record.Decode(plain)
+		if err != nil || tt != record.TTypeControl {
+			continue
+		}
+		frames, err := record.DecodeControl(content)
+		if err != nil {
+			continue
+		}
+		for _, f := range frames {
+			if pong, ok := f.(record.Pong); ok && pong.Seq == seq {
+				return nil
+			}
+		}
+	}
+	return errors.New("no pong within 32 records")
+}

@@ -1,0 +1,23 @@
+package chaos
+
+import "testing"
+
+// TestAdversarialPeer runs the full hostile-peer gauntlet: spoofed SYN
+// flood, slowloris stall, malformed-record spray from an authenticated
+// peer, and a stream-open flood past the server's budget. Every bound
+// must hold, every rejection must be a typed error, an honest client
+// must still be served afterwards, and no goroutine may leak.
+func TestAdversarialPeer(t *testing.T) {
+	res, err := RunAdversarial(AdversarialScenario{Seed: 3})
+	if err != nil {
+		t.Fatalf("adversarial run failed: %v", err)
+	}
+	t.Logf("adversarial: synDrops=%d halfOpenPeak=%d sprayed=%d floodStreams=%d echo=%d",
+		res.SYNDrops, res.HalfOpenPeak, res.SprayRecords, res.FloodStreams, res.EchoBytes)
+	if res.SYNDrops == 0 {
+		t.Fatal("SYN flood was never rate-limited")
+	}
+	if res.EchoBytes == 0 {
+		t.Fatal("honest client transferred nothing")
+	}
+}

@@ -129,6 +129,43 @@ func TestChaosSinglePathRecovery(t *testing.T) {
 	}
 }
 
+// TestSessionSurvivesForgedRSTSinglePath is the session-level RFC 5961
+// complement: a middlebox that *observed* the stream forges an RST with
+// the exact expected sequence number, which no in-TCP validation can
+// reject — the connection dies. TCPLS absorbs even that: the client
+// JOINs back on a fresh connection, replays unacked data, and the
+// transfer completes exactly once.
+func TestSessionSurvivesForgedRSTSinglePath(t *testing.T) {
+	sc := Scenario{
+		Name:          "single-path-forged-rst",
+		Seed:          13,
+		TransferBytes: 512 << 10,
+		NumStreams:    2,
+		Schedule: func(env *Env) *netsim.FaultSchedule {
+			fs := &netsim.FaultSchedule{}
+			// No stall, no loss: the only fault is a perfectly-aimed RST
+			// mid-transfer on the session's only path.
+			fs.At(20*time.Millisecond, "arm-rst(v4,after=30)", func() {
+				env.LinkV4.Use(&netsim.RSTInjector{AfterSegments: 30, Once: true, BothDirections: true})
+			})
+			return fs
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("forged-RST recovery failed: %v", err)
+	}
+	t.Logf("forged-rst: %s joins=%d readLoopFailovers=%d virtual=%s",
+		res.Replay(), res.Joins, res.ReadLoopFailovers, res.VirtualElapsed)
+	if res.ReadLoopFailovers < 1 {
+		t.Fatalf("the forged RST never killed the connection: readLoopFailovers=%d (replay: %s)",
+			res.ReadLoopFailovers, res.Replay())
+	}
+	if res.Joins < 1 {
+		t.Fatalf("client never rejoined after the RST: joins=%d (replay: %s)", res.Joins, res.Replay())
+	}
+}
+
 // TestRandomScheduleDeterministic pins the replay contract: the same
 // (seed, n) must render the identical schedule.
 func TestRandomScheduleDeterministic(t *testing.T) {

@@ -149,10 +149,14 @@ func (s *Session) Handshake() error {
 		tls13.Extension{Type: tls13.ExtTCPLS, Data: hello.Encode()})
 
 	tc := tls13.Client(tcp, tlsCfg)
+	// Bound the handshake: a stalled or byte-dribbling server must not
+	// pin this goroutine (and its connection) open forever.
+	tcp.SetDeadline(time.Now().Add(s.cfg.Clock.ScaleDuration(s.limits.HandshakeTimeout)))
 	if err := tc.Handshake(); err != nil {
 		tcp.Close()
 		return err
 	}
+	tcp.SetDeadline(time.Time{})
 	st := tc.ConnectionState()
 	if st.PeerTCPLS == nil {
 		tcp.Close()
@@ -171,14 +175,19 @@ func (s *Session) Handshake() error {
 
 	s.mu.Lock()
 	s.connID = srv.ConnID
-	s.cookies = append(s.cookies, srv.Cookies...)
+	s.cookies = clampCookiePool(append(s.cookies, srv.Cookies...))
 	s.peerAddrs = append(s.peerAddrs, srv.Addresses...)
+	if n := s.limits.MaxPeerAddresses; len(s.peerAddrs) > n {
+		s.peerAddrs = s.peerAddrs[:n]
+	}
 	s.joinKey = joinKey
 	s.multipath = s.cfg.Multipath && srv.Multipath
 	s.mu.Unlock()
 
 	pc := newPathConn(s, tcp, tc)
-	s.registerPath(pc)
+	if err := s.registerPath(pc); err != nil {
+		return err
+	}
 	for _, a := range srv.Addresses {
 		if cb := s.cfg.Callbacks.AddressAdvertised; cb != nil {
 			cb(netip.AddrPortFrom(a.Addr, a.Port), a.Primary)
@@ -206,6 +215,11 @@ func (s *Session) Handshake() error {
 // join runs a JOIN handshake (Figure 2) on an established TCP
 // connection and registers the new path.
 func (s *Session) join(tcp net.Conn) (*pathConn, error) {
+	// Check the path budget before burning a cookie: the server would
+	// reject the JOIN anyway once we are at the limit.
+	if s.NumConns() >= s.limits.MaxPaths {
+		return nil, &LimitError{Limit: "paths", Max: s.limits.MaxPaths}
+	}
 	s.mu.Lock()
 	if s.joinKey == nil {
 		s.mu.Unlock()
@@ -232,6 +246,7 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 	tlsCfg.ExtraClientHello = append(tlsCfg.ExtraClientHello,
 		tls13.Extension{Type: tls13.ExtTCPLS, Data: join.Encode()})
 	tc := tls13.Client(tcp, tlsCfg)
+	tcp.SetDeadline(time.Now().Add(s.cfg.Clock.ScaleDuration(s.limits.HandshakeTimeout)))
 	if err := tc.Handshake(); err != nil {
 		// Transport-level failure (the link died mid-JOIN): the cookie may
 		// never have reached the server, so requeue it at the back of the
@@ -243,18 +258,33 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v", ErrJoinRejected, err)
 	}
+	tcp.SetDeadline(time.Time{})
 	st := tc.ConnectionState()
 	srv, err := record.DecodeServerTCPLS(st.PeerTCPLS)
 	if err != nil || srv.ConnID != s.ConnID() {
 		return nil, ErrJoinRejected
 	}
 	s.mu.Lock()
-	s.cookies = append(s.cookies, srv.Cookies...) // replenished cookies
+	s.cookies = clampCookiePool(append(s.cookies, srv.Cookies...)) // replenished cookies
 	s.mu.Unlock()
 
 	pc := newPathConn(s, tcp, tc)
-	s.registerPath(pc)
+	if err := s.registerPath(pc); err != nil {
+		return nil, err
+	}
 	return pc, nil
+}
+
+// maxCookiePool bounds the client-side JOIN cookie pool: the server
+// replenishes cookies on every JOIN, and a hostile server could other-
+// wise grow the pool without bound.
+const maxCookiePool = 64
+
+func clampCookiePool(cookies [][]byte) [][]byte {
+	if len(cookies) > maxCookiePool {
+		cookies = cookies[:maxCookiePool]
+	}
+	return cookies
 }
 
 // cloneTLSConfig copies the user TLS config so per-connection extension

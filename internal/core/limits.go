@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrLimitExceeded is the sentinel for every resource-governance
+// rejection; match with errors.Is. The concrete error is always a
+// *LimitError naming the exhausted limit.
+var ErrLimitExceeded = errors.New("tcpls: resource limit exceeded")
+
+// LimitError reports which resource limit a session operation hit.
+type LimitError struct {
+	Limit string // which limit ("paths", "streams", ...)
+	Max   int    // its configured value
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("tcpls: %s limit exceeded (max %d)", e.Limit, e.Max)
+}
+
+// Is makes errors.Is(err, ErrLimitExceeded) match any LimitError.
+func (e *LimitError) Is(target error) bool { return target == ErrLimitExceeded }
+
+// ResourceLimits bounds what a single session may consume. A TCPLS
+// peer is authenticated but not trusted: JOINs, StreamOpens, ADD_ADDRs
+// and out-of-order data are all peer-controlled and must not translate
+// into unbounded local memory or goroutines. Zero fields take the
+// defaults below.
+type ResourceLimits struct {
+	// MaxPaths caps live TCP connections per session. Local Connect
+	// calls fail with ErrLimitExceeded; excess peer JOINs are rejected.
+	MaxPaths int
+	// MaxStreams caps concurrent streams per session. Local NewStream
+	// fails with ErrLimitExceeded; a peer opening streams past the cap
+	// is a protocol violation and tears the session down.
+	MaxStreams int
+	// MaxStreamRecvBuffer caps per-stream receive memory: the in-order
+	// buffer (backpressure — the path's read loop parks until the
+	// application reads, closing the TCP window toward the peer) and
+	// the out-of-order reassembly set (violation — a compliant sender
+	// retains at most its replay buffer un-acked, so reassembly demand
+	// far beyond that is an attack and tears the session down).
+	MaxStreamRecvBuffer int
+	// MaxPeerAddresses caps addresses learned from the peer (handshake
+	// advertisement plus ADD_ADDR frames); the excess is dropped.
+	MaxPeerAddresses int
+	// HandshakeTimeout bounds how long a TCP connection may sit in the
+	// TLS/TCPLS handshake (including JOIN) before it is torn down — a
+	// slowloris peer cannot pin goroutines open indefinitely. Measured
+	// on the session clock (virtual time under netsim).
+	HandshakeTimeout time.Duration
+}
+
+// Default resource limits.
+const (
+	DefaultMaxPaths            = 8
+	DefaultMaxStreams          = 256
+	DefaultMaxStreamRecvBuffer = 16 << 20
+	DefaultMaxPeerAddresses    = 16
+	DefaultHandshakeTimeout    = 10 * time.Second
+)
+
+// withDefaults fills zero fields with the package defaults.
+func (l ResourceLimits) withDefaults() ResourceLimits {
+	if l.MaxPaths <= 0 {
+		l.MaxPaths = DefaultMaxPaths
+	}
+	if l.MaxStreams <= 0 {
+		l.MaxStreams = DefaultMaxStreams
+	}
+	if l.MaxStreamRecvBuffer <= 0 {
+		l.MaxStreamRecvBuffer = DefaultMaxStreamRecvBuffer
+	}
+	if l.MaxPeerAddresses <= 0 {
+		l.MaxPeerAddresses = DefaultMaxPeerAddresses
+	}
+	if l.HandshakeTimeout <= 0 {
+		l.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	return l
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
@@ -121,10 +122,16 @@ func (l *Listener) handleConn(conn net.Conn) {
 	res := &handshakeResult{}
 	tlsCfg := l.serverTLSConfig(conn, res)
 	tc := tls13.Server(conn, tlsCfg)
+	// Slowloris guard: a client that connects and then stalls (or
+	// dribbles bytes) mid-handshake is cut off after the handshake
+	// timeout instead of pinning this goroutine forever.
+	timeout := l.cfg.Limits.withDefaults().HandshakeTimeout
+	conn.SetDeadline(time.Now().Add(l.cfg.Clock.ScaleDuration(timeout)))
 	if err := tc.Handshake(); err != nil {
 		conn.Close()
 		return
 	}
+	conn.SetDeadline(time.Time{})
 	if res.hello == nil || res.reply == nil {
 		// Plain TLS client (no TCPLS extension): not a session.
 		conn.Close()
@@ -135,7 +142,9 @@ func (l *Listener) handleConn(conn net.Conn) {
 		// JOIN: attach the path to the existing session.
 		s := res.session
 		pc := newPathConn(s, conn, tc)
-		s.registerPath(pc)
+		if err := s.registerPath(pc); err != nil {
+			return // registerPath closed the path
+		}
 		if cb := s.cfg.Callbacks.Join; cb != nil {
 			cb(pc.id, conn.RemoteAddr())
 		}
@@ -169,7 +178,10 @@ func (l *Listener) handleConn(conn net.Conn) {
 		return
 	}
 	pc := newPathConn(s, conn, tc)
-	s.registerPath(pc)
+	if err := s.registerPath(pc); err != nil {
+		s.teardown(err)
+		return
+	}
 	select {
 	case l.accepts <- s:
 	default:
@@ -209,6 +221,11 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 		target := l.sessions[hello.Join.ConnID]
 		l.mu.Unlock()
 		if target == nil {
+			return ErrJoinRejected
+		}
+		// Reject before consuming the one-time cookie: a session at its
+		// path budget keeps its cookies for legitimate failover rescues.
+		if target.NumConns() >= target.limits.MaxPaths {
 			return ErrJoinRejected
 		}
 		target.mu.Lock()
@@ -253,6 +270,10 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 		n := l.cfg.NumCookies
 		if n == 0 {
 			n = 8
+		}
+		if n > record.MaxHandshakeCookies {
+			// A larger batch would be rejected by the peer's decoder.
+			n = record.MaxHandshakeCookies
 		}
 		cookies := make([][]byte, n)
 		for i := range cookies {

@@ -246,10 +246,18 @@ func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
 		}
 	case record.AddAddress:
 		s.mu.Lock()
-		s.peerAddrs = append(s.peerAddrs, record.Advertisement{
-			Addr: fr.Addr, Port: fr.Port, Primary: fr.Primary,
-		})
+		full := len(s.peerAddrs) >= s.limits.MaxPeerAddresses
+		if !full {
+			s.peerAddrs = append(s.peerAddrs, record.Advertisement{
+				Addr: fr.Addr, Port: fr.Port, Primary: fr.Primary,
+			})
+		}
 		s.mu.Unlock()
+		if full {
+			// ADD_ADDR spray: the address set is advisory, dropping the
+			// excess degrades gracefully without ending the session.
+			return
+		}
 		if cb := s.cfg.Callbacks.AddressAdvertised; cb != nil {
 			cb(netip.AddrPortFrom(fr.Addr, fr.Port), fr.Primary)
 		}

@@ -163,6 +163,10 @@ type Config struct {
 	Retry RetryPolicy
 	// RetrySeed seeds backoff jitter for reproducible runs (0 = random).
 	RetrySeed int64
+	// Limits bounds the resources a peer can make this session consume
+	// (paths, streams, buffered bytes, handshake time). Zero fields take
+	// the package defaults.
+	Limits ResourceLimits
 }
 
 // Clock abstracts timer scaling; netsim.Network implements it.
@@ -193,8 +197,9 @@ const replayBufferLimit = 4 << 20
 // Session is one TCPLS session: a secure byte-stream multiplexer over a
 // set of TCP connections.
 type Session struct {
-	role Role
-	cfg  *Config
+	role   Role
+	cfg    *Config
+	limits ResourceLimits // cfg.Limits with defaults applied
 
 	mu       sync.Mutex
 	conns    map[uint32]*pathConn
@@ -238,6 +243,7 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 	s := &Session{
 		role:          role,
 		cfg:           cfg,
+		limits:        cfg.Limits.withDefaults(),
 		conns:         make(map[uint32]*pathConn),
 		streams:       make(map[uint32]*Stream),
 		acceptCh:      make(chan *Stream, 64),
@@ -346,15 +352,28 @@ func randomCookie() []byte {
 }
 
 // registerPath adds a ready pathConn to the session and starts its read
-// loop (and, on the first path, the health monitor).
-func (s *Session) registerPath(pc *pathConn) {
+// loop (and, on the first path, the health monitor). It fails — closing
+// the path — if the session is gone or already at its path limit.
+func (s *Session) registerPath(pc *pathConn) error {
 	s.mu.Lock()
 	if s.closed {
 		// The session died while this path was handshaking: closing it
 		// here is the only way its read loop won't leak.
 		s.mu.Unlock()
 		pc.close(ErrSessionClosed)
-		return
+		return ErrSessionClosed
+	}
+	live := 0
+	for _, c := range s.conns {
+		if !c.isClosed() {
+			live++
+		}
+	}
+	if live >= s.limits.MaxPaths {
+		err := &LimitError{Limit: "paths", Max: s.limits.MaxPaths}
+		s.mu.Unlock()
+		pc.close(err)
+		return err
 	}
 	if s.primary == nil {
 		s.primary = pc
@@ -366,6 +385,7 @@ func (s *Session) registerPath(pc *pathConn) {
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
 		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
 	}
+	return nil
 }
 
 func (s *Session) allocPathID() uint32 {

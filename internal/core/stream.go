@@ -23,6 +23,7 @@ type Stream struct {
 	mu        sync.Mutex
 	readCond  *sync.Cond
 	writeCond *sync.Cond
+	spaceCond *sync.Cond // receive-buffer space freed (backpressure)
 
 	// Send side.
 	sendOffset uint64 // next offset to assign
@@ -36,6 +37,7 @@ type Stream struct {
 	recvBuf      []byte
 	recvNext     uint64
 	ooo          []*record.StreamChunk
+	oooBytes     int // reassembly footprint: data + per-chunk overhead
 	finalOffset  uint64
 	finKnown     bool
 	sinceLastAck uint64
@@ -48,8 +50,14 @@ func newStream(s *Session, id uint32, remote bool) *Stream {
 	st := &Stream{id: id, session: s, remote: remote}
 	st.readCond = sync.NewCond(&st.mu)
 	st.writeCond = sync.NewCond(&st.mu)
+	st.spaceCond = sync.NewCond(&st.mu)
 	return st
 }
+
+// chunkOverhead is the accounting charge per buffered out-of-order
+// chunk beyond its payload, so a spray of tiny fragments cannot dodge
+// the byte bound while exploding the chunk count.
+const chunkOverhead = 64
 
 // ID returns the stream identifier.
 func (st *Stream) ID() uint32 { return st.id }
@@ -63,6 +71,11 @@ func (s *Session) NewStream() (*Stream, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrSessionClosed
+	}
+	if len(s.streams) >= s.limits.MaxStreams {
+		err := &LimitError{Limit: "streams", Max: s.limits.MaxStreams}
+		s.mu.Unlock()
+		return nil, err
 	}
 	id := s.nextStreamID
 	s.nextStreamID += 2
@@ -103,6 +116,15 @@ func (s *Session) getOrCreateStream(id uint32, pc *pathConn) *Stream {
 	}
 	if s.closed {
 		s.mu.Unlock()
+		return nil
+	}
+	if len(s.streams) >= s.limits.MaxStreams {
+		// A peer opening streams past the negotiated budget is violating
+		// the protocol, not reordering: refusing the stream silently
+		// would desynchronize the two ends, so the session ends.
+		err := &LimitError{Limit: "streams", Max: s.limits.MaxStreams}
+		s.mu.Unlock()
+		s.teardown(err)
 		return nil
 	}
 	st := newStream(s, id, true)
@@ -290,6 +312,7 @@ func (st *Stream) Read(p []byte) (int, error) {
 		if len(st.recvBuf) > 0 {
 			n := copy(p, st.recvBuf)
 			st.recvBuf = st.recvBuf[n:]
+			st.spaceCond.Broadcast() // wake read loops parked on backpressure
 			return n, nil
 		}
 		if st.finKnown && st.recvNext >= st.finalOffset {
@@ -303,8 +326,30 @@ func (st *Stream) Read(p []byte) (int, error) {
 }
 
 // deliver ingests one inbound chunk: trim duplicates, reorder, ack.
+// It enforces the stream's receive-memory budget in two regimes. A full
+// in-order buffer means the application is slow: the calling read loop
+// parks here until Read frees space, which stops draining the TCP
+// connection and lets transport flow control push back on the peer. An
+// out-of-order set past the budget cannot come from a compliant sender
+// (its replay buffer bounds un-acked data, and there is no TCPLS-layer
+// retransmission to re-request a dropped chunk), so it is treated as an
+// attack and the session is torn down with a typed LimitError.
 func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk) {
+	limit := st.session.limits.MaxStreamRecvBuffer
 	st.mu.Lock()
+	if chunk.Offset > st.recvNext &&
+		st.oooBytes+len(chunk.Data)+chunkOverhead > limit {
+		st.mu.Unlock()
+		st.session.teardown(&LimitError{Limit: "stream reassembly", Max: limit})
+		return
+	}
+	for st.err == nil && len(st.recvBuf) >= limit {
+		st.spaceCond.Wait()
+	}
+	if st.err != nil {
+		st.mu.Unlock()
+		return
+	}
 	if chunk.Fin && !st.finKnown {
 		st.finKnown = true
 		st.finalOffset = chunk.Offset + uint64(len(chunk.Data))
@@ -361,6 +406,7 @@ func (st *Stream) ingest(chunk *record.StreamChunk) {
 	st.ooo = append(st.ooo, nil)
 	copy(st.ooo[idx+1:], st.ooo[idx:])
 	st.ooo[idx] = c
+	st.oooBytes += len(c.Data) + chunkOverhead
 }
 
 // drainOOO pulls newly contiguous chunks into recvBuf. Caller holds st.mu.
@@ -371,6 +417,7 @@ func (st *Stream) drainOOO() {
 			return
 		}
 		st.ooo = st.ooo[1:]
+		st.oooBytes -= len(c.Data) + chunkOverhead
 		data := c.Data
 		if skip := st.recvNext - c.Offset; skip < uint64(len(data)) {
 			st.recvBuf = append(st.recvBuf, data[skip:]...)
@@ -428,6 +475,7 @@ func (st *Stream) terminate(err error) {
 	st.closed = true
 	st.readCond.Broadcast()
 	st.writeCond.Broadcast()
+	st.spaceCond.Broadcast() // free read loops parked on backpressure
 	st.mu.Unlock()
 }
 
@@ -441,30 +489,34 @@ func (st *Stream) BytesUnacked() int {
 // StreamState is a point-in-time snapshot of one stream's transfer
 // state — the first thing to look at when a chaos run wedges.
 type StreamState struct {
-	ID         uint32
-	SendOffset uint64 // next send offset to assign
-	AckedTo    uint64 // highest cumulative ack received
-	Unacked    int    // replay-buffer bytes
-	FinSent    bool
-	RecvNext   uint64 // next in-order receive offset
-	OOO        int    // buffered out-of-order chunks
-	FinKnown   bool
-	FinalOff   uint64
+	ID           uint32
+	SendOffset   uint64 // next send offset to assign
+	AckedTo      uint64 // highest cumulative ack received
+	Unacked      int    // replay-buffer bytes
+	FinSent      bool
+	RecvNext     uint64 // next in-order receive offset
+	OOO          int    // buffered out-of-order chunks
+	OOOBytes     int    // reassembly footprint (data + overhead)
+	RecvBuffered int    // in-order bytes awaiting Read
+	FinKnown     bool
+	FinalOff     uint64
 }
 
 func (st *Stream) state() StreamState {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return StreamState{
-		ID:         st.id,
-		SendOffset: st.sendOffset,
-		AckedTo:    st.ackedTo,
-		Unacked:    st.unackedLen,
-		FinSent:    st.finSent,
-		RecvNext:   st.recvNext,
-		OOO:        len(st.ooo),
-		FinKnown:   st.finKnown,
-		FinalOff:   st.finalOffset,
+		ID:           st.id,
+		SendOffset:   st.sendOffset,
+		AckedTo:      st.ackedTo,
+		Unacked:      st.unackedLen,
+		FinSent:      st.finSent,
+		RecvNext:     st.recvNext,
+		OOO:          len(st.ooo),
+		OOOBytes:     st.oooBytes,
+		RecvBuffered: len(st.recvBuf),
+		FinKnown:     st.finKnown,
+		FinalOff:     st.finalOffset,
 	}
 }
 

@@ -19,6 +19,20 @@ const Version uint8 = 1
 // 128-bits bitstrings sent as Encrypted Extensions", §4.1).
 const CookieLen = 16
 
+// Decoder hardening bounds: the handshake extension is parsed before
+// the peer is authenticated, so every variable-length field is capped.
+const (
+	// MaxCookieFieldLen bounds a single cookie or binder field: cookies
+	// are 16 bytes, binders are 32 (HMAC-SHA256); 64 leaves room for
+	// future hashes without admitting attacker-sized blobs.
+	MaxCookieFieldLen = 64
+	// MaxHandshakeCookies bounds the cookie batch in one EE payload.
+	MaxHandshakeCookies = 32
+	// MaxHandshakeAddresses bounds the address advertisements in one EE
+	// payload.
+	MaxHandshakeAddresses = 32
+)
+
 // Hello kinds.
 const (
 	helloKindNew  uint8 = 0
@@ -88,13 +102,13 @@ func DecodeClientHelloTCPLS(b []byte) (*ClientHelloTCPLS, error) {
 	j := &JoinRequest{ConnID: binary.BigEndian.Uint32(rest)}
 	rest = rest[4:]
 	n := int(rest[0])
-	if len(rest) < 1+n+1 {
+	if n > MaxCookieFieldLen || len(rest) < 1+n+1 {
 		return nil, ErrBadFrame
 	}
 	j.Cookie = rest[1 : 1+n]
 	rest = rest[1+n:]
 	m := int(rest[0])
-	if len(rest) != 1+m {
+	if m > MaxCookieFieldLen || len(rest) != 1+m {
 		return nil, ErrBadFrame
 	}
 	j.Binder = rest[1:]
@@ -158,22 +172,29 @@ func DecodeServerTCPLS(b []byte) (*ServerTCPLS, error) {
 	s := &ServerTCPLS{Version: b[0], Multipath: b[1]&1 != 0, ConnID: binary.BigEndian.Uint32(b[2:])}
 	rest := b[6:]
 	nCookies := int(rest[0])
+	if nCookies > MaxHandshakeCookies {
+		return nil, ErrBadFrame
+	}
 	rest = rest[1:]
 	for i := 0; i < nCookies; i++ {
 		if len(rest) < 1 {
 			return nil, ErrBadFrame
 		}
 		n := int(rest[0])
-		if len(rest) < 1+n {
+		if n > MaxCookieFieldLen || len(rest) < 1+n {
 			return nil, ErrBadFrame
 		}
-		s.Cookies = append(s.Cookies, rest[1:1+n])
+		// Copy: cookies outlive the handshake buffer they arrived in.
+		s.Cookies = append(s.Cookies, append([]byte(nil), rest[1:1+n]...))
 		rest = rest[1+n:]
 	}
 	if len(rest) < 1 {
 		return nil, ErrBadFrame
 	}
 	nAddrs := int(rest[0])
+	if nAddrs > MaxHandshakeAddresses {
+		return nil, ErrBadFrame
+	}
 	rest = rest[1:]
 	for i := 0; i < nAddrs; i++ {
 		addr, r, ok := parseAddr(rest)

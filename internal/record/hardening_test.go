@@ -1,0 +1,102 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// TestControlFrameFloodRejected: one record packed with thousands of
+// minimal frames must be rejected, not decoded into an allocation storm.
+func TestControlFrameFloodRejected(t *testing.T) {
+	var b []byte
+	for i := 0; i < MaxControlFrames+1; i++ {
+		b = append(b, byte(FrameSessionClose), 0, 0)
+	}
+	if _, err := DecodeControl(b); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("flood decoded: err = %v", err)
+	}
+	// Exactly at the cap still decodes.
+	b = b[:MaxControlFrames*3]
+	frames, err := DecodeControl(b)
+	if err != nil || len(frames) != MaxControlFrames {
+		t.Fatalf("cap-sized batch rejected: %d frames, err %v", len(frames), err)
+	}
+}
+
+// TestJoinOversizedFieldsRejected: cookie/binder fields above the cap
+// are attacker-sized blobs, not protocol data.
+func TestJoinOversizedFieldsRejected(t *testing.T) {
+	big := make([]byte, 200)
+	h := &ClientHelloTCPLS{Version: Version, Join: &JoinRequest{
+		ConnID: 7, Cookie: big, Binder: big,
+	}}
+	if _, err := DecodeClientHelloTCPLS(h.Encode()); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized join fields decoded: err = %v", err)
+	}
+	// Legitimate sizes round-trip.
+	h.Join.Cookie = make([]byte, CookieLen)
+	h.Join.Binder = make([]byte, 32)
+	got, err := DecodeClientHelloTCPLS(h.Encode())
+	if err != nil || got.Join == nil || len(got.Join.Cookie) != CookieLen {
+		t.Fatalf("legit join rejected: %+v, err %v", got, err)
+	}
+}
+
+// TestServerExtBatchCapsRejected: cookie and address counts above the
+// decoder caps are rejected up front.
+func TestServerExtBatchCapsRejected(t *testing.T) {
+	s := &ServerTCPLS{Version: Version, ConnID: 1}
+	for i := 0; i < MaxHandshakeCookies+1; i++ {
+		s.Cookies = append(s.Cookies, make([]byte, CookieLen))
+	}
+	if _, err := DecodeServerTCPLS(s.Encode()); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized cookie batch decoded: err = %v", err)
+	}
+
+	s = &ServerTCPLS{Version: Version, ConnID: 1}
+	for i := 0; i < MaxHandshakeAddresses+1; i++ {
+		s.Addresses = append(s.Addresses, Advertisement{Addr: netip.MustParseAddr("192.0.2.1"), Port: 443})
+	}
+	if _, err := DecodeServerTCPLS(s.Encode()); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized address batch decoded: err = %v", err)
+	}
+}
+
+// TestServerExtCookiesDoNotAliasInput: decoded cookies are stored for
+// the session's lifetime and must not pin (or be mutated through) the
+// handshake buffer they arrived in.
+func TestServerExtCookiesDoNotAliasInput(t *testing.T) {
+	s := &ServerTCPLS{Version: Version, ConnID: 1, Cookies: [][]byte{{1, 2, 3, 4}}}
+	enc := s.Encode()
+	got, err := DecodeServerTCPLS(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), got.Cookies[0]...)
+	for i := range enc {
+		enc[i] = 0xff
+	}
+	if !bytes.Equal(got.Cookies[0], want) {
+		t.Fatal("decoded cookie aliases the input buffer")
+	}
+}
+
+// TestTruncatedControlCrashers replays hostile shapes aimed at the
+// frame decoders' length arithmetic.
+func TestTruncatedControlCrashers(t *testing.T) {
+	cases := [][]byte{
+		{byte(FrameAck), 0xff, 0xff},                // length past end
+		{byte(FrameBPFCC), 0, 2, 0xff, 0xff},        // nameLen past body
+		{byte(FrameBPFCC), 0, 6, 1, 'x', 0xff, 0xff, 0xff, 0xff}, // progLen overflow-ish
+		{byte(FrameAddAddress), 0, 1, 9},            // unknown address family
+		{byte(FrameAddAddress), 0, 4, 4, 1, 2, 3},   // truncated v4
+		{byte(FramePing), 0, 2, 1, 2},               // wrong ping size
+	}
+	for i, b := range cases {
+		if _, err := DecodeControl(b); err == nil {
+			t.Fatalf("case %d decoded without error", i)
+		}
+	}
+}

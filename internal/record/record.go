@@ -327,11 +327,20 @@ func EncodeControl(frames ...Frame) []byte {
 	return append(b, byte(TTypeControl))
 }
 
+// MaxControlFrames caps how many frames one control record may carry.
+// Frames can be as small as three bytes, so without a cap a single
+// max-size record decodes into thousands of allocations; no legitimate
+// sender batches anywhere near this many.
+const MaxControlFrames = 512
+
 // DecodeControl parses a control-record content (without TType) into
 // frames.
 func DecodeControl(b []byte) ([]Frame, error) {
 	var frames []Frame
 	for len(b) > 0 {
+		if len(frames) >= MaxControlFrames {
+			return nil, fmt.Errorf("%w: more than %d frames in one record", ErrBadFrame, MaxControlFrames)
+		}
 		if len(b) < 3 {
 			return nil, ErrBadFrame
 		}

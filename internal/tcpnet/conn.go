@@ -145,6 +145,19 @@ type Stats struct {
 	Timeouts        uint64
 	DupAcksRcvd     uint64
 	SpuriousRsts    uint64
+	// ChallengeAcks counts RFC 5961 challenge ACKs sent in response to
+	// suspicious RST/SYN/ACK segments (blind-injection attempts).
+	ChallengeAcks uint64
+	// RstsDropped counts RSTs discarded for being outside the receive
+	// window entirely.
+	RstsDropped uint64
+	// OOODrops counts out-of-order segments discarded because buffering
+	// them would exceed the receive buffer or the segment-count cap.
+	OOODrops uint64
+	// WindowDrops counts bytes-bearing segments truncated for arriving
+	// beyond the advertised receive window (a compliant sender never
+	// triggers this).
+	WindowDrops uint64
 }
 
 // Info is a cross-layer snapshot of the connection — the introspection
@@ -216,11 +229,13 @@ func (c *Conn) synOptions() []wire.Option {
 
 // sendSYN emits SYN or SYN+ACK. Caller holds c.mu.
 func (c *Conn) sendSYN(ack bool) {
+	w := min(c.recvWindow(), 65535) // unscaled in SYN
+	c.lastAdvW = w                  // RFC 5961 in-window checks need it pre-data
 	seg := &wire.Segment{
 		SrcPort: c.local.Port(), DstPort: c.remote.Port(),
 		Seq:     c.iss,
 		Flags:   wire.FlagSYN,
-		Window:  uint16(min(c.recvWindow(), 65535)), // unscaled in SYN
+		Window:  uint16(w),
 		Options: c.synOptions(),
 	}
 	if ack {
@@ -273,15 +288,21 @@ func (c *Conn) input(seg *wire.Segment) {
 		return
 	}
 	if seg.Flags.Has(wire.FlagSYN) {
-		// SYN on a synchronized connection: protocol violation; ignore
-		// (robustness against old duplicates).
+		// SYN on a synchronized connection (RFC 5961 §4): send a
+		// challenge ACK and drop. If the peer genuinely restarted, the
+		// ACK elicits a RST at the exact sequence handleRST accepts; a
+		// blind injector gets nothing.
+		c.stats.ChallengeAcks++
+		c.sendAck()
 		return
 	}
 	if !seg.Flags.Has(wire.FlagACK) {
 		return
 	}
 
-	c.processAck(seg)
+	if !c.processAck(seg) {
+		return
+	}
 	if len(seg.Payload) > 0 || seg.Flags.Has(wire.FlagFIN) {
 		c.processData(seg)
 	}
@@ -328,6 +349,12 @@ func (c *Conn) processSynOptions(seg *wire.Segment) {
 			}
 		case wire.OptKindWindowScale:
 			if v, ok := o.WindowScale(); ok {
+				if v > wire.MaxWindowScale {
+					// RFC 7323 §2.3: shifts above 14 must be clamped, not
+					// honored — an attacker-supplied 255 would otherwise
+					// corrupt every window computation.
+					v = wire.MaxWindowScale
+				}
 				c.sndScale = v
 				sawScale = true
 			}
@@ -344,18 +371,44 @@ func (c *Conn) processSynOptions(seg *wire.Segment) {
 	}
 }
 
-// handleRST tears the connection down. Caller holds c.mu.
+// handleRST applies RFC 5961 §3.2 validation before honoring a reset:
+// only a RST at exactly rcvNxt tears the connection down. A RST that
+// lands elsewhere inside the receive window gets a challenge ACK — a
+// blind off-path attacker must now hit one sequence number instead of
+// any of the ~window many — and everything out of window is dropped.
+// Caller holds c.mu.
 func (c *Conn) handleRST(seg *wire.Segment) {
-	// Accept only in-window resets (blind-RST protection; our forged
-	// middlebox RSTs use observed sequence numbers, so they pass).
-	if c.st == stateSynRcvd || seqLEQ(c.rcvNxt, seg.Seq) || seg.Seq == c.rcvNxt-1 {
+	if c.st == stateSynRcvd {
+		// Not yet synchronized: the peer (or a stale duplicate) aborted
+		// in response to our SYN+ACK. Require the exact expected sequence.
+		if seg.Seq == c.rcvNxt {
+			c.stats.SpuriousRsts++
+			c.failLocked(ErrReset)
+		} else {
+			c.stats.RstsDropped++
+		}
+		return
+	}
+	wnd := uint32(c.lastAdvW)
+	switch {
+	case seg.Seq == c.rcvNxt:
 		c.stats.SpuriousRsts++
 		c.failLocked(ErrReset)
+	case wnd > 0 && seqLT(c.rcvNxt, seg.Seq) && seqLT(seg.Seq, c.rcvNxt+wnd):
+		// In-window but not exact: challenge ACK. A legitimate peer that
+		// really did reset answers our ACK with another RST, now at the
+		// sequence the ACK told it; a forger learns nothing.
+		c.stats.ChallengeAcks++
+		c.sendAck()
+	default:
+		c.stats.RstsDropped++
 	}
 }
 
-// processAck advances the send side. Caller holds c.mu.
-func (c *Conn) processAck(seg *wire.Segment) {
+// processAck advances the send side. It reports whether the segment is
+// acceptable — a false return means the caller must not process its
+// payload either (RFC 5961 §5 blind-data protection). Caller holds c.mu.
+func (c *Conn) processAck(seg *wire.Segment) bool {
 	if c.st == stateSynRcvd {
 		if seg.Ack == c.sndNxt {
 			c.st = stateEstablished
@@ -365,12 +418,23 @@ func (c *Conn) processAck(seg *wire.Segment) {
 			if c.listener != nil {
 				l := c.listener
 				c.listener = nil
+				l.releaseHalfOpen()
 				// Offer outside the lock: the listener may Abort us.
 				go l.offer(c)
 			}
 		} else {
-			return
+			return false
 		}
+	}
+
+	if seqLT(c.sndMax, seg.Ack) {
+		// Acknowledges data we never sent (RFC 5961 §5): a blind
+		// injection signature. Challenge-ACK so a legitimate but
+		// desynchronized peer can resynchronize, and drop the segment —
+		// payload included — so injected data never reaches the stream.
+		c.stats.ChallengeAcks++
+		c.sendAck()
+		return false
 	}
 
 	// Record SACK information.
@@ -476,11 +540,13 @@ func (c *Conn) processAck(seg *wire.Segment) {
 			}
 		}
 	default:
-		// Old ACK: ignore.
+		// Old ACK: ignore the ack field, but the payload may still be
+		// valid retransmitted data.
 	}
 	if c.sndWnd > 0 {
 		c.writeCond.Broadcast()
 	}
+	return true
 }
 
 // ourFinAcked advances teardown after the peer acknowledged our FIN.
@@ -520,8 +586,10 @@ func (c *Conn) processData(seg *wire.Segment) {
 	}
 
 	// Enforce the receive buffer. Data beyond the window is dropped; the
-	// ACK below tells the peer where we stand.
+	// ACK below tells the peer where we stand. Compliant senders respect
+	// the advertised window, so count these.
 	if avail := c.recvSpace(); len(data) > avail {
+		c.stats.WindowDrops++
 		data = data[:avail]
 		fin = false
 	}
@@ -559,17 +627,28 @@ func (c *Conn) ingest(data []byte, fin bool) {
 	}
 }
 
+// insertOOO buffers an out-of-order segment. Buffering is bounded two
+// ways: total bytes held (in-order plus out-of-order) never exceed the
+// receive buffer — i.e. the advertised window — and the segment count is
+// capped so a peer spraying one-byte fragments cannot amplify the
+// per-segment bookkeeping overhead. Overflow evicts the newcomer (the
+// sender retransmits; nothing is owed to data we never acked).
+// Caller holds c.mu.
 func (c *Conn) insertOOO(s oooSeg) {
-	// Bound out-of-order buffering to the receive buffer size.
-	total := 0
+	total := len(c.rcvBuf)
 	for _, o := range c.ooo {
 		total += len(o.data)
 	}
 	if total+len(s.data) > c.stack.config.RecvBuf {
+		c.stats.OOODrops++
 		return
 	}
 	for i, o := range c.ooo {
 		if seqLT(s.seq, o.seq) {
+			if len(c.ooo) >= c.stack.config.MaxOOOSegments {
+				c.stats.OOODrops++
+				return
+			}
 			c.ooo = append(c.ooo[:i], append([]oooSeg{s}, c.ooo[i:]...)...)
 			return
 		}
@@ -579,6 +658,10 @@ func (c *Conn) insertOOO(s oooSeg) {
 			}
 			return
 		}
+	}
+	if len(c.ooo) >= c.stack.config.MaxOOOSegments {
+		c.stats.OOODrops++
+		return
 	}
 	c.ooo = append(c.ooo, s)
 }
@@ -619,11 +702,21 @@ func (c *Conn) sackBlocks() []wire.SACKBlock {
 	return blocks
 }
 
-// mergeSACK folds peer-reported blocks into the scoreboard.
+// maxSACKScoreboard bounds the scoreboard entry count. Legitimate SACK
+// reports describe holes in ≤ the send window, but a hostile receiver
+// can spray disjoint one-byte blocks; beyond this many entries the
+// newest are discarded (SACK is advisory — the worst case is a
+// retransmit we could have avoided).
+const maxSACKScoreboard = 256
+
+// mergeSACK folds peer-reported blocks into the scoreboard. Blocks
+// outside (sndUna, sndMax] acknowledge data we never sent — a forgery
+// or corruption signature — and are ignored rather than stored.
 // Caller holds c.mu.
 func (c *Conn) mergeSACK(blocks []wire.SACKBlock) {
 	for _, b := range blocks {
-		if seqLEQ(b.Right, c.sndUna) || !seqLT(b.Left, b.Right) {
+		if seqLEQ(b.Right, c.sndUna) || !seqLT(b.Left, b.Right) ||
+			seqLT(c.sndMax, b.Right) || len(c.sacked) >= maxSACKScoreboard {
 			continue
 		}
 		c.sacked = append(c.sacked, b)
@@ -724,6 +817,12 @@ func (c *Conn) teardown(err error) {
 	c.cancelRetransmit()
 	if c.timeWaitTimer != nil {
 		c.timeWaitTimer.Stop()
+	}
+	if c.listener != nil {
+		// Died before establishment completed: give the half-open slot
+		// back so a SYN flood cannot pin the backlog forever.
+		c.listener.releaseHalfOpen()
+		c.listener = nil
 	}
 	c.estOnce.Do(func() { close(c.established) })
 	c.readCond.Broadcast()

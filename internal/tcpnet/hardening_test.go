@@ -1,0 +1,294 @@
+package tcpnet
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// inject delivers a hand-crafted segment to s as if it arrived from s's
+// peer, bypassing the link — the blind-attacker's-eye view used by the
+// RFC 5961 tests below.
+func inject(s *Conn, mutate func(seg *wire.Segment)) {
+	s.mu.Lock()
+	seg := &wire.Segment{
+		SrcPort: s.remote.Port(), DstPort: s.local.Port(),
+		Seq: s.rcvNxt, Ack: s.sndUna,
+		Flags:  wire.FlagACK,
+		Window: 65535,
+	}
+	s.mu.Unlock()
+	mutate(seg)
+	s.input(seg)
+}
+
+func connStats(c *Conn) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func connState(c *Conn) (state, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st, c.err
+}
+
+// TestRSTChallengeAck covers RFC 5961 §3.2: a reset inside the receive
+// window but not at exactly rcvNxt must not kill the connection — it is
+// answered with a challenge ACK and the transfer proceeds.
+func TestRSTChallengeAck(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	c, s := e.connect(t)
+
+	inject(s, func(seg *wire.Segment) {
+		seg.Seq += 100 // in-window, not exact
+		seg.Flags = wire.FlagRST
+	})
+
+	if st, err := connState(s); st != stateEstablished {
+		t.Fatalf("conn died on offset RST: state %s err %v", st, err)
+	}
+	if st := connStats(s); st.ChallengeAcks == 0 {
+		t.Fatalf("no challenge ACK recorded: %+v", st)
+	}
+	transfer(t, c, s, 32<<10, 10*time.Second)
+}
+
+// TestRSTOutOfWindowDropped: a reset outside the receive window is
+// discarded without a challenge (no amplification for wild guesses).
+func TestRSTOutOfWindowDropped(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	c, s := e.connect(t)
+
+	inject(s, func(seg *wire.Segment) {
+		seg.Seq += 1 << 30 // far outside any window
+		seg.Flags = wire.FlagRST
+	})
+
+	if st, err := connState(s); st != stateEstablished {
+		t.Fatalf("conn died on out-of-window RST: state %s err %v", st, err)
+	}
+	st := connStats(s)
+	if st.RstsDropped == 0 {
+		t.Fatalf("drop not recorded: %+v", st)
+	}
+	if st.ChallengeAcks != 0 {
+		t.Fatalf("out-of-window RST must not be challenged: %+v", st)
+	}
+	transfer(t, c, s, 8<<10, 10*time.Second)
+}
+
+// TestBlindSYNChallenge covers RFC 5961 §4: a SYN on a synchronized
+// connection elicits a challenge ACK instead of any state change.
+func TestBlindSYNChallenge(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	c, s := e.connect(t)
+
+	inject(s, func(seg *wire.Segment) {
+		seg.Seq += 7
+		seg.Flags = wire.FlagSYN
+	})
+
+	if st, err := connState(s); st != stateEstablished {
+		t.Fatalf("conn died on blind SYN: state %s err %v", st, err)
+	}
+	if st := connStats(s); st.ChallengeAcks == 0 {
+		t.Fatalf("no challenge ACK recorded: %+v", st)
+	}
+	transfer(t, c, s, 8<<10, 10*time.Second)
+}
+
+// TestBlindDataChallenge covers RFC 5961 §5: a segment acknowledging
+// data we never sent is a blind injection — its payload must not reach
+// the stream, and a challenge ACK resynchronizes honest peers.
+func TestBlindDataChallenge(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	c, s := e.connect(t)
+
+	before := connStats(s)
+	inject(s, func(seg *wire.Segment) {
+		seg.Ack += 90000 // beyond anything s ever sent
+		seg.Payload = []byte("injected payload")
+	})
+
+	st := connStats(s)
+	if st.ChallengeAcks == 0 {
+		t.Fatalf("no challenge ACK recorded: %+v", st)
+	}
+	if st.BytesRcvd != before.BytesRcvd {
+		t.Fatalf("injected payload was ingested: %d -> %d bytes", before.BytesRcvd, st.BytesRcvd)
+	}
+	transfer(t, c, s, 8<<10, 10*time.Second)
+}
+
+// TestOOOSegmentCountCap: a peer spraying small out-of-order fragments
+// hits the reassembly segment cap; overflow is dropped and counted, and
+// the connection survives.
+func TestOOOSegmentCountCap(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{MaxOOOSegments: 4})
+	c, s := e.connect(t)
+
+	for i := 2; i < 14; i++ {
+		off := uint32(i * 500)
+		inject(s, func(seg *wire.Segment) {
+			seg.Seq += off // leave a gap at rcvNxt so nothing drains
+			seg.Payload = make([]byte, 100)
+		})
+	}
+
+	s.mu.Lock()
+	oooLen := len(s.ooo)
+	drops := s.stats.OOODrops
+	s.mu.Unlock()
+	if oooLen > 4 {
+		t.Fatalf("ooo queue grew past the cap: %d segments", oooLen)
+	}
+	if drops == 0 {
+		t.Fatal("no OOO drops recorded")
+	}
+	if st, err := connState(s); st != stateEstablished {
+		t.Fatalf("conn died: state %s err %v", st, err)
+	}
+	transfer(t, c, s, 8<<10, 10*time.Second)
+}
+
+// TestOOOWindowBound: data beyond the advertised receive window is
+// truncated and counted — the reassembly queue cannot outgrow the
+// receive buffer no matter what the peer sends.
+func TestOOOWindowBound(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{RecvBuf: 8 << 10})
+	_, s := e.connect(t)
+
+	// 16 KiB sprayed at a conn with an 8 KiB receive buffer.
+	for i := 1; i < 16; i++ {
+		off := uint32(i * 1024)
+		inject(s, func(seg *wire.Segment) {
+			seg.Seq += off
+			seg.Payload = make([]byte, 1024)
+		})
+	}
+
+	s.mu.Lock()
+	held := len(s.rcvBuf)
+	for _, o := range s.ooo {
+		held += len(o.data)
+	}
+	windowDrops := s.stats.WindowDrops
+	s.mu.Unlock()
+	if held > 8<<10 {
+		t.Fatalf("buffered %d bytes, receive buffer is %d", held, 8<<10)
+	}
+	if windowDrops == 0 {
+		t.Fatal("no window drops recorded")
+	}
+}
+
+// TestWindowScaleClamp: an attacker-supplied wscale above the RFC 7323
+// maximum of 14 is clamped, not honored.
+func TestWindowScaleClamp(t *testing.T) {
+	e := env(t, netsim.LinkConfig{}, Config{})
+	c := newConn(e.client, netip.AddrPortFrom(clientAddr, 1), netip.AddrPortFrom(serverAddr, 2), true)
+	c.mu.Lock()
+	c.processSynOptions(&wire.Segment{Options: []wire.Option{
+		wire.MSSOption(1400),
+		wire.WindowScaleOption(30),
+		wire.SACKPermittedOption(),
+	}})
+	scale := c.sndScale
+	c.mu.Unlock()
+	if scale != wire.MaxWindowScale {
+		t.Fatalf("sndScale = %d, want clamp to %d", scale, wire.MaxWindowScale)
+	}
+}
+
+// TestSACKBeyondSndMaxIgnored: SACK blocks acknowledging data never
+// sent are forged and must not enter the scoreboard.
+func TestSACKBeyondSndMaxIgnored(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	c, _ := e.connect(t)
+
+	c.mu.Lock()
+	c.mergeSACK([]wire.SACKBlock{{Left: c.sndMax + 1000, Right: c.sndMax + 2000}})
+	entries := len(c.sacked)
+	c.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("forged SACK block entered the scoreboard (%d entries)", entries)
+	}
+}
+
+// TestSYNBacklogCap floods the listener with SYNs from spoofed,
+// unroutable sources: half-open connections must stay at the backlog
+// cap, with the overflow dropped and counted.
+func TestSYNBacklogCap(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{SYNBacklog: 16})
+	spoofed := netip.MustParseAddr("10.9.9.9") // no route back: SYN+ACKs vanish
+	h := e.client.Host()
+	const flood = 200
+	for i := 0; i < flood; i++ {
+		seg := &wire.Segment{
+			SrcPort: uint16(10000 + i), DstPort: 443,
+			Seq:   uint32(i) * 100000,
+			Flags: wire.FlagSYN, Window: 65535,
+		}
+		b, err := seg.Marshal(spoofed, serverAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Send(&wire.Packet{Src: spoofed, Dst: serverAddr, Proto: wire.ProtoTCP, TTL: 64, Payload: b})
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.listener.SYNDrops() >= flood-16 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := e.listener.HalfOpen(); got > 16 {
+		t.Fatalf("half-open connections grew past the backlog: %d", got)
+	}
+	if drops := e.listener.SYNDrops(); drops < flood-16 {
+		t.Fatalf("SYN drops = %d, want >= %d", drops, flood-16)
+	}
+}
+
+// TestSpuriousRSTChallengeFromMiddlebox is the middlebox variant of the
+// challenge path: an on-path box that forges resets with a sequence
+// offset (it guessed, rather than observed, the exact value) no longer
+// kills the connection — the transfer completes under continuous fire.
+func TestSpuriousRSTChallengeFromMiddlebox(t *testing.T) {
+	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	injected := 0
+	e.link.Use(netsim.MiddleboxFunc(func(p *wire.Packet, dir netsim.Direction) ([]*wire.Packet, []*wire.Packet) {
+		seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, false)
+		if err != nil || len(seg.Payload) == 0 || injected >= 8 {
+			return []*wire.Packet{p}, nil
+		}
+		injected++
+		rst := &wire.Segment{
+			SrcPort: seg.SrcPort, DstPort: seg.DstPort,
+			// In-window but past rcvNxt: the pre-RFC-5961 code accepted
+			// this; now it must only elicit a challenge ACK.
+			Seq:   seg.Seq + uint32(len(seg.Payload)) + 512,
+			Ack:   seg.Ack,
+			Flags: wire.FlagRST | wire.FlagACK,
+		}
+		b, _ := rst.Marshal(p.Src, p.Dst)
+		q := &wire.Packet{Src: p.Src, Dst: p.Dst, Proto: wire.ProtoTCP, TTL: 64, Payload: b}
+		return []*wire.Packet{p, q}, nil
+	}))
+	c, s := e.connect(t)
+	transfer(t, c, s, 64<<10, 15*time.Second)
+
+	if st := connStats(s); st.ChallengeAcks == 0 {
+		t.Fatalf("offset RSTs never challenged: %+v (injected %d)", st, injected)
+	}
+	if _, err := connState(s); errors.Is(err, ErrReset) {
+		t.Fatal("offset RST killed the connection")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
@@ -90,6 +91,16 @@ type Config struct {
 	DisableSACK bool
 	// SYNRetries bounds handshake retransmissions. Default 6.
 	SYNRetries int
+	// SYNBacklog caps half-open (SYN received, handshake incomplete)
+	// connections per listener; SYNs beyond it are dropped, starving a
+	// SYN flood instead of the host. Default 128.
+	SYNBacklog int
+	// MaxOOOSegments caps the out-of-order reassembly queue length per
+	// connection, independent of its byte bound — the byte bound alone
+	// lets a peer spraying one-byte fragments amplify per-segment
+	// bookkeeping. Default RecvBuf/512 (at least 1024), which is far
+	// above anything MSS-sized segments can legitimately reach.
+	MaxOOOSegments int
 }
 
 func (c *Config) fill() {
@@ -108,8 +119,17 @@ func (c *Config) fill() {
 	if c.WindowScale == 0 {
 		c.WindowScale = 8
 	}
+	if c.WindowScale > wire.MaxWindowScale {
+		c.WindowScale = wire.MaxWindowScale // RFC 7323 §2.3
+	}
 	if c.SYNRetries == 0 {
 		c.SYNRetries = 6
+	}
+	if c.SYNBacklog == 0 {
+		c.SYNBacklog = 128
+	}
+	if c.MaxOOOSegments == 0 {
+		c.MaxOOOSegments = max(1024, c.RecvBuf/512)
 	}
 }
 
@@ -273,7 +293,26 @@ type Listener struct {
 	mu      sync.Mutex
 	backlog chan *Conn
 	closed  bool
+
+	// Half-open accounting (SYN-flood defense). Atomics, not l.mu:
+	// conn teardown releases a slot while holding the conn lock, and
+	// offer() takes conn locks while holding l.mu — a mutex here would
+	// create a lock-order cycle.
+	halfOpen atomic.Int32
+	synDrops atomic.Uint64
 }
+
+// releaseHalfOpen returns a pending-handshake slot, called when a
+// half-open connection either completes establishment or dies.
+func (l *Listener) releaseHalfOpen() { l.halfOpen.Add(-1) }
+
+// HalfOpen reports connections in the SYN-received state awaiting
+// handshake completion.
+func (l *Listener) HalfOpen() int { return int(l.halfOpen.Load()) }
+
+// SYNDrops reports SYNs discarded because the pending-handshake backlog
+// was full.
+func (l *Listener) SYNDrops() uint64 { return l.synDrops.Load() }
 
 // Listen binds a listener to the given port on addr. A zero addr accepts
 // connections to any of the host's addresses.
@@ -345,8 +384,18 @@ func (l *Listener) inputSYN(local, remote netip.AddrPort, seg *wire.Segment) {
 	if l.addr.Addr().IsValid() && !l.addr.Addr().IsUnspecified() && local.Addr() != l.addr.Addr() {
 		return // bound to a specific address
 	}
+	// Reserve a pending-handshake slot before allocating anything. Under
+	// a SYN flood the backlog fills and further SYNs cost one atomic op
+	// each — no conn state, no SYN+ACK, no timers. Legitimate clients
+	// retransmit their SYN and get in once flooded entries time out.
+	if l.halfOpen.Add(1) > int32(l.stack.config.SYNBacklog) {
+		l.halfOpen.Add(-1)
+		l.synDrops.Add(1)
+		return
+	}
 	c := newConn(l.stack, local, remote, false)
 	if err := l.stack.register(c); err != nil {
+		l.releaseHalfOpen()
 		return
 	}
 	c.listener = l

@@ -253,6 +253,12 @@ func TestRSTAbortsPeer(t *testing.T) {
 	}
 }
 
+// TestSpuriousRSTFromMiddlebox covers both halves of RFC 5961 §3.2 at
+// the middlebox level: a reset forged from *observed* sequence numbers
+// (exactly rcvNxt) still kills the connection — that is what the TCPLS
+// session layer's failover reacts to — while the offset-guess variant is
+// covered by TestSpuriousRSTChallengeFromMiddlebox and only elicits a
+// challenge ACK.
 func TestSpuriousRSTFromMiddlebox(t *testing.T) {
 	e := env(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
 	inj := &netsim.RSTInjector{AfterSegments: 2, Once: true}

@@ -21,6 +21,10 @@ const (
 	OptKindExperiment = 254
 )
 
+// MaxWindowScale is the largest usable window-scale shift (RFC 7323
+// §2.3). Received values above it must be clamped, not honored.
+const MaxWindowScale = 14
+
 // Option is a single TCP option as kind plus raw data. EOL and NOP are
 // handled by the marshaller and never appear in Segment.Options.
 type Option struct {

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet chaos-smoke adversary fuzz-smoke check bench
+.PHONY: all build test race vet chaos-smoke adversary telemetry fuzz-smoke check bench
 
 all: check
 
@@ -18,14 +18,24 @@ vet:
 	$(GO) vet ./...
 
 # Deterministic chaos acceptance run: flap + stall + RST + 2% loss over
-# a 1 MB multi-stream transfer, with proactive (probe-timeout) failover.
+# a 1 MB multi-stream transfer, with proactive (probe-timeout) failover,
+# plus the Fig. 4 reproduction asserted from the event trace alone.
 chaos-smoke:
-	$(GO) test ./internal/chaos/ -run 'TestChaosSmoke|TestChaosSinglePathRecovery' -count=1 -v
+	$(GO) test ./internal/chaos/ -run 'TestChaosSmoke|TestChaosSinglePathRecovery|TestFig4FailoverTrace' -count=1 -v
 
 # Hostile-peer gauntlet: SYN flood, slowloris, malformed-record spray,
 # stream-open flood — run under the race detector.
 adversary:
 	$(GO) test ./internal/chaos/ -race -run 'TestAdversarialPeer|TestSessionSurvivesForgedRSTSinglePath' -count=1 -v
+
+# Telemetry invariants: the tracer/metrics suite under the race
+# detector, then the disabled-tracer zero-allocation guarantee — the
+# testing.AllocsPerRun == 0 hard bound and its benchmark — without the
+# race detector, so allocation counts are exact.
+telemetry:
+	$(GO) test ./internal/telemetry/ -race -count=1
+	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracerZeroAlloc' -count=1 -v
+	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkTracerNil' -benchtime 1000x
 
 # Short fuzz pass over every attacker-facing decoder. Seeds live in
 # testdata/fuzz/; any crasher Go saves there becomes a regression test.
@@ -37,7 +47,7 @@ fuzz-smoke:
 	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeTCPOption$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzUnmarshalSegment$$' -fuzztime $(FUZZTIME)
 
-check: build vet race chaos-smoke adversary fuzz-smoke
+check: build vet race chaos-smoke adversary telemetry fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=3x .

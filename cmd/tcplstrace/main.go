@@ -1,0 +1,228 @@
+// Command tcplstrace works with TCPLS telemetry traces (the qlog-style
+// JSONL emitted by internal/telemetry):
+//
+//	tcplstrace run      # execute the Fig. 4 netsim failover scenario
+//	                    # and write its event trace as JSONL
+//	tcplstrace pretty   # render a JSONL trace as aligned human-readable
+//	                    # lines
+//	tcplstrace goodput  # bin a JSONL trace into a goodput/cwnd timeline
+//	                    # CSV — the data behind the paper's Figure 4 plot
+//
+// A typical reproduction of Figure 4:
+//
+//	tcplstrace run -o fig4.jsonl
+//	tcplstrace goodput -bin 20ms fig4.jsonl > fig4.csv
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/chaos"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "pretty":
+		err = cmdPretty(os.Args[2:])
+	case "goodput":
+		err = cmdGoodput(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcplstrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  tcplstrace run [-seed N] [-bytes N] [-fail DUR] [-o FILE]
+      run the Fig. 4 failover scenario in the emulator and write the
+      trace as JSONL (default stdout); a summary goes to stderr
+  tcplstrace pretty [FILE]
+      render a JSONL trace (default stdin) as human-readable lines
+  tcplstrace goodput [-bin DUR] [-recv EP] [-send EP] [FILE]
+      bin a JSONL trace (default stdin) into CSV:
+      t_ms,bytes,goodput_mbps,cwnd_bytes,markers
+`)
+	os.Exit(2)
+}
+
+// parseArgs splits args into -flag value pairs and positional args.
+// All flags take exactly one value.
+func parseArgs(args []string, flags map[string]*string) ([]string, error) {
+	var pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			pos = append(pos, a)
+			continue
+		}
+		p, ok := flags[strings.TrimLeft(a, "-")]
+		if !ok {
+			return nil, fmt.Errorf("unknown flag %s", a)
+		}
+		if i+1 >= len(args) {
+			return nil, fmt.Errorf("flag %s needs a value", a)
+		}
+		i++
+		*p = args[i]
+	}
+	return pos, nil
+}
+
+func cmdRun(args []string) error {
+	seed, bytesStr, failStr, out := "1", "4194304", "250ms", ""
+	_, err := parseArgs(args, map[string]*string{
+		"seed": &seed, "bytes": &bytesStr, "fail": &failStr, "o": &out,
+	})
+	if err != nil {
+		return err
+	}
+	var seedN int64
+	var bytesN int
+	if _, err := fmt.Sscan(seed, &seedN); err != nil {
+		return fmt.Errorf("bad -seed %q", seed)
+	}
+	if _, err := fmt.Sscan(bytesStr, &bytesN); err != nil {
+		return fmt.Errorf("bad -bytes %q", bytesStr)
+	}
+	failAt, err := time.ParseDuration(failStr)
+	if err != nil {
+		return fmt.Errorf("bad -fail %q: %v", failStr, err)
+	}
+
+	res, err := chaos.RunFig4(seedN, bytesN, failAt)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := telemetry.WriteJSONL(w, res.Trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"fig4: %d events, %d bytes in %v virtual; degraded=%d joins=%d failed_closes=%d (replay: %s)\n",
+		len(res.Trace), res.BytesTransferred, res.VirtualElapsed.Round(time.Millisecond),
+		res.Degraded, res.Joins, res.ReadLoopFailovers, res.Replay())
+	return nil
+}
+
+// traceLine is the JSONL schema as seen by offline tools; keeping the
+// decode generic (Data as a map) means pretty survives event kinds this
+// build of the tool doesn't know about.
+type traceLine struct {
+	Time   int64          `json:"time"`
+	Name   string         `json:"name"`
+	EP     string         `json:"ep"`
+	Path   uint32         `json:"path"`
+	Stream uint32         `json:"stream"`
+	Data   map[string]any `json:"data"`
+}
+
+func cmdPretty(args []string) error {
+	pos, err := parseArgs(args, map[string]*string{})
+	if err != nil {
+		return err
+	}
+	r, err := openInput(pos)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	dec := json.NewDecoder(r)
+	w := os.Stdout
+	for {
+		var ln traceLine
+		if err := dec.Decode(&ln); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		fmt.Fprintf(w, "%12.3fms %-7s %-24s", float64(ln.Time)/1e6, ln.EP, ln.Name)
+		if ln.Path != 0 {
+			fmt.Fprintf(w, " path=%d", ln.Path)
+		}
+		if ln.Stream != 0 {
+			fmt.Fprintf(w, " stream=%d", ln.Stream)
+		}
+		keys := make([]string, 0, len(ln.Data))
+		for k := range ln.Data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := ln.Data[k].(type) {
+			case string:
+				fmt.Fprintf(w, " %s=%q", k, v)
+			case float64:
+				fmt.Fprintf(w, " %s=%d", k, int64(v))
+			default:
+				fmt.Fprintf(w, " %s=%v", k, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func cmdGoodput(args []string) error {
+	binStr, recvEP, sendEP := "20ms", "server", "client"
+	pos, err := parseArgs(args, map[string]*string{
+		"bin": &binStr, "recv": &recvEP, "send": &sendEP,
+	})
+	if err != nil {
+		return err
+	}
+	bin, err := time.ParseDuration(binStr)
+	if err != nil {
+		return fmt.Errorf("bad -bin %q: %v", binStr, err)
+	}
+	r, err := openInput(pos)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	events, err := telemetry.ParseJSONL(r)
+	if err != nil {
+		return err
+	}
+	tl := telemetry.Timeline(events, bin, recvEP, sendEP)
+	w := os.Stdout
+	fmt.Fprintln(w, "t_ms,bytes,goodput_mbps,cwnd_bytes,markers")
+	for _, b := range tl {
+		fmt.Fprintf(w, "%.1f,%d,%.3f,%d,%s\n",
+			float64(b.Start)/1e6, b.Bytes, b.Goodput/1e6, b.CwndMax,
+			strings.Join(b.Markers, ";"))
+	}
+	return nil
+}
+
+func openInput(pos []string) (io.ReadCloser, error) {
+	if len(pos) == 0 || pos[0] == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(pos[0])
+}

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"net"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -31,6 +30,7 @@ import (
 	"github.com/pluginized-protocols/gotcpls/internal/core"
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
 	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -96,6 +96,15 @@ type Scenario struct {
 	MaxVirtual time.Duration
 	// Timeout bounds the whole run in wall-clock time (default 90s).
 	Timeout time.Duration
+	// TraceCapacity bounds the in-memory event ring the run records into
+	// (default 1<<17 events). Client, server and emulator tracers share
+	// one ring and one virtual clock, so Result.Trace is a single
+	// ordered timeline.
+	TraceCapacity int
+	// SendBuf / RecvBuf override the transport socket buffers on both
+	// stacks (0 keeps tcpnet's 512 KiB defaults). Scenarios sensitive to
+	// bufferbloat — probe RTTs queue behind bulk data — shrink these.
+	SendBuf, RecvBuf int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -140,6 +149,9 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Timeout <= 0 {
 		sc.Timeout = 90 * time.Second
 	}
+	if sc.TraceCapacity <= 0 {
+		sc.TraceCapacity = 1 << 17
+	}
 	return sc
 }
 
@@ -151,22 +163,37 @@ type Env struct {
 	Server         *core.Session
 }
 
-// Result summarizes a successful run.
+// Result summarizes a successful run. The failure counters are all
+// derived from Trace — the run asserts on the event stream, not on
+// side-channel callbacks — so anything Result reports can also be
+// reproduced offline from the exported JSONL.
 type Result struct {
 	Seed     int64
 	Schedule string
-	// Degraded counts proactive health-probe failovers (both endpoints).
+	// Degraded counts proactive health-probe failovers: path:degraded
+	// events across both endpoints.
 	Degraded int
 	// Joins counts JOIN attachments the server observed (initial extra
-	// path + failover reconnections).
+	// path + failover reconnections): server path:join events with the
+	// joined flag set.
 	Joins int
-	// ReadLoopFailovers counts connection deaths surfaced by transport
-	// errors (both endpoints) rather than probes.
+	// ReadLoopFailovers counts failed path closes (path:close with the
+	// failed flag, both endpoints) — deaths surfaced by transport errors
+	// or probe timeouts rather than orderly teardown.
 	ReadLoopFailovers int
 	// VirtualElapsed is the transfer's duration in emulated time.
 	VirtualElapsed time.Duration
 	// BytesTransferred is the total payload verified end-to-end.
 	BytesTransferred int
+	// Trace is the full event timeline (virtual time, endpoints
+	// "client"/"server"/"net") captured during the run.
+	Trace []telemetry.Event
+	// TraceDropped is how many events the ring evicted; 0 unless the run
+	// outgrew TraceCapacity.
+	TraceDropped uint64
+	// Metrics is the final registry snapshot (tcp.<host>.*,
+	// netsim.link.<name>.*, session.<n>.*).
+	Metrics map[string]any
 }
 
 // Replay renders the reproduction recipe embedded in failure messages.
@@ -184,8 +211,31 @@ func Run(sc Scenario) (*Result, error) {
 	ch, sh := n.Host("client"), n.Host("server")
 	l4 := n.AddLink(ch, sh, ClientV4, ServerV4, sc.V4)
 	l6 := n.AddLink(ch, sh, ClientV6, ServerV6, sc.V6)
-	cs := tcpnet.NewStack(ch, tcpnet.Config{})
-	ss := tcpnet.NewStack(sh, tcpnet.Config{})
+
+	// One ring, one virtual clock, three endpoint labels: every layer of
+	// both endpoints plus the emulator lands on a single ordered
+	// timeline, which is what lets invariants be asserted on the trace.
+	ring := telemetry.NewRingSink(sc.TraceCapacity)
+	reg := telemetry.NewRegistry()
+	mkTracer := func(ep string) *telemetry.Tracer {
+		return telemetry.NewTracer(
+			telemetry.WithEndpoint(ep),
+			telemetry.WithClock(n.VirtualNow),
+			telemetry.WithSink(ring),
+		)
+	}
+	cliTracer, srvTracer := mkTracer("client"), mkTracer("server")
+	n.SetTracer(mkTracer("net"))
+	l4.RegisterMetrics(reg)
+	l6.RegisterMetrics(reg)
+	cs := tcpnet.NewStack(ch, tcpnet.Config{
+		Tracer: cliTracer, Metrics: reg,
+		SendBuf: sc.SendBuf, RecvBuf: sc.RecvBuf,
+	})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{
+		Tracer: srvTracer, Metrics: reg,
+		SendBuf: sc.SendBuf, RecvBuf: sc.RecvBuf,
+	})
 
 	res := &Result{Seed: sc.Seed}
 	var cliRef, srvRef *core.Session
@@ -208,20 +258,9 @@ func Run(sc Scenario) (*Result, error) {
 		return fail("listen: %v", err)
 	}
 
-	var degraded, readLoopDeaths, joins counter
 	probe := sc.ProbeInterval
 	if probe < 0 {
 		probe = 0
-	}
-	mkCallbacks := func() core.Callbacks {
-		return core.Callbacks{
-			PathDegraded: func(uint32, error) { degraded.inc() },
-			ConnClosed: func(_ uint32, failed bool) {
-				if failed {
-					readLoopDeaths.inc()
-				}
-			},
-		}
 	}
 	srvCfg := &core.Config{
 		TLS:                 &tls13.Config{Certificate: serverCert()},
@@ -231,9 +270,9 @@ func Run(sc Scenario) (*Result, error) {
 		HealthFailAfter:     sc.HealthFailAfter,
 		Retry:               sc.Retry,
 		RetrySeed:           sc.Seed,
-		Callbacks:           mkCallbacks(),
+		Tracer:              srvTracer,
+		Metrics:             reg,
 	}
-	srvCfg.Callbacks.Join = func(uint32, net.Addr) { joins.inc() }
 	lst := core.NewListener(tl, srvCfg)
 	defer func() {
 		lst.Close()
@@ -249,7 +288,8 @@ func Run(sc Scenario) (*Result, error) {
 		HealthFailAfter:     sc.HealthFailAfter,
 		Retry:               sc.Retry,
 		RetrySeed:           sc.Seed + 1,
-		Callbacks:           mkCallbacks(),
+		Tracer:              cliTracer,
+		Metrics:             reg,
 	}
 	cli := core.NewClient(cliCfg, tcpnet.Dialer{Stack: cs})
 	cliRef = cli
@@ -409,10 +449,33 @@ func Run(sc Scenario) (*Result, error) {
 		return fail("goroutine leak: %v", err)
 	}
 
-	res.Degraded = degraded.get()
-	res.Joins = joins.get()
-	res.ReadLoopFailovers = readLoopDeaths.get()
+	res.Trace = ring.Events()
+	res.TraceDropped = ring.Dropped()
+	res.Metrics = reg.Snapshot()
+	res.Degraded, res.Joins, res.ReadLoopFailovers = traceFailoverCounts(res.Trace)
 	return res, nil
+}
+
+// traceFailoverCounts derives the failure counters from the event
+// stream alone: degraded paths (path:degraded, both endpoints), server
+// JOIN attachments (path:join with the joined flag on the server), and
+// failed path closes (path:close with the failed flag, both endpoints).
+func traceFailoverCounts(events []telemetry.Event) (degraded, joins, failedCloses int) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EvPathDegraded:
+			degraded++
+		case telemetry.EvPathJoin:
+			if ev.EP == "server" && ev.A == 1 {
+				joins++
+			}
+		case telemetry.EvPathClose:
+			if ev.A == 1 {
+				failedCloses++
+			}
+		}
+	}
+	return
 }
 
 // clearFaults returns the links to a clean state so teardown traffic
@@ -461,21 +524,4 @@ func waitGoroutines(baseline int, timeout time.Duration) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("%d goroutines alive, baseline %d (+%d slack)", now, baseline, slack)
-}
-
-type counter struct {
-	mu sync.Mutex
-	n  int
-}
-
-func (c *counter) inc() {
-	c.mu.Lock()
-	c.n++
-	c.mu.Unlock()
-}
-
-func (c *counter) get() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
 }

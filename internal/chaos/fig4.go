@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+)
+
+// Fig. 4 of the TCPLS paper plots application goodput over time while
+// the network drops out from under the connection: throughput climbs,
+// collapses to zero when the active path dies, and recovers once the
+// session fails over to the second path. Fig4Scenario reproduces that
+// experiment shape in the emulator: a dual-stack session with a
+// standing second path, one long download, and an administrative kill
+// of the v4 link partway through. The health monitor detects the dead
+// path, the session replays unacked data onto v6, and the transfer
+// completes — the recorded trace carries the whole story
+// (record:received gaps, path:degraded, path:closed, path:failover)
+// so the goodput timeline can be rebuilt offline from the JSONL alone.
+
+// Fig4Scenario builds the failover scenario: transferBytes on a single
+// stream (default 4 MB), v4 cut permanently at failAt virtual time
+// (default 250ms). The transfer must outlive the cut for the dip to be
+// visible, so pick transferBytes well above failAt times the link rate.
+func Fig4Scenario(seed int64, transferBytes int, failAt time.Duration) Scenario {
+	if transferBytes <= 0 {
+		transferBytes = 4 << 20
+	}
+	if failAt <= 0 {
+		failAt = 250 * time.Millisecond
+	}
+	return Scenario{
+		Name:           "fig4",
+		Seed:           seed,
+		TransferBytes:  transferBytes,
+		NumStreams:     1,
+		JoinSecondPath: true,
+		// Bufferbloat control. With tcpnet's 512 KiB default buffers a
+		// saturated 50 Mbps link inflates probe RTTs to ~150ms (probes
+		// queue behind the bulk data), which false-degrades the busy
+		// path. 128 KiB buffers keep the loaded probe RTT around 50ms;
+		// 6 unanswered probes at 40ms (240ms tolerance) then rides out
+		// any transient while still detecting the dead link well before
+		// the transfer would otherwise finish — and the small receive
+		// backlog makes the goodput collapse land right at the cut.
+		SendBuf:         128 << 10,
+		RecvBuf:         128 << 10,
+		ProbeInterval:   40 * time.Millisecond,
+		HealthFailAfter: 6,
+		Schedule: func(e *Env) *netsim.FaultSchedule {
+			fs := &netsim.FaultSchedule{}
+			fs.At(failAt, "fig4-kill-v4", func() { e.LinkV4.SetDown(true) })
+			return fs
+		},
+	}
+}
+
+// RunFig4 executes the Fig. 4 failover scenario and returns the result
+// with its full trace. Zero transferBytes/failAt take the defaults.
+func RunFig4(seed int64, transferBytes int, failAt time.Duration) (*Result, error) {
+	return Run(Fig4Scenario(seed, transferBytes, failAt))
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// TestFig4FailoverTrace reruns the paper's Figure 4 experiment and
+// asserts the failover story from the recorded trace alone — no
+// callbacks, no session introspection: the v4 path degrades after the
+// cut, closes as failed, and delivery resumes on the surviving path.
+func TestFig4FailoverTrace(t *testing.T) {
+	const failAt = 250 * time.Millisecond
+	res, err := RunFig4(7, 4<<20, failAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceDropped != 0 {
+		t.Fatalf("ring evicted %d events; raise TraceCapacity", res.TraceDropped)
+	}
+	if res.Joins < 1 {
+		t.Fatalf("no JOIN recorded: joins=%d (replay: %s)", res.Joins, res.Replay())
+	}
+
+	// The schedule runs relative to the transfer start and the virtual
+	// clock stretches under load (race detector, CI contention), so the
+	// cut's trace-time is read off the trace itself: the emulator's
+	// first drop_down event is the dead link eating a segment.
+	cutT := time.Duration(-1)
+	for _, ev := range res.Trace {
+		if ev.Kind == telemetry.EvLinkDropDown {
+			cutT = ev.Time
+			break
+		}
+	}
+	if cutT < 0 {
+		t.Fatalf("no netsim:drop_down event — the v4 cut never bit (replay: %s)", res.Replay())
+	}
+
+	// 1. A path degrades, and only after the link went down.
+	degIdx := -1
+	for i, ev := range res.Trace {
+		if ev.Kind == telemetry.EvPathDegraded {
+			degIdx = i
+			break
+		}
+	}
+	if degIdx < 0 {
+		t.Fatalf("no path:degraded event in %d-event trace (replay: %s)", len(res.Trace), res.Replay())
+	}
+	deg := res.Trace[degIdx]
+	if deg.Time < cutT {
+		t.Fatalf("path degraded at %v, before the v4 cut bit at %v", deg.Time, cutT)
+	}
+
+	// 2. The degraded endpoint closes that path as failed.
+	closeIdx := -1
+	for i := degIdx; i < len(res.Trace); i++ {
+		ev := res.Trace[i]
+		if ev.Kind == telemetry.EvPathClose && ev.EP == deg.EP && ev.Path == deg.Path && ev.A == 1 {
+			closeIdx = i
+			break
+		}
+	}
+	if closeIdx < 0 {
+		t.Fatalf("degraded path %d on %q never closed as failed (replay: %s)", deg.Path, deg.EP, res.Replay())
+	}
+
+	// 3. Delivery resumes: the server keeps receiving records after the
+	// failed close, on a path other than its dead one.
+	var deadSrvPath uint32
+	for _, ev := range res.Trace {
+		if ev.EP == "server" && ev.Kind == telemetry.EvPathClose && ev.A == 1 {
+			deadSrvPath = ev.Path
+			break
+		}
+	}
+	resumed := false
+	for _, ev := range res.Trace[closeIdx:] {
+		if ev.EP == "server" && ev.Kind == telemetry.EvRecordRecv && ev.Path != deadSrvPath {
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Fatalf("no record:received on a surviving server path after the failed close (replay: %s)", res.Replay())
+	}
+
+	// 4. The goodput timeline shows the Fig. 4 shape: ramp-up, a dip to
+	// zero after the cut, then recovery on the surviving path.
+	const bin = 20 * time.Millisecond
+	tl := telemetry.Timeline(res.Trace, bin, "server", "client")
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	var peakBefore, peakAfter int64
+	dip := false
+	for _, b := range tl {
+		switch {
+		case b.Start+bin <= cutT:
+			if b.Bytes > peakBefore {
+				peakBefore = b.Bytes
+			}
+		case b.Start >= cutT:
+			if b.Bytes == 0 && !dip && b.Start < cutT+time.Second {
+				dip = true
+			}
+			if dip && b.Bytes > peakAfter {
+				peakAfter = b.Bytes
+			}
+		}
+	}
+	if peakBefore == 0 {
+		t.Fatalf("no goodput before the cut (replay: %s)", res.Replay())
+	}
+	if !dip {
+		t.Fatalf("no zero-goodput bin after the cut — failover dip missing (replay: %s)", res.Replay())
+	}
+	if peakAfter < peakBefore/2 {
+		t.Fatalf("goodput never recovered: peak %d B/bin after dip vs %d before (replay: %s)",
+			peakAfter, peakBefore, res.Replay())
+	}
+
+	// 5. The trace survives the JSONL round trip byte-for-byte, so the
+	// same assertions hold offline on the exported file.
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Trace) {
+		t.Fatalf("round trip lost events: %d -> %d", len(res.Trace), len(back))
+	}
+	d2, j2, f2 := traceFailoverCounts(back)
+	if d2 != res.Degraded || j2 != res.Joins || f2 != res.ReadLoopFailovers {
+		t.Fatalf("counters diverge after round trip: %d/%d/%d vs %d/%d/%d",
+			d2, j2, f2, res.Degraded, res.Joins, res.ReadLoopFailovers)
+	}
+}

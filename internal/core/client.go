@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -184,6 +185,11 @@ func (s *Session) Handshake() error {
 	s.multipath = s.cfg.Multipath && srv.Multipath
 	s.mu.Unlock()
 
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvSessionStart,
+		A:    int64(srv.ConnID),
+		S:    "client",
+	})
 	pc := newPathConn(s, tcp, tc)
 	if err := s.registerPath(pc); err != nil {
 		return err
@@ -269,6 +275,7 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 	s.mu.Unlock()
 
 	pc := newPathConn(s, tcp, tc)
+	pc.joined = true
 	if err := s.registerPath(pc); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"net/netip"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 )
 
 // handleConnFailure reacts to the death of a TCP connection (§2.1):
@@ -35,6 +37,19 @@ func (s *Session) connFailed(pc *pathConn, err error, orderly bool) {
 	}
 	delete(s.conns, pc.id)
 	s.mu.Unlock()
+
+	if !orderly {
+		s.ctr.failovers.Add(1)
+		survivor := int64(0)
+		if next := s.primaryPath(); next != nil {
+			survivor = int64(next.id)
+		}
+		s.trace().Emit(telemetry.Event{
+			Kind: telemetry.EvPathFailover,
+			Path: pc.id,
+			A:    survivor,
+		})
+	}
 
 	if orderly {
 		// Peer closed this connection deliberately (migration, proactive

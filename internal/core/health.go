@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 )
 
 // Path health monitoring: lightweight PING/PONG probes over the secure
@@ -119,6 +120,11 @@ func (s *Session) healthLoop() {
 			}
 			seq := s.probeSeq.Add(1)
 			pc.health.noteSent(seq, time.Now())
+			s.trace().Emit(telemetry.Event{
+				Kind: telemetry.EvHealthPing,
+				Path: pc.id,
+				A:    int64(seq),
+			})
 			// Write in a goroutine: on a stalled path the transport's send
 			// buffer eventually fills and the write blocks until the path
 			// is closed — the monitor itself must never wedge.
@@ -134,6 +140,12 @@ func (s *Session) degradePath(pc *pathConn) {
 	if !pc.health.markDegraded() {
 		return
 	}
+	s.ctr.degraded.Add(1)
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvPathDegraded,
+		Path: pc.id,
+		A:    int64(pc.health.outstandingCount()),
+	})
 	if cb := s.cfg.Callbacks.PathDegraded; cb != nil {
 		cb(pc.id, ErrPathUnhealthy)
 	}
@@ -143,7 +155,21 @@ func (s *Session) degradePath(pc *pathConn) {
 
 // handlePong ingests a probe answer on pc.
 func (pc *pathConn) handlePong(seq uint32) {
-	pc.health.notePong(seq, time.Now())
+	rtt, ok := pc.health.notePong(seq, time.Now())
+	if !ok {
+		return
+	}
+	s := pc.session
+	pc.health.mu.Lock()
+	srtt := pc.health.srtt
+	pc.health.mu.Unlock()
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvHealthPong,
+		Path: pc.id,
+		A:    int64(seq),
+		B:    int64(s.scaleToVirtual(rtt)),
+		C:    int64(s.scaleToVirtual(srtt)),
+	})
 }
 
 // virtualSince converts a wall-clock elapsed time into virtual time when

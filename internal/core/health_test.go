@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealthEWMAConvergence feeds a constant RTT through the probe
+// bookkeeping and checks the RFC 6298-style smoother converges to it.
+func TestHealthEWMAConvergence(t *testing.T) {
+	h := &pathHealth{}
+	base := time.Now()
+	const rtt = 40 * time.Millisecond
+
+	// First sample seeds srtt directly.
+	h.noteSent(1, base)
+	if got, ok := h.notePong(1, base.Add(rtt)); !ok || got != rtt {
+		t.Fatalf("first sample: rtt=%v ok=%v, want %v true", got, ok, rtt)
+	}
+	if h.srtt != rtt {
+		t.Fatalf("srtt seeded to %v, want %v", h.srtt, rtt)
+	}
+
+	// Jump the instantaneous RTT: srtt must move toward it at 1/8 gain.
+	const spike = 120 * time.Millisecond
+	h.noteSent(2, base)
+	h.notePong(2, base.Add(spike))
+	want := (7*rtt + spike) / 8
+	if h.srtt != want {
+		t.Fatalf("after spike srtt = %v, want %v", h.srtt, want)
+	}
+
+	// A long run of constant samples converges back within a millisecond.
+	for seq := uint32(3); seq < 40; seq++ {
+		h.noteSent(seq, base)
+		h.notePong(seq, base.Add(rtt))
+	}
+	if diff := h.srtt - rtt; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("srtt did not converge: %v, want ~%v", h.srtt, rtt)
+	}
+	if h.probesSent != 39 || h.pongsRecv != 39 {
+		t.Fatalf("probe accounting: sent=%d recv=%d, want 39/39", h.probesSent, h.pongsRecv)
+	}
+}
+
+// TestHealthOutstandingAccounting checks that unanswered probes
+// accumulate, answered probes clear their slot, and unmatched or
+// duplicate pongs neither count nor disturb srtt.
+func TestHealthOutstandingAccounting(t *testing.T) {
+	h := &pathHealth{}
+	base := time.Now()
+
+	for seq := uint32(1); seq <= 3; seq++ {
+		h.noteSent(seq, base)
+	}
+	if n := h.outstandingCount(); n != 3 {
+		t.Fatalf("outstanding = %d, want 3", n)
+	}
+
+	// Answer the middle probe only.
+	if _, ok := h.notePong(2, base.Add(time.Millisecond)); !ok {
+		t.Fatal("matching pong rejected")
+	}
+	if n := h.outstandingCount(); n != 2 {
+		t.Fatalf("outstanding after pong = %d, want 2", n)
+	}
+
+	// Duplicate pong for the same seq: ignored.
+	if _, ok := h.notePong(2, base.Add(2*time.Millisecond)); ok {
+		t.Fatal("duplicate pong accepted")
+	}
+	// Pong for a probe never sent: ignored.
+	if _, ok := h.notePong(99, base.Add(2*time.Millisecond)); ok {
+		t.Fatal("unmatched pong accepted")
+	}
+	if h.pongsRecv != 1 {
+		t.Fatalf("pongsRecv = %d, want 1", h.pongsRecv)
+	}
+	srttBefore := h.srtt
+	h.notePong(99, base)
+	if h.srtt != srttBefore {
+		t.Fatal("unmatched pong moved srtt")
+	}
+
+	// A pong timestamped before its probe (clock skew) clamps to zero
+	// rather than going negative.
+	h.noteSent(10, base.Add(time.Second))
+	if rtt, ok := h.notePong(10, base); !ok || rtt != 0 {
+		t.Fatalf("skewed pong: rtt=%v ok=%v, want 0 true", rtt, ok)
+	}
+}
+
+// TestMarkDegradedHysteresis checks degradation latches: the first call
+// wins, every later call reports already-degraded so the failover path
+// runs exactly once per path.
+func TestMarkDegradedHysteresis(t *testing.T) {
+	h := &pathHealth{}
+	if !h.markDegraded() {
+		t.Fatal("first markDegraded returned false")
+	}
+	for i := 0; i < 3; i++ {
+		if h.markDegraded() {
+			t.Fatal("markDegraded fired twice")
+		}
+	}
+	// Still degraded after further probe traffic — no silent reset.
+	h.noteSent(1, time.Now())
+	h.notePong(1, time.Now())
+	if h.markDegraded() {
+		t.Fatal("probe traffic reset the degraded latch")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -142,6 +143,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 		// JOIN: attach the path to the existing session.
 		s := res.session
 		pc := newPathConn(s, conn, tc)
+		pc.joined = true
 		if err := s.registerPath(pc); err != nil {
 			return // registerPath closed the path
 		}
@@ -177,6 +179,11 @@ func (l *Listener) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvSessionStart,
+		A:    int64(s.connID),
+		S:    "server",
+	})
 	pc := newPathConn(s, conn, tc)
 	if err := s.registerPath(pc); err != nil {
 		s.teardown(err)

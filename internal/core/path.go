@@ -9,6 +9,7 @@ import (
 
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -24,6 +25,7 @@ type pathConn struct {
 	session *Session
 	tcp     net.Conn
 	tls     *tls13.Conn
+	joined  bool // attached via JOIN (vs. the initial handshake)
 
 	writeMu sync.Mutex
 	ctxMu   sync.Mutex
@@ -63,7 +65,33 @@ func (pc *pathConn) close(err error) {
 	pc.closed = true
 	pc.err = err
 	pc.mu.Unlock()
-	pc.tcp.Close()
+	if err != nil {
+		// The path is dead, not finishing: reset instead of a FIN
+		// handshake so writers blocked on its full send buffer fail
+		// immediately and failover proceeds while the path is still
+		// unreachable. An orderly Close would strand them until the
+		// transport's own timers give up.
+		if ab, ok := pc.tcp.(interface{ Abort() }); ok {
+			ab.Abort()
+		} else {
+			pc.tcp.Close()
+		}
+	} else {
+		pc.tcp.Close()
+	}
+	failed := int64(0)
+	reason := "orderly"
+	if err != nil {
+		failed = 1
+		reason = err.Error()
+	}
+	pc.session.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvPathClose,
+		Path: pc.id,
+		A:    failed,
+		S:    reason,
+	})
+	pc.session.unregisterPathMetrics(pc)
 	if cb := pc.session.cfg.Callbacks.ConnClosed; cb != nil {
 		cb(pc.id, err != nil)
 	}
@@ -100,6 +128,17 @@ func (pc *pathConn) ensureStreamContext(id uint32) error {
 
 // writeControl sends control frames on the default context.
 func (pc *pathConn) writeControl(frames ...record.Frame) error {
+	s := pc.session
+	s.ctr.ctrlSent.Add(uint64(len(frames)))
+	if s.trace().Enabled() {
+		for _, f := range frames {
+			s.trace().Emit(telemetry.Event{
+				Kind: telemetry.EvCtrlSent,
+				Path: pc.id,
+				S:    record.Type(f).String(),
+			})
+		}
+	}
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
 	return pc.tls.WriteRecordContext(tls13.DefaultContext, record.EncodeControl(frames...))
@@ -117,6 +156,21 @@ func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
 	if err := pc.ensureStreamContext(c.StreamID); err != nil {
 		return err
 	}
+	s := pc.session
+	s.ctr.recordsSent.Add(1)
+	s.ctr.bytesSent.Add(uint64(len(c.Data)))
+	fin := int64(0)
+	if c.Fin {
+		fin = 1
+	}
+	s.trace().Emit(telemetry.Event{
+		Kind:   telemetry.EvRecordSent,
+		Path:   pc.id,
+		Stream: c.StreamID,
+		A:      int64(len(c.Data)),
+		B:      int64(c.Offset),
+		C:      fin,
+	})
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
 	return pc.tls.WriteRecordContext(c.StreamID, record.EncodeStreamChunk(c))
@@ -203,6 +257,20 @@ func (pc *pathConn) handleDeath(err error) {
 // --- session-side dispatch ---
 
 func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
+	s.ctr.recordsRcvd.Add(1)
+	s.ctr.bytesRcvd.Add(uint64(len(chunk.Data)))
+	fin := int64(0)
+	if chunk.Fin {
+		fin = 1
+	}
+	s.trace().Emit(telemetry.Event{
+		Kind:   telemetry.EvRecordRecv,
+		Path:   pc.id,
+		Stream: chunk.StreamID,
+		A:      int64(len(chunk.Data)),
+		B:      int64(chunk.Offset),
+		C:      fin,
+	})
 	st := s.getOrCreateStream(chunk.StreamID, pc)
 	if st == nil {
 		return
@@ -211,6 +279,12 @@ func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
 }
 
 func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
+	s.ctr.ctrlRcvd.Add(1)
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvCtrlRecv,
+		Path: pc.id,
+		S:    record.Type(f).String(),
+	})
 	switch fr := f.(type) {
 	case record.Ping:
 		pc.writeControl(record.Pong{Seq: fr.Seq})

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -167,6 +168,12 @@ type Config struct {
 	// (paths, streams, buffered bytes, handshake time). Zero fields take
 	// the package defaults.
 	Limits ResourceLimits
+	// Tracer receives structured session/path/stream/health events. A
+	// nil tracer (or one with no sink) is disabled at zero cost.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, receives the session's pull-mode vars under
+	// session.<n>.* (and per-path gauges under session.<n>.path.<id>.*).
+	Metrics *telemetry.Registry
 }
 
 // Clock abstracts timer scaling; netsim.Network implements it.
@@ -200,6 +207,8 @@ type Session struct {
 	role   Role
 	cfg    *Config
 	limits ResourceLimits // cfg.Limits with defaults applied
+	seq    uint32         // process-wide session number (metrics namespace)
+	ctr    sessionCounters
 
 	mu       sync.Mutex
 	conns    map[uint32]*pathConn
@@ -244,6 +253,7 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 		role:          role,
 		cfg:           cfg,
 		limits:        cfg.Limits.withDefaults(),
+		seq:           sessionSeq.Add(1),
 		conns:         make(map[uint32]*pathConn),
 		streams:       make(map[uint32]*Stream),
 		acceptCh:      make(chan *Stream, 64),
@@ -257,6 +267,7 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 	} else {
 		s.nextStreamID = 2 // server-initiated streams are even
 	}
+	s.registerSessionMetrics()
 	return s
 }
 
@@ -380,6 +391,22 @@ func (s *Session) registerPath(pc *pathConn) error {
 	}
 	s.conns[pc.id] = pc
 	s.mu.Unlock()
+	// Label the transport's own trace events with the TCPLS path id so
+	// tcp:* and path:* events correlate on one timeline.
+	if ts, ok := pc.tcp.(traceIDSetter); ok {
+		ts.SetTraceID(pc.id)
+	}
+	joined := int64(0)
+	if pc.joined {
+		joined = 1
+	}
+	s.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvPathJoin,
+		Path: pc.id,
+		A:    joined,
+		S:    pc.tcp.RemoteAddr().String(),
+	})
+	s.registerPathMetrics(pc)
 	go pc.readLoop()
 	s.startHealthMonitor()
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
@@ -483,6 +510,12 @@ func (s *Session) teardown(err error) {
 		st.terminate(termErr)
 	}
 	close(s.acceptCh)
+	reason := "orderly"
+	if err != nil {
+		reason = err.Error()
+	}
+	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionClose, S: reason})
+	s.unregisterSessionMetrics()
 	s.closeOnce.Do(func() {
 		if cb := s.cfg.Callbacks.SessionClosed; cb != nil {
 			cb(err)

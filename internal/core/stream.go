@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 )
 
 // Stream is one TCPLS datastream (§2.3): an ordered, reliable byte
@@ -82,6 +83,7 @@ func (s *Session) NewStream() (*Stream, error) {
 	st := newStream(s, id, false)
 	s.streams[id] = st
 	s.mu.Unlock()
+	s.trace().Emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id})
 	return st, nil
 }
 
@@ -131,6 +133,7 @@ func (s *Session) getOrCreateStream(id uint32, pc *pathConn) *Stream {
 	st.attached = pc
 	s.streams[id] = st
 	s.mu.Unlock()
+	s.trace().Emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id, A: 1})
 	select {
 	case s.acceptCh <- st:
 	default:
@@ -290,7 +293,13 @@ func (st *Stream) Close() error {
 	st.finSent = true
 	chunk := &record.StreamChunk{StreamID: st.id, Offset: st.sendOffset, Fin: true}
 	st.unacked = append(st.unacked, chunk)
+	final := st.sendOffset
 	st.mu.Unlock()
+	st.session.trace().Emit(telemetry.Event{
+		Kind:   telemetry.EvStreamClose,
+		Stream: st.id,
+		A:      int64(final),
+	})
 	pc := st.pickConn()
 	if pc == nil {
 		pc = st.session.waitForPath(30 * time.Second)
@@ -459,6 +468,9 @@ func (st *Stream) replayUnacked(pc *pathConn) {
 	chunks := append([]*record.StreamChunk(nil), st.unacked...)
 	st.attached = pc
 	st.mu.Unlock()
+	if len(chunks) > 0 {
+		st.session.ctr.replays.Add(uint64(len(chunks)))
+	}
 	for _, c := range chunks {
 		if err := pc.writeChunk(c); err != nil {
 			return

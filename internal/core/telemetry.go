@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// sessionSeq numbers sessions process-wide so each gets a distinct
+// metrics namespace (session.<n>.*) even when several share a registry
+// (a chaos run has at least a client and a server session).
+var sessionSeq atomic.Uint32
+
+// sessionCounters aggregates per-session activity for the registry.
+// Trace events answer "what happened when"; these answer "how much".
+type sessionCounters struct {
+	recordsSent atomic.Uint64
+	recordsRcvd atomic.Uint64
+	bytesSent   atomic.Uint64
+	bytesRcvd   atomic.Uint64
+	ctrlSent    atomic.Uint64
+	ctrlRcvd    atomic.Uint64
+	failovers   atomic.Uint64
+	degraded    atomic.Uint64
+	replays     atomic.Uint64
+}
+
+// trace returns the session's tracer; nil (a valid disabled tracer)
+// when the config carries none.
+func (s *Session) trace() *telemetry.Tracer { return s.cfg.Tracer }
+
+// metricsPrefix is the session's registry namespace.
+func (s *Session) metricsPrefix() string {
+	return fmt.Sprintf("session.%d.", s.seq)
+}
+
+// registerSessionMetrics publishes the session's pull-mode vars. Called
+// once from newSession when a registry is configured.
+func (s *Session) registerSessionMetrics() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	p := s.metricsPrefix()
+	reg.Func(p+"conns", func() int64 { return int64(s.NumConns()) })
+	reg.Func(p+"streams", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.streams))
+	})
+	reg.Func(p+"cookies_left", func() int64 { return int64(s.CookiesLeft()) })
+	reg.Func(p+"records_sent", func() int64 { return int64(s.ctr.recordsSent.Load()) })
+	reg.Func(p+"records_rcvd", func() int64 { return int64(s.ctr.recordsRcvd.Load()) })
+	reg.Func(p+"bytes_sent", func() int64 { return int64(s.ctr.bytesSent.Load()) })
+	reg.Func(p+"bytes_rcvd", func() int64 { return int64(s.ctr.bytesRcvd.Load()) })
+	reg.Func(p+"ctrl_sent", func() int64 { return int64(s.ctr.ctrlSent.Load()) })
+	reg.Func(p+"ctrl_rcvd", func() int64 { return int64(s.ctr.ctrlRcvd.Load()) })
+	reg.Func(p+"failovers", func() int64 { return int64(s.ctr.failovers.Load()) })
+	reg.Func(p+"paths_degraded", func() int64 { return int64(s.ctr.degraded.Load()) })
+	reg.Func(p+"replays", func() int64 { return int64(s.ctr.replays.Load()) })
+}
+
+// registerPathMetrics publishes one path's health gauges under
+// session.<n>.path.<id>.*; unregisterPathMetrics removes them when the
+// path dies so a long-lived session does not accumulate dead vars.
+func (s *Session) registerPathMetrics(pc *pathConn) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	p := fmt.Sprintf("%spath.%d.", s.metricsPrefix(), pc.id)
+	reg.Func(p+"srtt_ns", func() int64 {
+		return int64(pc.healthSnapshot(s).SRTT)
+	})
+	reg.Func(p+"probes_sent", func() int64 {
+		return int64(pc.healthSnapshot(s).ProbesSent)
+	})
+	reg.Func(p+"pongs_recv", func() int64 {
+		return int64(pc.healthSnapshot(s).PongsReceived)
+	})
+	reg.Func(p+"outstanding_probes", func() int64 {
+		return int64(pc.healthSnapshot(s).Outstanding)
+	})
+}
+
+func (s *Session) unregisterPathMetrics(pc *pathConn) {
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.UnregisterPrefix(fmt.Sprintf("%spath.%d.", s.metricsPrefix(), pc.id))
+	}
+}
+
+// unregisterSessionMetrics drops everything under the session's
+// namespace; called from teardown.
+func (s *Session) unregisterSessionMetrics() {
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.UnregisterPrefix(s.metricsPrefix())
+	}
+}
+
+// traceIDSetter is the optional transport hook (tcpnet.Conn has it)
+// that labels the TCP connection's own trace events with the TCPLS path
+// id, so tcp:* and path:* events correlate on one timeline.
+type traceIDSetter interface {
+	SetTraceID(id uint32)
+}

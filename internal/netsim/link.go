@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -57,6 +58,8 @@ type Link struct {
 	ab   *linkDir // a -> b
 	ba   *linkDir // b -> a
 
+	ctr linkCounters
+
 	mu       sync.Mutex
 	mboxes   []Middlebox
 	downABi  bool // direction a->b administratively down
@@ -64,6 +67,82 @@ type Link struct {
 	stallABi bool // direction a->b stalled (silent blackhole)
 	stallBAi bool
 	lossBits atomic.Uint64 // dynamic loss probability (math.Float64bits)
+}
+
+// linkCounters aggregates both directions of a link. All atomics:
+// transmit/drain run on independent goroutines.
+type linkCounters struct {
+	sent, sentBytes           atomic.Uint64
+	delivered, deliveredBytes atomic.Uint64
+	dropQueue                 atomic.Uint64 // drop-tail queue overflow (bandwidth backlog or channel full)
+	dropLoss                  atomic.Uint64 // injected random loss
+	dropDown                  atomic.Uint64 // administratively down
+	dropStall                 atomic.Uint64 // silent stall fault
+	dropMbox                  atomic.Uint64 // eaten by a middlebox
+	queueHWM                  atomic.Int64  // max observed queue occupancy, bytes
+}
+
+// LinkStats is a snapshot of a link's counters — the "why did my
+// packets die" view experiments assert on.
+type LinkStats struct {
+	Sent, SentBytes           uint64
+	Delivered, DeliveredBytes uint64
+	DropQueue                 uint64
+	DropLoss                  uint64
+	DropDown                  uint64
+	DropStall                 uint64
+	DropMbox                  uint64
+	QueueHighWater            int64
+}
+
+// Drops sums the per-cause drop counters.
+func (s LinkStats) Drops() uint64 {
+	return s.DropQueue + s.DropLoss + s.DropDown + s.DropStall + s.DropMbox
+}
+
+// Stats snapshots the link's counters (both directions combined).
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		Sent:           l.ctr.sent.Load(),
+		SentBytes:      l.ctr.sentBytes.Load(),
+		Delivered:      l.ctr.delivered.Load(),
+		DeliveredBytes: l.ctr.deliveredBytes.Load(),
+		DropQueue:      l.ctr.dropQueue.Load(),
+		DropLoss:       l.ctr.dropLoss.Load(),
+		DropDown:       l.ctr.dropDown.Load(),
+		DropStall:      l.ctr.dropStall.Load(),
+		DropMbox:       l.ctr.dropMbox.Load(),
+		QueueHighWater: l.ctr.queueHWM.Load(),
+	}
+}
+
+// RegisterMetrics exposes the link's counters as pull-style vars under
+// netsim.link.<name>.* in the registry.
+func (l *Link) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "netsim.link." + l.cfg.Name + "."
+	u := func(name string, v *atomic.Uint64) {
+		reg.Func(prefix+name, func() int64 { return int64(v.Load()) })
+	}
+	u("sent", &l.ctr.sent)
+	u("sent_bytes", &l.ctr.sentBytes)
+	u("delivered", &l.ctr.delivered)
+	u("delivered_bytes", &l.ctr.deliveredBytes)
+	u("drop_queue", &l.ctr.dropQueue)
+	u("drop_loss", &l.ctr.dropLoss)
+	u("drop_down", &l.ctr.dropDown)
+	u("drop_stall", &l.ctr.dropStall)
+	u("drop_mbox", &l.ctr.dropMbox)
+	reg.Func(prefix+"queue_high_water", func() int64 { return l.ctr.queueHWM.Load() })
+}
+
+// noteDrop counts a dropped packet by cause and mirrors it into the
+// telemetry trace.
+func (l *Link) noteDrop(ctr *atomic.Uint64, kind telemetry.EventKind, p *wire.Packet) {
+	ctr.Add(1)
+	l.net.tracer().Emit(telemetry.Event{Kind: kind, A: int64(p.Len()), S: l.cfg.Name})
 }
 
 // LinkEnd is one host's attachment to a link: transmitting on it sends
@@ -104,6 +183,8 @@ func (d *linkDir) drain(done <-chan struct{}) {
 				}
 			}
 			d.link.net.emit(TraceEvent{Kind: "recv", Host: d.dst.name, Packet: tp.p})
+			d.link.ctr.delivered.Add(1)
+			d.link.ctr.deliveredBytes.Add(uint64(tp.p.Len()))
 			d.dst.deliver(tp.p)
 		case <-done:
 			return
@@ -256,10 +337,12 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 	}
 	if l.isDown(e.dir) {
 		l.net.emit(TraceEvent{Kind: "drop-down", Link: l.cfg.Name, Packet: p})
+		l.noteDrop(&l.ctr.dropDown, telemetry.EvLinkDropDown, p)
 		return
 	}
 	if l.isStalled(e.dir) {
 		l.net.emit(TraceEvent{Kind: "drop-stall", Link: l.cfg.Name, Packet: p})
+		l.noteDrop(&l.ctr.dropStall, telemetry.EvLinkDropStall, p)
 		return
 	}
 	// Middlebox chain. Forward-direction results continue down the link;
@@ -280,6 +363,7 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 			}
 			if len(out) == 0 {
 				l.net.emit(TraceEvent{Kind: "drop-mbox", Link: l.cfg.Name, Packet: q})
+				l.noteDrop(&l.ctr.dropMbox, telemetry.EvLinkDropMbox, q)
 			}
 		}
 		fwd = next
@@ -296,6 +380,7 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 	cfg := l.cfg
 	if loss := l.Loss(); loss > 0 && l.net.lossDraw() < loss {
 		l.net.emit(TraceEvent{Kind: "drop-loss", Link: cfg.Name, Packet: p})
+		l.noteDrop(&l.ctr.dropLoss, telemetry.EvLinkDropLoss, p)
 		return
 	}
 	size := p.Len()
@@ -319,18 +404,38 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 		if int(queued) > cfg.QueueBytes {
 			d.mu.Unlock()
 			l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
+			l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
 			return
 		}
+		l.noteQueueDepth(int64(queued) + int64(size))
 	}
 	d.nextFree = d.nextFree.Add(l.net.ScaleDuration(txTime))
 	departIn := d.nextFree.Sub(now)
 	d.mu.Unlock()
 
 	l.net.emit(TraceEvent{Kind: "send", Link: cfg.Name, Packet: p})
+	l.ctr.sent.Add(1)
+	l.ctr.sentBytes.Add(uint64(size))
 	deliverAt := now.Add(departIn + l.net.ScaleDuration(cfg.Delay))
 	select {
 	case d.inflight <- timedPacket{p, deliverAt}:
 	default:
 		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
+		l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
+	}
+}
+
+// noteQueueDepth records queue occupancy, tracing each new high-water
+// mark (a monotone, hence bounded, event stream).
+func (l *Link) noteQueueDepth(bytes int64) {
+	for {
+		cur := l.ctr.queueHWM.Load()
+		if bytes <= cur {
+			return
+		}
+		if l.ctr.queueHWM.CompareAndSwap(cur, bytes) {
+			l.net.tracer().Emit(telemetry.Event{Kind: telemetry.EvLinkQueue, A: bytes, S: l.cfg.Name})
+			return
+		}
 	}
 }

@@ -17,8 +17,10 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -27,6 +29,11 @@ type Network struct {
 	scale float64
 	start time.Time
 	done  chan struct{}
+
+	// tele receives structured link events (queue growth, drops by
+	// cause). Atomic so it can be attached while traffic flows; a nil
+	// tracer is disabled at zero cost.
+	tele atomic.Pointer[telemetry.Tracer]
 
 	mu    sync.Mutex
 	hosts map[string]*Host
@@ -65,6 +72,11 @@ func WithSeed(seed int64) Option {
 // the tcpdump-like tracer in cmd/tcpls-trace and by tests.
 func WithTrace(fn func(TraceEvent)) Option {
 	return func(n *Network) { n.trace = fn }
+}
+
+// WithTracer attaches a structured telemetry tracer; see SetTracer.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(n *Network) { n.tele.Store(t) }
 }
 
 // New creates an empty network.
@@ -113,6 +125,21 @@ func (n *Network) Now() time.Time { return time.Now() }
 func (n *Network) VirtualSince(t time.Time) time.Duration {
 	return time.Duration(float64(time.Since(t)) / n.scale)
 }
+
+// VirtualNow returns the virtual time elapsed since the network was
+// created — the shared clock for telemetry tracers, so events stamped
+// by different endpoints land on one timeline.
+func (n *Network) VirtualNow() time.Duration {
+	return n.VirtualSince(n.start)
+}
+
+// SetTracer attaches (or with nil detaches) the structured telemetry
+// tracer that receives link-level events: drops by cause and queue
+// high-water marks. Distinct from WithTrace, which sees every packet;
+// the telemetry tracer sees only the events experiments assert on.
+func (n *Network) SetTracer(t *telemetry.Tracer) { n.tele.Store(t) }
+
+func (n *Network) tracer() *telemetry.Tracer { return n.tele.Load() }
 
 // ScaleDuration converts an emulated duration into the wall-clock
 // duration it should take under the current time scale.

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// TestLinkStatsDropCauses asserts that each drop path is attributed to
+// its cause — the "why did my packets die" satellite.
+func TestLinkStatsDropCauses(t *testing.T) {
+	n := New(WithSeed(7))
+	ring := telemetry.NewRingSink(1 << 12)
+	n.SetTracer(telemetry.NewTracer(
+		telemetry.WithEndpoint("net"),
+		telemetry.WithClock(n.VirtualNow),
+		telemetry.WithSink(ring),
+	))
+	a, b := n.Host("a"), n.Host("b")
+	l := n.AddLink(a, b, cAddr, sAddr, LinkConfig{BandwidthBps: 1e6, QueueBytes: 3000})
+
+	// Queue overflow: burst far beyond the 3 KB queue.
+	for i := 0; i < 50; i++ {
+		a.Send(tcpPacket(cAddr, sAddr, dataSeg(1000)))
+	}
+	time.Sleep(100 * time.Millisecond)
+	st := l.Stats()
+	if st.DropQueue == 0 {
+		t.Fatalf("no queue drops recorded: %+v", st)
+	}
+	if st.Sent == 0 || st.Delivered == 0 {
+		t.Fatalf("sent/delivered not counted: %+v", st)
+	}
+	if st.QueueHighWater <= 0 {
+		t.Fatalf("queue high-water mark not tracked: %+v", st)
+	}
+
+	// Administrative down.
+	l.SetDown(true)
+	a.Send(tcpPacket(cAddr, sAddr, dataSeg(10)))
+	l.SetDown(false)
+
+	// Silent stall.
+	l.SetStall(AtoB, true)
+	a.Send(tcpPacket(cAddr, sAddr, dataSeg(10)))
+	l.SetStall(AtoB, false)
+
+	// Injected loss: loss=1 clamps to ~0.999999, so a handful of sends
+	// statistically all drop under the seeded RNG.
+	l.SetLoss(1)
+	for i := 0; i < 5; i++ {
+		a.Send(tcpPacket(cAddr, sAddr, dataSeg(10)))
+	}
+	l.SetLoss(0)
+	time.Sleep(50 * time.Millisecond)
+
+	st = l.Stats()
+	if st.DropDown != 1 {
+		t.Fatalf("DropDown = %d, want 1", st.DropDown)
+	}
+	if st.DropStall != 1 {
+		t.Fatalf("DropStall = %d, want 1", st.DropStall)
+	}
+	if st.DropLoss == 0 {
+		t.Fatalf("DropLoss = 0, want > 0")
+	}
+	if st.Drops() < st.DropQueue+st.DropDown+st.DropStall+st.DropLoss {
+		t.Fatalf("Drops() undercounts: %+v", st)
+	}
+
+	// The same causes must be visible in the structured trace.
+	var sawQueue, sawDown, sawStall, sawLoss, sawHWM bool
+	for _, ev := range ring.Events() {
+		if ev.S != l.Name() {
+			t.Fatalf("event names wrong link: %+v", ev)
+		}
+		if ev.EP != "net" {
+			t.Fatalf("event missing endpoint label: %+v", ev)
+		}
+		switch ev.Kind {
+		case telemetry.EvLinkDropQueue:
+			sawQueue = true
+		case telemetry.EvLinkDropDown:
+			sawDown = true
+		case telemetry.EvLinkDropStall:
+			sawStall = true
+		case telemetry.EvLinkDropLoss:
+			sawLoss = true
+		case telemetry.EvLinkQueue:
+			sawHWM = true
+		}
+	}
+	if !sawQueue || !sawDown || !sawStall || !sawLoss || !sawHWM {
+		t.Fatalf("trace missing causes: queue=%v down=%v stall=%v loss=%v hwm=%v",
+			sawQueue, sawDown, sawStall, sawLoss, sawHWM)
+	}
+}
+
+// TestLinkRegisterMetrics checks the pull-var export path.
+func TestLinkRegisterMetrics(t *testing.T) {
+	n := New()
+	a, b := n.Host("a"), n.Host("b")
+	l := n.AddLink(a, b, cAddr, sAddr, LinkConfig{Name: "v4"})
+	reg := telemetry.NewRegistry()
+	l.RegisterMetrics(reg)
+
+	a.Send(tcpPacket(cAddr, sAddr, dataSeg(100)))
+	a.Send(tcpPacket(cAddr, sAddr, dataSeg(100)))
+	time.Sleep(50 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	sent, ok := snap["netsim.link.v4.sent"].(int64)
+	if !ok || sent < 2 {
+		t.Fatalf("netsim.link.v4.sent = %v, want >= 2", snap["netsim.link.v4.sent"])
+	}
+}

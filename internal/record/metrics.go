@@ -1,0 +1,89 @@
+package record
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// String names the frame type for traces and pretty-printers.
+func (t FrameType) String() string {
+	switch t {
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	case FrameAck:
+		return "ack"
+	case FrameStreamOpen:
+		return "stream_open"
+	case FrameStreamClose:
+		return "stream_close"
+	case FrameAddAddress:
+		return "add_address"
+	case FrameRemoveAddress:
+		return "remove_address"
+	case FrameBPFCC:
+		return "bpf_cc"
+	case FrameSessionClose:
+		return "session_close"
+	case FrameConnClose:
+		return "conn_close"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Type reports the control frame's wire type; the exported face of the
+// unexported frameType used by the codec.
+func Type(f Frame) FrameType { return f.frameType() }
+
+// codecCounters aggregates codec activity stack-wide. The codec has no
+// natural per-session handle (it is called from every path of every
+// session), so the counters are package-level atomics, snapshotted into
+// a registry on demand.
+var codecCtr struct {
+	recordsEncoded atomic.Uint64
+	recordsDecoded atomic.Uint64
+	bytesEncoded   atomic.Uint64
+	bytesDecoded   atomic.Uint64
+	framesEncoded  atomic.Uint64
+	framesDecoded  atomic.Uint64
+	decodeErrors   atomic.Uint64
+}
+
+// CodecStats is a point-in-time snapshot of codec activity.
+type CodecStats struct {
+	RecordsEncoded uint64
+	RecordsDecoded uint64
+	BytesEncoded   uint64
+	BytesDecoded   uint64
+	FramesEncoded  uint64
+	FramesDecoded  uint64
+	DecodeErrors   uint64
+}
+
+// Stats snapshots the package-wide codec counters.
+func Stats() CodecStats {
+	return CodecStats{
+		RecordsEncoded: codecCtr.recordsEncoded.Load(),
+		RecordsDecoded: codecCtr.recordsDecoded.Load(),
+		BytesEncoded:   codecCtr.bytesEncoded.Load(),
+		BytesDecoded:   codecCtr.bytesDecoded.Load(),
+		FramesEncoded:  codecCtr.framesEncoded.Load(),
+		FramesDecoded:  codecCtr.framesDecoded.Load(),
+		DecodeErrors:   codecCtr.decodeErrors.Load(),
+	}
+}
+
+// RegisterCodecMetrics exposes the codec counters under
+// record.codec.* as pull-mode vars in reg.
+func RegisterCodecMetrics(reg *telemetry.Registry) {
+	reg.Func("record.codec.records_encoded", func() int64 { return int64(codecCtr.recordsEncoded.Load()) })
+	reg.Func("record.codec.records_decoded", func() int64 { return int64(codecCtr.recordsDecoded.Load()) })
+	reg.Func("record.codec.bytes_encoded", func() int64 { return int64(codecCtr.bytesEncoded.Load()) })
+	reg.Func("record.codec.bytes_decoded", func() int64 { return int64(codecCtr.bytesDecoded.Load()) })
+	reg.Func("record.codec.frames_encoded", func() int64 { return int64(codecCtr.framesEncoded.Load()) })
+	reg.Func("record.codec.frames_decoded", func() int64 { return int64(codecCtr.framesDecoded.Load()) })
+	reg.Func("record.codec.decode_errors", func() int64 { return int64(codecCtr.decodeErrors.Load()) })
+}

@@ -1,0 +1,59 @@
+package record
+
+import (
+	"testing"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+func TestFrameTypeString(t *testing.T) {
+	cases := map[FrameType]string{
+		FramePing:         "ping",
+		FramePong:         "pong",
+		FrameAck:          "ack",
+		FrameStreamOpen:   "stream_open",
+		FrameStreamClose:  "stream_close",
+		FrameSessionClose: "session_close",
+		FrameType(99):     "frame(99)",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+	if Type(Ping{}) != FramePing {
+		t.Errorf("Type(Ping{}) = %v", Type(Ping{}))
+	}
+}
+
+func TestCodecCounters(t *testing.T) {
+	before := Stats()
+	pt := Encode(TTypeAppData, []byte("hello"))
+	if _, _, err := Decode(pt); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := EncodeControl(Ping{Seq: 1}, Pong{Seq: 1})
+	if _, err := DecodeControl(ctrl[:len(ctrl)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeControl([]byte{0xff, 0x00, 0x00}); err == nil {
+		t.Fatal("bad frame decoded without error")
+	}
+	after := Stats()
+	if after.RecordsEncoded <= before.RecordsEncoded {
+		t.Errorf("RecordsEncoded did not advance: %+v", after)
+	}
+	if after.FramesDecoded < before.FramesDecoded+2 {
+		t.Errorf("FramesDecoded = %d, want >= %d", after.FramesDecoded, before.FramesDecoded+2)
+	}
+	if after.DecodeErrors <= before.DecodeErrors {
+		t.Errorf("DecodeErrors did not advance: %+v", after)
+	}
+
+	reg := telemetry.NewRegistry()
+	RegisterCodecMetrics(reg)
+	snap := reg.Snapshot()
+	if v, ok := snap["record.codec.records_encoded"].(int64); !ok || v < 1 {
+		t.Errorf("record.codec.records_encoded = %v", snap["record.codec.records_encoded"])
+	}
+}

@@ -49,6 +49,8 @@ var (
 // Encode appends the TType trailer to payload, producing the plaintext
 // handed to the TLS record protection.
 func Encode(t TType, payload []byte) []byte {
+	codecCtr.recordsEncoded.Add(1)
+	codecCtr.bytesEncoded.Add(uint64(len(payload)))
 	out := make([]byte, 0, len(payload)+1)
 	out = append(out, payload...)
 	return append(out, byte(t))
@@ -57,8 +59,11 @@ func Encode(t TType, payload []byte) []byte {
 // Decode splits a decrypted TLS record payload into TType and content.
 func Decode(plaintext []byte) (TType, []byte, error) {
 	if len(plaintext) == 0 {
+		codecCtr.decodeErrors.Add(1)
 		return 0, nil, ErrEmpty
 	}
+	codecCtr.recordsDecoded.Add(1)
+	codecCtr.bytesDecoded.Add(uint64(len(plaintext) - 1))
 	return TType(plaintext[len(plaintext)-1]), plaintext[:len(plaintext)-1], nil
 }
 
@@ -317,6 +322,7 @@ func (f ConnClose) encodeBody(b []byte) []byte {
 // EncodeControl packs frames into one control-record plaintext
 // (including the TType trailer).
 func EncodeControl(frames ...Frame) []byte {
+	codecCtr.framesEncoded.Add(uint64(len(frames)))
 	var b []byte
 	for _, f := range frames {
 		b = append(b, byte(f.frameType()))
@@ -339,24 +345,29 @@ func DecodeControl(b []byte) ([]Frame, error) {
 	var frames []Frame
 	for len(b) > 0 {
 		if len(frames) >= MaxControlFrames {
+			codecCtr.decodeErrors.Add(1)
 			return nil, fmt.Errorf("%w: more than %d frames in one record", ErrBadFrame, MaxControlFrames)
 		}
 		if len(b) < 3 {
+			codecCtr.decodeErrors.Add(1)
 			return nil, ErrBadFrame
 		}
 		ft := FrameType(b[0])
 		n := int(binary.BigEndian.Uint16(b[1:]))
 		if len(b) < 3+n {
+			codecCtr.decodeErrors.Add(1)
 			return nil, ErrBadFrame
 		}
 		body := b[3 : 3+n]
 		b = b[3+n:]
 		f, err := decodeFrame(ft, body)
 		if err != nil {
+			codecCtr.decodeErrors.Add(1)
 			return nil, err
 		}
 		frames = append(frames, f)
 	}
+	codecCtr.framesDecoded.Add(uint64(len(frames)))
 	return frames, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -132,6 +133,51 @@ type Conn struct {
 	timeWaitTimer *time.Timer
 
 	stats Stats
+
+	// traceID labels this connection's telemetry events. It defaults to
+	// a stack-local id in a reserved range; the TCPLS session layer
+	// overrides it (SetTraceID) with the path id so TCP events line up
+	// with path events in one trace.
+	traceID uint32
+}
+
+// traceIDBase keeps default conn trace ids out of the small-integer
+// space used by TCPLS path ids.
+const traceIDBase = 1 << 30
+
+// trace returns the stack's tracer; nil (disabled) is a valid result.
+func (c *Conn) trace() *telemetry.Tracer { return c.stack.config.Tracer }
+
+// setState transitions the RFC 793 state machine, tracing the change.
+// Caller holds c.mu.
+func (c *Conn) setState(s state) {
+	if c.st == s {
+		return
+	}
+	c.st = s
+	c.trace().Emit(telemetry.Event{Kind: telemetry.EvTCPState, Path: c.traceID, S: stateNames[s]})
+}
+
+// SetTraceID relabels this connection's telemetry events — the
+// cross-layer hook letting the TCPLS session layer stamp TCP events
+// with the owning path's id.
+func (c *Conn) SetTraceID(id uint32) {
+	c.mu.Lock()
+	c.traceID = id
+	c.mu.Unlock()
+}
+
+// noteChallengeAck books an RFC 5961 challenge ACK in the per-conn and
+// stack counters and the trace. Caller holds c.mu.
+func (c *Conn) noteChallengeAck(seq uint32) {
+	c.stats.ChallengeAcks++
+	c.stack.ctr.challengeAcks.Add(1)
+	c.trace().Emit(telemetry.Event{Kind: telemetry.EvTCPChallengeAck, Path: c.traceID, A: int64(seq)})
+}
+
+// noteDrop traces a hardening drop with its cause. Caller holds c.mu.
+func (c *Conn) noteDrop(cause string, bytes int) {
+	c.trace().Emit(telemetry.Event{Kind: telemetry.EvTCPDrop, Path: c.traceID, A: int64(bytes), S: cause})
 }
 
 // Stats counts protocol events for introspection and tests.
@@ -203,6 +249,8 @@ func newConn(s *Stack, local, remote netip.AddrPort, active bool) *Conn {
 	c.iss = s.rng.Uint32()
 	s.mu.Unlock()
 	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.traceID = traceIDBase | s.connSeq.Add(1)
+	s.ctr.connsOpened.Add(1)
 	if !active {
 		c.st = stateListen
 	}
@@ -214,7 +262,7 @@ func newConn(s *Stack, local, remote netip.AddrPort, active bool) *Conn {
 func (c *Conn) startConnect() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.st = stateSynSent
+	c.setState(stateSynSent)
 	c.sendSYN(false)
 	c.armRetransmit()
 }
@@ -254,6 +302,7 @@ func (c *Conn) input(seg *wire.Segment) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.SegsRcvd++
+	c.stack.ctr.segsRcvd.Add(1)
 
 	switch c.st {
 	case stateListen:
@@ -265,7 +314,7 @@ func (c *Conn) input(seg *wire.Segment) {
 		c.rcvNxt = seg.Seq + 1
 		c.processSynOptions(seg)
 		c.sndWnd = int(seg.Window) // unscaled in SYN
-		c.st = stateSynRcvd
+		c.setState(stateSynRcvd)
 		c.sendSYN(true)
 		c.armRetransmit()
 		return
@@ -292,7 +341,7 @@ func (c *Conn) input(seg *wire.Segment) {
 		// challenge ACK and drop. If the peer genuinely restarted, the
 		// ACK elicits a RST at the exact sequence handleRST accepts; a
 		// blind injector gets nothing.
-		c.stats.ChallengeAcks++
+		c.noteChallengeAck(seg.Seq)
 		c.sendAck()
 		return
 	}
@@ -325,7 +374,7 @@ func (c *Conn) inputSynSent(seg *wire.Segment) {
 	c.sndUna = seg.Ack
 	c.processSynOptions(seg)
 	c.sndWnd = int(seg.Window) // SYN windows are unscaled
-	c.st = stateEstablished
+	c.setState(stateEstablished)
 	c.cancelRetransmit()
 	c.rtoBackoff = 0
 	c.sendAck()
@@ -383,9 +432,12 @@ func (c *Conn) handleRST(seg *wire.Segment) {
 		// in response to our SYN+ACK. Require the exact expected sequence.
 		if seg.Seq == c.rcvNxt {
 			c.stats.SpuriousRsts++
+			c.stack.ctr.spuriousRsts.Add(1)
 			c.failLocked(ErrReset)
 		} else {
 			c.stats.RstsDropped++
+			c.stack.ctr.rstsDropped.Add(1)
+			c.noteDrop("rst-out-of-window", 0)
 		}
 		return
 	}
@@ -393,15 +445,18 @@ func (c *Conn) handleRST(seg *wire.Segment) {
 	switch {
 	case seg.Seq == c.rcvNxt:
 		c.stats.SpuriousRsts++
+		c.stack.ctr.spuriousRsts.Add(1)
 		c.failLocked(ErrReset)
 	case wnd > 0 && seqLT(c.rcvNxt, seg.Seq) && seqLT(seg.Seq, c.rcvNxt+wnd):
 		// In-window but not exact: challenge ACK. A legitimate peer that
 		// really did reset answers our ACK with another RST, now at the
 		// sequence the ACK told it; a forger learns nothing.
-		c.stats.ChallengeAcks++
+		c.noteChallengeAck(seg.Seq)
 		c.sendAck()
 	default:
 		c.stats.RstsDropped++
+		c.stack.ctr.rstsDropped.Add(1)
+		c.noteDrop("rst-out-of-window", 0)
 	}
 }
 
@@ -411,7 +466,7 @@ func (c *Conn) handleRST(seg *wire.Segment) {
 func (c *Conn) processAck(seg *wire.Segment) bool {
 	if c.st == stateSynRcvd {
 		if seg.Ack == c.sndNxt {
-			c.st = stateEstablished
+			c.setState(stateEstablished)
 			c.cancelRetransmit()
 			c.rtoBackoff = 0
 			c.estOnce.Do(func() { close(c.established) })
@@ -432,7 +487,7 @@ func (c *Conn) processAck(seg *wire.Segment) bool {
 		// injection signature. Challenge-ACK so a legitimate but
 		// desynchronized peer can resynchronize, and drop the segment —
 		// payload included — so injected data never reaches the stream.
-		c.stats.ChallengeAcks++
+		c.noteChallengeAck(seg.Seq)
 		c.sendAck()
 		return false
 	}
@@ -504,6 +559,13 @@ func (c *Conn) processAck(seg *wire.Segment) bool {
 		} else {
 			c.ctrl.OnAck(acked, rtt, c.bytesInFlight())
 		}
+		c.trace().Emit(telemetry.Event{
+			Kind: telemetry.EvTCPCwnd,
+			Path: c.traceID,
+			A:    int64(c.ctrl.CWnd()),
+			B:    int64(c.ctrl.Ssthresh()),
+			C:    int64(c.bytesInFlight()),
+		})
 
 		if c.bytesInFlight() == 0 && !c.finSent {
 			c.cancelRetransmit()
@@ -529,6 +591,7 @@ func (c *Conn) processAck(seg *wire.Segment) bool {
 		if isDup {
 			c.dupAcks++
 			c.stats.DupAcksRcvd++
+			c.stack.ctr.dupAcksRcvd.Add(1)
 			if c.dupAcks == 3 && !c.inRecovery && !seqLT(c.sndUna, c.rtoRecover) {
 				// The rtoRecover guard (RFC 5681 §4.3 spirit) stops the
 				// dupacks generated by go-back-N resends of delivered
@@ -554,7 +617,7 @@ func (c *Conn) processAck(seg *wire.Segment) bool {
 func (c *Conn) ourFinAcked() {
 	switch c.st {
 	case stateFinWait1:
-		c.st = stateFinWait2
+		c.setState(stateFinWait2)
 		c.cancelRetransmit()
 	case stateClosing:
 		c.enterTimeWait()
@@ -590,6 +653,8 @@ func (c *Conn) processData(seg *wire.Segment) {
 	// the advertised window, so count these.
 	if avail := c.recvSpace(); len(data) > avail {
 		c.stats.WindowDrops++
+		c.stack.ctr.windowDrops.Add(1)
+		c.noteDrop("window", len(data)-avail)
 		data = data[:avail]
 		fin = false
 	}
@@ -611,16 +676,17 @@ func (c *Conn) ingest(data []byte, fin bool) {
 		c.rcvBuf = append(c.rcvBuf, data...)
 		c.rcvNxt += uint32(len(data))
 		c.stats.BytesRcvd += uint64(len(data))
+		c.stack.ctr.bytesRcvd.Add(uint64(len(data)))
 	}
 	if fin && !c.peerFin {
 		c.peerFin = true
 		c.rcvNxt++
 		switch c.st {
 		case stateEstablished:
-			c.st = stateCloseWait
+			c.setState(stateCloseWait)
 		case stateFinWait1:
 			// Our FIN is unacked: simultaneous close.
-			c.st = stateClosing
+			c.setState(stateClosing)
 		case stateFinWait2:
 			c.enterTimeWait()
 		}
@@ -641,12 +707,16 @@ func (c *Conn) insertOOO(s oooSeg) {
 	}
 	if total+len(s.data) > c.stack.config.RecvBuf {
 		c.stats.OOODrops++
+		c.stack.ctr.oooDrops.Add(1)
+		c.noteDrop("ooo-overflow", len(s.data))
 		return
 	}
 	for i, o := range c.ooo {
 		if seqLT(s.seq, o.seq) {
 			if len(c.ooo) >= c.stack.config.MaxOOOSegments {
 				c.stats.OOODrops++
+				c.stack.ctr.oooDrops.Add(1)
+				c.noteDrop("ooo-overflow", len(s.data))
 				return
 			}
 			c.ooo = append(c.ooo[:i], append([]oooSeg{s}, c.ooo[i:]...)...)
@@ -661,6 +731,8 @@ func (c *Conn) insertOOO(s oooSeg) {
 	}
 	if len(c.ooo) >= c.stack.config.MaxOOOSegments {
 		c.stats.OOODrops++
+		c.stack.ctr.oooDrops.Add(1)
+		c.noteDrop("ooo-overflow", len(s.data))
 		return
 	}
 	c.ooo = append(c.ooo, s)
@@ -799,6 +871,7 @@ func (c *Conn) sendAck() {
 // transmit serializes and hands the segment to the host. Caller holds c.mu.
 func (c *Conn) transmit(seg *wire.Segment) {
 	c.stats.SegsSent++
+	c.stack.ctr.segsSent.Add(1)
 	c.stack.sendSegment(c.local.Addr(), c.remote.Addr(), seg)
 }
 
@@ -810,7 +883,10 @@ func (c *Conn) teardown(err error) {
 	if c.st == stateClosed && c.err != nil {
 		return
 	}
-	c.st = stateClosed
+	if c.st != stateClosed {
+		c.stack.ctr.connsClosed.Add(1)
+	}
+	c.setState(stateClosed)
 	if c.err == nil {
 		c.err = err
 	}
@@ -841,7 +917,7 @@ func (c *Conn) fail(err error) {
 }
 
 func (c *Conn) enterTimeWait() {
-	c.st = stateTimeWait
+	c.setState(stateTimeWait)
 	c.cancelRetransmit()
 	if c.timeWaitTimer != nil {
 		c.timeWaitTimer.Stop()

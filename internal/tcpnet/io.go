@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -115,6 +116,7 @@ func (c *Conn) maybeSendLocked() {
 			c.sndMax = c.sndNxt
 		}
 		c.stats.BytesSent += uint64(n)
+		c.stack.ctr.bytesSent.Add(uint64(n))
 		if isNew {
 			if !c.rttPending {
 				c.rttPending = true
@@ -155,9 +157,9 @@ func (c *Conn) sendFIN() {
 	c.armRetransmit()
 	switch c.st {
 	case stateEstablished:
-		c.st = stateFinWait1
+		c.setState(stateFinWait1)
 	case stateCloseWait:
-		c.st = stateLastAck
+		c.setState(stateLastAck)
 	}
 }
 
@@ -329,6 +331,14 @@ func (c *Conn) onProbeTimeout() {
 				Payload: c.sndBuf[startOff:endOff],
 			}
 			c.stats.Retransmits++
+			c.stack.ctr.retransmits.Add(1)
+			c.trace().Emit(telemetry.Event{
+				Kind: telemetry.EvTCPRetransmit,
+				Path: c.traceID,
+				A:    int64(seg.Seq),
+				B:    int64(n),
+				S:    "tlp",
+			})
 			c.rttPending = false
 			c.txLog = nil
 			c.transmit(seg)
@@ -389,7 +399,14 @@ func (c *Conn) onRetransmitTimeout() {
 		return
 	}
 	c.stats.Timeouts++
+	c.stack.ctr.timeouts.Add(1)
 	c.rtoBackoff++
+	c.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvTCPRTO,
+		Path: c.traceID,
+		A:    int64(c.rtoBackoff),
+		B:    int64(c.currentRTO()),
+	})
 	c.rttPending = false // Karn's algorithm
 	c.sacked = nil
 	c.inRecovery = false
@@ -399,6 +416,7 @@ func (c *Conn) onRetransmitTimeout() {
 	// send path resend it under the collapsed window. Duplicate arrivals
 	// are trimmed by the receiver.
 	c.stats.Retransmits++
+	c.stack.ctr.retransmits.Add(1)
 	c.txLog = nil
 	c.rtoRecover = c.sndMax
 	c.sndNxt = c.sndUna
@@ -443,6 +461,12 @@ func (c *Conn) enterFastRecovery() {
 	c.recoveryEnd = c.sndNxt
 	c.rtxNext = c.sndUna
 	c.stats.FastRetransmits++
+	c.stack.ctr.fastRetransmits.Add(1)
+	c.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvTCPFastRetransmit,
+		Path: c.traceID,
+		A:    int64(c.sndUna),
+	})
 	c.ctrl.OnFastRetransmit(c.bytesInFlight())
 	c.sackRetransmit(2)
 }
@@ -505,6 +529,14 @@ func (c *Conn) sackRetransmit(budget int) {
 			Payload: c.sndBuf[off : off+n],
 		}
 		c.stats.Retransmits++
+		c.stack.ctr.retransmits.Add(1)
+		c.trace().Emit(telemetry.Event{
+			Kind: telemetry.EvTCPRetransmit,
+			Path: c.traceID,
+			A:    int64(c.rtxNext),
+			B:    int64(n),
+			S:    "sack",
+		})
 		c.rttPending = false // Karn
 		c.txLog = nil
 		c.transmit(seg)
@@ -546,6 +578,14 @@ func (c *Conn) retransmitOne() {
 				Window: c.windowField(),
 			}
 			c.stats.Retransmits++
+			c.stack.ctr.retransmits.Add(1)
+			c.trace().Emit(telemetry.Event{
+				Kind: telemetry.EvTCPRetransmit,
+				Path: c.traceID,
+				A:    int64(c.finSeq),
+				B:    0,
+				S:    "fin",
+			})
 			c.transmit(seg)
 		}
 		return
@@ -567,6 +607,14 @@ func (c *Conn) retransmitOne() {
 		Payload: c.sndBuf[:n],
 	}
 	c.stats.Retransmits++
+	c.stack.ctr.retransmits.Add(1)
+	c.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvTCPRetransmit,
+		Path: c.traceID,
+		A:    int64(c.sndUna),
+		B:    int64(n),
+		S:    "rto",
+	})
 	c.rttPending = false // Karn
 	c.transmit(seg)
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -65,6 +66,14 @@ type Stack struct {
 	host  *netsim.Host
 	clock *netsim.Network
 
+	// ctr aggregates protocol counters across every connection the
+	// stack ever carried. Unlike the per-conn Stats (snapshot via
+	// Conn.Info() under the conn mutex), these are plain atomics:
+	// readable at any time, from any goroutine, without touching a
+	// connection's lock — and they survive the connection itself.
+	ctr     stackCounters
+	connSeq atomic.Uint32
+
 	mu        sync.Mutex
 	conns     map[fourTuple]*Conn
 	listeners map[uint16]*Listener
@@ -74,6 +83,82 @@ type Stack struct {
 
 	// Config defaults applied to new connections.
 	config Config
+}
+
+// stackCounters mirrors the per-conn Stats fields as stack-wide
+// atomics, plus connection churn.
+type stackCounters struct {
+	segsSent, segsRcvd, bytesSent, bytesRcvd atomic.Uint64
+	retransmits, fastRetransmits, timeouts   atomic.Uint64
+	dupAcksRcvd, spuriousRsts                atomic.Uint64
+	challengeAcks, rstsDropped               atomic.Uint64
+	oooDrops, windowDrops, synDrops          atomic.Uint64
+	connsOpened, connsClosed                 atomic.Uint64
+}
+
+// StackStats is a snapshot of the stack-wide aggregates, including the
+// hostile-peer hardening counters (challenge ACKs and drops by cause).
+type StackStats struct {
+	SegsSent, SegsRcvd, BytesSent, BytesRcvd uint64
+	Retransmits, FastRetransmits, Timeouts   uint64
+	DupAcksRcvd, SpuriousRsts                uint64
+	ChallengeAcks, RstsDropped               uint64
+	OOODrops, WindowDrops, SYNDrops          uint64
+	ConnsOpened, ConnsClosed                 uint64
+}
+
+// Stats snapshots the stack-wide counters.
+func (s *Stack) Stats() StackStats {
+	return StackStats{
+		SegsSent:        s.ctr.segsSent.Load(),
+		SegsRcvd:        s.ctr.segsRcvd.Load(),
+		BytesSent:       s.ctr.bytesSent.Load(),
+		BytesRcvd:       s.ctr.bytesRcvd.Load(),
+		Retransmits:     s.ctr.retransmits.Load(),
+		FastRetransmits: s.ctr.fastRetransmits.Load(),
+		Timeouts:        s.ctr.timeouts.Load(),
+		DupAcksRcvd:     s.ctr.dupAcksRcvd.Load(),
+		SpuriousRsts:    s.ctr.spuriousRsts.Load(),
+		ChallengeAcks:   s.ctr.challengeAcks.Load(),
+		RstsDropped:     s.ctr.rstsDropped.Load(),
+		OOODrops:        s.ctr.oooDrops.Load(),
+		WindowDrops:     s.ctr.windowDrops.Load(),
+		SYNDrops:        s.ctr.synDrops.Load(),
+		ConnsOpened:     s.ctr.connsOpened.Load(),
+		ConnsClosed:     s.ctr.connsClosed.Load(),
+	}
+}
+
+// RegisterMetrics exposes the stack-wide counters as pull-style vars
+// under tcp.<name>.* in the registry (name defaults to the host name).
+// Called automatically by NewStack when Config.Metrics is set.
+func (s *Stack) RegisterMetrics(reg *telemetry.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	if name == "" {
+		name = s.host.Name()
+	}
+	prefix := "tcp." + name + "."
+	u := func(field string, v *atomic.Uint64) {
+		reg.Func(prefix+field, func() int64 { return int64(v.Load()) })
+	}
+	u("segs_sent", &s.ctr.segsSent)
+	u("segs_rcvd", &s.ctr.segsRcvd)
+	u("bytes_sent", &s.ctr.bytesSent)
+	u("bytes_rcvd", &s.ctr.bytesRcvd)
+	u("retransmits", &s.ctr.retransmits)
+	u("fast_retransmits", &s.ctr.fastRetransmits)
+	u("timeouts", &s.ctr.timeouts)
+	u("dup_acks_rcvd", &s.ctr.dupAcksRcvd)
+	u("spurious_rsts", &s.ctr.spuriousRsts)
+	u("challenge_acks", &s.ctr.challengeAcks)
+	u("rsts_dropped", &s.ctr.rstsDropped)
+	u("ooo_drops", &s.ctr.oooDrops)
+	u("window_drops", &s.ctr.windowDrops)
+	u("syn_backlog_drops", &s.ctr.synDrops)
+	u("conns_opened", &s.ctr.connsOpened)
+	u("conns_closed", &s.ctr.connsClosed)
 }
 
 // Config carries stack-wide defaults for new connections.
@@ -101,6 +186,15 @@ type Config struct {
 	// bookkeeping. Default RecvBuf/512 (at least 1024), which is far
 	// above anything MSS-sized segments can legitimately reach.
 	MaxOOOSegments int
+	// Tracer receives structured protocol events (state changes,
+	// retransmissions, cwnd updates, hardening drops). A nil tracer —
+	// or one with no sink — is disabled at zero per-event cost.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, receives the stack-wide counter registration
+	// (under tcp.<MetricsName or host name>.*).
+	Metrics *telemetry.Registry
+	// MetricsName overrides the host name in registered metric names.
+	MetricsName string
 }
 
 func (c *Config) fill() {
@@ -150,6 +244,9 @@ func NewStack(h *netsim.Host, config Config) *Stack {
 		config:    config,
 	}
 	h.Register(wire.ProtoTCP, s.input)
+	if config.Metrics != nil {
+		s.RegisterMetrics(config.Metrics, config.MetricsName)
+	}
 	return s
 }
 
@@ -391,6 +488,10 @@ func (l *Listener) inputSYN(local, remote netip.AddrPort, seg *wire.Segment) {
 	if l.halfOpen.Add(1) > int32(l.stack.config.SYNBacklog) {
 		l.halfOpen.Add(-1)
 		l.synDrops.Add(1)
+		l.stack.ctr.synDrops.Add(1)
+		l.stack.config.Tracer.Emit(telemetry.Event{
+			Kind: telemetry.EvTCPDrop, A: int64(len(seg.Payload)), S: "syn-backlog",
+		})
 		return
 	}
 	c := newConn(l.stack, local, remote, false)

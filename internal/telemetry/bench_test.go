@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTracerDisabled measures the no-sink emit path — the cost
+// every hot path pays when tracing is off. `make check` runs it with
+// -benchtime 10000x as the overhead guard; the real bound is the
+// paired zero-alloc test (TestDisabledTracerZeroAlloc).
+func BenchmarkTracerDisabled(b *testing.B) {
+	tr := NewTracer(WithEndpoint("client"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvTCPCwnd, Path: 1, A: int64(i), B: 20, C: 5})
+	}
+}
+
+// BenchmarkTracerNil measures the nil-tracer path (layer compiled with
+// no tracer configured at all).
+func BenchmarkTracerNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvRecordSent, Stream: 1, A: 1400, B: int64(i)})
+	}
+}
+
+// BenchmarkTracerDiscard measures the enabled path minus sink I/O:
+// clock stamp + atomic counters + interface dispatch.
+func BenchmarkTracerDiscard(b *testing.B) {
+	tr := NewTracer(
+		WithSink(&DiscardSink{}),
+		WithClock(func() time.Duration { return 42 }),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvTCPCwnd, Path: 1, A: int64(i), B: 20, C: 5})
+	}
+}
+
+// BenchmarkTracerRing measures the test-harness configuration.
+func BenchmarkTracerRing(b *testing.B) {
+	tr := NewTracer(
+		WithSink(NewRingSink(1<<16)),
+		WithClock(func() time.Duration { return 42 }),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvRecordRecv, Stream: 1, A: 1400, B: int64(i)})
+	}
+}
+
+// BenchmarkEventAppendJSON measures serialization (paid only by
+// writer-backed sinks).
+func BenchmarkEventAppendJSON(b *testing.B) {
+	ev := Event{
+		Time: 123456789, Kind: EvHealthPong, EP: "client",
+		Path: 2, A: 7, B: 1700000, C: 1650000,
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = ev.AppendJSON(buf[:0])
+	}
+}

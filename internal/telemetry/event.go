@@ -1,0 +1,466 @@
+// Package telemetry provides the observability layer for the TCPLS
+// stack: a qlog-flavored structured event tracer and an expvar-style
+// metrics registry.
+//
+// The tracer is designed for hot paths. Events are flat structs passed
+// by value, the Tracer is nil-safe (a nil *Tracer is a valid, disabled
+// tracer), and the no-sink path performs zero heap allocations — a
+// property enforced by TestDisabledTracerZeroAlloc and the
+// BenchmarkTracerDisabled benchmark wired into `make check`.
+//
+// The schema follows qlog's shape without its ceremony: each event is
+// one JSON object per line (JSONL) with a "category:event" name, a
+// relative timestamp, the emitting endpoint, and a small data object.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventKind enumerates every traced event across the stack. Kinds are
+// grouped by layer: tcp (userspace TCP machinery), record (TCPLS
+// record/control codec), session/stream/path/health (the core TCPLS
+// layer), and netsim (the packet-level emulator).
+type EventKind uint8
+
+const (
+	EvNone EventKind = iota
+
+	// tcpnet layer.
+	EvTCPState          // S=new state
+	EvTCPRetransmit     // A=seq, B=bytes
+	EvTCPFastRetransmit // A=snd_una
+	EvTCPRTO            // A=backoff, B=rto_ns
+	EvTCPCwnd           // A=cwnd, B=ssthresh, C=bytes_in_flight
+	EvTCPChallengeAck   // A=seg_seq
+	EvTCPDrop           // S=cause, A=bytes
+
+	// record layer (as used by core's paths).
+	EvRecordSent // Stream, A=len, B=offset, C=fin(0/1)
+	EvRecordRecv // Stream, A=len, B=offset, C=fin(0/1)
+	EvCtrlSent   // S=frame kind
+	EvCtrlRecv   // S=frame kind
+
+	// core session/stream lifecycle.
+	EvSessionStart // S=role, A=conn_id
+	EvSessionClose // S=reason
+	EvStreamOpen   // Stream, A=remote(0/1)
+	EvStreamClose  // Stream, A=final_offset
+
+	// core multipath lifecycle.
+	EvPathJoin     // Path, A=join(0=initial,1=JOIN), S=remote addr
+	EvPathClose    // Path, A=failed(0/1), S=reason
+	EvPathDegraded // Path, A=outstanding probes
+	EvPathFailover // Path=dead path, A=survivor path id (0 if none)
+
+	// core health monitor.
+	EvHealthPing // Path, A=seq
+	EvHealthPong // Path, A=seq, B=rtt_ns, C=srtt_ns
+
+	// netsim links.
+	EvLinkQueue     // S=link, A=queued bytes (new high-water mark)
+	EvLinkDropQueue // S=link, A=bytes
+	EvLinkDropLoss  // S=link, A=bytes
+	EvLinkDropDown  // S=link, A=bytes
+	EvLinkDropStall // S=link, A=bytes
+	EvLinkDropMbox  // S=link, A=bytes
+
+	evMax // sentinel
+)
+
+// Event is a single trace record. It is a flat value type on purpose:
+// emitting one must never allocate when tracing is disabled, and the
+// struct is small enough (~80 bytes) to pass by value through the
+// Sink interface without boxing.
+//
+// The A/B/C fields are kind-specific integer payloads and S is a
+// kind-specific string payload; the per-kind meaning is documented on
+// the EventKind constants and reflected in the JSON field names.
+type Event struct {
+	Time   time.Duration // relative to the tracer's epoch (virtual time under netsim)
+	Kind   EventKind
+	EP     string // endpoint label ("client", "server", "net", ...)
+	Path   uint32 // path / connection trace id, 0 if n/a
+	Stream uint32 // stream id, 0 if n/a
+	A      int64
+	B      int64
+	C      int64
+	S      string
+}
+
+// kindInfo maps a kind to its qlog-style name and the JSON keys of its
+// payload fields (empty key = field unused for this kind).
+type kindInfo struct {
+	name    string
+	a, b, c string
+	s       string
+}
+
+var kinds = [evMax]kindInfo{
+	EvTCPState:          {name: "tcp:state_updated", s: "new"},
+	EvTCPRetransmit:     {name: "tcp:retransmit", a: "seq", b: "bytes", s: "kind"},
+	EvTCPFastRetransmit: {name: "tcp:fast_retransmit", a: "snd_una"},
+	EvTCPRTO:            {name: "tcp:rto_expired", a: "backoff", b: "rto_ns"},
+	EvTCPCwnd:           {name: "tcp:metrics_updated", a: "cwnd", b: "ssthresh", c: "bytes_in_flight"},
+	EvTCPChallengeAck:   {name: "tcp:challenge_ack", a: "seq"},
+	EvTCPDrop:           {name: "tcp:segment_dropped", a: "bytes", s: "cause"},
+	EvRecordSent:        {name: "record:sent", a: "len", b: "offset", c: "fin"},
+	EvRecordRecv:        {name: "record:received", a: "len", b: "offset", c: "fin"},
+	EvCtrlSent:          {name: "record:control_sent", s: "frame"},
+	EvCtrlRecv:          {name: "record:control_received", s: "frame"},
+	EvSessionStart:      {name: "session:started", a: "conn_id", s: "role"},
+	EvSessionClose:      {name: "session:closed", s: "reason"},
+	EvStreamOpen:        {name: "stream:opened", a: "remote"},
+	EvStreamClose:       {name: "stream:closed", a: "final_offset"},
+	EvPathJoin:          {name: "path:joined", a: "join", s: "remote"},
+	EvPathClose:         {name: "path:closed", a: "failed", s: "reason"},
+	EvPathDegraded:      {name: "path:degraded", a: "outstanding"},
+	EvPathFailover:      {name: "path:failover", a: "survivor"},
+	EvHealthPing:        {name: "health:ping", a: "seq"},
+	EvHealthPong:        {name: "health:pong", a: "seq", b: "rtt_ns", c: "srtt_ns"},
+	EvLinkQueue:         {name: "netsim:queue_high_water", a: "bytes", s: "link"},
+	EvLinkDropQueue:     {name: "netsim:drop_queue", a: "bytes", s: "link"},
+	EvLinkDropLoss:      {name: "netsim:drop_loss", a: "bytes", s: "link"},
+	EvLinkDropDown:      {name: "netsim:drop_down", a: "bytes", s: "link"},
+	EvLinkDropStall:     {name: "netsim:drop_stall", a: "bytes", s: "link"},
+	EvLinkDropMbox:      {name: "netsim:drop_mbox", a: "bytes", s: "link"},
+}
+
+// nameToKind is the reverse mapping used by ParseJSONL.
+var nameToKind = func() map[string]EventKind {
+	m := make(map[string]EventKind, evMax)
+	for k, info := range kinds {
+		if info.name != "" {
+			m[info.name] = EventKind(k)
+		}
+	}
+	return m
+}()
+
+// Name returns the qlog-style "category:event" name of the kind.
+func (k EventKind) Name() string {
+	if int(k) < len(kinds) && kinds[k].name != "" {
+		return kinds[k].name
+	}
+	return "unknown:" + strconv.Itoa(int(k))
+}
+
+func (k EventKind) String() string { return k.Name() }
+
+// AppendJSON appends the event as a single JSON object (no trailing
+// newline) to buf and returns the extended slice. The encoder is
+// hand-rolled so sinks can serialize without reflection; offline
+// tooling uses ParseJSONL to get the events back.
+func (ev Event) AppendJSON(buf []byte) []byte {
+	info := kindInfo{name: ev.Kind.Name()}
+	if int(ev.Kind) < len(kinds) && kinds[ev.Kind].name != "" {
+		info = kinds[ev.Kind]
+	}
+	buf = append(buf, `{"time":`...)
+	buf = strconv.AppendInt(buf, int64(ev.Time), 10)
+	buf = append(buf, `,"name":"`...)
+	buf = append(buf, info.name...)
+	buf = append(buf, '"')
+	if ev.EP != "" {
+		buf = append(buf, `,"ep":`...)
+		buf = appendJSONString(buf, ev.EP)
+	}
+	if ev.Path != 0 {
+		buf = append(buf, `,"path":`...)
+		buf = strconv.AppendUint(buf, uint64(ev.Path), 10)
+	}
+	if ev.Stream != 0 {
+		buf = append(buf, `,"stream":`...)
+		buf = strconv.AppendUint(buf, uint64(ev.Stream), 10)
+	}
+	buf = append(buf, `,"data":{`...)
+	first := true
+	field := func(key string, v int64) {
+		if key == "" {
+			return
+		}
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = append(buf, '"')
+		buf = append(buf, key...)
+		buf = append(buf, `":`...)
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	field(info.a, ev.A)
+	field(info.b, ev.B)
+	field(info.c, ev.C)
+	if info.s != "" && ev.S != "" {
+		if !first {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, info.s...)
+		buf = append(buf, `":`...)
+		buf = appendJSONString(buf, ev.S)
+	}
+	buf = append(buf, "}}"...)
+	return buf
+}
+
+// appendJSONString appends s as a quoted JSON string, escaping the
+// characters that matter for the strings we emit (no exotic control
+// characters reach the tracer).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, `\u00`...)
+			const hex = "0123456789abcdef"
+			buf = append(buf, hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// WriteJSONL serializes events as JSONL to w. It is the offline
+// counterpart used by tools and tests; allocation here is fine.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	for _, ev := range events {
+		buf = ev.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL reconstructs events from a JSONL trace produced by
+// AppendJSON/WriteJSONL. Unknown event names are skipped (forward
+// compatibility); malformed lines are an error.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ev, ok, err := parseEventLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		if ok {
+			out = append(out, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseEventLine decodes one JSONL line. It uses a tiny purpose-built
+// scanner rather than encoding/json so the package stays dependency-
+// free and the decode survives data objects with unknown keys.
+func parseEventLine(line string) (Event, bool, error) {
+	var ev Event
+	obj, err := parseJSONObject(line)
+	if err != nil {
+		return ev, false, err
+	}
+	name, _ := obj["name"].(string)
+	kind, ok := nameToKind[name]
+	if !ok {
+		return ev, false, nil
+	}
+	ev.Kind = kind
+	if v, ok := obj["time"].(int64); ok {
+		ev.Time = time.Duration(v)
+	}
+	if s, ok := obj["ep"].(string); ok {
+		ev.EP = s
+	}
+	if v, ok := obj["path"].(int64); ok {
+		ev.Path = uint32(v)
+	}
+	if v, ok := obj["stream"].(int64); ok {
+		ev.Stream = uint32(v)
+	}
+	data, _ := obj["data"].(map[string]any)
+	info := kinds[kind]
+	if v, ok := data[info.a].(int64); ok && info.a != "" {
+		ev.A = v
+	}
+	if v, ok := data[info.b].(int64); ok && info.b != "" {
+		ev.B = v
+	}
+	if v, ok := data[info.c].(int64); ok && info.c != "" {
+		ev.C = v
+	}
+	if s, ok := data[info.s].(string); ok && info.s != "" {
+		ev.S = s
+	}
+	return ev, true, nil
+}
+
+// --- minimal JSON object parser (flat objects with one level of
+// nesting for "data"; values are strings or integers) ---
+
+type jsonScanner struct {
+	s   string
+	pos int
+}
+
+func parseJSONObject(s string) (map[string]any, error) {
+	js := &jsonScanner{s: s}
+	js.ws()
+	v, err := js.object()
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (j *jsonScanner) ws() {
+	for j.pos < len(j.s) && (j.s[j.pos] == ' ' || j.s[j.pos] == '\t') {
+		j.pos++
+	}
+}
+
+func (j *jsonScanner) expect(c byte) error {
+	j.ws()
+	if j.pos >= len(j.s) || j.s[j.pos] != c {
+		return fmt.Errorf("expected %q at %d", c, j.pos)
+	}
+	j.pos++
+	return nil
+}
+
+func (j *jsonScanner) object() (map[string]any, error) {
+	if err := j.expect('{'); err != nil {
+		return nil, err
+	}
+	m := make(map[string]any)
+	j.ws()
+	if j.pos < len(j.s) && j.s[j.pos] == '}' {
+		j.pos++
+		return m, nil
+	}
+	for {
+		key, err := j.str()
+		if err != nil {
+			return nil, err
+		}
+		if err := j.expect(':'); err != nil {
+			return nil, err
+		}
+		val, err := j.value()
+		if err != nil {
+			return nil, err
+		}
+		m[key] = val
+		j.ws()
+		if j.pos < len(j.s) && j.s[j.pos] == ',' {
+			j.pos++
+			continue
+		}
+		if err := j.expect('}'); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+}
+
+func (j *jsonScanner) value() (any, error) {
+	j.ws()
+	if j.pos >= len(j.s) {
+		return nil, fmt.Errorf("unexpected end of input")
+	}
+	switch c := j.s[j.pos]; {
+	case c == '"':
+		return j.str()
+	case c == '{':
+		return j.object()
+	case c == '-' || (c >= '0' && c <= '9'):
+		start := j.pos
+		j.pos++
+		for j.pos < len(j.s) {
+			d := j.s[j.pos]
+			if (d >= '0' && d <= '9') || d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-' {
+				j.pos++
+				continue
+			}
+			break
+		}
+		lit := j.s[start:j.pos]
+		if n, err := strconv.ParseInt(lit, 10, 64); err == nil {
+			return n, nil
+		}
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", lit)
+		}
+		return int64(f), nil
+	default:
+		return nil, fmt.Errorf("unexpected character %q at %d", c, j.pos)
+	}
+}
+
+func (j *jsonScanner) str() (string, error) {
+	if err := j.expect('"'); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for j.pos < len(j.s) {
+		c := j.s[j.pos]
+		if c == '"' {
+			j.pos++
+			return sb.String(), nil
+		}
+		if c == '\\' {
+			j.pos++
+			if j.pos >= len(j.s) {
+				break
+			}
+			e := j.s[j.pos]
+			switch e {
+			case '"', '\\', '/':
+				sb.WriteByte(e)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'u':
+				if j.pos+4 < len(j.s) {
+					if n, err := strconv.ParseUint(j.s[j.pos+1:j.pos+5], 16, 32); err == nil {
+						sb.WriteRune(rune(n))
+						j.pos += 4
+					}
+				}
+			default:
+				sb.WriteByte(e)
+			}
+			j.pos++
+			continue
+		}
+		sb.WriteByte(c)
+		j.pos++
+	}
+	return "", fmt.Errorf("unterminated string")
+}

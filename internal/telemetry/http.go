@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry as JSON
+// (expvar-style, one object, sorted keys).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+}
+
+// DebugServer is a running debug HTTP endpoint; see ServeDebug.
+type DebugServer struct {
+	Addr string // actual listen address (useful with ":0")
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/metrics   the registry as JSON
+//	/debug/pprof/*   the standard net/http/pprof handlers
+//
+// The pprof handlers are mounted explicitly on a private mux — nothing
+// is registered on http.DefaultServeMux, so importing this package
+// never leaks debug endpoints into an application's own server.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+	}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	return d.srv.Close()
+}

@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is an expvar-style metrics registry: named vars backed by
+// atomics, readable at any time without stopping the stack, exported
+// as JSON (WriteJSON / Handler). Names are dot-separated paths; the
+// convention across the repo is
+//
+//	tcp.<host>.<counter>        stack-wide TCP counters
+//	netsim.link.<name>.<ctr>    per-link emulator counters
+//	record.codec.<ctr>          record codec counters
+//	session.<n>.<ctr>           per-session counters
+//	session.<n>.path.<id>.<g>   per-path gauges
+//
+// Get-or-create accessors (Counter, Gauge, Histogram) make wiring
+// cheap: layers ask for their vars by name and share them naturally.
+type Registry struct {
+	mu   sync.RWMutex
+	vars map[string]any
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Panics if the name is taken by a different var type —
+// that is a wiring bug, not a runtime condition.
+func (r *Registry) Counter(name string) *Counter {
+	v := r.getOrCreate(name, func() any { return new(Counter) })
+	c, ok := v.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q registered as %T, not Counter", name, v))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	v := r.getOrCreate(name, func() any { return new(Gauge) })
+	g, ok := v.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q registered as %T, not Gauge", name, v))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	v := r.getOrCreate(name, func() any { return new(Histogram) })
+	h, ok := v.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q registered as %T, not Histogram", name, v))
+	}
+	return h
+}
+
+// Func registers a pull-style gauge: fn is invoked at export time.
+// Use it to expose values that already live elsewhere (atomic stack
+// counters, health snapshots) without double bookkeeping.
+func (r *Registry) Func(name string, fn func() int64) {
+	r.mu.Lock()
+	r.vars[name] = FuncVar(fn)
+	r.mu.Unlock()
+}
+
+// Unregister removes the var with the given name.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.vars, name)
+	r.mu.Unlock()
+}
+
+// UnregisterPrefix removes every var whose name starts with prefix —
+// how per-path vars are retired when a path closes.
+func (r *Registry) UnregisterPrefix(prefix string) {
+	r.mu.Lock()
+	for name := range r.vars {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.vars, name)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) getOrCreate(name string, mk func() any) any {
+	r.mu.RLock()
+	v, ok := r.vars[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		return v
+	}
+	v = mk()
+	r.vars[name] = v
+	return v
+}
+
+// Snapshot returns the current value of every var. Counters and
+// gauges map to int64; histograms map to HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.vars))
+	vars := make(map[string]any, len(r.vars))
+	for name, v := range r.vars {
+		names = append(names, name)
+		vars[name] = v
+	}
+	r.mu.RUnlock()
+	out := make(map[string]any, len(names))
+	for _, name := range names {
+		switch v := vars[name].(type) {
+		case *Counter:
+			out[name] = int64(v.Value())
+		case *Gauge:
+			out[name] = v.Value()
+		case *Histogram:
+			out[name] = v.Snapshot()
+		case FuncVar:
+			out[name] = v()
+		}
+	}
+	return out
+}
+
+// WriteJSON writes every var as one sorted JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = append(buf, "{\n"...)
+	for i, name := range names {
+		if i > 0 {
+			buf = append(buf, ",\n"...)
+		}
+		buf = append(buf, "  "...)
+		buf = appendJSONString(buf, name)
+		buf = append(buf, ": "...)
+		switch v := snap[name].(type) {
+		case int64:
+			buf = fmt.Appendf(buf, "%d", v)
+		case HistogramSnapshot:
+			buf = fmt.Appendf(buf, `{"count":%d,"sum":%d,"min":%d,"max":%d,"mean":%.1f,"p50":%d,"p90":%d,"p99":%d}`,
+				v.Count, v.Sum, v.Min, v.Max, v.Mean, v.P50, v.P90, v.P99)
+		default:
+			buf = append(buf, "null"...)
+		}
+	}
+	buf = append(buf, "\n}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// --- var types ---
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Add(n uint64)  { c.v.Add(n) }
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to n if n is larger — a lock-free
+// high-water mark.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// FuncVar is a pull-style gauge evaluated at export time.
+type FuncVar func() int64
+
+// Histogram is a lock-free histogram with power-of-two buckets:
+// bucket i counts values v with 2^(i-1) <= v < 2^i (bucket 0 counts
+// v <= 0). Good enough for RTTs and sizes at ~2x resolution, with
+// exact count/sum/min/max.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64 // stored as offset by initialization; 0 count means unset
+	max     atomic.Int64
+	minSet  atomic.Bool
+	buckets [64]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	// Only the CAS winner seeds min; late racers fall through to the
+	// lower-only CAS loop, so min can never move upward.
+	if h.minSet.CompareAndSwap(false, true) {
+		h.min.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+}
+
+// bucketUpper returns the inclusive upper bound represented by bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<i - 1
+}
+
+// HistogramSnapshot is a point-in-time summary; quantiles are upper
+// bounds of the bucket containing the quantile (~2x resolution).
+type HistogramSnapshot struct {
+	Count         uint64
+	Sum, Min, Max int64
+	Mean          float64
+	P50, P90, P99 int64
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [64]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	q := func(p float64) int64 {
+		target := uint64(math.Ceil(p * float64(total)))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				u := bucketUpper(i)
+				if u > s.Max {
+					u = s.Max
+				}
+				return u
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
+	return s
+}

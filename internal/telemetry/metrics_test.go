@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesFuncs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("tcp.a.segs_sent")
+	c.Add(5)
+	reg.Counter("tcp.a.segs_sent").Inc() // get-or-create returns same var
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Value())
+	}
+	g := reg.Gauge("netsim.link.v4.queue_hwm")
+	g.SetMax(100)
+	g.SetMax(50) // lower: ignored
+	g.SetMax(200)
+	if g.Value() != 200 {
+		t.Fatalf("gauge high-water = %d, want 200", g.Value())
+	}
+	reg.Func("session.1.paths", func() int64 { return 2 })
+
+	snap := reg.Snapshot()
+	if snap["tcp.a.segs_sent"] != int64(6) {
+		t.Fatalf("snapshot counter = %v", snap["tcp.a.segs_sent"])
+	}
+	if snap["session.1.paths"] != int64(2) {
+		t.Fatalf("snapshot func = %v", snap["session.1.paths"])
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestRegistryUnregisterPrefix(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("session.1.path.2.probes")
+	reg.Counter("session.1.path.3.probes")
+	reg.Counter("session.1.records_sent")
+	reg.UnregisterPrefix("session.1.path.2.")
+	snap := reg.Snapshot()
+	if _, ok := snap["session.1.path.2.probes"]; ok {
+		t.Fatal("prefix not unregistered")
+	}
+	if _, ok := snap["session.1.path.3.probes"]; !ok {
+		t.Fatal("sibling wrongly unregistered")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1110 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 < 3 || s.P50 > 7 {
+		t.Fatalf("p50 = %d, want within bucket of 3..4", s.P50)
+	}
+	if s.P99 != 1000 {
+		t.Fatalf("p99 = %d, want clamped to max 1000", s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestWriteJSONIsValidJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(7)
+	reg.Gauge("a.g").Set(-3)
+	reg.Histogram("a.h").Observe(int64(2 * time.Millisecond))
+	reg.Func("a.f", func() int64 { return 11 })
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["a.b"] != float64(7) || m["a.g"] != float64(-3) || m["a.f"] != float64(11) {
+		t.Fatalf("values = %v", m)
+	}
+	h, ok := m["a.h"].(map[string]any)
+	if !ok || h["count"] != float64(1) {
+		t.Fatalf("histogram export = %v", m["a.h"])
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	resp, err := http.Get("http://" + ds.Addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"up": 1`) {
+		t.Fatalf("metrics endpoint: %d %s", resp.StatusCode, body)
+	}
+
+	// pprof is mounted on the private mux.
+	resp, err = http.Get("http://" + ds.Addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof endpoint: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives events from one or more tracers. Implementations must
+// be safe for concurrent Emit calls. Emit should be fast: it runs on
+// protocol hot paths (though only when tracing is enabled).
+type Sink interface {
+	Emit(Event)
+}
+
+// A sink that holds resources can implement io.Closer; CloseSink
+// closes it if so.
+func CloseSink(s Sink) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// --- WriterSink: JSONL to an io.Writer ---
+
+// WriterSink serializes events as JSONL to an io.Writer under a
+// mutex, reusing one buffer across events.
+type WriterSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	c   io.Closer // closed by Close when the writer owns the resource
+}
+
+// NewWriterSink wraps w. The caller retains ownership of w unless it
+// was opened by NewFileSink.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{w: w, buf: make([]byte, 0, 512)}
+}
+
+// NewFileSink creates (truncating) path and returns a sink writing
+// JSONL to it. Close flushes and closes the file.
+func NewFileSink(path string) (*WriterSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewWriterSink(f)
+	s.c = f
+	return s, nil
+}
+
+func (s *WriterSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = ev.AppendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	s.w.Write(s.buf) // best-effort: tracing must not fail the protocol
+}
+
+// Close closes the underlying file if the sink owns one.
+func (s *WriterSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// --- RingSink: fixed-capacity in-memory ring for tests ---
+
+// RingSink keeps the most recent cap events in memory. When full, the
+// oldest events are overwritten and counted as dropped. It is the sink
+// of choice for tests and the chaos harness: no I/O on the hot path,
+// and Events() returns a stable snapshot afterwards.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRingSink builds a ring holding up to capacity events
+// (default 65536 if capacity <= 0).
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events in emission order.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten.
+func (r *RingSink) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports the number of buffered events.
+func (r *RingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// --- DiscardSink: counts and drops ---
+
+// DiscardSink drops every event, counting them. It measures enabled-
+// path overhead without I/O (used by benchmarks) and can serve as a
+// "count only" sink.
+type DiscardSink struct {
+	n atomic.Uint64
+}
+
+func (d *DiscardSink) Emit(Event) { d.n.Add(1) }
+
+// Count reports how many events were discarded.
+func (d *DiscardSink) Count() uint64 { return d.n.Load() }
+
+// --- FuncSink: adapter ---
+
+// FuncSink adapts a function to the Sink interface. The function must
+// be safe for concurrent calls.
+type FuncSink func(Event)
+
+func (f FuncSink) Emit(ev Event) { f(ev) }
+
+// --- TeeSink: fan-out ---
+
+// TeeSink forwards each event to every child sink in order.
+type TeeSink []Sink
+
+func (t TeeSink) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+func (t TeeSink) Close() error {
+	var first error
+	for _, s := range t {
+		if err := CloseSink(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

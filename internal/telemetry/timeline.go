@@ -1,0 +1,79 @@
+package telemetry
+
+import "time"
+
+// TimelineBin is one bin of a goodput/cwnd timeline built from a
+// trace; see Timeline.
+type TimelineBin struct {
+	Start   time.Duration // bin start (relative trace time)
+	Bytes   int64         // payload bytes delivered in this bin
+	Goodput float64       // bits per second over the bin width
+	CwndMax int64         // largest cwnd sample seen in the bin (0 if none)
+	Events  int           // events that contributed bytes
+	Markers []string      // names of lifecycle events landing in this bin
+}
+
+// Timeline bins a trace into fixed-width goodput samples — the Fig. 4
+// view. Bytes come from EvRecordRecv events whose EP matches recvEP
+// (the downloading endpoint); cwnd comes from EvTCPCwnd events whose
+// EP matches sendEP (the endpoint whose congestion window governs the
+// transfer). Path lifecycle events (degraded/join/failover/close) are
+// recorded as markers so plots can annotate the dip.
+//
+// The returned bins cover [0, ceil(maxTime/bin)) contiguously; empty
+// bins are present with zero bytes, which is what makes the dip
+// visible.
+func Timeline(events []Event, bin time.Duration, recvEP, sendEP string) []TimelineBin {
+	if bin <= 0 {
+		bin = 100 * time.Millisecond
+	}
+	var maxT time.Duration
+	for _, ev := range events {
+		if ev.Time > maxT {
+			maxT = ev.Time
+		}
+	}
+	n := int(maxT/bin) + 1
+	if n <= 0 || len(events) == 0 {
+		return nil
+	}
+	bins := make([]TimelineBin, n)
+	for i := range bins {
+		bins[i].Start = time.Duration(i) * bin
+	}
+	idx := func(t time.Duration) int {
+		i := int(t / bin)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvRecordRecv:
+			if recvEP == "" || ev.EP == recvEP {
+				b := &bins[idx(ev.Time)]
+				b.Bytes += ev.A
+				b.Events++
+			}
+		case EvTCPCwnd:
+			if sendEP == "" || ev.EP == sendEP {
+				b := &bins[idx(ev.Time)]
+				if ev.A > b.CwndMax {
+					b.CwndMax = ev.A
+				}
+			}
+		case EvPathDegraded, EvPathFailover, EvPathJoin, EvPathClose:
+			b := &bins[idx(ev.Time)]
+			b.Markers = append(b.Markers, ev.Kind.Name())
+		}
+	}
+	secs := bin.Seconds()
+	for i := range bins {
+		bins[i].Goodput = float64(bins[i].Bytes) * 8 / secs
+	}
+	return bins
+}

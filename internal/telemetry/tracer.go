@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Sampler decides whether an event is recorded. It runs only when a
+// sink is attached, so it can be used to thin high-frequency kinds
+// (e.g. keep every Nth cwnd sample) without touching emit sites.
+type Sampler func(Event) bool
+
+// Tracer is a structured event tracer. The zero value is unusable —
+// construct with NewTracer — but a nil *Tracer is a valid, fully
+// disabled tracer: every method is nil-safe, and the nil/no-sink path
+// performs zero heap allocations per event (enforced by test and
+// benchmark).
+//
+// Concurrency: Emit may be called from any goroutine. The sink is held
+// behind an atomic pointer so it can be attached/detached while the
+// stack is running; sinks must themselves be safe for concurrent Emit
+// calls (all sinks in this package are).
+type Tracer struct {
+	ep         string
+	epoch      time.Time
+	clock      atomic.Pointer[func() time.Duration]
+	sink       atomic.Pointer[sinkBox]
+	sampler    atomic.Pointer[Sampler]
+	emitted    atomic.Uint64
+	sampledOut atomic.Uint64
+}
+
+// sinkBox wraps the Sink interface value so it can live in an
+// atomic.Pointer (interfaces are two words and not directly atomic).
+type sinkBox struct{ s Sink }
+
+// TracerOption configures a Tracer at construction.
+type TracerOption func(*Tracer)
+
+// WithEndpoint labels every event emitted by this tracer with an
+// endpoint name ("client", "server", "net", ...). Traces from several
+// tracers sharing one sink are distinguished by this label.
+func WithEndpoint(ep string) TracerOption {
+	return func(t *Tracer) { t.ep = ep }
+}
+
+// WithClock supplies the timestamp source: a function returning the
+// elapsed (possibly virtual) time since the trace epoch. Under netsim,
+// pass the network's VirtualNow so timestamps are in virtual time and
+// tracers on both endpoints share one timeline.
+func WithClock(now func() time.Duration) TracerOption {
+	return func(t *Tracer) { t.clock.Store(&now) }
+}
+
+// WithSink attaches the initial sink.
+func WithSink(s Sink) TracerOption {
+	return func(t *Tracer) { t.setSink(s) }
+}
+
+// WithSampler installs the initial sampling hook.
+func WithSampler(f Sampler) TracerOption {
+	return func(t *Tracer) { t.sampler.Store(&f) }
+}
+
+// NewTracer builds a tracer. Without WithClock, timestamps are
+// wall-clock time since construction.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// SetSink attaches (or, with nil, detaches) the sink. Detaching
+// returns the tracer to the zero-cost disabled state.
+func (t *Tracer) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.setSink(s)
+}
+
+func (t *Tracer) setSink(s Sink) {
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// SetClock replaces the timestamp source; see WithClock. Useful when
+// the tracer must exist before the (virtual) clock does.
+func (t *Tracer) SetClock(now func() time.Duration) {
+	if t == nil || now == nil {
+		return
+	}
+	t.clock.Store(&now)
+}
+
+// SetSampler replaces the sampling hook (nil removes it).
+func (t *Tracer) SetSampler(f Sampler) {
+	if t == nil {
+		return
+	}
+	if f == nil {
+		t.sampler.Store(nil)
+		return
+	}
+	t.sampler.Store(&f)
+}
+
+// Enabled reports whether a sink is attached. Emit sites with
+// expensive arguments (string formatting, snapshot assembly) should
+// guard on it; plain emit sites can call Emit unconditionally.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.sink.Load() != nil
+}
+
+// Emit records one event. On the disabled path (nil tracer or no sink)
+// it is a few loads and a branch — no allocation, no locks.
+//
+// The tracer stamps Time (unless the caller pre-filled it) and EP.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	box := t.sink.Load()
+	if box == nil {
+		return
+	}
+	if ev.Time == 0 {
+		ev.Time = t.now()
+	}
+	if ev.EP == "" {
+		ev.EP = t.ep
+	}
+	if sp := t.sampler.Load(); sp != nil && !(*sp)(ev) {
+		t.sampledOut.Add(1)
+		return
+	}
+	t.emitted.Add(1)
+	box.s.Emit(ev)
+}
+
+// Stats reports the number of events recorded and sampled away.
+func (t *Tracer) Stats() (emitted, sampledOut uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.emitted.Load(), t.sampledOut.Load()
+}
+
+func (t *Tracer) now() time.Duration {
+	if c := t.clock.Load(); c != nil {
+		return (*c)()
+	}
+	return time.Since(t.epoch)
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleEvent() Event {
+	return Event{
+		Kind: EvHealthPong,
+		Path: 3,
+		A:    42,
+		B:    int64(17 * time.Millisecond),
+		C:    int64(16 * time.Millisecond),
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the hard allocation bound from the
+// issue: the no-sink path (and the nil-tracer path) must not allocate.
+// `make check` runs this test by name.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var nilTracer *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTracer.Emit(Event{Kind: EvTCPCwnd, Path: 1, A: 10, B: 20, C: 5})
+	}); n != 0 {
+		t.Fatalf("nil tracer: %v allocs per Emit, want 0", n)
+	}
+
+	tr := NewTracer(WithEndpoint("client"))
+	if tr.Enabled() {
+		t.Fatal("tracer without sink reports Enabled")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: EvRecordSent, Stream: 1, A: 1400, B: 4096, S: "x"})
+	}); n != 0 {
+		t.Fatalf("no-sink tracer: %v allocs per Emit, want 0", n)
+	}
+
+	// Detach must restore the zero-alloc property.
+	tr.SetSink(&DiscardSink{})
+	tr.SetSink(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(sampleEvent())
+	}); n != 0 {
+		t.Fatalf("detached tracer: %v allocs per Emit, want 0", n)
+	}
+}
+
+func TestTracerEmitStampsTimeAndEndpoint(t *testing.T) {
+	ring := NewRingSink(16)
+	var now time.Duration = 5 * time.Second
+	tr := NewTracer(
+		WithEndpoint("server"),
+		WithClock(func() time.Duration { return now }),
+		WithSink(ring),
+	)
+	tr.Emit(Event{Kind: EvStreamOpen, Stream: 2, A: 1})
+	now = 6 * time.Second
+	tr.Emit(Event{Kind: EvStreamClose, Stream: 2, A: 999})
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Time != 5*time.Second || evs[1].Time != 6*time.Second {
+		t.Fatalf("timestamps not stamped from clock: %v, %v", evs[0].Time, evs[1].Time)
+	}
+	if evs[0].EP != "server" {
+		t.Fatalf("endpoint not stamped: %q", evs[0].EP)
+	}
+	if emitted, _ := tr.Stats(); emitted != 2 {
+		t.Fatalf("emitted count = %d, want 2", emitted)
+	}
+}
+
+func TestTracerSampler(t *testing.T) {
+	ring := NewRingSink(16)
+	tr := NewTracer(WithSink(ring), WithSampler(func(ev Event) bool {
+		return ev.Kind != EvTCPCwnd // drop cwnd samples
+	}))
+	tr.Emit(Event{Kind: EvTCPCwnd, A: 1})
+	tr.Emit(Event{Kind: EvPathDegraded, Path: 1})
+	tr.Emit(Event{Kind: EvTCPCwnd, A: 2})
+	if got := ring.Len(); got != 1 {
+		t.Fatalf("ring has %d events, want 1", got)
+	}
+	if _, dropped := tr.Stats(); dropped != 2 {
+		t.Fatalf("sampledOut = %d, want 2", dropped)
+	}
+}
+
+func TestRingSinkWraps(t *testing.T) {
+	ring := NewRingSink(4)
+	for i := 0; i < 10; i++ {
+		ring.Emit(Event{Kind: EvHealthPing, A: int64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.A != want {
+			t.Fatalf("event %d: A = %d, want %d (oldest overwritten)", i, ev.A, want)
+		}
+	}
+	if ring.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", ring.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Time: 10 * time.Millisecond, Kind: EvSessionStart, EP: "client", A: 0x1234, S: "client"},
+		{Time: 15 * time.Millisecond, Kind: EvPathJoin, EP: "server", Path: 2, A: 1, S: `10.0.0.2:443 "quoted"`},
+		{Time: 20 * time.Millisecond, Kind: EvRecordRecv, EP: "client", Path: 1, Stream: 1, A: 1400, B: 8192, C: 0},
+		{Time: 25 * time.Millisecond, Kind: EvTCPDrop, EP: "server", Path: 1, A: 512, S: "ooo-overflow"},
+		{Time: 30 * time.Millisecond, Kind: EvHealthPong, EP: "client", Path: 1, A: 7, B: 1700000, C: 1650000},
+		{Time: 35 * time.Millisecond, Kind: EvLinkDropQueue, EP: "net", A: 1460, S: "v4"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestParseJSONLSkipsUnknownNames(t *testing.T) {
+	trace := `{"time":1,"name":"future:event","ep":"client","data":{"x":1}}
+{"time":2,"name":"health:ping","ep":"client","path":1,"data":{"seq":9}}
+`
+	evs, err := ParseJSONL(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != EvHealthPing || evs[0].A != 9 {
+		t.Fatalf("got %+v, want single health:ping", evs)
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(WithEndpoint("client"), WithSink(sink))
+	tr.Emit(Event{Kind: EvPathDegraded, Path: 1, A: 3})
+	tr.Emit(Event{Kind: EvPathFailover, Path: 1, A: 2})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ParseJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != EvPathDegraded || evs[1].Kind != EvPathFailover {
+		t.Fatalf("file trace = %+v", evs)
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := NewRingSink(8), NewRingSink(8)
+	tr := NewTracer(WithSink(TeeSink{a, b}))
+	tr.Emit(Event{Kind: EvHealthPing, A: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee fan-out failed: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	ring := NewRingSink(1 << 12)
+	tr := NewTracer(WithSink(ring))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: EvTCPCwnd, A: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ring.Len(); got != 800 {
+		t.Fatalf("ring has %d events, want 800", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	mk := func(t time.Duration, kind EventKind, ep string, a int64) Event {
+		return Event{Time: t, Kind: kind, EP: ep, A: a}
+	}
+	events := []Event{
+		mk(10*time.Millisecond, EvRecordRecv, "client", 1000),
+		mk(50*time.Millisecond, EvRecordRecv, "client", 2000),
+		mk(60*time.Millisecond, EvTCPCwnd, "server", 30000),
+		mk(110*time.Millisecond, EvPathDegraded, "client", 3),
+		// nothing delivered in bin 1 (the dip)
+		mk(210*time.Millisecond, EvRecordRecv, "client", 4000),
+		mk(220*time.Millisecond, EvRecordRecv, "server", 99999), // other direction: excluded
+	}
+	bins := Timeline(events, 100*time.Millisecond, "client", "server")
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3", len(bins))
+	}
+	if bins[0].Bytes != 3000 || bins[1].Bytes != 0 || bins[2].Bytes != 4000 {
+		t.Fatalf("bytes per bin = %d,%d,%d", bins[0].Bytes, bins[1].Bytes, bins[2].Bytes)
+	}
+	if bins[0].CwndMax != 30000 {
+		t.Fatalf("cwnd max = %d", bins[0].CwndMax)
+	}
+	if len(bins[1].Markers) != 1 || bins[1].Markers[0] != "path:degraded" {
+		t.Fatalf("markers = %v", bins[1].Markers)
+	}
+	wantGoodput := float64(3000*8) / 0.1
+	if bins[0].Goodput != wantGoodput {
+		t.Fatalf("goodput = %v, want %v", bins[0].Goodput, wantGoodput)
+	}
+}

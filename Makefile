@@ -1,7 +1,16 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet chaos-smoke adversary telemetry fuzz-smoke check bench
+# Benchmark-regression harness knobs (see EXPERIMENTS.md §Benchmark
+# regression harness). BENCH_BASELINE defaults to the newest checked-in
+# archive; `make check BENCH=1` adds the regression gate to check.
+BENCH_RUNS ?= 3
+BENCH_TIME ?= 2s
+BENCH_PAT ?= BenchmarkStreamThroughput
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_LABEL ?= $(shell date +%Y-%m-%d)
+
+.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry fuzz-smoke check bench bench-all bench-check
 
 all: check
 
@@ -16,6 +25,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Scheduler/feature matrix: the race detector, the purego build-tag
+# variant, and a single-P run that surfaces scheduler-dependent flakes
+# the chaos harness only hits probabilistically.
+test-matrix:
+	$(GO) test -race ./...
+	$(GO) test -tags=purego ./...
+	GOMAXPROCS=1 $(GO) test ./...
+
+# Steady-state allocation gates for the data path, run WITHOUT the race
+# detector so testing.AllocsPerRun counts are exact: the record-layer
+# send/recv paths and the buffer-pool accounting invariants.
+alloc-gate:
+	$(GO) test ./internal/tls13/ -run 'TestRecordWriteSteadyStateAllocs|TestRecordReadSteadyStateAllocs' -count=1 -v
+	$(GO) test ./internal/bufpool/ -count=1
 
 # Deterministic chaos acceptance run: flap + stall + RST + 2% loss over
 # a 1 MB multi-stream transfer, with proactive (probe-timeout) failover,
@@ -47,7 +71,27 @@ fuzz-smoke:
 	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeTCPOption$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzUnmarshalSegment$$' -fuzztime $(FUZZTIME)
 
-check: build vet race chaos-smoke adversary telemetry fuzz-smoke
+# BENCH=1 adds the benchmark-regression gate (bench-check) to check.
+ifeq ($(BENCH),1)
+CHECK_EXTRA += bench-check
+endif
 
-bench:
+check: build vet alloc-gate test-matrix chaos-smoke adversary telemetry fuzz-smoke $(CHECK_EXTRA)
+
+# The full virtual-time benchmark suite (one benchmark per paper
+# table/figure); `make bench` below tracks just the tier-1 set.
+bench-all:
 	$(GO) test -bench=. -benchtime=3x .
+
+# Run the tier-1 throughput benchmarks BENCH_RUNS times and append the
+# aggregated run to BENCH_<date>.json (raw lines kept benchstat-ready).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_RUNS) . \
+		| $(GO) run ./cmd/benchcheck -out BENCH_$$(date +%Y-%m-%d).json -label $(BENCH_LABEL)
+
+# Fail on >10% geomean throughput regression vs the newest checked-in
+# baseline archive (override with BENCH_BASELINE=path).
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_*.json baseline found"; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_RUNS) . \
+		| $(GO) run ./cmd/benchcheck -check $(BENCH_BASELINE)

@@ -1,0 +1,253 @@
+// Package bufpool provides size-classed, sync.Pool-backed byte buffers
+// for the hot data path (record sealing, decrypted payloads, segment
+// marshalling). Buffers move between layers with ownership-transfer
+// semantics: whoever holds the buffer last calls Put. Recycling is
+// best-effort — a missed Put only costs a GC allocation, never
+// correctness — but a Put of a still-referenced buffer is a
+// use-after-free-style bug, so callers must only Put buffers they own.
+//
+// Get(n) returns a slice with len == n and cap equal to the smallest
+// size class that fits. Put accepts only slices whose cap exactly
+// matches a size class (after re-slicing to full capacity); anything
+// else — a foreign allocation, or a slice whose base pointer was lost —
+// is dropped and counted, so pools never degrade to misclassified
+// buffers.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// Size classes. The 17 KiB class fits a full sealed TLS record
+// (5-byte header + 16384 plaintext + padding/type + 16-byte tag, under
+// tls13.MaxCiphertext = 16640) as well as the largest decrypted
+// payload; the small classes serve control records, ACK-range frames
+// and MSS-sized segment buffers.
+var classes = [...]int{512, 2048, 4096, 8192, 17 * 1024, 64 * 1024}
+
+const numClasses = len(classes)
+
+var pools [numClasses]sync.Pool
+
+func init() {
+	for i := range pools {
+		size := classes[i]
+		pools[i].New = func() any {
+			missCount.Add(1)
+			b := make([]byte, size)
+			return unsafe.Pointer(&b[0])
+		}
+	}
+}
+
+var (
+	getCount     atomic.Uint64 // Get calls served from a class (hit or miss)
+	missCount    atomic.Uint64 // Get calls that had to allocate a class buffer
+	oversizeGets atomic.Uint64 // Get calls larger than the biggest class
+	putCount     atomic.Uint64 // buffers accepted back into a pool
+	foreignPuts  atomic.Uint64 // Put calls dropped (cap not a class size)
+)
+
+// classFor returns the index of the smallest class with size >= n,
+// or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i, size := range classes {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// classOf returns the class index whose size is exactly c, or -1.
+func classOf(c int) int {
+	for i, size := range classes {
+		if c == size {
+			return i
+		}
+		if c < size {
+			break
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer with len == n. Its capacity is the full size
+// class, so callers may append within cap and still Put the result.
+// Requests larger than the biggest class fall back to a plain
+// allocation (which Put will silently drop).
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		oversizeGets.Add(1)
+		return make([]byte, n)
+	}
+	getCount.Add(1)
+	// Pools hold raw base pointers, not slices: a pointer fits in the
+	// interface word, so Get/Put stay allocation-free in steady state
+	// (boxing a []byte header would cost one heap alloc per Put). The
+	// class size is fixed per pool, so the slice is reconstructed
+	// losslessly.
+	p := pools[ci].Get().(unsafe.Pointer)
+	b := unsafe.Slice((*byte)(p), classes[ci])[:n]
+	trackGet(b)
+	return b
+}
+
+// Put returns a buffer to its pool. The slice is re-sliced to full
+// capacity first; only exact class capacities are accepted, so slices
+// that lost their base pointer (b = b[5:]) or grew past the class via
+// append are dropped rather than poisoning a pool. Put(nil) is a no-op.
+func Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	ci := classOf(cap(b))
+	if ci < 0 {
+		foreignPuts.Add(1)
+		return
+	}
+	trackPut(b)
+	putCount.Add(1)
+	pools[ci].Put(unsafe.Pointer(&b[0]))
+}
+
+// --- leak-check mode (tests only) ---
+
+// leakState tracks outstanding pooled buffers by base pointer while a
+// leak check is active. It is nil in production; Get/Put then skip it
+// with a single atomic load.
+type leakState struct {
+	mu   sync.Mutex
+	live map[*byte]int // base pointer -> outstanding count (double-Put detector)
+	gets int
+	puts int
+}
+
+var leakCheck atomic.Pointer[leakState]
+
+// StartLeakCheck begins tracking Get/Put pairing. It is intended for
+// hermetic tests: enable it before any traffic, drain all traffic, then
+// call StopLeakCheck and assert Outstanding() == 0. Only one check may
+// be active at a time.
+func StartLeakCheck() *LeakChecker {
+	st := &leakState{live: make(map[*byte]int)}
+	if !leakCheck.CompareAndSwap(nil, st) {
+		panic("bufpool: leak check already active")
+	}
+	return &LeakChecker{st: st}
+}
+
+// LeakChecker reports on a tracking window started by StartLeakCheck.
+type LeakChecker struct {
+	st      *leakState
+	stopped bool
+}
+
+// Stop ends the tracking window. Outstanding remains readable.
+func (lc *LeakChecker) Stop() {
+	if !lc.stopped {
+		lc.stopped = true
+		leakCheck.CompareAndSwap(lc.st, nil)
+	}
+}
+
+// Outstanding returns the number of buffers Get has handed out during
+// the window that have not been Put back.
+func (lc *LeakChecker) Outstanding() int {
+	lc.st.mu.Lock()
+	defer lc.st.mu.Unlock()
+	n := 0
+	for _, c := range lc.st.live {
+		if c > 0 {
+			n += c
+		}
+	}
+	return n
+}
+
+// Stats returns the Get and Put counts observed during the window.
+func (lc *LeakChecker) Stats() (gets, puts int) {
+	lc.st.mu.Lock()
+	defer lc.st.mu.Unlock()
+	return lc.st.gets, lc.st.puts
+}
+
+func trackGet(b []byte) {
+	st := leakCheck.Load()
+	if st == nil {
+		return
+	}
+	base := &b[:cap(b)][0]
+	st.mu.Lock()
+	st.live[base]++
+	st.gets++
+	st.mu.Unlock()
+}
+
+func trackPut(b []byte) {
+	st := leakCheck.Load()
+	if st == nil {
+		return
+	}
+	base := &b[0]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.puts++
+	c, seen := st.live[base]
+	if !seen {
+		// A buffer obtained before the window began: record it at zero
+		// so a later Put of the same (now idle) buffer is caught.
+		st.live[base] = 0
+		return
+	}
+	if c <= 0 {
+		panic(fmt.Sprintf("bufpool: double Put of %d-byte buffer", cap(b)))
+	}
+	st.live[base] = c - 1
+}
+
+// --- telemetry ---
+
+// Stats is a point-in-time snapshot of the global pool counters.
+type Stats struct {
+	Gets, Misses, OversizeGets, Puts, ForeignPuts uint64
+}
+
+// Snapshot returns the current global counters. Hits are Gets - Misses.
+func Snapshot() Stats {
+	return Stats{
+		Gets:         getCount.Load(),
+		Misses:       missCount.Load(),
+		OversizeGets: oversizeGets.Load(),
+		Puts:         putCount.Load(),
+		ForeignPuts:  foreignPuts.Load(),
+	}
+}
+
+// RegisterMetrics exposes the pool counters on reg under bufpool.*.
+// The pool is process-global, so this should be called once per
+// registry; re-registration replaces the previous functions.
+func RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("bufpool.gets", func() int64 { return int64(getCount.Load()) })
+	reg.Func("bufpool.hits", func() int64 {
+		g, m := getCount.Load(), missCount.Load()
+		if m > g {
+			return 0
+		}
+		return int64(g - m)
+	})
+	reg.Func("bufpool.misses", func() int64 { return int64(missCount.Load()) })
+	reg.Func("bufpool.oversize_gets", func() int64 { return int64(oversizeGets.Load()) })
+	reg.Func("bufpool.puts", func() int64 { return int64(putCount.Load()) })
+	reg.Func("bufpool.foreign_puts", func() int64 { return int64(foreignPuts.Load()) })
+}

@@ -1,0 +1,134 @@
+package bufpool
+
+import (
+	"testing"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+func TestGetSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 4096, 16 * 1024, 17 * 1024, 64 * 1024} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(b))
+		}
+		if classOf(cap(b)) < 0 {
+			t.Fatalf("Get(%d): cap %d is not a class size", n, cap(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d): cap %d < n", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeGet(t *testing.T) {
+	n := classes[numClasses-1] + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("len = %d, want %d", len(b), n)
+	}
+	before := Snapshot().ForeignPuts
+	Put(b) // not a class cap: must be dropped, not pooled
+	if got := Snapshot().ForeignPuts; got != before+1 {
+		t.Fatalf("foreign puts = %d, want %d", got, before+1)
+	}
+}
+
+func TestPutRejectsOffsetSlice(t *testing.T) {
+	b := Get(1024)
+	before := Snapshot().ForeignPuts
+	Put(b[5:]) // base pointer lost: cap no longer a class size
+	if got := Snapshot().ForeignPuts; got != before+1 {
+		t.Fatalf("offset slice was pooled (foreign puts %d, want %d)", got, before+1)
+	}
+}
+
+func TestPutAcceptsShortenedSlice(t *testing.T) {
+	// A slice trimmed from the front of a class buffer keeps its base
+	// pointer when only the length changed; Put re-slices to cap.
+	b := Get(2048)
+	Put(b[:10])
+	c := Get(2048)
+	if cap(c) != cap(b) {
+		t.Fatalf("cap changed after Put of shortened slice: %d vs %d", cap(c), cap(b))
+	}
+	Put(c)
+}
+
+func TestReuse(t *testing.T) {
+	// Not guaranteed by sync.Pool in general, but single-goroutine
+	// Get-after-Put of the same class reuses the buffer in practice.
+	b := Get(4096)
+	b[0] = 0xAB
+	Put(b)
+	c := Get(4096)
+	Put(c)
+}
+
+func TestLeakCheck(t *testing.T) {
+	lc := StartLeakCheck()
+	defer lc.Stop()
+
+	a := Get(512)
+	b := Get(2048)
+	if got := lc.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d, want 2", got)
+	}
+	Put(a)
+	if got := lc.Outstanding(); got != 1 {
+		t.Fatalf("outstanding = %d, want 1", got)
+	}
+	Put(b)
+	if got := lc.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d, want 0", got)
+	}
+	gets, puts := lc.Stats()
+	if gets != 2 || puts != 2 {
+		t.Fatalf("stats = %d gets %d puts, want 2/2", gets, puts)
+	}
+}
+
+func TestLeakCheckDoublePut(t *testing.T) {
+	lc := StartLeakCheck()
+	defer lc.Stop()
+	b := Get(512)
+	Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic under leak check")
+		}
+	}()
+	Put(b)
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg)
+	Put(Get(512))
+	snap := reg.Snapshot()
+	for _, name := range []string{"bufpool.gets", "bufpool.hits", "bufpool.misses", "bufpool.puts", "bufpool.foreign_puts", "bufpool.oversize_gets"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+	}
+}
+
+func TestAllocsSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting in -short mode")
+	}
+	// Warm the class so the pool has a buffer, then Get/Put must not
+	// allocate. (Run without -race; the race runtime adds allocations.)
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	Put(Get(4096))
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get(4096)
+		Put(b)
+	})
+	if allocs > 0 {
+		t.Fatalf("Get/Put allocates %.1f per op in steady state", allocs)
+	}
+}

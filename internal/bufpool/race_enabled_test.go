@@ -1,0 +1,7 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled disables alloc-count assertions: the race runtime
+// allocates on instrumented paths.
+const raceEnabled = true

@@ -249,7 +249,7 @@ func TestReassemblyViolationTearsDown(t *testing.T) {
 	// as if a peer with a valid stream context sent it.
 	sst.deliver(nil, &record.StreamChunk{
 		StreamID: sst.ID(), Offset: 1 << 30, Data: make([]byte, 40<<10),
-	})
+	}, nil)
 	if !errors.Is(srv.Err(), ErrLimitExceeded) {
 		t.Fatalf("server error = %v, want ErrLimitExceeded", srv.Err())
 	}

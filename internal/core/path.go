@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
 	"github.com/pluginized-protocols/gotcpls/internal/record"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
@@ -28,8 +29,11 @@ type pathConn struct {
 	joined  bool // attached via JOIN (vs. the initial handshake)
 
 	writeMu sync.Mutex
-	ctxMu   sync.Mutex
-	ctxs    map[uint32]bool // stream contexts added on this conn
+	// wScratch holds the stream-data record header and TType trailer
+	// handed to the vectored record write; guarded by writeMu.
+	wScratch [record.StreamHeaderLen + 1]byte
+	ctxMu    sync.Mutex
+	ctxs     map[uint32]bool // stream contexts added on this conn
 
 	health   pathHealth
 	failOnce sync.Once // handleConnFailure runs at most once per path
@@ -141,7 +145,10 @@ func (pc *pathConn) writeControl(frames ...record.Frame) error {
 	}
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
-	return pc.tls.WriteRecordContext(tls13.DefaultContext, record.EncodeControl(frames...))
+	buf := record.AppendControl(bufpool.Get(512)[:0], frames...)
+	err := pc.tls.WriteRecordContext(tls13.DefaultContext, buf)
+	bufpool.Put(buf) // a grown (non-class) buffer is silently dropped
+	return err
 }
 
 // writeTCPOption ships one TCP option through the secure channel.
@@ -173,7 +180,13 @@ func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
 	})
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
-	return pc.tls.WriteRecordContext(c.StreamID, record.EncodeStreamChunk(c))
+	// Vectored write: header, payload and TType trailer are gathered
+	// directly into the sealed-record buffer, so the chunk's plaintext
+	// is never assembled separately.
+	record.PutStreamHeader(pc.wScratch[:], c)
+	pc.wScratch[record.StreamHeaderLen] = byte(record.TTypeStreamData)
+	return pc.tls.WriteRecordParts(c.StreamID,
+		pc.wScratch[:record.StreamHeaderLen], c.Data, pc.wScratch[record.StreamHeaderLen:])
 }
 
 // chunkSize picks the stream-chunk size: fixed if configured, otherwise
@@ -214,19 +227,28 @@ func (pc *pathConn) readLoop() {
 			pc.handleDeath(err)
 			return
 		}
+		// plain is a pooled record buffer owned by this loop. Stream
+		// chunks alias it (chunk.Data points into plain), so ownership
+		// travels with the chunk into the stream's receive queue and the
+		// buffer is recycled when the application consumes it. Control
+		// frames and TCP options decode into copies, so those arms
+		// recycle the buffer immediately.
 		tt, content, err := record.Decode(plain)
 		if err != nil {
+			bufpool.Put(plain)
 			continue
 		}
 		switch tt {
 		case record.TTypeStreamData:
 			chunk, err := record.DecodeStreamChunk(content)
 			if err != nil {
+				bufpool.Put(plain)
 				continue
 			}
-			pc.session.dispatchChunk(pc, chunk)
+			pc.session.dispatchChunk(pc, chunk, plain)
 		case record.TTypeControl:
 			frames, err := record.DecodeControl(content)
+			bufpool.Put(plain)
 			if err != nil {
 				continue
 			}
@@ -235,10 +257,13 @@ func (pc *pathConn) readLoop() {
 			}
 		case record.TTypeTCPOption:
 			opt, err := record.DecodeTCPOption(content)
+			bufpool.Put(plain)
 			if err != nil {
 				continue
 			}
 			pc.session.applyTCPOption(pc, opt)
+		default:
+			bufpool.Put(plain)
 		}
 	}
 }
@@ -256,7 +281,10 @@ func (pc *pathConn) handleDeath(err error) {
 
 // --- session-side dispatch ---
 
-func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
+// dispatchChunk routes a stream-data chunk. owner is the pooled record
+// buffer chunk.Data aliases (nil when the data is not pooled); ownership
+// transfers to the stream, or is recycled here if no stream takes it.
+func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk, owner []byte) {
 	s.ctr.recordsRcvd.Add(1)
 	s.ctr.bytesRcvd.Add(uint64(len(chunk.Data)))
 	fin := int64(0)
@@ -273,9 +301,10 @@ func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk) {
 	})
 	st := s.getOrCreateStream(chunk.StreamID, pc)
 	if st == nil {
+		bufpool.Put(owner)
 		return
 	}
-	st.deliver(pc, chunk)
+	st.deliver(pc, chunk, owner)
 }
 
 func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
@@ -316,7 +345,7 @@ func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
 		if st != nil {
 			st.deliver(pc, &record.StreamChunk{
 				StreamID: fr.StreamID, Offset: fr.FinalOffset, Fin: true,
-			})
+			}, nil)
 		}
 	case record.AddAddress:
 		s.mu.Lock()

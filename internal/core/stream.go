@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/record"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 )
@@ -34,10 +35,13 @@ type Stream struct {
 	finSent    bool
 	attached   *pathConn // preferred connection (ModeSinglePath)
 
-	// Receive side.
-	recvBuf      []byte
+	// Receive side. Decrypted record payloads are queued as segments
+	// still backed by their pooled record buffers; the single copy to
+	// application memory happens in Read, which then recycles them.
+	recvQ        []recvSeg
+	recvQBytes   int
 	recvNext     uint64
-	ooo          []*record.StreamChunk
+	ooo          []oooSeg
 	oooBytes     int // reassembly footprint: data + per-chunk overhead
 	finalOffset  uint64
 	finKnown     bool
@@ -45,6 +49,22 @@ type Stream struct {
 
 	err    error
 	closed bool
+}
+
+// recvSeg is in-order stream data awaiting Read. data points into
+// owner, the pooled decrypted-record buffer, which is returned to the
+// pool once the segment is fully consumed. A nil owner means the data
+// is not pooled (and is simply dropped for the garbage collector).
+type recvSeg struct {
+	data  []byte
+	owner []byte
+}
+
+// oooSeg is buffered out-of-order stream data, same ownership rules.
+type oooSeg struct {
+	off   uint64
+	data  []byte
+	owner []byte
 }
 
 func newStream(s *Session, id uint32, remote bool) *Stream {
@@ -313,14 +333,32 @@ func (st *Stream) Close() error {
 	return nil
 }
 
-// Read implements io.Reader with in-order delivery.
+// Read implements io.Reader with in-order delivery. This is the single
+// copy on the receive path: queued segments still live in their pooled
+// record buffers, and a fully consumed segment's buffer is recycled
+// here — the returned bytes never alias them.
 func (st *Stream) Read(p []byte) (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
-		if len(st.recvBuf) > 0 {
-			n := copy(p, st.recvBuf)
-			st.recvBuf = st.recvBuf[n:]
+		if st.recvQBytes > 0 {
+			n := 0
+			for n < len(p) && len(st.recvQ) > 0 {
+				seg := &st.recvQ[0]
+				m := copy(p[n:], seg.data)
+				n += m
+				if m == len(seg.data) {
+					bufpool.Put(seg.owner)
+					st.recvQ[0] = recvSeg{}
+					st.recvQ = st.recvQ[1:]
+				} else {
+					seg.data = seg.data[m:]
+				}
+			}
+			st.recvQBytes -= n
+			if len(st.recvQ) == 0 {
+				st.recvQ = nil // let the drained backing array go
+			}
 			st.spaceCond.Broadcast() // wake read loops parked on backpressure
 			return n, nil
 		}
@@ -343,27 +381,29 @@ func (st *Stream) Read(p []byte) (int, error) {
 // (its replay buffer bounds un-acked data, and there is no TCPLS-layer
 // retransmission to re-request a dropped chunk), so it is treated as an
 // attack and the session is torn down with a typed LimitError.
-func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk) {
+func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk, owner []byte) {
 	limit := st.session.limits.MaxStreamRecvBuffer
 	st.mu.Lock()
 	if chunk.Offset > st.recvNext &&
 		st.oooBytes+len(chunk.Data)+chunkOverhead > limit {
 		st.mu.Unlock()
+		bufpool.Put(owner)
 		st.session.teardown(&LimitError{Limit: "stream reassembly", Max: limit})
 		return
 	}
-	for st.err == nil && len(st.recvBuf) >= limit {
+	for st.err == nil && st.recvQBytes >= limit {
 		st.spaceCond.Wait()
 	}
 	if st.err != nil {
 		st.mu.Unlock()
+		bufpool.Put(owner)
 		return
 	}
 	if chunk.Fin && !st.finKnown {
 		st.finKnown = true
 		st.finalOffset = chunk.Offset + uint64(len(chunk.Data))
 	}
-	st.ingest(chunk)
+	st.ingest(chunk, owner)
 	st.sinceLastAck += uint64(len(chunk.Data))
 	finDelivered := st.finKnown && st.recvNext >= st.finalOffset
 	needAck := !st.session.cfg.DisableAcks &&
@@ -388,50 +428,67 @@ func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk) {
 	}
 }
 
-// ingest merges a chunk into the receive state. Caller holds st.mu.
-func (st *Stream) ingest(chunk *record.StreamChunk) {
+// ingest merges a chunk into the receive state, taking ownership of the
+// pooled buffer backing chunk.Data. Caller holds st.mu. Buffers are
+// queued, not copied: in-order data waits for Read, out-of-order data
+// waits for the gap to fill, and only fully duplicate data recycles its
+// buffer immediately.
+func (st *Stream) ingest(chunk *record.StreamChunk, owner []byte) {
 	data := chunk.Data
 	off := chunk.Offset
 	if off < st.recvNext {
 		skip := st.recvNext - off
 		if skip >= uint64(len(data)) {
+			bufpool.Put(owner)
 			return // complete duplicate (failover replay)
 		}
 		data = data[skip:]
 		off = st.recvNext
 	}
 	if off == st.recvNext {
-		st.recvBuf = append(st.recvBuf, data...)
-		st.recvNext += uint64(len(data))
+		if len(data) > 0 {
+			st.recvQ = append(st.recvQ, recvSeg{data: data, owner: owner})
+			st.recvQBytes += len(data)
+			st.recvNext += uint64(len(data))
+		} else {
+			bufpool.Put(owner)
+		}
 		st.drainOOO()
 		return
 	}
 	// Out of order: insert sorted by offset (multipath reordering).
-	c := &record.StreamChunk{StreamID: chunk.StreamID, Offset: off, Data: append([]byte(nil), data...)}
-	idx := sort.Search(len(st.ooo), func(i int) bool { return st.ooo[i].Offset >= off })
-	if idx < len(st.ooo) && st.ooo[idx].Offset == off && len(st.ooo[idx].Data) >= len(c.Data) {
+	idx := sort.Search(len(st.ooo), func(i int) bool { return st.ooo[i].off >= off })
+	if idx < len(st.ooo) && st.ooo[idx].off == off && len(st.ooo[idx].data) >= len(data) {
+		bufpool.Put(owner)
 		return
 	}
-	st.ooo = append(st.ooo, nil)
+	st.ooo = append(st.ooo, oooSeg{})
 	copy(st.ooo[idx+1:], st.ooo[idx:])
-	st.ooo[idx] = c
-	st.oooBytes += len(c.Data) + chunkOverhead
+	st.ooo[idx] = oooSeg{off: off, data: data, owner: owner}
+	st.oooBytes += len(data) + chunkOverhead
 }
 
-// drainOOO pulls newly contiguous chunks into recvBuf. Caller holds st.mu.
+// drainOOO pulls newly contiguous chunks into the receive queue.
+// Caller holds st.mu.
 func (st *Stream) drainOOO() {
 	for len(st.ooo) > 0 {
 		c := st.ooo[0]
-		if c.Offset > st.recvNext {
+		if c.off > st.recvNext {
 			return
 		}
+		st.ooo[0] = oooSeg{}
 		st.ooo = st.ooo[1:]
-		st.oooBytes -= len(c.Data) + chunkOverhead
-		data := c.Data
-		if skip := st.recvNext - c.Offset; skip < uint64(len(data)) {
-			st.recvBuf = append(st.recvBuf, data[skip:]...)
-			st.recvNext += uint64(len(data)) - skip
+		st.oooBytes -= len(c.data) + chunkOverhead
+		if skip := st.recvNext - c.off; skip < uint64(len(c.data)) {
+			st.recvQ = append(st.recvQ, recvSeg{data: c.data[skip:], owner: c.owner})
+			st.recvQBytes += len(c.data) - int(skip)
+			st.recvNext += uint64(len(c.data)) - skip
+		} else {
+			bufpool.Put(c.owner) // overtaken by newer data: duplicate
 		}
+	}
+	if len(st.ooo) == 0 {
+		st.ooo = nil
 	}
 }
 
@@ -478,13 +535,23 @@ func (st *Stream) replayUnacked(pc *pathConn) {
 	}
 }
 
-// terminate fails the stream (session death).
+// terminate fails the stream (session death) and recycles its queued
+// receive buffers — nothing will Read them. Safe under st.mu: Read
+// copies out under the same lock, so no reader holds a segment here.
 func (st *Stream) terminate(err error) {
 	st.mu.Lock()
 	if st.err == nil {
 		st.err = err
 	}
 	st.closed = true
+	for _, seg := range st.recvQ {
+		bufpool.Put(seg.owner)
+	}
+	st.recvQ, st.recvQBytes = nil, 0
+	for _, o := range st.ooo {
+		bufpool.Put(o.owner)
+	}
+	st.ooo, st.oooBytes = nil, 0
 	st.readCond.Broadcast()
 	st.writeCond.Broadcast()
 	st.spaceCond.Broadcast() // free read loops parked on backpressure
@@ -526,7 +593,7 @@ func (st *Stream) state() StreamState {
 		RecvNext:     st.recvNext,
 		OOO:          len(st.ooo),
 		OOOBytes:     st.oooBytes,
-		RecvBuffered: len(st.recvBuf),
+		RecvBuffered: st.recvQBytes,
 		FinKnown:     st.finKnown,
 		FinalOff:     st.finalOffset,
 	}

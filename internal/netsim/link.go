@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
@@ -338,17 +339,20 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 	if l.isDown(e.dir) {
 		l.net.emit(TraceEvent{Kind: "drop-down", Link: l.cfg.Name, Packet: p})
 		l.noteDrop(&l.ctr.dropDown, telemetry.EvLinkDropDown, p)
+		bufpool.Put(p.Payload)
 		return
 	}
 	if l.isStalled(e.dir) {
 		l.net.emit(TraceEvent{Kind: "drop-stall", Link: l.cfg.Name, Packet: p})
 		l.noteDrop(&l.ctr.dropStall, telemetry.EvLinkDropStall, p)
+		bufpool.Put(p.Payload)
 		return
 	}
 	// Middlebox chain. Forward-direction results continue down the link;
 	// reverse injections enter the opposite direction.
+	mboxes := l.middleboxes()
 	fwd := []*wire.Packet{p}
-	for _, m := range l.middleboxes() {
+	for _, m := range mboxes {
 		var next []*wire.Packet
 		for _, q := range fwd {
 			out, back := m.Process(q.Clone(), e.dir)
@@ -368,9 +372,40 @@ func (e *LinkEnd) transmit(p *wire.Packet) {
 		}
 		fwd = next
 	}
+	if len(mboxes) > 0 {
+		// The chain operated on clones (GC-backed); the original packet's
+		// pooled buffer is no longer referenced by anything downstream.
+		bufpool.Put(p.Payload)
+	}
 	for _, q := range fwd {
 		dirState.enqueue(q)
 	}
+}
+
+// hasMboxes reports whether any middlebox is installed, without copying
+// the chain (the batch fast path checks this per burst).
+func (l *Link) hasMboxes() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.mboxes) > 0
+}
+
+// transmitBatch sends a burst of packets down the link. The fast path —
+// link up, no middleboxes — schedules the whole burst under one queue
+// lock; any special condition falls back to per-packet transmit.
+func (e *LinkEnd) transmitBatch(pkts []*wire.Packet) {
+	l := e.link
+	if l.isDown(e.dir) || l.isStalled(e.dir) || l.hasMboxes() {
+		for _, p := range pkts {
+			e.transmit(p)
+		}
+		return
+	}
+	dirState := l.ab
+	if e.dir == BtoA {
+		dirState = l.ba
+	}
+	dirState.enqueueBatch(pkts)
 }
 
 // enqueue models the drop-tail queue plus the serialization and
@@ -381,6 +416,7 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 	if loss := l.Loss(); loss > 0 && l.net.lossDraw() < loss {
 		l.net.emit(TraceEvent{Kind: "drop-loss", Link: cfg.Name, Packet: p})
 		l.noteDrop(&l.ctr.dropLoss, telemetry.EvLinkDropLoss, p)
+		bufpool.Put(p.Payload)
 		return
 	}
 	size := p.Len()
@@ -405,6 +441,7 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 			d.mu.Unlock()
 			l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
 			l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
+			bufpool.Put(p.Payload)
 			return
 		}
 		l.noteQueueDepth(int64(queued) + int64(size))
@@ -422,6 +459,86 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 	default:
 		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
 		l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
+		bufpool.Put(p.Payload)
+	}
+}
+
+// enqueueBatch schedules a burst of packets through the drop-tail queue
+// under a single lock acquisition and one clock read — the per-packet
+// lock/unlock and time.Now of enqueue dominate high-rate senders.
+// Loss draws, bandwidth backlog and delivery times are still computed
+// per packet, so emulation behaviour matches packet-at-a-time exactly.
+func (d *linkDir) enqueueBatch(pkts []*wire.Packet) {
+	l := d.link
+	cfg := l.cfg
+	if loss := l.Loss(); loss > 0 {
+		kept := pkts[:0]
+		for _, p := range pkts {
+			if l.net.lossDraw() < loss {
+				l.net.emit(TraceEvent{Kind: "drop-loss", Link: cfg.Name, Packet: p})
+				l.noteDrop(&l.ctr.dropLoss, telemetry.EvLinkDropLoss, p)
+				bufpool.Put(p.Payload)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pkts = kept
+	}
+	if len(pkts) == 0 {
+		return
+	}
+
+	sched := make([]timedPacket, 0, len(pkts))
+	var overflow []*wire.Packet
+	var hwm int64
+	d.mu.Lock()
+	now := time.Now()
+	for _, p := range pkts {
+		size := p.Len()
+		var txTime time.Duration
+		if cfg.BandwidthBps > 0 {
+			txTime = time.Duration(float64(size*8) / cfg.BandwidthBps * float64(time.Second))
+		}
+		backlog := d.nextFree.Sub(now)
+		if backlog < 0 {
+			backlog = 0
+			d.nextFree = now
+		}
+		if cfg.BandwidthBps > 0 {
+			virtualBacklog := float64(backlog) / l.net.scale
+			queued := virtualBacklog / float64(time.Second) * cfg.BandwidthBps / 8
+			if int(queued) > cfg.QueueBytes {
+				overflow = append(overflow, p)
+				continue
+			}
+			if q := int64(queued) + int64(size); q > hwm {
+				hwm = q
+			}
+		}
+		d.nextFree = d.nextFree.Add(l.net.ScaleDuration(txTime))
+		sched = append(sched, timedPacket{p, d.nextFree.Add(l.net.ScaleDuration(cfg.Delay))})
+	}
+	d.mu.Unlock()
+
+	for _, p := range overflow {
+		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
+		l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
+		bufpool.Put(p.Payload)
+	}
+	if hwm > 0 {
+		l.noteQueueDepth(hwm)
+	}
+	for _, tp := range sched {
+		l.net.emit(TraceEvent{Kind: "send", Link: cfg.Name, Packet: tp.p})
+		l.ctr.sent.Add(1)
+		l.ctr.sentBytes.Add(uint64(tp.p.Len()))
+		select {
+		case d.inflight <- tp:
+		default:
+			l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: tp.p})
+			l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, tp.p)
+			bufpool.Put(tp.p.Payload)
+		}
 	}
 }
 

@@ -289,6 +289,32 @@ func (h *Host) Send(p *wire.Packet) error {
 	return nil
 }
 
+// SendBatch routes a burst of packets sharing one destination — the
+// common shape of an ACK-clocked TCP flight — with a single route lookup
+// and a single pass through the link queue. On error (no route) the
+// caller keeps ownership of every packet's payload buffer; on success
+// ownership moves into the network as with Send.
+func (h *Host) SendBatch(pkts []*wire.Packet) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	dst := pkts[0].Dst
+	if h.HasAddr(dst) {
+		for _, p := range pkts {
+			h.net.emit(TraceEvent{Kind: "loop", Host: h.name, Packet: p})
+			q := p
+			h.net.AfterFunc(50*time.Microsecond, func() { h.deliver(q) })
+		}
+		return nil
+	}
+	end := h.lookupRoute(dst)
+	if end == nil {
+		return fmt.Errorf("netsim: %s: no route to %s", h.name, dst)
+	}
+	end.transmitBatch(pkts)
+	return nil
+}
+
 // deliver hands a packet that has arrived at this host to the protocol
 // handler.
 func (h *Host) deliver(p *wire.Packet) {

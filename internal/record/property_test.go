@@ -1,0 +1,151 @@
+package record
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// propertySeed returns the randomness seed for a property test and logs
+// it so a failure can be replayed by hardcoding the value.
+func propertySeed(t *testing.T) int64 {
+	seed := time.Now().UnixNano()
+	t.Logf("property seed: %d (set propertySeed to replay)", seed)
+	return seed
+}
+
+func randAddr(rng *rand.Rand) netip.Addr {
+	if rng.Intn(2) == 0 {
+		var v4 [4]byte
+		rng.Read(v4[:])
+		return netip.AddrFrom4(v4)
+	}
+	var v16 [16]byte
+	rng.Read(v16[:])
+	return netip.AddrFrom16(v16)
+}
+
+func randFrame(rng *rand.Rand) Frame {
+	switch rng.Intn(10) {
+	case 0:
+		return Ping{Seq: rng.Uint32()}
+	case 1:
+		return Pong{Seq: rng.Uint32()}
+	case 2:
+		return Ack{StreamID: rng.Uint32(), Offset: rng.Uint64()}
+	case 3:
+		return StreamOpen{StreamID: rng.Uint32()}
+	case 4:
+		return StreamClose{StreamID: rng.Uint32(), FinalOffset: rng.Uint64()}
+	case 5:
+		return AddAddress{Addr: randAddr(rng), Port: uint16(rng.Uint32()), Primary: rng.Intn(2) == 1}
+	case 6:
+		return RemoveAddress{Addr: randAddr(rng)}
+	case 7:
+		name := make([]byte, rng.Intn(32))
+		for i := range name {
+			name[i] = byte('a' + rng.Intn(26))
+		}
+		code := make([]byte, rng.Intn(256))
+		rng.Read(code)
+		return BPFCC{Name: string(name), Bytecode: code}
+	case 8:
+		return SessionClose{}
+	default:
+		return ConnClose{ConnID: rng.Uint32()}
+	}
+}
+
+func framesEqual(a, b Frame) bool {
+	x, ok := a.(BPFCC)
+	if !ok {
+		return a == b
+	}
+	y, ok := b.(BPFCC)
+	return ok && x.Name == y.Name && bytes.Equal(x.Bytecode, y.Bytecode)
+}
+
+// TestControlRoundTripProperty: Decode(Encode(frames)) must return the
+// same frames for any generated batch.
+func TestControlRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed(t)))
+	for iter := 0; iter < 500; iter++ {
+		in := make([]Frame, 1+rng.Intn(8))
+		for i := range in {
+			in[i] = randFrame(rng)
+		}
+		plaintext := EncodeControl(in...)
+		tt, content, err := Decode(plaintext)
+		if err != nil || tt != TTypeControl {
+			t.Fatalf("iter %d: Decode: tt=%d err=%v", iter, tt, err)
+		}
+		out, err := DecodeControl(content)
+		if err != nil {
+			t.Fatalf("iter %d: DecodeControl(%v): %v", iter, in, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("iter %d: %d frames decoded, want %d", iter, len(out), len(in))
+		}
+		for i := range in {
+			if !framesEqual(in[i], out[i]) {
+				t.Fatalf("iter %d frame %d: got %#v, want %#v", iter, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+// TestStreamChunkRoundTripProperty: header fields and payload must
+// survive EncodeStreamChunk → Decode → DecodeStreamChunk for any chunk.
+func TestStreamChunkRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed(t)))
+	for iter := 0; iter < 500; iter++ {
+		in := &StreamChunk{
+			StreamID: rng.Uint32(),
+			Offset:   rng.Uint64(),
+			Fin:      rng.Intn(2) == 1,
+			Data:     make([]byte, rng.Intn(4096)),
+		}
+		rng.Read(in.Data)
+		tt, content, err := Decode(EncodeStreamChunk(in))
+		if err != nil || tt != TTypeStreamData {
+			t.Fatalf("iter %d: Decode: tt=%d err=%v", iter, tt, err)
+		}
+		out, err := DecodeStreamChunk(content)
+		if err != nil {
+			t.Fatalf("iter %d: DecodeStreamChunk: %v", iter, err)
+		}
+		if out.StreamID != in.StreamID || out.Offset != in.Offset || out.Fin != in.Fin || !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("iter %d: got %+v, want %+v", iter, out, in)
+		}
+	}
+}
+
+// TestTCPOptionRoundTripProperty: options of any size must round-trip,
+// and the decoded Data must not alias the input buffer.
+func TestTCPOptionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed(t)))
+	for iter := 0; iter < 500; iter++ {
+		in := &TCPOption{Kind: uint8(rng.Uint32()), Data: make([]byte, rng.Intn(512))}
+		rng.Read(in.Data)
+		tt, content, err := Decode(EncodeTCPOption(in))
+		if err != nil || tt != TTypeTCPOption {
+			t.Fatalf("iter %d: Decode: tt=%d err=%v", iter, tt, err)
+		}
+		out, err := DecodeTCPOption(content)
+		if err != nil {
+			t.Fatalf("iter %d: DecodeTCPOption: %v", iter, err)
+		}
+		if out.Kind != in.Kind || !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("iter %d: got %+v, want %+v", iter, out, in)
+		}
+		if len(content) > 3 && len(out.Data) > 0 {
+			content[3] ^= 0xFF // mutate the record buffer
+			if out.Data[0] == content[3] {
+				t.Fatalf("iter %d: decoded option data aliases the record buffer", iter)
+			}
+			content[3] ^= 0xFF
+		}
+	}
+}

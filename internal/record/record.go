@@ -84,19 +84,34 @@ type StreamChunk struct {
 	Data []byte
 }
 
+// PutStreamHeader writes the chunk's 13-byte stream-data header into b,
+// which must hold at least StreamHeaderLen bytes. The hot send path
+// hands this header and the chunk data to the record protection as
+// separate parts (tls13.WriteRecordParts), so the plaintext is only
+// ever assembled inside the sealed-record buffer.
+func PutStreamHeader(b []byte, c *StreamChunk) {
+	_ = b[StreamHeaderLen-1]
+	binary.BigEndian.PutUint32(b[0:], c.StreamID)
+	binary.BigEndian.PutUint64(b[4:], c.Offset)
+	if c.Fin {
+		b[12] = 1
+	} else {
+		b[12] = 0
+	}
+}
+
 // EncodeStreamChunk builds the full TCPLS plaintext for a chunk.
 func EncodeStreamChunk(c *StreamChunk) []byte {
 	out := make([]byte, StreamHeaderLen, StreamHeaderLen+len(c.Data)+1)
-	binary.BigEndian.PutUint32(out[0:], c.StreamID)
-	binary.BigEndian.PutUint64(out[4:], c.Offset)
-	if c.Fin {
-		out[12] = 1
-	}
+	PutStreamHeader(out, c)
 	out = append(out, c.Data...)
 	return append(out, byte(TTypeStreamData))
 }
 
 // DecodeStreamChunk parses a stream-data record content (without TType).
+// Data aliases b: on the receive path the decrypted record buffer's
+// ownership travels with the chunk, and the stream layer copies once at
+// the Stream.Read API boundary before recycling the buffer.
 func DecodeStreamChunk(b []byte) (*StreamChunk, error) {
 	if len(b) < StreamHeaderLen {
 		return nil, ErrBadFrame
@@ -129,7 +144,9 @@ func EncodeTCPOption(o *TCPOption) []byte {
 	return append(out, byte(TTypeTCPOption))
 }
 
-// DecodeTCPOption parses a TCP option record content.
+// DecodeTCPOption parses a TCP option record content. Data is copied
+// out of b ("no input aliasing"): option callbacks may retain it while
+// the record buffer is recycled.
 func DecodeTCPOption(b []byte) (*TCPOption, error) {
 	if len(b) < 3 {
 		return nil, ErrBadFrame
@@ -138,7 +155,7 @@ func DecodeTCPOption(b []byte) (*TCPOption, error) {
 	if len(b) != 3+n {
 		return nil, ErrBadFrame
 	}
-	return &TCPOption{Kind: b[0], Data: b[3:]}, nil
+	return &TCPOption{Kind: b[0], Data: append([]byte(nil), b[3:]...)}, nil
 }
 
 // UserTimeoutOption builds the RFC 5482 option for the secure channel.
@@ -319,18 +336,25 @@ func (f ConnClose) encodeBody(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, f.ConnID)
 }
 
+// AppendControl packs frames into one control-record plaintext
+// (including the TType trailer), appending to b. Frame bodies are
+// encoded in place with their length prefix backfilled, so a caller
+// supplying a pooled buffer pays no intermediate allocations.
+func AppendControl(b []byte, frames ...Frame) []byte {
+	codecCtr.framesEncoded.Add(uint64(len(frames)))
+	for _, f := range frames {
+		b = append(b, byte(f.frameType()), 0, 0)
+		lenAt := len(b) - 2
+		b = f.encodeBody(b)
+		binary.BigEndian.PutUint16(b[lenAt:], uint16(len(b)-lenAt-2))
+	}
+	return append(b, byte(TTypeControl))
+}
+
 // EncodeControl packs frames into one control-record plaintext
 // (including the TType trailer).
 func EncodeControl(frames ...Frame) []byte {
-	codecCtr.framesEncoded.Add(uint64(len(frames)))
-	var b []byte
-	for _, f := range frames {
-		b = append(b, byte(f.frameType()))
-		body := f.encodeBody(nil)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(body)))
-		b = append(b, body...)
-	}
-	return append(b, byte(TTypeControl))
+	return AppendControl(nil, frames...)
 }
 
 // MaxControlFrames caps how many frames one control record may carry.
@@ -431,7 +455,9 @@ func decodeFrame(ft FrameType, body []byte) (Frame, error) {
 		if len(rest) != progLen {
 			return nil, ErrBadFrame
 		}
-		return BPFCC{name, rest}, nil
+		// Copy the bytecode ("no input aliasing"): the CC plugin
+		// retains it long after the record buffer is recycled.
+		return BPFCC{name, append([]byte(nil), rest...)}, nil
 	case FrameSessionClose:
 		return SessionClose{}, nil
 	case FrameConnClose:

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
@@ -47,10 +48,23 @@ const (
 	timeWaitD  = 1 * time.Second // shortened 2*MSL, virtual
 )
 
+// oooSeg is one out-of-order segment awaiting reassembly. data aliases
+// owner, the pooled packet buffer; whichever path removes the segment
+// from the queue (drain, replacement, eviction) must return owner to the
+// pool. A nil owner marks data the pool does not manage.
 type oooSeg struct {
-	seq  uint32
-	data []byte
-	fin  bool
+	seq   uint32
+	data  []byte
+	owner []byte
+	fin   bool
+}
+
+// rxSeg is one in-order span queued for Read. data aliases owner (the
+// pooled packet buffer); Read recycles owner once data is fully copied
+// out at the API boundary — the only copy on the receive path.
+type rxSeg struct {
+	data  []byte
+	owner []byte
 }
 
 // txEntry records when the segment ending at end was first transmitted.
@@ -121,11 +135,17 @@ type Conn struct {
 	peerSYNOpts []wire.Option // options observed on the peer's SYN (§4.5 detection)
 	irs         uint32
 	rcvNxt      uint32
-	rcvBuf      []byte
+	rcvQ        []rxSeg // in-order data, one pooled buffer per segment
+	rcvQBytes   int     // total bytes queued in rcvQ
 	ooo         []oooSeg
 	rcvScale    uint8
-	peerFin     bool // FIN consumed into the stream (EOF after rcvBuf drains)
+	peerFin     bool // FIN consumed into the stream (EOF after rcvQ drains)
 	lastAdvW    int
+
+	// txSegs is the per-burst transmit scratch: maybeSendLocked collects
+	// every segment the windows allow, then hands the whole burst to the
+	// stack in one call. Reused across bursts (guarded by c.mu).
+	txSegs []wire.Segment
 
 	readDeadline  time.Time
 	writeDeadline time.Time
@@ -249,6 +269,11 @@ func newConn(s *Stack, local, remote netip.AddrPort, active bool) *Conn {
 	c.iss = s.rng.Uint32()
 	s.mu.Unlock()
 	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	// Anchor the post-RTO fast-recovery guard at the ISS. Left at zero,
+	// the seqLT(sndUna, rtoRecover) comparison is against an arbitrary
+	// point in sequence space and suppresses fast retransmit entirely
+	// for any connection whose ISS has the high bit set.
+	c.rtoRecover = c.iss
 	c.traceID = traceIDBase | s.connSeq.Add(1)
 	s.ctr.connsOpened.Add(1)
 	if !active {
@@ -297,18 +322,29 @@ func (c *Conn) sendSYN(ack bool) {
 	c.transmit(seg)
 }
 
-// input processes one inbound segment.
-func (c *Conn) input(seg *wire.Segment) {
+// input processes one inbound segment. owner, when non-nil, is the
+// pooled packet buffer backing seg.Payload; ownership transfers here —
+// the receive path either queues the payload (recycling the buffer when
+// Read drains it) or returns it to the pool before dropping the segment.
+func (c *Conn) input(seg *wire.Segment, owner []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.SegsRcvd++
 	c.stack.ctr.segsRcvd.Add(1)
+	if !c.inputLocked(seg, owner) {
+		bufpool.Put(owner)
+	}
+}
 
+// inputLocked runs the state machine on one segment and reports whether
+// ownership of the payload buffer moved into the receive path.
+// Caller holds c.mu.
+func (c *Conn) inputLocked(seg *wire.Segment, owner []byte) bool {
 	switch c.st {
 	case stateListen:
 		// Freshly created by a listener: this segment is the peer's SYN.
 		if !seg.Flags.Has(wire.FlagSYN) || seg.Flags.Has(wire.FlagACK|wire.FlagRST) {
-			return
+			return false
 		}
 		c.irs = seg.Seq
 		c.rcvNxt = seg.Seq + 1
@@ -317,24 +353,24 @@ func (c *Conn) input(seg *wire.Segment) {
 		c.setState(stateSynRcvd)
 		c.sendSYN(true)
 		c.armRetransmit()
-		return
+		return false
 	case stateClosed:
-		return
+		return false
 	case stateSynSent:
 		c.inputSynSent(seg)
-		return
+		return false
 	case stateSynRcvd:
 		if seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK) {
 			// Retransmitted SYN: repeat our SYN+ACK.
 			c.processSynOptions(seg)
 			c.sendSYN(true)
-			return
+			return false
 		}
 	}
 
 	if seg.Flags.Has(wire.FlagRST) {
 		c.handleRST(seg)
-		return
+		return false
 	}
 	if seg.Flags.Has(wire.FlagSYN) {
 		// SYN on a synchronized connection (RFC 5961 §4): send a
@@ -343,19 +379,22 @@ func (c *Conn) input(seg *wire.Segment) {
 		// blind injector gets nothing.
 		c.noteChallengeAck(seg.Seq)
 		c.sendAck()
-		return
+		return false
 	}
 	if !seg.Flags.Has(wire.FlagACK) {
-		return
+		return false
 	}
 
 	if !c.processAck(seg) {
-		return
+		return false
 	}
+	consumed := false
 	if len(seg.Payload) > 0 || seg.Flags.Has(wire.FlagFIN) {
-		c.processData(seg)
+		c.processData(seg, owner)
+		consumed = true
 	}
 	c.maybeSendLocked()
+	return consumed
 }
 
 // inputSynSent handles segments in SYN-SENT. Caller holds c.mu.
@@ -386,7 +425,13 @@ func (c *Conn) inputSynSent(seg *wire.Segment) {
 // processSynOptions applies MSS/WScale/SACK from the peer's SYN.
 // Caller holds c.mu.
 func (c *Conn) processSynOptions(seg *wire.Segment) {
-	c.peerSYNOpts = append([]wire.Option(nil), seg.Options...)
+	// Deep-copy: the option Data slices alias the packet buffer, which
+	// returns to the pool when this segment is done, but peerSYNOpts
+	// lives for the connection (§4.5 middlebox detection reads it later).
+	c.peerSYNOpts = make([]wire.Option, len(seg.Options))
+	for i, o := range seg.Options {
+		c.peerSYNOpts[i] = wire.Option{Kind: o.Kind, Data: append([]byte(nil), o.Data...)}
+	}
 	sawScale := false
 	for i := range seg.Options {
 		o := &seg.Options[i]
@@ -626,18 +671,21 @@ func (c *Conn) ourFinAcked() {
 	}
 }
 
-// processData handles the payload and FIN of a segment. Caller holds c.mu.
-func (c *Conn) processData(seg *wire.Segment) {
+// processData handles the payload and FIN of a segment, consuming owner:
+// it is either queued (aliased by the trimmed payload) or returned to the
+// pool here. Caller holds c.mu.
+func (c *Conn) processData(seg *wire.Segment, owner []byte) {
 	seq := seg.Seq
 	data := seg.Payload
 	fin := seg.Flags.Has(wire.FlagFIN)
 
-	// Trim data already received.
+	// Trim data already received (the trimmed view still aliases owner).
 	if seqLT(seq, c.rcvNxt) {
 		skip := int(c.rcvNxt - seq)
 		if skip >= len(data) {
 			if !fin || seqLT(seq+uint32(len(data)), c.rcvNxt) {
 				c.sendAck() // pure duplicate: re-ack
+				bufpool.Put(owner)
 				return
 			}
 			data = nil
@@ -660,23 +708,29 @@ func (c *Conn) processData(seg *wire.Segment) {
 	}
 
 	if seq == c.rcvNxt {
-		c.ingest(data, fin)
+		c.ingest(data, fin, owner)
 		c.drainOOO()
 	} else if len(data) > 0 || fin {
-		c.insertOOO(oooSeg{seq: seq, data: append([]byte(nil), data...), fin: fin})
+		c.insertOOO(oooSeg{seq: seq, data: data, owner: owner, fin: fin})
+	} else {
+		bufpool.Put(owner)
 	}
 	c.sendAck()
 	c.readCond.Broadcast()
 }
 
-// ingest appends in-order data (and FIN) to the receive stream.
-// Caller holds c.mu.
-func (c *Conn) ingest(data []byte, fin bool) {
+// ingest queues in-order data (and FIN) for Read. The data slice and its
+// backing owner buffer transfer into rcvQ without a copy; a segment with
+// no usable data releases owner. Caller holds c.mu.
+func (c *Conn) ingest(data []byte, fin bool, owner []byte) {
 	if len(data) > 0 {
-		c.rcvBuf = append(c.rcvBuf, data...)
+		c.rcvQ = append(c.rcvQ, rxSeg{data: data, owner: owner})
+		c.rcvQBytes += len(data)
 		c.rcvNxt += uint32(len(data))
 		c.stats.BytesRcvd += uint64(len(data))
 		c.stack.ctr.bytesRcvd.Add(uint64(len(data)))
+	} else {
+		bufpool.Put(owner)
 	}
 	if fin && !c.peerFin {
 		c.peerFin = true
@@ -701,7 +755,7 @@ func (c *Conn) ingest(data []byte, fin bool) {
 // sender retransmits; nothing is owed to data we never acked).
 // Caller holds c.mu.
 func (c *Conn) insertOOO(s oooSeg) {
-	total := len(c.rcvBuf)
+	total := c.rcvQBytes
 	for _, o := range c.ooo {
 		total += len(o.data)
 	}
@@ -709,6 +763,7 @@ func (c *Conn) insertOOO(s oooSeg) {
 		c.stats.OOODrops++
 		c.stack.ctr.oooDrops.Add(1)
 		c.noteDrop("ooo-overflow", len(s.data))
+		bufpool.Put(s.owner)
 		return
 	}
 	for i, o := range c.ooo {
@@ -717,6 +772,7 @@ func (c *Conn) insertOOO(s oooSeg) {
 				c.stats.OOODrops++
 				c.stack.ctr.oooDrops.Add(1)
 				c.noteDrop("ooo-overflow", len(s.data))
+				bufpool.Put(s.owner)
 				return
 			}
 			c.ooo = append(c.ooo[:i], append([]oooSeg{s}, c.ooo[i:]...)...)
@@ -724,7 +780,10 @@ func (c *Conn) insertOOO(s oooSeg) {
 		}
 		if s.seq == o.seq {
 			if len(s.data) > len(o.data) {
+				bufpool.Put(c.ooo[i].owner)
 				c.ooo[i] = s
+			} else {
+				bufpool.Put(s.owner)
 			}
 			return
 		}
@@ -733,6 +792,7 @@ func (c *Conn) insertOOO(s oooSeg) {
 		c.stats.OOODrops++
 		c.stack.ctr.oooDrops.Add(1)
 		c.noteDrop("ooo-overflow", len(s.data))
+		bufpool.Put(s.owner)
 		return
 	}
 	c.ooo = append(c.ooo, s)
@@ -744,11 +804,14 @@ func (c *Conn) drainOOO() {
 		if seqLT(c.rcvNxt, o.seq) {
 			return
 		}
+		c.ooo[0] = oooSeg{}
 		c.ooo = c.ooo[1:]
 		if skip := int(c.rcvNxt - o.seq); skip < len(o.data) {
-			c.ingest(o.data[skip:], o.fin)
+			c.ingest(o.data[skip:], o.fin, o.owner)
 		} else if o.fin && seqLEQ(o.seq+uint32(len(o.data)), c.rcvNxt) {
-			c.ingest(nil, true)
+			c.ingest(nil, true, o.owner)
+		} else {
+			bufpool.Put(o.owner) // fully overtaken by the in-order stream
 		}
 	}
 }
@@ -832,7 +895,7 @@ func (c *Conn) bytesInFlight() int {
 }
 
 func (c *Conn) recvSpace() int {
-	used := len(c.rcvBuf)
+	used := c.rcvQBytes
 	for _, o := range c.ooo {
 		used += len(o.data)
 	}
@@ -875,6 +938,20 @@ func (c *Conn) transmit(seg *wire.Segment) {
 	c.stack.sendSegment(c.local.Addr(), c.remote.Addr(), seg)
 }
 
+// transmitBatch sends the accumulated txSegs burst in one stack call —
+// one route lookup and one link-queue lock for the whole ACK-clocked
+// flight instead of per segment. Caller holds c.mu.
+func (c *Conn) transmitBatch() {
+	n := len(c.txSegs)
+	c.stats.SegsSent += uint64(n)
+	c.stack.ctr.segsSent.Add(uint64(n))
+	c.stack.sendSegments(c.local.Addr(), c.remote.Addr(), c.txSegs)
+	for i := range c.txSegs {
+		c.txSegs[i] = wire.Segment{} // drop sndBuf references
+	}
+	c.txSegs = c.txSegs[:0]
+}
+
 // failLocked terminates with err. Caller holds c.mu.
 func (c *Conn) failLocked(err error) { c.teardown(err) }
 
@@ -890,6 +967,12 @@ func (c *Conn) teardown(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+	// Out-of-order segments can never drain now; recycle their buffers.
+	// rcvQ stays — already-received data remains readable after teardown.
+	for i := range c.ooo {
+		bufpool.Put(c.ooo[i].owner)
+	}
+	c.ooo = nil
 	c.cancelRetransmit()
 	if c.timeWaitTimer != nil {
 		c.timeWaitTimer.Stop()
@@ -963,7 +1046,7 @@ func (c *Conn) Info() Info {
 		BytesInFlight:     c.bytesInFlight(),
 		PeerWindow:        c.sndWnd,
 		SendQueue:         len(c.sndBuf),
-		RecvQueue:         len(c.rcvBuf),
+		RecvQueue:         c.rcvQBytes,
 		SRTT:              c.srtt,
 		RTTVar:            c.rttvar,
 		RTO:               c.rto,

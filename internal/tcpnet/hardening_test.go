@@ -23,7 +23,7 @@ func inject(s *Conn, mutate func(seg *wire.Segment)) {
 	}
 	s.mu.Unlock()
 	mutate(seg)
-	s.input(seg)
+	s.input(seg, nil)
 }
 
 func connStats(c *Conn) Stats {
@@ -174,7 +174,7 @@ func TestOOOWindowBound(t *testing.T) {
 	}
 
 	s.mu.Lock()
-	held := len(s.rcvBuf)
+	held := s.rcvQBytes
 	for _, o := range s.ooo {
 		held += len(o.data)
 	}

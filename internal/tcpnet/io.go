@@ -5,19 +5,37 @@ import (
 	"os"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
 // Read implements net.Conn: it blocks until data, EOF (peer FIN after the
-// buffer drains), an error, or the read deadline.
+// buffer drains), an error, or the read deadline. This copy out of the
+// queued packet buffers is the receive path's single copy; each buffer
+// returns to the pool once fully consumed.
 func (c *Conn) Read(b []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
-		if len(c.rcvBuf) > 0 {
-			n := copy(b, c.rcvBuf)
-			c.rcvBuf = c.rcvBuf[n:]
+		if c.rcvQBytes > 0 {
+			n := 0
+			for n < len(b) && len(c.rcvQ) > 0 {
+				s := &c.rcvQ[0]
+				k := copy(b[n:], s.data)
+				n += k
+				if k == len(s.data) {
+					bufpool.Put(s.owner)
+					c.rcvQ[0] = rxSeg{}
+					c.rcvQ = c.rcvQ[1:]
+				} else {
+					s.data = s.data[k:]
+				}
+			}
+			if len(c.rcvQ) == 0 {
+				c.rcvQ = nil // let the drained backing array go
+			}
+			c.rcvQBytes -= n
 			// Window update: if we had closed the window, reopen it.
 			if c.lastAdvW < c.mss && c.recvWindow() >= 2*c.mss && c.st == stateEstablished {
 				c.sendAck()
@@ -76,7 +94,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 }
 
 // maybeSendLocked pushes as much buffered data as the congestion and flow
-// control windows allow, then a FIN if one is pending. Caller holds c.mu.
+// control windows allow, then a FIN if one is pending. The segments of one
+// call are collected into a burst and handed to the stack together, so a
+// full ACK-clocked flight costs one route lookup and one link-queue pass.
+// Caller holds c.mu.
 func (c *Conn) maybeSendLocked() {
 	if c.st != stateEstablished && c.st != stateCloseWait &&
 		c.st != stateFinWait1 && c.st != stateClosing && c.st != stateLastAck {
@@ -100,7 +121,7 @@ func (c *Conn) maybeSendLocked() {
 			break
 		}
 		n := min(unsent, min(usable, c.mss))
-		seg := &wire.Segment{
+		seg := wire.Segment{
 			SrcPort: c.local.Port(), DstPort: c.remote.Port(),
 			Seq: c.sndNxt, Ack: c.rcvNxt,
 			Flags:   wire.FlagACK,
@@ -130,7 +151,10 @@ func (c *Conn) maybeSendLocked() {
 		if c.oldestTx.IsZero() {
 			c.oldestTx = time.Now()
 		}
-		c.transmit(seg)
+		c.txSegs = append(c.txSegs, seg)
+	}
+	if len(c.txSegs) > 0 {
+		c.transmitBatch()
 		c.armRetransmit()
 	}
 	// FIN once everything is sent.

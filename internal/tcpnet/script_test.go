@@ -1,0 +1,520 @@
+package tcpnet
+
+// Packetdrill-style scripted conformance tests: a raw peer (a netsim
+// host with no TCP stack) injects hand-built segments at the stack under
+// test and asserts, segment by segment, what comes back on the wire and
+// when. Where the rest of the suite checks behaviour end-to-end between
+// two copies of this stack (which would agree with each other even if
+// both were wrong), these scripts pin the stack against the RFCs
+// themselves: RTO backoff doubling (RFC 6298), fast retransmit on the
+// third duplicate ACK (RFC 5681), SACK-driven retransmit selection
+// (RFC 6675), the RFC 5961 challenge-ACK defenses, and zero-window
+// persist probing (RFC 9293 §3.8.6.1).
+//
+// The DSL is a table of steps executed strictly in order:
+//
+//	inject  — marshal a segment on the peer and send it to the stack
+//	expect  — the NEXT segment the stack emits must satisfy the matcher
+//	quiet   — the stack must emit nothing for the given duration
+//	do      — an application-level action (Write, state assertion, ...)
+//
+// Strict next-segment matching is the point: an unexpected segment is a
+// conformance failure, not noise to be skipped.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+const (
+	scriptPeerPort  = 9000
+	scriptStackPort = 443
+	scriptPeerISS   = 1000
+	scriptMSS       = 1400
+)
+
+// capture is one segment observed at the peer, stamped with its virtual
+// arrival time.
+type capture struct {
+	seg *wire.Segment
+	at  time.Duration
+}
+
+type scriptStep struct {
+	name   string
+	inject func(h *scriptHarness) *wire.Segment
+	expect func(h *scriptHarness, c capture) error
+	within time.Duration // expect window; default 2s
+	quiet  time.Duration
+	do     func(h *scriptHarness) error
+}
+
+type scriptHarness struct {
+	t        *testing.T
+	net      *netsim.Network
+	stack    *Stack
+	peer     *netsim.Host
+	out      chan capture
+	acceptCh chan *Conn
+	conn     *Conn // the connection under test, set by the accept step
+
+	iss uint32 // stack's initial send sequence, learned from its SYN-ACK
+}
+
+func newScriptHarness(t *testing.T, cfg Config) *scriptHarness {
+	t.Helper()
+	n := netsim.New()
+	peerH, stackH := n.Host("peer"), n.Host("stack")
+	n.AddLink(peerH, stackH, clientAddr, serverAddr, netsim.LinkConfig{Delay: time.Millisecond})
+	s := NewStack(stackH, cfg)
+	lst, err := s.Listen(netip.Addr{}, scriptStackPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &scriptHarness{
+		t: t, net: n, stack: s, peer: peerH,
+		out:      make(chan capture, 256),
+		acceptCh: make(chan *Conn, 1),
+	}
+	// The peer is a raw packet tap, not a Stack: every segment the stack
+	// sends is deep-copied (the packet buffer is pooled) and queued for
+	// the script to assert on.
+	peerH.Register(wire.ProtoTCP, func(p *wire.Packet) {
+		seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, false)
+		if err != nil {
+			return
+		}
+		cp := *seg
+		cp.Payload = append([]byte(nil), seg.Payload...)
+		cp.Options = make([]wire.Option, len(seg.Options))
+		for i, o := range seg.Options {
+			cp.Options[i] = wire.Option{Kind: o.Kind, Data: append([]byte(nil), o.Data...)}
+		}
+		select {
+		case h.out <- capture{&cp, n.VirtualNow()}:
+		default:
+			panic("script capture overflow")
+		}
+	})
+	go func() {
+		if c, err := lst.AcceptTCP(); err == nil {
+			h.acceptCh <- c
+		}
+	}()
+	t.Cleanup(func() { s.Close(); n.Close() })
+	return h
+}
+
+// seg builds a peer->stack segment; the payload is n filler bytes.
+func (h *scriptHarness) seg(flags wire.Flags, seq, ack uint32, n int, opts ...wire.Option) *wire.Segment {
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		for i := range payload {
+			payload[i] = byte('a' + i%26)
+		}
+	}
+	return &wire.Segment{
+		SrcPort: scriptPeerPort, DstPort: scriptStackPort,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+		Options: opts, Payload: payload,
+	}
+}
+
+func (h *scriptHarness) run(steps []scriptStep) {
+	h.t.Helper()
+	for _, st := range steps {
+		switch {
+		case st.inject != nil:
+			seg := st.inject(h)
+			buf, err := seg.Marshal(clientAddr, serverAddr)
+			if err != nil {
+				h.t.Fatalf("%s: marshal: %v", st.name, err)
+			}
+			pkt := &wire.Packet{Src: clientAddr, Dst: serverAddr, Proto: wire.ProtoTCP, TTL: 64, Payload: buf}
+			if err := h.peer.Send(pkt); err != nil {
+				h.t.Fatalf("%s: send: %v", st.name, err)
+			}
+		case st.expect != nil:
+			within := st.within
+			if within == 0 {
+				within = 2 * time.Second
+			}
+			select {
+			case c := <-h.out:
+				if err := st.expect(h, c); err != nil {
+					h.t.Fatalf("%s: got %s: %v", st.name, c.seg, err)
+				}
+			case <-time.After(within):
+				h.t.Fatalf("%s: no segment within %v", st.name, within)
+			}
+		case st.quiet > 0:
+			select {
+			case c := <-h.out:
+				h.t.Fatalf("%s: expected silence for %v, got %s", st.name, st.quiet, c.seg)
+			case <-time.After(st.quiet):
+			}
+		case st.do != nil:
+			if err := st.do(h); err != nil {
+				h.t.Fatalf("%s: %v", st.name, err)
+			}
+		default:
+			h.t.Fatalf("%s: empty step", st.name)
+		}
+	}
+}
+
+// expectData matches a data segment at the given stack sequence/length.
+// PSH is ignored (it varies with burst position); SYN/RST/FIN must be
+// clear.
+func expectData(seq func(h *scriptHarness) uint32, n int) func(*scriptHarness, capture) error {
+	return func(h *scriptHarness, c capture) error {
+		s := c.seg
+		if s.Flags.Has(wire.FlagSYN) || s.Flags.Has(wire.FlagRST) || s.Flags.Has(wire.FlagFIN) {
+			return fmt.Errorf("unexpected control flags %s", s.Flags)
+		}
+		if !s.Flags.Has(wire.FlagACK) {
+			return fmt.Errorf("data segment without ACK")
+		}
+		if want := seq(h); s.Seq != want {
+			return fmt.Errorf("seq = %d, want %d", s.Seq, want)
+		}
+		if len(s.Payload) != n {
+			return fmt.Errorf("payload = %d bytes, want %d", len(s.Payload), n)
+		}
+		return nil
+	}
+}
+
+// expectPureAck matches an empty ACK acknowledging the given peer
+// sequence — the shape of every RFC 5961 challenge ACK.
+func expectPureAck(ack func(h *scriptHarness) uint32) func(*scriptHarness, capture) error {
+	return func(h *scriptHarness, c capture) error {
+		s := c.seg
+		if s.Flags.Has(wire.FlagSYN) || s.Flags.Has(wire.FlagRST) || s.Flags.Has(wire.FlagFIN) {
+			return fmt.Errorf("unexpected control flags %s", s.Flags)
+		}
+		if !s.Flags.Has(wire.FlagACK) || len(s.Payload) != 0 {
+			return fmt.Errorf("not a pure ACK")
+		}
+		if want := ack(h); s.Ack != want {
+			return fmt.Errorf("ack = %d, want %d", s.Ack, want)
+		}
+		return nil
+	}
+}
+
+// handshakeSteps performs the passive-open three-way handshake: the
+// peer's SYN advertises MSS and SACK-permitted but no window scaling,
+// so all windows in the script are literal 16-bit values.
+func handshakeSteps() []scriptStep {
+	return []scriptStep{
+		{name: "inject SYN", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagSYN, scriptPeerISS, 0, 0,
+				wire.MSSOption(scriptMSS), wire.SACKPermittedOption())
+		}},
+		{name: "expect SYN-ACK", expect: func(h *scriptHarness, c capture) error {
+			s := c.seg
+			if !s.Flags.Has(wire.FlagSYN | wire.FlagACK) {
+				return fmt.Errorf("flags = %s, want SYN|ACK", s.Flags)
+			}
+			if s.Ack != scriptPeerISS+1 {
+				return fmt.Errorf("ack = %d, want %d", s.Ack, scriptPeerISS+1)
+			}
+			h.iss = s.Seq
+			return nil
+		}},
+		{name: "inject ACK of SYN-ACK", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1, 0)
+		}},
+		{name: "accept", do: func(h *scriptHarness) error {
+			select {
+			case h.conn = <-h.acceptCh:
+				return nil
+			case <-time.After(2 * time.Second):
+				return fmt.Errorf("listener never accepted")
+			}
+		}},
+	}
+}
+
+// primeRTTSteps sends and acks a small write so the stack has an RTT
+// sample: RTO collapses from the 1 s initial value to minRTO, and the
+// tail-loss probe arms. Scripts that time retransmissions start here.
+func primeRTTSteps(primeLen int) []scriptStep {
+	return []scriptStep{
+		{name: "write prime", do: func(h *scriptHarness) error {
+			_, err := h.conn.Write(make([]byte, primeLen))
+			return err
+		}},
+		{name: "expect prime data", expect: expectData(func(h *scriptHarness) uint32 { return h.iss + 1 }, primeLen)},
+		{name: "inject prime ack", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1+uint32(primeLen), 0)
+		}},
+	}
+}
+
+func requireState(want state) func(h *scriptHarness) error {
+	return func(h *scriptHarness) error {
+		st, err := connState(h.conn)
+		if st != want {
+			return fmt.Errorf("state = %v (err %v), want %v", st, err, want)
+		}
+		return nil
+	}
+}
+
+// TestScriptRTOBackoffDoubling (RFC 6298 §5.5): with the peer silent,
+// successive retransmission timeouts must double. After the RTT-primed
+// flight, the first resend is the tail-loss probe; the RTO retransmits
+// that follow must show gaps in a ~2x ratio.
+func TestScriptRTOBackoffDoubling(t *testing.T) {
+	const flight = 600
+	h := newScriptHarness(t, Config{})
+	var times []time.Duration
+	record := func(m func(*scriptHarness, capture) error) func(*scriptHarness, capture) error {
+		return func(h *scriptHarness, c capture) error {
+			if err := m(h, c); err != nil {
+				return err
+			}
+			times = append(times, c.at)
+			return nil
+		}
+	}
+	dataSeq := func(h *scriptHarness) uint32 { return h.iss + 101 }
+	steps := append(handshakeSteps(), primeRTTSteps(100)...)
+	steps = append(steps,
+		scriptStep{name: "write flight", do: func(h *scriptHarness) error {
+			_, err := h.conn.Write(make([]byte, flight))
+			return err
+		}},
+		scriptStep{name: "expect original", expect: expectData(dataSeq, flight)},
+		scriptStep{name: "expect TLP retransmit", within: time.Second,
+			expect: record(expectData(dataSeq, flight))},
+		scriptStep{name: "expect RTO retransmit 1", within: 2 * time.Second,
+			expect: record(expectData(dataSeq, flight))},
+		scriptStep{name: "expect RTO retransmit 2", within: 3 * time.Second,
+			expect: record(expectData(dataSeq, flight))},
+		scriptStep{name: "expect RTO retransmit 3", within: 5 * time.Second,
+			expect: record(expectData(dataSeq, flight))},
+		scriptStep{name: "check doubling", do: func(h *scriptHarness) error {
+			g1, g2, g3 := times[1]-times[0], times[2]-times[1], times[3]-times[2]
+			for _, r := range []float64{float64(g2) / float64(g1), float64(g3) / float64(g2)} {
+				// Nominal ratio is 2.0; timers only ever fire late, so a
+				// loaded machine skews it, but not past these bounds.
+				if r < 1.3 || r > 3.2 {
+					return fmt.Errorf("backoff ratio %.2f outside [1.3, 3.2] (gaps %v %v %v)", r, g1, g2, g3)
+				}
+			}
+			return nil
+		}},
+	)
+	h.run(steps)
+}
+
+// TestScriptFastRetransmit (RFC 5681 §3.2): the third duplicate ACK —
+// not the first, not the second — triggers an immediate retransmission
+// of the first unacked segment, long before the RTO (left at its 1 s
+// initial value by skipping RTT priming).
+func TestScriptFastRetransmit(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	firstSeq := func(h *scriptHarness) uint32 { return h.iss + 1 }
+	dupAck := func(h *scriptHarness) *wire.Segment {
+		return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1, 0)
+	}
+	steps := append(handshakeSteps(),
+		scriptStep{name: "write 5 MSS", do: func(h *scriptHarness) error {
+			_, err := h.conn.Write(make([]byte, 5*scriptMSS))
+			return err
+		}},
+	)
+	for i := 0; i < 5; i++ {
+		i := i
+		steps = append(steps, scriptStep{
+			name:   fmt.Sprintf("expect data segment %d", i),
+			expect: expectData(func(h *scriptHarness) uint32 { return h.iss + 1 + uint32(i*scriptMSS) }, scriptMSS),
+		})
+	}
+	steps = append(steps,
+		scriptStep{name: "inject dupack 1", inject: dupAck},
+		scriptStep{name: "inject dupack 2", inject: dupAck},
+		scriptStep{name: "quiet below threshold", quiet: 50 * time.Millisecond},
+		scriptStep{name: "inject dupack 3", inject: dupAck},
+		scriptStep{name: "expect fast retransmit", within: 500 * time.Millisecond,
+			expect: expectData(firstSeq, scriptMSS)},
+		scriptStep{name: "check counters", do: func(h *scriptHarness) error {
+			if st := connStats(h.conn); st.FastRetransmits != 1 {
+				return fmt.Errorf("FastRetransmits = %d, want 1", st.FastRetransmits)
+			}
+			return nil
+		}},
+	)
+	h.run(steps)
+}
+
+// TestScriptSACKRetransmitSelection (RFC 6675): when the duplicate ACKs
+// carry SACK blocks covering segments 3-5, recovery must resend only the
+// holes — segment 1 on entering recovery, segment 2 on the partial ack —
+// and nothing after the cumulative ack.
+func TestScriptSACKRetransmitSelection(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	seqAt := func(seg int) func(h *scriptHarness) uint32 {
+		return func(h *scriptHarness) uint32 { return h.iss + 1 + uint32(seg*scriptMSS) }
+	}
+	sackDup := func(h *scriptHarness) *wire.Segment {
+		blocks := []wire.SACKBlock{{Left: h.iss + 1 + 2*scriptMSS, Right: h.iss + 1 + 5*scriptMSS}}
+		return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1, 0, wire.SACKOption(blocks))
+	}
+	steps := append(handshakeSteps(),
+		scriptStep{name: "write 5 MSS", do: func(h *scriptHarness) error {
+			_, err := h.conn.Write(make([]byte, 5*scriptMSS))
+			return err
+		}},
+	)
+	for i := 0; i < 5; i++ {
+		steps = append(steps, scriptStep{
+			name:   fmt.Sprintf("expect data segment %d", i),
+			expect: expectData(seqAt(i), scriptMSS),
+		})
+	}
+	steps = append(steps,
+		scriptStep{name: "inject sack dupack 1", inject: sackDup},
+		scriptStep{name: "inject sack dupack 2", inject: sackDup},
+		scriptStep{name: "inject sack dupack 3", inject: sackDup},
+		scriptStep{name: "expect retransmit of hole 1", within: 500 * time.Millisecond,
+			expect: expectData(seqAt(0), scriptMSS)},
+		scriptStep{name: "inject partial ack", inject: func(h *scriptHarness) *wire.Segment {
+			blocks := []wire.SACKBlock{{Left: h.iss + 1 + 2*scriptMSS, Right: h.iss + 1 + 5*scriptMSS}}
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1+scriptMSS, 0, wire.SACKOption(blocks))
+		}},
+		scriptStep{name: "expect retransmit of hole 2", within: 500 * time.Millisecond,
+			expect: expectData(seqAt(1), scriptMSS)},
+		scriptStep{name: "inject cumulative ack", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1+5*scriptMSS, 0)
+		}},
+		scriptStep{name: "no spurious retransmits", quiet: 300 * time.Millisecond},
+	)
+	h.run(steps)
+}
+
+// TestScriptChallengeAckOnWindowRST (RFC 5961 §3.2): a RST inside the
+// receive window but not at exactly rcvNxt must elicit a challenge ACK
+// and leave the connection alive.
+func TestScriptChallengeAckOnWindowRST(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	steps := append(handshakeSteps(),
+		scriptStep{name: "inject in-window RST", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagRST, scriptPeerISS+1+50, 0, 0)
+		}},
+		scriptStep{name: "expect challenge ACK",
+			expect: expectPureAck(func(h *scriptHarness) uint32 { return scriptPeerISS + 1 })},
+		scriptStep{name: "still established", do: requireState(stateEstablished)},
+	)
+	h.run(steps)
+}
+
+// TestScriptChallengeAckOnWindowSYN (RFC 5961 §4.2): a SYN on a
+// synchronized connection — wherever it lands — gets a challenge ACK
+// and changes nothing; only the RST the genuine peer would answer with
+// may tear the connection down.
+func TestScriptChallengeAckOnWindowSYN(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	steps := append(handshakeSteps(),
+		scriptStep{name: "inject in-window SYN", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagSYN, scriptPeerISS+1+10, 0, 0)
+		}},
+		scriptStep{name: "expect challenge ACK",
+			expect: expectPureAck(func(h *scriptHarness) uint32 { return scriptPeerISS + 1 })},
+		scriptStep{name: "still established", do: requireState(stateEstablished)},
+	)
+	h.run(steps)
+}
+
+// TestScriptExactRSTTearsDown (RFC 5961 §3.2): the one sequence number a
+// RST is honored at is exactly rcvNxt — then the connection dies, with
+// no challenge.
+func TestScriptExactRSTTearsDown(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	steps := append(handshakeSteps(),
+		scriptStep{name: "inject exact RST", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagRST, scriptPeerISS+1, 0, 0)
+		}},
+		scriptStep{name: "no challenge", quiet: 200 * time.Millisecond},
+		scriptStep{name: "closed", do: func(h *scriptHarness) error {
+			deadline := time.Now().Add(time.Second)
+			for {
+				st, err := connState(h.conn)
+				if st == stateClosed {
+					if err != ErrReset {
+						return fmt.Errorf("err = %v, want %v", err, ErrReset)
+					}
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("state = %v, want closed", st)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}},
+	)
+	h.run(steps)
+}
+
+// TestScriptChallengeAckOnFutureAck (RFC 5961 §5): an ACK for data never
+// sent is a blind-injection signature; the stack must challenge-ACK,
+// and the segment's payload must never reach the receive queue.
+func TestScriptChallengeAckOnFutureAck(t *testing.T) {
+	h := newScriptHarness(t, Config{})
+	steps := append(handshakeSteps(),
+		scriptStep{name: "inject future ack with payload", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+1+5000, 64)
+		}},
+		scriptStep{name: "expect challenge ACK",
+			expect: expectPureAck(func(h *scriptHarness) uint32 { return scriptPeerISS + 1 })},
+		scriptStep{name: "payload rejected", do: func(h *scriptHarness) error {
+			if st := connStats(h.conn); st.BytesRcvd != 0 {
+				return fmt.Errorf("BytesRcvd = %d, want 0 (injected payload accepted)", st.BytesRcvd)
+			}
+			return requireState(stateEstablished)(h)
+		}},
+	)
+	h.run(steps)
+}
+
+// TestScriptZeroWindowPersist (RFC 9293 §3.8.6.1): against a zero
+// window the stack must hold data back and probe with a single byte on
+// the persist timer, then release the rest the moment the window opens.
+func TestScriptZeroWindowPersist(t *testing.T) {
+	const flight = 1000
+	h := newScriptHarness(t, Config{})
+	steps := append(handshakeSteps(), primeRTTSteps(100)...)
+	steps = append(steps,
+		scriptStep{name: "inject zero-window ack", inject: func(h *scriptHarness) *wire.Segment {
+			s := h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+101, 0)
+			s.Window = 0
+			return s
+		}},
+		// The quiet step doubles as settling time: the zero-window ack
+		// must cross the 1 ms link before the write below, or the data
+		// would legitimately go out under the old window.
+		scriptStep{name: "zero-window ack lands", quiet: 50 * time.Millisecond},
+		scriptStep{name: "write against closed window", do: func(h *scriptHarness) error {
+			_, err := h.conn.Write(make([]byte, flight))
+			return err
+		}},
+		scriptStep{name: "window respected", quiet: 100 * time.Millisecond},
+		scriptStep{name: "expect 1-byte persist probe", within: 2 * time.Second,
+			expect: expectData(func(h *scriptHarness) uint32 { return h.iss + 101 }, 1)},
+		scriptStep{name: "inject window open", inject: func(h *scriptHarness) *wire.Segment {
+			return h.seg(wire.FlagACK, scriptPeerISS+1, h.iss+102, 0)
+		}},
+		scriptStep{name: "expect remaining data", within: time.Second,
+			expect: expectData(func(h *scriptHarness) uint32 { return h.iss + 102 }, flight-1)},
+	)
+	h.run(steps)
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
@@ -325,10 +326,14 @@ func (s *Stack) unregister(c *Conn) {
 }
 
 // input demultiplexes one delivered packet. It runs on netsim delivery
-// goroutines.
+// goroutines. The packet's payload buffer is pooled: exactly one of the
+// branches below consumes it (Conn.input takes ownership); every other
+// outcome returns it to the pool here.
 func (s *Stack) input(p *wire.Packet) {
+	owner := p.Payload
 	seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, true)
 	if err != nil {
+		bufpool.Put(owner)
 		return // checksum or framing failure: drop silently like a NIC
 	}
 	local := netip.AddrPortFrom(p.Dst, seg.DstPort)
@@ -343,18 +348,23 @@ func (s *Stack) input(p *wire.Packet) {
 	closed := s.closed
 	s.mu.Unlock()
 	if closed {
+		bufpool.Put(owner)
 		return
 	}
 	switch {
 	case c != nil:
-		c.input(seg)
+		c.input(seg, owner)
 	case l != nil && seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK):
+		// SYN payloads are never queued; the buffer is done once the
+		// handshake state (with deep-copied options) is set up.
 		l.inputSYN(local, remote, seg)
+		bufpool.Put(owner)
 	case seg.Flags.Has(wire.FlagRST):
-		// RST to nobody: ignore.
+		bufpool.Put(owner) // RST to nobody: ignore.
 	default:
 		// No socket: answer with RST (unless it's an old ACK).
 		s.sendRST(local, remote, seg)
+		bufpool.Put(owner)
 	}
 }
 
@@ -373,13 +383,52 @@ func (s *Stack) sendRST(local, remote netip.AddrPort, in *wire.Segment) {
 	s.sendSegment(local.Addr(), remote.Addr(), rst)
 }
 
+// sendSegment marshals seg into a pooled buffer and hands it to the
+// host. Ownership of the buffer follows the packet: the receiving stack
+// (or a netsim drop site) returns it to the pool.
 func (s *Stack) sendSegment(src, dst netip.Addr, seg *wire.Segment) {
-	b, err := seg.Marshal(src, dst)
+	hdrLen, err := seg.HeaderLen()
 	if err != nil {
 		return
 	}
-	pkt := &wire.Packet{Src: src, Dst: dst, Proto: wire.ProtoTCP, TTL: 64, Payload: b}
-	_ = s.host.Send(pkt)
+	buf := bufpool.Get(hdrLen + len(seg.Payload))
+	if _, err := seg.MarshalInto(buf, src, dst); err != nil {
+		bufpool.Put(buf)
+		return
+	}
+	pkt := &wire.Packet{Src: src, Dst: dst, Proto: wire.ProtoTCP, TTL: 64, Payload: buf}
+	if s.host.Send(pkt) != nil {
+		bufpool.Put(buf) // no route: the packet never entered the network
+	}
+}
+
+// sendSegments is the burst variant of sendSegment: every segment is
+// marshalled into its own pooled buffer, then the whole batch enters the
+// network through one SendBatch call (one route lookup, one link-queue
+// lock). All segments of a burst share one source and destination.
+func (s *Stack) sendSegments(src, dst netip.Addr, segs []wire.Segment) {
+	pkts := make([]*wire.Packet, 0, len(segs))
+	for i := range segs {
+		seg := &segs[i]
+		hdrLen, err := seg.HeaderLen()
+		if err != nil {
+			continue
+		}
+		buf := bufpool.Get(hdrLen + len(seg.Payload))
+		if _, err := seg.MarshalInto(buf, src, dst); err != nil {
+			bufpool.Put(buf)
+			continue
+		}
+		pkts = append(pkts, &wire.Packet{Src: src, Dst: dst, Proto: wire.ProtoTCP, TTL: 64, Payload: buf})
+	}
+	if len(pkts) == 0 {
+		return
+	}
+	if s.host.SendBatch(pkts) != nil {
+		for _, p := range pkts {
+			bufpool.Put(p.Payload)
+		}
+	}
 }
 
 // Listener accepts inbound connections on a local port.
@@ -500,7 +549,7 @@ func (l *Listener) inputSYN(local, remote netip.AddrPort, seg *wire.Segment) {
 		return
 	}
 	c.listener = l
-	c.input(seg)
+	c.input(seg, nil) // owner stays with Stack.input; SYN data is not queued
 }
 
 // offer queues an established connection for Accept; drops it if the

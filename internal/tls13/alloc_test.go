@@ -1,0 +1,119 @@
+package tls13
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+)
+
+// discardConn wraps a net.Conn and, once armed, swallows writes. It
+// lets a handshake run over the real pipe and then measure the record
+// write path without the pipe buffer's own growth showing up in the
+// allocation counts.
+type discardConn struct {
+	net.Conn
+	discard atomic.Bool
+}
+
+func (d *discardConn) Write(b []byte) (int, error) {
+	if d.discard.Load() {
+		return len(b), nil
+	}
+	return d.Conn.Write(b)
+}
+
+// TestRecordWriteSteadyStateAllocs gates the sealed-record send path:
+// after warmup, sealing and writing an application-data record must not
+// allocate (pooled record buffer, reused nonce scratch, in-place Seal).
+func TestRecordWriteSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	cp, sp := bufferedPipe()
+	dc := &discardConn{Conn: cp}
+	client := Client(dc, clientConfig())
+	server := Server(sp, serverConfig())
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Handshake() }()
+	if err := client.Handshake(); err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	if err := client.AddStreamContext(7); err != nil {
+		t.Fatalf("add context: %v", err)
+	}
+	dc.discard.Store(true)
+
+	head := make([]byte, 13)
+	payload := make([]byte, 4096)
+	tail := []byte{2}
+
+	for _, tc := range []struct {
+		name string
+		id   uint32
+	}{
+		{"default-context", DefaultContext},
+		{"stream-context", 7},
+	} {
+		// Warm the pool classes before counting.
+		for i := 0; i < 8; i++ {
+			if err := client.WriteRecordParts(tc.id, head, payload, tail); err != nil {
+				t.Fatalf("%s warmup write: %v", tc.name, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := client.WriteRecordParts(tc.id, head, payload, tail); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s: record write allocates %.1f per op in steady state", tc.name, allocs)
+		}
+	}
+}
+
+// TestRecordReadSteadyStateAllocs gates the receive path: reading a
+// record buffered on the transport must only take a pooled plaintext
+// buffer (returned here), not allocate.
+func TestRecordReadSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	client, server := handshakePair(t, clientConfig(), serverConfig())
+	for _, c := range []*Conn{client, server} {
+		if err := c.AddStreamContext(7); err != nil {
+			t.Fatalf("add context: %v", err)
+		}
+	}
+	payload := make([]byte, 4096)
+
+	const warmup, runs = 32, 200
+	// Pre-buffer every record on the pipe so reads never block and the
+	// writer's allocations land outside the measured window.
+	for i := 0; i < warmup+runs+1; i++ {
+		if err := server.WriteRecordContext(7, payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	read := func() {
+		_, p, err := client.ReadRecordContext()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if len(p) != len(payload) {
+			t.Fatalf("read %d bytes, want %d", len(p), len(payload))
+		}
+		bufpool.Put(p)
+	}
+	for i := 0; i < warmup; i++ {
+		read() // grow the fill buffer and pool classes to steady state
+	}
+	allocs := testing.AllocsPerRun(runs, read)
+	if allocs > 0 {
+		t.Errorf("record read allocates %.1f per op in steady state", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tls13
+
+const raceEnabled = false

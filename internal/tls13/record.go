@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 )
 
 // Record content types.
@@ -43,6 +45,15 @@ type halfConn struct {
 	seq     uint64
 	forgery uint64 // failed decryptions count toward the limit too
 
+	// nonceBuf and adBuf are scratch for nonce derivation and the
+	// additional-data record header, valid until the next record on
+	// this half. Safe because each direction's record path is
+	// serialized (muRead for in, muWrite for out). Stack arrays would
+	// do, but passed through the cipher.AEAD interface they escape and
+	// cost an allocation per record.
+	nonceBuf [16]byte
+	adBuf    [recordHeader]byte
+
 	// TCPLS per-stream contexts (tcpls_hooks.go). ctxMu guards the slice
 	// only: per-context sequence numbers are mutated exclusively by the
 	// direction's single record path (muRead for in, muWrite for out).
@@ -56,25 +67,42 @@ func (hc *halfConn) setKeys(s *suiteParams, trafficSecret []byte) {
 	hc.seq = 0
 }
 
-// nonce XORs the sequence number into the static IV (RFC 8446 §5.3).
-func (hc *halfConn) nonce() []byte {
-	n := make([]byte, len(hc.iv))
-	copy(n, hc.iv)
+// nonceInto XORs the sequence number into the static IV (RFC 8446
+// §5.3), writing the result into dst. dst must hold len(iv) bytes.
+func nonceInto(dst, iv []byte, seq uint64) []byte {
+	n := dst[:len(iv)]
+	copy(n, iv)
 	var seqb [8]byte
-	binary.BigEndian.PutUint64(seqb[:], hc.seq)
+	binary.BigEndian.PutUint64(seqb[:], seq)
 	for i := 0; i < 8; i++ {
 		n[len(n)-8+i] ^= seqb[i]
 	}
 	return n
 }
 
+// nonce returns the base-context nonce in the half's scratch buffer.
+func (hc *halfConn) nonce() []byte {
+	return nonceInto(hc.nonceBuf[:], hc.iv, hc.seq)
+}
+
+// ctxNonce returns a stream context's nonce in the half's scratch buffer.
+func (hc *halfConn) ctxNonce(sc *streamCtx) []byte {
+	return nonceInto(hc.nonceBuf[:], sc.iv, sc.seq)
+}
+
 // recordLayer frames, protects and deprotects TLS records over an
 // io.ReadWriter (typically a TCP connection — kernel or tcpnet).
+//
+// Outbound records are assembled and sealed in place inside a pooled
+// buffer that is recycled right after rw.Write returns: the transport
+// must not retain the write slice past the call (tcpnet and kernel
+// sockets both copy into their send buffers).
 type recordLayer struct {
 	rw  io.ReadWriter
 	in  halfConn
 	out halfConn
-	buf []byte // read buffer with partial record bytes
+	buf []byte // read buffer: buf[off:] holds unconsumed record bytes
+	off int
 }
 
 // writeRecord writes one record. If the write direction is encrypted,
@@ -85,29 +113,44 @@ func (rl *recordLayer) writeRecord(typ uint8, payload []byte) error {
 	if len(payload) > MaxPlaintext {
 		return ErrRecordOverflow
 	}
-	var out []byte
 	if rl.out.aead == nil {
-		out = make([]byte, recordHeader+len(payload))
+		out := bufpool.Get(recordHeader + len(payload))
 		out[0] = typ
 		binary.BigEndian.PutUint16(out[1:], 0x0301)
 		binary.BigEndian.PutUint16(out[3:], uint16(len(payload)))
 		copy(out[recordHeader:], payload)
-	} else {
-		if rl.out.seq >= aeadLimit {
-			return ErrKeyLimit
-		}
-		inner := make([]byte, 0, len(payload)+1)
-		inner = append(inner, payload...)
-		inner = append(inner, typ)
-		n := len(inner) + rl.out.aead.Overhead()
-		out = make([]byte, recordHeader, recordHeader+n)
-		out[0] = RecordTypeApplicationData
-		binary.BigEndian.PutUint16(out[1:], 0x0303)
-		binary.BigEndian.PutUint16(out[3:], uint16(n))
-		out = rl.out.aead.Seal(out, rl.out.nonce(), inner, out[:recordHeader])
-		rl.out.seq++
+		_, err := rl.rw.Write(out)
+		bufpool.Put(out)
+		return err
 	}
-	_, err := rl.rw.Write(out)
+	if rl.out.seq >= aeadLimit {
+		return ErrKeyLimit
+	}
+	err := rl.writeSealed(rl.out.nonce(), nil, payload, nil, typ)
+	rl.out.seq++ // the nonce is spent even if the transport write failed
+	return err
+}
+
+// writeSealed seals and writes one application-data record whose inner
+// plaintext is head||body||tail||innerType. The parts are gathered into
+// a pooled buffer and encrypted in place (dst overlapping plaintext
+// exactly, which AES-GCM permits), so callers can hand down framing
+// headers and payload separately without assembling them first.
+func (rl *recordLayer) writeSealed(nonce []byte, head, body, tail []byte, innerType uint8) error {
+	plen := len(head) + len(body) + len(tail) + 1
+	n := plen + rl.out.aead.Overhead()
+	buf := bufpool.Get(recordHeader + n)
+	buf[0] = RecordTypeApplicationData
+	binary.BigEndian.PutUint16(buf[1:], 0x0303)
+	binary.BigEndian.PutUint16(buf[3:], uint16(n))
+	p := buf[recordHeader:recordHeader]
+	p = append(p, head...)
+	p = append(p, body...)
+	p = append(p, tail...)
+	p = append(p, innerType)
+	rl.out.aead.Seal(buf[:recordHeader], nonce, p, buf[:recordHeader])
+	_, err := rl.rw.Write(buf)
+	bufpool.Put(buf)
 	return err
 }
 
@@ -140,9 +183,10 @@ func (rl *recordLayer) readRecord() (uint8, []byte, error) {
 		if rl.in.seq+rl.in.forgery >= aeadLimit {
 			return 0, nil, ErrKeyLimit
 		}
-		hdrCopy := [recordHeader]byte{typ, 0x03, 0x03}
+		hdrCopy := rl.in.adBuf[:]
+		hdrCopy[0], hdrCopy[1], hdrCopy[2] = typ, 0x03, 0x03
 		binary.BigEndian.PutUint16(hdrCopy[3:], uint16(n))
-		plain, err := rl.in.aead.Open(body[:0], rl.in.nonce(), body, hdrCopy[:])
+		plain, err := rl.in.aead.Open(body[:0], rl.in.nonce(), body, hdrCopy)
 		if err != nil {
 			rl.in.forgery++
 			return 0, nil, ErrBadRecordMAC
@@ -160,23 +204,48 @@ func (rl *recordLayer) readRecord() (uint8, []byte, error) {
 	}
 }
 
-// fill ensures n buffered bytes and returns them without consuming.
+// readChunk is the transport read size for the record buffer, and
+// rbufSize the buffer's fixed capacity: it always fits the largest
+// fill request (one whole record) plus a full transport read after
+// compaction, so the buffer is allocated once per connection and
+// steady-state reads never allocate.
+const (
+	readChunk = 8192
+	rbufSize  = 2*(MaxCiphertext+recordHeader) + readChunk
+)
+
+// fill ensures n unconsumed buffered bytes and returns a view of them.
+// The view is valid until the next fill call (a refill may compact the
+// buffer in place).
 func (rl *recordLayer) fill(n int) ([]byte, error) {
-	for len(rl.buf) < n {
-		chunk := make([]byte, 8192)
-		m, err := rl.rw.Read(chunk)
+	if rl.buf == nil {
+		rl.buf = make([]byte, 0, rbufSize)
+	}
+	for len(rl.buf)-rl.off < n {
+		if rl.off > 0 && cap(rl.buf)-len(rl.buf) < readChunk {
+			unread := copy(rl.buf, rl.buf[rl.off:])
+			rl.buf = rl.buf[:unread]
+			rl.off = 0
+		}
+		m, err := rl.rw.Read(rl.buf[len(rl.buf):cap(rl.buf)])
 		if m > 0 {
-			rl.buf = append(rl.buf, chunk[:m]...)
+			rl.buf = rl.buf[:len(rl.buf)+m]
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
-	return rl.buf[:n], nil
+	return rl.buf[rl.off : rl.off+n], nil
 }
 
-func (rl *recordLayer) consume(n int) { rl.buf = rl.buf[n:] }
+func (rl *recordLayer) consume(n int) {
+	rl.off += n
+	if rl.off == len(rl.buf) {
+		rl.buf = rl.buf[:0]
+		rl.off = 0
+	}
+}
 
 // Alert descriptions we emit or interpret.
 const (

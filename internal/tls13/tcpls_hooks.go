@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 )
 
 // This file is the TCPLS attachment surface of the record layer (§2.3 of
@@ -20,22 +22,12 @@ import (
 // the handshake established); TCPLS uses it for the control channel.
 const DefaultContext uint32 = 0xffffffff
 
-// streamCtx is one extra crypto context on a half connection.
+// streamCtx is one extra crypto context on a half connection. Nonces
+// are derived into the owning halfConn's scratch (halfConn.ctxNonce).
 type streamCtx struct {
 	id  uint32
 	iv  []byte
 	seq uint64
-}
-
-func (sc *streamCtx) nonce(ivLen int) []byte {
-	n := make([]byte, ivLen)
-	copy(n, sc.iv)
-	var seqb [8]byte
-	binary.BigEndian.PutUint64(seqb[:], sc.seq)
-	for i := 0; i < 8; i++ {
-		n[ivLen-8+i] ^= seqb[i]
-	}
-	return n
 }
 
 // ErrNoContext reports an inbound record that no context could open.
@@ -74,20 +66,45 @@ func (c *Conn) RemoveStreamContext(id uint32) {
 // WriteRecordContext writes one application-data record protected under
 // the given context (DefaultContext means the base TLS context).
 func (c *Conn) WriteRecordContext(id uint32, payload []byte) error {
+	return c.WriteRecordParts(id, nil, payload, nil)
+}
+
+// WriteRecordParts writes one application-data record under the given
+// context whose payload is the concatenation head||body||tail. The
+// parts are gathered directly into the sealed-record buffer, so callers
+// composing framing (record headers, type trailers) around a payload
+// avoid an intermediate copy. Any part may be nil.
+func (c *Conn) WriteRecordParts(id uint32, head, body, tail []byte) error {
 	c.muWrite.Lock()
 	defer c.muWrite.Unlock()
 	if err := c.handshakeNeeded(); err != nil {
 		return err
 	}
-	if id == DefaultContext {
-		return c.rl.writeRecord(RecordTypeApplicationData, payload)
+	if len(head)+len(body)+len(tail) > MaxPlaintext {
+		return ErrRecordOverflow
 	}
-	return c.rl.writeRecordContext(id, payload)
+	if id == DefaultContext {
+		if c.rl.out.aead == nil {
+			return ErrHandshakeRequired
+		}
+		if c.rl.out.seq >= aeadLimit {
+			return ErrKeyLimit
+		}
+		err := c.rl.writeSealed(c.rl.out.nonce(), head, body, tail, RecordTypeApplicationData)
+		c.rl.out.seq++
+		return err
+	}
+	return c.rl.writeRecordContextParts(id, head, body, tail)
 }
 
 // ReadRecordContext reads the next application-data record, returning
 // the context that opened it. Post-handshake messages (tickets) are
 // handled transparently; alerts surface as errors.
+//
+// Ownership of the returned payload transfers to the caller: it is
+// backed by a bufpool buffer (base pointer preserved), so callers that
+// finish with it should pass it to bufpool.Put. Skipping the Put is
+// safe — the buffer just falls back to the garbage collector.
 func (c *Conn) ReadRecordContext() (uint32, []byte, error) {
 	c.muRead.Lock()
 	defer c.muRead.Unlock()
@@ -157,18 +174,25 @@ func (hc *halfConn) context(id uint32) *streamCtx {
 	return nil
 }
 
-// snapshotContexts copies the context list for trial decryption.
-func (hc *halfConn) snapshotContexts() []*streamCtx {
+// trialOpen attempts to open a record under each stream context in
+// attachment order, decrypting into dst (an empty slice with capacity
+// for the plaintext). Holding ctxMu across the attempts is fine: the
+// loop never blocks, and context installation is rare.
+func (hc *halfConn) trialOpen(dst, body, ad []byte) ([]byte, uint32, bool) {
 	hc.ctxMu.Lock()
 	defer hc.ctxMu.Unlock()
-	return append([]*streamCtx(nil), hc.ctxs...)
+	for _, sc := range hc.ctxs {
+		if plain, err := hc.aead.Open(dst, hc.ctxNonce(sc), body, ad); err == nil {
+			sc.seq++
+			return plain, sc.id, true
+		}
+		hc.forgery++
+	}
+	return nil, 0, false
 }
 
-// writeRecordContext protects payload under a stream context.
-func (rl *recordLayer) writeRecordContext(id uint32, payload []byte) error {
-	if len(payload) > MaxPlaintext {
-		return ErrRecordOverflow
-	}
+// writeRecordContextParts protects head||body||tail under a stream context.
+func (rl *recordLayer) writeRecordContextParts(id uint32, head, body, tail []byte) error {
 	sc := rl.out.context(id)
 	if sc == nil {
 		return fmt.Errorf("tls13: unknown write context %d", id)
@@ -179,23 +203,22 @@ func (rl *recordLayer) writeRecordContext(id uint32, payload []byte) error {
 	if sc.seq >= aeadLimit {
 		return ErrKeyLimit
 	}
-	inner := make([]byte, 0, len(payload)+1)
-	inner = append(inner, payload...)
-	inner = append(inner, RecordTypeApplicationData)
-	n := len(inner) + rl.out.aead.Overhead()
-	out := make([]byte, recordHeader, recordHeader+n)
-	out[0] = RecordTypeApplicationData
-	binary.BigEndian.PutUint16(out[1:], 0x0303)
-	binary.BigEndian.PutUint16(out[3:], uint16(n))
-	out = rl.out.aead.Seal(out, sc.nonce(len(rl.out.iv)), inner, out[:recordHeader])
+	err := rl.writeSealed(rl.out.ctxNonce(sc), head, body, tail, RecordTypeApplicationData)
 	sc.seq++
-	_, err := rl.rw.Write(out)
 	return err
 }
 
 // readRecordAny reads one record and trial-decrypts: base context first,
 // then every stream context. Returns the context id that opened it
 // (DefaultContext for the base keys).
+//
+// Application-data plaintext is decrypted into a bufpool buffer whose
+// ownership transfers to the caller: passing the returned slice to
+// bufpool.Put when done recycles it (its base pointer is the buffer
+// base). The ciphertext itself is a view into the read buffer and is
+// never copied. Non-application records (handshake, alerts, records
+// read before keys are installed) are returned as plain GC allocations
+// since they are consumed internally.
 func (rl *recordLayer) readRecordAny() (uint32, uint8, []byte, error) {
 	for {
 		hdr, err := rl.fill(recordHeader)
@@ -211,48 +234,54 @@ func (rl *recordLayer) readRecordAny() (uint32, uint8, []byte, error) {
 			return 0, 0, nil, err
 		}
 		typ := full[0]
-		body := append([]byte(nil), full[recordHeader:recordHeader+n]...)
-		rl.consume(recordHeader + n)
+		body := full[recordHeader : recordHeader+n]
 
 		if typ == RecordTypeChangeCipherSpec {
+			rl.consume(recordHeader + n)
 			continue
 		}
 		if rl.in.aead == nil || typ != RecordTypeApplicationData {
-			return DefaultContext, typ, body, nil
+			out := append([]byte(nil), body...)
+			rl.consume(recordHeader + n)
+			return DefaultContext, typ, out, nil
 		}
 		if rl.in.seq+rl.in.forgery >= aeadLimit {
 			return 0, 0, nil, ErrKeyLimit
 		}
-		hdrCopy := [recordHeader]byte{typ, 0x03, 0x03}
+		hdrCopy := rl.in.adBuf[:]
+		hdrCopy[0], hdrCopy[1], hdrCopy[2] = typ, 0x03, 0x03
 		binary.BigEndian.PutUint16(hdrCopy[3:], uint16(n))
+
+		// Decrypt into a pooled buffer: a failed trial zeroes only the
+		// destination (the ciphertext view stays intact for the next
+		// attempt), a successful one hands the buffer to the caller.
+		plainBuf := bufpool.Get(n)
 
 		// Base context first (control channel traffic dominates between
 		// stream bursts), then the stream contexts in attachment order.
-		if plain, err := rl.in.aead.Open(nil, rl.in.nonce(), body, hdrCopy[:]); err == nil {
+		if plain, err := rl.in.aead.Open(plainBuf[:0], rl.in.nonce(), body, hdrCopy[:]); err == nil {
 			rl.in.seq++
+			rl.consume(recordHeader + n)
 			inner, ityp, ok := stripInner(plain)
 			if !ok {
+				bufpool.Put(plainBuf)
 				return 0, 0, nil, ErrBadRecordMAC
 			}
 			return DefaultContext, ityp, inner, nil
 		}
 		rl.in.forgery++
-		opened := false
-		for _, sc := range rl.in.snapshotContexts() {
-			if plain, err := rl.in.aead.Open(nil, sc.nonce(len(rl.in.iv)), body, hdrCopy[:]); err == nil {
-				sc.seq++
-				inner, ityp, ok := stripInner(plain)
-				if !ok {
-					return 0, 0, nil, ErrBadRecordMAC
-				}
-				opened = true
-				return sc.id, ityp, inner, nil
+		if plain, id, ok := rl.in.trialOpen(plainBuf[:0], body, hdrCopy[:]); ok {
+			rl.consume(recordHeader + n)
+			inner, ityp, ok := stripInner(plain)
+			if !ok {
+				bufpool.Put(plainBuf)
+				return 0, 0, nil, ErrBadRecordMAC
 			}
-			rl.in.forgery++
+			return id, ityp, inner, nil
 		}
-		if !opened {
-			return 0, 0, nil, ErrNoContext
-		}
+		bufpool.Put(plainBuf)
+		rl.consume(recordHeader + n)
+		return 0, 0, nil, ErrNoContext
 	}
 }
 

@@ -72,6 +72,9 @@ func (o *Option) String() string {
 	return fmt.Sprintf("opt%d(%d bytes)", o.Kind, len(o.Data))
 }
 
+// parseOptions decodes the option block. Each Option's Data aliases b —
+// callers that retain options past the packet's lifetime (the buffer may
+// be recycled) must deep-copy Data.
 func parseOptions(b []byte) ([]Option, error) {
 	var opts []Option
 	for len(b) > 0 {
@@ -88,7 +91,7 @@ func parseOptions(b []byte) ([]Option, error) {
 			if n < 2 || n > len(b) {
 				return nil, ErrTruncated
 			}
-			opts = append(opts, Option{Kind: b[0], Data: append([]byte(nil), b[2:n]...)})
+			opts = append(opts, Option{Kind: b[0], Data: b[2:n:n]})
 			b = b[n:]
 		}
 	}

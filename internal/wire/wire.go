@@ -157,6 +157,25 @@ func (s *Segment) Marshal(src, dst netip.Addr) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, hdrLen+len(s.Payload))
+	if _, err := s.MarshalInto(buf, src, dst); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MarshalInto serializes the segment into b, which must hold at least
+// HeaderLen()+len(Payload) bytes, and returns the number of bytes
+// written. It lets callers marshal into pooled buffers without a
+// per-segment allocation.
+func (s *Segment) MarshalInto(b []byte, src, dst netip.Addr) (int, error) {
+	hdrLen, err := s.HeaderLen()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < hdrLen+len(s.Payload) {
+		return 0, ErrTruncated
+	}
+	buf := b[:hdrLen+len(s.Payload)]
 	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
 	binary.BigEndian.PutUint32(buf[4:], s.Seq)
@@ -164,7 +183,9 @@ func (s *Segment) Marshal(src, dst netip.Addr) ([]byte, error) {
 	buf[12] = uint8(hdrLen/4) << 4
 	buf[13] = uint8(s.Flags)
 	binary.BigEndian.PutUint16(buf[14:], s.Window)
-	// buf[16:18] checksum, filled below. buf[18:20] urgent pointer: 0.
+	// buf[16:18] checksum, filled below; b may be recycled, so zero the
+	// checksum and urgent-pointer fields rather than trusting make().
+	buf[16], buf[17], buf[18], buf[19] = 0, 0, 0, 0
 	off := BaseHeaderLen
 	for i := range s.Options {
 		off += s.Options[i].put(buf[off:])
@@ -175,12 +196,12 @@ func (s *Segment) Marshal(src, dst netip.Addr) ([]byte, error) {
 	}
 	copy(buf[hdrLen:], s.Payload)
 	binary.BigEndian.PutUint16(buf[16:], Checksum(src, dst, ProtoTCP, buf))
-	return buf, nil
+	return len(buf), nil
 }
 
 // UnmarshalSegment parses b into a Segment. If verify is true the TCP
 // checksum is validated against the pseudo-header for src/dst.
-// The returned segment's Payload aliases b.
+// The returned segment's Payload and Options[i].Data alias b.
 func UnmarshalSegment(b []byte, src, dst netip.Addr, verify bool) (*Segment, error) {
 	if len(b) < BaseHeaderLen {
 		return nil, ErrTruncated

@@ -1,0 +1,155 @@
+package tcpls_test
+
+// Steady-state data-path throughput over an in-memory transport. Unlike
+// the netsim benchmarks in bench_test.go, which report virtual-time
+// protocol metrics, these two measure the CPU cost of the stack itself —
+// stream framing, per-stream AEAD, record parsing, reassembly — with no
+// emulated link in the way, so wall-clock MB/s and allocs/op are the
+// figures of merit. They are the tier-1 benchmarks tracked by
+// `make bench` / `make bench-check` (see EXPERIMENTS.md).
+
+import (
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tcpls "github.com/pluginized-protocols/gotcpls"
+)
+
+// pipeListener hands the server ends of buffered pipes to a TCPLS
+// listener; pipeDialer creates the pairs. Together they stand in for a
+// TCP stack with zero link cost.
+type pipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{ch: make(chan net.Conn, 4), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeDialer struct{ l *pipeListener }
+
+func (d pipeDialer) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Duration) (net.Conn, error) {
+	cp, sp := newBufferedPipe()
+	select {
+	case d.l.ch <- sp:
+		return cp, nil
+	case <-d.l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func BenchmarkStreamThroughput1K(b *testing.B)  { benchStreamThroughput(b, 1<<10) }
+func BenchmarkStreamThroughput16K(b *testing.B) { benchStreamThroughput(b, 16<<10) }
+
+func benchStreamThroughput(b *testing.B, size int) {
+	pl := newPipeListener()
+	lst := tcpls.NewListener(pl, &tcpls.Config{
+		TLS: &tcpls.TLSConfig{Certificate: benchCert},
+	})
+	defer lst.Close()
+
+	srvCh := make(chan *tcpls.Session, 1)
+	go func() {
+		s, err := lst.Accept()
+		if err != nil {
+			return
+		}
+		srvCh <- s
+	}()
+
+	cli := tcpls.NewClient(&tcpls.Config{
+		TLS: &tcpls.TLSConfig{InsecureSkipVerify: true},
+	}, pipeDialer{l: pl})
+	defer cli.Close()
+	raddr := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), 443)
+	if _, err := cli.Connect(netip.Addr{}, raddr, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := cli.Handshake(); err != nil {
+		b.Fatal(err)
+	}
+	srv := <-srvCh
+
+	st, err := cli.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, size)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+
+	// Drain on the server and count delivered bytes so the timed region
+	// covers true end-to-end delivery, not just enqueue-side writes.
+	var delivered atomic.Int64
+	go func() {
+		sst, err := srv.AcceptStream()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := sst.Read(buf)
+			delivered.Add(int64(n))
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// One warm-up chunk establishes the stream on the server and fills
+	// the layer caches (pools, scratch buffers) before measuring.
+	if _, err := st.Write(chunk); err != nil {
+		b.Fatal(err)
+	}
+	waitDelivered(b, &delivered, int64(size))
+
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitDelivered(b, &delivered, int64(size)*int64(b.N+1))
+	b.StopTimer()
+
+	if err := st.Close(); err != nil && err != io.EOF {
+		b.Logf("stream close: %v", err)
+	}
+}
+
+// waitDelivered spins (politely) until the reader has seen want bytes.
+func waitDelivered(b *testing.B, delivered *atomic.Int64, want int64) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for delivered.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("receiver stalled: got %d of %d bytes", delivered.Load(), want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}

@@ -10,7 +10,7 @@ BENCH_PAT ?= BenchmarkStreamThroughput
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_LABEL ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry fuzz-smoke check bench bench-all bench-check
+.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry interop fuzz-smoke check bench bench-all bench-check
 
 all: check
 
@@ -61,6 +61,13 @@ telemetry:
 	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracerZeroAlloc' -count=1 -v
 	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkTracerNil' -benchtime 1000x
 
+# Middlebox interop gauntlet: TCPLS vs plain TLS/TCP vs the QUIC-like
+# comparator through seven interference models, checked cell-by-cell
+# against the committed golden matrix (a pass->degrade or degrade->fail
+# slide fails the build; run with -update to ratchet improvements in).
+interop:
+	$(GO) test ./internal/chaos/ -run 'TestInterop' -count=1 -v
+
 # Short fuzz pass over every attacker-facing decoder. Seeds live in
 # testdata/fuzz/; any crasher Go saves there becomes a regression test.
 fuzz-smoke:
@@ -70,13 +77,15 @@ fuzz-smoke:
 	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeStreamChunk$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/record/ -run '^$$' -fuzz '^FuzzDecodeTCPOption$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzUnmarshalSegment$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim/ -run '^$$' -fuzz '^FuzzOptionStripperRewrite$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim/ -run '^$$' -fuzz '^FuzzSpliceProxyRewrite$$' -fuzztime $(FUZZTIME)
 
 # BENCH=1 adds the benchmark-regression gate (bench-check) to check.
 ifeq ($(BENCH),1)
 CHECK_EXTRA += bench-check
 endif
 
-check: build vet alloc-gate test-matrix chaos-smoke adversary telemetry fuzz-smoke $(CHECK_EXTRA)
+check: build vet alloc-gate test-matrix chaos-smoke adversary telemetry interop fuzz-smoke $(CHECK_EXTRA)
 
 # The full virtual-time benchmark suite (one benchmark per paper
 # table/figure); `make bench` below tracks just the tier-1 set.

@@ -1,0 +1,565 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/quicbase"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// The interop gauntlet measures the paper's Table 1 instead of asserting
+// it: three stacks — TCPLS, plain TLS-over-TCP, and the QUIC-like
+// comparator — each run through a gallery of middlebox interference
+// models, producing a pass/degrade/fail matrix. "Degrade" is the TCPLS
+// ladder working as designed: the transfer completed, but the session
+// shed capabilities (or fell back to plain TLS) to get there. The matrix
+// is checked against a golden file so a row silently getting worse
+// (pass -> degrade, degrade -> fail) fails the build.
+
+// InteropOutcome is one cell of the matrix.
+type InteropOutcome string
+
+const (
+	// OutcomePass: transfer completed with full protocol capability.
+	OutcomePass InteropOutcome = "pass"
+	// OutcomeDegrade: transfer completed, but the stack shed capabilities
+	// (TCPLS degradation ladder: lost paths, disabled multipath, or the
+	// full plain-TLS fallback).
+	OutcomeDegrade InteropOutcome = "degrade"
+	// OutcomeFail: the transfer errored, corrupted data, or timed out.
+	OutcomeFail InteropOutcome = "fail"
+)
+
+// rank orders outcomes for regression checks: higher is better.
+func (o InteropOutcome) rank() int {
+	switch o {
+	case OutcomePass:
+		return 2
+	case OutcomeDegrade:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// InteropStacks lists the compared stacks, in matrix column order.
+var InteropStacks = []string{"tcpls", "tls", "quic"}
+
+// InteropRow is one middlebox configuration of the gauntlet.
+type InteropRow struct {
+	Name string
+	// Middleboxes builds the row's interference chain against the run's
+	// network (stateful models need its virtual clock).
+	Middleboxes func(n *netsim.Network) []netsim.Middlebox
+	// Note documents what the row models.
+	Note string
+}
+
+// Interop timing (virtual unless noted). The traffic pattern is
+// half/pause/half so age- and idle-based middlebox state expiry fires
+// mid-connection, between the two halves.
+const (
+	interopTimeScale  = 0.05             // 20x compression
+	interopExpiry     = time.Second      // NAT RebindAfter / firewall StateTTL
+	interopPause      = 2 * time.Second  // mid-transfer quiet period
+	interopPayload    = 64 << 10         // total transfer (echoed back)
+	interopWallBudget = 20 * time.Second // per-run wall-clock abort
+	interopIODeadline = 8 * time.Second  // wall-clock socket deadline (plain TLS)
+)
+
+// natOutside is the NAT's public face — inside the link's /24 so
+// reverse-path routing reaches the translator.
+var natOutside = netip.MustParseAddr("10.0.0.77")
+
+// InteropRows is the canonical gauntlet, the measured analogue of the
+// paper's Table 1 rows.
+func InteropRows() []InteropRow {
+	return []InteropRow{
+		{
+			Name:        "clean",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox { return nil },
+			Note:        "no interference — every stack must pass",
+		},
+		{
+			Name: "option-strip",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{
+					&netsim.HelloExtensionMangler{},
+					&netsim.OptionStripper{Kinds: []uint8{wire.OptKindSACKPermitted, wire.OptKindUserTimeout}},
+				}
+			},
+			Note: "TLS-aware scrubber mangles the TCPLS ClientHello extension and strips TCP options",
+		},
+		{
+			Name: "nat-rebind",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{
+					&netsim.StatefulNAT{
+						Inside: ClientV4, Outside: natOutside, Dir: netsim.AtoB,
+						Net: n, RebindAfter: interopExpiry, Seed: 7,
+					},
+				}
+			},
+			Note: "carrier-grade NAT rebinds the 4-tuple mid-connection",
+		},
+		{
+			Name: "firewall-ttl",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{
+					&netsim.StatefulFirewall{Inside: netsim.AtoB, Net: n, StateTTL: interopExpiry},
+				}
+			},
+			Note: "stateful firewall silently evicts flow state after a TTL (blackhole, no RST)",
+		},
+		{
+			Name: "splice-proxy",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{
+					&netsim.SpliceProxy{
+						Dir: netsim.AtoB, Seed: 11,
+						StripOptions: []uint8{wire.OptKindUserTimeout}, MSSClamp: 1300,
+					},
+				}
+			},
+			Note: "terminating proxy re-originates sequence numbers, clamps MSS, strips SYN options",
+		},
+		{
+			Name: "udp-blocked",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{&netsim.ProtoBlocker{Protos: []uint8{wire.ProtoUDP}}}
+			},
+			Note: "enterprise firewall drops all UDP — the reason TCP fallbacks exist",
+		},
+		{
+			Name: "join-mangle",
+			Middleboxes: func(n *netsim.Network) []netsim.Middlebox {
+				return []netsim.Middlebox{&netsim.HelloExtensionMangler{SkipFlows: 1}}
+			},
+			Note: "scrubber spares the first connection but mangles every secondary (JOIN) handshake",
+		},
+	}
+}
+
+// InteropCell is one matrix entry plus its diagnostic detail.
+type InteropCell struct {
+	Outcome InteropOutcome
+	Detail  string
+}
+
+// InteropResult is the full measured matrix.
+type InteropResult struct {
+	Rows  []string
+	Cells map[string]map[string]InteropCell
+	// Events holds the TCPLS run's full trace per row, for asserting the
+	// typed degrade events actually fired.
+	Events map[string][]telemetry.Event
+}
+
+// Matrix renders the pass/degrade/fail table (golden-file format).
+func (r *InteropResult) Matrix() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "row")
+	for _, s := range InteropStacks {
+		fmt.Fprintf(&b, " %-8s", s)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s", row)
+		for _, s := range InteropStacks {
+			fmt.Fprintf(&b, " %-8s", r.Cells[row][s].Outcome)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Details renders the per-cell diagnostics (for logs, not the golden).
+func (r *InteropResult) Details() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		for _, s := range InteropStacks {
+			c := r.Cells[row][s]
+			if c.Detail != "" {
+				fmt.Fprintf(&b, "%s/%s: %s (%s)\n", row, s, c.Outcome, c.Detail)
+			}
+		}
+	}
+	return b.String()
+}
+
+// RunInterop executes the whole gauntlet: every row, every stack, each
+// in a fresh emulated network.
+func RunInterop() *InteropResult {
+	res := &InteropResult{
+		Cells:  make(map[string]map[string]InteropCell),
+		Events: make(map[string][]telemetry.Event),
+	}
+	for _, row := range InteropRows() {
+		res.Rows = append(res.Rows, row.Name)
+		cells := make(map[string]InteropCell)
+		cell, events := runInteropTCPLS(row)
+		cells["tcpls"] = cell
+		res.Events[row.Name] = events
+		cells["tls"] = runInteropTLS(row)
+		cells["quic"] = runInteropQUIC(row)
+		res.Cells[row.Name] = cells
+	}
+	return res
+}
+
+// interopPayloadHalves builds the deterministic two-phase payload.
+func interopPayloadHalves(seed int64) (a, b []byte) {
+	buf := make([]byte, interopPayload)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf[:interopPayload/2], buf[interopPayload/2:]
+}
+
+// interopEnv is one run's emulated world: two hosts, one link carrying
+// the row's middlebox chain, one shared trace ring.
+type interopEnv struct {
+	n    *netsim.Network
+	ch   *netsim.Host
+	sh   *netsim.Host
+	link *netsim.Link
+	ring *telemetry.RingSink
+	cliT *telemetry.Tracer
+	srvT *telemetry.Tracer
+}
+
+func newInteropEnv(row InteropRow) *interopEnv {
+	n := netsim.New(netsim.WithSeed(1), netsim.WithTimeScale(interopTimeScale))
+	ch, sh := n.Host("client"), n.Host("server")
+	link := n.AddLink(ch, sh, ClientV4, ServerV4,
+		netsim.LinkConfig{Name: "v4", Delay: time.Millisecond, BandwidthBps: 50e6})
+	if mb := row.Middleboxes(n); len(mb) > 0 {
+		link.Use(mb...)
+	}
+	ring := telemetry.NewRingSink(1 << 15)
+	mk := func(ep string) *telemetry.Tracer {
+		return telemetry.NewTracer(
+			telemetry.WithEndpoint(ep),
+			telemetry.WithClock(n.VirtualNow),
+			telemetry.WithSink(ring),
+		)
+	}
+	return &interopEnv{n: n, ch: ch, sh: sh, link: link, ring: ring,
+		cliT: mk("client"), srvT: mk("server")}
+}
+
+// --- TCPLS ---
+
+type tcplsRunResult struct {
+	err   error
+	plain bool
+	caps  core.Capability
+}
+
+func runInteropTCPLS(row InteropRow) (InteropCell, []telemetry.Event) {
+	env := newInteropEnv(row)
+	defer env.n.Close()
+	halfA, halfB := interopPayloadHalves(2)
+
+	cs := tcpnet.NewStack(env.ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(env.sh, tcpnet.Config{})
+	defer cs.Close()
+	defer ss.Close()
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return InteropCell{OutcomeFail, "listen: " + err.Error()}, nil
+	}
+	retry := core.RetryPolicy{
+		Base: 25 * time.Millisecond, Cap: 200 * time.Millisecond,
+		MaxAttempts: 8, DialTimeout: 500 * time.Millisecond,
+	}
+	lst := core.NewListener(tl, &core.Config{
+		TLS:                 &tls13.Config{Certificate: serverCert()},
+		Clock:               env.n,
+		Multipath:           true,
+		AllowDegraded:       true,
+		HealthProbeInterval: 100 * time.Millisecond,
+		HealthFailAfter:     3,
+		RevalidateTimeout:   300 * time.Millisecond,
+		Retry:               retry,
+		Tracer:              env.srvT,
+	})
+	defer lst.Close()
+	cli := core.NewClient(&core.Config{
+		TLS:                 &tls13.Config{InsecureSkipVerify: true},
+		Clock:               env.n,
+		Multipath:           true,
+		AllowDegraded:       true,
+		JoinFailLimit:       3,
+		HealthProbeInterval: 100 * time.Millisecond,
+		HealthFailAfter:     3,
+		Retry:               retry,
+		RetrySeed:           1,
+		Tracer:              env.cliT,
+	}, tcpnet.Dialer{Stack: cs})
+	defer cli.Close()
+
+	done := make(chan tcplsRunResult, 1)
+	go func() {
+		done <- func() tcplsRunResult {
+			acceptCh := make(chan *core.Session, 1)
+			go func() {
+				s, _ := lst.Accept()
+				acceptCh <- s
+			}()
+			if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 2*time.Second); err != nil {
+				return tcplsRunResult{err: fmt.Errorf("connect: %w", err)}
+			}
+			if err := cli.Handshake(); err != nil {
+				return tcplsRunResult{err: fmt.Errorf("handshake: %w", err)}
+			}
+			srv := <-acceptCh
+			if srv == nil {
+				return tcplsRunResult{err: errors.New("accept failed")}
+			}
+			defer srv.Close()
+			go func() {
+				st, err := srv.AcceptStream()
+				if err != nil {
+					return
+				}
+				data, err := readAll(st)
+				if err != nil {
+					return
+				}
+				st.Write(data)
+				st.Close()
+			}()
+			// Exercise multipath: try to add a second path. Failures here
+			// are interference, not fatal — the degradation machinery
+			// decides when to stop trying.
+			if !cli.PlainMode() {
+				for i := 0; i < 4; i++ {
+					_, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), time.Second)
+					if err == nil || errors.Is(err, core.ErrCapabilityDisabled) {
+						break
+					}
+				}
+			}
+			st, err := cli.NewStream()
+			if err != nil {
+				return tcplsRunResult{err: fmt.Errorf("stream: %w", err)}
+			}
+			if _, err := st.Write(halfA); err != nil {
+				return tcplsRunResult{err: fmt.Errorf("write: %w", err)}
+			}
+			time.Sleep(env.n.ScaleDuration(interopPause))
+			if _, err := st.Write(halfB); err != nil {
+				return tcplsRunResult{err: fmt.Errorf("write after pause: %w", err)}
+			}
+			if err := st.Close(); err != nil {
+				return tcplsRunResult{err: fmt.Errorf("close: %w", err)}
+			}
+			echo, err := readAll(st)
+			if err != nil {
+				return tcplsRunResult{err: fmt.Errorf("read echo: %w", err)}
+			}
+			if !bytes.Equal(echo, append(append([]byte(nil), halfA...), halfB...)) {
+				return tcplsRunResult{err: fmt.Errorf("echo mismatch: %d bytes", len(echo))}
+			}
+			res := tcplsRunResult{plain: cli.PlainMode(), caps: cli.DegradedCaps()}
+			cli.Close()
+			srv.Close()
+			return res
+		}()
+	}()
+
+	var res tcplsRunResult
+	select {
+	case res = <-done:
+	case <-time.After(interopWallBudget):
+		res = tcplsRunResult{err: errors.New("wall-clock timeout")}
+		cli.Close()
+		lst.Close()
+		cs.Close()
+		ss.Close()
+	}
+	events := env.ring.Events()
+	return classifyTCPLS(res, events), events
+}
+
+// classifyTCPLS folds the run result and its trace into a cell. The
+// degrade signals are exactly the typed events the degradation ladder
+// emits plus the session's own capability state.
+func classifyTCPLS(res tcplsRunResult, events []telemetry.Event) InteropCell {
+	if res.err != nil {
+		return InteropCell{OutcomeFail, res.err.Error()}
+	}
+	var signals []string
+	if res.plain {
+		signals = append(signals, "plain-tls fallback")
+	} else if res.caps != 0 {
+		signals = append(signals, "caps shed: "+res.caps.String())
+	}
+	seen := map[telemetry.EventKind]bool{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EvSessionDegraded, telemetry.EvPathFailover, telemetry.EvPathDegraded:
+			if !seen[ev.Kind] {
+				seen[ev.Kind] = true
+			}
+		}
+	}
+	var kinds []string
+	for k := range seen {
+		kinds = append(kinds, k.Name())
+	}
+	sort.Strings(kinds)
+	signals = append(signals, kinds...)
+	if len(signals) > 0 {
+		return InteropCell{OutcomeDegrade, strings.Join(signals, ", ")}
+	}
+	return InteropCell{OutcomePass, ""}
+}
+
+// --- plain TLS over TCP ---
+
+func runInteropTLS(row InteropRow) InteropCell {
+	env := newInteropEnv(row)
+	defer env.n.Close()
+	halfA, halfB := interopPayloadHalves(3)
+
+	cs := tcpnet.NewStack(env.ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(env.sh, tcpnet.Config{})
+	defer cs.Close()
+	defer ss.Close()
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return InteropCell{OutcomeFail, "listen: " + err.Error()}
+	}
+	go func() {
+		conn, err := tl.Accept()
+		if err != nil {
+			return
+		}
+		conn.SetDeadline(time.Now().Add(interopIODeadline))
+		tc := tls13.Server(conn, &tls13.Config{Certificate: serverCert()})
+		if err := tc.Handshake(); err != nil {
+			conn.Close()
+			return
+		}
+		data, err := io.ReadAll(tc) // until the client's close_notify
+		if err != nil {
+			conn.Close()
+			return
+		}
+		tc.Write(data)
+		tc.CloseWrite()
+	}()
+
+	conn, err := cs.Dial(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 2*time.Second)
+	if err != nil {
+		return InteropCell{OutcomeFail, "dial: " + err.Error()}
+	}
+	defer conn.Close()
+	// Wall-clock deadline doubles as the run's failure detector: on a
+	// blackholed path every read/write below errors out instead of
+	// hanging the gauntlet.
+	conn.SetDeadline(time.Now().Add(interopIODeadline))
+	tc := tls13.Client(conn, &tls13.Config{InsecureSkipVerify: true})
+	if err := tc.Handshake(); err != nil {
+		return InteropCell{OutcomeFail, "handshake: " + err.Error()}
+	}
+	if _, err := tc.Write(halfA); err != nil {
+		return InteropCell{OutcomeFail, "write: " + err.Error()}
+	}
+	time.Sleep(env.n.ScaleDuration(interopPause))
+	if _, err := tc.Write(halfB); err != nil {
+		return InteropCell{OutcomeFail, "write after pause: " + err.Error()}
+	}
+	if err := tc.CloseWrite(); err != nil {
+		return InteropCell{OutcomeFail, "close-write: " + err.Error()}
+	}
+	echo, err := io.ReadAll(tc)
+	if err != nil {
+		return InteropCell{OutcomeFail, "read echo: " + err.Error()}
+	}
+	if !bytes.Equal(echo, append(append([]byte(nil), halfA...), halfB...)) {
+		return InteropCell{OutcomeFail, fmt.Sprintf("echo mismatch: %d bytes", len(echo))}
+	}
+	// Plain TLS has no capabilities to shed: completion is a pass.
+	return InteropCell{OutcomePass, ""}
+}
+
+// --- quicbase (QUIC-like comparator) ---
+
+func runInteropQUIC(row InteropRow) InteropCell {
+	env := newInteropEnv(row)
+	defer env.n.Close()
+	halfA, halfB := interopPayloadHalves(4)
+
+	srvEP := quicbase.NewEndpoint(env.sh, 443, &tls13.Config{Certificate: serverCert()}, true)
+	cliEP := quicbase.NewEndpoint(env.ch, 443, &tls13.Config{InsecureSkipVerify: true}, false)
+	defer srvEP.Close()
+	defer cliEP.Close()
+
+	done := make(chan InteropCell, 1)
+	go func() {
+		done <- func() InteropCell {
+			go func() {
+				conn, err := srvEP.Accept()
+				if err != nil {
+					return
+				}
+				st, err := conn.AcceptStream()
+				if err != nil {
+					return
+				}
+				data, err := io.ReadAll(st)
+				if err != nil {
+					return
+				}
+				st.Write(data)
+				st.Close()
+			}()
+			conn, err := cliEP.Dial(netip.AddrPortFrom(ServerV4, 443), 2*time.Second)
+			if err != nil {
+				return InteropCell{OutcomeFail, "dial: " + err.Error()}
+			}
+			st, err := conn.OpenStream()
+			if err != nil {
+				return InteropCell{OutcomeFail, "stream: " + err.Error()}
+			}
+			if _, err := st.Write(halfA); err != nil {
+				return InteropCell{OutcomeFail, "write: " + err.Error()}
+			}
+			time.Sleep(env.n.ScaleDuration(interopPause))
+			if _, err := st.Write(halfB); err != nil {
+				return InteropCell{OutcomeFail, "write after pause: " + err.Error()}
+			}
+			st.Close()
+			echo, err := io.ReadAll(st)
+			if err != nil {
+				return InteropCell{OutcomeFail, "read echo: " + err.Error()}
+			}
+			if !bytes.Equal(echo, append(append([]byte(nil), halfA...), halfB...)) {
+				return InteropCell{OutcomeFail, fmt.Sprintf("echo mismatch: %d bytes", len(echo))}
+			}
+			return InteropCell{OutcomePass, ""}
+		}()
+	}()
+	select {
+	case cell := <-done:
+		return cell
+	case <-time.After(interopWallBudget):
+		cliEP.Close()
+		srvEP.Close()
+		return InteropCell{OutcomeFail, "wall-clock timeout"}
+	}
+}

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+var updateInterop = flag.Bool("update", false, "rewrite the interop golden matrix")
+
+const interopGoldenPath = "testdata/interop_golden.txt"
+
+// parseInteropGolden reads a matrix in the Matrix() rendering back into
+// cells. Unknown rows or stacks are an error — the golden and the code
+// must agree on the gauntlet's shape.
+func parseInteropGolden(t *testing.T, data string) map[string]map[string]InteropOutcome {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("golden matrix too short: %d lines", len(lines))
+	}
+	header := strings.Fields(lines[0])
+	if header[0] != "row" || len(header) != 1+len(InteropStacks) {
+		t.Fatalf("golden header mismatch: %q", lines[0])
+	}
+	for i, s := range InteropStacks {
+		if header[1+i] != s {
+			t.Fatalf("golden stack column %d is %q, want %q", i, header[1+i], s)
+		}
+	}
+	out := make(map[string]map[string]InteropOutcome)
+	for _, line := range lines[1:] {
+		f := strings.Fields(line)
+		if len(f) != 1+len(InteropStacks) {
+			t.Fatalf("golden row malformed: %q", line)
+		}
+		cells := make(map[string]InteropOutcome)
+		for i, s := range InteropStacks {
+			o := InteropOutcome(f[1+i])
+			switch o {
+			case OutcomePass, OutcomeDegrade, OutcomeFail:
+			default:
+				t.Fatalf("golden row %q: bad outcome %q", f[0], f[1+i])
+			}
+			cells[s] = o
+		}
+		out[f[0]] = cells
+	}
+	return out
+}
+
+func hasKind(events []telemetry.Event, kind telemetry.EventKind) bool {
+	for _, ev := range events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInteropMatrix runs the middlebox gauntlet across all three stacks
+// and enforces three properties:
+//
+//  1. Regression against the golden: no cell may get worse than the
+//     checked-in matrix (pass > degrade > fail). Getting better is fine —
+//     run with -update to ratchet the golden forward.
+//  2. The paper's core claim, measured: TCPLS never does worse than
+//     plain TLS/TCP in any row.
+//  3. The degradations are the *typed* ladder, not luck: the
+//     option-strip row's TCPLS trace carries session:degraded, and the
+//     nat-rebind row's carries path:revalidate.
+func TestInteropMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interop gauntlet is not a -short test")
+	}
+	res := RunInterop()
+	matrix := res.Matrix()
+	t.Logf("measured interop matrix:\n%s", matrix)
+	if d := res.Details(); d != "" {
+		t.Logf("cell details:\n%s", d)
+	}
+
+	if *updateInterop {
+		if err := os.MkdirAll(filepath.Dir(interopGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(interopGoldenPath, []byte(matrix), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", interopGoldenPath)
+	}
+
+	raw, err := os.ReadFile(interopGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	golden := parseInteropGolden(t, string(raw))
+
+	// Shape check both ways: a row added to the gauntlet must be added to
+	// the golden, and a deleted row must be removed from it.
+	for _, row := range res.Rows {
+		if _, ok := golden[row]; !ok {
+			t.Errorf("row %q missing from golden — run with -update", row)
+		}
+	}
+	for row := range golden {
+		found := false
+		for _, r := range res.Rows {
+			if r == row {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("golden row %q no longer in the gauntlet", row)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for _, row := range res.Rows {
+		for _, stack := range InteropStacks {
+			got := res.Cells[row][stack]
+			want := golden[row][stack]
+			if got.Outcome.rank() < want.rank() {
+				t.Errorf("REGRESSION %s/%s: %s (was %s) — %s",
+					row, stack, got.Outcome, want, got.Detail)
+			}
+		}
+		// Paper claim: wherever plain TLS/TCP completes the transfer,
+		// TCPLS must complete it too — degrading (shedding the extra
+		// capabilities TLS never had) is allowed, failing is not.
+		if res.Cells[row]["tls"].Outcome != OutcomeFail &&
+			res.Cells[row]["tcpls"].Outcome == OutcomeFail {
+			t.Errorf("row %s: tcpls failed where plain tls completed (%s) — %s",
+				row, res.Cells[row]["tls"].Outcome, res.Cells[row]["tcpls"].Detail)
+		}
+	}
+
+	// The option-strip degradation must be the typed fallback, visible in
+	// the trace — not a silently tolerated corruption.
+	if res.Cells["option-strip"]["tcpls"].Outcome == OutcomeDegrade {
+		if !hasKind(res.Events["option-strip"], telemetry.EvSessionDegraded) {
+			t.Error("option-strip degraded without a session:degraded trace event")
+		}
+	}
+	// And the NAT-rebind row must show the re-validation probe machinery.
+	if res.Cells["nat-rebind"]["tcpls"].Outcome != OutcomeFail {
+		if !hasKind(res.Events["nat-rebind"], telemetry.EvPathRevalidate) {
+			t.Error("nat-rebind row has no path:revalidate trace event")
+		}
+	}
+}
+
+// TestInteropGoldenInvariant re-checks the committed golden itself:
+// every row must already encode "TCPLS >= plain TLS". This guards the
+// -update path against ratcheting in a matrix that violates the claim.
+func TestInteropGoldenInvariant(t *testing.T) {
+	raw, err := os.ReadFile(interopGoldenPath)
+	if err != nil {
+		t.Skipf("no golden yet: %v", err)
+	}
+	golden := parseInteropGolden(t, string(raw))
+	for row, cells := range golden {
+		if cells["tls"] != OutcomeFail && cells["tcpls"] == OutcomeFail {
+			t.Errorf("golden row %s: tcpls fails where plain tls completes (%s)",
+				row, cells["tls"])
+		}
+	}
+}

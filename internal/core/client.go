@@ -33,6 +33,12 @@ func (s *Session) Connect(laddr netip.Addr, raddr netip.AddrPort, timeout time.D
 		s.mu.Unlock()
 		return 0, ErrSessionClosed
 	}
+	if s.plainMode {
+		// A degraded plain-TLS session has no JOIN: without it a new
+		// connection could never be tied to this session.
+		s.mu.Unlock()
+		return 0, ErrCapabilityDisabled
+	}
 	handshaken := s.joinKey != nil
 	pending := s.pendingTCP != nil
 	s.mu.Unlock()
@@ -155,11 +161,23 @@ func (s *Session) Handshake() error {
 	tcp.SetDeadline(time.Now().Add(s.cfg.Clock.ScaleDuration(s.limits.HandshakeTimeout)))
 	if err := tc.Handshake(); err != nil {
 		tcp.Close()
+		if s.cfg.AllowDegraded {
+			// A middlebox that strips or mangles the TCPLS ClientHello
+			// extension corrupts the TLS transcript; the only recovery is
+			// a fresh connection without the extension — plain TLS.
+			return s.fallbackPlainHandshake("handshake interference: " + err.Error())
+		}
 		return err
 	}
 	tcp.SetDeadline(time.Time{})
 	st := tc.ConnectionState()
 	if st.PeerTCPLS == nil {
+		if s.cfg.AllowDegraded {
+			// The handshake completed but the server answered plain TLS
+			// (extension stripped cleanly en route): keep the connection,
+			// shed every TCPLS capability.
+			return s.adoptPlain(tcp, tc, "tcpls not negotiated")
+		}
 		tcp.Close()
 		return errors.New("tcpls: server did not negotiate TCPLS")
 	}
@@ -226,6 +244,12 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 	if s.NumConns() >= s.limits.MaxPaths {
 		return nil, &LimitError{Limit: "paths", Max: s.limits.MaxPaths}
 	}
+	// Multipath shed after repeated interference: stop opening extra
+	// paths. A JOIN with zero live connections is failover rescue, not
+	// bandwidth aggregation, and stays allowed.
+	if s.capDisabled(CapMultipath) && s.NumConns() >= 1 {
+		return nil, ErrCapabilityDisabled
+	}
 	s.mu.Lock()
 	if s.joinKey == nil {
 		s.mu.Unlock()
@@ -262,12 +286,15 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 		s.mu.Lock()
 		s.cookies = append(s.cookies, cookie)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrJoinRejected, err)
+		err = fmt.Errorf("%w: %v", ErrJoinRejected, err)
+		s.noteJoinFailure(err)
+		return nil, err
 	}
 	tcp.SetDeadline(time.Time{})
 	st := tc.ConnectionState()
 	srv, err := record.DecodeServerTCPLS(st.PeerTCPLS)
 	if err != nil || srv.ConnID != s.ConnID() {
+		s.noteJoinFailure(ErrJoinRejected)
 		return nil, ErrJoinRejected
 	}
 	s.mu.Lock()
@@ -279,6 +306,7 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 	if err := s.registerPath(pc); err != nil {
 		return nil, err
 	}
+	s.noteJoinSuccess()
 	return pc, nil
 }
 

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// ringTracer builds a tracer whose events the test can inspect.
+func ringTracer() (*telemetry.Tracer, *telemetry.RingSink) {
+	sink := telemetry.NewRingSink(4096)
+	return telemetry.NewTracer(telemetry.WithSink(sink)), sink
+}
+
+func hasEvent(sink *telemetry.RingSink, kind telemetry.EventKind) bool {
+	for _, ev := range sink.Events() {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDegradeToPlainOnMangledHello is the paper's Table 1 "option
+// stripped" row in miniature: a middlebox rewrites the TCPLS ClientHello
+// extension in flight, which corrupts the TLS transcript and kills the
+// handshake. With AllowDegraded on both ends the client redials without
+// the extension and both sides run a plain-TLS single-stream session
+// instead of failing.
+func TestDegradeToPlainOnMangledHello(t *testing.T) {
+	v4, v6 := fastLinks()
+	tracer, sink := ringTracer()
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{AllowDegraded: true})
+	e.linkV4.Use(&netsim.HelloExtensionMangler{})
+
+	cfg := &Config{AllowDegraded: true, Tracer: tracer}
+	cli, srv := e.connect(t, cfg)
+
+	if !cli.PlainMode() {
+		t.Fatal("client did not degrade to plain mode")
+	}
+	if !srv.PlainMode() {
+		t.Fatal("server session is not in plain mode")
+	}
+	if cli.DegradedCaps() != CapAll {
+		t.Fatalf("degraded caps: %v, want all", cli.DegradedCaps())
+	}
+	if !hasEvent(sink, telemetry.EvSessionDegraded) {
+		t.Fatal("no session:degraded event in trace")
+	}
+
+	// Data still flows, bidirectionally, on the single plain stream.
+	st, err := cli.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sst, err := srv.AcceptStream()
+		if err != nil {
+			return
+		}
+		data, _ := io.ReadAll(sst)
+		sst.Write(bytes.ToUpper(data))
+		sst.Close()
+	}()
+	st.Write([]byte("degraded but alive"))
+	st.Close()
+	got, err := io.ReadAll(st)
+	if err != nil || string(got) != "DEGRADED BUT ALIVE" {
+		t.Fatalf("echo over plain fallback: %q %v", got, err)
+	}
+
+	// Plain TLS multiplexes nothing: a second stream is refused.
+	if _, err := cli.NewStream(); !errors.Is(err, ErrCapabilityDisabled) {
+		t.Fatalf("second stream on plain session: %v", err)
+	}
+	// And so is multipath.
+	if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), time.Second); err == nil {
+		t.Fatal("join succeeded on a plain session")
+	}
+}
+
+// TestDegradeDisabledFailsClosed: without the opt-in, interference stays
+// a hard handshake error — no silent downgrade.
+func TestDegradeDisabledFailsClosed(t *testing.T) {
+	v4, v6 := fastLinks()
+	e := dualStackEnv(t, v4, v6, &Config{}, &Config{})
+	e.linkV4.Use(&netsim.HelloExtensionMangler{})
+	cfg := &Config{Clock: e.net}
+	cli := NewClient(cfg, tcpnet.Dialer{Stack: e.client})
+	if _, err := cli.Connect(netip.Addr{}, netip.AddrPortFrom(sV4, 443), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Handshake(); err == nil {
+		t.Fatal("mangled handshake succeeded without AllowDegraded")
+	}
+	if cli.PlainMode() {
+		t.Fatal("degraded without opt-in")
+	}
+}
+
+// TestJoinFailuresShedMultipath: a middlebox that only interferes with
+// secondary connections (mangling their ClientHellos) must not be
+// retried forever. After JoinFailLimit consecutive failures the session
+// sheds multipath, keeps the healthy primary, and refuses further joins
+// with a typed error.
+func TestJoinFailuresShedMultipath(t *testing.T) {
+	v4, v6 := fastLinks()
+	tracer, sink := ringTracer()
+	e := dualStackEnv(t, v4, v6, &Config{Multipath: true}, &Config{Multipath: true})
+	e.linkV6.Use(&netsim.HelloExtensionMangler{})
+
+	cfg := &Config{Multipath: true, AllowDegraded: true, JoinFailLimit: 2, Tracer: tracer}
+	cli, srv := e.connect(t, cfg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), 2*time.Second); err == nil {
+			t.Fatalf("join %d succeeded through the mangler", i)
+		}
+	}
+	if cli.DegradedCaps()&CapMultipath == 0 {
+		t.Fatalf("multipath not shed after repeated join failures: %v", cli.DegradedCaps())
+	}
+	if !hasEvent(sink, telemetry.EvSessionDegraded) {
+		t.Fatal("no session:degraded event in trace")
+	}
+	// Further joins are refused up front, without burning a cookie.
+	before := cli.CookiesLeft()
+	if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), 2*time.Second); !errors.Is(err, ErrCapabilityDisabled) {
+		t.Fatalf("join after shed: %v", err)
+	}
+	if cli.CookiesLeft() != before {
+		t.Fatal("refused join burned a cookie")
+	}
+	// The primary path is untouched: data still flows.
+	st, _ := cli.NewStream()
+	go func() {
+		sst, err := srv.AcceptStream()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, sst)
+	}()
+	if _, err := st.Write([]byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}
+
+// TestRevalidateProbeDegradesSilentPath: a re-validation probe on a
+// blackholed path (the NAT-rebind suspicion) degrades it within the
+// bounded revalidate timeout instead of the health monitor's slower
+// consecutive-failure budget — and a healthy path survives the probe.
+func TestRevalidateProbeDegradesSilentPath(t *testing.T) {
+	v4, v6 := fastLinks()
+	tracer, sink := ringTracer()
+	e := dualStackEnv(t, v4, v6, &Config{Multipath: true}, &Config{Multipath: true})
+	cfg := &Config{Multipath: true, RevalidateTimeout: 200 * time.Millisecond, Tracer: tracer}
+	cli, srv := e.connect(t, cfg)
+	if _, err := cli.Connect(cV6, netip.AddrPortFrom(sV6, 443), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick the v4 path explicitly (PathIDs order is not defined).
+	var pc *pathConn
+	for _, p := range cli.livePaths() {
+		if ap, ok := remoteAddrPort(p); ok && ap.Addr() == sV4 {
+			pc = p
+		}
+	}
+	if pc == nil {
+		t.Fatal("no v4 path")
+	}
+
+	// Healthy path: the probe is answered and nothing degrades.
+	cli.revalidatePath(pc, "healthy-probe")
+	time.Sleep(400 * time.Millisecond)
+	if len(cli.PathIDs()) != 2 {
+		t.Fatalf("healthy revalidation degraded a path: %v", cli.PathIDs())
+	}
+
+	// Blackhole v4 (silently — no RST) and re-validate: the path must be
+	// degraded and the stream carried by v6.
+	e.linkV4.SetDown(true)
+	cli.revalidatePath(pc, "test-blackhole")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(cli.PathIDs()) > 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := len(cli.PathIDs()); n != 1 {
+		t.Fatalf("blackholed path not degraded: %d live paths", n)
+	}
+	if !hasEvent(sink, telemetry.EvPathRevalidate) {
+		t.Fatal("no path:revalidate event in trace")
+	}
+	st, _ := cli.NewStream()
+	go func() {
+		sst, err := srv.AcceptStream()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, sst)
+	}()
+	if _, err := st.Write([]byte("over the survivor")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}
+
+// TestServerDetectsRebindOnJoin: when a JOIN arrives from the same host
+// on a new port while an older sibling path is still "live", the server
+// treats the old 4-tuple as rebound and re-validates it immediately.
+func TestServerDetectsRebindOnJoin(t *testing.T) {
+	v4, v6 := fastLinks()
+	tracer, sink := ringTracer()
+	e := dualStackEnv(t, v4, v6, &Config{Multipath: true},
+		&Config{Multipath: true, RevalidateTimeout: 200 * time.Millisecond, Tracer: tracer})
+	cli, srv := e.connect(t, &Config{Multipath: true})
+
+	// Second connection from the same client address, different source
+	// port (tcpnet allocates a fresh ephemeral port per dial) — exactly
+	// what a server sees after a NAT rebinding.
+	if _, err := cli.Connect(cV4, netip.AddrPortFrom(sV4, 443), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !hasEvent(sink, telemetry.EvPathRevalidate) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !hasEvent(sink, telemetry.EvPathRevalidate) {
+		t.Fatal("server did not re-validate the suspect sibling path")
+	}
+	// Here the old path is healthy (no NAT actually dropped it), so the
+	// probe answer keeps it alive: no false-positive degrade.
+	time.Sleep(400 * time.Millisecond)
+	if n := srv.NumConns(); n != 2 {
+		t.Fatalf("healthy sibling degraded after rebind probe: %d conns", n)
+	}
+}

@@ -26,6 +26,7 @@ func (s *Session) connFailed(pc *pathConn, err error, orderly bool) {
 		s.mu.Unlock()
 		return
 	}
+	plain := s.plainMode
 	if s.primary == pc {
 		s.primary = nil
 		for _, cand := range s.conns {
@@ -49,6 +50,16 @@ func (s *Session) connFailed(pc *pathConn, err error, orderly bool) {
 			Path: pc.id,
 			A:    survivor,
 		})
+	}
+
+	if plain {
+		// A degraded plain-TLS session has exactly one path and no JOIN
+		// machinery to rescue it: an orderly close ends the session
+		// quietly, anything else tears it down with the error.
+		if !orderly {
+			s.teardown(err)
+		}
+		return
 	}
 
 	if orderly {

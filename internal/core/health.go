@@ -77,6 +77,15 @@ func (h *pathHealth) notePong(seq uint32, now time.Time) (time.Duration, bool) {
 	return rtt, true
 }
 
+// isOutstanding reports whether a specific probe is still unanswered —
+// the re-validation deadline checks exactly the probe it sent.
+func (h *pathHealth) isOutstanding(seq uint32) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.outstanding[seq]
+	return ok
+}
+
 func (h *pathHealth) outstandingCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -114,6 +123,11 @@ func (s *Session) healthLoop() {
 			return // session closed
 		}
 		for _, pc := range s.livePaths() {
+			if pc.plain {
+				// A plain path has no control channel to probe; its only
+				// liveness signal is the TLS read loop erroring.
+				continue
+			}
 			if pc.health.outstandingCount() >= failAfter {
 				s.degradePath(pc)
 				continue

@@ -134,7 +134,14 @@ func (l *Listener) handleConn(conn net.Conn) {
 	}
 	conn.SetDeadline(time.Time{})
 	if res.hello == nil || res.reply == nil {
-		// Plain TLS client (no TCPLS extension): not a session.
+		// Plain TLS client (no TCPLS extension). When degraded operation
+		// is allowed, serve it anyway as a single-path plain session —
+		// the client may be a TCPLS peer whose extension a middlebox
+		// stripped and which fell back. Otherwise it is not a session.
+		if l.cfg.AllowDegraded {
+			l.acceptPlain(conn, tc)
+			return
+		}
 		conn.Close()
 		return
 	}
@@ -150,6 +157,10 @@ func (l *Listener) handleConn(conn net.Conn) {
 		if cb := s.cfg.Callbacks.Join; cb != nil {
 			cb(pc.id, conn.RemoteAddr())
 		}
+		// A JOIN from the same host on a new port usually means a NAT
+		// rebound the old mapping: re-validate suspect siblings now
+		// instead of letting their health decay slowly.
+		s.detectRebind(pc)
 		// Replay any unacked data: the join may be a failover rescue.
 		s.replayAll(pc)
 		return
@@ -186,6 +197,30 @@ func (l *Listener) handleConn(conn net.Conn) {
 	})
 	pc := newPathConn(s, conn, tc)
 	if err := s.registerPath(pc); err != nil {
+		s.teardown(err)
+		return
+	}
+	select {
+	case l.accepts <- s:
+	default:
+		s.teardown(errors.New("tcpls: accept backlog full"))
+	}
+}
+
+// acceptPlain registers a completed plain-TLS handshake as a degraded
+// single-path session and hands it to Accept like any other.
+func (l *Listener) acceptPlain(conn net.Conn, tc *tls13.Conn) {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		conn.Close()
+		return
+	}
+	cfg := l.sessionConfig()
+	s := newSession(RoleServer, cfg, nil)
+	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server-degraded"})
+	if err := s.adoptPlain(conn, tc, "peer spoke plain TLS"); err != nil {
 		s.teardown(err)
 		return
 	}

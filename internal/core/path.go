@@ -27,6 +27,7 @@ type pathConn struct {
 	tcp     net.Conn
 	tls     *tls13.Conn
 	joined  bool // attached via JOIN (vs. the initial handshake)
+	plain   bool // degraded plain-TLS path: raw bytes, no TCPLS framing
 
 	writeMu sync.Mutex
 	// wScratch holds the stream-data record header and TType trailer
@@ -130,8 +131,13 @@ func (pc *pathConn) ensureStreamContext(id uint32) error {
 	return pc.tls.AddStreamContext(id)
 }
 
-// writeControl sends control frames on the default context.
+// writeControl sends control frames on the default context. On a
+// degraded plain path there is no secure control channel: frames are
+// silently dropped (the capability was shed, not the session).
 func (pc *pathConn) writeControl(frames ...record.Frame) error {
+	if pc.plain {
+		return nil
+	}
 	s := pc.session
 	s.ctr.ctrlSent.Add(uint64(len(frames)))
 	if s.trace().Enabled() {
@@ -153,6 +159,9 @@ func (pc *pathConn) writeControl(frames ...record.Frame) error {
 
 // writeTCPOption ships one TCP option through the secure channel.
 func (pc *pathConn) writeTCPOption(o *record.TCPOption) error {
+	if pc.plain {
+		return ErrCapabilityDisabled
+	}
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
 	return pc.tls.WriteRecordContext(tls13.DefaultContext, record.EncodeTCPOption(o))
@@ -160,6 +169,9 @@ func (pc *pathConn) writeTCPOption(o *record.TCPOption) error {
 
 // writeChunk sends one stream-data record under the stream's context.
 func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
+	if pc.plain {
+		return pc.writePlainChunk(c)
+	}
 	if err := pc.ensureStreamContext(c.StreamID); err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+)
+
+// TestBackoffUnjittered pins the deterministic schedule: capped
+// exponential growth from Base by Factor.
+func TestBackoffUnjittered(t *testing.T) {
+	p := RetryPolicy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second, 2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := p.Backoff(attempt, nil); got != w {
+			t.Fatalf("attempt %d: %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds sweeps many seeds and attempts: every jittered
+// backoff must stay within ±Jitter of the nominal value, never exceed
+// Cap, and never go negative.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for attempt := 0; attempt < 12; attempt++ {
+			nominal := p.Backoff(attempt, nil)
+			got := p.Backoff(attempt, rng)
+			lo := time.Duration(float64(nominal) * (1 - p.Jitter))
+			hi := time.Duration(float64(nominal) * (1 + p.Jitter))
+			if hi > p.Cap {
+				hi = p.Cap
+			}
+			if got < lo || got > hi {
+				t.Fatalf("seed %d attempt %d: %v outside [%v, %v]", seed, attempt, got, lo, hi)
+			}
+			if got > p.Cap || got < 0 {
+				t.Fatalf("seed %d attempt %d: %v violates cap/floor", seed, attempt, got)
+			}
+		}
+	}
+}
+
+// TestBackoffSpreadsRetries: the point of jitter is decorrelating
+// reconnection storms — distinct values must actually occur.
+func TestBackoffSpreadsRetries(t *testing.T) {
+	p := RetryPolicy{Jitter: 0.5}.withDefaults()
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		seen[p.Backoff(3, rng)] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("jitter produced only %d distinct backoffs in 64 draws", len(seen))
+	}
+}
+
+// TestJitterRNGDeterministicBySeed: identical RetrySeed values replay an
+// identical backoff sequence — the property reproducible chaos runs
+// depend on.
+func TestJitterRNGDeterministicBySeed(t *testing.T) {
+	p := RetryPolicy{Jitter: 0.5}.withDefaults()
+	a, b := newJitterRNG(42), newJitterRNG(42)
+	c := newJitterRNG(43)
+	same, diff := true, false
+	for attempt := 0; attempt < 16; attempt++ {
+		da, db, dc := a.backoff(p, attempt), b.backoff(p, attempt), c.backoff(p, attempt)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different backoff sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sequences (rng ignored?)")
+	}
+}
+
+// TestWithDefaultsClampsPathologicalPolicies: zero and out-of-range
+// fields normalize instead of producing zero/negative sleeps or
+// unbounded growth.
+func TestWithDefaultsClampsPathologicalPolicies(t *testing.T) {
+	for _, p := range []RetryPolicy{
+		{},
+		{Factor: 0.1, Jitter: 3},
+		{Base: -time.Second, Cap: -time.Second, MaxAttempts: -4, Jitter: -1},
+	} {
+		d := p.withDefaults()
+		if d.Base <= 0 || d.Cap < d.Base || d.Factor < 1 ||
+			d.Jitter < 0 || d.Jitter >= 1 || d.MaxAttempts <= 0 || d.DialTimeout <= 0 {
+			t.Fatalf("withDefaults left pathological policy: %+v -> %+v", p, d)
+		}
+	}
+}
+
+// TestSleepCancelableVirtualClock: backoffs run on the session clock —
+// under a compressed netsim timescale a long virtual backoff completes
+// in compressed wall time, and Close aborts a sleep immediately.
+func TestSleepCancelableVirtualClock(t *testing.T) {
+	n := netsim.New(netsim.WithTimeScale(0.001)) // 1s virtual = 1ms wall
+	defer n.Close()
+	s := newSession(RoleClient, &Config{Clock: n}, nil)
+
+	start := time.Now()
+	if !s.sleepCancelable(2 * time.Second) {
+		t.Fatal("sleep reported cancellation on an open session")
+	}
+	if wall := time.Since(start); wall > 500*time.Millisecond {
+		t.Fatalf("virtual 2s backoff took %v wall — clock not scaled", wall)
+	}
+
+	done := make(chan bool, 1)
+	go func() { done <- s.sleepCancelable(30 * time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	s.teardown(nil)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("sleep survived session close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the backoff")
+	}
+}

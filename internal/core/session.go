@@ -114,6 +114,10 @@ type Callbacks struct {
 	// (probe timeout) and fails it over proactively — before the
 	// transport surfaced any error.
 	PathDegraded func(pathID uint32, reason error)
+	// SessionDegraded fires when middlebox interference forces the
+	// session to shed capabilities (AllowDegraded); caps is the full set
+	// now disabled, cause the detected trigger.
+	SessionDegraded func(caps Capability, cause string)
 	// SessionClosed fires once, when the session terminates.
 	SessionClosed func(err error)
 }
@@ -168,6 +172,20 @@ type Config struct {
 	// (paths, streams, buffered bytes, handshake time). Zero fields take
 	// the package defaults.
 	Limits ResourceLimits
+	// AllowDegraded enables graceful degradation under middlebox
+	// interference: a client whose TCPLS handshake is mangled in flight
+	// falls back to plain TLS over one TCP connection, a server accepts
+	// plain-TLS clients as degraded sessions, and repeated JOIN failures
+	// shed multipath instead of retrying forever. Off by default: without
+	// it, interference is a hard error.
+	AllowDegraded bool
+	// JoinFailLimit is how many consecutive JOIN failures (with a live
+	// primary) disable multipath when AllowDegraded is set (default 3).
+	JoinFailLimit int
+	// RevalidateTimeout bounds a path re-validation probe after a
+	// detected 4-tuple rebind (virtual time, default 500ms): an
+	// unanswered probe degrades the path immediately.
+	RevalidateTimeout time.Duration
 	// Tracer receives structured session/path/stream/health events. A
 	// nil tracer (or one with no sink) is disabled at zero cost.
 	Tracer *telemetry.Tracer
@@ -240,6 +258,11 @@ type Session struct {
 	reconnecting bool          // single-flight guard for Session.reconnect
 	healthOnce   sync.Once     // starts the health monitor at most once
 	probeSeq     atomic.Uint32 // next health-probe sequence number
+
+	// graceful degradation state (middlebox interference)
+	disabledCaps Capability // capabilities shed so far
+	plainMode    bool       // fell back to plain TLS (no TCPLS framing)
+	joinFails    int        // consecutive JOIN failures
 
 	// server-side bookkeeping
 	issuedCookies map[string]bool // outstanding (unused) cookie set
@@ -407,8 +430,14 @@ func (s *Session) registerPath(pc *pathConn) error {
 		S:    pc.tcp.RemoteAddr().String(),
 	})
 	s.registerPathMetrics(pc)
-	go pc.readLoop()
-	s.startHealthMonitor()
+	if pc.plain {
+		// Degraded plain-TLS path: raw bytes, no control channel to
+		// probe — the health monitor has nothing to say about it.
+		go pc.plainReadLoop()
+	} else {
+		go pc.readLoop()
+		s.startHealthMonitor()
+	}
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
 		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
 	}

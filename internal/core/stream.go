@@ -98,6 +98,12 @@ func (s *Session) NewStream() (*Stream, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
+	if s.plainMode && len(s.streams) >= 1 {
+		// Plain TLS has no stream multiplexing on the wire: a degraded
+		// session carries exactly one stream.
+		s.mu.Unlock()
+		return nil, ErrCapabilityDisabled
+	}
 	id := s.nextStreamID
 	s.nextStreamID += 2
 	st := newStream(s, id, false)

@@ -15,15 +15,16 @@ var sessionSeq atomic.Uint32
 // sessionCounters aggregates per-session activity for the registry.
 // Trace events answer "what happened when"; these answer "how much".
 type sessionCounters struct {
-	recordsSent atomic.Uint64
-	recordsRcvd atomic.Uint64
-	bytesSent   atomic.Uint64
-	bytesRcvd   atomic.Uint64
-	ctrlSent    atomic.Uint64
-	ctrlRcvd    atomic.Uint64
-	failovers   atomic.Uint64
-	degraded    atomic.Uint64
-	replays     atomic.Uint64
+	recordsSent  atomic.Uint64
+	recordsRcvd  atomic.Uint64
+	bytesSent    atomic.Uint64
+	bytesRcvd    atomic.Uint64
+	ctrlSent     atomic.Uint64
+	ctrlRcvd     atomic.Uint64
+	failovers    atomic.Uint64
+	degraded     atomic.Uint64
+	replays      atomic.Uint64
+	capsDegraded atomic.Uint64
 }
 
 // trace returns the session's tracer; nil (a valid disabled tracer)
@@ -59,6 +60,7 @@ func (s *Session) registerSessionMetrics() {
 	reg.Func(p+"failovers", func() int64 { return int64(s.ctr.failovers.Load()) })
 	reg.Func(p+"paths_degraded", func() int64 { return int64(s.ctr.degraded.Load()) })
 	reg.Func(p+"replays", func() int64 { return int64(s.ctr.replays.Load()) })
+	reg.Func(p+"caps_degraded", func() int64 { return int64(s.ctr.capsDegraded.Load()) })
 }
 
 // registerPathMetrics publishes one path's health gauges under

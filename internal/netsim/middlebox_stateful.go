@@ -1,0 +1,688 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+// This file holds the stateful half of the middlebox catalogue: the
+// interference models behind the paper's Table 1 (§2) that require
+// per-flow state — NATs that expire and rebind mappings, stateful
+// firewalls with per-direction idle expiry and hard state TTLs,
+// transparently terminating proxies that re-originate both TCP sequence
+// spaces, and a ClientHello mangler that neuters the TCPLS extension the
+// way a TLS-inspecting box would. All are seedable (where they draw
+// randomness) and chainable on a link via Link.Use, and all keep their
+// flow clocks on the network's virtual time so expiry scales with the
+// emulation.
+
+// flowKey identifies one transport flow in its canonical (initiator →
+// responder) orientation.
+type flowKey struct {
+	proto   uint8
+	src     netip.Addr
+	srcPort uint16
+	dst     netip.Addr
+	dstPort uint16
+}
+
+func (k flowKey) reversed() flowKey {
+	return flowKey{proto: k.proto, src: k.dst, srcPort: k.dstPort, dst: k.src, dstPort: k.srcPort}
+}
+
+// parseUDP decodes the UDP datagram in p, returning nil for non-UDP or
+// malformed packets.
+func parseUDP(p *wire.Packet) *wire.Datagram {
+	if p.Proto != wire.ProtoUDP {
+		return nil
+	}
+	d, err := wire.UnmarshalDatagram(p.Payload)
+	if err != nil {
+		return nil
+	}
+	return d
+}
+
+// transportPorts extracts (srcPort, dstPort) from a TCP or UDP packet.
+func transportPorts(p *wire.Packet) (src, dst uint16, ok bool) {
+	if seg := parseTCP(p); seg != nil {
+		return seg.SrcPort, seg.DstPort, true
+	}
+	if d := parseUDP(p); d != nil {
+		return d.SrcPort, d.DstPort, true
+	}
+	return 0, 0, false
+}
+
+// rewritePorts rewrites the transport source/destination ports of p
+// in place (TCP or UDP), recomputing the checksum. A negative value
+// leaves the port untouched.
+func rewritePorts(p *wire.Packet, srcPort, dstPort int) *wire.Packet {
+	if seg := parseTCP(p); seg != nil {
+		if srcPort >= 0 {
+			seg.SrcPort = uint16(srcPort)
+		}
+		if dstPort >= 0 {
+			seg.DstPort = uint16(dstPort)
+		}
+		return reserialize(p, seg)
+	}
+	if d := parseUDP(p); d != nil {
+		if srcPort >= 0 {
+			d.SrcPort = uint16(srcPort)
+		}
+		if dstPort >= 0 {
+			d.DstPort = uint16(dstPort)
+		}
+		p.Payload = d.Marshal(p.Src, p.Dst)
+	}
+	return p
+}
+
+// StatefulNAT is a port-translating NAT with mapping expiry: outbound
+// flows from Inside are rewritten to (Outside, external port) with a
+// per-flow mapping; return traffic reverses the mapping. Mappings expire
+// on idle (IdleTimeout since the last packet in either direction) and on
+// age (RebindAfter since creation — the aggressive carrier-grade NAT
+// behaviour "A QUIC(K) Way Through Your Firewall?" measures). An expired
+// mapping is not an error: the next outbound packet simply allocates a
+// fresh external port — a rebind — while inbound packets to the stale
+// port are dropped, exactly the event that breaks protocols which pin a
+// session to a 4-tuple.
+type StatefulNAT struct {
+	// Inside is the private address translated on the way out.
+	Inside netip.Addr
+	// Outside is the public address presented to the far side.
+	Outside netip.Addr
+	// Dir is the inside-to-outside direction on the link.
+	Dir Direction
+	// Net supplies the virtual clock driving mapping expiry.
+	Net *Network
+	// IdleTimeout expires a mapping with no traffic in either direction
+	// for this long (virtual time; 0 = never).
+	IdleTimeout time.Duration
+	// RebindAfter expires a mapping unconditionally this long after
+	// creation (virtual time; 0 = never), forcing periodic rebinds.
+	RebindAfter time.Duration
+	// Seed drives external-port allocation (0 = fixed default seed).
+	Seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	flows   map[flowKey]*natMapping // inside tuple -> mapping
+	ext     map[flowKey]*natMapping // external tuple -> mapping
+	rebinds int
+	drops   int
+}
+
+// natMapping is one NAT translation entry.
+type natMapping struct {
+	in      flowKey // (proto, insideAddr, insidePort, remoteAddr, remotePort)
+	extPort uint16
+	created time.Duration // virtual creation time
+	last    time.Duration // virtual last-activity time
+}
+
+func (n *StatefulNAT) now() time.Duration {
+	if n.Net != nil {
+		return n.Net.VirtualNow()
+	}
+	return 0
+}
+
+func (n *StatefulNAT) expired(m *natMapping, now time.Duration) bool {
+	if n.IdleTimeout > 0 && now-m.last > n.IdleTimeout {
+		return true
+	}
+	if n.RebindAfter > 0 && now-m.created > n.RebindAfter {
+		return true
+	}
+	return false
+}
+
+// allocPort picks an unused external port. Caller holds n.mu.
+func (n *StatefulNAT) allocPort(ext flowKey) uint16 {
+	if n.rng == nil {
+		seed := n.Seed
+		if seed == 0 {
+			seed = 42
+		}
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+	for {
+		port := uint16(20000 + n.rng.Intn(40000))
+		ext.srcPort = port
+		if _, taken := n.ext[ext]; !taken {
+			return port
+		}
+	}
+}
+
+// Process implements Middlebox.
+func (n *StatefulNAT) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	if p.Proto != wire.ProtoTCP && p.Proto != wire.ProtoUDP {
+		return []*wire.Packet{p}, nil
+	}
+	sport, dport, ok := transportPorts(p)
+	if !ok {
+		return []*wire.Packet{p}, nil
+	}
+	now := n.now()
+	if dir == n.Dir && p.Src == n.Inside {
+		// Outbound: translate (Inside, sport) -> (Outside, extPort).
+		key := flowKey{proto: p.Proto, src: p.Src, srcPort: sport, dst: p.Dst, dstPort: dport}
+		n.mu.Lock()
+		if n.flows == nil {
+			n.flows, n.ext = make(map[flowKey]*natMapping), make(map[flowKey]*natMapping)
+		}
+		m := n.flows[key]
+		if m != nil && n.expired(m, now) {
+			// Stale mapping: drop it and rebind to a fresh external port.
+			delete(n.ext, n.extKey(m))
+			delete(n.flows, key)
+			m = nil
+			n.rebinds++
+		}
+		if m == nil {
+			ext := flowKey{proto: p.Proto, src: n.Outside, dst: p.Dst, dstPort: dport}
+			m = &natMapping{in: key, extPort: n.allocPort(ext), created: now}
+			n.flows[key] = m
+			n.ext[n.extKey(m)] = m
+		}
+		m.last = now
+		extPort := m.extPort
+		n.mu.Unlock()
+		p.Src = n.Outside
+		return []*wire.Packet{rewritePorts(p, int(extPort), -1)}, nil
+	}
+	if dir != n.Dir && p.Dst == n.Outside {
+		// Inbound: reverse-translate (Outside, dport) -> (Inside, inPort),
+		// matching on the full external tuple (endpoint-dependent NAT).
+		key := flowKey{proto: p.Proto, src: n.Outside, srcPort: dport, dst: p.Src, dstPort: sport}
+		n.mu.Lock()
+		m := n.ext[key]
+		if m != nil && n.expired(m, now) {
+			delete(n.flows, m.in)
+			delete(n.ext, key)
+			m = nil
+		}
+		if m == nil {
+			// No (or stale) mapping: the NAT has nothing to deliver this to.
+			n.drops++
+			n.mu.Unlock()
+			return nil, nil
+		}
+		m.last = now
+		inPort := m.in.srcPort
+		inside := m.in.src
+		n.mu.Unlock()
+		p.Dst = inside
+		return []*wire.Packet{rewritePorts(p, -1, int(inPort))}, nil
+	}
+	return []*wire.Packet{p}, nil
+}
+
+func (n *StatefulNAT) extKey(m *natMapping) flowKey {
+	return flowKey{proto: m.in.proto, src: n.Outside, srcPort: m.extPort, dst: m.in.dst, dstPort: m.in.dstPort}
+}
+
+// Rebinds reports how many mappings expired and were re-allocated.
+func (n *StatefulNAT) Rebinds() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rebinds
+}
+
+// Dropped reports inbound packets discarded for lack of a mapping.
+func (n *StatefulNAT) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.drops
+}
+
+// StatefulFirewall admits only traffic belonging to flows initiated from
+// the Inside direction. Flow state is created by an outbound TCP SYN (or
+// any outbound UDP datagram) and dropped again on expiry. Two expiry
+// mechanisms reproduce the failure modes measured against real stateful
+// firewalls: per-direction idle expiry (IdleTimeout without a packet in
+// one direction blocks that direction only — the asymmetric-path drops
+// of half-broken state tables) and an absolute StateTTL after which the
+// whole flow's state is evicted regardless of activity, silently
+// blackholing an active connection mid-transfer.
+type StatefulFirewall struct {
+	// Inside is the trusted (state-creating) direction on the link.
+	Inside Direction
+	// Net supplies the virtual clock driving expiry.
+	Net *Network
+	// IdleTimeout expires one direction of a flow when that direction has
+	// been quiet for this long (virtual time; 0 = never).
+	IdleTimeout time.Duration
+	// StateTTL evicts a flow's state this long after creation regardless
+	// of activity (virtual time; 0 = never).
+	StateTTL time.Duration
+	// MaxFlows caps the state table; outbound SYNs past the cap are
+	// dropped (0 = unlimited).
+	MaxFlows int
+	// RSTOnEvict answers TCP packets of evicted/unknown flows with a
+	// forged RST toward the sender instead of a silent drop.
+	RSTOnEvict bool
+
+	mu      sync.Mutex
+	flows   map[flowKey]*fwFlow
+	dropped int
+}
+
+// fwFlow is one firewall state entry; last[0] is the inside->outside
+// direction's last-activity time, last[1] the reverse.
+type fwFlow struct {
+	created time.Duration
+	last    [2]time.Duration
+}
+
+func (f *StatefulFirewall) now() time.Duration {
+	if f.Net != nil {
+		return f.Net.VirtualNow()
+	}
+	return 0
+}
+
+// Process implements Middlebox.
+func (f *StatefulFirewall) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	if p.Proto != wire.ProtoTCP && p.Proto != wire.ProtoUDP {
+		return []*wire.Packet{p}, nil
+	}
+	sport, dport, ok := transportPorts(p)
+	if !ok {
+		return []*wire.Packet{p}, nil
+	}
+	outbound := dir == f.Inside
+	key := flowKey{proto: p.Proto, src: p.Src, srcPort: sport, dst: p.Dst, dstPort: dport}
+	if !outbound {
+		key = key.reversed()
+	}
+	di := 0
+	if !outbound {
+		di = 1
+	}
+	now := f.now()
+
+	f.mu.Lock()
+	if f.flows == nil {
+		f.flows = make(map[flowKey]*fwFlow)
+	}
+	fl := f.flows[key]
+	if fl != nil && f.StateTTL > 0 && now-fl.created > f.StateTTL {
+		// Hard TTL: the whole flow's state is gone; a fresh outbound SYN
+		// may recreate it.
+		delete(f.flows, key)
+		fl = nil
+	}
+	seg := parseTCP(p)
+	isSYN := seg != nil && seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK)
+	if fl == nil {
+		creates := outbound && (p.Proto == wire.ProtoUDP || isSYN)
+		if creates && (f.MaxFlows <= 0 || len(f.flows) < f.MaxFlows) {
+			fl = &fwFlow{created: now}
+			fl.last[0], fl.last[1] = now, now
+			f.flows[key] = fl
+			f.mu.Unlock()
+			return []*wire.Packet{p}, nil
+		}
+		f.dropped++
+		f.mu.Unlock()
+		return f.rejected(p, seg)
+	}
+	if f.IdleTimeout > 0 && now-fl.last[di] > f.IdleTimeout {
+		// Per-direction idle expiry: this direction's state is gone while
+		// the other may still flow — the asymmetric-drop failure mode. The
+		// drop does not refresh the timer, so the direction stays blocked
+		// until the endpoint opens a fresh flow.
+		f.dropped++
+		f.mu.Unlock()
+		return f.rejected(p, seg)
+	}
+	fl.last[di] = now
+	f.mu.Unlock()
+	return []*wire.Packet{p}, nil
+}
+
+// rejected builds the response for an inadmissible packet: silent drop,
+// or a forged RST toward the sender for TCP when RSTOnEvict is set.
+func (f *StatefulFirewall) rejected(p *wire.Packet, seg *wire.Segment) ([]*wire.Packet, []*wire.Packet) {
+	if f.RSTOnEvict && seg != nil && !seg.Flags.Has(wire.FlagRST) {
+		return nil, []*wire.Packet{forgeRST(p, seg, true)}
+	}
+	return nil, nil
+}
+
+// Dropped reports how many packets the firewall rejected.
+func (f *StatefulFirewall) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Flows reports the current state-table size.
+func (f *StatefulFirewall) Flows() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.flows)
+}
+
+// SpliceProxy emulates a transparently terminating proxy ([76] in the
+// paper): the box accepts the client's TCP connection and opens its own
+// toward the server, splicing the byte streams. From the endpoints'
+// perspective the observable effect is that neither ever sees the
+// other's TCP sequence space — each sees one the proxy re-originated.
+// The model rewrites Seq/Ack (and SACK blocks, which live in the data
+// sender's sequence space) by a per-flow random delta in each direction,
+// and can strip options or clamp the MSS on SYNs the way a terminating
+// proxy negotiating its own connections would. TLS bytes pass through
+// untouched, so anything riding the record layer — TCPLS control frames
+// included — survives; anything riding cleartext TCP fields does not.
+type SpliceProxy struct {
+	// Dir is the client-to-server direction (flows are created by SYNs
+	// travelling this way).
+	Dir Direction
+	// Seed drives the per-flow sequence deltas (0 = fixed default seed).
+	Seed int64
+	// StripOptions lists TCP option kinds removed from SYN segments (the
+	// proxy negotiates its own connections; exotic options don't survive).
+	StripOptions []uint8
+	// MSSClamp rewrites the MSS option on SYNs when > 0.
+	MSSClamp uint16
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	flows  map[flowKey]*spliceFlow
+	splits int
+}
+
+// spliceFlow holds the per-direction sequence deltas. dFwd shifts
+// client->server sequence numbers, dRev shifts server->client.
+type spliceFlow struct {
+	dFwd, dRev uint32
+	revSet     bool
+}
+
+// Process implements Middlebox.
+func (sp *SpliceProxy) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil {
+		return []*wire.Packet{p}, nil
+	}
+	fwd := dir == sp.Dir
+	key := flowKey{proto: p.Proto, src: p.Src, srcPort: seg.SrcPort, dst: p.Dst, dstPort: seg.DstPort}
+	if !fwd {
+		key = key.reversed()
+	}
+
+	sp.mu.Lock()
+	if sp.flows == nil {
+		sp.flows = make(map[flowKey]*spliceFlow)
+	}
+	if sp.rng == nil {
+		seed := sp.Seed
+		if seed == 0 {
+			seed = 42
+		}
+		sp.rng = rand.New(rand.NewSource(seed))
+	}
+	fl := sp.flows[key]
+	if fwd && seg.Flags.Has(wire.FlagSYN) && !seg.Flags.Has(wire.FlagACK) {
+		// New client connection: the proxy re-originates toward the server
+		// with its own ISN (a retransmitted SYN reuses the existing flow).
+		if fl == nil {
+			fl = &spliceFlow{dFwd: sp.rng.Uint32()}
+			sp.flows[key] = fl
+			sp.splits++
+		}
+	}
+	if fl == nil {
+		sp.mu.Unlock()
+		return []*wire.Packet{p}, nil // not a proxied flow (e.g. stray RST)
+	}
+	if !fwd && seg.Flags.Has(wire.FlagSYN) && !fl.revSet {
+		// Server's SYN|ACK: re-originate the server->client space too.
+		fl.dRev = sp.rng.Uint32()
+		fl.revSet = true
+	}
+	dFwd, dRev, revSet := fl.dFwd, fl.dRev, fl.revSet
+	sp.mu.Unlock()
+
+	if fwd {
+		seg.Seq += dFwd
+		if seg.Flags.Has(wire.FlagACK) && revSet {
+			seg.Ack -= dRev
+		}
+		shiftSACK(seg, -int64(dRev))
+		if seg.Flags.Has(wire.FlagSYN) {
+			sp.rewriteSYNOptions(seg)
+		}
+	} else {
+		if revSet {
+			seg.Seq += dRev
+		}
+		if seg.Flags.Has(wire.FlagACK) {
+			seg.Ack -= dFwd
+		}
+		shiftSACK(seg, -int64(dFwd))
+		if seg.Flags.Has(wire.FlagSYN) {
+			sp.rewriteSYNOptions(seg)
+		}
+	}
+	return []*wire.Packet{reserialize(p, seg)}, nil
+}
+
+// rewriteSYNOptions applies the proxy's own option policy to a SYN.
+func (sp *SpliceProxy) rewriteSYNOptions(seg *wire.Segment) {
+	if len(sp.StripOptions) > 0 {
+		seg.Options = wire.StripOptions(seg.Options, sp.StripOptions...)
+	}
+	if sp.MSSClamp > 0 {
+		if o := wire.FindOption(seg.Options, wire.OptKindMSS); o != nil {
+			if mss, ok := o.MSS(); ok && mss > sp.MSSClamp {
+				clamped := wire.MSSOption(sp.MSSClamp)
+				o.Data = clamped.Data
+			}
+		}
+	}
+}
+
+// shiftSACK adds delta (mod 2^32) to every SACK block edge: the blocks
+// describe the data sender's sequence space, which the proxy shifted.
+func shiftSACK(seg *wire.Segment, delta int64) {
+	o := wire.FindOption(seg.Options, wire.OptKindSACK)
+	if o == nil {
+		return
+	}
+	blocks, ok := o.SACKBlocks()
+	if !ok {
+		return
+	}
+	for i := range blocks {
+		blocks[i].Left = uint32(int64(blocks[i].Left) + delta)
+		blocks[i].Right = uint32(int64(blocks[i].Right) + delta)
+	}
+	shifted := wire.SACKOption(blocks)
+	o.Data = shifted.Data
+}
+
+// Splits reports how many client connections the proxy re-originated.
+func (sp *SpliceProxy) Splits() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.splits
+}
+
+// Default extension codepoints for HelloExtensionMangler: the TCPLS
+// private-use extension (tls13.ExtTCPLS; duplicated here so netsim does
+// not depend on the TLS package) and a GREASE replacement value.
+const (
+	mangleDefaultTarget  uint16 = 0xff5c
+	mangleDefaultReplace uint16 = 0x8a8a
+)
+
+// HelloExtensionMangler rewrites the type of a target extension in TLS
+// ClientHellos to a GREASE value — the closest a middlebox can get to
+// "stripping" a ClientHello extension without changing segment lengths
+// and breaking its own TCP bookkeeping. The rewrite is invisible to the
+// TCP layer (length-preserving, checksum fixed) but not to TLS: the two
+// ends now disagree on the handshake transcript, so the handshake fails
+// — which is exactly the signal the TCPLS degradation machinery must
+// turn into a plain-TLS fallback rather than a hard error.
+type HelloExtensionMangler struct {
+	// TargetExt is the extension type to overwrite (default: the TCPLS
+	// codepoint 0xff5c).
+	TargetExt uint16
+	// ReplaceWith is the replacement type (default GREASE 0x8a8a).
+	ReplaceWith uint16
+	// SkipFlows leaves the first N flows' ClientHellos untouched — used
+	// to interfere with JOIN handshakes while sparing the primary.
+	SkipFlows int
+
+	mu      sync.Mutex
+	handled map[flowKey]bool
+	seen    int
+	mangled int
+}
+
+// Process implements Middlebox.
+func (h *HelloExtensionMangler) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	seg := parseTCP(p)
+	if seg == nil || len(seg.Payload) == 0 {
+		return []*wire.Packet{p}, nil
+	}
+	// Only the first TLS record of a flow can be a ClientHello: record
+	// type 0x16 (handshake), message type 0x01.
+	if len(seg.Payload) < 6 || seg.Payload[0] != 0x16 || seg.Payload[5] != 0x01 {
+		return []*wire.Packet{p}, nil
+	}
+	key := flowKey{proto: p.Proto, src: p.Src, srcPort: seg.SrcPort, dst: p.Dst, dstPort: seg.DstPort}
+	h.mu.Lock()
+	if h.handled == nil {
+		h.handled = make(map[flowKey]bool)
+	}
+	if h.handled[key] {
+		h.mu.Unlock()
+		return []*wire.Packet{p}, nil
+	}
+	h.handled[key] = true
+	h.seen++
+	skip := h.seen <= h.SkipFlows
+	h.mu.Unlock()
+	if skip {
+		return []*wire.Packet{p}, nil
+	}
+	target, replace := h.TargetExt, h.ReplaceWith
+	if target == 0 {
+		target = mangleDefaultTarget
+	}
+	if replace == 0 {
+		replace = mangleDefaultReplace
+	}
+	if mangleClientHelloExt(seg.Payload, target, replace) {
+		h.mu.Lock()
+		h.mangled++
+		h.mu.Unlock()
+		return []*wire.Packet{reserialize(p, seg)}, nil
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// Mangled reports how many ClientHellos were rewritten.
+func (h *HelloExtensionMangler) Mangled() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mangled
+}
+
+// mangleClientHelloExt walks the extension list of the ClientHello at
+// the start of payload (a TLS record) and overwrites the 2-byte type of
+// the target extension in place. Every access is bounds-checked: a
+// truncated or malformed hello mangles nothing and the packet passes
+// through unmodified — middleboxes fail open.
+func mangleClientHelloExt(payload []byte, target, replace uint16) bool {
+	be := func(i int) int { return int(payload[i])<<8 | int(payload[i+1]) }
+	// Record header (5) + handshake header (4).
+	if len(payload) < 9 {
+		return false
+	}
+	end := 5 + 4 + int(payload[6])<<16 + be(7)
+	if end > len(payload) {
+		end = len(payload) // hello continues in a later segment: scan what's here
+	}
+	i := 9
+	// legacy_version (2) + random (32).
+	i += 2 + 32
+	if i+1 > end {
+		return false
+	}
+	// legacy_session_id.
+	i += 1 + int(payload[i])
+	if i+2 > end {
+		return false
+	}
+	// cipher_suites.
+	i += 2 + be(i)
+	if i+1 > end {
+		return false
+	}
+	// legacy_compression_methods.
+	i += 1 + int(payload[i])
+	if i+2 > end {
+		return false
+	}
+	// extensions.
+	extEnd := i + 2 + be(i)
+	if extEnd > end {
+		extEnd = end
+	}
+	i += 2
+	for i+4 <= extEnd {
+		typ := be(i)
+		length := be(i + 2)
+		if typ == int(target) {
+			payload[i] = byte(replace >> 8)
+			payload[i+1] = byte(replace)
+			return true
+		}
+		i += 4 + length
+	}
+	return false
+}
+
+// ProtoBlocker drops every packet of the listed IP protocols — the
+// UDP-hostile networks (§2) where QUIC cannot pass but TCP-based
+// transports can.
+type ProtoBlocker struct {
+	// Protos lists the blocked IP protocol numbers.
+	Protos []uint8
+
+	mu      sync.Mutex
+	dropped int
+}
+
+// Process implements Middlebox.
+func (b *ProtoBlocker) Process(p *wire.Packet, dir Direction) ([]*wire.Packet, []*wire.Packet) {
+	for _, proto := range b.Protos {
+		if p.Proto == proto {
+			b.mu.Lock()
+			b.dropped++
+			b.mu.Unlock()
+			return nil, nil
+		}
+	}
+	return []*wire.Packet{p}, nil
+}
+
+// Dropped reports how many packets were blocked.
+func (b *ProtoBlocker) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

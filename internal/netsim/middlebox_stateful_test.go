@@ -1,0 +1,387 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/wire"
+)
+
+var natPublic = netip.MustParseAddr("192.0.2.1")
+
+// procOne runs one packet through a middlebox and asserts exactly one
+// forwarded packet comes out.
+func procOne(t *testing.T, m Middlebox, p *wire.Packet, dir Direction) *wire.Packet {
+	t.Helper()
+	fwd, _ := m.Process(p, dir)
+	if len(fwd) != 1 {
+		t.Fatalf("Process forwarded %d packets, want 1", len(fwd))
+	}
+	return fwd[0]
+}
+
+// parseChecked unmarshals with checksum verification — every rewritten
+// packet must carry a checksum valid under its (possibly rewritten)
+// pseudo-header.
+func parseChecked(t *testing.T, p *wire.Packet) *wire.Segment {
+	t.Helper()
+	seg, err := wire.UnmarshalSegment(p.Payload, p.Src, p.Dst, true)
+	if err != nil {
+		t.Fatalf("rewritten packet does not parse: %v", err)
+	}
+	return seg
+}
+
+func TestStatefulNATTranslatesAndReverses(t *testing.T) {
+	nat := &StatefulNAT{Inside: cAddr, Outside: natPublic, Dir: AtoB, Seed: 1}
+	out := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagSYN}
+	p := procOne(t, nat, tcpPacket(cAddr, sAddr, out), AtoB)
+	if p.Src != natPublic {
+		t.Fatalf("src not translated: %s", p.Src)
+	}
+	seg := parseChecked(t, p)
+	if seg.SrcPort == 1000 {
+		t.Fatal("source port not translated")
+	}
+	extPort := seg.SrcPort
+
+	// Reply to the external tuple must reverse-translate.
+	reply := &wire.Segment{SrcPort: 443, DstPort: extPort, Flags: wire.FlagSYN | wire.FlagACK}
+	q := procOne(t, nat, tcpPacket(sAddr, natPublic, reply), BtoA)
+	if q.Dst != cAddr {
+		t.Fatalf("reply dst not reversed: %s", q.Dst)
+	}
+	rseg := parseChecked(t, q)
+	if rseg.DstPort != 1000 {
+		t.Fatalf("reply port not reversed: %d", rseg.DstPort)
+	}
+
+	// A second outbound packet of the same flow keeps the same mapping.
+	p2 := procOne(t, nat, tcpPacket(cAddr, sAddr, &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK}), AtoB)
+	if got := parseChecked(t, p2).SrcPort; got != extPort {
+		t.Fatalf("mapping not stable: %d != %d", got, extPort)
+	}
+	if nat.Rebinds() != 0 {
+		t.Fatalf("Rebinds() = %d, want 0", nat.Rebinds())
+	}
+}
+
+func TestStatefulNATRebindsAfterExpiry(t *testing.T) {
+	// Scale 0.001: 1ms wall = 1s virtual, so tiny sleeps expire mappings.
+	n := New(WithTimeScale(0.001))
+	defer n.Close()
+	nat := &StatefulNAT{
+		Inside: cAddr, Outside: natPublic, Dir: AtoB,
+		Net: n, IdleTimeout: 2 * time.Second, Seed: 7,
+	}
+	seg := func() *wire.Segment { return &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK} }
+	first := parseChecked(t, procOne(t, nat, tcpPacket(cAddr, sAddr, seg()), AtoB)).SrcPort
+
+	time.Sleep(10 * time.Millisecond) // ~10s virtual, past the idle timeout
+
+	second := parseChecked(t, procOne(t, nat, tcpPacket(cAddr, sAddr, seg()), AtoB)).SrcPort
+	if nat.Rebinds() != 1 {
+		t.Fatalf("Rebinds() = %d, want 1", nat.Rebinds())
+	}
+	if first == second {
+		t.Fatalf("rebind kept the same external port %d", first)
+	}
+
+	// Inbound to the stale mapping must be dropped.
+	stale := &wire.Segment{SrcPort: 443, DstPort: first, Flags: wire.FlagACK}
+	fwd, _ := nat.Process(tcpPacket(sAddr, natPublic, stale), BtoA)
+	if len(fwd) != 0 {
+		t.Fatal("packet to stale mapping was forwarded")
+	}
+	if nat.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", nat.Dropped())
+	}
+}
+
+func TestStatefulFirewallRequiresOutboundSYN(t *testing.T) {
+	fw := &StatefulFirewall{Inside: AtoB}
+	// Unsolicited inbound: dropped.
+	in := &wire.Segment{SrcPort: 443, DstPort: 1000, Flags: wire.FlagSYN}
+	if fwd, _ := fw.Process(tcpPacket(sAddr, cAddr, in), BtoA); len(fwd) != 0 {
+		t.Fatal("unsolicited inbound SYN passed")
+	}
+	// Outbound non-SYN without state: dropped (strict firewall).
+	data := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK, Payload: []byte("x")}
+	if fwd, _ := fw.Process(tcpPacket(cAddr, sAddr, data), AtoB); len(fwd) != 0 {
+		t.Fatal("outbound data without state passed")
+	}
+	// Outbound SYN creates state; then both directions flow.
+	syn := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagSYN}
+	procOne(t, fw, tcpPacket(cAddr, sAddr, syn), AtoB)
+	synack := &wire.Segment{SrcPort: 443, DstPort: 1000, Flags: wire.FlagSYN | wire.FlagACK}
+	procOne(t, fw, tcpPacket(sAddr, cAddr, synack), BtoA)
+	procOne(t, fw, tcpPacket(cAddr, sAddr, data), AtoB)
+	if fw.Flows() != 1 {
+		t.Fatalf("Flows() = %d, want 1", fw.Flows())
+	}
+	if fw.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", fw.Dropped())
+	}
+}
+
+func TestStatefulFirewallStateTTLBlackholes(t *testing.T) {
+	n := New(WithTimeScale(0.001))
+	defer n.Close()
+	fw := &StatefulFirewall{Inside: AtoB, Net: n, StateTTL: 2 * time.Second}
+	syn := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagSYN}
+	procOne(t, fw, tcpPacket(cAddr, sAddr, syn), AtoB)
+
+	time.Sleep(10 * time.Millisecond) // past the TTL
+
+	// Mid-connection data is now silently blackholed in both directions.
+	data := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK, Payload: []byte("x")}
+	if fwd, _ := fw.Process(tcpPacket(cAddr, sAddr, data), AtoB); len(fwd) != 0 {
+		t.Fatal("data passed after state TTL")
+	}
+	rev := &wire.Segment{SrcPort: 443, DstPort: 1000, Flags: wire.FlagACK, Payload: []byte("y")}
+	if fwd, _ := fw.Process(tcpPacket(sAddr, cAddr, rev), BtoA); len(fwd) != 0 {
+		t.Fatal("reverse data passed after state TTL")
+	}
+	// A fresh SYN recreates state.
+	procOne(t, fw, tcpPacket(cAddr, sAddr, syn), AtoB)
+	procOne(t, fw, tcpPacket(cAddr, sAddr, data), AtoB)
+}
+
+func TestStatefulFirewallAsymmetricIdleExpiry(t *testing.T) {
+	n := New(WithTimeScale(0.001))
+	defer n.Close()
+	fw := &StatefulFirewall{Inside: AtoB, Net: n, IdleTimeout: 2 * time.Second}
+	syn := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagSYN}
+	procOne(t, fw, tcpPacket(cAddr, sAddr, syn), AtoB)
+
+	// Keep only the outbound direction warm past the reverse idle window.
+	for i := 0; i < 4; i++ {
+		time.Sleep(time.Millisecond)
+		out := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK}
+		procOne(t, fw, tcpPacket(cAddr, sAddr, out), AtoB)
+	}
+	time.Sleep(time.Millisecond)
+
+	// The reverse direction's state has idled out: inbound drops while
+	// outbound still flows — the asymmetric failure mode.
+	rev := &wire.Segment{SrcPort: 443, DstPort: 1000, Flags: wire.FlagACK, Payload: []byte("y")}
+	if fwd, _ := fw.Process(tcpPacket(sAddr, cAddr, rev), BtoA); len(fwd) != 0 {
+		t.Fatal("idle reverse direction still passes")
+	}
+	out := &wire.Segment{SrcPort: 1000, DstPort: 443, Flags: wire.FlagACK, Payload: []byte("x")}
+	procOne(t, fw, tcpPacket(cAddr, sAddr, out), AtoB)
+}
+
+func TestStatefulFirewallRSTOnEvict(t *testing.T) {
+	fw := &StatefulFirewall{Inside: AtoB, RSTOnEvict: true}
+	data := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 50, Ack: 60, Flags: wire.FlagACK, Payload: []byte("x")}
+	fwd, rev := fw.Process(tcpPacket(cAddr, sAddr, data), AtoB)
+	if len(fwd) != 0 {
+		t.Fatal("stateless data passed")
+	}
+	if len(rev) != 1 {
+		t.Fatalf("want 1 forged RST toward sender, got %d", len(rev))
+	}
+	rst := parseChecked(t, rev[0])
+	if !rst.Flags.Has(wire.FlagRST) {
+		t.Fatalf("injected packet is not a RST: %s", rst.Flags)
+	}
+}
+
+func TestSpliceProxyRewritesSeqSpacesConsistently(t *testing.T) {
+	sp := &SpliceProxy{Dir: AtoB, Seed: 3}
+	// Client SYN, ISNc = 100.
+	syn := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 100, Flags: wire.FlagSYN}
+	outSYN := parseChecked(t, procOne(t, sp, tcpPacket(cAddr, sAddr, syn), AtoB))
+	dFwd := outSYN.Seq - 100
+	if dFwd == 0 {
+		t.Fatal("proxy did not re-originate the client sequence space")
+	}
+	// Server SYN|ACK against the shifted ISN: seq = 200, ack = shifted+1.
+	synack := &wire.Segment{SrcPort: 443, DstPort: 1000, Seq: 200, Ack: outSYN.Seq + 1, Flags: wire.FlagSYN | wire.FlagACK}
+	outSA := parseChecked(t, procOne(t, sp, tcpPacket(sAddr, cAddr, synack), BtoA))
+	dRev := outSA.Seq - 200
+	if dRev == 0 {
+		t.Fatal("proxy did not re-originate the server sequence space")
+	}
+	// The client must see an ack consistent with ITS sequence space.
+	if outSA.Ack != 101 {
+		t.Fatalf("client-side ack = %d, want 101", outSA.Ack)
+	}
+	// Client data seq=101 ack=shifted server seq+1.
+	data := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 101, Ack: outSA.Seq + 1, Flags: wire.FlagACK, Payload: []byte("hello")}
+	outData := parseChecked(t, procOne(t, sp, tcpPacket(cAddr, sAddr, data), AtoB))
+	if outData.Seq != 101+dFwd {
+		t.Fatalf("data seq = %d, want %d", outData.Seq, 101+dFwd)
+	}
+	if outData.Ack != 201 {
+		t.Fatalf("server-side ack = %d, want 201", outData.Ack)
+	}
+	// Server SACK blocks live in the client's (shifted) space and must be
+	// shifted back for the client.
+	sack := &wire.Segment{SrcPort: 443, DstPort: 1000, Seq: 201, Ack: 101 + dFwd, Flags: wire.FlagACK,
+		Options: []wire.Option{wire.SACKOption([]wire.SACKBlock{{Left: 110 + dFwd, Right: 120 + dFwd}})}}
+	outSACK := parseChecked(t, procOne(t, sp, tcpPacket(sAddr, cAddr, sack), BtoA))
+	blocks, ok := wire.FindOption(outSACK.Options, wire.OptKindSACK).SACKBlocks()
+	if !ok || len(blocks) != 1 {
+		t.Fatalf("SACK blocks lost: %v", outSACK.Options)
+	}
+	if blocks[0].Left != 110 || blocks[0].Right != 120 {
+		t.Fatalf("SACK not unshifted: %v", blocks[0])
+	}
+	if outSACK.Ack != 101 {
+		t.Fatalf("SACK carrier ack = %d, want 101", outSACK.Ack)
+	}
+	if sp.Splits() != 1 {
+		t.Fatalf("Splits() = %d, want 1", sp.Splits())
+	}
+}
+
+func TestSpliceProxyStripsAndClampsSYNOptions(t *testing.T) {
+	sp := &SpliceProxy{Dir: AtoB, Seed: 3, StripOptions: []uint8{wire.OptKindUserTimeout}, MSSClamp: 1200}
+	syn := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 1, Flags: wire.FlagSYN,
+		Options: []wire.Option{wire.MSSOption(1460), wire.UserTimeoutOption(30 * time.Second)}}
+	out := parseChecked(t, procOne(t, sp, tcpPacket(cAddr, sAddr, syn), AtoB))
+	if wire.FindOption(out.Options, wire.OptKindUserTimeout) != nil {
+		t.Fatal("user-timeout option survived the proxy")
+	}
+	mssOpt := wire.FindOption(out.Options, wire.OptKindMSS)
+	if mssOpt == nil {
+		t.Fatal("MSS option lost")
+	}
+	if mss, _ := mssOpt.MSS(); mss != 1200 {
+		t.Fatalf("MSS = %d, want clamped 1200", mss)
+	}
+}
+
+// buildClientHello constructs a minimal TLS ClientHello record carrying
+// the given extension types (all empty).
+func buildClientHello(exts ...uint16) []byte {
+	var body []byte
+	be16 := func(v uint16) []byte { return []byte{byte(v >> 8), byte(v)} }
+	body = append(body, 0x03, 0x03)          // legacy_version
+	body = append(body, make([]byte, 32)...) // random
+	body = append(body, 0x00)                // session_id
+	body = append(body, be16(2)...)          // cipher_suites len
+	body = append(body, 0x13, 0x01)          // TLS_AES_128_GCM_SHA256
+	body = append(body, 0x01, 0x00)          // compression_methods
+	var extBlock []byte
+	for _, e := range exts {
+		extBlock = append(extBlock, be16(e)...)
+		extBlock = append(extBlock, be16(0)...) // empty extension
+	}
+	body = append(body, be16(uint16(len(extBlock)))...)
+	body = append(body, extBlock...)
+
+	hs := append([]byte{0x01, 0x00, byte(len(body) >> 8), byte(len(body))}, body...)
+	rec := append([]byte{0x16, 0x03, 0x01, byte(len(hs) >> 8), byte(len(hs))}, hs...)
+	return rec
+}
+
+// extTypes walks the hello built by buildClientHello and returns the
+// extension types present.
+func extTypes(payload []byte) []uint16 {
+	// header layout mirrors buildClientHello
+	i := 5 + 4 + 2 + 32
+	i += 1 + int(payload[i])                                 // session_id
+	i += 2 + int(payload[i])<<8 + int(payload[i+1])          // cipher_suites
+	i += 1 + int(payload[i])                                 // compression
+	extEnd := i + 2 + int(payload[i])<<8 + int(payload[i+1]) // extensions
+	i += 2
+	var types []uint16
+	for i+4 <= extEnd {
+		types = append(types, uint16(payload[i])<<8|uint16(payload[i+1]))
+		i += 4 + int(payload[i+2])<<8 + int(payload[i+3])
+	}
+	return types
+}
+
+func TestHelloExtensionManglerRewritesTargetInPlace(t *testing.T) {
+	m := &HelloExtensionMangler{}
+	ch := buildClientHello(0x002b, 0xff5c, 0x000a)
+	seg := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 1, Flags: wire.FlagACK | wire.FlagPSH, Payload: ch}
+	out := parseChecked(t, procOne(t, m, tcpPacket(cAddr, sAddr, seg), AtoB))
+	if len(out.Payload) != len(ch) {
+		t.Fatalf("mangler changed payload length: %d -> %d", len(ch), len(out.Payload))
+	}
+	types := extTypes(out.Payload)
+	for _, typ := range types {
+		if typ == 0xff5c {
+			t.Fatal("TCPLS extension type survived")
+		}
+	}
+	found := false
+	for _, typ := range types {
+		if typ == 0x8a8a {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GREASE replacement missing: %04x", types)
+	}
+	if m.Mangled() != 1 {
+		t.Fatalf("Mangled() = %d, want 1", m.Mangled())
+	}
+
+	// Later segments of the same flow pass untouched (only the first can
+	// hold the ClientHello).
+	later := &wire.Segment{SrcPort: 1000, DstPort: 443, Seq: 500, Flags: wire.FlagACK, Payload: buildClientHello(0xff5c)}
+	out2 := parseChecked(t, procOne(t, m, tcpPacket(cAddr, sAddr, later), AtoB))
+	if got := extTypes(out2.Payload); got[0] != 0xff5c {
+		t.Fatal("mangler rewrote a non-first segment")
+	}
+}
+
+func TestHelloExtensionManglerSkipFlows(t *testing.T) {
+	m := &HelloExtensionMangler{SkipFlows: 1}
+	mk := func(port uint16) *wire.Packet {
+		return tcpPacket(cAddr, sAddr, &wire.Segment{SrcPort: port, DstPort: 443,
+			Flags: wire.FlagACK | wire.FlagPSH, Payload: buildClientHello(0xff5c)})
+	}
+	out1 := parseChecked(t, procOne(t, m, mk(1000), AtoB))
+	if extTypes(out1.Payload)[0] != 0xff5c {
+		t.Fatal("first flow was mangled despite SkipFlows")
+	}
+	out2 := parseChecked(t, procOne(t, m, mk(1001), AtoB))
+	if extTypes(out2.Payload)[0] == 0xff5c {
+		t.Fatal("second flow was not mangled")
+	}
+}
+
+func TestProtoBlocker(t *testing.T) {
+	b := &ProtoBlocker{Protos: []uint8{wire.ProtoUDP}}
+	udp := &wire.Packet{Src: cAddr, Dst: sAddr, Proto: wire.ProtoUDP, TTL: 64,
+		Payload: (&wire.Datagram{SrcPort: 1, DstPort: 2}).Marshal(cAddr, sAddr)}
+	if fwd, _ := b.Process(udp, AtoB); len(fwd) != 0 {
+		t.Fatal("blocked protocol forwarded")
+	}
+	procOne(t, b, tcpPacket(cAddr, sAddr, dataSeg(1)), AtoB)
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", b.Dropped())
+	}
+}
+
+func TestStatefulNATTranslatesUDP(t *testing.T) {
+	nat := &StatefulNAT{Inside: cAddr, Outside: natPublic, Dir: AtoB, Seed: 5}
+	d := &wire.Datagram{SrcPort: 5000, DstPort: 443, Payload: []byte("quic")}
+	p := &wire.Packet{Src: cAddr, Dst: sAddr, Proto: wire.ProtoUDP, TTL: 64, Payload: d.Marshal(cAddr, sAddr)}
+	out := procOne(t, nat, p, AtoB)
+	od, err := wire.UnmarshalDatagram(out.Payload)
+	if err != nil {
+		t.Fatalf("translated datagram does not parse: %v", err)
+	}
+	if out.Src != natPublic || od.SrcPort == 5000 {
+		t.Fatalf("UDP not translated: %s:%d", out.Src, od.SrcPort)
+	}
+	reply := &wire.Datagram{SrcPort: 443, DstPort: od.SrcPort, Payload: []byte("ack")}
+	q := procOne(t, nat, &wire.Packet{Src: sAddr, Dst: natPublic, Proto: wire.ProtoUDP, TTL: 64,
+		Payload: reply.Marshal(sAddr, natPublic)}, BtoA)
+	rd, err := wire.UnmarshalDatagram(q.Payload)
+	if err != nil {
+		t.Fatalf("reversed datagram does not parse: %v", err)
+	}
+	if q.Dst != cAddr || rd.DstPort != 5000 {
+		t.Fatalf("UDP reply not reversed: %s:%d", q.Dst, rd.DstPort)
+	}
+}

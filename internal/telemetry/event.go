@@ -62,6 +62,10 @@ const (
 	EvHealthPing // Path, A=seq
 	EvHealthPong // Path, A=seq, B=rtt_ns, C=srtt_ns
 
+	// core graceful degradation (middlebox interference).
+	EvSessionDegraded // A=capability bits, S=cause
+	EvPathRevalidate  // Path, A=probe seq, S=cause
+
 	// netsim links.
 	EvLinkQueue     // S=link, A=queued bytes (new high-water mark)
 	EvLinkDropQueue // S=link, A=bytes
@@ -123,6 +127,8 @@ var kinds = [evMax]kindInfo{
 	EvPathFailover:      {name: "path:failover", a: "survivor"},
 	EvHealthPing:        {name: "health:ping", a: "seq"},
 	EvHealthPong:        {name: "health:pong", a: "seq", b: "rtt_ns", c: "srtt_ns"},
+	EvSessionDegraded:   {name: "session:degraded", a: "capability", s: "cause"},
+	EvPathRevalidate:    {name: "path:revalidate", a: "seq", s: "cause"},
 	EvLinkQueue:         {name: "netsim:queue_high_water", a: "bytes", s: "link"},
 	EvLinkDropQueue:     {name: "netsim:drop_queue", a: "bytes", s: "link"},
 	EvLinkDropLoss:      {name: "netsim:drop_loss", a: "bytes", s: "link"},

@@ -10,7 +10,7 @@ BENCH_PAT ?= BenchmarkStreamThroughput
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_LABEL ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry interop fuzz-smoke check bench bench-all bench-check
+.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry interop overload fuzz-smoke check bench bench-all bench-check
 
 all: check
 
@@ -28,11 +28,15 @@ vet:
 
 # Scheduler/feature matrix: the race detector, the purego build-tag
 # variant, and a single-P run that surfaces scheduler-dependent flakes
-# the chaos harness only hits probabilistically.
+# the chaos harness only hits probabilistically. The final line is the
+# goroutine-leak gate: the overload gauntlet snapshots the process
+# goroutine count before the storm and fails unless it returns to
+# baseline after teardown.
 test-matrix:
 	$(GO) test -race ./...
 	$(GO) test -tags=purego ./...
 	GOMAXPROCS=1 $(GO) test ./...
+	$(GO) test ./internal/chaos/ -run 'TestOverloadGauntlet$$' -count=1
 
 # Steady-state allocation gates for the data path, run WITHOUT the race
 # detector so testing.AllocsPerRun counts are exact: the record-layer
@@ -61,6 +65,14 @@ telemetry:
 	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracerZeroAlloc' -count=1 -v
 	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkTracerNil' -benchtime 1000x
 
+# Overload/churn gauntlet under the race detector: Poisson client churn
+# plus a demand spike past the session budget, asserting pre-TLS
+# rejection of the excess, idle/degraded-only shedding, byte-exact
+# completion of established transfers, admission-gate reopen, and every
+# accounting gauge (and the goroutine count) back to baseline.
+overload:
+	$(GO) test ./internal/chaos/ -race -run 'TestOverloadGauntlet' -count=1 -v
+
 # Middlebox interop gauntlet: TCPLS vs plain TLS/TCP vs the QUIC-like
 # comparator through seven interference models, checked cell-by-cell
 # against the committed golden matrix (a pass->degrade or degrade->fail
@@ -85,7 +97,7 @@ ifeq ($(BENCH),1)
 CHECK_EXTRA += bench-check
 endif
 
-check: build vet alloc-gate test-matrix chaos-smoke adversary telemetry interop fuzz-smoke $(CHECK_EXTRA)
+check: build vet alloc-gate test-matrix chaos-smoke adversary overload telemetry interop fuzz-smoke $(CHECK_EXTRA)
 
 # The full virtual-time benchmark suite (one benchmark per paper
 # table/figure); `make bench` below tracks just the tier-1 set.

@@ -51,6 +51,13 @@ var (
 	oversizeGets atomic.Uint64 // Get calls larger than the biggest class
 	putCount     atomic.Uint64 // buffers accepted back into a pool
 	foreignPuts  atomic.Uint64 // Put calls dropped (cap not a class size)
+	// inUseBytes gauges class bytes currently checked out: each Get
+	// charges its full class size, each accepted Put credits it back.
+	// A buffer that leaves the pool economy (grown past its class, or
+	// simply never Put) stays charged — the gauge is the server-wide
+	// memory-budget signal, and memory a caller lost track of is
+	// exactly what a budget must keep counting.
+	inUseBytes atomic.Int64
 )
 
 // classFor returns the index of the smallest class with size >= n,
@@ -94,6 +101,7 @@ func Get(n int) []byte {
 	// class size is fixed per pool, so the slice is reconstructed
 	// losslessly.
 	p := pools[ci].Get().(unsafe.Pointer)
+	inUseBytes.Add(int64(classes[ci]))
 	b := unsafe.Slice((*byte)(p), classes[ci])[:n]
 	trackGet(b)
 	return b
@@ -115,7 +123,19 @@ func Put(b []byte) {
 	}
 	trackPut(b)
 	putCount.Add(1)
+	inUseBytes.Add(-int64(classes[ci]))
 	pools[ci].Put(unsafe.Pointer(&b[0]))
+}
+
+// InUseBytes reports pooled-buffer bytes currently checked out (charged
+// at full class size). This is the gauge server-wide admission control
+// reads as its memory-pressure signal.
+func InUseBytes() int64 {
+	n := inUseBytes.Load()
+	if n < 0 {
+		return 0 // double-Put bug elsewhere; never report negative memory
+	}
+	return n
 }
 
 // --- leak-check mode (tests only) ---
@@ -218,6 +238,7 @@ func trackPut(b []byte) {
 // Stats is a point-in-time snapshot of the global pool counters.
 type Stats struct {
 	Gets, Misses, OversizeGets, Puts, ForeignPuts uint64
+	InUseBytes                                    int64
 }
 
 // Snapshot returns the current global counters. Hits are Gets - Misses.
@@ -228,6 +249,7 @@ func Snapshot() Stats {
 		OversizeGets: oversizeGets.Load(),
 		Puts:         putCount.Load(),
 		ForeignPuts:  foreignPuts.Load(),
+		InUseBytes:   InUseBytes(),
 	}
 }
 
@@ -250,4 +272,5 @@ func RegisterMetrics(reg *telemetry.Registry) {
 	reg.Func("bufpool.oversize_gets", func() int64 { return int64(oversizeGets.Load()) })
 	reg.Func("bufpool.puts", func() int64 { return int64(putCount.Load()) })
 	reg.Func("bufpool.foreign_puts", func() int64 { return int64(foreignPuts.Load()) })
+	reg.Func("bufpool.in_use_bytes", InUseBytes)
 }

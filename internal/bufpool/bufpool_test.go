@@ -132,3 +132,49 @@ func TestAllocsSteadyState(t *testing.T) {
 		t.Fatalf("Get/Put allocates %.1f per op in steady state", allocs)
 	}
 }
+
+// TestInUseBytesGauge: the in-use gauge — the memory-pressure signal
+// server-wide admission control reads — charges the full class size on
+// Get, credits on an accepted Put, and never goes backwards on buffers
+// the pool refuses (oversize or mangled slices stay charged/uncounted
+// consistently).
+func TestInUseBytesGauge(t *testing.T) {
+	base := InUseBytes()
+
+	b := Get(1000) // class 2048
+	if got := InUseBytes() - base; got != 2048 {
+		t.Fatalf("after Get(1000): delta = %d, want 2048", got)
+	}
+	c := Get(5000) // class 8192
+	if got := InUseBytes() - base; got != 2048+8192 {
+		t.Fatalf("after second Get: delta = %d, want %d", got, 2048+8192)
+	}
+	Put(b)
+	Put(c)
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("after Puts: delta = %d, want 0", got)
+	}
+
+	// An oversize buffer never touches the gauge: Get falls back to a
+	// plain allocation and Put drops it as foreign.
+	big := Get(classes[numClasses-1] + 1)
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("oversize Get charged the gauge: delta = %d", got)
+	}
+	Put(big)
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("oversize Put credited the gauge: delta = %d", got)
+	}
+
+	// A pooled buffer whose base pointer was lost is rejected by Put and
+	// stays charged — lost memory must keep counting against the budget.
+	d := Get(512)
+	Put(d[5:])
+	if got := InUseBytes() - base; got != int64(classes[0]) {
+		t.Fatalf("rejected Put changed the charge: delta = %d, want %d", got, classes[0])
+	}
+	Put(d) // clean up: restore the gauge for later tests
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("cleanup Put: delta = %d, want 0", got)
+	}
+}

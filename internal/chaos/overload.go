@@ -1,0 +1,663 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Overload/churn gauntlet: hundreds of emulated clients arrive and
+// depart (Poisson), a demand spike pushes past the server's configured
+// session budget, and the run asserts the overload-resilience
+// invariants end to end:
+//
+//  1. Admission is enforced and cheap: the session high-water mark
+//     never exceeds the budget, and every rejected connection is closed
+//     pre-TLS (conns_seen == handshakes_started + rejected_pre_tls, so
+//     overload cannot be amplified into key-schedule work).
+//  2. Shedding is prioritized: only idle and degraded sessions are
+//     evicted — never the mid-transfer "elephant" sessions, which must
+//     complete byte-exact despite the storm.
+//  3. The process stays within its goroutine and pooled-buffer budgets
+//     at peak.
+//  4. The server recovers: admission reopens at the low-water mark, a
+//     fresh client is admitted after the spike, and once the run drains
+//     every server gauge returns to zero with no leaked goroutines.
+
+// OverloadScenario describes one churn/overload run. Zero values take
+// defaults sized so the default run finishes in a few wall seconds.
+type OverloadScenario struct {
+	// Name labels the scenario in logs.
+	Name string
+	// Seed drives arrivals, payloads and jitter. Default 1.
+	Seed int64
+	// TimeScale compresses virtual time (default 0.5).
+	TimeScale float64
+
+	// MaxSessions is the server session budget (default 16).
+	MaxSessions int
+	// LowWaterFrac positions the admission low-water mark (default 0.5).
+	LowWaterFrac float64
+	// IdleAfter is the idle-shedding threshold, virtual time (default
+	// 150ms — sessions idle longer than this are first-wave victims).
+	IdleAfter time.Duration
+	// MaxBufferedBytes is the pooled-buffer budget (default 64 MiB).
+	MaxBufferedBytes int64
+	// StallTimeout arms the server's per-session stall watchdogs
+	// (default 2s virtual).
+	StallTimeout time.Duration
+
+	// Elephants is how many long-lived bulk transfers run through the
+	// whole gauntlet and must complete byte-exact (default 2).
+	Elephants int
+	// ElephantChunk / ElephantInterval shape the elephant write cadence
+	// (default 4 KiB every 5ms virtual — always mid-transfer, never idle).
+	ElephantChunk    int
+	ElephantInterval time.Duration
+	// Lingerers is how many sessions transfer once and then sit idle —
+	// the first-wave shedding victims (default 6).
+	Lingerers int
+	// ChurnClients is how many short-lived clients arrive with Poisson
+	// interarrivals of MeanInterarrival (virtual), transfer ChurnBytes,
+	// and leave (defaults 40, 8ms, 4 KiB).
+	ChurnClients     int
+	MeanInterarrival time.Duration
+	ChurnBytes       int
+	// SpikeClients is the concurrent demand spike (default 2×MaxSessions).
+	SpikeClients int
+
+	// GoroutineBudget bounds peak goroutines above the pre-run baseline
+	// (default 2500 — generous: the emulator and every live session cost
+	// goroutines; the point is a ceiling, not a tight fit).
+	GoroutineBudget int
+	// BufferedSlack is how far the final pooled-buffer gauge may sit
+	// above the pre-run value (default 256 KiB).
+	BufferedSlack int64
+	// Timeout bounds the whole run in wall-clock time (default 120s).
+	Timeout time.Duration
+	// TraceCapacity bounds the shared event ring (default 1<<17).
+	TraceCapacity int
+}
+
+func (sc OverloadScenario) withDefaults() OverloadScenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.TimeScale <= 0 {
+		sc.TimeScale = 0.5
+	}
+	if sc.MaxSessions <= 0 {
+		sc.MaxSessions = 16
+	}
+	if sc.LowWaterFrac <= 0 {
+		sc.LowWaterFrac = 0.5
+	}
+	if sc.IdleAfter <= 0 {
+		sc.IdleAfter = 150 * time.Millisecond
+	}
+	if sc.MaxBufferedBytes == 0 {
+		sc.MaxBufferedBytes = 64 << 20
+	}
+	if sc.StallTimeout <= 0 {
+		sc.StallTimeout = 2 * time.Second
+	}
+	if sc.Elephants <= 0 {
+		sc.Elephants = 2
+	}
+	if sc.ElephantChunk <= 0 {
+		sc.ElephantChunk = 4 << 10
+	}
+	if sc.ElephantInterval <= 0 {
+		sc.ElephantInterval = 5 * time.Millisecond
+	}
+	if sc.Lingerers <= 0 {
+		sc.Lingerers = 6
+	}
+	if sc.ChurnClients <= 0 {
+		sc.ChurnClients = 40
+	}
+	if sc.MeanInterarrival <= 0 {
+		sc.MeanInterarrival = 8 * time.Millisecond
+	}
+	if sc.ChurnBytes <= 0 {
+		sc.ChurnBytes = 4 << 10
+	}
+	if sc.SpikeClients <= 0 {
+		sc.SpikeClients = 2 * sc.MaxSessions
+	}
+	if sc.GoroutineBudget <= 0 {
+		sc.GoroutineBudget = 2500
+	}
+	if sc.BufferedSlack <= 0 {
+		sc.BufferedSlack = 256 << 10
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 120 * time.Second
+	}
+	if sc.TraceCapacity <= 0 {
+		sc.TraceCapacity = 1 << 17
+	}
+	return sc
+}
+
+// OverloadResult summarizes a successful gauntlet.
+type OverloadResult struct {
+	Seed  int64
+	Stats core.AccountingStats
+	// Churn/spike admission outcomes as the clients saw them. SpikeHeld
+	// counts wave A clients whose handshake completed and who then hold
+	// their session through the storm (the server may still have refused
+	// the slot post-handshake and torn the session down — clients only
+	// learn by the conn dying); SpikeRejected is wave B, refused at the
+	// closed admission gate before any TLS work.
+	ChurnAdmitted, ChurnFailed int
+	SpikeHeld, SpikeFailed     int
+	SpikeRejected              int
+	// ShedClasses lists the session:shed classes in event order.
+	ShedClasses []string
+	// ElephantBytes is the total bulk payload verified byte-exact.
+	ElephantBytes int64
+	// PeakGoroutines / PeakBufferedBytes are the sampled process peaks.
+	PeakGoroutines    int
+	PeakBufferedBytes int64
+	VirtualElapsed    time.Duration
+	Trace             []telemetry.Event
+	Metrics           map[string]any
+}
+
+// digest is one fully-drained server-side stream: length and FNV-64a.
+type digest struct {
+	n   int64
+	sum uint64
+}
+
+func digestKey(connID, streamID uint32) uint64 {
+	return uint64(connID)<<32 | uint64(streamID)
+}
+
+// RunOverload executes the churn/overload gauntlet.
+func RunOverload(sc OverloadScenario) (*OverloadResult, error) {
+	sc = sc.withDefaults()
+	baseGoroutines := runtime.NumGoroutine()
+	baseBuffered := bufpool.InUseBytes()
+	wallDeadline := time.Now().Add(sc.Timeout)
+
+	n := netsim.New(netsim.WithSeed(sc.Seed), netsim.WithTimeScale(sc.TimeScale))
+	ch, sh := n.Host("client"), n.Host("server")
+	link := n.AddLink(ch, sh, ClientV4, ServerV4,
+		netsim.LinkConfig{Name: "v4", Delay: time.Millisecond, BandwidthBps: 200e6})
+
+	ring := telemetry.NewRingSink(sc.TraceCapacity)
+	reg := telemetry.NewRegistry()
+	mkTracer := func(ep string) *telemetry.Tracer {
+		return telemetry.NewTracer(
+			telemetry.WithEndpoint(ep),
+			telemetry.WithClock(n.VirtualNow),
+			telemetry.WithSink(ring),
+		)
+	}
+	srvTracer := mkTracer("server")
+	n.SetTracer(mkTracer("net"))
+	link.RegisterMetrics(reg)
+	cs := tcpnet.NewStack(ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{Tracer: srvTracer, Metrics: reg})
+
+	res := &OverloadResult{Seed: sc.Seed}
+	acct := core.NewAccounting(core.ServerBudgets{
+		MaxSessions:      sc.MaxSessions,
+		LowWaterFrac:     sc.LowWaterFrac,
+		IdleAfter:        sc.IdleAfter,
+		MaxBufferedBytes: sc.MaxBufferedBytes,
+	})
+	fail := func(format string, args ...any) (*OverloadResult, error) {
+		args = append(args, acct.Stats(), sc.Seed)
+		return nil, fmt.Errorf(format+" — stats=%+v (replay: seed=%d)", args...)
+	}
+
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	retry := core.RetryPolicy{
+		Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond,
+		MaxAttempts: 2, DialTimeout: 300 * time.Millisecond,
+	}
+	srvCfg := &core.Config{
+		TLS:          &tls13.Config{Certificate: serverCert()},
+		Clock:        n,
+		Accounting:   acct,
+		StallTimeout: sc.StallTimeout,
+		Retry:        retry,
+		RetrySeed:    sc.Seed,
+		Tracer:       srvTracer,
+		Metrics:      reg,
+	}
+	lst := core.NewListener(tl, srvCfg)
+
+	// Server app: drain every stream of every accepted session, folding
+	// each into an FNV digest keyed by (conn id, stream id) so elephant
+	// transfers can be verified byte-exact from the server's view.
+	var digests sync.Map // uint64 -> digest
+	var servedMu sync.Mutex
+	var served []*core.Session
+	go func() {
+		for {
+			s, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			servedMu.Lock()
+			served = append(served, s)
+			servedMu.Unlock()
+			go func(s *core.Session) {
+				for {
+					st, err := s.AcceptStream()
+					if err != nil {
+						return
+					}
+					go func(st *core.Stream) {
+						h := fnv.New64a()
+						var total int64
+						buf := make([]byte, 32<<10)
+						for {
+							n, err := st.Read(buf)
+							if n > 0 {
+								h.Write(buf[:n])
+								total += int64(n)
+							}
+							if err != nil {
+								digests.Store(digestKey(s.ConnID(), st.ID()), digest{n: total, sum: h.Sum64()})
+								return
+							}
+						}
+					}(st)
+				}
+			}(s)
+		}
+	}()
+
+	// Process-peak sampler (goroutines, pooled-buffer bytes).
+	var peakG atomic.Int64
+	var peakB atomic.Int64
+	samplerStop := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			if g := int64(runtime.NumGoroutine()); g > peakG.Load() {
+				peakG.Store(g)
+			}
+			if b := bufpool.InUseBytes(); b > peakB.Load() {
+				peakB.Store(b)
+			}
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			lst.Close()
+			servedMu.Lock()
+			ss2 := append([]*core.Session(nil), served...)
+			servedMu.Unlock()
+			for _, s := range ss2 {
+				s.Close()
+			}
+			cs.Close()
+			ss.Close()
+			n.Close()
+			close(samplerStop)
+			samplerDone.Wait()
+		})
+	}
+	defer cleanup()
+
+	newClient := func(seed int64, tracer *telemetry.Tracer) *core.Session {
+		return core.NewClient(&core.Config{
+			TLS:       &tls13.Config{InsecureSkipVerify: true},
+			Clock:     n,
+			Retry:     retry,
+			RetrySeed: seed,
+			Tracer:    tracer,
+		}, tcpnet.Dialer{Stack: cs})
+	}
+	dial := func(c *core.Session) error {
+		if _, err := c.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 5*time.Second); err != nil {
+			return err
+		}
+		return c.Handshake()
+	}
+	start := time.Now()
+
+	// Phase 1 — elephants: long bulk transfers that must ride out the
+	// whole gauntlet. Steady writes keep them classified mid-transfer.
+	type elephant struct {
+		sess *core.Session
+		st   *core.Stream
+		hash uint64 // final FNV-64a once done
+		n    int64
+		err  error
+		done chan struct{}
+	}
+	elephantStop := make(chan struct{})
+	elephants := make([]*elephant, sc.Elephants)
+	for i := range elephants {
+		el := &elephant{sess: newClient(sc.Seed + int64(i) + 100, mkTracer("client")), done: make(chan struct{})}
+		if err := dial(el.sess); err != nil {
+			return fail("elephant %d handshake: %v", i, err)
+		}
+		st, err := el.sess.NewStream()
+		if err != nil {
+			return fail("elephant %d stream: %v", i, err)
+		}
+		el.st = st
+		elephants[i] = el
+		go func(el *elephant, seed int64) {
+			defer close(el.done)
+			h := fnv.New64a()
+			rng := rand.New(rand.NewSource(seed))
+			chunk := make([]byte, sc.ElephantChunk)
+			for {
+				select {
+				case <-elephantStop:
+					el.hash = h.Sum64()
+					el.err = el.st.Close()
+					return
+				default:
+				}
+				rng.Read(chunk)
+				if _, err := el.st.Write(chunk); err != nil {
+					el.err = err
+					return
+				}
+				h.Write(chunk)
+				el.n += int64(sc.ElephantChunk)
+				time.Sleep(n.ScaleDuration(sc.ElephantInterval))
+			}
+		}(el, sc.Seed+int64(i)*7919)
+	}
+
+	// Phase 2 — lingerers: transfer once, then sit idle. These are the
+	// sessions prioritized shedding exists to reclaim.
+	lingerers := make([]*core.Session, 0, sc.Lingerers)
+	for i := 0; i < sc.Lingerers; i++ {
+		c := newClient(sc.Seed+int64(i)+200, nil)
+		if err := dial(c); err != nil {
+			return fail("lingerer %d handshake: %v", i, err)
+		}
+		st, err := c.NewStream()
+		if err != nil {
+			return fail("lingerer %d stream: %v", i, err)
+		}
+		if _, err := st.Write(make([]byte, 1<<10)); err != nil {
+			return fail("lingerer %d write: %v", i, err)
+		}
+		st.Close()
+		lingerers = append(lingerers, c)
+	}
+	// Let the lingerers cross the idle threshold (virtual time).
+	time.Sleep(n.ScaleDuration(sc.IdleAfter)*3/2 + 20*time.Millisecond)
+
+	// Phase 3 — churn: Poisson arrivals, short transfers, departures.
+	// Departing clients orphan their server-side session state (servers
+	// hold it for a failover rescue that never comes), so sustained churn
+	// is itself admission pressure — exactly what shedding must absorb.
+	var churnOK, churnFail atomic.Int64
+	var churnWG sync.WaitGroup
+	arrivals := rand.New(rand.NewSource(sc.Seed + 999))
+	for i := 0; i < sc.ChurnClients; i++ {
+		d := time.Duration(arrivals.ExpFloat64() * float64(sc.MeanInterarrival))
+		time.Sleep(n.ScaleDuration(d))
+		churnWG.Add(1)
+		go func(i int) {
+			defer churnWG.Done()
+			c := newClient(sc.Seed+int64(i)+300, nil)
+			defer c.Close()
+			if err := dial(c); err != nil {
+				churnFail.Add(1)
+				return
+			}
+			st, err := c.NewStream()
+			if err != nil {
+				churnFail.Add(1)
+				return
+			}
+			if _, err := st.Write(make([]byte, sc.ChurnBytes)); err != nil {
+				churnFail.Add(1)
+				return
+			}
+			st.Close()
+			churnOK.Add(1)
+			time.Sleep(n.ScaleDuration(5 * time.Millisecond)) // let the FIN drain
+		}(i)
+	}
+	churnWG.Wait()
+	res.ChurnAdmitted = int(churnOK.Load())
+	res.ChurnFailed = int(churnFail.Load())
+
+	// Phase 4 — spike, wave A: a concurrent burst that fills the budget
+	// and HOLDS its sessions open. Departing sessions release their slot
+	// immediately, so sustained overload needs sessions that stay; these
+	// holders are what forces the gate closed.
+	var holdMu sync.Mutex
+	var holders []*core.Session
+	var spikeOK, spikeFail atomic.Int64
+	var waveAWG sync.WaitGroup
+	for i := 0; i < sc.MaxSessions+sc.MaxSessions/2; i++ {
+		waveAWG.Add(1)
+		go func(i int) {
+			defer waveAWG.Done()
+			c := newClient(sc.Seed+int64(i)+10_000, nil)
+			if err := dial(c); err != nil {
+				c.Close()
+				spikeFail.Add(1)
+				return
+			}
+			holdMu.Lock()
+			holders = append(holders, c)
+			holdMu.Unlock()
+			spikeOK.Add(1)
+		}(i)
+	}
+	waveAWG.Wait()
+	res.SpikeHeld = int(spikeOK.Load())
+	res.SpikeFailed = int(spikeFail.Load())
+
+	// Wave B: a second burst against a full server. The gate is closed
+	// and every slot is held, so these must be rejected before any TLS
+	// work — the cheap pre-TLS path under test.
+	var waveBRejected atomic.Int64
+	var waveBWG sync.WaitGroup
+	for i := 0; i < sc.SpikeClients; i++ {
+		waveBWG.Add(1)
+		go func(i int) {
+			defer waveBWG.Done()
+			c := newClient(sc.Seed+int64(i)+20_000, nil)
+			defer c.Close()
+			if err := dial(c); err != nil {
+				waveBRejected.Add(1)
+			}
+		}(i)
+	}
+	waveBWG.Wait()
+	res.SpikeRejected = int(waveBRejected.Load())
+
+	// Invariant 1 — admission enforced, rejection pre-TLS.
+	st := acct.Stats()
+	if st.SessionsHWM > int64(sc.MaxSessions) {
+		return fail("session high-water mark %d exceeds budget %d", st.SessionsHWM, sc.MaxSessions)
+	}
+	if st.RejectedPreTLS == 0 {
+		return fail("the spike was never rejected (churn=%d held=%d waveB-rejected=%d)",
+			res.ChurnAdmitted, res.SpikeHeld, res.SpikeRejected)
+	}
+	if st.ConnsSeen != st.HandshakesStarted+st.RejectedPreTLS {
+		return fail("handshake work leaked past the gate: conns_seen=%d != handshakes_started=%d + rejected_pre_tls=%d",
+			st.ConnsSeen, st.HandshakesStarted, st.RejectedPreTLS)
+	}
+	if st.AdmissionCloses == 0 {
+		return fail("admission gate never closed under a %dx spike", sc.SpikeClients/sc.MaxSessions)
+	}
+
+	// Invariant 4a — recovery: orphaned sessions age into idleness, the
+	// rejection-triggered shed passes reclaim them, the gate reopens, and
+	// a fresh client gets in. Retry until the wall deadline.
+	var admitted bool
+	for time.Now().Before(wallDeadline) {
+		c := newClient(sc.Seed+50_000, nil)
+		if err := dial(c); err == nil {
+			admitted = true
+			st, err := c.NewStream()
+			if err == nil {
+				st.Write(make([]byte, 512))
+				st.Close()
+			}
+			time.Sleep(n.ScaleDuration(5 * time.Millisecond))
+			c.Close()
+			break
+		}
+		c.Close()
+		time.Sleep(n.ScaleDuration(sc.IdleAfter / 4))
+	}
+	if !admitted {
+		return fail("no client admitted after the spike — admission never recovered")
+	}
+	if st := acct.Stats(); !st.GateOpen {
+		return fail("admission gate still closed after recovery")
+	}
+
+	// Invariant 2 — the elephants rode out the whole storm.
+	for i, el := range elephants {
+		if el.sess.Closed() {
+			return fail("elephant %d was killed mid-transfer: %v", i, el.sess.Err())
+		}
+	}
+	close(elephantStop)
+	for i, el := range elephants {
+		select {
+		case <-el.done:
+		case <-time.After(time.Until(wallDeadline)):
+			return fail("elephant %d never finished", i)
+		}
+		if el.err != nil {
+			return fail("elephant %d transfer error: %v", i, el.err)
+		}
+		key := digestKey(el.sess.ConnID(), el.st.ID())
+		deadline := time.Now().Add(10 * time.Second)
+		var d digest
+		for {
+			if v, ok := digests.Load(key); ok {
+				d = v.(digest)
+				if d.n >= el.n {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fail("elephant %d: server drained %d of %d bytes", i, d.n, el.n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if d.n != el.n || d.sum != el.hash {
+			return fail("elephant %d corrupted: server got %d bytes sum %x, client sent %d sum %x",
+				i, d.n, d.sum, el.n, el.hash)
+		}
+		res.ElephantBytes += el.n
+	}
+
+	// Invariant 2b — shedding hit only idle/degraded sessions, never an
+	// elephant. Asserted on the trace, which names every victim.
+	elephantIDs := make(map[int64]bool, len(elephants))
+	for _, el := range elephants {
+		elephantIDs[int64(el.sess.ConnID())] = true
+	}
+	for _, ev := range ring.Events() {
+		if ev.Kind != telemetry.EvSessionShed {
+			continue
+		}
+		if ev.S != "idle" && ev.S != "degraded" {
+			return fail("shed a %q session — only idle/degraded are eligible", ev.S)
+		}
+		if elephantIDs[ev.A] {
+			return fail("shed elephant session conn_id=%d", ev.A)
+		}
+		res.ShedClasses = append(res.ShedClasses, ev.S)
+	}
+	if len(res.ShedClasses) == 0 {
+		return fail("nothing was shed — recovery should have required evictions")
+	}
+
+	// Drain: close every client, then the server side, then the world.
+	for _, el := range elephants {
+		el.sess.Close()
+	}
+	for _, c := range lingerers {
+		c.Close()
+	}
+	holdMu.Lock()
+	hs := append([]*core.Session(nil), holders...)
+	holdMu.Unlock()
+	for _, c := range hs {
+		c.Close()
+	}
+	res.VirtualElapsed = n.VirtualSince(start)
+	cleanup()
+
+	// Invariant 3 — peaks within budget.
+	res.PeakGoroutines = int(peakG.Load())
+	res.PeakBufferedBytes = peakB.Load()
+	if res.PeakGoroutines > baseGoroutines+sc.GoroutineBudget {
+		return fail("goroutine peak %d exceeds baseline %d + budget %d",
+			res.PeakGoroutines, baseGoroutines, sc.GoroutineBudget)
+	}
+	if res.PeakBufferedBytes > sc.MaxBufferedBytes {
+		return fail("pooled-buffer peak %d exceeds budget %d", res.PeakBufferedBytes, sc.MaxBufferedBytes)
+	}
+
+	// Invariant 4b — full recovery: gauges at zero, no leaked goroutines,
+	// pooled memory back at its pre-run level.
+	if err := waitGoroutines(baseGoroutines, 10*time.Second); err != nil {
+		return fail("goroutine leak after drain: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = acct.Stats()
+		if st.Sessions == 0 && st.Paths == 0 && st.Streams == 0 && st.Handshakes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail("server gauges never drained: sessions=%d paths=%d streams=%d handshakes=%d",
+				st.Sessions, st.Paths, st.Streams, st.Handshakes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !st.GateOpen {
+		return fail("admission gate closed at rest")
+	}
+	if b := bufpool.InUseBytes(); b > baseBuffered+sc.BufferedSlack {
+		return fail("pooled buffers did not return to baseline: %d in use, started at %d (slack %d)",
+			b, baseBuffered, sc.BufferedSlack)
+	}
+
+	res.Stats = st
+	res.Trace = ring.Events()
+	res.Metrics = reg.Snapshot()
+	return res, nil
+}

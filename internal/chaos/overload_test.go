@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadGauntlet: the full churn/overload storm against a small
+// session budget — admission enforced pre-TLS, only idle/degraded
+// sessions shed, elephants complete byte-exact, process budgets hold,
+// and every gauge returns to baseline afterwards.
+func TestOverloadGauntlet(t *testing.T) {
+	res, err := RunOverload(OverloadScenario{Name: "overload-default", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overload: churn %d/%d admitted, spike held=%d waveB rejected=%d/%d, shed=%v, "+
+		"elephants=%d bytes, peak goroutines=%d, peak buffered=%d, virtual=%s",
+		res.ChurnAdmitted, res.ChurnAdmitted+res.ChurnFailed,
+		res.SpikeHeld, res.SpikeRejected, res.SpikeRejected+res.SpikeFailed,
+		res.ShedClasses, res.ElephantBytes,
+		res.PeakGoroutines, res.PeakBufferedBytes, res.VirtualElapsed)
+	if res.Stats.SessionsHWM == 0 || res.ElephantBytes == 0 {
+		t.Fatalf("degenerate run: %+v", res.Stats)
+	}
+}
+
+// TestOverloadGauntletTinyBudget: a harsher shape — budget 8, a 4x
+// spike, longer idle threshold — to check the invariants are not tuned
+// to one operating point.
+func TestOverloadGauntletTinyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gauntlet variant skipped in -short")
+	}
+	res, err := RunOverload(OverloadScenario{
+		Name:         "overload-tiny",
+		Seed:         11,
+		MaxSessions:  8,
+		SpikeClients: 32,
+		Lingerers:    4,
+		ChurnClients: 24,
+		IdleAfter:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tiny budget: hwm=%d rejected=%d shed=%v",
+		res.Stats.SessionsHWM, res.Stats.RejectedPreTLS, res.ShedClasses)
+}

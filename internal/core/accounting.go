@@ -1,0 +1,566 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// Server-wide overload resilience. Per-session ResourceLimits bound what
+// one peer can make the process spend, but a flock of clients can
+// exhaust the server while each individual session stays within budget.
+// Accounting rolls the per-session limits up to process-level budgets
+// (sessions, paths, streams, pooled-buffer bytes, goroutines,
+// handshakes-in-flight) and enforces them at the three admission points:
+// pre-TLS accept, handshake start, and JOIN.
+//
+// Design rules:
+//
+//   - Rejection is cheap. An overloaded server closes the TCP connection
+//     before any key-schedule work — the pre-TLS gate costs a few atomic
+//     loads, so overload cannot be amplified into handshake CPU.
+//   - Admission has hysteresis. Once the session budget is hit the gate
+//     closes and reopens only below the low-water mark, so a server at
+//     the boundary flips once per overload episode instead of thrashing
+//     per connection.
+//   - Shedding is prioritized. Under pressure the server evicts idle
+//     sessions first (newest first), then degraded/plain-TLS fallback
+//     sessions, and never a healthy session with data in flight.
+
+// ErrServerOverloaded is the sentinel for every server-wide admission
+// rejection; match with errors.Is. The concrete error is always an
+// *OverloadError naming the exhausted budget.
+var ErrServerOverloaded = errors.New("tcpls: server overloaded")
+
+// OverloadError reports which server-wide budget an admission or
+// shedding decision hit.
+type OverloadError struct {
+	Resource string // exhausted budget ("sessions", "handshakes", ...)
+	Limit    int64  // its configured value
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("tcpls: server overloaded: %s budget exhausted (max %d)", e.Resource, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrServerOverloaded) match any OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrServerOverloaded }
+
+// ServerBudgets bounds what the whole process may consume across every
+// session it serves. Zero fields take the defaults below; a negative
+// MaxGoroutines or MaxBufferedBytes disables that check.
+type ServerBudgets struct {
+	// MaxSessions caps concurrent sessions. At the cap the admission
+	// gate closes (rejecting new connections pre-TLS) and reopens only
+	// when the session count falls below LowWaterFrac×MaxSessions.
+	MaxSessions int
+	// MaxTotalPaths caps live TCP connections across all sessions
+	// (default 4×MaxSessions). JOINs past it are rejected before the
+	// one-time cookie is consumed.
+	MaxTotalPaths int
+	// MaxTotalStreams caps concurrent streams across all sessions
+	// (default 64×MaxSessions).
+	MaxTotalStreams int
+	// MaxHandshakes caps TLS handshakes in flight (default 64): a
+	// connection storm queues at the accept gate instead of pinning one
+	// handshake goroutine per SYN.
+	MaxHandshakes int
+	// MaxBufferedBytes caps pooled-buffer bytes in use process-wide (via
+	// bufpool accounting, default 1 GiB; negative disables).
+	MaxBufferedBytes int64
+	// MaxGoroutines, when positive, rejects new connections while the
+	// process goroutine count is at or above it (default disabled: the
+	// right value depends on what else shares the process).
+	MaxGoroutines int
+	// LowWaterFrac positions the admission low-water mark as a fraction
+	// of MaxSessions (default 0.75). The gate, once closed, reopens only
+	// at or below this level.
+	LowWaterFrac float64
+	// IdleAfter is how long (virtual time) a session must go without
+	// data activity — and hold no unacked data — to be eligible for
+	// first-wave shedding (default 30s).
+	IdleAfter time.Duration
+}
+
+// Default server budgets.
+const (
+	DefaultMaxSessions      = 256
+	DefaultMaxHandshakes    = 64
+	DefaultMaxBufferedBytes = 1 << 30
+	DefaultLowWaterFrac     = 0.75
+	DefaultIdleAfter        = 30 * time.Second
+)
+
+func (b ServerBudgets) withDefaults() ServerBudgets {
+	if b.MaxSessions <= 0 {
+		b.MaxSessions = DefaultMaxSessions
+	}
+	if b.MaxTotalPaths <= 0 {
+		b.MaxTotalPaths = 4 * b.MaxSessions
+	}
+	if b.MaxTotalStreams <= 0 {
+		b.MaxTotalStreams = 64 * b.MaxSessions
+	}
+	if b.MaxHandshakes <= 0 {
+		b.MaxHandshakes = DefaultMaxHandshakes
+	}
+	if b.MaxBufferedBytes == 0 {
+		b.MaxBufferedBytes = DefaultMaxBufferedBytes
+	}
+	if b.LowWaterFrac <= 0 || b.LowWaterFrac >= 1 {
+		b.LowWaterFrac = DefaultLowWaterFrac
+	}
+	if b.IdleAfter <= 0 {
+		b.IdleAfter = DefaultIdleAfter
+	}
+	return b
+}
+
+// Accounting is the server-wide resource ledger shared by a listener
+// and every session it admits (Config.Accounting). All gauges are
+// atomics — admission decisions on the accept path are a handful of
+// loads, never a lock — and the member set (needed only for shedding)
+// is touched once per session lifetime.
+//
+// A nil *Accounting is valid and disables every check, so single-session
+// and client configs pay nothing.
+type Accounting struct {
+	budgets ServerBudgets
+
+	sessions   atomic.Int64
+	paths      atomic.Int64
+	streams    atomic.Int64
+	handshakes atomic.Int64
+
+	sessionsHWM atomic.Int64 // high-water mark of the sessions gauge
+
+	connsSeen         atomic.Uint64 // connections that reached the pre-TLS gate
+	handshakesStarted atomic.Uint64 // connections that began TLS handshake work
+	admitted          atomic.Uint64 // sessions admitted
+	rejectedPreTLS    atomic.Uint64 // connections closed before any TLS work
+	rejectedJoins     atomic.Uint64 // JOINs refused on the global path budget
+	shedIdle          atomic.Uint64 // sessions evicted as idle
+	shedDegraded      atomic.Uint64 // sessions evicted as degraded
+	admissionCloses   atomic.Uint64 // gate close transitions (overload episodes)
+
+	gateClosed atomic.Bool // hysteresis: closed at MaxSessions, reopens at low water
+	shedding   atomic.Bool // single-flight guard for shed passes
+
+	tracer atomic.Pointer[telemetry.Tracer]
+
+	mu      sync.Mutex
+	members map[*Session]struct{} // admitted sessions (shedding candidates)
+}
+
+// NewAccounting builds a server-wide ledger with the given budgets
+// (zero fields take defaults). Share one Accounting per process — or
+// per listener, if listeners should be isolated from each other.
+func NewAccounting(b ServerBudgets) *Accounting {
+	return &Accounting{
+		budgets: b.withDefaults(),
+		members: make(map[*Session]struct{}),
+	}
+}
+
+// Budgets returns the effective (defaulted) budgets.
+func (a *Accounting) Budgets() ServerBudgets { return a.budgets }
+
+// attachTracer wires the admission/shed trace events to a tracer (the
+// listener passes its own); the first non-nil tracer wins.
+func (a *Accounting) attachTracer(t *telemetry.Tracer) {
+	if a == nil || t == nil {
+		return
+	}
+	a.tracer.CompareAndSwap(nil, t)
+}
+
+func (a *Accounting) trace() *telemetry.Tracer {
+	if a == nil {
+		return nil
+	}
+	return a.tracer.Load() // nil is a valid disabled tracer
+}
+
+// lowWater is the session count at or below which a closed admission
+// gate reopens. Always strictly below MaxSessions.
+func (a *Accounting) lowWater() int64 {
+	lw := int64(a.budgets.LowWaterFrac * float64(a.budgets.MaxSessions))
+	if lw >= int64(a.budgets.MaxSessions) {
+		lw = int64(a.budgets.MaxSessions) - 1
+	}
+	if lw < 0 {
+		lw = 0
+	}
+	return lw
+}
+
+// admitConn is the cheap pre-TLS admission gate: it runs before any
+// key-schedule work, so a rejected connection costs the attacker a TCP
+// handshake and the server a few atomic loads. It returns a typed
+// *OverloadError when the server must refuse the connection.
+func (a *Accounting) admitConn() error {
+	if a == nil {
+		return nil
+	}
+	a.connsSeen.Add(1)
+	if a.gateClosed.Load() {
+		a.rejectedPreTLS.Add(1)
+		a.requestShed()
+		return &OverloadError{Resource: "admission", Limit: int64(a.budgets.MaxSessions)}
+	}
+	if n := a.sessions.Load(); n >= int64(a.budgets.MaxSessions) {
+		a.closeGate("sessions")
+		a.rejectedPreTLS.Add(1)
+		a.requestShed()
+		return &OverloadError{Resource: "sessions", Limit: int64(a.budgets.MaxSessions)}
+	}
+	if hs := a.handshakes.Load(); hs >= int64(a.budgets.MaxHandshakes) {
+		a.rejectedPreTLS.Add(1)
+		return &OverloadError{Resource: "handshakes", Limit: int64(a.budgets.MaxHandshakes)}
+	}
+	if maxB := a.budgets.MaxBufferedBytes; maxB > 0 && bufpool.InUseBytes() >= maxB {
+		a.rejectedPreTLS.Add(1)
+		a.requestShed()
+		return &OverloadError{Resource: "buffered bytes", Limit: maxB}
+	}
+	if maxG := a.budgets.MaxGoroutines; maxG > 0 && runtime.NumGoroutine() >= maxG {
+		a.rejectedPreTLS.Add(1)
+		a.requestShed()
+		return &OverloadError{Resource: "goroutines", Limit: int64(maxG)}
+	}
+	return nil
+}
+
+// beginHandshake reserves a handshake-in-flight slot; endHandshake
+// releases it once the TLS handshake finishes (either way). The reserve
+// is a guaranteed slot, unlike admitConn's advisory load, so a burst
+// racing through the gate still cannot exceed the budget.
+func (a *Accounting) beginHandshake() error {
+	if a == nil {
+		return nil
+	}
+	if a.handshakes.Add(1) > int64(a.budgets.MaxHandshakes) {
+		a.handshakes.Add(-1)
+		a.rejectedPreTLS.Add(1)
+		return &OverloadError{Resource: "handshakes", Limit: int64(a.budgets.MaxHandshakes)}
+	}
+	a.handshakesStarted.Add(1)
+	return nil
+}
+
+func (a *Accounting) endHandshake() {
+	if a != nil {
+		a.handshakes.Add(-1)
+	}
+}
+
+// admitSession claims a session slot for s and registers it as a
+// shedding candidate. The increment-then-check makes the cap exact even
+// when handshakes race: the loser rolls back and is rejected.
+func (a *Accounting) admitSession(s *Session) error {
+	if a == nil {
+		return nil
+	}
+	n := a.sessions.Add(1)
+	if n > int64(a.budgets.MaxSessions) {
+		a.sessions.Add(-1)
+		a.closeGate("sessions")
+		a.requestShed()
+		return &OverloadError{Resource: "sessions", Limit: int64(a.budgets.MaxSessions)}
+	}
+	for {
+		hwm := a.sessionsHWM.Load()
+		if n <= hwm || a.sessionsHWM.CompareAndSwap(hwm, n) {
+			break
+		}
+	}
+	a.admitted.Add(1)
+	s.mu.Lock()
+	s.acctAdmitted = true // teardown releases the slot
+	s.mu.Unlock()
+	a.mu.Lock()
+	a.members[s] = struct{}{}
+	a.mu.Unlock()
+	return nil
+}
+
+// releaseSession returns s's slot and, when the count falls to the
+// low-water mark, reopens a closed admission gate.
+func (a *Accounting) releaseSession(s *Session) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	delete(a.members, s)
+	a.mu.Unlock()
+	n := a.sessions.Add(-1)
+	a.maybeReopen(n)
+}
+
+func (a *Accounting) closeGate(cause string) {
+	if a.gateClosed.CompareAndSwap(false, true) {
+		a.admissionCloses.Add(1)
+		a.trace().Emit(telemetry.Event{Kind: telemetry.EvAdmission, A: 0, S: cause})
+	}
+}
+
+func (a *Accounting) maybeReopen(n int64) {
+	if n > a.lowWater() || !a.gateClosed.Load() {
+		return
+	}
+	if a.gateClosed.CompareAndSwap(true, false) {
+		a.trace().Emit(telemetry.Event{Kind: telemetry.EvAdmission, A: 1, S: "low-water"})
+	}
+}
+
+// hasPathCapacity is the read-only JOIN pre-check: it runs before the
+// one-time cookie is consumed, so a JOIN refused on the global budget
+// keeps its cookie for a later rescue (mirroring the per-session check).
+func (a *Accounting) hasPathCapacity() bool {
+	if a == nil {
+		return true
+	}
+	if a.paths.Load() >= int64(a.budgets.MaxTotalPaths) {
+		a.rejectedJoins.Add(1)
+		return false
+	}
+	return true
+}
+
+// acquirePath claims a global path slot (exact, with rollback).
+func (a *Accounting) acquirePath() error {
+	if a == nil {
+		return nil
+	}
+	if a.paths.Add(1) > int64(a.budgets.MaxTotalPaths) {
+		a.paths.Add(-1)
+		return &OverloadError{Resource: "paths", Limit: int64(a.budgets.MaxTotalPaths)}
+	}
+	return nil
+}
+
+func (a *Accounting) releasePath() {
+	if a != nil {
+		a.paths.Add(-1)
+	}
+}
+
+// acquireStream claims a global stream slot (exact, with rollback).
+func (a *Accounting) acquireStream() error {
+	if a == nil {
+		return nil
+	}
+	if a.streams.Add(1) > int64(a.budgets.MaxTotalStreams) {
+		a.streams.Add(-1)
+		return &OverloadError{Resource: "streams", Limit: int64(a.budgets.MaxTotalStreams)}
+	}
+	return nil
+}
+
+func (a *Accounting) releaseStreams(n int) {
+	if a != nil && n > 0 {
+		a.streams.Add(-int64(n))
+	}
+}
+
+// requestShed starts one shed pass in the background if none is
+// running. Shedding is triggered by admission pressure (a rejection),
+// not by a timer: a server idling at its ceiling with no new demand has
+// nothing to gain from evicting anyone.
+func (a *Accounting) requestShed() {
+	if a == nil || !a.shedding.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer a.shedding.Store(false)
+		a.shedPass()
+	}()
+}
+
+// shedPass evicts sessions until the count reaches the low-water mark
+// or no eligible victims remain, in strict priority order: idle
+// sessions first (newest first — they have the least sunk state), then
+// degraded/plain-TLS fallback sessions (already running at reduced
+// capability), and never a healthy session with data in flight.
+func (a *Accounting) shedPass() {
+	a.mu.Lock()
+	members := make([]*Session, 0, len(a.members))
+	for s := range a.members {
+		members = append(members, s)
+	}
+	a.mu.Unlock()
+
+	var idle, degraded []*Session
+	for _, s := range members {
+		switch s.shedClass(a.budgets.IdleAfter) {
+		case shedIdle:
+			idle = append(idle, s)
+		case shedDegraded:
+			degraded = append(degraded, s)
+		}
+	}
+	// Newest first within each wave: the youngest idle session has the
+	// least invested state and the cheapest re-establishment cost.
+	newestFirst := func(v []*Session) {
+		sort.Slice(v, func(i, j int) bool { return v[i].seq > v[j].seq })
+	}
+	newestFirst(idle)
+	newestFirst(degraded)
+
+	low := a.lowWater()
+	for _, victim := range [][]*Session{idle, degraded} {
+		for _, s := range victim {
+			if a.sessions.Load() <= low {
+				return
+			}
+			a.shed(s)
+		}
+	}
+}
+
+// shedClass classifies one session for the shed pass.
+type shedClassKind int
+
+const (
+	shedProtected shedClassKind = iota // healthy, or data in flight: never shed
+	shedIdle                           // no activity for IdleAfter, nothing unacked
+	shedDegraded                       // plain-TLS fallback or capabilities shed
+)
+
+func (k shedClassKind) String() string {
+	switch k {
+	case shedIdle:
+		return "idle"
+	case shedDegraded:
+		return "degraded"
+	}
+	return "protected"
+}
+
+func (s *Session) shedClass(idleAfter time.Duration) shedClassKind {
+	if s.Closed() {
+		return shedProtected // already going away; nothing to reclaim
+	}
+	if s.idleFor(idleAfter) {
+		return shedIdle
+	}
+	if s.PlainMode() || s.DegradedCaps() != 0 {
+		return shedDegraded
+	}
+	return shedProtected
+}
+
+// idleFor reports whether the session has moved no stream data for d
+// (virtual time) and holds no unacked data — i.e. evicting it now
+// cannot interrupt a transfer.
+func (s *Session) idleFor(d time.Duration) bool {
+	last := time.Unix(0, s.lastActive.Load())
+	if s.virtualSince(last) < d {
+		return false
+	}
+	for _, ss := range s.StreamStates() {
+		if ss.Unacked > 0 || ss.RecvBuffered > 0 || ss.OOO > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shed evicts one session: a trace event names the victim and class,
+// then teardown reclaims its paths, streams, buffers and accounting.
+func (a *Accounting) shed(s *Session) {
+	class := s.shedClass(a.budgets.IdleAfter)
+	if class == shedProtected {
+		return // re-check under race: it woke up since classification
+	}
+	switch class {
+	case shedIdle:
+		a.shedIdle.Add(1)
+	case shedDegraded:
+		a.shedDegraded.Add(1)
+	}
+	a.trace().Emit(telemetry.Event{
+		Kind: telemetry.EvSessionShed,
+		A:    int64(s.ConnID()),
+		S:    class.String(),
+	})
+	s.teardown(&OverloadError{Resource: "shed:" + class.String(), Limit: int64(a.budgets.MaxSessions)})
+}
+
+// AccountingStats is a point-in-time snapshot of the ledger.
+type AccountingStats struct {
+	Sessions          int64
+	SessionsHWM       int64
+	Paths             int64
+	Streams           int64
+	Handshakes        int64
+	ConnsSeen         uint64
+	HandshakesStarted uint64
+	Admitted          uint64
+	RejectedPreTLS    uint64
+	RejectedJoins     uint64
+	ShedIdle          uint64
+	ShedDegraded      uint64
+	AdmissionCloses   uint64
+	GateOpen          bool
+}
+
+// Stats snapshots every gauge and counter.
+func (a *Accounting) Stats() AccountingStats {
+	if a == nil {
+		return AccountingStats{GateOpen: true}
+	}
+	return AccountingStats{
+		Sessions:          a.sessions.Load(),
+		SessionsHWM:       a.sessionsHWM.Load(),
+		Paths:             a.paths.Load(),
+		Streams:           a.streams.Load(),
+		Handshakes:        a.handshakes.Load(),
+		ConnsSeen:         a.connsSeen.Load(),
+		HandshakesStarted: a.handshakesStarted.Load(),
+		Admitted:          a.admitted.Load(),
+		RejectedPreTLS:    a.rejectedPreTLS.Load(),
+		RejectedJoins:     a.rejectedJoins.Load(),
+		ShedIdle:          a.shedIdle.Load(),
+		ShedDegraded:      a.shedDegraded.Load(),
+		AdmissionCloses:   a.admissionCloses.Load(),
+		GateOpen:          !a.gateClosed.Load(),
+	}
+}
+
+// RegisterMetrics publishes the ledger under server.* on reg, plus the
+// process goroutine count and the pooled-buffer in-use gauge the
+// admission gate reads.
+func (a *Accounting) RegisterMetrics(reg *telemetry.Registry) {
+	if a == nil || reg == nil {
+		return
+	}
+	reg.Func("server.sessions", func() int64 { return a.sessions.Load() })
+	reg.Func("server.sessions_hwm", func() int64 { return a.sessionsHWM.Load() })
+	reg.Func("server.paths", func() int64 { return a.paths.Load() })
+	reg.Func("server.streams", func() int64 { return a.streams.Load() })
+	reg.Func("server.handshakes_inflight", func() int64 { return a.handshakes.Load() })
+	reg.Func("server.conns_seen", func() int64 { return int64(a.connsSeen.Load()) })
+	reg.Func("server.handshakes_started", func() int64 { return int64(a.handshakesStarted.Load()) })
+	reg.Func("server.admitted", func() int64 { return int64(a.admitted.Load()) })
+	reg.Func("server.rejected_pre_tls", func() int64 { return int64(a.rejectedPreTLS.Load()) })
+	reg.Func("server.rejected_joins", func() int64 { return int64(a.rejectedJoins.Load()) })
+	reg.Func("server.shed_idle", func() int64 { return int64(a.shedIdle.Load()) })
+	reg.Func("server.shed_degraded", func() int64 { return int64(a.shedDegraded.Load()) })
+	reg.Func("server.admission_closes", func() int64 { return int64(a.admissionCloses.Load()) })
+	reg.Func("server.admission_open", func() int64 {
+		if a.gateClosed.Load() {
+			return 0
+		}
+		return 1
+	})
+	reg.Func("server.goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.Func("server.bufpool_in_use_bytes", bufpool.InUseBytes)
+}

@@ -220,6 +220,7 @@ func (pc *pathConn) writePlainChunk(c *record.StreamChunk) error {
 	}
 	s.ctr.recordsSent.Add(1)
 	s.ctr.bytesSent.Add(uint64(len(c.Data)))
+	s.touch()
 	s.trace().Emit(telemetry.Event{
 		Kind:   telemetry.EvRecordSent,
 		Path:   pc.id,

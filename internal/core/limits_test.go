@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net/netip"
 	"testing"
@@ -23,6 +24,69 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("timeout: %s", msg)
+}
+
+// TestLimitErrorWrappingAllKinds: every limit kind the session can hit
+// must match ErrLimitExceeded through errors.Is and surface its
+// configured maximum through errors.As — including when wrapped.
+func TestLimitErrorWrappingAllKinds(t *testing.T) {
+	kinds := []struct {
+		limit string
+		max   int
+	}{
+		{"paths", DefaultMaxPaths},
+		{"streams", DefaultMaxStreams},
+		{"stream reassembly", DefaultMaxStreamRecvBuffer},
+		{"peer addresses", DefaultMaxPeerAddresses},
+	}
+	for _, k := range kinds {
+		err := error(&LimitError{Limit: k.limit, Max: k.max})
+		if !errors.Is(err, ErrLimitExceeded) {
+			t.Fatalf("%s: does not match ErrLimitExceeded", k.limit)
+		}
+		wrapped := fmt.Errorf("op failed: %w", err)
+		if !errors.Is(wrapped, ErrLimitExceeded) {
+			t.Fatalf("%s: wrapping broke errors.Is", k.limit)
+		}
+		var le *LimitError
+		if !errors.As(wrapped, &le) || le.Limit != k.limit || le.Max != k.max {
+			t.Fatalf("%s: errors.As lost detail, got %#v", k.limit, le)
+		}
+		if errors.Is(err, ErrServerOverloaded) {
+			t.Fatalf("%s: per-session limit must not alias the server overload sentinel", k.limit)
+		}
+	}
+}
+
+// TestResourceLimitsWithDefaults: zero-value and partially-set limits
+// fill in exactly the documented defaults, leaving set fields alone.
+func TestResourceLimitsWithDefaults(t *testing.T) {
+	z := ResourceLimits{}.withDefaults()
+	want := ResourceLimits{
+		MaxPaths:            DefaultMaxPaths,
+		MaxStreams:          DefaultMaxStreams,
+		MaxStreamRecvBuffer: DefaultMaxStreamRecvBuffer,
+		MaxPeerAddresses:    DefaultMaxPeerAddresses,
+		HandshakeTimeout:    DefaultHandshakeTimeout,
+	}
+	if z != want {
+		t.Fatalf("zero value defaults = %+v, want %+v", z, want)
+	}
+
+	p := ResourceLimits{MaxPaths: 2, HandshakeTimeout: time.Second}.withDefaults()
+	if p.MaxPaths != 2 || p.HandshakeTimeout != time.Second {
+		t.Fatalf("set fields clobbered: %+v", p)
+	}
+	if p.MaxStreams != DefaultMaxStreams || p.MaxStreamRecvBuffer != DefaultMaxStreamRecvBuffer ||
+		p.MaxPeerAddresses != DefaultMaxPeerAddresses {
+		t.Fatalf("zero fields not defaulted: %+v", p)
+	}
+
+	// Negative values are nonsense, not "disabled": they default too.
+	n := ResourceLimits{MaxPaths: -1, MaxStreams: -5, HandshakeTimeout: -time.Second}.withDefaults()
+	if n != want {
+		t.Fatalf("negative values not defaulted: %+v", n)
+	}
 }
 
 // TestNewStreamLimit: locally opening streams past MaxStreams fails

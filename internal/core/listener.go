@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
@@ -21,11 +22,16 @@ type Listener struct {
 	inner net.Listener
 	cfg   *Config
 
+	jitter        *jitterRNG    // accept-backoff randomness
+	acceptRetries atomic.Uint64 // temporary Accept errors retried
+
 	mu       sync.Mutex
 	sessions map[uint32]*Session
+	reserved map[uint32]bool // conn ids minted but not yet registered
 	closed   bool
 	accepts  chan *Session
 	errs     chan error
+	closeCh  chan struct{} // closed in Close; cancels accept backoffs
 }
 
 // NewListener wraps a transport listener (tcpnet or net) as a TCPLS
@@ -40,9 +46,21 @@ func NewListener(inner net.Listener, cfg *Config) *Listener {
 	l := &Listener{
 		inner:    inner,
 		cfg:      cfg,
+		jitter:   newJitterRNG(cfg.RetrySeed),
 		sessions: make(map[uint32]*Session),
+		reserved: make(map[uint32]bool),
 		accepts:  make(chan *Session, 16),
 		errs:     make(chan error, 1),
+		closeCh:  make(chan struct{}),
+	}
+	if acct := cfg.Accounting; acct != nil {
+		acct.attachTracer(cfg.Tracer)
+		acct.RegisterMetrics(cfg.Metrics)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Func("listener.accept_retries", func() int64 {
+			return int64(l.acceptRetries.Load())
+		})
 	}
 	go l.acceptLoop()
 	return l
@@ -72,10 +90,15 @@ func (l *Listener) Close() error {
 	}
 	l.closed = true
 	l.mu.Unlock()
+	close(l.closeCh)
 	err := l.inner.Close()
 	close(l.accepts)
 	return err
 }
+
+// AcceptRetries reports how many temporary Accept errors the accept
+// loop has backed off from and retried.
+func (l *Listener) AcceptRetries() uint64 { return l.acceptRetries.Load() }
 
 // Addr returns the transport listener's address.
 func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
@@ -92,21 +115,45 @@ func (l *Listener) Sessions() []*Session {
 }
 
 func (l *Listener) acceptLoop() {
+	pol := l.cfg.Retry.withDefaults()
+	attempt := 0
 	for {
 		conn, err := l.inner.Accept()
 		if err != nil {
 			l.mu.Lock()
 			closed := l.closed
 			l.mu.Unlock()
-			if !closed {
-				select {
-				case l.errs <- err:
-				default:
-				}
-				l.Close()
+			if closed {
+				return
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				// EMFILE-class pressure: the process is out of descriptors
+				// (or the transport is momentarily saturated). Spinning
+				// would burn CPU exactly when the process is starved, and
+				// exiting would turn a transient condition into a dead
+				// listener — back off exponentially with jitter and retry
+				// for as long as the condition lasts.
+				l.acceptRetries.Add(1)
+				d := l.jitter.backoff(pol, min(attempt, 8))
+				attempt++
+				t := time.NewTimer(l.cfg.Clock.ScaleDuration(d))
+				select {
+				case <-t.C:
+				case <-l.closeCh:
+					t.Stop()
+					return
+				}
+				continue
+			}
+			select {
+			case l.errs <- err:
+			default:
+			}
+			l.Close()
 			return
 		}
+		attempt = 0
 		go l.handleConn(conn)
 	}
 }
@@ -120,7 +167,27 @@ type handshakeResult struct {
 }
 
 func (l *Listener) handleConn(conn net.Conn) {
+	acct := l.cfg.Accounting
+	// Overload admission before any TLS work: a rejected connection
+	// costs the server a few atomic loads and the client a closed TCP
+	// connection — never a key schedule.
+	if err := acct.admitConn(); err != nil {
+		conn.Close()
+		return
+	}
+	if err := acct.beginHandshake(); err != nil {
+		conn.Close()
+		return
+	}
 	res := &handshakeResult{}
+	// A conn id minted during the handshake stays reserved until the
+	// session is registered; every failure path in between must release
+	// it or the id space slowly leaks.
+	defer func() {
+		if res.reply != nil && res.session == nil {
+			l.releaseConnID(res.reply.ConnID)
+		}
+	}()
 	tlsCfg := l.serverTLSConfig(conn, res)
 	tc := tls13.Server(conn, tlsCfg)
 	// Slowloris guard: a client that connects and then stalls (or
@@ -128,7 +195,9 @@ func (l *Listener) handleConn(conn net.Conn) {
 	// timeout instead of pinning this goroutine forever.
 	timeout := l.cfg.Limits.withDefaults().HandshakeTimeout
 	conn.SetDeadline(time.Now().Add(l.cfg.Clock.ScaleDuration(timeout)))
-	if err := tc.Handshake(); err != nil {
+	err := tc.Handshake()
+	acct.endHandshake()
+	if err != nil {
 		conn.Close()
 		return
 	}
@@ -174,20 +243,30 @@ func (l *Listener) handleConn(conn net.Conn) {
 	for _, c := range res.reply.Cookies {
 		s.issuedCookies[string(c)] = true
 	}
+	if err := acct.admitSession(s); err != nil {
+		// Lost the admission race: concurrent handshakes filled the
+		// session budget after this connection passed the pre-TLS gate.
+		conn.Close()
+		s.teardown(err)
+		return
+	}
 	joinKey, err := deriveJoinKey(tc, s.connID)
 	if err != nil {
 		conn.Close()
+		s.teardown(err)
 		return
 	}
 	s.joinKey = joinKey
 	l.mu.Lock()
 	closed := l.closed
 	if !closed {
+		delete(l.reserved, s.connID) // the session table owns the id now
 		l.sessions[s.connID] = s
 	}
 	l.mu.Unlock()
 	if closed {
 		conn.Close()
+		s.teardown(ErrSessionClosed)
 		return
 	}
 	s.trace().Emit(telemetry.Event{
@@ -219,6 +298,11 @@ func (l *Listener) acceptPlain(conn net.Conn, tc *tls13.Conn) {
 	}
 	cfg := l.sessionConfig()
 	s := newSession(RoleServer, cfg, nil)
+	if err := l.cfg.Accounting.admitSession(s); err != nil {
+		conn.Close()
+		s.teardown(err)
+		return
+	}
 	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server-degraded"})
 	if err := s.adoptPlain(conn, tc, "peer spoke plain TLS"); err != nil {
 		s.teardown(err)
@@ -267,8 +351,14 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 		}
 		// Reject before consuming the one-time cookie: a session at its
 		// path budget keeps its cookies for legitimate failover rescues.
+		// The server-wide path budget gets the same courtesy — a JOIN
+		// refused for global overload must not burn the cookie it would
+		// need once the pressure clears.
 		if target.NumConns() >= target.limits.MaxPaths {
 			return ErrJoinRejected
+		}
+		if acct := l.cfg.Accounting; !acct.hasPathCapacity() {
+			return &OverloadError{Resource: "paths", Limit: int64(acct.budgets.MaxTotalPaths)}
 		}
 		target.mu.Lock()
 		ok := target.issuedCookies[string(hello.Join.Cookie)]
@@ -327,7 +417,7 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 		}
 		res.reply = &record.ServerTCPLS{
 			Version:   record.Version,
-			ConnID:    newConnID(),
+			ConnID:    l.reserveConnID(),
 			Cookies:   cookies,
 			Addresses: addrs,
 			Multipath: l.cfg.Multipath && res.hello.Multipath,
@@ -340,12 +430,62 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 // sessionConfig derives the per-session config from the listener's.
 func (l *Listener) sessionConfig() *Config {
 	cfg := *l.cfg
+	cfg.onTeardown = l.removeSession
 	return &cfg
+}
+
+// removeSession drops a dead session from the table — its conn id can
+// then be reused and JOINs stop resolving to it. Installed as the
+// session teardown hook; without it the table (and the id space) grows
+// monotonically under connection churn.
+func (l *Listener) removeSession(s *Session) {
+	id := s.ConnID()
+	if id == 0 {
+		return // degraded plain session: never had a table entry
+	}
+	l.mu.Lock()
+	if l.sessions[id] == s {
+		delete(l.sessions, id)
+	}
+	l.mu.Unlock()
 }
 
 func newConnID() uint32 {
 	c := randomCookie()
 	return binary.BigEndian.Uint32(c[:4])
+}
+
+// pickConnID draws candidates from rnd until one is neither zero nor
+// taken. A random uint32 birthday-collides well below the session
+// counts a busy server holds, so minting without a liveness check
+// would silently hijack an existing session's id.
+func pickConnID(taken func(uint32) bool, rnd func() uint32) uint32 {
+	for {
+		id := rnd()
+		if id != 0 && !taken(id) {
+			return id
+		}
+	}
+}
+
+// reserveConnID mints a conn id that collides with neither the live
+// session table nor another in-flight handshake, and holds it until
+// the session registers (or releaseConnID on handshake failure).
+func (l *Listener) reserveConnID() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := pickConnID(func(id uint32) bool {
+		_, live := l.sessions[id]
+		return live || l.reserved[id]
+	}, newConnID)
+	l.reserved[id] = true
+	return id
+}
+
+func (l *Listener) releaseConnID(id uint32) {
+	l.mu.Lock()
+	delete(l.reserved, id)
+	l.mu.Unlock()
 }
 
 // replayAll resends every stream's unacked data on pc — the failover

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tempNetError mimics an EMFILE-class transient accept failure.
+type tempNetError struct{}
+
+func (tempNetError) Error() string   { return "accept: too many open files" }
+func (tempNetError) Timeout() bool   { return false }
+func (tempNetError) Temporary() bool { return true }
+
+// scriptedListener fails Accept a configured number of times, then
+// blocks until closed.
+type scriptedListener struct {
+	mu     sync.Mutex
+	fails  int
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newScriptedListener(fails int) *scriptedListener {
+	return &scriptedListener{fails: fails, closed: make(chan struct{})}
+}
+
+func (f *scriptedListener) Accept() (net.Conn, error) {
+	f.mu.Lock()
+	if f.fails > 0 {
+		f.fails--
+		f.mu.Unlock()
+		return nil, tempNetError{}
+	}
+	f.mu.Unlock()
+	<-f.closed
+	return nil, errors.New("use of closed listener")
+}
+
+func (f *scriptedListener) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return nil
+}
+
+func (f *scriptedListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// TestAcceptLoopBacksOffOnTemporaryErrors: EMFILE-class Accept errors
+// are retried with backoff — the listener neither spins nor dies — and
+// each retry is counted.
+func TestAcceptLoopBacksOffOnTemporaryErrors(t *testing.T) {
+	const fails = 5
+	inner := newScriptedListener(fails)
+	l := NewListener(inner, &Config{
+		Retry:     RetryPolicy{Base: time.Millisecond, Cap: 8 * time.Millisecond},
+		RetrySeed: 42,
+	})
+	defer l.Close()
+
+	waitFor(t, 10*time.Second, func() bool {
+		return l.AcceptRetries() == fails
+	}, "accept loop did not retry through the temporary errors")
+
+	// The loop must have survived the episode: no terminal error posted,
+	// listener still open.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-l.errs:
+		t.Fatalf("temporary errors killed the listener: %v", err)
+	default:
+	}
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		t.Fatal("listener closed itself on temporary errors")
+	}
+	if n := l.AcceptRetries(); n != fails {
+		t.Fatalf("accept_retries = %d, want exactly %d", n, fails)
+	}
+}
+
+// TestAcceptLoopDiesOnPermanentError: a non-temporary Accept error
+// still ends the listener and surfaces through Accept.
+func TestAcceptLoopDiesOnPermanentError(t *testing.T) {
+	inner := newScriptedListener(0)
+	l := NewListener(inner, &Config{})
+	inner.Close() // Accept now returns a permanent error
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("Accept returned nil after permanent error")
+	}
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if !closed {
+		t.Fatal("listener survived a permanent Accept error")
+	}
+}
+
+// TestPickConnIDRetriesOnCollision: minting skips zero and every id the
+// session table (or an in-flight handshake) already holds, instead of
+// silently hijacking a live session.
+func TestPickConnIDRetriesOnCollision(t *testing.T) {
+	taken := map[uint32]bool{1: true, 2: true, 3: true}
+	seq := []uint32{1, 2, 0, 3, 7}
+	draws := 0
+	id := pickConnID(
+		func(id uint32) bool { return taken[id] },
+		func() uint32 { d := seq[draws]; draws++; return d },
+	)
+	if id != 7 {
+		t.Fatalf("pickConnID = %d, want 7", id)
+	}
+	if draws != len(seq) {
+		t.Fatalf("draws = %d, want %d (every collision retried)", draws, len(seq))
+	}
+}
+
+// TestReserveConnIDLifecycle: reserved ids are unique, excluded from
+// later mints, and freed by release — so a failed handshake does not
+// leak id space.
+func TestReserveConnIDLifecycle(t *testing.T) {
+	inner := newScriptedListener(0)
+	l := NewListener(inner, &Config{})
+	defer l.Close()
+
+	seen := make(map[uint32]bool)
+	for i := 0; i < 64; i++ {
+		id := l.reserveConnID()
+		if id == 0 {
+			t.Fatal("reserved the zero conn id")
+		}
+		if seen[id] {
+			t.Fatalf("conn id %d reserved twice", id)
+		}
+		seen[id] = true
+	}
+	l.mu.Lock()
+	n := len(l.reserved)
+	l.mu.Unlock()
+	if n != 64 {
+		t.Fatalf("reserved set holds %d ids, want 64", n)
+	}
+	for id := range seen {
+		l.releaseConnID(id)
+	}
+	l.mu.Lock()
+	n = len(l.reserved)
+	l.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("release leaked %d reservations", n)
+	}
+}

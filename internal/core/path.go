@@ -39,6 +39,10 @@ type pathConn struct {
 	health   pathHealth
 	failOnce sync.Once // handleConnFailure runs at most once per path
 
+	// accounted marks a held global path slot (set before the path is
+	// published in the session's conn table, released once by close).
+	accounted bool
+
 	mu     sync.Mutex
 	closed bool
 	err    error
@@ -70,6 +74,9 @@ func (pc *pathConn) close(err error) {
 	pc.closed = true
 	pc.err = err
 	pc.mu.Unlock()
+	if pc.accounted {
+		pc.session.acct.releasePath()
+	}
 	if err != nil {
 		// The path is dead, not finishing: reset instead of a FIN
 		// handshake so writers blocked on its full send buffer fail
@@ -178,6 +185,7 @@ func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
 	s := pc.session
 	s.ctr.recordsSent.Add(1)
 	s.ctr.bytesSent.Add(uint64(len(c.Data)))
+	s.touch()
 	fin := int64(0)
 	if c.Fin {
 		fin = 1
@@ -299,6 +307,7 @@ func (pc *pathConn) handleDeath(err error) {
 func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk, owner []byte) {
 	s.ctr.recordsRcvd.Add(1)
 	s.ctr.bytesRcvd.Add(uint64(len(chunk.Data)))
+	s.touch()
 	fin := int64(0)
 	if chunk.Fin {
 		fin = 1

@@ -192,6 +192,23 @@ type Config struct {
 	// Metrics, when set, receives the session's pull-mode vars under
 	// session.<n>.* (and per-path gauges under session.<n>.path.<id>.*).
 	Metrics *telemetry.Registry
+	// Accounting, when set on a listener, enforces server-wide budgets:
+	// admission control at accept/handshake/JOIN, global path and stream
+	// caps, and prioritized load shedding under pressure. Sessions
+	// inherit it from their listener; nil disables every check.
+	Accounting *Accounting
+	// StallTimeout enables the stall watchdog when > 0: a stream whose
+	// unacked data sees no ack progress for this long (virtual time), or
+	// a path whose peer advertises a zero receive window that long while
+	// data is pending, ends the session with a typed *StallError and
+	// reclaims its buffers. Off by default.
+	StallTimeout time.Duration
+	// StallCheckInterval is the watchdog sweep interval (default
+	// StallTimeout/4).
+	StallCheckInterval time.Duration
+	// onTeardown is the listener's teardown hook (session-table removal
+	// and conn-id release); set by sessionConfig, never by callers.
+	onTeardown func(*Session)
 }
 
 // Clock abstracts timer scaling; netsim.Network implements it.
@@ -257,7 +274,14 @@ type Session struct {
 	jitter       *jitterRNG    // reconnect backoff randomness
 	reconnecting bool          // single-flight guard for Session.reconnect
 	healthOnce   sync.Once     // starts the health monitor at most once
+	watchdogOnce sync.Once     // starts the stall watchdog at most once
 	probeSeq     atomic.Uint32 // next health-probe sequence number
+
+	// server-wide accounting (nil when no Accounting is configured)
+	acct         *Accounting
+	acctAdmitted bool         // this session holds a server session slot (s.mu)
+	acctStreams  int          // global stream slots held (s.mu)
+	lastActive   atomic.Int64 // wall nanos of the last data record sent/received
 
 	// graceful degradation state (middlebox interference)
 	disabledCaps Capability // capabilities shed so far
@@ -284,7 +308,9 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 		issuedCookies: make(map[string]bool),
 		closeCh:       make(chan struct{}),
 		jitter:        newJitterRNG(cfg.RetrySeed),
+		acct:          cfg.Accounting,
 	}
+	s.lastActive.Store(time.Now().UnixNano())
 	if role == RoleClient {
 		s.nextStreamID = 1 // client-initiated streams are odd
 	} else {
@@ -409,6 +435,14 @@ func (s *Session) registerPath(pc *pathConn) error {
 		pc.close(err)
 		return err
 	}
+	// Server-wide budget after the per-session one: a single peer at its
+	// own cap never even touches the global ledger.
+	if err := s.acct.acquirePath(); err != nil {
+		s.mu.Unlock()
+		pc.close(err)
+		return err
+	}
+	pc.accounted = true // released by pc.close
 	if s.primary == nil {
 		s.primary = pc
 	}
@@ -438,6 +472,7 @@ func (s *Session) registerPath(pc *pathConn) error {
 		go pc.readLoop()
 		s.startHealthMonitor()
 	}
+	s.startStallWatchdog()
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
 		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
 	}
@@ -527,7 +562,15 @@ func (s *Session) teardown(err error) {
 	for _, st := range s.streams {
 		streams = append(streams, st)
 	}
+	admitted := s.acctAdmitted
+	s.acctAdmitted = false
+	heldStreams := s.acctStreams
+	s.acctStreams = 0
 	s.mu.Unlock()
+	s.acct.releaseStreams(heldStreams)
+	if admitted {
+		s.acct.releaseSession(s) // may reopen the admission gate
+	}
 	for _, pc := range conns {
 		pc.close(nil)
 	}
@@ -545,11 +588,22 @@ func (s *Session) teardown(err error) {
 	}
 	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionClose, S: reason})
 	s.unregisterSessionMetrics()
+	if hook := s.cfg.onTeardown; hook != nil {
+		hook(s) // listener bookkeeping: session-table and conn-id release
+	}
 	s.closeOnce.Do(func() {
 		if cb := s.cfg.Callbacks.SessionClosed; cb != nil {
 			cb(err)
 		}
 	})
+}
+
+// touch records data activity (a stream record sent or received) for
+// idle classification by the shed pass. Control traffic — health pings,
+// acks — deliberately does not count: a session kept "alive" only by
+// its own probes is exactly the idle session shedding must reclaim.
+func (s *Session) touch() {
+	s.lastActive.Store(time.Now().UnixNano())
 }
 
 // Err returns the terminal session error, if any.

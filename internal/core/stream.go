@@ -104,6 +104,11 @@ func (s *Session) NewStream() (*Stream, error) {
 		s.mu.Unlock()
 		return nil, ErrCapabilityDisabled
 	}
+	if err := s.acct.acquireStream(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.acctStreams++
 	id := s.nextStreamID
 	s.nextStreamID += 2
 	st := newStream(s, id, false)
@@ -155,6 +160,15 @@ func (s *Session) getOrCreateStream(id uint32, pc *pathConn) *Stream {
 		s.teardown(err)
 		return nil
 	}
+	if err := s.acct.acquireStream(); err != nil {
+		// The process-wide stream budget is gone: this session is within
+		// its own limits, but the server as a whole is not — end the
+		// session with the typed overload error rather than desync.
+		s.mu.Unlock()
+		s.teardown(err)
+		return nil
+	}
+	s.acctStreams++
 	st := newStream(s, id, true)
 	st.attached = pc
 	s.streams[id] = st

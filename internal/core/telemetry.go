@@ -25,6 +25,7 @@ type sessionCounters struct {
 	degraded     atomic.Uint64
 	replays      atomic.Uint64
 	capsDegraded atomic.Uint64
+	stalls       atomic.Uint64
 }
 
 // trace returns the session's tracer; nil (a valid disabled tracer)
@@ -61,6 +62,7 @@ func (s *Session) registerSessionMetrics() {
 	reg.Func(p+"paths_degraded", func() int64 { return int64(s.ctr.degraded.Load()) })
 	reg.Func(p+"replays", func() int64 { return int64(s.ctr.replays.Load()) })
 	reg.Func(p+"caps_degraded", func() int64 { return int64(s.ctr.capsDegraded.Load()) })
+	reg.Func(p+"stalls", func() int64 { return int64(s.ctr.stalls.Load()) })
 }
 
 // registerPathMetrics publishes one path's health gauges under

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// Stall watchdog: detects slow-drain peers. A peer that accepts a
+// connection and then stops reading pins the sender's replay buffer
+// (unacked chunks), its pooled receive segments and one parked write
+// path — per-session limits alone never free them, because the peer is
+// not violating any cap, just not draining. The watchdog runs on the
+// session clock and declares a stall when either
+//
+//   - a stream holds unacked data and the cumulative ack has made no
+//     progress for StallTimeout (write stall), or
+//   - a path's peer has advertised a zero receive window for
+//     StallTimeout while the session has data waiting (zero-window
+//     persist — read through the transport's cross-layer window when it
+//     exposes one).
+//
+// A stalled session is torn down with a typed *StallError, which
+// reclaims its buffers and releases its server-wide accounting. Paths
+// that stop answering health probes are handled separately by the
+// health monitor (ErrPathUnhealthy).
+
+// ErrPeerStalled is the sentinel for watchdog teardowns; match with
+// errors.Is. The concrete error is always a *StallError.
+var ErrPeerStalled = errors.New("tcpls: peer stalled")
+
+// StallError reports what the watchdog saw when it gave up on a peer.
+type StallError struct {
+	Kind   string // "write-stall" or "zero-window"
+	Stream uint32 // stalled stream (write stalls)
+	Path   uint32 // stalled path (zero-window stalls)
+}
+
+func (e *StallError) Error() string {
+	switch e.Kind {
+	case "zero-window":
+		return fmt.Sprintf("tcpls: peer stalled: zero window persisted on path %d", e.Path)
+	default:
+		return fmt.Sprintf("tcpls: peer stalled: no ack progress on stream %d", e.Stream)
+	}
+}
+
+// Is makes errors.Is(err, ErrPeerStalled) match any StallError.
+func (e *StallError) Is(target error) bool { return target == ErrPeerStalled }
+
+// peerWindower is the optional transport hook exposing the peer's
+// advertised receive window (tcpnet.Conn has it; kernel sockets don't).
+type peerWindower interface {
+	PeerWindow() int
+}
+
+// startStallWatchdog launches the watchdog loop once, if enabled.
+func (s *Session) startStallWatchdog() {
+	if s.cfg.StallTimeout <= 0 {
+		return
+	}
+	s.watchdogOnce.Do(func() { go s.watchdogLoop() })
+}
+
+// watchdogLoop sweeps the session every check interval. All durations
+// are virtual; wall-to-virtual conversion happens per sweep so the same
+// config works on real and emulated clocks.
+func (s *Session) watchdogLoop() {
+	timeout := s.cfg.StallTimeout
+	interval := s.cfg.StallCheckInterval
+	if interval <= 0 {
+		interval = timeout / 4
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	type ackMark struct {
+		acked uint64
+		since time.Time // wall clock; compared via virtualSince
+	}
+	progress := make(map[uint32]ackMark)  // stream id -> last ack movement
+	zeroSince := make(map[uint32]time.Time) // path id -> zero window first seen
+	for {
+		if !s.sleepCancelable(interval) {
+			return // session closed
+		}
+		now := time.Now()
+		states := s.StreamStates()
+		anyUnacked := false
+		for _, ss := range states {
+			if ss.Unacked > 0 {
+				anyUnacked = true
+				break
+			}
+		}
+		// Write stalls: unacked data whose cumulative ack is frozen.
+		// With acks disabled there is no progress signal to watch — the
+		// replay buffer legitimately never drains — so skip the check
+		// (the zero-window arm below still covers slow-drain peers).
+		if !s.cfg.DisableAcks && !s.PlainMode() {
+			for _, ss := range states {
+				if ss.Unacked == 0 {
+					delete(progress, ss.ID)
+					continue
+				}
+				m, ok := progress[ss.ID]
+				if !ok || ss.AckedTo > m.acked {
+					progress[ss.ID] = ackMark{acked: ss.AckedTo, since: now}
+					continue
+				}
+				if s.virtualSince(m.since) >= timeout {
+					s.stallTeardown(&StallError{Kind: "write-stall", Stream: ss.ID}, int64(ss.Unacked))
+					return
+				}
+			}
+		}
+		// Zero-window persist: the peer's advertised window has been
+		// closed for the whole timeout while we hold data for it.
+		live := make(map[uint32]bool)
+		for _, pc := range s.livePaths() {
+			live[pc.id] = true
+			pw, ok := pc.tcp.(peerWindower)
+			if !ok || !anyUnacked || pw.PeerWindow() > 0 {
+				delete(zeroSince, pc.id)
+				continue
+			}
+			first, seen := zeroSince[pc.id]
+			if !seen {
+				zeroSince[pc.id] = now
+				continue
+			}
+			if s.virtualSince(first) >= timeout {
+				s.stallTeardown(&StallError{Kind: "zero-window", Path: pc.id}, 0)
+				return
+			}
+		}
+		for id := range zeroSince {
+			if !live[id] {
+				delete(zeroSince, id)
+			}
+		}
+	}
+}
+
+// stallTeardown emits the stall event and ends the session; teardown
+// recycles every queued buffer and releases the server-wide accounting.
+func (s *Session) stallTeardown(err *StallError, unacked int64) {
+	s.ctr.stalls.Add(1)
+	s.trace().Emit(telemetry.Event{
+		Kind:   telemetry.EvStreamStall,
+		Stream: err.Stream,
+		Path:   err.Path,
+		A:      unacked,
+		S:      err.Kind,
+	})
+	s.teardown(err)
+}

@@ -1056,6 +1056,16 @@ func (c *Conn) Info() Info {
 	}
 }
 
+// PeerWindow returns the peer's currently advertised receive window.
+// Zero means the peer has closed its window (persist territory) — the
+// cross-layer signal the TCPLS stall watchdog reads to distinguish a
+// slow-drain peer from a merely slow network.
+func (c *Conn) PeerWindow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sndWnd
+}
+
 // CWndInfo returns (cwnd, bytesInFlight, mss) — the cross-layer
 // introspection TCPLS uses to size records to the congestion window
 // (§4.6 of the paper).

@@ -66,6 +66,11 @@ const (
 	EvSessionDegraded // A=capability bits, S=cause
 	EvPathRevalidate  // Path, A=probe seq, S=cause
 
+	// core overload resilience (admission control, shedding, watchdogs).
+	EvSessionShed // A=conn_id, S=class ("idle"/"degraded")
+	EvAdmission   // A=open(0/1), S=cause
+	EvStreamStall // Stream/Path, A=unacked bytes, S=kind
+
 	// netsim links.
 	EvLinkQueue     // S=link, A=queued bytes (new high-water mark)
 	EvLinkDropQueue // S=link, A=bytes
@@ -129,6 +134,9 @@ var kinds = [evMax]kindInfo{
 	EvHealthPong:        {name: "health:pong", a: "seq", b: "rtt_ns", c: "srtt_ns"},
 	EvSessionDegraded:   {name: "session:degraded", a: "capability", s: "cause"},
 	EvPathRevalidate:    {name: "path:revalidate", a: "seq", s: "cause"},
+	EvSessionShed:       {name: "session:shed", a: "conn_id", s: "class"},
+	EvAdmission:         {name: "server:admission", a: "open", s: "cause"},
+	EvStreamStall:       {name: "stream:stalled", a: "unacked", s: "kind"},
 	EvLinkQueue:         {name: "netsim:queue_high_water", a: "bytes", s: "link"},
 	EvLinkDropQueue:     {name: "netsim:drop_queue", a: "bytes", s: "link"},
 	EvLinkDropLoss:      {name: "netsim:drop_loss", a: "bytes", s: "link"},

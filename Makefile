@@ -57,13 +57,17 @@ adversary:
 	$(GO) test ./internal/chaos/ -race -run 'TestAdversarialPeer|TestSessionSurvivesForgedRSTSinglePath' -count=1 -v
 
 # Telemetry invariants: the tracer/metrics suite under the race
-# detector, then the disabled-tracer zero-allocation guarantee — the
-# testing.AllocsPerRun == 0 hard bound and its benchmark — without the
-# race detector, so allocation counts are exact.
+# detector, then the zero-allocation guarantees — disabled tracing,
+# Histogram.Observe, and the flight recorder's steady-state record path
+# all hold testing.AllocsPerRun == 0 — without the race detector, so
+# allocation counts are exact. The tracing-overhead benchmark triple
+# (off / 1-in-100 sampled / full fidelity) quantifies what turning the
+# firehose on costs relative to the always-on flight recorder.
 telemetry:
 	$(GO) test ./internal/telemetry/ -race -count=1
-	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracerZeroAlloc' -count=1 -v
+	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracerZeroAlloc|TestHistogramObserveZeroAlloc|TestFlightRecorderZeroAlloc' -count=1 -v
 	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkTracerNil' -benchtime 1000x
+	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTracingOverhead' -benchtime 1000x
 
 # Overload/churn gauntlet under the race detector: Poisson client churn
 # plus a demand spike past the session budget, asserting pre-TLS

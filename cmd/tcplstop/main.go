@@ -1,0 +1,206 @@
+// Command tcplstop is a live terminal view of a running TCPLS server's
+// metrics registry — top(1) for TCPLS sessions. It polls the JSON
+// snapshot the telemetry debug server exposes at /debug/metrics and
+// redraws a compact dashboard: liveness gauges, the admission gate,
+// latency histogram quantiles, and the busiest live sessions by bytes
+// moved.
+//
+//	tcplstop -url http://localhost:6060/debug/metrics
+//	tcplstop -file snapshot.json -n 1      # one-shot, offline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:6060/debug/metrics", "metrics JSON endpoint to poll")
+	file := flag.String("file", "", "read the snapshot from a JSON file instead of polling")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	iterations := flag.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	topK := flag.Int("top", 8, "live sessions to list, busiest first")
+	flag.Parse()
+
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		snap, err := fetch(*url, *file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcplstop: %v\n", err)
+			os.Exit(1)
+		}
+		loop := *iterations != 1
+		if loop {
+			fmt.Print("\x1b[2J\x1b[H") // clear and home between redraws
+		}
+		renderSnapshot(os.Stdout, snap, *topK)
+		if *iterations == 0 || i < *iterations-1 {
+			time.Sleep(*interval)
+		}
+	}
+}
+
+// fetch loads one registry snapshot, from the debug endpoint or a file.
+func fetch(url, file string) (map[string]any, error) {
+	var r io.ReadCloser
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	} else {
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		r = resp.Body
+	}
+	defer r.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// num reads a scalar metric; absent or non-numeric reads as 0.
+func num(snap map[string]any, name string) int64 {
+	v, _ := snap[name].(float64)
+	return int64(v)
+}
+
+// hist reads a histogram metric (the JSON object WriteJSON emits).
+func hist(snap map[string]any, name string) (map[string]any, bool) {
+	h, ok := snap[name].(map[string]any)
+	return h, ok
+}
+
+// renderSnapshot draws one dashboard frame. Pure function of the
+// snapshot so it is testable without a server.
+func renderSnapshot(w io.Writer, snap map[string]any, topK int) {
+	gate := "OPEN"
+	if num(snap, "server.admission_open") == 0 {
+		gate = "CLOSED"
+	}
+	fmt.Fprintf(w, "tcplstop  %s\n\n", time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "sessions  live=%d opened=%d closed=%d hwm=%d\n",
+		num(snap, "sessions.live"), num(snap, "sessions.opened"),
+		num(snap, "sessions.closed"), num(snap, "server.sessions_hwm"))
+	fmt.Fprintf(w, "server    paths=%d streams=%d handshakes=%d goroutines=%d bufpool=%s\n",
+		num(snap, "server.paths"), num(snap, "server.streams"),
+		num(snap, "server.handshakes_inflight"), num(snap, "server.goroutines"),
+		fmtBytes(num(snap, "server.bufpool_in_use_bytes")))
+	fmt.Fprintf(w, "admission gate=%s admitted=%d rejected_pre_tls=%d shed_idle=%d shed_degraded=%d\n\n",
+		gate, num(snap, "server.admitted"), num(snap, "server.rejected_pre_tls"),
+		num(snap, "server.shed_idle"), num(snap, "server.shed_degraded"))
+
+	// Latency histograms: anything the snapshot serialized as an object
+	// with quantiles (histograms are the only object-valued vars).
+	var histNames []string
+	for name, v := range snap {
+		if h, ok := v.(map[string]any); ok {
+			if _, ok := h["count"]; ok {
+				histNames = append(histNames, name)
+			}
+		}
+	}
+	if len(histNames) > 0 {
+		sort.Strings(histNames)
+		fmt.Fprintf(w, "%-34s %10s %10s %10s %10s %10s\n",
+			"latency", "count", "p50", "p90", "p99", "max")
+		for _, name := range histNames {
+			h, _ := hist(snap, name)
+			cnt := int64(h["count"].(float64))
+			if cnt == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-34s %10d %10s %10s %10s %10s\n", name, cnt,
+				fmtNs(h["p50"]), fmtNs(h["p90"]), fmtNs(h["p99"]), fmtNs(h["max"]))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Busiest live sessions: session.<n>.* vars exist only while the
+	// session is open, so ranking them by bytes moved is a live top-K.
+	type sess struct {
+		id    string
+		bytes int64
+	}
+	totals := make(map[string]*sess)
+	for name := range snap {
+		if !strings.HasPrefix(name, "session.") {
+			continue
+		}
+		parts := strings.SplitN(name, ".", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		s := totals[parts[1]]
+		if s == nil {
+			s = &sess{id: parts[1]}
+			totals[parts[1]] = s
+		}
+		if parts[2] == "bytes_sent" || parts[2] == "bytes_rcvd" {
+			s.bytes += num(snap, name)
+		}
+	}
+	if len(totals) == 0 {
+		fmt.Fprintln(w, "no live sessions")
+		return
+	}
+	ranked := make([]*sess, 0, len(totals))
+	for _, s := range totals {
+		ranked = append(ranked, s)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].bytes != ranked[j].bytes {
+			return ranked[i].bytes > ranked[j].bytes
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
+	}
+	fmt.Fprintf(w, "%-10s %10s %10s %8s %8s %10s %10s\n",
+		"session", "bytes", "conns", "streams", "replays", "failovers", "stalls")
+	for _, s := range ranked {
+		p := "session." + s.id + "."
+		fmt.Fprintf(w, "%-10s %10s %10d %8d %8d %10d %10d\n",
+			s.id, fmtBytes(s.bytes), num(snap, p+"conns"), num(snap, p+"streams"),
+			num(snap, p+"replays"), num(snap, p+"failovers"), num(snap, p+"stalls"))
+	}
+}
+
+// fmtNs renders a nanosecond quantile human-readably.
+func fmtNs(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return "-"
+	}
+	return time.Duration(int64(f)).Round(time.Microsecond).String()
+}
+
+// fmtBytes renders a byte count human-readably.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// snapshotJSON builds a registry, serializes it the way the debug
+// endpoint does, and decodes it back — the exact shape tcplstop sees.
+func snapshotJSON(t *testing.T) map[string]any {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Gauge("sessions.live").Add(3)
+	reg.Counter("sessions.opened").Add(40)
+	reg.Counter("sessions.closed").Add(37)
+	reg.Func("server.sessions_hwm", func() int64 { return 16 })
+	reg.Func("server.paths", func() int64 { return 5 })
+	reg.Func("server.streams", func() int64 { return 9 })
+	reg.Func("server.admission_open", func() int64 { return 0 })
+	reg.Func("server.admitted", func() int64 { return 38 })
+	reg.Func("server.rejected_pre_tls", func() int64 { return 12 })
+	h := reg.Histogram("sessions.handshake_ns.server")
+	for _, v := range []int64{int64(2 * time.Millisecond), int64(3 * time.Millisecond), int64(40 * time.Millisecond)} {
+		h.Observe(v)
+	}
+	reg.Histogram("sessions.ttfb_ns") // registered but empty: must be skipped
+	reg.Func("session.7.bytes_sent", func() int64 { return 1 << 20 })
+	reg.Func("session.7.bytes_rcvd", func() int64 { return 1 << 10 })
+	reg.Func("session.7.conns", func() int64 { return 2 })
+	reg.Func("session.9.bytes_sent", func() int64 { return 128 })
+	reg.Func("session.9.conns", func() int64 { return 1 })
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestRenderSnapshot: the dashboard carries the gauges, the closed
+// admission gate, populated histogram quantiles (empty ones skipped),
+// and the live sessions ranked busiest-first.
+func TestRenderSnapshot(t *testing.T) {
+	var out bytes.Buffer
+	renderSnapshot(&out, snapshotJSON(t), 8)
+	got := out.String()
+
+	for _, want := range []string{
+		"live=3", "opened=40", "closed=37", "hwm=16",
+		"paths=5", "streams=9",
+		"gate=CLOSED", "admitted=38", "rejected_pre_tls=12",
+		"sessions.handshake_ns.server",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "sessions.ttfb_ns") {
+		t.Fatalf("empty histogram rendered:\n%s", got)
+	}
+	// Session 7 moved ~1 MiB, session 9 moved 128 B: 7 ranks first.
+	i7 := strings.Index(got, "\n7 ")
+	i9 := strings.Index(got, "\n9 ")
+	if i7 < 0 || i9 < 0 || i7 > i9 {
+		t.Fatalf("sessions not ranked busiest-first (7 at %d, 9 at %d):\n%s", i7, i9, got)
+	}
+}
+
+// TestRenderSnapshotTopK: the session table is truncated to -top.
+func TestRenderSnapshotTopK(t *testing.T) {
+	var out bytes.Buffer
+	renderSnapshot(&out, snapshotJSON(t), 1)
+	got := out.String()
+	if !strings.Contains(got, "\n7 ") {
+		t.Fatalf("busiest session missing from top-1 view:\n%s", got)
+	}
+	if strings.Contains(got, "\n9 ") {
+		t.Fatalf("top-1 view still lists session 9:\n%s", got)
+	}
+}
+
+// TestRenderSnapshotNoSessions: a drained server renders a quiet
+// footer, not an empty table.
+func TestRenderSnapshotNoSessions(t *testing.T) {
+	var out bytes.Buffer
+	renderSnapshot(&out, map[string]any{"server.admission_open": float64(1)}, 8)
+	got := out.String()
+	if !strings.Contains(got, "gate=OPEN") || !strings.Contains(got, "no live sessions") {
+		t.Fatalf("drained render wrong:\n%s", got)
+	}
+}
+
+// TestFetchHTTP: fetch decodes the debug endpoint's JSON over HTTP and
+// surfaces non-200s as errors.
+func TestFetchHTTP(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("sessions.live").Add(1)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	snap, err := fetch(srv.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num(snap, "sessions.live") != 1 {
+		t.Fatalf("fetched snapshot wrong: %v", snap)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	if _, err := fetch(bad.URL, ""); err == nil {
+		t.Fatal("non-200 fetch did not error")
+	}
+}

@@ -7,14 +7,18 @@
 //	                    # lines
 //	tcplstrace goodput  # bin a JSONL trace into a goodput/cwnd timeline
 //	                    # CSV — the data behind the paper's Figure 4 plot
+//	tcplstrace qlog     # convert a JSONL trace into a qlog JSON document
+//	                    # (one trace per endpoint) for qlog tooling
 //
 // A typical reproduction of Figure 4:
 //
 //	tcplstrace run -o fig4.jsonl
 //	tcplstrace goodput -bin 20ms fig4.jsonl > fig4.csv
+//	tcplstrace qlog -check fig4.jsonl > fig4.qlog.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -39,6 +43,8 @@ func main() {
 		err = cmdPretty(os.Args[2:])
 	case "goodput":
 		err = cmdGoodput(os.Args[2:])
+	case "qlog":
+		err = cmdQlog(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,6 +64,10 @@ func usage() {
   tcplstrace goodput [-bin DUR] [-recv EP] [-send EP] [FILE]
       bin a JSONL trace (default stdin) into CSV:
       t_ms,bytes,goodput_mbps,cwnd_bytes,markers
+  tcplstrace qlog [-check] [-title STR] [-o FILE] [FILE]
+      convert a JSONL trace (default stdin) into a qlog JSON document,
+      one trace per endpoint; -check runs the schema validator on the
+      output before writing it
 `)
 	os.Exit(2)
 }
@@ -162,6 +172,10 @@ func cmdPretty(args []string) error {
 			}
 			return err
 		}
+		if special, ok := prettySpecial(ln); ok {
+			fmt.Fprintf(w, "%12.3fms %-7s %s\n", float64(ln.Time)/1e6, ln.EP, special)
+			continue
+		}
 		fmt.Fprintf(w, "%12.3fms %-7s %-24s", float64(ln.Time)/1e6, ln.EP, ln.Name)
 		if ln.Path != 0 {
 			fmt.Fprintf(w, " path=%d", ln.Path)
@@ -186,6 +200,92 @@ func cmdPretty(args []string) error {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// prettySpecial gives the anomaly events — degradations, sheds,
+// revalidations, stalls, admission flips — a dedicated rendering that
+// reads as an incident line instead of a generic key=value dump.
+func prettySpecial(ln traceLine) (string, bool) {
+	num := func(k string) int64 {
+		v, _ := ln.Data[k].(float64)
+		return int64(v)
+	}
+	str := func(k string) string {
+		v, _ := ln.Data[k].(string)
+		return v
+	}
+	switch ln.Name {
+	case "session:degraded":
+		return fmt.Sprintf("** DEGRADED  caps=%#x cause=%q", num("capability"), str("cause")), true
+	case "session:shed":
+		return fmt.Sprintf("** SHED      conn=%08x class=%s", num("conn_id"), str("class")), true
+	case "path:revalidate":
+		return fmt.Sprintf("?? REVALIDATE path=%d probe=%d cause=%q", ln.Path, num("seq"), str("cause")), true
+	case "stream:stalled":
+		where := fmt.Sprintf("stream=%d", ln.Stream)
+		if str("kind") == "zero-window" {
+			where = fmt.Sprintf("path=%d", ln.Path)
+		}
+		return fmt.Sprintf("** STALL     %s kind=%s unacked=%d", where, str("kind"), num("unacked")), true
+	case "server:admission":
+		gate := "CLOSED"
+		if num("open") == 1 {
+			gate = "reopened"
+		}
+		return fmt.Sprintf("!! ADMISSION gate %s cause=%q", gate, str("cause")), true
+	case "path:degraded":
+		return fmt.Sprintf("** PATH DOWN path=%d unanswered_probes=%d", ln.Path, num("outstanding")), true
+	}
+	return "", false
+}
+
+// cmdQlog converts a JSONL trace into one qlog JSON document.
+func cmdQlog(args []string) error {
+	check := false
+	rest := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "-check" || a == "--check" {
+			check = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	out, title := "", "tcpls trace"
+	pos, err := parseArgs(rest, map[string]*string{"o": &out, "title": &title})
+	if err != nil {
+		return err
+	}
+	r, err := openInput(pos)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	events, err := telemetry.ParseJSONL(r)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteQlog(&buf, events, title); err != nil {
+		return err
+	}
+	if check {
+		traces, n, err := telemetry.ValidateQlog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("schema check failed: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "qlog: %d traces, %d events, schema ok\n", traces, n)
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
 }
 
 func cmdGoodput(args []string) error {

@@ -142,4 +142,56 @@ func TestFig4FailoverTrace(t *testing.T) {
 		t.Fatalf("counters diverge after round trip: %d/%d/%d vs %d/%d/%d",
 			d2, j2, f2, res.Degraded, res.Joins, res.ReadLoopFailovers)
 	}
+
+	// 6. The latency histograms captured the run: handshake phases on
+	// both roles plus the JOIN, time-to-first-byte, TCP connects, and —
+	// this being the failover experiment — a non-empty blackout window
+	// (last byte before the cut to first byte after recovery). All are
+	// virtual-time nanoseconds, so bounds are deterministic modulo the
+	// emulated link parameters: nothing in this run can legitimately
+	// take longer than the whole (virtual) experiment.
+	maxSane := int64(30 * time.Second)
+	for _, name := range []string{
+		"sessions.handshake_ns.client",
+		"sessions.handshake_ns.server",
+		"sessions.handshake_ns.join",
+		"sessions.connect_ns",
+		"sessions.tls_handshake_ns",
+		"sessions.tcpls_ready_ns",
+		"sessions.ttfb_ns",
+		"sessions.failover_blackout_ns",
+		"tcp.client.connect_ns",
+	} {
+		h := metricsHist(t, res.Metrics, name)
+		if h.Count < 1 {
+			t.Fatalf("%s never observed (replay: %s)", name, res.Replay())
+		}
+		if h.Min < 0 || h.Max <= 0 || h.Max > maxSane {
+			t.Fatalf("%s out of sane bounds: min=%d max=%d (replay: %s)", name, h.Min, h.Max, res.Replay())
+		}
+	}
+	if h := metricsHist(t, res.Metrics, "sessions.handshake_ns.join"); h.Count < 1 {
+		t.Fatalf("JOIN handshake latency missing despite joins=%d", res.Joins)
+	}
+	// The blackout is bounded below too: the health monitor needs
+	// several unanswered probe intervals before it degrades the path,
+	// so a sub-probe-interval blackout would mean the window is wrong.
+	if h := metricsHist(t, res.Metrics, "sessions.failover_blackout_ns"); h.Max < int64(time.Millisecond) {
+		t.Fatalf("failover blackout %dns implausibly short (replay: %s)", h.Max, res.Replay())
+	}
+}
+
+// metricsHist extracts a histogram snapshot from a Result.Metrics map,
+// failing the test when the name is absent or not a histogram.
+func metricsHist(t *testing.T, m map[string]any, name string) telemetry.HistogramSnapshot {
+	t.Helper()
+	v, ok := m[name]
+	if !ok {
+		t.Fatalf("metric %q not in snapshot", name)
+	}
+	h, ok := v.(telemetry.HistogramSnapshot)
+	if !ok {
+		t.Fatalf("metric %q is %T, not a histogram", name, v)
+	}
+	return h
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,6 +176,9 @@ type OverloadResult struct {
 	VirtualElapsed    time.Duration
 	Trace             []telemetry.Event
 	Metrics           map[string]any
+	// FlightDumps are the flight-recorder artifacts published by
+	// anomalously ended server sessions (sheds, stalls) during the run.
+	FlightDumps []core.SessionDump
 }
 
 // digest is one fully-drained server-side stream: length and FNV-64a.
@@ -234,6 +238,11 @@ func RunOverload(sc OverloadScenario) (*OverloadResult, error) {
 		Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond,
 		MaxAttempts: 2, DialTimeout: 300 * time.Millisecond,
 	}
+	// Every anomalous session end (shed, stall, overload abort) dumps
+	// its flight recorder here; the gauntlet asserts the black boxes
+	// actually fired and their contents parse.
+	var dumpMu sync.Mutex
+	var flightDumps []core.SessionDump
 	srvCfg := &core.Config{
 		TLS:          &tls13.Config{Certificate: serverCert()},
 		Clock:        n,
@@ -243,6 +252,13 @@ func RunOverload(sc OverloadScenario) (*OverloadResult, error) {
 		RetrySeed:    sc.Seed,
 		Tracer:       srvTracer,
 		Metrics:      reg,
+		Callbacks: core.Callbacks{
+			FlightDump: func(d core.SessionDump) {
+				dumpMu.Lock()
+				flightDumps = append(flightDumps, d)
+				dumpMu.Unlock()
+			},
+		},
 	}
 	lst := core.NewListener(tl, srvCfg)
 
@@ -360,7 +376,7 @@ func RunOverload(sc OverloadScenario) (*OverloadResult, error) {
 	elephantStop := make(chan struct{})
 	elephants := make([]*elephant, sc.Elephants)
 	for i := range elephants {
-		el := &elephant{sess: newClient(sc.Seed + int64(i) + 100, mkTracer("client")), done: make(chan struct{})}
+		el := &elephant{sess: newClient(sc.Seed+int64(i)+100, mkTracer("client")), done: make(chan struct{})}
 		if err := dial(el.sess); err != nil {
 			return fail("elephant %d handshake: %v", i, err)
 		}
@@ -654,6 +670,31 @@ func RunOverload(sc OverloadScenario) (*OverloadResult, error) {
 	if b := bufpool.InUseBytes(); b > baseBuffered+sc.BufferedSlack {
 		return fail("pooled buffers did not return to baseline: %d in use, started at %d (slack %d)",
 			b, baseBuffered, sc.BufferedSlack)
+	}
+
+	// Invariant 5 — bounded metric cardinality: every session.<n>.* var
+	// dies with its session, so after a full drain the registry holds
+	// only the durable aggregates (sessions.*, server.*, tcp.*, link
+	// vars). A leak here is unbounded registry growth at C50K.
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, "session.") {
+			return fail("per-session metric %q leaked past teardown", name)
+		}
+	}
+
+	// Invariant 6 — the flight recorders fired: every shed is an
+	// anomalous teardown, so at least one black box must have been
+	// published, carrying the events that led to the eviction.
+	dumpMu.Lock()
+	res.FlightDumps = append([]core.SessionDump(nil), flightDumps...)
+	dumpMu.Unlock()
+	if len(res.FlightDumps) == 0 {
+		return fail("no flight-recorder dump despite %d sheds", len(res.ShedClasses))
+	}
+	for _, d := range res.FlightDumps {
+		if len(d.Events) == 0 {
+			return fail("flight dump for session %d (%q) is empty", d.Seq, d.Reason)
+		}
 	}
 
 	res.Stats = st

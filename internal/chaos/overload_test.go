@@ -1,8 +1,11 @@
 package chaos
 
 import (
+	"bytes"
 	"testing"
 	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 )
 
 // TestOverloadGauntlet: the full churn/overload storm against a small
@@ -22,6 +25,49 @@ func TestOverloadGauntlet(t *testing.T) {
 		res.PeakGoroutines, res.PeakBufferedBytes, res.VirtualElapsed)
 	if res.Stats.SessionsHWM == 0 || res.ElephantBytes == 0 {
 		t.Fatalf("degenerate run: %+v", res.Stats)
+	}
+
+	// The server-side latency histograms saw the storm: every admitted
+	// session fed the handshake histogram, and the admission/shed
+	// machinery recorded its own decision cost (wall-clock ns — these
+	// measure CPU work, not emulated network time).
+	if h := metricsHist(t, res.Metrics, "sessions.handshake_ns.server"); h.Count < 1 || h.Max <= 0 {
+		t.Fatalf("server handshake histogram empty: %+v", h)
+	}
+	if h := metricsHist(t, res.Metrics, "server.admit_ns"); h.Count < uint64(res.ChurnAdmitted) {
+		t.Fatalf("admit_ns count %d below admitted sessions %d", h.Count, res.ChurnAdmitted)
+	}
+	if h := metricsHist(t, res.Metrics, "server.shed_pass_ns"); h.Count < 1 {
+		t.Fatalf("shed_pass_ns never observed despite sheds %v", res.ShedClasses)
+	}
+
+	// At least one flight-recorder dump was published (sheds guarantee
+	// anomalous teardowns), carries the shed event that killed the
+	// session, and survives the JSONL round trip.
+	if len(res.FlightDumps) == 0 {
+		t.Fatal("no flight dumps captured")
+	}
+	sawShed := false
+	for _, d := range res.FlightDumps {
+		var buf bytes.Buffer
+		if err := d.WriteJSONL(&buf); err != nil {
+			t.Fatalf("dump for session %d does not serialize: %v", d.Seq, err)
+		}
+		events, err := telemetry.ParseJSONL(&buf)
+		if err != nil {
+			t.Fatalf("dump for session %d does not parse: %v", d.Seq, err)
+		}
+		if len(events) != len(d.Events) {
+			t.Fatalf("dump round trip lost events: %d -> %d", len(d.Events), len(events))
+		}
+		for _, ev := range events {
+			if ev.Kind == telemetry.EvSessionShed {
+				sawShed = true
+			}
+		}
+	}
+	if !sawShed {
+		t.Fatalf("no session:shed event inside any of %d flight dumps", len(res.FlightDumps))
 	}
 }
 

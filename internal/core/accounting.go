@@ -155,6 +155,12 @@ type Accounting struct {
 
 	tracer atomic.Pointer[telemetry.Tracer]
 
+	// Decision-latency histograms (set by RegisterMetrics; nil = off).
+	// Deliberately wall-clock nanoseconds, not virtual time: they measure
+	// the CPU cost of the admission/shedding machinery itself.
+	admitHist atomic.Pointer[telemetry.Histogram] // server.admit_ns
+	shedHist  atomic.Pointer[telemetry.Histogram] // server.shed_pass_ns
+
 	mu      sync.Mutex
 	members map[*Session]struct{} // admitted sessions (shedding candidates)
 }
@@ -208,6 +214,10 @@ func (a *Accounting) lowWater() int64 {
 func (a *Accounting) admitConn() error {
 	if a == nil {
 		return nil
+	}
+	if h := a.admitHist.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Nanoseconds()) }()
 	}
 	a.connsSeen.Add(1)
 	if a.gateClosed.Load() {
@@ -390,6 +400,10 @@ func (a *Accounting) requestShed() {
 // degraded/plain-TLS fallback sessions (already running at reduced
 // capability), and never a healthy session with data in flight.
 func (a *Accounting) shedPass() {
+	if h := a.shedHist.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	a.mu.Lock()
 	members := make([]*Session, 0, len(a.members))
 	for s := range a.members {
@@ -486,11 +500,19 @@ func (a *Accounting) shed(s *Session) {
 	case shedDegraded:
 		a.shedDegraded.Add(1)
 	}
-	a.trace().Emit(telemetry.Event{
+	// The shed event goes to the accounting's tracer (the listener's)
+	// and, stamped identically, into the victim's flight recorder so the
+	// teardown dump below carries the reason it died.
+	ev := telemetry.Event{
 		Kind: telemetry.EvSessionShed,
 		A:    int64(s.ConnID()),
 		S:    class.String(),
-	})
+	}
+	tr := a.trace()
+	ev.Time = tr.Now()
+	ev.EP = tr.Endpoint()
+	s.flight.Record(ev)
+	tr.Emit(ev)
 	s.teardown(&OverloadError{Resource: "shed:" + class.String(), Limit: int64(a.budgets.MaxSessions)})
 }
 
@@ -563,4 +585,6 @@ func (a *Accounting) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Func("server.goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
 	reg.Func("server.bufpool_in_use_bytes", bufpool.InUseBytes)
+	a.admitHist.Store(reg.Histogram("server.admit_ns"))
+	a.shedHist.Store(reg.Histogram("server.shed_pass_ns"))
 }

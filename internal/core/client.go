@@ -43,10 +43,14 @@ func (s *Session) Connect(laddr netip.Addr, raddr netip.AddrPort, timeout time.D
 	pending := s.pendingTCP != nil
 	s.mu.Unlock()
 
+	dialStart := time.Now()
 	tcp, err := s.dialer.Dial(laddr, raddr, timeout)
 	if err != nil {
 		return 0, err
 	}
+	// TCP-connect phase, split from the TLS/TCPLS phases so handshake
+	// regressions separate transport latency from crypto latency.
+	s.observePhase("connect_ns", dialStart)
 	s.mu.Lock()
 	s.lastRemote = raddr
 	s.mu.Unlock()
@@ -140,6 +144,7 @@ func (s *Session) ConnectHappyEyeballs(raddrs []netip.AddrPort, stagger time.Dur
 // any advertised addresses (Figure 2). Queued extra connections then
 // JOIN automatically.
 func (s *Session) Handshake() error {
+	hsStart := time.Now()
 	s.mu.Lock()
 	tcp := s.pendingTCP
 	s.pendingTCP = nil
@@ -170,6 +175,8 @@ func (s *Session) Handshake() error {
 		return err
 	}
 	tcp.SetDeadline(time.Time{})
+	s.observePhase("tls_handshake_ns", hsStart)
+	tlsDone := time.Now()
 	st := tc.ConnectionState()
 	if st.PeerTCPLS == nil {
 		if s.cfg.AllowDegraded {
@@ -203,7 +210,7 @@ func (s *Session) Handshake() error {
 	s.multipath = s.cfg.Multipath && srv.Multipath
 	s.mu.Unlock()
 
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvSessionStart,
 		A:    int64(srv.ConnID),
 		S:    "client",
@@ -212,6 +219,10 @@ func (s *Session) Handshake() error {
 	if err := s.registerPath(pc); err != nil {
 		return err
 	}
+	// The session is TCPLS-ready: extension decoded, join key derived,
+	// path registered with its read loop running.
+	s.observePhase("tcpls_ready_ns", tlsDone)
+	s.observePhase("handshake_ns.client", hsStart)
 	for _, a := range srv.Addresses {
 		if cb := s.cfg.Callbacks.AddressAdvertised; cb != nil {
 			cb(netip.AddrPortFrom(a.Addr, a.Port), a.Primary)
@@ -239,6 +250,7 @@ func (s *Session) Handshake() error {
 // join runs a JOIN handshake (Figure 2) on an established TCP
 // connection and registers the new path.
 func (s *Session) join(tcp net.Conn) (*pathConn, error) {
+	joinStart := time.Now()
 	// Check the path budget before burning a cookie: the server would
 	// reject the JOIN anyway once we are at the limit.
 	if s.NumConns() >= s.limits.MaxPaths {
@@ -306,6 +318,7 @@ func (s *Session) join(tcp net.Conn) (*pathConn, error) {
 	if err := s.registerPath(pc); err != nil {
 		return nil, err
 	}
+	s.observePhase("handshake_ns.join", joinStart)
 	s.noteJoinSuccess()
 	return pc, nil
 }

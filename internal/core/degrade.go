@@ -113,7 +113,7 @@ func (s *Session) disableCapability(c Capability, cause string) {
 	now := s.disabledCaps
 	s.mu.Unlock()
 	s.ctr.capsDegraded.Add(1)
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvSessionDegraded,
 		A:    int64(now),
 		S:    fmt.Sprintf("%s: %s", fresh, cause),
@@ -121,6 +121,9 @@ func (s *Session) disableCapability(c Capability, cause string) {
 	if cb := s.cfg.Callbacks.SessionDegraded; cb != nil {
 		cb(now, cause)
 	}
+	// Degradation is an anomaly worth a flight-recorder artifact even
+	// though the session keeps running.
+	s.flightDump("degraded: " + cause)
 }
 
 // noteJoinFailure counts consecutive JOIN failures. Interference that
@@ -191,7 +194,7 @@ func (s *Session) fallbackPlainHandshake(cause string) error {
 		return fmt.Errorf("tcpls: plain fallback handshake: %w", err)
 	}
 	tcp.SetDeadline(time.Time{})
-	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "client-degraded"})
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "client-degraded"})
 	return s.adoptPlain(tcp, tc, cause)
 }
 
@@ -221,7 +224,7 @@ func (pc *pathConn) writePlainChunk(c *record.StreamChunk) error {
 	s.ctr.recordsSent.Add(1)
 	s.ctr.bytesSent.Add(uint64(len(c.Data)))
 	s.touch()
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind:   telemetry.EvRecordSent,
 		Path:   pc.id,
 		Stream: c.StreamID,
@@ -309,7 +312,7 @@ func (s *Session) revalidatePath(pc *pathConn, cause string) {
 	}
 	seq := s.probeSeq.Add(1)
 	pc.health.noteSent(seq, time.Now())
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvPathRevalidate,
 		Path: pc.id,
 		A:    int64(seq),

@@ -41,11 +41,15 @@ func (s *Session) connFailed(pc *pathConn, err error, orderly bool) {
 
 	if !orderly {
 		s.ctr.failovers.Add(1)
+		// Open the blackout window: it closes (and feeds the
+		// sessions.failover_blackout_ns histogram) at the first data
+		// record sent or received after this loss.
+		s.noteBlackoutStart()
 		survivor := int64(0)
 		if next := s.primaryPath(); next != nil {
 			survivor = int64(next.id)
 		}
-		s.trace().Emit(telemetry.Event{
+		s.emit(telemetry.Event{
 			Kind: telemetry.EvPathFailover,
 			Path: pc.id,
 			A:    survivor,

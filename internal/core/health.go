@@ -134,7 +134,7 @@ func (s *Session) healthLoop() {
 			}
 			seq := s.probeSeq.Add(1)
 			pc.health.noteSent(seq, time.Now())
-			s.trace().Emit(telemetry.Event{
+			s.emit(telemetry.Event{
 				Kind: telemetry.EvHealthPing,
 				Path: pc.id,
 				A:    int64(seq),
@@ -155,7 +155,7 @@ func (s *Session) degradePath(pc *pathConn) {
 		return
 	}
 	s.ctr.degraded.Add(1)
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvPathDegraded,
 		Path: pc.id,
 		A:    int64(pc.health.outstandingCount()),
@@ -177,7 +177,7 @@ func (pc *pathConn) handlePong(seq uint32) {
 	pc.health.mu.Lock()
 	srtt := pc.health.srtt
 	pc.health.mu.Unlock()
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvHealthPong,
 		Path: pc.id,
 		A:    int64(seq),
@@ -189,10 +189,7 @@ func (pc *pathConn) handlePong(seq uint32) {
 // virtualSince converts a wall-clock elapsed time into virtual time when
 // the session clock knows the emulation scale (netsim.Network does).
 func (s *Session) virtualSince(t time.Time) time.Duration {
-	if v, ok := s.cfg.Clock.(interface{ VirtualSince(time.Time) time.Duration }); ok {
-		return v.VirtualSince(t)
-	}
-	return time.Since(t)
+	return virtualSinceClock(s.cfg.Clock, t)
 }
 
 // scaleToVirtual converts a wall-clock duration into virtual time.

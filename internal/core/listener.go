@@ -167,6 +167,7 @@ type handshakeResult struct {
 }
 
 func (l *Listener) handleConn(conn net.Conn) {
+	hsStart := time.Now()
 	acct := l.cfg.Accounting
 	// Overload admission before any TLS work: a rejected connection
 	// costs the server a few atomic loads and the client a closed TCP
@@ -202,6 +203,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 		return
 	}
 	conn.SetDeadline(time.Time{})
+	observeLatency(l.cfg.Metrics, l.cfg.Clock, "sessions.tls_handshake_ns", hsStart)
 	if res.hello == nil || res.reply == nil {
 		// Plain TLS client (no TCPLS extension). When degraded operation
 		// is allowed, serve it anyway as a single-path plain session —
@@ -223,6 +225,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 		if err := s.registerPath(pc); err != nil {
 			return // registerPath closed the path
 		}
+		s.observePhase("handshake_ns.join", hsStart)
 		if cb := s.cfg.Callbacks.Join; cb != nil {
 			cb(pc.id, conn.RemoteAddr())
 		}
@@ -269,7 +272,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 		s.teardown(ErrSessionClosed)
 		return
 	}
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvSessionStart,
 		A:    int64(s.connID),
 		S:    "server",
@@ -279,6 +282,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 		s.teardown(err)
 		return
 	}
+	s.observePhase("handshake_ns.server", hsStart)
 	select {
 	case l.accepts <- s:
 	default:
@@ -303,7 +307,7 @@ func (l *Listener) acceptPlain(conn net.Conn, tc *tls13.Conn) {
 		s.teardown(err)
 		return
 	}
-	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server-degraded"})
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server-degraded"})
 	if err := s.adoptPlain(conn, tc, "peer spoke plain TLS"); err != nil {
 		s.teardown(err)
 		return

@@ -97,7 +97,7 @@ func (pc *pathConn) close(err error) {
 		failed = 1
 		reason = err.Error()
 	}
-	pc.session.trace().Emit(telemetry.Event{
+	pc.session.emit(telemetry.Event{
 		Kind: telemetry.EvPathClose,
 		Path: pc.id,
 		A:    failed,
@@ -147,9 +147,9 @@ func (pc *pathConn) writeControl(frames ...record.Frame) error {
 	}
 	s := pc.session
 	s.ctr.ctrlSent.Add(uint64(len(frames)))
-	if s.trace().Enabled() {
+	if s.tracing() {
 		for _, f := range frames {
-			s.trace().Emit(telemetry.Event{
+			s.emit(telemetry.Event{
 				Kind: telemetry.EvCtrlSent,
 				Path: pc.id,
 				S:    record.Type(f).String(),
@@ -186,11 +186,12 @@ func (pc *pathConn) writeChunk(c *record.StreamChunk) error {
 	s.ctr.recordsSent.Add(1)
 	s.ctr.bytesSent.Add(uint64(len(c.Data)))
 	s.touch()
+	s.noteBlackoutEnd()
 	fin := int64(0)
 	if c.Fin {
 		fin = 1
 	}
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind:   telemetry.EvRecordSent,
 		Path:   pc.id,
 		Stream: c.StreamID,
@@ -308,11 +309,12 @@ func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk, owner [
 	s.ctr.recordsRcvd.Add(1)
 	s.ctr.bytesRcvd.Add(uint64(len(chunk.Data)))
 	s.touch()
+	s.noteBlackoutEnd()
 	fin := int64(0)
 	if chunk.Fin {
 		fin = 1
 	}
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind:   telemetry.EvRecordRecv,
 		Path:   pc.id,
 		Stream: chunk.StreamID,
@@ -330,7 +332,7 @@ func (s *Session) dispatchChunk(pc *pathConn, chunk *record.StreamChunk, owner [
 
 func (s *Session) dispatchFrame(pc *pathConn, f record.Frame) {
 	s.ctr.ctrlRcvd.Add(1)
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvCtrlRecv,
 		Path: pc.id,
 		S:    record.Type(f).String(),

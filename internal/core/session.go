@@ -120,6 +120,10 @@ type Callbacks struct {
 	SessionDegraded func(caps Capability, cause string)
 	// SessionClosed fires once, when the session terminates.
 	SessionClosed func(err error)
+	// FlightDump fires when an anomaly (stall, shed, degradation, abort)
+	// dumps the session's flight recorder. The dump is a snapshot; the
+	// callback may retain it.
+	FlightDump func(dump SessionDump)
 }
 
 // Config configures a TCPLS session endpoint.
@@ -206,6 +210,21 @@ type Config struct {
 	// StallCheckInterval is the watchdog sweep interval (default
 	// StallTimeout/4).
 	StallCheckInterval time.Duration
+	// TraceSampleRate, when > 1, forwards full-fidelity trace events to
+	// Tracer for only one session in N (chosen deterministically by the
+	// process-wide session sequence number); the per-session flight
+	// recorder still records every session. 0 or 1 traces every session.
+	TraceSampleRate int
+	// FlightRecorderSize is the per-session flight-recorder capacity in
+	// events (0 = default 256; negative disables the recorder). The
+	// recorder keeps the session's last N events at zero steady-state
+	// allocation and dumps them on anomalies (stalls, sheds,
+	// degradations, aborts) via Callbacks.FlightDump / FlightDumpDir.
+	FlightRecorderSize int
+	// FlightDumpDir, when set, receives one JSONL artifact per anomaly
+	// dump (flight-s<seq>-<connid>.jsonl) alongside the FlightDump
+	// callback.
+	FlightDumpDir string
 	// onTeardown is the listener's teardown hook (session-table removal
 	// and conn-id release); set by sessionConfig, never by callers.
 	onTeardown func(*Session)
@@ -283,6 +302,12 @@ type Session struct {
 	acctStreams  int          // global stream slots held (s.mu)
 	lastActive   atomic.Int64 // wall nanos of the last data record sent/received
 
+	// latency instrumentation and flight recorder
+	flight        *telemetry.FlightRecorder // last-N event ring (all sessions)
+	traceSampled  bool                      // selected for full-fidelity tracing
+	startWall     time.Time                 // construction time (flight clock fallback)
+	blackoutStart atomic.Int64              // wall nanos of last data before an unplanned path loss
+
 	// graceful degradation state (middlebox interference)
 	disabledCaps Capability // capabilities shed so far
 	plainMode    bool       // fell back to plain TLS (no TCPLS framing)
@@ -310,13 +335,22 @@ func newSession(role Role, cfg *Config, dialer Dialer) *Session {
 		jitter:        newJitterRNG(cfg.RetrySeed),
 		acct:          cfg.Accounting,
 	}
-	s.lastActive.Store(time.Now().UnixNano())
+	s.startWall = time.Now()
+	s.lastActive.Store(s.startWall.UnixNano())
+	if cfg.FlightRecorderSize >= 0 {
+		s.flight = telemetry.NewFlightRecorder(cfg.FlightRecorderSize)
+	}
+	s.traceSampled = cfg.TraceSampleRate <= 1 || s.seq%uint32(cfg.TraceSampleRate) == 0
 	if role == RoleClient {
 		s.nextStreamID = 1 // client-initiated streams are odd
 	} else {
 		s.nextStreamID = 2 // server-initiated streams are even
 	}
 	s.registerSessionMetrics()
+	if reg := cfg.Metrics; reg != nil {
+		reg.Counter("sessions.opened").Inc()
+		reg.Gauge("sessions.live").Add(1)
+	}
 	return s
 }
 
@@ -457,7 +491,7 @@ func (s *Session) registerPath(pc *pathConn) error {
 	if pc.joined {
 		joined = 1
 	}
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind: telemetry.EvPathJoin,
 		Path: pc.id,
 		A:    joined,
@@ -586,7 +620,13 @@ func (s *Session) teardown(err error) {
 	if err != nil {
 		reason = err.Error()
 	}
-	s.trace().Emit(telemetry.Event{Kind: telemetry.EvSessionClose, S: reason})
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionClose, S: reason})
+	if err != nil {
+		// Anomalous end (stall, shed, overload, abort): dump the flight
+		// recorder while its ring still holds the events leading here.
+		s.flightDump(reason)
+	}
+	s.rollupSessionMetrics()
 	s.unregisterSessionMetrics()
 	if hook := s.cfg.onTeardown; hook != nil {
 		hook(s) // listener bookkeeping: session-table and conn-id release

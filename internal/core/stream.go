@@ -47,6 +47,9 @@ type Stream struct {
 	finKnown     bool
 	sinceLastAck uint64
 
+	openedAt time.Time // creation time (TTFB timer start; immutable)
+	ttfbSeen bool      // first inbound data byte observed (st.mu)
+
 	err    error
 	closed bool
 }
@@ -68,7 +71,7 @@ type oooSeg struct {
 }
 
 func newStream(s *Session, id uint32, remote bool) *Stream {
-	st := &Stream{id: id, session: s, remote: remote}
+	st := &Stream{id: id, session: s, remote: remote, openedAt: time.Now()}
 	st.readCond = sync.NewCond(&st.mu)
 	st.writeCond = sync.NewCond(&st.mu)
 	st.spaceCond = sync.NewCond(&st.mu)
@@ -114,7 +117,7 @@ func (s *Session) NewStream() (*Stream, error) {
 	st := newStream(s, id, false)
 	s.streams[id] = st
 	s.mu.Unlock()
-	s.trace().Emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id})
+	s.emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id})
 	return st, nil
 }
 
@@ -173,7 +176,7 @@ func (s *Session) getOrCreateStream(id uint32, pc *pathConn) *Stream {
 	st.attached = pc
 	s.streams[id] = st
 	s.mu.Unlock()
-	s.trace().Emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id, A: 1})
+	s.emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: id, A: 1})
 	select {
 	case s.acceptCh <- st:
 	default:
@@ -335,7 +338,7 @@ func (st *Stream) Close() error {
 	st.unacked = append(st.unacked, chunk)
 	final := st.sendOffset
 	st.mu.Unlock()
-	st.session.trace().Emit(telemetry.Event{
+	st.session.emit(telemetry.Event{
 		Kind:   telemetry.EvStreamClose,
 		Stream: st.id,
 		A:      int64(final),
@@ -424,6 +427,10 @@ func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk, owner []byte)
 		st.finalOffset = chunk.Offset + uint64(len(chunk.Data))
 	}
 	st.ingest(chunk, owner)
+	firstData := len(chunk.Data) > 0 && !st.ttfbSeen
+	if firstData {
+		st.ttfbSeen = true
+	}
 	st.sinceLastAck += uint64(len(chunk.Data))
 	finDelivered := st.finKnown && st.recvNext >= st.finalOffset
 	needAck := !st.session.cfg.DisableAcks &&
@@ -443,6 +450,11 @@ func (st *Stream) deliver(pc *pathConn, chunk *record.StreamChunk, owner []byte)
 	}
 	st.readCond.Broadcast()
 	st.mu.Unlock()
+	if firstData {
+		// Time-to-first-byte: stream creation to its first delivered
+		// inbound data byte (virtual time).
+		st.session.observePhase("ttfb_ns", st.openedAt)
+	}
 	if needAck {
 		pc.writeControl(record.Ack{StreamID: st.id, Offset: ackOffset})
 	}

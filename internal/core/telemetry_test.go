@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// TestTraceSampleRateSelection: TraceSampleRate <= 1 traces every
+// session; rate N traces exactly the sessions whose process-wide
+// sequence number is divisible by N. The flight recorder runs on all of
+// them regardless — sampling thins the firehose, not the black box.
+func TestTraceSampleRateSelection(t *testing.T) {
+	for _, rate := range []int{0, 1} {
+		s := newSession(RoleClient, &Config{TraceSampleRate: rate}, nil)
+		if !s.traceSampled {
+			t.Fatalf("rate %d: session not sampled", rate)
+		}
+		if s.flight == nil {
+			t.Fatalf("rate %d: flight recorder missing", rate)
+		}
+		s.teardown(nil)
+	}
+
+	const rate = 4
+	var sampled, total int
+	for i := 0; i < 4*rate; i++ {
+		s := newSession(RoleClient, &Config{TraceSampleRate: rate}, nil)
+		want := s.seq%uint32(rate) == 0
+		if s.traceSampled != want {
+			t.Fatalf("seq %d rate %d: sampled = %v, want %v", s.seq, rate, s.traceSampled, want)
+		}
+		if s.flight == nil {
+			t.Fatalf("seq %d: flight recorder must run on unsampled sessions too", s.seq)
+		}
+		if s.traceSampled {
+			sampled++
+		}
+		total++
+		s.teardown(nil)
+	}
+	if sampled != total/rate {
+		t.Fatalf("sampled %d of %d sessions at rate %d, want %d", sampled, total, rate, total/rate)
+	}
+}
+
+// TestSampledEmitReachesTracer: an unsampled session's events stay out
+// of the tracer but still land in its flight recorder.
+func TestSampledEmitReachesTracer(t *testing.T) {
+	ring := telemetry.NewRingSink(64)
+	tr := telemetry.NewTracer(telemetry.WithSink(ring))
+
+	s := newSession(RoleClient, &Config{Tracer: tr}, nil)
+	s.traceSampled = false // force the unsampled path deterministically
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "test"})
+	if got := len(ring.Events()); got != 0 {
+		t.Fatalf("unsampled session leaked %d events into the tracer", got)
+	}
+	if got := s.flight.Len(); got != 1 {
+		t.Fatalf("flight recorder holds %d events, want 1", got)
+	}
+	s.traceSampled = true
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "test2"})
+	if got := len(ring.Events()); got != 1 {
+		t.Fatalf("sampled emit produced %d trace events, want 1", got)
+	}
+	s.teardown(nil)
+}
+
+// TestSessionDumpRoundTrip: SessionDump captures the ring on demand and
+// its JSONL form parses back into the same events.
+func TestSessionDumpRoundTrip(t *testing.T) {
+	s := newSession(RoleServer, &Config{}, nil)
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server"})
+	s.emit(telemetry.Event{Kind: telemetry.EvStreamOpen, Stream: 2})
+	s.emit(telemetry.Event{Kind: telemetry.EvRecordSent, Stream: 2, A: 1400})
+
+	d := s.SessionDump("on-demand")
+	if d.Seq != s.seq || d.Role != RoleServer || d.Reason != "on-demand" {
+		t.Fatalf("dump header mismatch: %+v", d)
+	}
+	if len(d.Events) != 3 {
+		t.Fatalf("dump holds %d events, want 3", len(d.Events))
+	}
+	for _, ev := range d.Events {
+		if ev.EP != "server" {
+			t.Fatalf("event not stamped with role endpoint: %+v", ev)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	parsed, err := telemetry.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if len(parsed) != 3 || parsed[1].Kind != telemetry.EvStreamOpen || parsed[1].Stream != 2 {
+		t.Fatalf("round trip mangled events: %+v", parsed)
+	}
+	s.teardown(nil)
+}
+
+// TestFlightRecorderDisabled: a negative FlightRecorderSize turns the
+// recorder off entirely; dumps are empty and anomalies publish nothing.
+func TestFlightRecorderDisabled(t *testing.T) {
+	var dumps int
+	cfg := &Config{
+		FlightRecorderSize: -1,
+		Callbacks:          Callbacks{FlightDump: func(SessionDump) { dumps++ }},
+	}
+	s := newSession(RoleClient, cfg, nil)
+	if s.flight != nil {
+		t.Fatal("flight recorder allocated despite negative size")
+	}
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart})
+	if d := s.SessionDump("check"); len(d.Events) != 0 || d.Dropped != 0 {
+		t.Fatalf("disabled recorder produced a dump: %+v", d)
+	}
+	s.teardown(&StallError{Kind: "write-stall", Stream: 1})
+	if dumps != 0 {
+		t.Fatalf("disabled recorder fired %d dump callbacks", dumps)
+	}
+}
+
+// TestFlightDumpOnAnomaly: an anomalous teardown publishes the flight
+// recorder through the callback, with the triggering reason and the
+// events leading up to the failure; an orderly close publishes nothing.
+func TestFlightDumpOnAnomaly(t *testing.T) {
+	var got []SessionDump
+	cfg := &Config{Callbacks: Callbacks{FlightDump: func(d SessionDump) { got = append(got, d) }}}
+
+	orderly := newSession(RoleClient, cfg, nil)
+	orderly.teardown(nil)
+	if len(got) != 0 {
+		t.Fatalf("orderly close produced %d dumps", len(got))
+	}
+
+	anomalous := newSession(RoleServer, cfg, nil)
+	anomalous.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "server"})
+	anomalous.teardown(&StallError{Kind: "write-stall", Stream: 7})
+	if len(got) != 1 {
+		t.Fatalf("anomalous close produced %d dumps, want 1", len(got))
+	}
+	d := got[0]
+	if !strings.Contains(d.Reason, "stalled") {
+		t.Fatalf("dump reason %q does not carry the stall", d.Reason)
+	}
+	var sawClose bool
+	for _, ev := range d.Events {
+		if ev.Kind == telemetry.EvSessionClose {
+			sawClose = true
+		}
+	}
+	if !sawClose {
+		t.Fatalf("dump missing the session:close event: %+v", d.Events)
+	}
+}
+
+// TestFlightDumpDir: FlightDumpDir receives a parseable JSONL artifact
+// named after the session on anomalous teardown.
+func TestFlightDumpDir(t *testing.T) {
+	dir := t.TempDir()
+	s := newSession(RoleClient, &Config{FlightDumpDir: dir}, nil)
+	s.emit(telemetry.Event{Kind: telemetry.EvSessionStart, S: "client"})
+	seq := s.seq
+	s.teardown(&OverloadError{Resource: "shed:idle", Limit: 4})
+
+	matches, err := filepath.Glob(filepath.Join(dir, "flight-s*.jsonl"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("dump artifacts = %v (err %v), want exactly one", matches, err)
+	}
+	if !strings.Contains(matches[0], "flight-s"+itoa(seq)) {
+		t.Fatalf("artifact %q not named after session %d", matches[0], seq)
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("artifact is empty")
+	}
+}
+
+// TestRollupOnTeardown: closing a session folds its counters into the
+// aggregate sessions.* namespace and removes its session.<n>.* vars.
+func TestRollupOnTeardown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newSession(RoleClient, &Config{Metrics: reg}, nil)
+	s.ctr.bytesSent.Add(4096)
+	s.ctr.failovers.Add(2)
+
+	if _, ok := reg.Snapshot()["sessions.live"]; !ok {
+		t.Fatal("sessions.live not registered at open")
+	}
+	s.teardown(nil)
+
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, "session.") {
+			t.Fatalf("per-session var %q survived teardown", name)
+		}
+	}
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"sessions.opened":     1,
+		"sessions.closed":     1,
+		"sessions.live":       0,
+		"sessions.bytes_sent": 4096,
+		"sessions.failovers":  2,
+	}
+	for name, want := range checks {
+		got, ok := snap[name].(int64)
+		if !ok || got != want {
+			t.Fatalf("%s = %v, want %d", name, snap[name], want)
+		}
+	}
+}
+
+// itoa avoids strconv for one tiny test helper.
+func itoa(n uint32) string {
+	var buf [10]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			return string(buf[i:])
+		}
+	}
+}

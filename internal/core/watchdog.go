@@ -80,7 +80,7 @@ func (s *Session) watchdogLoop() {
 		acked uint64
 		since time.Time // wall clock; compared via virtualSince
 	}
-	progress := make(map[uint32]ackMark)  // stream id -> last ack movement
+	progress := make(map[uint32]ackMark)    // stream id -> last ack movement
 	zeroSince := make(map[uint32]time.Time) // path id -> zero window first seen
 	for {
 		if !s.sleepCancelable(interval) {
@@ -148,7 +148,7 @@ func (s *Session) watchdogLoop() {
 // recycles every queued buffer and releases the server-wide accounting.
 func (s *Session) stallTeardown(err *StallError, unacked int64) {
 	s.ctr.stalls.Add(1)
-	s.trace().Emit(telemetry.Event{
+	s.emit(telemetry.Event{
 		Kind:   telemetry.EvStreamStall,
 		Stream: err.Stream,
 		Path:   err.Path,

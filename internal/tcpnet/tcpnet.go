@@ -75,6 +75,11 @@ type Stack struct {
 	ctr     stackCounters
 	connSeq atomic.Uint32
 
+	// connectHist, when metrics are registered, records TCP connect
+	// latency (SYN sent to ESTABLISHED) in virtual nanoseconds under
+	// tcp.<name>.connect_ns.
+	connectHist atomic.Pointer[telemetry.Histogram]
+
 	mu        sync.Mutex
 	conns     map[fourTuple]*Conn
 	listeners map[uint16]*Listener
@@ -160,6 +165,7 @@ func (s *Stack) RegisterMetrics(reg *telemetry.Registry, name string) {
 	u("syn_backlog_drops", &s.ctr.synDrops)
 	u("conns_opened", &s.ctr.connsOpened)
 	u("conns_closed", &s.ctr.connsClosed)
+	s.connectHist.Store(reg.Histogram(prefix + "connect_ns"))
 }
 
 // Config carries stack-wide defaults for new connections.
@@ -596,6 +602,7 @@ func (s *Stack) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Durati
 	if err := s.register(c); err != nil {
 		return nil, err
 	}
+	connectStart := time.Now()
 	c.startConnect()
 	var timer *time.Timer
 	if timeout > 0 {
@@ -613,6 +620,9 @@ func (s *Stack) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Durati
 	c.mu.Unlock()
 	if st != stateEstablished && err != nil {
 		return nil, err
+	}
+	if h := s.connectHist.Load(); h != nil {
+		h.Observe(s.clock.VirtualSince(connectStart).Nanoseconds())
 	}
 	return c, nil
 }

@@ -52,6 +52,51 @@ func BenchmarkTracerRing(b *testing.B) {
 	}
 }
 
+// Tracing-overhead suite (wired into `make telemetry`): per-event cost
+// of the session emit path — flight-recorder record plus the sampled
+// tracer forward — with tracing off, 1-in-100 session sampling, and
+// full-fidelity tracing. ns/op inverts to events/sec.
+func benchmarkTracingOverhead(b *testing.B, sampleRate int, sink Sink) {
+	const sessions = 100
+	tracers := make([]*Tracer, sessions)
+	flights := make([]*FlightRecorder, sessions)
+	for i := range tracers {
+		tr := NewTracer(
+			WithEndpoint("server"),
+			WithClock(func() time.Duration { return 42 }),
+		)
+		// Session-level sampling: full fidelity on 1-in-sampleRate
+		// sessions, flight recorder on all (mirrors core's wiring).
+		if sink != nil && (sampleRate <= 1 || i%sampleRate == 0) {
+			tr.SetSink(sink)
+		}
+		tracers[i] = tr
+		flights[i] = NewFlightRecorder(256)
+	}
+	ev := Event{Kind: EvRecordSent, Stream: 1, A: 1400, B: 1 << 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := i % sessions
+		ev.Time = tracers[s].Now()
+		flights[s].Record(ev)
+		tracers[s].Emit(ev)
+		ev.Time = 0
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkTracingOverheadOff(b *testing.B) {
+	benchmarkTracingOverhead(b, 0, nil)
+}
+
+func BenchmarkTracingOverheadSampled1in100(b *testing.B) {
+	benchmarkTracingOverhead(b, 100, NewRingSink(1<<16))
+}
+
+func BenchmarkTracingOverheadFull(b *testing.B) {
+	benchmarkTracingOverhead(b, 1, NewRingSink(1<<16))
+}
+
 // BenchmarkEventAppendJSON measures serialization (paid only by
 // writer-backed sinks).
 func BenchmarkEventAppendJSON(b *testing.B) {

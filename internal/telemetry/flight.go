@@ -1,0 +1,83 @@
+package telemetry
+
+import "io"
+
+// FlightRecorder is a fixed-size per-session event ring built on the
+// RingSink machinery: every session records its last N events into one
+// of these at zero steady-state cost (one mutex, one struct copy, no
+// allocation — enforced by TestFlightRecorderZeroAlloc), regardless of
+// whether full-fidelity tracing is sampled in for the session. When the
+// session hits an anomaly (stall, shed, degradation, abort) the ring is
+// dumped as a structured JSONL artifact that ParseJSONL round-trips.
+//
+// Unlike a Tracer, a FlightRecorder never samples and never stamps:
+// callers pre-fill Event.Time (e.g. from Tracer.Now) and Event.EP so
+// the dump lines up with the shared trace timeline.
+type FlightRecorder struct {
+	ring RingSink
+}
+
+// NewFlightRecorder builds a recorder holding the last capacity events
+// (default 256 if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{ring: RingSink{buf: make([]Event, capacity)}}
+}
+
+// Record appends one event, overwriting the oldest when full. Nil-safe
+// and zero-alloc: sessions with recording disabled hold a nil recorder
+// and pay only the nil check.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	f.ring.Emit(ev)
+}
+
+// Events returns the recorded events in emission order (a copy; safe
+// to retain).
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	return f.ring.Events()
+}
+
+// Len reports the number of buffered events.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	return f.ring.Len()
+}
+
+// Dropped reports how many events were overwritten — how far back the
+// recording horizon has moved past the ring capacity.
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.ring.Dropped()
+}
+
+// WriteTo dumps the ring as JSONL (the structured flight-dump
+// artifact). The output round-trips through ParseJSONL.
+func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	evs := f.Events()
+	cw := &countingWriter{w: w}
+	err := WriteJSONL(cw, evs)
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

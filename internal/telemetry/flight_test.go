@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderWrapsAndDumps(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 7; i++ {
+		fr.Record(Event{
+			Time: time.Duration(i) * time.Millisecond,
+			Kind: EvRecordSent, EP: "server", Stream: 1,
+			A: int64(100 + i),
+		})
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(103 + i); ev.A != want {
+			t.Fatalf("event %d: A = %d, want %d", i, ev.A, want)
+		}
+	}
+	if fr.Dropped() != 3 || fr.Len() != 4 {
+		t.Fatalf("dropped=%d len=%d", fr.Dropped(), fr.Len())
+	}
+
+	// The dump artifact is JSONL that round-trips through ParseJSONL.
+	var buf bytes.Buffer
+	if n, err := fr.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: n=%d err=%v buf=%d", n, err, buf.Len())
+	}
+	back, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 || back[0].A != 103 || back[3].A != 106 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(Event{Kind: EvHealthPing}) // must not panic
+	if fr.Events() != nil || fr.Len() != 0 || fr.Dropped() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+// TestFlightRecorderZeroAlloc is the steady-state gate from the issue:
+// recording into the per-session ring must not allocate, on both the
+// live and nil recorder. `make check` runs this by name.
+func TestFlightRecorderZeroAlloc(t *testing.T) {
+	fr := NewFlightRecorder(256)
+	ev := Event{Kind: EvRecordSent, EP: "server", Stream: 3, A: 1400, B: 1 << 20, S: "x"}
+	if n := testing.AllocsPerRun(1000, func() {
+		fr.Record(ev)
+	}); n != 0 {
+		t.Fatalf("flight recorder: %v allocs per Record, want 0", n)
+	}
+	var nilFR *FlightRecorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilFR.Record(ev)
+	}); n != 0 {
+		t.Fatalf("nil flight recorder: %v allocs per Record, want 0", n)
+	}
+}

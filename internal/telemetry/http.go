@@ -24,8 +24,9 @@ type DebugServer struct {
 
 // ServeDebug starts an HTTP server on addr exposing:
 //
-//	/debug/metrics   the registry as JSON
-//	/debug/pprof/*   the standard net/http/pprof handlers
+//	/debug/metrics              the registry as JSON
+//	/debug/metrics/prometheus   the registry in Prometheus text format
+//	/debug/pprof/*              the standard net/http/pprof handlers
 //
 // The pprof handlers are mounted explicitly on a private mux — nothing
 // is registered on http.DefaultServeMux, so importing this package
@@ -33,6 +34,7 @@ type DebugServer struct {
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg.Handler())
+	mux.Handle("/debug/metrics/prometheus", reg.PrometheusHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

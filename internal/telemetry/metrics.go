@@ -112,6 +112,26 @@ func (r *Registry) getOrCreate(name string, mk func() any) any {
 	return v
 }
 
+// Len returns the number of registered vars — the cardinality bound
+// the churn/overload gauntlets assert against.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.vars)
+}
+
+// Names returns the sorted names of every registered var.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.vars))
+	for name := range r.vars {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
 // Snapshot returns the current value of every var. Counters and
 // gauges map to int64; histograms map to HistogramSnapshot.
 func (r *Registry) Snapshot() map[string]any {
@@ -254,6 +274,17 @@ func bucketUpper(i int) int64 {
 		return int64(^uint64(0) >> 1)
 	}
 	return int64(1)<<i - 1
+}
+
+// Buckets returns a point-in-time copy of the raw power-of-two bucket
+// counts (bucket i counts values with bucketIndex(v) == i). Used by the
+// Prometheus text exposition to render cumulative le buckets.
+func (h *Histogram) Buckets() [64]uint64 {
+	var out [64]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
 }
 
 // HistogramSnapshot is a point-in-time summary; quantiles are upper

@@ -102,6 +102,40 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveZeroAlloc is the latency-instrumentation gate:
+// Observe runs on connection-establishment and data paths, so it must
+// not allocate. `make check` runs this by name (without -race, so the
+// count is exact).
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sessions.handshake_ns.client")
+	v := int64(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 1009 // walk the buckets; Observe cost must not depend on value
+	}); n != 0 {
+		t.Fatalf("histogram: %v allocs per Observe, want 0", n)
+	}
+}
+
+func TestRegistryLenAndNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.two")
+	reg.Counter("a.one")
+	reg.Gauge("c.three")
+	if reg.Len() != 3 {
+		t.Fatalf("len = %d, want 3", reg.Len())
+	}
+	names := reg.Names()
+	if len(names) != 3 || names[0] != "a.one" || names[1] != "b.two" || names[2] != "c.three" {
+		t.Fatalf("names = %v", names)
+	}
+	reg.UnregisterPrefix("a.")
+	if reg.Len() != 2 {
+		t.Fatalf("len after unregister = %d, want 2", reg.Len())
+	}
+}
+
 func TestWriteJSONIsValidJSON(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("a.b").Add(7)
@@ -142,6 +176,17 @@ func TestDebugServer(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 || !strings.Contains(string(body), `"up": 1`) {
 		t.Fatalf("metrics endpoint: %d %s", resp.StatusCode, body)
+	}
+
+	// Prometheus text exposition rides next to the JSON endpoint.
+	resp, err = http.Get("http://" + ds.Addr + "/debug/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "# TYPE tcpls_up counter") {
+		t.Fatalf("prometheus endpoint: %d %s", resp.StatusCode, body)
 	}
 
 	// pprof is mounted on the private mux.

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry:
+// the pull surface scrapers expect, mounted next to the JSON and pprof
+// debug endpoints by ServeDebug. Dotted metric names become underscore
+// names under a tcpls_ prefix; histograms export their power-of-two
+// buckets as cumulative le series.
+
+// WritePrometheus writes every var in Prometheus text exposition
+// format. Counters map to counter, gauges and pull-funcs to gauge,
+// histograms to histogram with cumulative buckets at the power-of-two
+// upper bounds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.vars))
+	vars := make(map[string]any, len(r.vars))
+	for name, v := range r.vars {
+		names = append(names, name)
+		vars[name] = v
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	var buf []byte
+	for _, name := range names {
+		pn := promName(name)
+		switch v := vars[name].(type) {
+		case *Counter:
+			buf = fmt.Appendf(buf, "# TYPE %s counter\n%s %d\n", pn, pn, v.Value())
+		case *Gauge:
+			buf = fmt.Appendf(buf, "# TYPE %s gauge\n%s %d\n", pn, pn, v.Value())
+		case FuncVar:
+			buf = fmt.Appendf(buf, "# TYPE %s gauge\n%s %d\n", pn, pn, v())
+		case *Histogram:
+			counts := v.Buckets()
+			sum := v.sum.Load()
+			buf = fmt.Appendf(buf, "# TYPE %s histogram\n", pn)
+			var cum uint64
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				buf = fmt.Appendf(buf, "%s_bucket{le=\"%d\"} %d\n", pn, bucketUpper(i), cum)
+			}
+			buf = fmt.Appendf(buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+			buf = fmt.Appendf(buf, "%s_sum %d\n%s_count %d\n", pn, sum, pn, cum)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// promName converts a dotted registry name into a valid Prometheus
+// metric name: tcpls_ prefix, every non-[a-zA-Z0-9_] byte mapped to _.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+6)
+	out = append(out, "tcpls_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// PrometheusHandler returns an http.Handler serving the registry in
+// text exposition format.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

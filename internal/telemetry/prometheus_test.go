@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tcp.a.segs_sent").Add(7)
+	reg.Gauge("sessions.live").Set(3)
+	reg.Func("server.goroutines", func() int64 { return 42 })
+	h := reg.Histogram("sessions.handshake_ns.client")
+	for _, v := range []int64{1000, 2000, 3000, 1 << 20} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE tcpls_tcp_a_segs_sent counter\ntcpls_tcp_a_segs_sent 7\n",
+		"# TYPE tcpls_sessions_live gauge\ntcpls_sessions_live 3\n",
+		"# TYPE tcpls_server_goroutines gauge\ntcpls_server_goroutines 42\n",
+		"# TYPE tcpls_sessions_handshake_ns_client histogram\n",
+		`tcpls_sessions_handshake_ns_client_bucket{le="+Inf"} 4`,
+		"tcpls_sessions_handshake_ns_client_count 4\n",
+		"tcpls_sessions_handshake_ns_client_sum 1054576\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative buckets must be monotonically non-decreasing and end
+	// at the total count.
+	var last uint64
+	var bucketLines int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "tcpls_sessions_handshake_ns_client_bucket") {
+			continue
+		}
+		bucketLines++
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("cumulative bucket decreased: %q after %d", line, last)
+		}
+		last = v
+	}
+	if bucketLines < 3 || last != 4 {
+		t.Fatalf("bucket series: %d lines, final %d (want >=3 lines ending at 4)", bucketLines, last)
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	for in, want := range map[string]string{
+		"tcp.a.segs_sent":       "tcpls_tcp_a_segs_sent",
+		"session.3.path.2.srtt": "tcpls_session_3_path_2_srtt",
+		"weird-name/with:stuff": "tcpls_weird_name_with_stuff",
+		"sessions.handshake_ns": "tcpls_sessions_handshake_ns",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// qlog export: serialize a trace into the qlog JSON container format
+// (draft-ietf-quic-qlog-main-schema) so TCPLS traces load in standard
+// qlog viewers. Our native event vocabulary is already qlog-shaped
+// ("category:event" names, relative times, small data objects); this
+// file maps the kinds with a standard qlog equivalent onto it
+// (transport:packet_sent, recovery:metrics_updated, connectivity:*)
+// and passes the TCPLS-specific kinds through under their own
+// categories, which qlog explicitly permits.
+//
+// This is an offline surface (tcplstrace qlog); allocation is fine.
+
+// QlogVersion is the schema draft version stamped on exports.
+const QlogVersion = "0.3"
+
+type qlogDoc struct {
+	QlogVersion string      `json:"qlog_version"`
+	QlogFormat  string      `json:"qlog_format"`
+	Title       string      `json:"title,omitempty"`
+	Traces      []qlogTrace `json:"traces"`
+}
+
+type qlogTrace struct {
+	Title        string         `json:"title"`
+	VantagePoint qlogVantage    `json:"vantage_point"`
+	CommonFields map[string]any `json:"common_fields"`
+	Events       []qlogEvent    `json:"events"`
+}
+
+type qlogVantage struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type qlogEvent struct {
+	Time float64        `json:"time"` // milliseconds, relative
+	Name string         `json:"name"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// qlogNames maps event kinds with a standard qlog equivalent; kinds
+// not listed keep their native "category:event" name.
+var qlogNames = map[EventKind]string{
+	EvRecordSent:   "transport:packet_sent",
+	EvRecordRecv:   "transport:packet_received",
+	EvCtrlSent:     "transport:packet_sent",
+	EvCtrlRecv:     "transport:packet_received",
+	EvTCPCwnd:      "recovery:metrics_updated",
+	EvHealthPong:   "recovery:metrics_updated",
+	EvSessionStart: "connectivity:connection_started",
+	EvSessionClose: "connectivity:connection_closed",
+	EvStreamOpen:   "transport:stream_state_updated",
+	EvStreamClose:  "transport:stream_state_updated",
+	EvPathJoin:     "connectivity:path_assigned",
+	EvPathClose:    "connectivity:path_updated",
+	EvPathDegraded: "connectivity:path_updated",
+	EvPathFailover: "connectivity:path_updated",
+}
+
+// QlogName returns the qlog event name used for kind in exports.
+func QlogName(k EventKind) string {
+	if n, ok := qlogNames[k]; ok {
+		return n
+	}
+	return k.Name()
+}
+
+// qlogData builds the qlog data object for one event, using standard
+// qlog keys for the mapped kinds and the native payload keys otherwise.
+func qlogData(ev Event) map[string]any {
+	d := make(map[string]any, 4)
+	switch ev.Kind {
+	case EvRecordSent, EvRecordRecv:
+		d["raw"] = map[string]any{"length": ev.A}
+		d["frames"] = []any{map[string]any{
+			"frame_type": "stream",
+			"stream_id":  ev.Stream,
+			"offset":     ev.B,
+			"length":     ev.A,
+			"fin":        ev.C != 0,
+		}}
+	case EvCtrlSent, EvCtrlRecv:
+		d["frames"] = []any{map[string]any{"frame_type": ev.S}}
+	case EvTCPCwnd:
+		d["congestion_window"] = ev.A
+		d["ssthresh"] = ev.B
+		d["bytes_in_flight"] = ev.C
+	case EvHealthPong:
+		d["latest_rtt"] = float64(ev.B) / 1e6 // ms
+		d["smoothed_rtt"] = float64(ev.C) / 1e6
+	case EvSessionStart:
+		d["connection_id"] = fmt.Sprintf("%08x", uint64(ev.A))
+		d["role"] = ev.S
+	case EvSessionClose:
+		d["trigger"] = ev.S
+	case EvStreamOpen:
+		d["stream_id"] = ev.Stream
+		d["new"] = "open"
+		if ev.A != 0 {
+			d["trigger"] = "remote"
+		}
+	case EvStreamClose:
+		d["stream_id"] = ev.Stream
+		d["new"] = "closed"
+		d["final_offset"] = ev.A
+	case EvPathJoin:
+		d["path_id"] = ev.Path
+		d["remote"] = ev.S
+		if ev.A != 0 {
+			d["trigger"] = "join"
+		}
+	case EvPathClose, EvPathDegraded, EvPathFailover:
+		d["path_id"] = ev.Path
+		switch ev.Kind {
+		case EvPathClose:
+			d["state"] = "closed"
+			d["failed"] = ev.A != 0
+			if ev.S != "" {
+				d["trigger"] = ev.S
+			}
+		case EvPathDegraded:
+			d["state"] = "degraded"
+			d["outstanding_probes"] = ev.A
+		case EvPathFailover:
+			d["state"] = "failed_over"
+			d["survivor_path_id"] = ev.A
+		}
+	default:
+		// Native payload keys, as in the JSONL encoding.
+		info := kindInfo{}
+		if int(ev.Kind) < len(kinds) {
+			info = kinds[ev.Kind]
+		}
+		if info.a != "" {
+			d[info.a] = ev.A
+		}
+		if info.b != "" {
+			d[info.b] = ev.B
+		}
+		if info.c != "" {
+			d[info.c] = ev.C
+		}
+		if info.s != "" && ev.S != "" {
+			d[info.s] = ev.S
+		}
+	}
+	if ev.Path != 0 {
+		if _, ok := d["path_id"]; !ok {
+			d["path_id"] = ev.Path
+		}
+	}
+	if ev.Stream != 0 {
+		if _, ok := d["stream_id"]; !ok {
+			d["stream_id"] = ev.Stream
+		}
+	}
+	return d
+}
+
+func vantageType(ep string) string {
+	switch {
+	case strings.Contains(ep, "client"):
+		return "client"
+	case strings.Contains(ep, "server"):
+		return "server"
+	case ep == "net" || strings.Contains(ep, "net"):
+		return "network"
+	default:
+		return "unknown"
+	}
+}
+
+// WriteQlog serializes events as one qlog JSON document: one trace per
+// endpoint label, events in their original order, times in relative
+// milliseconds on the shared (virtual) timeline.
+func WriteQlog(w io.Writer, events []Event, title string) error {
+	order := make([]string, 0, 4)
+	byEP := make(map[string][]qlogEvent)
+	for _, ev := range events {
+		ep := ev.EP
+		if ep == "" {
+			ep = "unknown"
+		}
+		if _, ok := byEP[ep]; !ok {
+			order = append(order, ep)
+		}
+		byEP[ep] = append(byEP[ep], qlogEvent{
+			Time: float64(ev.Time) / 1e6,
+			Name: QlogName(ev.Kind),
+			Data: qlogData(ev),
+		})
+	}
+	doc := qlogDoc{
+		QlogVersion: QlogVersion,
+		QlogFormat:  "JSON",
+		Title:       title,
+		Traces:      make([]qlogTrace, 0, len(order)),
+	}
+	for _, ep := range order {
+		doc.Traces = append(doc.Traces, qlogTrace{
+			Title:        ep,
+			VantagePoint: qlogVantage{Name: ep, Type: vantageType(ep)},
+			CommonFields: map[string]any{
+				"time_format":    "relative",
+				"reference_time": 0,
+				"protocol_type":  []string{"TCPLS"},
+			},
+			Events: byEP[ep],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ValidateQlog checks that r holds a structurally valid qlog document
+// (the JSON schema check tcplstrace and the tests run exports through):
+// a qlog_version, at least one trace, each with a typed vantage point
+// and events carrying a numeric time and a "category:event" name.
+// It returns the trace and event counts.
+func ValidateQlog(r io.Reader) (traces, events int, err error) {
+	var doc map[string]any
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, 0, fmt.Errorf("qlog: not valid JSON: %w", err)
+	}
+	ver, _ := doc["qlog_version"].(string)
+	if ver == "" {
+		return 0, 0, fmt.Errorf("qlog: missing qlog_version")
+	}
+	trs, ok := doc["traces"].([]any)
+	if !ok || len(trs) == 0 {
+		return 0, 0, fmt.Errorf("qlog: missing or empty traces array")
+	}
+	for i, t := range trs {
+		tr, ok := t.(map[string]any)
+		if !ok {
+			return 0, 0, fmt.Errorf("qlog: trace %d is not an object", i)
+		}
+		vp, ok := tr["vantage_point"].(map[string]any)
+		if !ok {
+			return 0, 0, fmt.Errorf("qlog: trace %d: missing vantage_point", i)
+		}
+		if vt, _ := vp["type"].(string); vt == "" {
+			return 0, 0, fmt.Errorf("qlog: trace %d: vantage_point has no type", i)
+		}
+		evs, ok := tr["events"].([]any)
+		if !ok {
+			return 0, 0, fmt.Errorf("qlog: trace %d: missing events array", i)
+		}
+		for j, e := range evs {
+			evo, ok := e.(map[string]any)
+			if !ok {
+				return 0, 0, fmt.Errorf("qlog: trace %d event %d: not an object", i, j)
+			}
+			if _, ok := evo["time"].(float64); !ok {
+				return 0, 0, fmt.Errorf("qlog: trace %d event %d: missing numeric time", i, j)
+			}
+			name, _ := evo["name"].(string)
+			if !strings.Contains(name, ":") {
+				return 0, 0, fmt.Errorf("qlog: trace %d event %d: name %q is not category:event", i, j, name)
+			}
+			events++
+		}
+		traces++
+	}
+	return traces, events, nil
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func qlogSampleTrace() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		{Time: ms(1), Kind: EvSessionStart, EP: "client", A: 0x1234, S: "client"},
+		{Time: ms(1), Kind: EvSessionStart, EP: "server", A: 0x1234, S: "server"},
+		{Time: ms(2), Kind: EvStreamOpen, EP: "client", Stream: 1},
+		{Time: ms(3), Kind: EvRecordSent, EP: "client", Path: 1, Stream: 1, A: 1400, B: 0},
+		{Time: ms(4), Kind: EvRecordRecv, EP: "server", Path: 1, Stream: 1, A: 1400, B: 0},
+		{Time: ms(5), Kind: EvTCPCwnd, EP: "server", Path: 1, A: 28000, B: 1 << 20, C: 14000},
+		{Time: ms(6), Kind: EvHealthPong, EP: "client", Path: 1, A: 3, B: int64(ms(17)), C: int64(ms(16))},
+		{Time: ms(7), Kind: EvPathJoin, EP: "server", Path: 2, A: 1, S: "10.1.0.2:443"},
+		{Time: ms(8), Kind: EvPathFailover, EP: "client", Path: 1, A: 2},
+		{Time: ms(9), Kind: EvSessionDegraded, EP: "client", A: 3, S: "fresh: option stripped"},
+		{Time: ms(10), Kind: EvSessionShed, EP: "server", A: 0x99, S: "idle"},
+		{Time: ms(11), Kind: EvSessionClose, EP: "client", S: "orderly"},
+	}
+}
+
+// TestQlogExportValidates is the acceptance round trip: the exporter's
+// output must pass the structural schema check and carry the expected
+// standard-qlog names.
+func TestQlogExportValidates(t *testing.T) {
+	in := qlogSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteQlog(&buf, in, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	traces, events, err := ValidateQlog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("schema check failed: %v\n%s", err, buf.String())
+	}
+	if traces != 2 {
+		t.Fatalf("traces = %d, want 2 (client, server)", traces)
+	}
+	if events != len(in) {
+		t.Fatalf("events = %d, want %d", events, len(in))
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		`"qlog_version": "0.3"`,
+		`"transport:packet_sent"`,
+		`"transport:packet_received"`,
+		`"recovery:metrics_updated"`,
+		`"connectivity:connection_started"`,
+		`"connectivity:path_assigned"`,
+		// TCPLS-specific kinds pass through under their own category.
+		`"session:degraded"`,
+		`"session:shed"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestQlogDataMapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQlog(&buf, qlogSampleTrace(), ""); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Traces []struct {
+			Title        string `json:"title"`
+			VantagePoint struct {
+				Type string `json:"type"`
+			} `json:"vantage_point"`
+			Events []struct {
+				Time float64        `json:"time"`
+				Name string         `json:"name"`
+				Data map[string]any `json:"data"`
+			} `json:"events"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Traces[0].VantagePoint.Type != "client" || doc.Traces[1].VantagePoint.Type != "server" {
+		t.Fatalf("vantage types: %+v", doc.Traces)
+	}
+	// record:sent became a packet_sent with a stream frame.
+	var found bool
+	for _, ev := range doc.Traces[0].Events {
+		if ev.Name != "transport:packet_sent" {
+			continue
+		}
+		frames, ok := ev.Data["frames"].([]any)
+		if !ok || len(frames) != 1 {
+			t.Fatalf("packet_sent frames = %v", ev.Data["frames"])
+		}
+		fr := frames[0].(map[string]any)
+		if fr["frame_type"] != "stream" || fr["length"] != float64(1400) {
+			t.Fatalf("stream frame = %v", fr)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no transport:packet_sent in client trace")
+	}
+	// health:pong became metrics_updated with RTTs in ms.
+	found = false
+	for _, ev := range doc.Traces[0].Events {
+		if ev.Name == "recovery:metrics_updated" {
+			if ev.Data["latest_rtt"] != float64(17) {
+				t.Fatalf("latest_rtt = %v, want 17ms", ev.Data["latest_rtt"])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recovery:metrics_updated in client trace")
+	}
+}
+
+func TestValidateQlogRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{"traces":[]}`,
+		`{"qlog_version":"0.3","traces":[]}`,
+		`{"qlog_version":"0.3","traces":[{"events":[]}]}`,
+		`{"qlog_version":"0.3","traces":[{"vantage_point":{"type":"client"},"events":[{"name":"noseparator","time":1}]}]}`,
+	} {
+		if _, _, err := ValidateQlog(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ValidateQlog accepted %s", bad)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Dedicated sink.go coverage: wraparound ordering across several full
+// revolutions, tee fan-out when one branch's Close errors, and the
+// file-sink close-then-emit race every teardown path can hit.
+
+func TestRingSinkWraparoundOrdering(t *testing.T) {
+	const capacity = 8
+	ring := NewRingSink(capacity)
+	// Three full revolutions plus a partial one: the ring must always
+	// return exactly the last `capacity` events, oldest first.
+	const total = 3*capacity + 5
+	for i := 0; i < total; i++ {
+		ring.Emit(Event{Kind: EvRecordSent, A: int64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != capacity {
+		t.Fatalf("len = %d, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		if want := int64(total - capacity + i); ev.A != want {
+			t.Fatalf("event %d: A = %d, want %d (emission order violated)", i, ev.A, want)
+		}
+	}
+	if got, want := ring.Dropped(), uint64(total-capacity); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+	if ring.Len() != capacity {
+		t.Fatalf("len = %d, want %d", ring.Len(), capacity)
+	}
+}
+
+func TestRingSinkPartialFill(t *testing.T) {
+	ring := NewRingSink(16)
+	for i := 0; i < 5; i++ {
+		ring.Emit(Event{Kind: EvHealthPing, A: int64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != 5 || ring.Dropped() != 0 {
+		t.Fatalf("partial fill: len=%d dropped=%d", len(evs), ring.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.A != int64(i) {
+			t.Fatalf("event %d out of order: A=%d", i, ev.A)
+		}
+	}
+}
+
+// errCloseSink records emits and fails on Close.
+type errCloseSink struct {
+	emits  int
+	closed bool
+}
+
+func (e *errCloseSink) Emit(Event) { e.emits++ }
+func (e *errCloseSink) Close() error {
+	e.closed = true
+	return errors.New("branch close failed")
+}
+
+func TestTeeSinkBranchError(t *testing.T) {
+	bad := &errCloseSink{}
+	good := NewRingSink(8)
+	tee := TeeSink{bad, good}
+
+	// Fan-out reaches every branch, in order, even with a branch that
+	// will later fail to close.
+	tee.Emit(Event{Kind: EvStreamOpen, Stream: 1})
+	tee.Emit(Event{Kind: EvStreamClose, Stream: 1})
+	if bad.emits != 2 || good.Len() != 2 {
+		t.Fatalf("fan-out: bad=%d good=%d, want 2,2", bad.emits, good.Len())
+	}
+
+	// Close returns the first branch error but still visits every
+	// branch (the bad sink must actually have been closed).
+	if err := tee.Close(); err == nil {
+		t.Fatal("tee close swallowed branch error")
+	}
+	if !bad.closed {
+		t.Fatal("failing branch was not closed")
+	}
+}
+
+func TestTeeSinkFirstErrorWins(t *testing.T) {
+	a := &errCloseSink{}
+	b := &errCloseSink{}
+	err := TeeSink{a, b}.Close()
+	if err == nil || err.Error() != "branch close failed" {
+		t.Fatalf("close error = %v", err)
+	}
+	if !a.closed || !b.closed {
+		t.Fatalf("not all branches closed: a=%v b=%v", a.closed, b.closed)
+	}
+}
+
+func TestFileSinkCloseThenEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(Event{Kind: EvSessionStart, A: 0x42, S: "client"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Emits after Close must be safe no-ops (tracing is best-effort):
+	// no panic, and the file content written before Close is intact.
+	sink.Emit(Event{Kind: EvSessionClose, S: "late"})
+	sink.Emit(Event{Kind: EvSessionClose, S: "later"})
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("trace corrupted by post-close emit: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Kind != EvSessionStart {
+		t.Fatalf("file trace = %+v, want single session:started", evs)
+	}
+
+	// Double close is safe too.
+	if err := sink.Close(); err == nil {
+		// os.File.Close on an already-closed file errors; either way
+		// it must not panic. Accept both.
+		t.Log("second close returned nil")
+	}
+}
+
+func TestDiscardAndFuncSinks(t *testing.T) {
+	var d DiscardSink
+	d.Emit(Event{Kind: EvHealthPing})
+	d.Emit(Event{Kind: EvHealthPong})
+	if d.Count() != 2 {
+		t.Fatalf("discard count = %d", d.Count())
+	}
+	var got []EventKind
+	fs := FuncSink(func(ev Event) { got = append(got, ev.Kind) })
+	fs.Emit(Event{Kind: EvPathJoin})
+	if len(got) != 1 || got[0] != EvPathJoin {
+		t.Fatalf("func sink got %v", got)
+	}
+}

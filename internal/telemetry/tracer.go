@@ -143,6 +143,27 @@ func (t *Tracer) Emit(ev Event) {
 	box.s.Emit(ev)
 }
 
+// Now returns the tracer's current trace-clock reading (virtual time
+// under netsim, wall time since construction otherwise). Nil-safe: a
+// nil tracer reads 0, so callers stamping events for a flight recorder
+// can use it unconditionally.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Endpoint returns the tracer's endpoint label (nil-safe: a nil tracer
+// reads ""). Callers stamping events for a flight recorder use it to
+// label events identically to the tracer's own Emit path.
+func (t *Tracer) Endpoint() string {
+	if t == nil {
+		return ""
+	}
+	return t.ep
+}
+
 // Stats reports the number of events recorded and sampled away.
 func (t *Tracer) Stats() (emitted, sampledOut uint64) {
 	if t == nil {

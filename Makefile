@@ -10,7 +10,7 @@ BENCH_PAT ?= BenchmarkStreamThroughput
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_LABEL ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry interop overload fuzz-smoke check bench bench-all bench-check
+.PHONY: all build test race vet test-matrix alloc-gate chaos-smoke adversary telemetry interop overload flock fuzz-smoke check bench bench-all bench-check
 
 all: check
 
@@ -28,15 +28,17 @@ vet:
 
 # Scheduler/feature matrix: the race detector, the purego build-tag
 # variant, and a single-P run that surfaces scheduler-dependent flakes
-# the chaos harness only hits probabilistically. The final line is the
-# goroutine-leak gate: the overload gauntlet snapshots the process
-# goroutine count before the storm and fails unless it returns to
-# baseline after teardown.
+# the chaos harness only hits probabilistically. The last two lines are
+# the goroutine gates: the overload gauntlet's back-to-baseline leak
+# check, and the exact per-session goroutine bill of the sharded
+# runtime (1 accept loop + workers + shared timer/event loops, then
+# exactly 2 goroutines per idle session — equality, not a bound).
 test-matrix:
 	$(GO) test -race ./...
 	$(GO) test -tags=purego ./...
 	GOMAXPROCS=1 $(GO) test ./...
 	$(GO) test ./internal/chaos/ -run 'TestOverloadGauntlet$$' -count=1
+	$(GO) test ./internal/chaos/ -run 'TestGoroutineBudgetExact$$' -count=1
 
 # Steady-state allocation gates for the data path, run WITHOUT the race
 # detector so testing.AllocsPerRun counts are exact: the record-layer
@@ -77,6 +79,15 @@ telemetry:
 overload:
 	$(GO) test ./internal/chaos/ -race -run 'TestOverloadGauntlet' -count=1 -v
 
+# Flock gauntlet: the C50K scale gate for the sharded server runtime.
+# Default is the 1k-client smoke profile (Poisson churn, migrations, a
+# v6 link flap under the failover cohort) against the checked-in
+# budgets in internal/chaos/testdata/FLOCK_BUDGET.json — sessions/sec,
+# bytes/sec, heap per session, goroutines per session. FLOCK=1 runs the
+# full 10k-client profile.
+flock:
+	$(GO) test ./internal/chaos/ -run 'TestFlockGauntlet$$' -count=1 -v -timeout 900s
+
 # Middlebox interop gauntlet: TCPLS vs plain TLS/TCP vs the QUIC-like
 # comparator through seven interference models, checked cell-by-cell
 # against the committed golden matrix (a pass->degrade or degrade->fail
@@ -101,7 +112,7 @@ ifeq ($(BENCH),1)
 CHECK_EXTRA += bench-check
 endif
 
-check: build vet alloc-gate test-matrix chaos-smoke adversary overload telemetry interop fuzz-smoke $(CHECK_EXTRA)
+check: build vet alloc-gate test-matrix chaos-smoke adversary overload flock telemetry interop fuzz-smoke $(CHECK_EXTRA)
 
 # The full virtual-time benchmark suite (one benchmark per paper
 # table/figure); `make bench` below tracks just the tier-1 set.

@@ -1,0 +1,712 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/core"
+	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/tcpnet"
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/tls13"
+)
+
+// Flock gauntlet: the C50K acceptance run for the sharded server
+// runtime. Thousands of emulated clients arrive with Poisson
+// interarrivals, transfer a payload, and hold their sessions to a
+// concurrency peak; a churn cohort arrives and departs throughout;
+// a migration cohort moves v4→v6 mid-life; a failover cohort rides out
+// a v6 link flap on its standby path. The run asserts the scaling
+// budgets the sharded runtime exists to meet:
+//
+//  1. Goroutines are O(1) per session with a small constant: at peak,
+//     the process goroutine count stays under
+//     floor + per_session × live_sessions (budgeted in
+//     testdata/FLOCK_BUDGET.json; the exact per-session constant is
+//     pinned separately by TestGoroutineBudgetExact).
+//  2. Memory is bounded: heap-in-use per live session at peak stays
+//     under the budget.
+//  3. Throughput floors hold: sessions/sec (admission rate over the
+//     ramp) and bytes/sec (payload drain rate), both in virtual time,
+//     meet the checked-in minimums — a regression fails the run the
+//     same way bench-check does.
+//  4. The budgets are fed from the telemetry registry: runtime.enrolled
+//     and listener.sessions must agree with the accounting gauges, and
+//     the per-shard maximum must show the table actually spreading.
+//  5. Full recovery: after drain every gauge returns to zero, no
+//     goroutines leak, and no per-session metric outlives its session.
+type FlockScenario struct {
+	// Name labels the run in logs.
+	Name string
+	// Seed drives arrivals, payloads and jitter. Default 1.
+	Seed int64
+	// TimeScale compresses virtual time (default 0.5).
+	TimeScale float64
+
+	// Hold is the held cohort: clients that connect, transfer, and hold
+	// their session open to the concurrency peak (default 936).
+	Hold int
+	// Churn clients arrive Poisson, transfer, live an exponential
+	// lifetime, and depart (default Hold/5).
+	Churn int
+	// Migrators are held clients that JOIN a v6 path after their
+	// transfer and close the v4 path they arrived on (default 32).
+	Migrators int
+	// Failovers are held clients with a v6 primary and a v4 standby; a
+	// mid-run v6 flap must degrade the primary without killing the
+	// session (default 32).
+	Failovers int
+
+	// PayloadBytes per client (default 4 KiB).
+	PayloadBytes int
+	// MeanArrival is the Poisson interarrival mean, virtual (default 1ms).
+	MeanArrival time.Duration
+	// HoldMean is the churn cohort's mean lifetime, virtual (default 80ms).
+	HoldMean time.Duration
+
+	// Shards / AcceptWorkers configure the listener (0 = core defaults).
+	Shards        int
+	AcceptWorkers int
+	// MaxSessions is the server budget (default: peak demand + slack —
+	// the flock tests scale, not admission; the overload gauntlet owns
+	// rejection behavior).
+	MaxSessions int
+
+	// Budget is the pass/fail envelope (normally loaded from
+	// testdata/FLOCK_BUDGET.json).
+	Budget FlockBudget
+	// Timeout bounds the whole run in wall-clock time (default 300s).
+	Timeout time.Duration
+	// TraceCapacity bounds the shared event ring (default 1<<16).
+	TraceCapacity int
+}
+
+// FlockBudget is the checked-in pass/fail envelope (FLOCK_BUDGET.json).
+// Regressions against it fail the run like bench-check.
+type FlockBudget struct {
+	// MinSessionsPerSec floors the admission rate over the ramp,
+	// sessions per virtual second.
+	MinSessionsPerSec float64 `json:"min_sessions_per_sec"`
+	// MinBytesPerSec floors the payload drain rate, bytes per virtual
+	// second measured over the whole run.
+	MinBytesPerSec float64 `json:"min_bytes_per_sec"`
+	// MaxHeapPerSessionBytes caps (heap_inuse_peak - heap_inuse_base) /
+	// live_sessions at the concurrency peak.
+	MaxHeapPerSessionBytes int64 `json:"max_heap_per_session_bytes"`
+	// MaxGoroutinesPerSession + GoroutineFloor cap the process goroutine
+	// count at peak: goroutines <= floor + per_session * live_sessions.
+	// The steady-state cost per held session is 3 (client read loop,
+	// server read loop, server app drain) — the budget adds headroom for
+	// transients (handshakes in flight, churn drivers, probe fallbacks).
+	MaxGoroutinesPerSession float64 `json:"max_goroutines_per_session"`
+	GoroutineFloor          int     `json:"goroutine_floor"`
+}
+
+// FlockResult summarizes a successful run.
+type FlockResult struct {
+	Seed                       int64
+	Admitted                   int
+	ChurnDeparted, ChurnFailed int
+	Migrated                   int
+	FailoverSurvivors          int
+
+	PeakSessions     int
+	SessionsPerSec   float64 // admissions over the ramp, virtual time
+	BytesPerSec      float64 // payload drain over the run, virtual time
+	BytesDrained     int64
+	GoroutinesAtPeak int
+	HeapPerSession   int64
+	VirtualElapsed   time.Duration
+
+	Stats   core.AccountingStats
+	Metrics map[string]any
+}
+
+func (sc FlockScenario) withDefaults() FlockScenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.TimeScale <= 0 {
+		sc.TimeScale = 0.5
+	}
+	if sc.Hold <= 0 {
+		sc.Hold = 936
+	}
+	if sc.Churn <= 0 {
+		sc.Churn = sc.Hold / 5
+	}
+	if sc.Migrators <= 0 {
+		sc.Migrators = 32
+	}
+	if sc.Failovers <= 0 {
+		sc.Failovers = 32
+	}
+	if sc.PayloadBytes <= 0 {
+		sc.PayloadBytes = 4 << 10
+	}
+	if sc.MeanArrival <= 0 {
+		sc.MeanArrival = time.Millisecond
+	}
+	if sc.HoldMean <= 0 {
+		sc.HoldMean = 80 * time.Millisecond
+	}
+	if sc.MaxSessions <= 0 {
+		sc.MaxSessions = sc.Hold + sc.Migrators + sc.Failovers + sc.Churn + 64
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 300 * time.Second
+	}
+	if sc.TraceCapacity <= 0 {
+		sc.TraceCapacity = 1 << 16
+	}
+	return sc
+}
+
+// heapInUse forces a GC and reports live heap bytes, so before/after
+// comparisons measure retained state, not float.
+func heapInUse() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}
+
+// RunFlock executes the flock gauntlet.
+func RunFlock(sc FlockScenario) (*FlockResult, error) {
+	sc = sc.withDefaults()
+	baseGoroutines := runtime.NumGoroutine()
+	baseHeap := heapInUse()
+	wallDeadline := time.Now().Add(sc.Timeout)
+
+	n := netsim.New(netsim.WithSeed(sc.Seed), netsim.WithTimeScale(sc.TimeScale))
+	ch, sh := n.Host("client"), n.Host("server")
+	// Fat, short links: the flock tests runtime scaling, not congestion.
+	l4 := n.AddLink(ch, sh, ClientV4, ServerV4,
+		netsim.LinkConfig{Name: "v4", Delay: 200 * time.Microsecond, BandwidthBps: 1e9})
+	l6 := n.AddLink(ch, sh, ClientV6, ServerV6,
+		netsim.LinkConfig{Name: "v6", Delay: 300 * time.Microsecond, BandwidthBps: 1e9})
+	_ = l4
+
+	ring := telemetry.NewRingSink(sc.TraceCapacity)
+	reg := telemetry.NewRegistry()
+	mkTracer := func(ep string) *telemetry.Tracer {
+		return telemetry.NewTracer(
+			telemetry.WithEndpoint(ep),
+			telemetry.WithClock(n.VirtualNow),
+			telemetry.WithSink(ring),
+		)
+	}
+	srvTracer := mkTracer("server")
+	cs := tcpnet.NewStack(ch, tcpnet.Config{})
+	ss := tcpnet.NewStack(sh, tcpnet.Config{Metrics: reg})
+
+	res := &FlockResult{Seed: sc.Seed}
+	acct := core.NewAccounting(core.ServerBudgets{
+		MaxSessions: sc.MaxSessions,
+		IdleAfter:   10 * time.Minute, // held sessions are idle by design; never shed them
+	})
+	fail := func(format string, args ...any) (*FlockResult, error) {
+		args = append(args, acct.Stats(), sc.Seed)
+		return nil, fmt.Errorf(format+" — stats=%+v (replay: seed=%d)", args...)
+	}
+
+	tl, err := ss.Listen(netip.Addr{}, 443)
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	retry := core.RetryPolicy{
+		Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond,
+		MaxAttempts: 3, DialTimeout: 500 * time.Millisecond,
+	}
+	srvCfg := &core.Config{
+		TLS:        &tls13.Config{Certificate: serverCert()},
+		Clock:      n,
+		Accounting: acct,
+		Retry:      retry,
+		RetrySeed:  sc.Seed,
+		Tracer:     srvTracer,
+		Metrics:    reg,
+		// The shared-runtime timers must be live at scale — their
+		// sweeps, not their firing, are what the gauntlet exercises. The
+		// probe interval is deliberately long: N sessions probing every
+		// interval is N/interval writes per second of pure background
+		// load, and the flock measures session scaling, not probe storms.
+		HealthProbeInterval: 60 * time.Second,
+		HealthFailAfter:     3,
+		StallTimeout:        120 * time.Second,
+		// Keep full-fidelity tracing sampled and black boxes small:
+		// observability must not dominate the per-session footprint.
+		TraceSampleRate:    128,
+		FlightRecorderSize: 64,
+		Shards:             sc.Shards,
+		AcceptWorkers:      sc.AcceptWorkers,
+	}
+	lst := core.NewListener(tl, srvCfg)
+
+	// Server app: one drain goroutine per session (the app's own cost —
+	// the protocol itself adds exactly one read loop per path). Clients
+	// open streams sequentially, so draining them in-line suffices. The
+	// payload's first byte tags its cohort: held-cohort bytes feed the
+	// exact delivery watermark; churn bytes are best-effort (a churn
+	// client closing early legitimately abandons undelivered data).
+	var heldDrained, churnDrained atomic.Int64
+	var servedMu sync.Mutex
+	var served []*core.Session
+	go func() {
+		for {
+			s, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			servedMu.Lock()
+			served = append(served, s)
+			servedMu.Unlock()
+			go func(s *core.Session) {
+				buf := make([]byte, 16<<10)
+				for {
+					st, err := s.AcceptStream()
+					if err != nil {
+						return
+					}
+					tag, first := byte(0), true
+					for {
+						n, err := st.Read(buf)
+						if n > 0 {
+							if first {
+								tag, first = buf[0], false
+							}
+							if tag == 'C' {
+								churnDrained.Add(int64(n))
+							} else {
+								heldDrained.Add(int64(n))
+							}
+						}
+						if err != nil {
+							break
+						}
+					}
+				}
+			}(s)
+		}
+	}()
+
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			lst.Close()
+			servedMu.Lock()
+			ss2 := append([]*core.Session(nil), served...)
+			servedMu.Unlock()
+			for _, s := range ss2 {
+				s.Close()
+			}
+			cs.Close()
+			ss.Close()
+			n.Close()
+		})
+	}
+	defer cleanup()
+
+	newClient := func(seed int64, health bool, tracer *telemetry.Tracer) *core.Session {
+		cfg := &core.Config{
+			TLS:       &tls13.Config{InsecureSkipVerify: true},
+			Clock:     n,
+			Retry:     retry,
+			RetrySeed: seed,
+			Tracer:    tracer,
+			// Black boxes off on the client side: 10k client-side ring
+			// buffers are harness weight, not system under test.
+			FlightRecorderSize: -1,
+		}
+		if health {
+			// Only the failover cohort needs client-side liveness probing
+			// (it is what detects the flapped primary); everyone else
+			// stays at the 1-goroutine-per-session floor.
+			cfg.HealthProbeInterval = 250 * time.Millisecond
+			cfg.HealthFailAfter = 3
+		}
+		return core.NewClient(cfg, tcpnet.Dialer{Stack: cs})
+	}
+	dialVia := func(c *core.Session, laddr netip.Addr, raddr netip.AddrPort) error {
+		if _, err := c.Connect(laddr, raddr, 10*time.Second); err != nil {
+			return err
+		}
+		return c.Handshake()
+	}
+	// dialRetry absorbs transient pre-TLS rejections (accept-queue
+	// overflow during an arrival burst): the client's contract is that a
+	// shed connection may simply retry a moment later. Backoff is
+	// wall-clock — overload is a wall-clock condition (handshake CPU),
+	// not a virtual-time one — and long enough to outlast a burst.
+	dialRetry := func(mk func() *core.Session, laddr netip.Addr, raddr netip.AddrPort) (*core.Session, error) {
+		var lastErr error
+		for attempt := 0; attempt < 7 && time.Now().Before(wallDeadline); attempt++ {
+			c := mk()
+			err := dialVia(c, laddr, raddr)
+			if err == nil {
+				return c, nil
+			}
+			c.Close()
+			lastErr = err
+			time.Sleep(time.Duration(20<<attempt) * time.Millisecond)
+		}
+		return nil, lastErr
+	}
+
+	heldPayload := make([]byte, sc.PayloadBytes)
+	rand.New(rand.NewSource(sc.Seed + 7)).Read(heldPayload)
+	heldPayload[0] = 'H'
+	churnPayload := append([]byte(nil), heldPayload...)
+	churnPayload[0] = 'C'
+	var heldWritten atomic.Int64
+	transfer := func(c *core.Session, payload []byte, written *atomic.Int64) error {
+		st, err := c.NewStream()
+		if err != nil {
+			return err
+		}
+		if _, err := st.Write(payload); err != nil {
+			return err
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		if written != nil {
+			written.Add(int64(len(payload)))
+		}
+		return nil
+	}
+
+	// ---- Ramp: Poisson arrivals into the held + churn cohorts. ----
+	heldTotal := sc.Hold + sc.Migrators + sc.Failovers
+	var heldMu sync.Mutex
+	held := make([]*core.Session, 0, heldTotal)
+	addHeld := func(c *core.Session) {
+		heldMu.Lock()
+		held = append(held, c)
+		heldMu.Unlock()
+	}
+	var failoverMu sync.Mutex
+	var failoverSessions []*core.Session
+	var rampErrs atomic.Int64
+	var firstErr atomic.Pointer[error]
+	noteErr := func(err error) {
+		rampErrs.Add(1)
+		firstErr.CompareAndSwap(nil, &err)
+	}
+	var migrated atomic.Int64
+	var churnOK, churnFail atomic.Int64
+	var churnWG, heldWG sync.WaitGroup
+
+	foTracer := mkTracer("client-failover")
+	start := time.Now()
+	arrivals := rand.New(rand.NewSource(sc.Seed + 999))
+	churnEvery := heldTotal / max(sc.Churn, 1)
+	churnLaunched := 0
+	for i := 0; i < heldTotal; i++ {
+		d := time.Duration(arrivals.ExpFloat64() * float64(sc.MeanArrival))
+		time.Sleep(n.ScaleDuration(d))
+		kind := "hold"
+		switch {
+		case i < sc.Failovers:
+			kind = "failover" // early arrivals: standby must exist before the flap
+		case i < sc.Failovers+sc.Migrators:
+			kind = "migrate"
+		}
+		heldWG.Add(1)
+		go func(i int, kind string) {
+			defer heldWG.Done()
+			seed := sc.Seed + int64(i) + 1000
+			switch kind {
+			case "failover":
+				// v6 primary + v4 standby: the flap kills the primary out
+				// from under live sessions; the standby is the rescue.
+				c, err := dialRetry(func() *core.Session { return newClient(seed, true, foTracer) },
+					ClientV6, netip.AddrPortFrom(ServerV6, 443))
+				if err != nil {
+					noteErr(fmt.Errorf("failover client %d: %w", i, err))
+					return
+				}
+				if _, err := c.Connect(netip.Addr{}, netip.AddrPortFrom(ServerV4, 443), 10*time.Second); err != nil {
+					noteErr(fmt.Errorf("failover client %d standby join: %w", i, err))
+					c.Close()
+					return
+				}
+				if err := transfer(c, heldPayload, &heldWritten); err != nil {
+					noteErr(fmt.Errorf("failover client %d transfer: %w", i, err))
+					c.Close()
+					return
+				}
+				failoverMu.Lock()
+				failoverSessions = append(failoverSessions, c)
+				failoverMu.Unlock()
+				addHeld(c)
+			case "migrate":
+				c, err := dialRetry(func() *core.Session { return newClient(seed, false, nil) },
+					netip.Addr{}, netip.AddrPortFrom(ServerV4, 443))
+				if err != nil {
+					noteErr(fmt.Errorf("migrator %d: %w", i, err))
+					return
+				}
+				if err := transfer(c, heldPayload, &heldWritten); err != nil {
+					noteErr(fmt.Errorf("migrator %d transfer: %w", i, err))
+					c.Close()
+					return
+				}
+				// The migration: JOIN on v6, abandon the v4 path the
+				// session arrived on (its id was minted in the handshake).
+				v4Path := c.PathIDs()[0]
+				if _, err := c.Connect(ClientV6, netip.AddrPortFrom(ServerV6, 443), 10*time.Second); err != nil {
+					noteErr(fmt.Errorf("migrator %d join v6: %w", i, err))
+					c.Close()
+					return
+				}
+				if err := c.ClosePath(v4Path); err != nil {
+					noteErr(fmt.Errorf("migrator %d close v4: %w", i, err))
+					c.Close()
+					return
+				}
+				migrated.Add(1)
+				addHeld(c)
+			default:
+				c, err := dialRetry(func() *core.Session { return newClient(seed, false, nil) },
+					netip.Addr{}, netip.AddrPortFrom(ServerV4, 443))
+				if err != nil {
+					noteErr(fmt.Errorf("held client %d: %w", i, err))
+					return
+				}
+				if err := transfer(c, heldPayload, &heldWritten); err != nil {
+					noteErr(fmt.Errorf("held client %d transfer: %w", i, err))
+					c.Close()
+					return
+				}
+				addHeld(c)
+			}
+		}(i, kind)
+
+		// Interleave churn arrivals through the ramp.
+		if churnLaunched < sc.Churn && churnEvery > 0 && i%churnEvery == 0 {
+			churnLaunched++
+			churnWG.Add(1)
+			go func(i int) {
+				defer churnWG.Done()
+				c, err := dialRetry(func() *core.Session { return newClient(sc.Seed+int64(i)+500_000, false, nil) },
+					netip.Addr{}, netip.AddrPortFrom(ServerV4, 443))
+				if err != nil {
+					churnFail.Add(1)
+					return
+				}
+				defer c.Close()
+				if err := transfer(c, churnPayload, nil); err != nil {
+					churnFail.Add(1)
+					return
+				}
+				life := time.Duration(rand.New(rand.NewSource(sc.Seed+int64(i))).ExpFloat64()*
+					float64(sc.HoldMean)) + 20*time.Millisecond
+				time.Sleep(n.ScaleDuration(life))
+				churnOK.Add(1)
+			}(i)
+		}
+	}
+	heldWG.Wait()
+	rampElapsed := n.VirtualSince(start)
+	if rampErrs.Load() > 0 {
+		return fail("%d flock clients failed to establish (first: %v)", rampErrs.Load(), *firstErr.Load())
+	}
+
+	// ---- Peak checkpoint: every budget is checked here. ----
+	heldMu.Lock()
+	live := len(held)
+	heldMu.Unlock()
+	if live != heldTotal {
+		return fail("held cohort: %d of %d established", live, heldTotal)
+	}
+	res.PeakSessions = live
+	res.Admitted = heldTotal + sc.Churn
+	res.SessionsPerSec = float64(heldTotal) / rampElapsed.Seconds()
+
+	// Budgets are fed from the telemetry registry, not private state:
+	// the same vars an operator would scrape. A client finishes TLS one
+	// flight before the server registers the session, so give the last
+	// few server-side enrolls a moment to land before asserting.
+	var snap map[string]any
+	regGauge := func(name string) int64 {
+		v, ok := snap[name].(int64)
+		if !ok {
+			return -1
+		}
+		return v
+	}
+	settleUntil := time.Now().Add(15 * time.Second)
+	var enrolled, tableSessions int64
+	for {
+		snap = reg.Snapshot()
+		enrolled = regGauge("runtime.enrolled")
+		tableSessions = regGauge("listener.sessions")
+		if (enrolled >= int64(live) && tableSessions >= int64(live)) || time.Now().After(settleUntil) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if enrolled < int64(live) {
+		deadHeld, firstDead := 0, error(nil)
+		for _, c := range held {
+			if c.Closed() {
+				deadHeld++
+				if firstDead == nil {
+					firstDead = c.Err()
+				}
+			}
+		}
+		return fail("runtime.enrolled = %d with %d held sessions live (%d held closed client-side, first err: %v)",
+			enrolled, live, deadHeld, firstDead)
+	}
+	if tableSessions < int64(live) {
+		return fail("listener.sessions = %d with %d held sessions live", tableSessions, live)
+	}
+	// The shard table must actually spread: with uniform random conn
+	// ids, the fullest shard at these densities stays within a few
+	// multiples of the mean; a broken mixer collapses into one shard.
+	shards := sc.Shards
+	if shards <= 0 {
+		shards = 64
+	}
+	meanPerShard := float64(tableSessions) / float64(shards)
+	if maxShard := regGauge("listener.shard_max_sessions"); float64(maxShard) > 4*meanPerShard+8 {
+		return fail("shard imbalance: fullest shard holds %d sessions, mean %.1f", maxShard, meanPerShard)
+	}
+
+	res.GoroutinesAtPeak = runtime.NumGoroutine()
+	gBudget := sc.Budget.GoroutineFloor + int(sc.Budget.MaxGoroutinesPerSession*float64(live))
+	if sc.Budget.MaxGoroutinesPerSession > 0 && res.GoroutinesAtPeak > gBudget {
+		return fail("goroutines at peak: %d > budget %d (floor %d + %.1f/session × %d)",
+			res.GoroutinesAtPeak, gBudget, sc.Budget.GoroutineFloor,
+			sc.Budget.MaxGoroutinesPerSession, live)
+	}
+	peakHeap := heapInUse()
+	res.HeapPerSession = (peakHeap - baseHeap) / int64(live)
+	if maxH := sc.Budget.MaxHeapPerSessionBytes; maxH > 0 && res.HeapPerSession > maxH {
+		return fail("heap per session at peak: %d bytes > budget %d", res.HeapPerSession, maxH)
+	}
+	if minS := sc.Budget.MinSessionsPerSec; minS > 0 && res.SessionsPerSec < minS {
+		return fail("sessions/sec regression: %.1f < budget floor %.1f (ramp %v virtual for %d sessions)",
+			res.SessionsPerSec, minS, rampElapsed, heldTotal)
+	}
+
+	// ---- Flap: kill the v6 link under the failover cohort. ----
+	l6.SetDown(true)
+	// Long enough for client-side probes to hit HealthFailAfter.
+	time.Sleep(n.ScaleDuration(1500 * time.Millisecond))
+	l6.SetDown(false)
+	failoverMu.Lock()
+	fos := append([]*core.Session(nil), failoverSessions...)
+	failoverMu.Unlock()
+	for i, c := range fos {
+		if c.Closed() {
+			return fail("failover client %d died in the v6 flap: %v", i, c.Err())
+		}
+		res.FailoverSurvivors++
+	}
+	degraded := 0
+	for _, ev := range ring.Events() {
+		if ev.Kind == telemetry.EvPathDegraded && ev.EP == "client-failover" {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		return fail("v6 flap degraded no failover-cohort path (cohort %d)", len(fos))
+	}
+
+	// ---- Drain watermark: every held-cohort byte reaches the server,
+	// migrations and failovers included (their unacked data replays onto
+	// the surviving path). Churn bytes are excluded: a churn client that
+	// closes early legitimately abandons whatever was still in flight.
+	for heldDrained.Load() < heldWritten.Load() {
+		if time.Now().After(wallDeadline) {
+			return fail("server drained %d of %d held-cohort payload bytes",
+				heldDrained.Load(), heldWritten.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	churnWG.Wait()
+	res.ChurnDeparted = int(churnOK.Load())
+	res.ChurnFailed = int(churnFail.Load())
+	res.Migrated = int(migrated.Load())
+	res.BytesDrained = heldDrained.Load() + churnDrained.Load()
+	res.VirtualElapsed = n.VirtualSince(start)
+	res.BytesPerSec = float64(res.BytesDrained) / res.VirtualElapsed.Seconds()
+	if minB := sc.Budget.MinBytesPerSec; minB > 0 && res.BytesPerSec < minB {
+		return fail("bytes/sec regression: %.0f < budget floor %.0f (%d bytes over %v virtual)",
+			res.BytesPerSec, minB, res.BytesDrained, res.VirtualElapsed)
+	}
+	if res.Migrated != sc.Migrators {
+		return fail("migrated %d of %d", res.Migrated, sc.Migrators)
+	}
+
+	// The ledger invariant holds at scale, batching and all.
+	st := acct.Stats()
+	if st.ConnsSeen != st.HandshakesStarted+st.RejectedPreTLS {
+		return fail("accounting invariant broken: conns_seen=%d != handshakes_started=%d + rejected_pre_tls=%d",
+			st.ConnsSeen, st.HandshakesStarted, st.RejectedPreTLS)
+	}
+
+	// ---- Drain: close the flock, then assert full recovery. The close
+	// fans out (a sequential loop over 10k sessions would dominate the
+	// drain clock), and the recovery deadline scales with flock size:
+	// teardown is real work — path closes, metric unregisters, runtime
+	// unenrolls — and on a small machine 10k of everything takes a while.
+	heldMu.Lock()
+	hs := append([]*core.Session(nil), held...)
+	heldMu.Unlock()
+	closeSem := make(chan struct{}, 256)
+	var closeWG sync.WaitGroup
+	for _, c := range hs {
+		closeWG.Add(1)
+		closeSem <- struct{}{}
+		go func(c *core.Session) {
+			defer closeWG.Done()
+			c.Close()
+			<-closeSem
+		}(c)
+	}
+	closeWG.Wait()
+	cleanup()
+
+	drainTimeout := 60*time.Second + time.Duration(len(hs))*15*time.Millisecond
+	if err := waitGoroutines(baseGoroutines, drainTimeout); err != nil {
+		return fail("goroutine leak after drain: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st = acct.Stats()
+		if st.Sessions == 0 && st.Paths == 0 && st.Streams == 0 && st.Handshakes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail("server gauges never drained: sessions=%d paths=%d streams=%d handshakes=%d",
+				st.Sessions, st.Paths, st.Streams, st.Handshakes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap = reg.Snapshot()
+	if v, ok := snap["runtime.enrolled"].(int64); ok && v != 0 {
+		return fail("runtime.enrolled = %d after drain", v)
+	}
+	if v, ok := snap["listener.sessions"].(int64); ok && v != 0 {
+		return fail("listener.sessions = %d after drain", v)
+	}
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, "session.") {
+			return fail("per-session metric %q leaked past teardown", name)
+		}
+	}
+
+	res.Stats = st
+	res.Metrics = snap
+	return res, nil
+}

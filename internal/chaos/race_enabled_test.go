@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled relaxes the flock gauntlet's throughput floors: the race
+// runtime slows the handshake and data paths by an order of magnitude,
+// which says nothing about the budgets the gauntlet exists to enforce.
+const raceEnabled = true

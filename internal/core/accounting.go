@@ -161,18 +161,49 @@ type Accounting struct {
 	admitHist atomic.Pointer[telemetry.Histogram] // server.admit_ns
 	shedHist  atomic.Pointer[telemetry.Histogram] // server.shed_pass_ns
 
-	mu      sync.Mutex
-	members map[*Session]struct{} // admitted sessions (shedding candidates)
+	// The member set (shedding candidates) is sharded by session seq so
+	// concurrent admissions and teardowns — once per session lifetime,
+	// but C50K lifetimes overlap heavily under churn — only contend when
+	// they land on the same shard. Session seqs are monotonic, so the
+	// mask round-robins perfectly.
+	members [memberShards]memberShard
+}
+
+// memberShards is the member-set shard count (power of two).
+const memberShards = 16
+
+type memberShard struct {
+	mu  sync.Mutex
+	set map[*Session]struct{}
+}
+
+func (a *Accounting) memberShard(s *Session) *memberShard {
+	return &a.members[s.seq&(memberShards-1)]
+}
+
+// memberSnapshot copies the admitted sessions across every shard.
+func (a *Accounting) memberSnapshot() []*Session {
+	var out []*Session
+	for i := range a.members {
+		sh := &a.members[i]
+		sh.mu.Lock()
+		for s := range sh.set {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // NewAccounting builds a server-wide ledger with the given budgets
 // (zero fields take defaults). Share one Accounting per process — or
 // per listener, if listeners should be isolated from each other.
 func NewAccounting(b ServerBudgets) *Accounting {
-	return &Accounting{
-		budgets: b.withDefaults(),
-		members: make(map[*Session]struct{}),
+	a := &Accounting{budgets: b.withDefaults()}
+	for i := range a.members {
+		a.members[i].set = make(map[*Session]struct{})
 	}
+	return a
 }
 
 // Budgets returns the effective (defaulted) budgets.
@@ -271,6 +302,18 @@ func (a *Accounting) endHandshake() {
 	}
 }
 
+// rejectQueued counts a connection that passed admitConn but was
+// dropped before any TLS work began — accept-queue overflow, or a
+// drain after listener close. It preserves the accounting invariant
+// conns_seen == handshakes_started + rejected_pre_tls on paths where
+// beginHandshake will never run.
+func (a *Accounting) rejectQueued() {
+	if a == nil {
+		return
+	}
+	a.rejectedPreTLS.Add(1)
+}
+
 // admitSession claims a session slot for s and registers it as a
 // shedding candidate. The increment-then-check makes the cap exact even
 // when handshakes race: the loser rolls back and is rejected.
@@ -295,9 +338,10 @@ func (a *Accounting) admitSession(s *Session) error {
 	s.mu.Lock()
 	s.acctAdmitted = true // teardown releases the slot
 	s.mu.Unlock()
-	a.mu.Lock()
-	a.members[s] = struct{}{}
-	a.mu.Unlock()
+	sh := a.memberShard(s)
+	sh.mu.Lock()
+	sh.set[s] = struct{}{}
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -307,9 +351,10 @@ func (a *Accounting) releaseSession(s *Session) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	delete(a.members, s)
-	a.mu.Unlock()
+	sh := a.memberShard(s)
+	sh.mu.Lock()
+	delete(sh.set, s)
+	sh.mu.Unlock()
 	n := a.sessions.Add(-1)
 	a.maybeReopen(n)
 }
@@ -404,12 +449,7 @@ func (a *Accounting) shedPass() {
 		start := time.Now()
 		defer func() { h.Observe(time.Since(start).Nanoseconds()) }()
 	}
-	a.mu.Lock()
-	members := make([]*Session, 0, len(a.members))
-	for s := range a.members {
-		members = append(members, s)
-	}
-	a.mu.Unlock()
+	members := a.memberSnapshot()
 
 	var idle, degraded []*Session
 	for _, s := range members {

@@ -112,38 +112,56 @@ func (s *Session) startHealthMonitor() {
 
 // healthLoop probes every live path each interval and degrades paths
 // whose unanswered-probe count crosses the threshold. It exits when the
-// session closes.
+// session closes. Sessions enrolled in a server runtime never run this
+// loop — the runtime's shared timer loop calls healthSweep instead.
 func (s *Session) healthLoop() {
-	failAfter := s.cfg.HealthFailAfter
-	if failAfter <= 0 {
-		failAfter = defaultHealthFailAfter
-	}
 	for {
 		if !s.sleepCancelable(s.cfg.HealthProbeInterval) {
 			return // session closed
 		}
-		for _, pc := range s.livePaths() {
-			if pc.plain {
-				// A plain path has no control channel to probe; its only
-				// liveness signal is the TLS read loop erroring.
-				continue
-			}
-			if pc.health.outstandingCount() >= failAfter {
-				s.degradePath(pc)
-				continue
-			}
-			seq := s.probeSeq.Add(1)
-			pc.health.noteSent(seq, time.Now())
-			s.emit(telemetry.Event{
-				Kind: telemetry.EvHealthPing,
-				Path: pc.id,
-				A:    int64(seq),
-			})
-			// Write in a goroutine: on a stalled path the transport's send
-			// buffer eventually fills and the write blocks until the path
-			// is closed — the monitor itself must never wedge.
-			go pc.writeControl(record.Ping{Seq: seq})
+		s.healthSweep()
+	}
+}
+
+// healthSweep runs one probe round over the live paths: shared by the
+// standalone healthLoop and the server runtime's timer loop, so it must
+// never block. Probes are noted outstanding *here*, not when the write
+// executes — a probe whose write never happens (wedged pool, stalled
+// path) is exactly as unanswered as one the network ate, and counting
+// it is what guarantees the degrade threshold is still reached when the
+// write side is the broken part.
+func (s *Session) healthSweep() {
+	failAfter := s.cfg.HealthFailAfter
+	if failAfter <= 0 {
+		failAfter = defaultHealthFailAfter
+	}
+	for _, pc := range s.livePaths() {
+		if pc.plain {
+			// A plain path has no control channel to probe; its only
+			// liveness signal is the TLS read loop erroring.
+			continue
 		}
+		if pc.health.outstandingCount() >= failAfter {
+			// Degrade on a dedicated goroutine: it aborts the path and may
+			// replay onto a survivor — blocking work that must wedge
+			// neither the timer loop nor the worker pool (whose workers
+			// may themselves be blocked writing to this very path; the
+			// abort is what frees them). markDegraded dedupes re-spawns.
+			go s.degradePath(pc)
+			continue
+		}
+		seq := s.probeSeq.Add(1)
+		pc.health.noteSent(seq, time.Now())
+		s.emit(telemetry.Event{
+			Kind: telemetry.EvHealthPing,
+			Path: pc.id,
+			A:    int64(seq),
+		})
+		// The write goes to the shared worker pool (or, without a runtime
+		// or with a full queue, a transient goroutine): on a stalled path
+		// the transport's send buffer eventually fills and the write
+		// blocks until the path is closed — the sweep itself never wedges.
+		s.asyncExec(func() { pc.writeControl(record.Ping{Seq: seq}) })
 	}
 }
 

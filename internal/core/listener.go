@@ -18,20 +18,56 @@ import (
 // Listener accepts TCPLS sessions: every inbound TCP connection runs a
 // TLS handshake; fresh handshakes become new sessions, JOIN handshakes
 // (Figure 2) attach to existing sessions after cookie validation.
+//
+// The runtime is sharded and pooled for C50K-class session counts:
+//
+//   - The session/reservation table is split into power-of-two shards
+//     keyed by conn id (shardMap), so the accept, JOIN and teardown
+//     paths never take a listener-wide lock.
+//   - The accept loop batches: it drains every already-established
+//     connection per wakeup (transports exposing AcceptBatch), runs the
+//     cheap pre-TLS admission gate inline, and queues survivors for a
+//     fixed pool of handshake workers — a connection storm costs a
+//     bounded number of goroutines, not one per SYN.
+//   - Per-session timers (health probing, stall watchdogs) run on the
+//     listener's shared serverRuntime, so a steady-state server session
+//     costs exactly one goroutine per path.
 type Listener struct {
 	inner net.Listener
 	cfg   *Config
+	rt    *serverRuntime
 
 	jitter        *jitterRNG    // accept-backoff randomness
 	acceptRetries atomic.Uint64 // temporary Accept errors retried
+	queueDrops    atomic.Uint64 // conns dropped pre-TLS at a full handshake queue
 
-	mu       sync.Mutex
-	sessions map[uint32]*Session
-	reserved map[uint32]bool // conn ids minted but not yet registered
-	closed   bool
-	accepts  chan *Session
-	errs     chan error
-	closeCh  chan struct{} // closed in Close; cancels accept backoffs
+	table   *shardMap // sessions + in-flight conn-id reservations
+	closed  atomic.Bool
+	closeCh chan struct{} // closed in Close; cancels accept backoffs
+
+	workers int           // handshake pool size
+	pending chan net.Conn // admitted conns awaiting a handshake worker
+
+	acceptMu      sync.Mutex // guards accepts against concurrent Close
+	acceptsClosed bool
+	accepts       chan *Session
+	errs          chan error
+}
+
+// acceptBatchSize bounds one batch-drain of the transport's backlog.
+const acceptBatchSize = 32
+
+// Default accept-path pool sizes (Config.AcceptWorkers/AcceptBacklog).
+const (
+	defaultAcceptWorkers = 32
+	defaultAcceptBacklog = 8 * defaultAcceptWorkers
+)
+
+// batchAccepter is the optional transport fast path (tcpnet.Listener
+// implements it): drain up to len(dst) already-established connections
+// without blocking, amortizing a scheduler wakeup over the whole burst.
+type batchAccepter interface {
+	AcceptBatch(dst []net.Conn) int
 }
 
 // NewListener wraps a transport listener (tcpnet or net) as a TCPLS
@@ -43,27 +79,66 @@ func NewListener(inner net.Listener, cfg *Config) *Listener {
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
+	workers := cfg.AcceptWorkers
+	if workers <= 0 {
+		workers = defaultAcceptWorkers
+	}
+	backlog := cfg.AcceptBacklog
+	if backlog <= 0 {
+		backlog = 8 * workers
+	}
 	l := &Listener{
-		inner:    inner,
-		cfg:      cfg,
-		jitter:   newJitterRNG(cfg.RetrySeed),
-		sessions: make(map[uint32]*Session),
-		reserved: make(map[uint32]bool),
-		accepts:  make(chan *Session, 16),
-		errs:     make(chan error, 1),
-		closeCh:  make(chan struct{}),
+		inner:   inner,
+		cfg:     cfg,
+		rt:      newServerRuntime(cfg),
+		jitter:  newJitterRNG(cfg.RetrySeed),
+		table:   newShardMap(cfg.Shards),
+		workers: workers,
+		pending: make(chan net.Conn, backlog),
+		accepts: make(chan *Session, backlog),
+		errs:    make(chan error, 1),
+		closeCh: make(chan struct{}),
 	}
 	if acct := cfg.Accounting; acct != nil {
 		acct.attachTracer(cfg.Tracer)
 		acct.RegisterMetrics(cfg.Metrics)
 	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.Func("listener.accept_retries", func() int64 {
+	if reg := cfg.Metrics; reg != nil {
+		reg.Func("listener.accept_retries", func() int64 {
 			return int64(l.acceptRetries.Load())
 		})
+		reg.Func("listener.queue_drops", func() int64 {
+			return int64(l.queueDrops.Load())
+		})
+		reg.Func("listener.sessions", func() int64 {
+			return int64(l.table.len())
+		})
+		reg.Func("listener.shard_max_sessions", func() int64 {
+			maxN := 0
+			for _, n := range l.table.shardCounts() {
+				if n > maxN {
+					maxN = n
+				}
+			}
+			return int64(maxN)
+		})
+		l.rt.registerMetrics(reg)
+	}
+	for i := 0; i < workers; i++ {
+		go l.handshakeWorker()
 	}
 	go l.acceptLoop()
 	return l
+}
+
+// SteadyGoroutines reports the listener's constant goroutine overhead:
+// the accept loop, the handshake worker pool, and the shared runtime's
+// timer loop and event-loop workers. It is independent of the session
+// count — each live session adds exactly one read-loop goroutine per
+// path on top of this (the goroutine-budget regression tests assert
+// the total exactly).
+func (l *Listener) SteadyGoroutines() int {
+	return 1 + l.workers + l.rt.steadyGoroutines()
 }
 
 // Accept returns the next new session (not JOINs — those attach to
@@ -81,18 +156,20 @@ func (l *Listener) Accept() (*Session, error) {
 	return s, nil
 }
 
-// Close stops accepting; existing sessions keep running.
+// Close stops accepting; existing sessions keep running (and keep
+// their shared timers: the runtime drains only after the last enrolled
+// session ends).
 func (l *Listener) Close() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if !l.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	l.closed = true
-	l.mu.Unlock()
 	close(l.closeCh)
 	err := l.inner.Close()
+	l.rt.shutdown()
+	l.acceptMu.Lock()
+	l.acceptsClosed = true
 	close(l.accepts)
+	l.acceptMu.Unlock()
 	return err
 }
 
@@ -100,30 +177,28 @@ func (l *Listener) Close() error {
 // loop has backed off from and retried.
 func (l *Listener) AcceptRetries() uint64 { return l.acceptRetries.Load() }
 
+// QueueDrops reports connections closed pre-TLS because the handshake
+// queue was full.
+func (l *Listener) QueueDrops() uint64 { return l.queueDrops.Load() }
+
 // Addr returns the transport listener's address.
 func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
 
 // Sessions snapshots the live sessions.
-func (l *Listener) Sessions() []*Session {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]*Session, 0, len(l.sessions))
-	for _, s := range l.sessions {
-		out = append(out, s)
-	}
-	return out
-}
+func (l *Listener) Sessions() []*Session { return l.table.snapshot() }
 
 func (l *Listener) acceptLoop() {
+	// The accept loop is the queue's only producer, so it alone may
+	// close it: workers drain the residue and exit.
+	defer close(l.pending)
+	batcher, _ := l.inner.(batchAccepter)
+	var batch [acceptBatchSize]net.Conn
 	pol := l.cfg.Retry.withDefaults()
 	attempt := 0
 	for {
 		conn, err := l.inner.Accept()
 		if err != nil {
-			l.mu.Lock()
-			closed := l.closed
-			l.mu.Unlock()
-			if closed {
+			if l.closed.Load() {
 				return
 			}
 			var ne net.Error
@@ -154,7 +229,66 @@ func (l *Listener) acceptLoop() {
 			return
 		}
 		attempt = 0
-		go l.handleConn(conn)
+		l.enqueue(conn)
+		// Batch drain: a flock arriving between wakeups is admitted and
+		// queued in one pass instead of one scheduler round-trip each.
+		for batcher != nil {
+			n := batcher.AcceptBatch(batch[:])
+			for i := 0; i < n; i++ {
+				l.enqueue(batch[i])
+				batch[i] = nil
+			}
+			if n < len(batch) {
+				break
+			}
+		}
+	}
+}
+
+// enqueue runs the pre-TLS admission gate and hands the connection to
+// the handshake pool. Runs on the accept loop, so everything here is
+// cheap: a few atomic loads and a channel send. The accounting
+// invariant conns_seen == handshakes_started + rejected_pre_tls is
+// preserved on every path out — a connection that passes admitConn but
+// never reaches beginHandshake must be counted rejected.
+func (l *Listener) enqueue(conn net.Conn) {
+	acct := l.cfg.Accounting
+	// Overload admission before any TLS work or queueing: a rejected
+	// connection costs the server a few atomic loads and the client a
+	// closed TCP connection — never a key schedule.
+	if err := acct.admitConn(); err != nil {
+		conn.Close()
+		return
+	}
+	if l.closed.Load() {
+		acct.rejectQueued()
+		conn.Close()
+		return
+	}
+	select {
+	case l.pending <- conn:
+	default:
+		// Handshake pool saturated and the queue full: shed the newest
+		// arrival pre-TLS. The client sees a closed TCP connection and
+		// retries against a less loaded moment; the server never spent
+		// key-schedule work on it.
+		l.queueDrops.Add(1)
+		acct.rejectQueued()
+		conn.Close()
+	}
+}
+
+// handshakeWorker serves queued connections until the queue closes.
+func (l *Listener) handshakeWorker() {
+	for conn := range l.pending {
+		if l.closed.Load() {
+			// Drained after Close: the conn passed the gate but no
+			// handshake will run — count it out (see enqueue).
+			l.cfg.Accounting.rejectQueued()
+			conn.Close()
+			continue
+		}
+		l.handleConn(conn)
 	}
 }
 
@@ -169,13 +303,6 @@ type handshakeResult struct {
 func (l *Listener) handleConn(conn net.Conn) {
 	hsStart := time.Now()
 	acct := l.cfg.Accounting
-	// Overload admission before any TLS work: a rejected connection
-	// costs the server a few atomic loads and the client a closed TCP
-	// connection — never a key schedule.
-	if err := acct.admitConn(); err != nil {
-		conn.Close()
-		return
-	}
 	if err := acct.beginHandshake(); err != nil {
 		conn.Close()
 		return
@@ -193,7 +320,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 	tc := tls13.Server(conn, tlsCfg)
 	// Slowloris guard: a client that connects and then stalls (or
 	// dribbles bytes) mid-handshake is cut off after the handshake
-	// timeout instead of pinning this goroutine forever.
+	// timeout instead of pinning this worker forever.
 	timeout := l.cfg.Limits.withDefaults().HandshakeTimeout
 	conn.SetDeadline(time.Now().Add(l.cfg.Clock.ScaleDuration(timeout)))
 	err := tc.Handshake()
@@ -260,16 +387,10 @@ func (l *Listener) handleConn(conn net.Conn) {
 		return
 	}
 	s.joinKey = joinKey
-	l.mu.Lock()
-	closed := l.closed
-	if !closed {
-		delete(l.reserved, s.connID) // the session table owns the id now
-		l.sessions[s.connID] = s
-	}
-	l.mu.Unlock()
-	if closed {
+	l.table.insert(s.connID, s) // the session table owns the id now
+	if l.closed.Load() {
 		conn.Close()
-		s.teardown(ErrSessionClosed)
+		s.teardown(ErrSessionClosed) // removeSession hook clears the table entry
 		return
 	}
 	s.emit(telemetry.Event{
@@ -283,9 +404,23 @@ func (l *Listener) handleConn(conn net.Conn) {
 		return
 	}
 	s.observePhase("handshake_ns.server", hsStart)
+	l.deliver(s)
+}
+
+// deliver hands a ready session to Accept; the mutex makes delivery
+// and Close's channel-close mutually exclusive (no send-on-closed).
+func (l *Listener) deliver(s *Session) {
+	l.acceptMu.Lock()
+	if l.acceptsClosed {
+		l.acceptMu.Unlock()
+		s.teardown(ErrSessionClosed)
+		return
+	}
 	select {
 	case l.accepts <- s:
+		l.acceptMu.Unlock()
 	default:
+		l.acceptMu.Unlock()
 		s.teardown(errors.New("tcpls: accept backlog full"))
 	}
 }
@@ -293,10 +428,7 @@ func (l *Listener) handleConn(conn net.Conn) {
 // acceptPlain registers a completed plain-TLS handshake as a degraded
 // single-path session and hands it to Accept like any other.
 func (l *Listener) acceptPlain(conn net.Conn, tc *tls13.Conn) {
-	l.mu.Lock()
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	if l.closed.Load() {
 		conn.Close()
 		return
 	}
@@ -312,11 +444,7 @@ func (l *Listener) acceptPlain(conn net.Conn, tc *tls13.Conn) {
 		s.teardown(err)
 		return
 	}
-	select {
-	case l.accepts <- s:
-	default:
-		s.teardown(errors.New("tcpls: accept backlog full"))
-	}
+	l.deliver(s)
 }
 
 // serverTLSConfig builds the per-connection TLS config with the TCPLS
@@ -346,10 +474,11 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 		}
 		// Figure 2 validation: the session must exist, the cookie must
 		// be one we issued and still unused, and the binder must prove
-		// possession of the session secret.
-		l.mu.Lock()
-		target := l.sessions[hello.Join.ConnID]
-		l.mu.Unlock()
+		// possession of the session secret. The lookup touches exactly
+		// one shard — JOIN storms never serialize the whole table — and
+		// waits out the reservation window of a first handshake still
+		// completing on a sibling worker.
+		target := l.table.getLive(hello.Join.ConnID, time.Second)
 		if target == nil {
 			return ErrJoinRejected
 		}
@@ -435,6 +564,7 @@ func (l *Listener) serverTLSConfig(conn net.Conn, res *handshakeResult) *tls13.C
 func (l *Listener) sessionConfig() *Config {
 	cfg := *l.cfg
 	cfg.onTeardown = l.removeSession
+	cfg.runtime = l.rt
 	return &cfg
 }
 
@@ -447,11 +577,7 @@ func (l *Listener) removeSession(s *Session) {
 	if id == 0 {
 		return // degraded plain session: never had a table entry
 	}
-	l.mu.Lock()
-	if l.sessions[id] == s {
-		delete(l.sessions, id)
-	}
-	l.mu.Unlock()
+	l.table.remove(id, s)
 }
 
 func newConnID() uint32 {
@@ -476,20 +602,11 @@ func pickConnID(taken func(uint32) bool, rnd func() uint32) uint32 {
 // session table nor another in-flight handshake, and holds it until
 // the session registers (or releaseConnID on handshake failure).
 func (l *Listener) reserveConnID() uint32 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	id := pickConnID(func(id uint32) bool {
-		_, live := l.sessions[id]
-		return live || l.reserved[id]
-	}, newConnID)
-	l.reserved[id] = true
-	return id
+	return l.table.reserve(newConnID)
 }
 
 func (l *Listener) releaseConnID(id uint32) {
-	l.mu.Lock()
-	delete(l.reserved, id)
-	l.mu.Unlock()
+	l.table.release(id)
 }
 
 // replayAll resends every stream's unacked data on pc — the failover

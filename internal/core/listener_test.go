@@ -71,10 +71,7 @@ func TestAcceptLoopBacksOffOnTemporaryErrors(t *testing.T) {
 		t.Fatalf("temporary errors killed the listener: %v", err)
 	default:
 	}
-	l.mu.Lock()
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	if l.closed.Load() {
 		t.Fatal("listener closed itself on temporary errors")
 	}
 	if n := l.AcceptRetries(); n != fails {
@@ -91,10 +88,7 @@ func TestAcceptLoopDiesOnPermanentError(t *testing.T) {
 	if _, err := l.Accept(); err == nil {
 		t.Fatal("Accept returned nil after permanent error")
 	}
-	l.mu.Lock()
-	closed := l.closed
-	l.mu.Unlock()
-	if !closed {
+	if !l.closed.Load() {
 		t.Fatal("listener survived a permanent Accept error")
 	}
 }
@@ -137,19 +131,149 @@ func TestReserveConnIDLifecycle(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	l.mu.Lock()
-	n := len(l.reserved)
-	l.mu.Unlock()
-	if n != 64 {
+	if n := l.table.reservedLen(); n != 64 {
 		t.Fatalf("reserved set holds %d ids, want 64", n)
 	}
 	for id := range seen {
 		l.releaseConnID(id)
 	}
-	l.mu.Lock()
-	n = len(l.reserved)
-	l.mu.Unlock()
-	if n != 0 {
+	if n := l.table.reservedLen(); n != 0 {
 		t.Fatalf("release leaked %d reservations", n)
 	}
+}
+
+// feedListener hands out scripted conns, exposing the batch fast path
+// the accept loop uses (AcceptBatch) alongside blocking Accept.
+type feedListener struct {
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newFeedListener() *feedListener {
+	return &feedListener{
+		conns:  make(chan net.Conn, 256),
+		closed: make(chan struct{}),
+	}
+}
+
+func (f *feedListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-f.conns:
+		return c, nil
+	case <-f.closed:
+		return nil, errors.New("use of closed listener")
+	}
+}
+
+func (f *feedListener) AcceptBatch(dst []net.Conn) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case c := <-f.conns:
+			dst[n] = c
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+func (f *feedListener) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return nil
+}
+
+func (f *feedListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// deadConn returns a net.Pipe end whose peer is already closed, so a
+// TLS handshake on it fails immediately.
+func deadConn() net.Conn {
+	a, b := net.Pipe()
+	b.Close()
+	return a
+}
+
+// TestAcceptBatchingPreservesAccountingInvariant pins the ledger
+// equation conns_seen == handshakes_started + rejected_pre_tls across
+// the batched accept path. Every connection that passes admitConn must
+// end up in exactly one of the two buckets — including the ones shed at
+// a full handshake queue, which never reach beginHandshake. This test
+// fails if the counters move relative to the batching/queueing.
+func TestAcceptBatchingPreservesAccountingInvariant(t *testing.T) {
+	inner := newFeedListener()
+	acct := NewAccounting(ServerBudgets{MaxSessions: 1000})
+	l := NewListener(inner, &Config{
+		Accounting:    acct,
+		AcceptWorkers: 1,
+		AcceptBacklog: 1,
+	})
+	defer l.Close()
+
+	// Occupy the single worker with a handshake that cannot progress: an
+	// open pipe with a silent peer blocks the server's first read.
+	blockerA, blockerB := net.Pipe()
+	inner.conns <- blockerA
+	waitFor(t, 10*time.Second, func() bool {
+		return acct.Stats().HandshakesStarted == 1
+	}, "worker never picked up the blocking conn")
+
+	// Feed a burst through the batch path: one fits the queue (cap 1),
+	// the rest must be shed pre-TLS at the full queue.
+	const burst = 10
+	for i := 0; i < burst; i++ {
+		inner.conns <- deadConn()
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return l.QueueDrops() == burst-1
+	}, "full handshake queue did not shed the overflow")
+
+	// Unblock the worker; it fails the blocker's handshake, then drains
+	// the one queued conn (which also fails fast — its peer is closed).
+	blockerB.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		return acct.Stats().HandshakesStarted == 2
+	}, "worker never drained the queued conn")
+
+	waitFor(t, 10*time.Second, func() bool {
+		st := acct.Stats()
+		return st.ConnsSeen == st.HandshakesStarted+st.RejectedPreTLS
+	}, "accounting invariant violated at quiescence")
+	st := acct.Stats()
+	if st.ConnsSeen != 1+burst {
+		t.Fatalf("conns_seen = %d, want %d", st.ConnsSeen, 1+burst)
+	}
+	if st.HandshakesStarted != 2 {
+		t.Fatalf("handshakes_started = %d, want 2 (blocker + one queued)", st.HandshakesStarted)
+	}
+	if st.RejectedPreTLS != burst-1 {
+		t.Fatalf("rejected_pre_tls = %d, want %d (queue overflow)", st.RejectedPreTLS, burst-1)
+	}
+}
+
+// TestAcceptInvariantHoldsThroughClose: conns in flight when the
+// listener closes — queued but never handshaken — are still counted
+// out, so the ledger balances no matter where Close cuts the pipeline.
+func TestAcceptInvariantHoldsThroughClose(t *testing.T) {
+	inner := newFeedListener()
+	acct := NewAccounting(ServerBudgets{MaxSessions: 1000})
+	l := NewListener(inner, &Config{
+		Accounting:    acct,
+		AcceptWorkers: 2,
+		AcceptBacklog: 4,
+	})
+	for i := 0; i < 32; i++ {
+		inner.conns <- deadConn()
+	}
+	// Let the accept loop ingest at least part of the burst, then close
+	// mid-stream: whatever was admitted must still balance.
+	waitFor(t, 10*time.Second, func() bool {
+		return acct.Stats().ConnsSeen > 0
+	}, "accept loop ingested nothing")
+	l.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		st := acct.Stats()
+		return st.ConnsSeen == st.HandshakesStarted+st.RejectedPreTLS
+	}, "accounting invariant violated after close drain")
 }

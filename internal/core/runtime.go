@@ -1,0 +1,340 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+)
+
+// Shared server event loops. Per-session timer goroutines do not
+// survive contact with C50K: a health monitor and a stall watchdog per
+// session, plus a transient goroutine per health probe, put the
+// steady-state goroutine count at 3-4× the session count before any
+// data moves. The server runtime collapses all of it into a constant
+// number of goroutines per *listener*:
+//
+//   - one timer loop that sweeps every enrolled session on the shared
+//     cadence, driving health probing and the stall watchdog, and
+//   - a small fixed pool of event-loop workers executing the async work
+//     those sweeps generate (probe writes, proactive degrades, stall
+//     teardowns) off the timer goroutine, so one slow path cannot stall
+//     every session's timers.
+//
+// With the runtime in place a server session's steady-state goroutine
+// cost is exactly one read loop per path — O(1) with constant 1 — and
+// the listener's own overhead is a fixed constant independent of the
+// session count (see Listener.SteadyGoroutines).
+//
+// Ownership rules:
+//
+//   - The timer loop owns every runtimeEntry's mutable state; nothing
+//     else touches it after enroll.
+//   - Event-loop tasks carry their owner; a task whose owner closed
+//     between submit and execution is skipped, never run — nothing is
+//     delivered after session close.
+//   - Blocking work (anything that writes to a path) must go through
+//     asyncExec, never run on the timer loop. A full task queue falls
+//     back to a transient goroutine rather than dropping work, so a
+//     wedged worker pool degrades to the old per-event cost instead of
+//     losing probes or teardowns.
+//   - The runtime drains, it does not abandon: shutdown() marks the
+//     runtime draining, and the loops exit only once the last enrolled
+//     session is gone, so sessions that outlive their listener keep
+//     their timers.
+
+// runtimeWriters is the event-loop worker-pool size per listener.
+const runtimeWriters = 4
+
+// runtimeBacklog is the event-loop task queue depth; overflow falls
+// back to a transient goroutine (counted, never dropped).
+const runtimeBacklog = 1024
+
+// loopOwner gates task delivery: tasks for a closed owner are skipped.
+// *Session implements it; tests substitute fakes.
+type loopOwner interface {
+	Closed() bool
+}
+
+type loopTask struct {
+	owner loopOwner
+	fn    func()
+}
+
+// eventLoop is a bounded multi-worker task executor with exact
+// delivery accounting: submitted == delivered + skipped + dropped once
+// idle, where skipped tasks are those whose owner closed before
+// execution.
+type eventLoop struct {
+	tasks   chan loopTask
+	stopCh  chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	submitted atomic.Uint64
+	delivered atomic.Uint64
+	skipped   atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+func newEventLoop(workers, backlog int) *eventLoop {
+	if workers <= 0 {
+		workers = 1
+	}
+	if backlog <= 0 {
+		backlog = 1
+	}
+	e := &eventLoop{
+		tasks:  make(chan loopTask, backlog),
+		stopCh: make(chan struct{}),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// submit queues fn for execution on behalf of owner. It returns false
+// — counting a drop — when the queue is full or the loop stopped; the
+// caller decides whether to fall back or let the event go.
+func (e *eventLoop) submit(owner loopOwner, fn func()) bool {
+	e.submitted.Add(1)
+	if e.stopped.Load() {
+		e.dropped.Add(1)
+		return false
+	}
+	select {
+	case e.tasks <- loopTask{owner: owner, fn: fn}:
+		return true
+	default:
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+func (e *eventLoop) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case t := <-e.tasks:
+			e.run(t)
+		case <-e.stopCh:
+			// Drain what was queued before the stop; owners are almost
+			// certainly closed by now, so most of this is skips.
+			for {
+				select {
+				case t := <-e.tasks:
+					e.run(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *eventLoop) run(t loopTask) {
+	if t.owner != nil && t.owner.Closed() {
+		e.skipped.Add(1)
+		return
+	}
+	t.fn()
+	e.delivered.Add(1)
+}
+
+// stop ends the workers after draining the queue and blocks until they
+// exit. Further submits are counted as drops.
+func (e *eventLoop) stop() {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.stopCh)
+	e.wg.Wait()
+}
+
+// runtimeEntry is the timer loop's per-session state. Owned by the
+// timer goroutine exclusively after enroll.
+type runtimeEntry struct {
+	s         *Session
+	lastProbe time.Time // wall; compared in virtual time
+	lastStall time.Time
+	watchdog  watchdogState
+}
+
+// serverRuntime is one listener's shared timer/event machinery.
+type serverRuntime struct {
+	clock Clock
+	loop  *eventLoop
+
+	probeEvery time.Duration // virtual; 0 disables health sweeps
+	stallEvery time.Duration // virtual; 0 disables watchdog sweeps
+	stallAfter time.Duration // virtual stall timeout
+	tick       time.Duration // wall tick of the timer loop
+
+	mu       sync.Mutex
+	entries  map[*Session]*runtimeEntry
+	draining bool
+
+	enrolls atomic.Uint64
+}
+
+// newServerRuntime derives the shared cadence from the listener config
+// and starts the timer loop and worker pool. The constant goroutine
+// cost is 1 (timer) + runtimeWriters.
+func newServerRuntime(cfg *Config) *serverRuntime {
+	rt := &serverRuntime{
+		clock:   cfg.Clock,
+		loop:    newEventLoop(runtimeWriters, runtimeBacklog),
+		entries: make(map[*Session]*runtimeEntry),
+	}
+	if cfg.HealthProbeInterval > 0 {
+		rt.probeEvery = cfg.HealthProbeInterval
+	}
+	if cfg.StallTimeout > 0 {
+		rt.stallAfter = cfg.StallTimeout
+		rt.stallEvery = cfg.StallCheckInterval
+		if rt.stallEvery <= 0 {
+			rt.stallEvery = cfg.StallTimeout / 4
+		}
+		if rt.stallEvery <= 0 {
+			rt.stallEvery = time.Millisecond
+		}
+	}
+	// The wall tick is the finest enabled cadence; sessions are swept no
+	// more often than their own (virtual) intervals regardless. With
+	// nothing enabled the loop only polls for drain.
+	finest := time.Duration(0)
+	for _, d := range []time.Duration{rt.probeEvery, rt.stallEvery} {
+		if d > 0 && (finest == 0 || d < finest) {
+			finest = d
+		}
+	}
+	if finest > 0 {
+		rt.tick = rt.clock.ScaleDuration(finest) / 2
+	}
+	if rt.tick < 500*time.Microsecond {
+		rt.tick = 500 * time.Microsecond
+	}
+	if rt.tick > 25*time.Millisecond || finest == 0 {
+		rt.tick = 25 * time.Millisecond
+	}
+	go rt.timerLoop()
+	return rt
+}
+
+// steadyGoroutines is the runtime's constant goroutine cost.
+func (rt *serverRuntime) steadyGoroutines() int { return 1 + runtimeWriters }
+
+// enroll registers a session for shared sweeps (idempotent).
+func (rt *serverRuntime) enroll(s *Session) {
+	now := time.Now()
+	rt.mu.Lock()
+	if _, ok := rt.entries[s]; !ok {
+		rt.entries[s] = &runtimeEntry{s: s, lastProbe: now, lastStall: now}
+		rt.enrolls.Add(1)
+	}
+	rt.mu.Unlock()
+}
+
+// unenroll drops a session; called from teardown.
+func (rt *serverRuntime) unenroll(s *Session) {
+	rt.mu.Lock()
+	delete(rt.entries, s)
+	rt.mu.Unlock()
+}
+
+// shutdown marks the runtime draining; the loops exit once the last
+// enrolled session is gone. Called by Listener.Close — existing
+// sessions keep running, and keep their timers, until they end.
+func (rt *serverRuntime) shutdown() {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+}
+
+func (rt *serverRuntime) timerLoop() {
+	t := time.NewTimer(rt.tick)
+	defer t.Stop()
+	for range t.C {
+		if rt.sweep() {
+			rt.loop.stop()
+			return
+		}
+		t.Reset(rt.tick)
+	}
+}
+
+// sweep runs one timer pass over every enrolled session and reports
+// whether the runtime is fully drained (draining and empty).
+func (rt *serverRuntime) sweep() (drained bool) {
+	rt.mu.Lock()
+	entries := make([]*runtimeEntry, 0, len(rt.entries))
+	for _, e := range rt.entries {
+		entries = append(entries, e)
+	}
+	draining := rt.draining
+	rt.mu.Unlock()
+
+	now := time.Now()
+	for _, e := range entries {
+		s := e.s
+		if s.Closed() {
+			rt.unenroll(s) // teardown also unenrolls; belt and braces
+			continue
+		}
+		if rt.probeEvery > 0 && virtualSinceClock(rt.clock, e.lastProbe) >= rt.probeEvery {
+			e.lastProbe = now
+			s.healthSweep()
+		}
+		if rt.stallEvery > 0 && virtualSinceClock(rt.clock, e.lastStall) >= rt.stallEvery {
+			e.lastStall = now
+			if serr, unacked := e.watchdog.sweep(s, rt.stallAfter, now); serr != nil {
+				rt.unenroll(s)
+				// Teardown on a dedicated goroutine, not the worker pool:
+				// it aborts paths — the very act that frees pool workers
+				// wedged on those paths' send buffers — so it must never
+				// queue behind them.
+				go s.stallTeardown(serr, unacked)
+			}
+		}
+	}
+
+	if !draining {
+		return false
+	}
+	rt.mu.Lock()
+	drained = rt.draining && len(rt.entries) == 0
+	rt.mu.Unlock()
+	return drained
+}
+
+// registerMetrics publishes the runtime's counters (the flock gauntlet
+// budgets feed from these).
+func (rt *serverRuntime) registerMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("runtime.enrolled", func() int64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return int64(len(rt.entries))
+	})
+	reg.Func("runtime.enrolls", func() int64 { return int64(rt.enrolls.Load()) })
+	reg.Func("runtime.tasks_submitted", func() int64 { return int64(rt.loop.submitted.Load()) })
+	reg.Func("runtime.tasks_delivered", func() int64 { return int64(rt.loop.delivered.Load()) })
+	reg.Func("runtime.tasks_skipped", func() int64 { return int64(rt.loop.skipped.Load()) })
+	reg.Func("runtime.tasks_dropped", func() int64 { return int64(rt.loop.dropped.Load()) })
+}
+
+// asyncExec runs fn off the caller's goroutine: on the server runtime's
+// worker pool when the session has one, else on a transient goroutine
+// (the pre-runtime behavior, and the overflow fallback — async work is
+// never dropped, only its execution vehicle changes).
+func (s *Session) asyncExec(fn func()) {
+	if rt := s.cfg.runtime; rt != nil && rt.loop.submit(s, fn) {
+		return
+	}
+	go fn()
+}

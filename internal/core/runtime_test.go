@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeOwner is a minimal loopOwner for event-loop tests.
+type fakeOwner struct {
+	closed atomic.Bool
+}
+
+func (o *fakeOwner) Closed() bool { return o.closed.Load() }
+
+// TestEventLoopAccountingExact pins the delivery ledger: after the loop
+// goes idle, every submitted task is accounted for exactly once as
+// delivered, skipped, or dropped.
+func TestEventLoopAccountingExact(t *testing.T) {
+	e := newEventLoop(4, 64)
+	owner := &fakeOwner{}
+	var ran atomic.Uint64
+	const n = 500
+	fallbacks := 0
+	for i := 0; i < n; i++ {
+		if !e.submit(owner, func() { ran.Add(1) }) {
+			fallbacks++ // queue momentarily full; asyncExec would go fn()
+		}
+	}
+	e.stop() // drains the queue, waits for workers
+	sub, del, skip, drop := e.submitted.Load(), e.delivered.Load(), e.skipped.Load(), e.dropped.Load()
+	if sub != n {
+		t.Fatalf("submitted = %d, want %d", sub, n)
+	}
+	if sub != del+skip+drop {
+		t.Fatalf("ledger leak: submitted %d != delivered %d + skipped %d + dropped %d",
+			sub, del, skip, drop)
+	}
+	if drop != uint64(fallbacks) {
+		t.Fatalf("dropped = %d but submit returned false %d times", drop, fallbacks)
+	}
+	if ran.Load() != del {
+		t.Fatalf("%d fns executed but %d counted delivered", ran.Load(), del)
+	}
+}
+
+// TestEventLoopPropertyInterleaving is the randomized-interleaving
+// property test for the shared event loop: several owners each receive
+// a random script of timer-fire / readable / writable / close events
+// from concurrent submitters, and for every seed it must hold that
+//
+//   - the ledger is exact (submitted == delivered + skipped + dropped),
+//   - no event is lost: every submit either executes, is counted
+//     skipped, or is counted dropped (the asyncExec fallback's cue),
+//   - nothing is delivered after its owner closed: a task submitted
+//     after close must never execute.
+//
+// The seed is logged so a failing interleaving replays exactly.
+func TestEventLoopPropertyInterleaving(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("interleaving seed: %d (rerun with eventLoopProperty(t, %d))", seed, seed)
+	eventLoopProperty(t, seed)
+}
+
+// TestEventLoopPropertyPinnedSeeds replays a few fixed interleavings so
+// the property is exercised deterministically on every run too.
+func TestEventLoopPropertyPinnedSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 42, 0xC50C50} {
+		eventLoopProperty(t, seed)
+	}
+}
+
+type loopEventKind int
+
+const (
+	evTimerFire loopEventKind = iota
+	evReadable
+	evWritable
+	evClose
+	numLoopEventKinds
+)
+
+func eventLoopProperty(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Small worker pool + small queue: overflow (drop) and post-close
+	// (skip) paths are both routinely hit, not just the happy path.
+	e := newEventLoop(2, 8)
+	const owners = 6
+	var lateDelivered atomic.Uint64
+	var executed atomic.Uint64
+	fallbacks := uint64(0)
+	var fallbackMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for o := 0; o < owners; o++ {
+		wg.Add(1)
+		script := make([]loopEventKind, 30+rng.Intn(50))
+		closeAt := rng.Intn(len(script))
+		for i := range script {
+			script[i] = loopEventKind(rng.Intn(int(numLoopEventKinds - 1))) // close is positional
+		}
+		script[closeAt] = evClose
+		jitter := rng.Int63()
+		go func(script []loopEventKind, jitter int64) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(jitter))
+			owner := &fakeOwner{}
+			for _, ev := range script {
+				if ev == evClose {
+					owner.closed.Store(true)
+					continue
+				}
+				// Captured before submit: closed here happens-before the
+				// worker's Closed() check, so execution would be a real
+				// after-close delivery, not a benign race.
+				closedAtSubmit := owner.Closed()
+				ok := e.submit(owner, func() {
+					executed.Add(1)
+					if closedAtSubmit {
+						lateDelivered.Add(1)
+					}
+				})
+				if !ok {
+					fallbackMu.Lock()
+					fallbacks++
+					fallbackMu.Unlock()
+				}
+				if lrng.Intn(4) == 0 {
+					time.Sleep(time.Duration(lrng.Intn(50)) * time.Microsecond)
+				}
+			}
+		}(script, jitter)
+	}
+	wg.Wait()
+	e.stop()
+
+	sub, del, skip, drop := e.submitted.Load(), e.delivered.Load(), e.skipped.Load(), e.dropped.Load()
+	if sub != del+skip+drop {
+		t.Fatalf("seed %d: ledger leak: submitted %d != delivered %d + skipped %d + dropped %d",
+			seed, sub, del, skip, drop)
+	}
+	if drop != fallbacks {
+		t.Fatalf("seed %d: dropped = %d but submit refused %d times — a refused submit must be countable so asyncExec can fall back",
+			seed, drop, fallbacks)
+	}
+	if n := lateDelivered.Load(); n != 0 {
+		t.Fatalf("seed %d: %d events delivered after their owner closed", seed, n)
+	}
+	if executed.Load() != del {
+		t.Fatalf("seed %d: %d fns executed but %d counted delivered", seed, executed.Load(), del)
+	}
+}
+
+// TestEventLoopStopRefusesNewWork: submits after stop are counted
+// drops, not silently lost and not executed.
+func TestEventLoopStopRefusesNewWork(t *testing.T) {
+	e := newEventLoop(1, 4)
+	e.stop()
+	var ran atomic.Bool
+	if e.submit(&fakeOwner{}, func() { ran.Store(true) }) {
+		t.Fatal("submit accepted after stop")
+	}
+	if ran.Load() {
+		t.Fatal("task ran after stop")
+	}
+	if e.dropped.Load() != 1 {
+		t.Fatalf("dropped = %d, want 1", e.dropped.Load())
+	}
+}
+
+// TestServerRuntimeDrainsAfterLastSession: shutdown marks the runtime
+// draining but the loops keep running while any session is enrolled —
+// sessions outlive their listener by design — and exit only after the
+// last one unenrolls.
+func TestServerRuntimeDrainsAfterLastSession(t *testing.T) {
+	cfg := &Config{Clock: realClock{}, FlightRecorderSize: -1}
+	rt := newServerRuntime(cfg)
+	cfg.runtime = rt
+	s := newSession(RoleServer, cfg, nil)
+	rt.enroll(s)
+	rt.shutdown()
+
+	// Still serving the enrolled session: the loop must not stop.
+	time.Sleep(4 * rt.tick)
+	if rt.loop.stopped.Load() {
+		t.Fatal("runtime stopped while a session was still enrolled")
+	}
+
+	s.teardown(ErrSessionClosed) // unenrolls via cfg.runtime
+	waitFor(t, 5*time.Second, func() bool {
+		return rt.loop.stopped.Load()
+	}, "runtime did not drain after the last session ended")
+}
+
+// TestServerRuntimeEnrollIdempotent: re-enrolling a session neither
+// duplicates its entry nor inflates the enroll counter.
+func TestServerRuntimeEnrollIdempotent(t *testing.T) {
+	cfg := &Config{Clock: realClock{}, FlightRecorderSize: -1}
+	rt := newServerRuntime(cfg)
+	defer rt.shutdown()
+	s := newSession(RoleServer, cfg, nil)
+	rt.enroll(s)
+	rt.enroll(s)
+	rt.mu.Lock()
+	n := len(rt.entries)
+	rt.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("double enroll left %d entries, want 1", n)
+	}
+	if rt.enrolls.Load() != 1 {
+		t.Fatalf("enrolls = %d, want 1", rt.enrolls.Load())
+	}
+	rt.unenroll(s)
+}

@@ -225,9 +225,28 @@ type Config struct {
 	// dump (flight-s<seq>-<connid>.jsonl) alongside the FlightDump
 	// callback.
 	FlightDumpDir string
+	// Shards is the listener's session-table shard count, rounded up to
+	// a power of two (0 = 64). Each shard holds its slice of the conn-id
+	// space under its own lock, so accept, JOIN and teardown contend
+	// only when their ids share a shard.
+	Shards int
+	// AcceptWorkers is the listener's handshake worker-pool size (0 =
+	// 32): accepted connections are batched into a queue and handshaken
+	// by this fixed pool, instead of one goroutine per connection.
+	AcceptWorkers int
+	// AcceptBacklog is the depth of the queue between the accept loop
+	// and the handshake workers (0 = 8×AcceptWorkers). A connection
+	// arriving to a full queue is closed pre-TLS and counted as a
+	// rejected_pre_tls overload rejection.
+	AcceptBacklog int
 	// onTeardown is the listener's teardown hook (session-table removal
 	// and conn-id release); set by sessionConfig, never by callers.
 	onTeardown func(*Session)
+	// runtime is the listener's shared timer/event machinery; sessions
+	// carrying one are swept by its timer loop instead of running their
+	// own health-monitor and watchdog goroutines. Set by sessionConfig,
+	// never by callers.
+	runtime *serverRuntime
 }
 
 // Clock abstracts timer scaling; netsim.Network implements it.
@@ -504,9 +523,18 @@ func (s *Session) registerPath(pc *pathConn) error {
 		go pc.plainReadLoop()
 	} else {
 		go pc.readLoop()
-		s.startHealthMonitor()
 	}
-	s.startStallWatchdog()
+	if rt := s.cfg.runtime; rt != nil {
+		// Server sessions: the listener's shared timer loop drives health
+		// probing and the stall watchdog for every enrolled session, so
+		// the read loop above is this path's only steady-state goroutine.
+		rt.enroll(s)
+	} else {
+		if !pc.plain {
+			s.startHealthMonitor()
+		}
+		s.startStallWatchdog()
+	}
 	if cb := s.cfg.Callbacks.ConnEstablished; cb != nil {
 		cb(pc.id, pc.tcp.LocalAddr(), pc.tcp.RemoteAddr())
 	}
@@ -628,6 +656,9 @@ func (s *Session) teardown(err error) {
 	}
 	s.rollupSessionMetrics()
 	s.unregisterSessionMetrics()
+	if rt := s.cfg.runtime; rt != nil {
+		rt.unenroll(s) // stop shared sweeps (plain sessions enroll too)
+	}
 	if hook := s.cfg.onTeardown; hook != nil {
 		hook(s) // listener bookkeeping: session-table and conn-id release
 	}

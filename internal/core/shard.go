@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Sharded session table. A single listener mutex around the session and
+// reservation maps serializes the three hottest server paths — JOIN
+// lookups during ClientHello inspection, session registration after
+// every handshake, and teardown removal — and at C50K-class session
+// counts that one lock is the accept path's ceiling. The table is split
+// into power-of-two shards keyed by conn id: each shard owns its slice
+// of the id space under its own mutex, so the only serialization left
+// is between operations on ids that actually share a shard.
+//
+// Conn ids map to shards deterministically, which is what keeps
+// reservation exact without a global lock: uniqueness of an id only
+// needs the one shard that id lives in.
+
+// defaultShards is the session-table shard count when Config.Shards is
+// zero. 64 shards keep the per-shard session count in the hundreds even
+// at C50K while costing ~6 KiB of empty maps at rest.
+const defaultShards = 64
+
+// maxShards bounds Config.Shards against misconfiguration.
+const maxShards = 1 << 14
+
+type tableShard struct {
+	mu       sync.Mutex
+	sessions map[uint32]*Session
+	reserved map[uint32]bool // conn ids minted but not yet registered
+}
+
+// shardMap is the sharded session/reservation table.
+type shardMap struct {
+	shards []tableShard
+	mask   uint32
+}
+
+// newShardMap builds a table with n shards, rounded up to a power of
+// two (n <= 0 takes defaultShards).
+func newShardMap(n int) *shardMap {
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	m := &shardMap{shards: make([]tableShard, size), mask: uint32(size - 1)}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[uint32]*Session)
+		m.shards[i].reserved = make(map[uint32]bool)
+	}
+	return m
+}
+
+// shardIndex mixes the conn id before masking. Minted ids are uniform
+// random uint32s, but the table must also distribute structured id
+// patterns (sequential test ids, adversarially chosen JOIN targets)
+// evenly — the finalizer below avalanches every input bit into the
+// masked low bits.
+func (m *shardMap) shardIndex(id uint32) uint32 {
+	id ^= id >> 16
+	id *= 0x45d9f3b
+	id ^= id >> 16
+	id *= 0x45d9f3b
+	id ^= id >> 16
+	return id & m.mask
+}
+
+func (m *shardMap) shard(id uint32) *tableShard {
+	return &m.shards[m.shardIndex(id)]
+}
+
+// get returns the live session owning id, or nil. This is the JOIN
+// lookup: one shard lock, never the whole table.
+func (m *shardMap) get(id uint32) *Session {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	sh.mu.Unlock()
+	return s
+}
+
+// insert publishes a session under its (previously reserved) conn id;
+// the session table owns the id from here on.
+func (m *shardMap) insert(id uint32, s *Session) {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	delete(sh.reserved, id)
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+}
+
+// remove drops id's table entry iff it still maps to s — a dead
+// session must never evict the live session that reused its id.
+func (m *shardMap) remove(id uint32, s *Session) {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	if sh.sessions[id] == s {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+}
+
+// reserve mints a conn id colliding with neither a live session nor
+// another in-flight handshake and holds it until insert (or release on
+// handshake failure). Candidates come from rnd via pickConnID; because
+// an id's shard is deterministic, check-and-mark is atomic under that
+// single shard's lock, and a lost race just draws again.
+func (m *shardMap) reserve(rnd func() uint32) uint32 {
+	for {
+		id := pickConnID(func(id uint32) bool { return m.taken(id) }, rnd)
+		sh := m.shard(id)
+		sh.mu.Lock()
+		_, live := sh.sessions[id]
+		if !live && !sh.reserved[id] {
+			sh.reserved[id] = true
+			sh.mu.Unlock()
+			return id
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// getLive resolves id to its session, waiting out the reservation
+// window if needed. A JOIN can legitimately race the tail of its
+// session's first handshake: the client learns its CONNID from
+// EncryptedExtensions one round trip before the server worker publishes
+// the session, so with concurrent handshake workers the JOIN lookup can
+// land in between. The reserved set marks exactly that in-flight window
+// — while the id is reserved, a short bounded wait turns the spurious
+// rejection into a correct lookup. Unknown ids (neither live nor
+// reserved) still fail immediately, and a reservation released by a
+// failed handshake ends the wait early.
+func (m *shardMap) getLive(id uint32, timeout time.Duration) *Session {
+	if s := m.get(id); s != nil {
+		return s
+	}
+	deadline := time.Now().Add(timeout)
+	for m.taken(id) && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+		if s := m.get(id); s != nil {
+			return s
+		}
+	}
+	return m.get(id)
+}
+
+// taken reports whether id is held by a live session or a reservation.
+func (m *shardMap) taken(id uint32) bool {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	_, live := sh.sessions[id]
+	res := sh.reserved[id]
+	sh.mu.Unlock()
+	return live || res
+}
+
+// release frees a reservation whose handshake failed.
+func (m *shardMap) release(id uint32) {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	delete(sh.reserved, id)
+	sh.mu.Unlock()
+}
+
+// snapshot copies the live sessions (no ordering guarantee).
+func (m *shardMap) snapshot() []*Session {
+	out := make([]*Session, 0, m.len())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// len counts live sessions across every shard.
+func (m *shardMap) len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// reservedLen counts outstanding reservations across every shard.
+func (m *shardMap) reservedLen() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.reserved)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shardCounts reports per-shard live-session counts (distribution
+// checks and the server.shard_max_sessions gauge).
+func (m *shardMap) shardCounts() []int {
+	out := make([]int, len(m.shards))
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return out
+}

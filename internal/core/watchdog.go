@@ -57,6 +57,8 @@ type peerWindower interface {
 }
 
 // startStallWatchdog launches the watchdog loop once, if enabled.
+// Sessions enrolled in a server runtime never run this loop — the
+// runtime's shared timer loop drives a watchdogState sweep instead.
 func (s *Session) startStallWatchdog() {
 	if s.cfg.StallTimeout <= 0 {
 		return
@@ -64,9 +66,88 @@ func (s *Session) startStallWatchdog() {
 	s.watchdogOnce.Do(func() { go s.watchdogLoop() })
 }
 
-// watchdogLoop sweeps the session every check interval. All durations
-// are virtual; wall-to-virtual conversion happens per sweep so the same
-// config works on real and emulated clocks.
+// ackMark is the watchdog's last-observed ack position for one stream.
+type ackMark struct {
+	acked uint64
+	since time.Time // wall clock; compared via virtualSince
+}
+
+// watchdogState is the between-sweep memory of one session's stall
+// watchdog: which streams' acks moved and when, and how long each
+// path's peer window has been shut. Owned by whichever single goroutine
+// drives the sweeps (the standalone loop or the runtime's timer loop).
+type watchdogState struct {
+	progress  map[uint32]ackMark   // stream id -> last ack movement
+	zeroSince map[uint32]time.Time // path id -> zero window first seen
+}
+
+// sweep runs one stall check and returns a non-nil *StallError (plus
+// the stalled stream's unacked byte count) when the session should be
+// torn down. All durations are virtual; wall-to-virtual conversion
+// happens per sweep so the same config works on real and emulated
+// clocks.
+func (w *watchdogState) sweep(s *Session, timeout time.Duration, now time.Time) (*StallError, int64) {
+	if w.progress == nil {
+		w.progress = make(map[uint32]ackMark)
+		w.zeroSince = make(map[uint32]time.Time)
+	}
+	states := s.StreamStates()
+	anyUnacked := false
+	for _, ss := range states {
+		if ss.Unacked > 0 {
+			anyUnacked = true
+			break
+		}
+	}
+	// Write stalls: unacked data whose cumulative ack is frozen.
+	// With acks disabled there is no progress signal to watch — the
+	// replay buffer legitimately never drains — so skip the check
+	// (the zero-window arm below still covers slow-drain peers).
+	if !s.cfg.DisableAcks && !s.PlainMode() {
+		for _, ss := range states {
+			if ss.Unacked == 0 {
+				delete(w.progress, ss.ID)
+				continue
+			}
+			m, ok := w.progress[ss.ID]
+			if !ok || ss.AckedTo > m.acked {
+				w.progress[ss.ID] = ackMark{acked: ss.AckedTo, since: now}
+				continue
+			}
+			if s.virtualSince(m.since) >= timeout {
+				return &StallError{Kind: "write-stall", Stream: ss.ID}, int64(ss.Unacked)
+			}
+		}
+	}
+	// Zero-window persist: the peer's advertised window has been
+	// closed for the whole timeout while we hold data for it.
+	live := make(map[uint32]bool)
+	for _, pc := range s.livePaths() {
+		live[pc.id] = true
+		pw, ok := pc.tcp.(peerWindower)
+		if !ok || !anyUnacked || pw.PeerWindow() > 0 {
+			delete(w.zeroSince, pc.id)
+			continue
+		}
+		first, seen := w.zeroSince[pc.id]
+		if !seen {
+			w.zeroSince[pc.id] = now
+			continue
+		}
+		if s.virtualSince(first) >= timeout {
+			return &StallError{Kind: "zero-window", Path: pc.id}, 0
+		}
+	}
+	for id := range w.zeroSince {
+		if !live[id] {
+			delete(w.zeroSince, id)
+		}
+	}
+	return nil, 0
+}
+
+// watchdogLoop sweeps the session every check interval (standalone
+// sessions only — servers sweep from the shared runtime timer loop).
 func (s *Session) watchdogLoop() {
 	timeout := s.cfg.StallTimeout
 	interval := s.cfg.StallCheckInterval
@@ -76,70 +157,14 @@ func (s *Session) watchdogLoop() {
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
-	type ackMark struct {
-		acked uint64
-		since time.Time // wall clock; compared via virtualSince
-	}
-	progress := make(map[uint32]ackMark)    // stream id -> last ack movement
-	zeroSince := make(map[uint32]time.Time) // path id -> zero window first seen
+	var w watchdogState
 	for {
 		if !s.sleepCancelable(interval) {
 			return // session closed
 		}
-		now := time.Now()
-		states := s.StreamStates()
-		anyUnacked := false
-		for _, ss := range states {
-			if ss.Unacked > 0 {
-				anyUnacked = true
-				break
-			}
-		}
-		// Write stalls: unacked data whose cumulative ack is frozen.
-		// With acks disabled there is no progress signal to watch — the
-		// replay buffer legitimately never drains — so skip the check
-		// (the zero-window arm below still covers slow-drain peers).
-		if !s.cfg.DisableAcks && !s.PlainMode() {
-			for _, ss := range states {
-				if ss.Unacked == 0 {
-					delete(progress, ss.ID)
-					continue
-				}
-				m, ok := progress[ss.ID]
-				if !ok || ss.AckedTo > m.acked {
-					progress[ss.ID] = ackMark{acked: ss.AckedTo, since: now}
-					continue
-				}
-				if s.virtualSince(m.since) >= timeout {
-					s.stallTeardown(&StallError{Kind: "write-stall", Stream: ss.ID}, int64(ss.Unacked))
-					return
-				}
-			}
-		}
-		// Zero-window persist: the peer's advertised window has been
-		// closed for the whole timeout while we hold data for it.
-		live := make(map[uint32]bool)
-		for _, pc := range s.livePaths() {
-			live[pc.id] = true
-			pw, ok := pc.tcp.(peerWindower)
-			if !ok || !anyUnacked || pw.PeerWindow() > 0 {
-				delete(zeroSince, pc.id)
-				continue
-			}
-			first, seen := zeroSince[pc.id]
-			if !seen {
-				zeroSince[pc.id] = now
-				continue
-			}
-			if s.virtualSince(first) >= timeout {
-				s.stallTeardown(&StallError{Kind: "zero-window", Path: pc.id}, 0)
-				return
-			}
-		}
-		for id := range zeroSince {
-			if !live[id] {
-				delete(zeroSince, id)
-			}
+		if err, unacked := w.sweep(s, timeout, time.Now()); err != nil {
+			s.stallTeardown(err, unacked)
+			return
 		}
 	}
 }

@@ -59,8 +59,7 @@ type Config struct {
 
 	ticketOnce  sync.Once
 	ticketState *ticketKeys
-	replayMu    sync.Mutex
-	replayUsed  map[string]bool
+	replay      replayFilter // sharded 0-RTT anti-replay set
 }
 
 // ClientHelloInfo is the server's view of a ClientHello.

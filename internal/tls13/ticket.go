@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"crypto/rand"
 	"encoding/binary"
+	"sync"
 	"time"
 )
 
@@ -90,20 +91,52 @@ func (cfg *Config) decryptTicket(identity []byte) (*ticketPayload, bool) {
 	return tp, true
 }
 
+// replayShards splits the 0-RTT anti-replay set: ticket identities are
+// AEAD ciphertext (uniformly distributed), so a cheap FNV mix spreads
+// them evenly and concurrent resumption handshakes only collide on a
+// lock when they land in the same shard — a Config-global mutex here
+// serializes every 0-RTT attempt on a busy listener.
+const replayShards = 16
+
+// replayFilter is the sharded single-use set behind markTicketUsed.
+type replayFilter struct {
+	shards [replayShards]replayShard
+}
+
+type replayShard struct {
+	mu   sync.Mutex
+	used map[string]bool
+}
+
+func (f *replayFilter) shardFor(identity []byte) *replayShard {
+	// FNV-1a over the identity; any byte slice hashes, including empty.
+	h := uint32(2166136261)
+	for _, b := range identity {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &f.shards[h&(replayShards-1)]
+}
+
+func (f *replayFilter) markUsed(identity []byte) bool {
+	sh := f.shardFor(identity)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.used == nil {
+		sh.used = make(map[string]bool)
+	}
+	key := string(identity)
+	if sh.used[key] {
+		return false
+	}
+	sh.used[key] = true
+	return true
+}
+
 // markTicketUsed implements single-use anti-replay for 0-RTT: the first
 // caller wins, replays are rejected. The window is the Config's lifetime.
 func (cfg *Config) markTicketUsed(identity []byte) bool {
-	cfg.replayMu.Lock()
-	defer cfg.replayMu.Unlock()
-	if cfg.replayUsed == nil {
-		cfg.replayUsed = make(map[string]bool)
-	}
-	key := string(identity)
-	if cfg.replayUsed[key] {
-		return false
-	}
-	cfg.replayUsed[key] = true
-	return true
+	return cfg.replay.markUsed(identity)
 }
 
 // sendSessionTicket issues one NewSessionTicket post-handshake.

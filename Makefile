@@ -39,13 +39,17 @@ test-matrix:
 	GOMAXPROCS=1 $(GO) test ./...
 	$(GO) test ./internal/chaos/ -run 'TestOverloadGauntlet$$' -count=1
 	$(GO) test ./internal/chaos/ -run 'TestGoroutineBudgetExact$$' -count=1
+	$(GO) test ./internal/tls13/ -run 'TestBatch' -count=1
+	$(GO) test ./internal/ring/ ./internal/timingwheel/ -race -count=1
 
 # Steady-state allocation gates for the data path, run WITHOUT the race
 # detector so testing.AllocsPerRun counts are exact: the record-layer
-# send/recv paths and the buffer-pool accounting invariants.
+# send/recv paths (single and batched), the buffer-pool accounting
+# invariants, and the timing wheel's zero-alloc rearm.
 alloc-gate:
-	$(GO) test ./internal/tls13/ -run 'TestRecordWriteSteadyStateAllocs|TestRecordReadSteadyStateAllocs' -count=1 -v
+	$(GO) test ./internal/tls13/ -run 'TestRecordWriteSteadyStateAllocs|TestRecordReadSteadyStateAllocs|TestBatchWriteSteadyStateAllocs' -count=1 -v
 	$(GO) test ./internal/bufpool/ -count=1
+	$(GO) test ./internal/timingwheel/ -run 'TestWheelRearmZeroAlloc' -count=1 -v
 
 # Deterministic chaos acceptance run: flap + stall + RST + 2% loss over
 # a 1 MB multi-stream transfer, with proactive (probe-timeout) failover,
@@ -106,6 +110,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzUnmarshalSegment$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netsim/ -run '^$$' -fuzz '^FuzzOptionStripperRewrite$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netsim/ -run '^$$' -fuzz '^FuzzSpliceProxyRewrite$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tls13/ -run '^$$' -fuzz '^FuzzBatchOpenFraming$$' -fuzztime $(FUZZTIME)
 
 # BENCH=1 adds the benchmark-regression gate (bench-check) to check.
 ifeq ($(BENCH),1)

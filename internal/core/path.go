@@ -33,8 +33,13 @@ type pathConn struct {
 	// wScratch holds the stream-data record header and TType trailer
 	// handed to the vectored record write; guarded by writeMu.
 	wScratch [record.StreamHeaderLen + 1]byte
-	ctxMu    sync.Mutex
-	ctxs     map[uint32]bool // stream contexts added on this conn
+	// wBatchHdrs/wBatchRecs are the batched equivalents: per-record
+	// header scratch and the OutRecord views handed to the batched
+	// sealer; guarded by writeMu.
+	wBatchHdrs [maxWriteBurst][record.StreamHeaderLen + 1]byte
+	wBatchRecs [maxWriteBurst]tls13.OutRecord
+	ctxMu      sync.Mutex
+	ctxs       map[uint32]bool // stream contexts added on this conn
 
 	health   pathHealth
 	failOnce sync.Once // handleConnFailure runs at most once per path
@@ -232,13 +237,102 @@ func (pc *pathConn) chunkSize() int {
 		n := segs*mss - record.StreamHeaderLen - 64
 		return max(min(n, MaxRecordPayload), 512)
 	}
-	return DefaultRecordSize
+	// Opaque transport: with no window to match, the cheapest record is
+	// the biggest one — per-record seal and framing costs amortize over
+	// MaxRecordPayload, and the kernel segments it however it likes.
+	// (The Fig. 2 sweep benchmark measures exactly this trade.)
+	return MaxRecordPayload
 }
 
-// readLoop pumps inbound records until the connection dies.
+// maxWriteBurst bounds one batched chunk flush: 15 cwnd-shaped records
+// fill the sealer's 64K staging buffer without spilling.
+const maxWriteBurst = 15
+
+// writeChunkBatch sends a burst of same-stream chunks through one
+// batched record write (one seal pass, one transport write for the
+// whole burst). Falls back to the single-record path for singleton
+// bursts and degraded plain-TLS paths.
+func (pc *pathConn) writeChunkBatch(chunks []*record.StreamChunk) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	if len(chunks) == 1 {
+		return pc.writeChunk(chunks[0])
+	}
+	if pc.plain {
+		for _, c := range chunks {
+			if err := pc.writePlainChunk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := pc.ensureStreamContext(chunks[0].StreamID); err != nil {
+		return err
+	}
+	s := pc.session
+	var burstBytes uint64
+	for _, c := range chunks {
+		burstBytes += uint64(len(c.Data))
+	}
+	s.ctr.recordsSent.Add(uint64(len(chunks)))
+	s.ctr.bytesSent.Add(burstBytes)
+	s.touch()
+	s.noteBlackoutEnd()
+	for _, c := range chunks {
+		fin := int64(0)
+		if c.Fin {
+			fin = 1
+		}
+		s.emit(telemetry.Event{
+			Kind:   telemetry.EvRecordSent,
+			Path:   pc.id,
+			Stream: c.StreamID,
+			A:      int64(len(c.Data)),
+			B:      int64(c.Offset),
+			C:      fin,
+		})
+	}
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	for len(chunks) > 0 {
+		n := min(len(chunks), maxWriteBurst)
+		for i, c := range chunks[:n] {
+			h := pc.wBatchHdrs[i][:]
+			record.PutStreamHeader(h, c)
+			h[record.StreamHeaderLen] = byte(record.TTypeStreamData)
+			pc.wBatchRecs[i] = tls13.OutRecord{
+				Ctx:  c.StreamID,
+				Head: h[:record.StreamHeaderLen],
+				Body: c.Data,
+				Tail: h[record.StreamHeaderLen:],
+			}
+		}
+		if _, err := pc.tls.WriteRecordBatch(pc.wBatchRecs[:n]); err != nil {
+			return err
+		}
+		chunks = chunks[n:]
+	}
+	return nil
+}
+
+// readBurst is the inbound batch-drain width: how many complete
+// buffered records one lock acquisition may hand the read loop.
+const readBurst = 16
+
+// readLoop pumps inbound records until the connection dies, draining
+// whole bursts per record-layer lock acquisition: the batched read
+// returns every record already sitting in the receive buffer, so a
+// sender's batched flush is processed with one lock round trip instead
+// of one per record.
 func (pc *pathConn) readLoop() {
+	recs := make([]tls13.InRecord, readBurst)
 	for {
-		_, plain, err := pc.tls.ReadRecordContext()
+		n, err := pc.tls.ReadRecordContextBatch(recs)
+		for i := 0; i < n; i++ {
+			pc.handleRecord(recs[i].Payload)
+			recs[i] = tls13.InRecord{}
+		}
 		if err != nil {
 			if errors.Is(err, tls13.ErrNoContext) {
 				// A record for a context we dropped (stream closed while
@@ -248,44 +342,49 @@ func (pc *pathConn) readLoop() {
 			pc.handleDeath(err)
 			return
 		}
-		// plain is a pooled record buffer owned by this loop. Stream
-		// chunks alias it (chunk.Data points into plain), so ownership
-		// travels with the chunk into the stream's receive queue and the
-		// buffer is recycled when the application consumes it. Control
-		// frames and TCP options decode into copies, so those arms
-		// recycle the buffer immediately.
-		tt, content, err := record.Decode(plain)
+	}
+}
+
+// handleRecord routes one decrypted record payload.
+//
+// plain is a pooled record buffer owned by the read loop. Stream
+// chunks alias it (chunk.Data points into plain), so ownership travels
+// with the chunk into the stream's receive queue and the buffer is
+// recycled when the application consumes it. Control frames and TCP
+// options decode into copies, so those arms recycle the buffer
+// immediately.
+func (pc *pathConn) handleRecord(plain []byte) {
+	tt, content, err := record.Decode(plain)
+	if err != nil {
+		bufpool.Put(plain)
+		return
+	}
+	switch tt {
+	case record.TTypeStreamData:
+		chunk, err := record.DecodeStreamChunk(content)
 		if err != nil {
 			bufpool.Put(plain)
-			continue
+			return
 		}
-		switch tt {
-		case record.TTypeStreamData:
-			chunk, err := record.DecodeStreamChunk(content)
-			if err != nil {
-				bufpool.Put(plain)
-				continue
-			}
-			pc.session.dispatchChunk(pc, chunk, plain)
-		case record.TTypeControl:
-			frames, err := record.DecodeControl(content)
-			bufpool.Put(plain)
-			if err != nil {
-				continue
-			}
-			for _, f := range frames {
-				pc.session.dispatchFrame(pc, f)
-			}
-		case record.TTypeTCPOption:
-			opt, err := record.DecodeTCPOption(content)
-			bufpool.Put(plain)
-			if err != nil {
-				continue
-			}
-			pc.session.applyTCPOption(pc, opt)
-		default:
-			bufpool.Put(plain)
+		pc.session.dispatchChunk(pc, chunk, plain)
+	case record.TTypeControl:
+		frames, err := record.DecodeControl(content)
+		bufpool.Put(plain)
+		if err != nil {
+			return
 		}
+		for _, f := range frames {
+			pc.session.dispatchFrame(pc, f)
+		}
+	case record.TTypeTCPOption:
+		opt, err := record.DecodeTCPOption(content)
+		bufpool.Put(plain)
+		if err != nil {
+			return
+		}
+		pc.session.applyTCPOption(pc, opt)
+	default:
+		bufpool.Put(plain)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"github.com/pluginized-protocols/gotcpls/internal/record"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 )
 
@@ -249,16 +250,21 @@ type Config struct {
 	runtime *serverRuntime
 }
 
-// Clock abstracts timer scaling; netsim.Network implements it.
+// Clock abstracts timer scaling; netsim.Network implements it. Timers
+// land on a hierarchical timing wheel (the clock owner's, or the
+// process-wide default), so arming one is allocation-free after the
+// first use and firing costs no per-timer goroutine.
 type Clock interface {
-	AfterFunc(d time.Duration, f func()) *time.Timer
+	AfterFunc(d time.Duration, f func()) *timingwheel.Timer
 	ScaleDuration(d time.Duration) time.Duration
 }
 
 type realClock struct{}
 
-func (realClock) AfterFunc(d time.Duration, f func()) *time.Timer { return time.AfterFunc(d, f) }
-func (realClock) ScaleDuration(d time.Duration) time.Duration     { return d }
+func (realClock) AfterFunc(d time.Duration, f func()) *timingwheel.Timer {
+	return timingwheel.Default().AfterFunc(d, f)
+}
+func (realClock) ScaleDuration(d time.Duration) time.Duration { return d }
 
 // DefaultRecordSize is the stream chunk size when the transport offers
 // no congestion-window introspection.

@@ -258,8 +258,17 @@ func (st *Stream) pickConnInfo() (*pathConn, int, bool) {
 
 // Write implements io.Writer: data is chunked, sequenced, encrypted
 // under the stream's context and retained for replay until acked.
+//
+// Chunks are flushed in bursts: everything one pass can frame (up to
+// maxWriteBurst chunks) is sequenced under a single stream-lock
+// acquisition and handed to the batched record writer, which seals the
+// whole burst into one buffer and issues one transport write. In
+// aggregation mode the burst is a single cwnd-matched chunk, because
+// each chunk re-picks the least-loaded path (striping granularity is
+// the point there, not batching).
 func (st *Stream) Write(p []byte) (int, error) {
 	total := 0
+	burst := make([]*record.StreamChunk, 0, maxWriteBurst)
 	for len(p) > 0 {
 		st.mu.Lock()
 		for st.unackedLen >= replayBufferLimit && st.err == nil && !st.session.cfg.DisableAcks {
@@ -288,36 +297,50 @@ func (st *Stream) Write(p []byte) (int, error) {
 			}
 			continue
 		}
-		if st.session.cfg.Mode == ModeAggregate && introspectable && free < 1024 {
+		aggregate := st.session.cfg.Mode == ModeAggregate
+		if aggregate && introspectable && free < 1024 {
 			// Every path's window is full: writing now would block on one
 			// TCP connection's buffer and starve the others. Yield until
 			// acks open a window somewhere (cross-layer pacing).
 			time.Sleep(st.session.cfg.Clock.ScaleDuration(500 * time.Microsecond))
 			continue
 		}
-		n := min(len(p), pc.chunkSize())
-		st.mu.Lock()
-		chunk := &record.StreamChunk{
-			StreamID: st.id,
-			Offset:   st.sendOffset,
-			Data:     append([]byte(nil), p[:n]...),
+		burstCap := maxWriteBurst
+		if aggregate {
+			burstCap = 1 // per-chunk path re-selection stripes the load
 		}
-		st.sendOffset += uint64(n)
-		st.unacked = append(st.unacked, chunk)
-		st.unackedLen += n
+		chunkLen := pc.chunkSize()
+
+		st.mu.Lock()
+		burst = burst[:0]
+		for len(p) > 0 && len(burst) < burstCap {
+			n := min(len(p), chunkLen)
+			chunk := &record.StreamChunk{
+				StreamID: st.id,
+				Offset:   st.sendOffset,
+				Data:     append([]byte(nil), p[:n]...),
+			}
+			st.sendOffset += uint64(n)
+			st.unacked = append(st.unacked, chunk)
+			st.unackedLen += n
+			burst = append(burst, chunk)
+			p = p[n:]
+			total += n
+			if st.unackedLen >= replayBufferLimit {
+				break // re-enter the backpressure wait before continuing
+			}
+		}
 		st.mu.Unlock()
 
-		if err := pc.writeChunk(chunk); err != nil {
-			// The connection died mid-write: the chunk stays in the
-			// replay buffer, failover will resend it. Surface the error
+		if err := pc.writeChunkBatch(burst); err != nil {
+			// The connection died mid-write: the chunks stay in the
+			// replay buffer, failover will resend them. Surface the error
 			// only if the whole session is done.
 			pc.handleDeath(err)
 			if st.session.Closed() {
 				return total, err
 			}
 		}
-		p = p[n:]
-		total += n
 	}
 	return total, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -27,7 +28,7 @@ type FaultEvent struct {
 type FaultSchedule struct {
 	mu      sync.Mutex
 	events  []FaultEvent
-	timers  []*time.Timer
+	timers  []*timingwheel.Timer
 	started bool
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+	"github.com/pluginized-protocols/gotcpls/internal/ring"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
@@ -156,6 +157,11 @@ type LinkEnd struct {
 // linkDir carries state for one direction of the link. Delivery is
 // strictly FIFO: a dedicated goroutine drains the in-flight queue in
 // order, which matters because TCP interprets reordering as loss.
+//
+// The in-flight queue is a bounded MPSC ring with a coalescing
+// doorbell: transmitters of a whole burst pay one atomic per packet
+// plus at most one channel send, and the drain goroutine wakes once
+// per burst instead of once per segment.
 type linkDir struct {
 	link *Link
 	dir  Direction
@@ -163,7 +169,7 @@ type linkDir struct {
 
 	mu       sync.Mutex
 	nextFree time.Time // when the transmitter finishes the current queue
-	inflight chan timedPacket
+	inflight *ring.Ring[timedPacket]
 }
 
 type timedPacket struct {
@@ -171,14 +177,38 @@ type timedPacket struct {
 	deliverAt time.Time
 }
 
+// inflightCap bounds each direction's in-flight ring; overflow is
+// dropped and counted as drop_queue, like the channel it replaced.
+const inflightCap = 8192
+
 // drain delivers queued packets in order at their scheduled times.
+// Because enqueue stamps deliverAt from a monotone per-direction
+// departure clock, deliverAt never decreases across pops, so a single
+// reusable timer suffices for the whole queue.
 func (d *linkDir) drain(done <-chan struct{}) {
+	var batch [64]timedPacket
+	tm := time.NewTimer(time.Hour)
+	if !tm.Stop() {
+		<-tm.C
+	}
+	defer tm.Stop()
 	for {
-		select {
-		case tp := <-d.inflight:
+		n := d.inflight.PopBatch(batch[:])
+		if n == 0 {
+			select {
+			case <-d.inflight.Bell():
+				continue
+			case <-done:
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			tp := batch[i]
+			batch[i] = timedPacket{} // release the packet reference
 			if wait := time.Until(tp.deliverAt); wait > 0 {
+				tm.Reset(wait)
 				select {
-				case <-time.After(wait):
+				case <-tm.C:
 				case <-done:
 					return
 				}
@@ -187,8 +217,6 @@ func (d *linkDir) drain(done <-chan struct{}) {
 			d.link.ctr.delivered.Add(1)
 			d.link.ctr.deliveredBytes.Add(uint64(tp.p.Len()))
 			d.dst.deliver(tp.p)
-		case <-done:
-			return
 		}
 	}
 }
@@ -205,8 +233,8 @@ func (n *Network) AddLink(a, b *Host, addrA, addrB netip.Addr, cfg LinkConfig) *
 	}
 	l := &Link{cfg: cfg, net: n, a: a, b: b}
 	l.lossBits.Store(math.Float64bits(cfg.Loss))
-	l.ab = &linkDir{link: l, dir: AtoB, dst: b, inflight: make(chan timedPacket, 8192)}
-	l.ba = &linkDir{link: l, dir: BtoA, dst: a, inflight: make(chan timedPacket, 8192)}
+	l.ab = &linkDir{link: l, dir: AtoB, dst: b, inflight: ring.New[timedPacket](inflightCap)}
+	l.ba = &linkDir{link: l, dir: BtoA, dst: a, inflight: ring.New[timedPacket](inflightCap)}
 	go l.ab.drain(n.done)
 	go l.ba.drain(n.done)
 	a.AddAddr(addrA)
@@ -454,9 +482,7 @@ func (d *linkDir) enqueue(p *wire.Packet) {
 	l.ctr.sent.Add(1)
 	l.ctr.sentBytes.Add(uint64(size))
 	deliverAt := now.Add(departIn + l.net.ScaleDuration(cfg.Delay))
-	select {
-	case d.inflight <- timedPacket{p, deliverAt}:
-	default:
+	if !d.inflight.TryPush(timedPacket{p, deliverAt}) {
 		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: p})
 		l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, p)
 		bufpool.Put(p.Payload)
@@ -532,13 +558,14 @@ func (d *linkDir) enqueueBatch(pkts []*wire.Packet) {
 		l.net.emit(TraceEvent{Kind: "send", Link: cfg.Name, Packet: tp.p})
 		l.ctr.sent.Add(1)
 		l.ctr.sentBytes.Add(uint64(tp.p.Len()))
-		select {
-		case d.inflight <- tp:
-		default:
-			l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: tp.p})
-			l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, tp.p)
-			bufpool.Put(tp.p.Payload)
-		}
+	}
+	// One ring pass and one doorbell for the whole burst; whatever does
+	// not fit is a queue drop, as with packet-at-a-time enqueue.
+	pushed := d.inflight.PushBatch(sched)
+	for _, tp := range sched[pushed:] {
+		l.net.emit(TraceEvent{Kind: "drop-queue", Link: cfg.Name, Packet: tp.p})
+		l.noteDrop(&l.ctr.dropQueue, telemetry.EvLinkDropQueue, tp.p)
+		bufpool.Put(tp.p.Payload)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -29,6 +30,13 @@ type Network struct {
 	scale float64
 	start time.Time
 	done  chan struct{}
+
+	// wheel is the network's hierarchical timing wheel: every emulated
+	// timer — loopback delivery, retransmission, TIME-WAIT, dial
+	// timeouts, fault schedules — is a node on it, so an emulation with
+	// thousands of connections costs one driver goroutine and zero
+	// allocation per (re)arm instead of a runtime timer per event.
+	wheel *timingwheel.Wheel
 
 	// tele receives structured link events (queue growth, drops by
 	// cause). Atomic so it can be attached while traffic flows; a nil
@@ -92,6 +100,11 @@ func New(opts ...Option) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	// 50µs tick: fine enough that the loopback delivery delay (50µs)
+	// lands on the first slot instead of being rounded up, coarse
+	// enough that an idle wheel wakes rarely. Started eagerly so the
+	// driver goroutine is part of a test's settled baseline.
+	n.wheel = timingwheel.New(50 * time.Microsecond).Start()
 	return n
 }
 
@@ -104,6 +117,7 @@ func (n *Network) Close() {
 	case <-n.done:
 	default:
 		close(n.done)
+		n.wheel.StopDriver()
 	}
 }
 
@@ -147,9 +161,26 @@ func (n *Network) ScaleDuration(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * n.scale)
 }
 
-// AfterFunc schedules f after emulated duration d (scaled to wall time).
-func (n *Network) AfterFunc(d time.Duration, f func()) *time.Timer {
-	return time.AfterFunc(n.ScaleDuration(d), f)
+// AfterFunc schedules f after emulated duration d (scaled to wall time)
+// on the network's timing wheel. The callback runs on the wheel's driver
+// goroutine; it must not block.
+func (n *Network) AfterFunc(d time.Duration, f func()) *timingwheel.Timer {
+	return n.wheel.AfterFunc(n.ScaleDuration(d), f)
+}
+
+// Schedule (re)arms the caller-owned timer t to run f after emulated
+// duration d. Embedding the Timer in a connection and rearming it in
+// place makes periodic timers (retransmission, persist) allocation-free.
+func (n *Network) Schedule(t *timingwheel.Timer, d time.Duration, f func()) *timingwheel.Timer {
+	return n.wheel.Schedule(t, n.ScaleDuration(d), f)
+}
+
+// WallSchedule (re)arms t after *unscaled* wall-clock duration d. Used
+// for real-time deadlines (Set{Read,Write}Deadline): compressing those
+// with the emulation scale would fire them early and break the contract
+// that a deadline is an absolute wall-clock instant.
+func (n *Network) WallSchedule(t *timingwheel.Timer, d time.Duration, f func()) *timingwheel.Timer {
+	return n.wheel.Schedule(t, d, f)
 }
 
 // Sleep blocks for emulated duration d.

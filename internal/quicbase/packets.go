@@ -50,10 +50,7 @@ func (c *Conn) sendFrames(frames []byte, ackEliciting bool) {
 func (c *Conn) armRetransmit() {
 	clock := c.endpoint.host.Network()
 	c.mu.Lock()
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
-	c.rtxTimer = clock.AfterFunc(250*time.Millisecond, c.onRetransmit)
+	clock.Schedule(&c.rtxTimer, 250*time.Millisecond, c.onRetransmit)
 	c.mu.Unlock()
 }
 
@@ -225,9 +222,7 @@ func (c *Conn) handleAck(cum uint64) {
 	}
 	if empty {
 		c.mu.Lock()
-		if c.rtxTimer != nil {
-			c.rtxTimer.Stop()
-		}
+		c.rtxTimer.Stop()
 		c.mu.Unlock()
 	}
 	// Wake writers blocked on the window.
@@ -246,9 +241,7 @@ func (c *Conn) close(err error) {
 	}
 	c.closed = true
 	c.closeErr = err
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
+	c.rtxTimer.Stop()
 	streams := make([]*Stream, 0, len(c.streams))
 	for _, st := range c.streams {
 		streams = append(streams, st)

@@ -25,6 +25,7 @@ import (
 
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/tls13"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
@@ -222,7 +223,7 @@ type hsPipe struct {
 	unacked  map[uint32][]byte // outstanding crypto datagrams
 	peerAck  uint32            // acked up to (exclusive)
 	closed   bool
-	rtxTimer *time.Timer
+	rtxTimer timingwheel.Timer
 }
 
 func newHSPipe(c *Conn) *hsPipe {
@@ -266,10 +267,7 @@ func (p *hsPipe) sendCrypto(seq uint32, chunk []byte) {
 func (p *hsPipe) armRetransmit() {
 	clock := p.c.endpoint.host.Network()
 	p.mu.Lock()
-	if p.rtxTimer != nil {
-		p.rtxTimer.Stop()
-	}
-	p.rtxTimer = clock.AfterFunc(200*time.Millisecond, func() {
+	clock.Schedule(&p.rtxTimer, 200*time.Millisecond, func() {
 		p.mu.Lock()
 		if p.closed || len(p.unacked) == 0 {
 			p.mu.Unlock()
@@ -355,9 +353,7 @@ func (p *hsPipe) peekSendSeq() uint32 {
 func (p *hsPipe) close() {
 	p.mu.Lock()
 	p.closed = true
-	if p.rtxTimer != nil {
-		p.rtxTimer.Stop()
-	}
+	p.rtxTimer.Stop()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -400,7 +396,7 @@ type Conn struct {
 	ctrl     cc.Controller
 	inflight map[uint64]*sentPacket
 	bytesOut int
-	rtxTimer *time.Timer
+	rtxTimer timingwheel.Timer
 
 	// Receive-side packet accounting: every packet below nextExpected
 	// has been received; future holds out-of-order arrivals.
@@ -499,9 +495,7 @@ func (c *Conn) runHandshake() {
 	close(c.handshakeDone)
 	if err == nil {
 		c.hs.mu.Lock()
-		if c.hs.rtxTimer != nil {
-			c.hs.rtxTimer.Stop()
-		}
+		c.hs.rtxTimer.Stop()
 		c.hs.mu.Unlock()
 		if c.isClient {
 			// Drain post-handshake messages (session tickets) arriving

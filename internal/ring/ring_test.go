@@ -1,0 +1,253 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingFIFO checks single-producer ordering and batch drains.
+func TestRingFIFO(t *testing.T) {
+	r := New[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap=%d want 8", r.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	buf := make([]int, 16)
+	n := r.PopBatch(buf)
+	if n != 8 {
+		t.Fatalf("drained %d want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if buf[i] != i {
+			t.Fatalf("order broken: buf=%v", buf[:n])
+		}
+	}
+}
+
+// TestRingFullBackpressure pins the full-queue contract: TryPush on a
+// full ring fails without blocking, succeeds again after one drain, and
+// the rejection is counted.
+func TestRingFullBackpressure(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("fill push %d failed", i)
+		}
+	}
+	done := make(chan bool, 1)
+	go func() { done <- r.TryPush(99) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("TryPush succeeded on full ring")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("TryPush blocked on full ring")
+	}
+	if s := r.Stats(); s.FullRejects != 1 {
+		t.Fatalf("FullRejects=%d want 1", s.FullRejects)
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("pop=(%d,%v) want (0,true)", v, ok)
+	}
+	if !r.TryPush(99) {
+		t.Fatal("push after drain failed")
+	}
+}
+
+// TestRingDoorbellCoalescing asserts the doorbell contract: a burst of
+// pushes with no consumer deposits exactly one token (wakeups coalesce)
+// yet the whole burst drains, and a fresh push after the drain rings
+// again (no lost wakeup).
+func TestRingDoorbellCoalescing(t *testing.T) {
+	r := New[int](2048)
+	for i := 0; i < 1000; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if len(r.bell) != 1 {
+		t.Fatalf("bell tokens=%d want exactly 1 after a 1000-push burst", len(r.bell))
+	}
+	if s := r.Stats(); s.BellRings != 1 {
+		t.Fatalf("BellRings=%d want 1 (coalesced)", s.BellRings)
+	}
+
+	<-r.Bell()
+	buf := make([]int, 256)
+	total := 0
+	for {
+		n := r.PopBatch(buf)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("drained %d want 1000", total)
+	}
+
+	// The bell must ring again for new work after a full drain.
+	r.TryPush(7)
+	select {
+	case <-r.Bell():
+	default:
+		t.Fatal("no bell token after post-drain push (lost wakeup)")
+	}
+}
+
+// TestRingPushBatch covers the quiet-batch producer: one bell token per
+// batch, partial acceptance when the ring fills mid-batch.
+func TestRingPushBatch(t *testing.T) {
+	r := New[int](8)
+	vs := make([]int, 12)
+	for i := range vs {
+		vs[i] = i
+	}
+	n := r.PushBatch(vs)
+	if n != 8 {
+		t.Fatalf("accepted %d want 8", n)
+	}
+	if s := r.Stats(); s.BellRings != 1 {
+		t.Fatalf("BellRings=%d want 1 for one batch", s.BellRings)
+	}
+	buf := make([]int, 16)
+	if got := r.PopBatch(buf); got != 8 {
+		t.Fatalf("drained %d want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		if buf[i] != i {
+			t.Fatalf("batch order broken: %v", buf[:8])
+		}
+	}
+	if r.PushBatch(nil) != 0 {
+		t.Fatal("empty batch accepted elements")
+	}
+}
+
+// TestRingMPSCStress is the -race gauntlet: many producers with a
+// retry-on-full backpressure loop, one consumer driven solely by the
+// doorbell, every element delivered exactly once, and wakeups far fewer
+// than pushes (the coalescing payoff).
+func TestRingMPSCStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5000
+	)
+	r := New[int64](256)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := int64(p)*perProd + int64(i)
+				for !r.TryPush(v) {
+					runtime.Gosched() // backpressure: spin-yield until space
+				}
+			}
+		}(p)
+	}
+
+	seen := make([]bool, producers*perProd)
+	var wakeups int
+	buf := make([]int64, 512)
+	received := 0
+	deadline := time.After(30 * time.Second)
+	for received < producers*perProd {
+		select {
+		case <-r.Bell():
+			wakeups++
+			for {
+				n := r.PopBatch(buf)
+				if n == 0 {
+					break
+				}
+				for _, v := range buf[:n] {
+					if seen[v] {
+						t.Fatalf("element %d delivered twice", v)
+					}
+					seen[v] = true
+				}
+				received += n
+			}
+		case <-deadline:
+			t.Fatalf("stalled: received %d/%d (lost wakeup?)", received, producers*perProd)
+		}
+	}
+	wg.Wait()
+
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d never delivered", v)
+		}
+	}
+	if n := r.PopBatch(buf); n != 0 {
+		t.Fatalf("ring not empty after drain: %d extra", n)
+	}
+	s := r.Stats()
+	if s.Pushes != int64(producers*perProd) || s.Pops != s.Pushes {
+		t.Fatalf("counter mismatch: %+v", s)
+	}
+	t.Logf("pushes=%d wakeups=%d (%.1f pushes/wakeup) fullRejects=%d",
+		s.Pushes, wakeups, float64(s.Pushes)/float64(wakeups), s.FullRejects)
+}
+
+// TestRingConsumerSleepRace hammers the exact drain-then-sleep window:
+// the consumer repeatedly drains to empty and sleeps on the bell while
+// a producer pushes one element at a time. Any lost wakeup deadlocks
+// and trips the watchdog.
+func TestRingConsumerSleepRace(t *testing.T) {
+	r := New[int](4)
+	const rounds = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]int, 4)
+		got := 0
+		for got < rounds {
+			<-r.Bell()
+			for {
+				n := r.PopBatch(buf)
+				if n == 0 {
+					break
+				}
+				got += n
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		for !r.TryPush(i) {
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer stalled: lost wakeup in drain/sleep window")
+	}
+}
+
+// BenchmarkRingPush measures the producer fast path.
+func BenchmarkRingPush(b *testing.B) {
+	r := New[int](1 << 16)
+	buf := make([]int, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.TryPush(i) {
+			for r.PopBatch(buf) != 0 {
+			}
+			select {
+			case <-r.Bell():
+			default:
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/cc"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -123,7 +124,10 @@ type Conn struct {
 	rttStart     time.Time // wall clock
 	txLog        []txEntry // per-segment send times for dense RTT samples
 
-	rtxTimer *time.Timer
+	// rtxTimer is an intrusive node on the stack's timing wheel,
+	// embedded so the RTO/TLP/persist rearm cycle — the hottest timer
+	// churn in the stack — never allocates.
+	rtxTimer timingwheel.Timer
 	rtxArmed bool
 	tlpFired bool      // a tail-loss probe was sent for the current flight
 	oldestTx time.Time // wall time the oldest unacked byte was first sent
@@ -149,8 +153,10 @@ type Conn struct {
 
 	readDeadline  time.Time
 	writeDeadline time.Time
+	readDLTimer   timingwheel.Timer // wakes readers at the deadline (wall time)
+	writeDLTimer  timingwheel.Timer
 
-	timeWaitTimer *time.Timer
+	timeWaitTimer timingwheel.Timer
 
 	stats Stats
 
@@ -974,9 +980,7 @@ func (c *Conn) teardown(err error) {
 	}
 	c.ooo = nil
 	c.cancelRetransmit()
-	if c.timeWaitTimer != nil {
-		c.timeWaitTimer.Stop()
-	}
+	c.timeWaitTimer.Stop()
 	if c.listener != nil {
 		// Died before establishment completed: give the half-open slot
 		// back so a SYN flood cannot pin the backlog forever.
@@ -1002,10 +1006,7 @@ func (c *Conn) fail(err error) {
 func (c *Conn) enterTimeWait() {
 	c.setState(stateTimeWait)
 	c.cancelRetransmit()
-	if c.timeWaitTimer != nil {
-		c.timeWaitTimer.Stop()
-	}
-	c.timeWaitTimer = c.stack.clock.AfterFunc(timeWaitD, func() {
+	c.stack.clock.Schedule(&c.timeWaitTimer, timeWaitD, func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if c.st == stateTimeWait {

@@ -234,17 +234,22 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.readDeadline = t
-	if !t.IsZero() {
-		d := time.Until(t)
-		if d < 0 {
-			d = 0
-		}
-		time.AfterFunc(d, func() {
-			c.mu.Lock()
-			c.readCond.Broadcast()
-			c.mu.Unlock()
-		})
+	if t.IsZero() {
+		c.readDLTimer.Stop()
+		return nil
 	}
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	// Deadlines are wall-clock instants: WallSchedule bypasses the
+	// emulation time scale, and rearming the embedded timer replaces
+	// any previous deadline's wakeup.
+	c.stack.clock.WallSchedule(&c.readDLTimer, d, func() {
+		c.mu.Lock()
+		c.readCond.Broadcast()
+		c.mu.Unlock()
+	})
 	return nil
 }
 
@@ -253,17 +258,19 @@ func (c *Conn) SetWriteDeadline(t time.Time) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.writeDeadline = t
-	if !t.IsZero() {
-		d := time.Until(t)
-		if d < 0 {
-			d = 0
-		}
-		time.AfterFunc(d, func() {
-			c.mu.Lock()
-			c.writeCond.Broadcast()
-			c.mu.Unlock()
-		})
+	if t.IsZero() {
+		c.writeDLTimer.Stop()
+		return nil
 	}
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	c.stack.clock.WallSchedule(&c.writeDLTimer, d, func() {
+		c.mu.Lock()
+		c.writeCond.Broadcast()
+		c.mu.Unlock()
+	})
 	return nil
 }
 
@@ -312,9 +319,6 @@ func (c *Conn) currentRTO() time.Duration {
 // recovery instead of an RTO collapse.
 func (c *Conn) armRetransmit() {
 	c.persistQ = false
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
 	d := c.currentRTO()
 	cb := c.onRetransmitTimeout
 	if !c.tlpFired && c.rtoBackoff == 0 && c.srtt > 0 && c.st == stateEstablished {
@@ -323,7 +327,7 @@ func (c *Conn) armRetransmit() {
 			cb = c.onProbeTimeout
 		}
 	}
-	c.rtxTimer = c.stack.clock.AfterFunc(d, cb)
+	c.stack.clock.Schedule(&c.rtxTimer, d, cb)
 	c.rtxArmed = true
 }
 
@@ -376,17 +380,12 @@ func (c *Conn) armPersist() {
 	if c.persistQ {
 		return
 	}
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
 	c.persistQ = true
-	c.rtxTimer = c.stack.clock.AfterFunc(c.currentRTO(), c.onPersistTimeout)
+	c.stack.clock.Schedule(&c.rtxTimer, c.currentRTO(), c.onPersistTimeout)
 }
 
 func (c *Conn) cancelRetransmit() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
+	c.rtxTimer.Stop()
 	c.rtxArmed = false
 	c.persistQ = false
 }

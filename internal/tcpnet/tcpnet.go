@@ -30,6 +30,7 @@ import (
 	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
 	"github.com/pluginized-protocols/gotcpls/internal/netsim"
 	"github.com/pluginized-protocols/gotcpls/internal/telemetry"
+	"github.com/pluginized-protocols/gotcpls/internal/timingwheel"
 	"github.com/pluginized-protocols/gotcpls/internal/wire"
 )
 
@@ -625,7 +626,7 @@ func (s *Stack) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Durati
 	}
 	connectStart := time.Now()
 	c.startConnect()
-	var timer *time.Timer
+	var timer *timingwheel.Timer
 	if timeout > 0 {
 		timer = s.clock.AfterFunc(timeout, func() {
 			c.fail(ErrTimeout)

@@ -1,0 +1,497 @@
+// Package timingwheel is a hierarchical timing wheel: the shared timer
+// substrate for the hot path. The Go runtime's timer heap is general
+// but costs a heap node, a runtime lock pass and (for AfterFunc) an
+// allocation per (re)arm — a price the TCP machinery pays on every
+// segment it sends, because every transmit re-arms the retransmission
+// timer. A wheel turns that into an array-slot relink: O(1) insert,
+// O(1) cancel, and a Timer node that is allocated once per connection
+// and rearmed in place forever after.
+//
+// The wheel has two halves:
+//
+//   - a purely virtual core (slots, cascade, ledger) advanced by an
+//     explicit AdvanceTo call — this is what property tests drive
+//     against a reference heap model, tick by tick, with no goroutines
+//     and no wall clock anywhere; and
+//   - an optional driver goroutine (Start) that maps wall time onto
+//     ticks and sleeps until a conservative bound on the earliest
+//     armed deadline, so an idle wheel costs zero wakeups — it is
+//     *not* a fixed-rate ticker.
+//
+// Concurrency contract: Schedule/Stop may be called from any
+// goroutine. Callbacks run without the wheel lock held, on the
+// advancing goroutine (the driver, or the AdvanceTo caller in manual
+// mode). As with time.AfterFunc, Stop does not wait for a running
+// callback; callers that rearm from their own callback (the
+// retransmission pattern) are safe because a fired timer is fully
+// unlinked before its callback runs.
+package timingwheel
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	wheelBits = 6
+	slotsPer  = 1 << wheelBits // 64 slots per level
+	slotMask  = slotsPer - 1
+	numLevels = 4 // spans tick<<24 ≈ 55 min at 200µs ticks before horizon parking
+)
+
+// maxHorizon is the largest relative delay (in ticks) the wheel can
+// represent directly; longer delays park at the horizon and re-park
+// as they cascade, so they still fire, just via extra relinks.
+const maxHorizon = int64(1) << (wheelBits * numLevels)
+
+// Timer is one schedulable entry. The zero value is an unarmed timer
+// bound to no wheel; Wheel.Schedule binds and arms it. A Timer must
+// not be copied after first use and must not be armed on two wheels at
+// once.
+type Timer struct {
+	next, prev *Timer // intrusive doubly-linked slot list
+
+	wheel *Wheel
+	fn    func()
+	when  int64 // absolute tick of expiry
+	lvl   int8  // placement level, valid while armed
+	slot  int16 // placement slot, valid while armed
+	armed bool
+}
+
+// Stop disarms the timer. It reports whether it was armed (like
+// time.Timer.Stop: false means it already fired or was never armed).
+// It does not wait for a concurrently running callback.
+func (t *Timer) Stop() bool {
+	w := t.wheel
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	armed := t.armed
+	if armed {
+		w.unlink(t)
+		t.armed = false
+		w.ledger.canceled++
+	}
+	w.mu.Unlock()
+	return armed
+}
+
+// Wheel is a hierarchical timing wheel. Create with New; drive it
+// manually with AdvanceTo, or Start it to drive expiry from wall time.
+type Wheel struct {
+	tick time.Duration // wall duration of one tick
+
+	mu     sync.Mutex
+	cur    int64 // current tick; everything due <= cur has fired
+	levels [numLevels][slotsPer]timerList
+	count  int // armed timers
+
+	// sleepTarget is the tick the driver intends to wake at;
+	// math.MaxInt64 while the driver is awake or absent. Schedule
+	// pokes the driver when arming something earlier than this.
+	sleepTarget int64
+
+	ledger ledger
+
+	started atomic.Bool
+	poke    chan struct{} // rings when an earlier deadline arrives
+	done    chan struct{}
+	base    time.Time // wall time of tick 0
+
+	// fired is scratch for collecting one tick's expirations under the
+	// lock and running them outside it; owned by the advancing
+	// goroutine. The callbacks are captured at unlink time, not read
+	// from the Timer at call time: a caller may Schedule (rearm) a
+	// just-fired node before the advancing goroutine reaches it, and
+	// the stale expiry must run the old callback, exactly as if each
+	// arm had allocated a fresh timer.
+	fired []func()
+}
+
+// ledger counts every scheduling outcome. Conservation invariant
+// (asserted by tests whenever convenient):
+//
+//	scheduled == fired + canceled + pending
+type ledger struct {
+	scheduled uint64
+	fired     uint64
+	canceled  uint64
+}
+
+// Ledger is a snapshot of the wheel's scheduling ledger.
+type Ledger struct {
+	Scheduled, Fired, Canceled uint64
+	Pending                    int
+}
+
+// Ledger snapshots the conservation counters.
+func (w *Wheel) Ledger() Ledger {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Ledger{
+		Scheduled: w.ledger.scheduled,
+		Fired:     w.ledger.fired,
+		Canceled:  w.ledger.canceled,
+		Pending:   w.count,
+	}
+}
+
+type timerList struct{ head *Timer }
+
+// New creates a wheel with the given tick granularity. The wheel is
+// inert until AdvanceTo (manual mode) or Start (driven mode) moves it.
+func New(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Wheel{
+		tick:        tick,
+		sleepTarget: math.MaxInt64,
+		poke:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+}
+
+// Tick returns the wheel's tick granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Pending reports the number of armed timers.
+func (w *Wheel) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Cur returns the wheel's current tick (manual-mode test hook).
+func (w *Wheel) Cur() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cur
+}
+
+// ticksFor converts a relative duration into a tick count, rounding up
+// so a timer never fires early (matching time.AfterFunc's contract).
+func (w *Wheel) ticksFor(d time.Duration) int64 {
+	if d <= 0 {
+		return 1 // expire on the next advance, never synchronously
+	}
+	n := (int64(d) + int64(w.tick) - 1) / int64(w.tick)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Schedule arms t to run fn after d, binding it to the wheel. If t is
+// already armed it is rescheduled — Schedule doubles as Reset. The
+// Timer is reusable forever after; steady-state rearm does not
+// allocate.
+func (w *Wheel) Schedule(t *Timer, d time.Duration, fn func()) *Timer {
+	w.mu.Lock()
+	if t.armed {
+		w.unlink(t)
+		w.ledger.canceled++
+	}
+	t.wheel = w
+	t.fn = fn
+	t.when = w.cur + w.ticksFor(d)
+	if w.started.Load() {
+		// Driver mode: cur is floor(elapsed/tick), so cur+ceil(d/tick)
+		// can undershoot wall-clock d by up to one tick — and callers
+		// written against time.AfterFunc (deadline cond-loops that
+		// re-check the clock and wait again) lose their only wakeup if
+		// the timer fires early. Map the expiry absolutely instead:
+		// when*tick >= elapsed+d means the driver cannot reach it before
+		// d has truly passed.
+		if abs := (int64(time.Since(w.base)) + int64(d) + int64(w.tick) - 1) / int64(w.tick); abs > t.when {
+			t.when = abs
+		}
+	}
+	t.armed = true
+	w.place(t)
+	w.count++
+	w.ledger.scheduled++
+	wake := t.when < w.sleepTarget
+	w.mu.Unlock()
+	if wake && w.started.Load() {
+		select {
+		case w.poke <- struct{}{}:
+		default:
+		}
+	}
+	return t
+}
+
+// AfterFunc allocates a fresh Timer and schedules it — the drop-in
+// replacement for time.AfterFunc on one-shot paths. Reusable callers
+// (per-connection timers) should hold a Timer and use Schedule.
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) *Timer {
+	return w.Schedule(&Timer{}, d, fn)
+}
+
+// place links t into the slot for its expiry and records the placement
+// coordinates on the timer so unlink is O(1). Caller holds w.mu.
+func (w *Wheel) place(t *Timer) {
+	delta := t.when - w.cur
+	if delta < 1 {
+		delta = 1
+	}
+	if delta >= maxHorizon {
+		delta = maxHorizon - 1 // park at the horizon; re-place on cascade
+	}
+	for lvl := 0; lvl < numLevels; lvl++ {
+		span := int64(1) << (wheelBits * (lvl + 1))
+		if delta < span {
+			idx := ((w.cur + delta) >> (wheelBits * lvl)) & slotMask
+			t.lvl, t.slot = int8(lvl), int16(idx)
+			l := &w.levels[lvl][idx]
+			t.prev = nil
+			t.next = l.head
+			if l.head != nil {
+				l.head.prev = t
+			}
+			l.head = t
+			return
+		}
+	}
+}
+
+// unlink removes t from its slot list using the coordinates recorded
+// by place. Caller holds w.mu; t must be armed.
+func (w *Wheel) unlink(t *Timer) {
+	l := &w.levels[t.lvl][t.slot]
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev = nil, nil
+	w.count--
+}
+
+// AdvanceTo moves virtual time forward to absolute tick target, firing
+// every timer due on the way. Time advances strictly tick by tick (so
+// cascades can never be skipped), and each tick's expirations run —
+// outside the wheel lock — before the next tick begins, so a callback
+// that schedules a short timer sees it fire later in the same advance,
+// exactly like the reference heap model.
+//
+// Within one tick, expiration order is unspecified (like the runtime's
+// timer heap under a coarse clock).
+func (w *Wheel) AdvanceTo(target int64) {
+	for {
+		w.mu.Lock()
+		if w.cur >= target {
+			w.mu.Unlock()
+			return
+		}
+		if w.count == 0 {
+			// Empty wheel: jumping is safe, nothing can cascade.
+			w.cur = target
+			w.mu.Unlock()
+			return
+		}
+		w.fired = w.fired[:0]
+		for w.cur < target && len(w.fired) == 0 {
+			w.cur++
+			idx := w.cur & slotMask
+			if idx == 0 {
+				w.cascade()
+			}
+			l := &w.levels[0][idx]
+			for t := l.head; t != nil; {
+				nx := t.next
+				// Level-0 entries are always within one lap of cur,
+				// so everything in this slot is due now.
+				w.unlink(t)
+				t.armed = false
+				w.ledger.fired++
+				w.fired = append(w.fired, t.fn)
+				t = nx
+			}
+		}
+		fired := w.fired
+		w.mu.Unlock()
+		for _, fn := range fired {
+			fn()
+		}
+		if len(fired) == 0 {
+			return // reached target without further expirations
+		}
+	}
+}
+
+// cascade re-places entries from higher levels whose residual delay
+// now fits a finer level, firing any whose expiry IS the boundary tick
+// (re-placing those would delay them one tick). Called when level 0
+// wraps (cur & 63 == 0). Caller holds w.mu.
+func (w *Wheel) cascade() {
+	for lvl := 1; lvl < numLevels; lvl++ {
+		idx := (w.cur >> (wheelBits * lvl)) & slotMask
+		l := &w.levels[lvl][idx]
+		head := l.head
+		l.head = nil
+		for t := head; t != nil; {
+			nx := t.next
+			t.next, t.prev = nil, nil
+			if t.when <= w.cur {
+				t.armed = false
+				w.count--
+				w.ledger.fired++
+				w.fired = append(w.fired, t.fn)
+			} else {
+				w.count-- // place re-links; keep count balanced
+				w.place(t)
+				w.count++
+			}
+			t = nx
+		}
+		if idx != 0 {
+			return // this level did not wrap; higher levels unchanged
+		}
+	}
+}
+
+// wakeBound returns a conservative lower bound (in ticks) on the next
+// moment anything can happen: the exact expiry tick for level-0
+// entries, the cascade boundary for higher levels. Sleeping until the
+// bound can wake the driver early (at a cascade), never late. Caller
+// holds w.mu. Returns math.MaxInt64 when nothing is armed.
+func (w *Wheel) wakeBound() int64 {
+	bound := int64(math.MaxInt64)
+	if w.count == 0 {
+		return bound
+	}
+	// Level 0: entries fire exactly at the next occurrence of their
+	// slot index after cur.
+	for off := int64(1); off <= slotsPer; off++ {
+		tick := w.cur + off
+		if w.levels[0][tick&slotMask].head != nil {
+			bound = tick
+			break // offsets only grow
+		}
+	}
+	// Levels >= 1: slot idx cascades at the next tick that is a
+	// multiple of 2^(6*lvl) whose level-lvl index equals idx.
+	for lvl := 1; lvl < numLevels; lvl++ {
+		shift := uint(wheelBits * lvl)
+		for idx := int64(0); idx < slotsPer; idx++ {
+			if w.levels[lvl][idx].head == nil {
+				continue
+			}
+			m := w.cur >> shift
+			c := m - (m & slotMask) + idx
+			for c<<shift <= w.cur {
+				c += slotsPer
+			}
+			if b := c << shift; b < bound {
+				bound = b
+			}
+		}
+	}
+	return bound
+}
+
+// --- wall-clock driver ---
+
+// Start launches the driver goroutine: wall time maps onto ticks from
+// the moment of the call, and the wheel sleeps until the earliest
+// armed deadline (poked awake when an earlier one arrives). Start is
+// idempotent and returns the wheel for chaining.
+func (w *Wheel) Start() *Wheel {
+	if !w.started.CompareAndSwap(false, true) {
+		return w
+	}
+	w.base = time.Now()
+	go w.run()
+	return w
+}
+
+// StopDriver terminates the driver goroutine (no-op in manual mode or
+// if already stopped). Armed timers stop firing; their ledger entries
+// stay pending.
+func (w *Wheel) StopDriver() {
+	if w.started.CompareAndSwap(true, false) {
+		close(w.done)
+	}
+}
+
+// nowTick converts wall time to the wheel's tick clock.
+func (w *Wheel) nowTick() int64 {
+	return int64(time.Since(w.base) / w.tick)
+}
+
+// idleSleep bounds the driver's sleep when no timer is armed; a poke
+// cuts it short, so the bound only caps clock-drift exposure.
+const idleSleep = time.Second
+
+func (w *Wheel) run() {
+	sleep := time.NewTimer(idleSleep)
+	defer sleep.Stop()
+	for {
+		w.AdvanceTo(w.nowTick())
+
+		w.mu.Lock()
+		bound := w.wakeBound()
+		w.sleepTarget = bound
+		w.mu.Unlock()
+
+		d := idleSleep
+		if bound != math.MaxInt64 {
+			until := time.Duration(bound)*w.tick - time.Since(w.base)
+			if until < w.tick {
+				until = w.tick
+			}
+			if until < d {
+				d = until
+			}
+		}
+		if !sleep.Stop() {
+			select {
+			case <-sleep.C:
+			default:
+			}
+		}
+		sleep.Reset(d)
+		select {
+		case <-sleep.C:
+		case <-w.poke:
+		case <-w.done:
+			return
+		}
+		w.mu.Lock()
+		w.sleepTarget = math.MaxInt64 // awake: every Schedule pokes
+		w.mu.Unlock()
+	}
+}
+
+// --- process-default wheel ---
+
+var (
+	defaultOnce  sync.Once
+	defaultWheel *Wheel
+)
+
+// DefaultTick is the default wheel's granularity: fine enough for
+// millisecond-class protocol timers, coarse enough that a busy wheel
+// batches many expirations per wakeup.
+const DefaultTick = 200 * time.Microsecond
+
+// Default returns the process-wide driven wheel, starting it on first
+// use. Code without a Network-scoped wheel (real-clock sessions)
+// schedules here; the driver goroutine is a per-process constant, like
+// the runtime's own timer machinery.
+func Default() *Wheel {
+	defaultOnce.Do(func() {
+		defaultWheel = New(DefaultTick)
+		defaultWheel.Start()
+	})
+	return defaultWheel
+}

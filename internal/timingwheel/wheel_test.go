@@ -1,0 +1,434 @@
+package timingwheel
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- reference model: a heap-based timer queue ---
+
+type modelEntry struct {
+	id    int
+	when  int64
+	seq   int // insertion order, to make heap order total
+	alive bool
+}
+
+type modelHeap []*modelEntry
+
+func (h modelHeap) Len() int { return len(h) }
+func (h modelHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h modelHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *modelHeap) Push(x any)        { *h = append(*h, x.(*modelEntry)) }
+func (h *modelHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// model is the reference implementation: a lazily-deleted binary heap
+// over a virtual tick clock. Fire order within one tick is treated as
+// unspecified (both implementations are compared as per-tick sets).
+type model struct {
+	h    modelHeap
+	live map[int]*modelEntry
+	seq  int
+	cur  int64
+}
+
+func newModel() *model { return &model{live: make(map[int]*modelEntry)} }
+
+func (m *model) schedule(id int, ticks int64) {
+	if old, ok := m.live[id]; ok {
+		old.alive = false
+	}
+	e := &modelEntry{id: id, when: m.cur + ticks, seq: m.seq, alive: true}
+	m.seq++
+	m.live[id] = e
+	heap.Push(&m.h, e)
+}
+
+func (m *model) cancel(id int) bool {
+	e, ok := m.live[id]
+	if !ok {
+		return false
+	}
+	e.alive = false
+	delete(m.live, id)
+	return true
+}
+
+// advance returns the fire events up to target as (tick, id) pairs in
+// tick order.
+func (m *model) advance(target int64) []fireEvent {
+	var out []fireEvent
+	for m.h.Len() > 0 && m.h[0].when <= target {
+		e := heap.Pop(&m.h).(*modelEntry)
+		if !e.alive {
+			continue
+		}
+		e.alive = false
+		delete(m.live, e.id)
+		out = append(out, fireEvent{tick: e.when, id: e.id})
+	}
+	m.cur = target
+	return out
+}
+
+type fireEvent struct {
+	tick int64
+	id   int
+}
+
+// sameFires compares two fire logs, requiring identical tick sequences
+// and identical per-tick ID sets (within-tick order is unspecified).
+func sameFires(a, b []fireEvent) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("fire count mismatch: %d vs %d", len(a), len(b))
+	}
+	group := func(evs []fireEvent) map[int64]map[int]int {
+		g := make(map[int64]map[int]int)
+		for _, e := range evs {
+			if g[e.tick] == nil {
+				g[e.tick] = make(map[int]int)
+			}
+			g[e.tick][e.id]++
+		}
+		return g
+	}
+	ga, gb := group(a), group(b)
+	if len(ga) != len(gb) {
+		return fmt.Errorf("distinct fire ticks: %d vs %d", len(ga), len(gb))
+	}
+	for tick, ids := range ga {
+		other, ok := gb[tick]
+		if !ok {
+			return fmt.Errorf("tick %d fired in one log only", tick)
+		}
+		if len(ids) != len(other) {
+			return fmt.Errorf("tick %d: %d vs %d fires", tick, len(ids), len(other))
+		}
+		for id, n := range ids {
+			if other[id] != n {
+				return fmt.Errorf("tick %d id %d: count %d vs %d", tick, id, n, other[id])
+			}
+		}
+	}
+	return nil
+}
+
+// TestWheelVsHeapModel drives random schedule/cancel/reschedule/advance
+// interleavings through the wheel (manual mode) and the reference heap
+// simultaneously, requiring identical fire behaviour on the virtual
+// clock and an exactly balanced ledger afterwards. Seeds are logged so
+// any failure replays deterministically.
+func TestWheelVsHeapModel(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		seed := time.Now().UnixNano() + int64(trial)*7919
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Logf("seed=%d", seed)
+			rng := rand.New(rand.NewSource(seed))
+
+			w := New(time.Millisecond)
+			m := newModel()
+
+			var wheelFires []fireEvent
+			timers := make(map[int]*Timer)
+			nextID := 0
+
+			mkTimer := func(id int) func() {
+				return func() {
+					wheelFires = append(wheelFires, fireEvent{tick: w.Cur(), id: id})
+				}
+			}
+
+			var modelFires []fireEvent
+			for op := 0; op < 3000; op++ {
+				switch r := rng.Intn(10); {
+				case r < 4: // schedule a fresh timer
+					id := nextID
+					nextID++
+					ticks := int64(1 + rng.Intn(5000))
+					tm := &Timer{}
+					timers[id] = tm
+					w.Schedule(tm, time.Duration(ticks)*w.Tick(), mkTimer(id))
+					m.schedule(id, ticks)
+				case r < 6: // cancel a random live timer
+					if len(m.live) == 0 {
+						continue
+					}
+					id := randomLive(rng, m)
+					got := timers[id].Stop()
+					want := m.cancel(id)
+					if got != want {
+						t.Fatalf("seed=%d op=%d cancel(%d): wheel=%v model=%v", seed, op, id, got, want)
+					}
+				case r < 8: // reschedule a random live timer in place
+					if len(m.live) == 0 {
+						continue
+					}
+					id := randomLive(rng, m)
+					ticks := int64(1 + rng.Intn(5000))
+					w.Schedule(timers[id], time.Duration(ticks)*w.Tick(), mkTimer(id))
+					m.schedule(id, ticks)
+				default: // advance virtual time
+					target := m.cur + int64(rng.Intn(400))
+					w.AdvanceTo(target)
+					modelFires = append(modelFires, m.advance(target)...)
+				}
+				if wp, mp := w.Pending(), len(m.live); wp != mp {
+					t.Fatalf("seed=%d op=%d pending: wheel=%d model=%d", seed, op, wp, mp)
+				}
+			}
+
+			// Drain: run both far enough that everything fires.
+			final := m.cur + 3*5000
+			w.AdvanceTo(final)
+			modelFires = append(modelFires, m.advance(final)...)
+
+			if err := sameFires(wheelFires, modelFires); err != nil {
+				t.Fatalf("seed=%d: %v", seed, err)
+			}
+			assertLedger(t, w, 0)
+		})
+	}
+}
+
+func randomLive(rng *rand.Rand, m *model) int {
+	// Sort so the pick depends only on the seed, not map iteration
+	// order — failures replay deterministically.
+	ids := make([]int, 0, len(m.live))
+	for id := range m.live {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	return ids[rng.Intn(len(ids))]
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// assertLedger checks scheduled == fired + canceled + pending and the
+// expected pending count.
+func assertLedger(t *testing.T, w *Wheel, wantPending int) {
+	t.Helper()
+	l := w.Ledger()
+	if l.Pending != wantPending {
+		t.Fatalf("pending=%d want %d (ledger %+v)", l.Pending, wantPending, l)
+	}
+	if l.Scheduled != l.Fired+l.Canceled+uint64(l.Pending) {
+		t.Fatalf("ledger leak: scheduled=%d fired=%d canceled=%d pending=%d",
+			l.Scheduled, l.Fired, l.Canceled, l.Pending)
+	}
+}
+
+// TestWheelExactBoundaryFire pins the cascade-boundary case: a timer
+// whose expiry tick is an exact multiple of a level span must fire AT
+// that tick, not one tick later.
+func TestWheelExactBoundaryFire(t *testing.T) {
+	for _, ticks := range []int64{64, 128, 4096, 8192, 64 * 64 * 64} {
+		w := New(time.Millisecond)
+		fired := int64(-1)
+		w.AfterFunc(time.Duration(ticks)*w.Tick(), func() { fired = w.Cur() })
+		w.AdvanceTo(ticks)
+		if fired != ticks {
+			t.Fatalf("delay %d: fired at tick %d, want %d", ticks, fired, ticks)
+		}
+	}
+}
+
+// TestWheelHorizonParking verifies delays beyond the wheel's direct
+// span still fire (parked at the horizon and re-placed by cascades).
+func TestWheelHorizonParking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walks 2^24 ticks")
+	}
+	w := New(time.Millisecond)
+	ticks := maxHorizon + 100 // beyond the representable span
+	fired := int64(-1)
+	w.AfterFunc(time.Duration(ticks)*w.Tick(), func() { fired = w.Cur() })
+	w.AdvanceTo(ticks + slotsPer)
+	if fired < 0 {
+		t.Fatalf("horizon-parked timer never fired")
+	}
+	if fired < maxHorizon-1 {
+		t.Fatalf("horizon-parked timer fired early at %d", fired)
+	}
+	assertLedger(t, w, 0)
+}
+
+// TestWheelCallbackReschedule exercises the retransmission pattern: a
+// callback that rearms its own timer with backoff, all within a single
+// AdvanceTo window.
+func TestWheelCallbackReschedule(t *testing.T) {
+	w := New(time.Millisecond)
+	var tm Timer
+	var fires []int64
+	delay := int64(10)
+	var rearm func()
+	rearm = func() {
+		fires = append(fires, w.Cur())
+		if len(fires) < 5 {
+			delay *= 2
+			w.Schedule(&tm, time.Duration(delay)*w.Tick(), rearm)
+		}
+	}
+	w.Schedule(&tm, time.Duration(delay)*w.Tick(), rearm)
+	w.AdvanceTo(10 + 20 + 40 + 80 + 160 + 5)
+	want := []int64{10, 30, 70, 150, 310}
+	if len(fires) != len(want) {
+		t.Fatalf("fires=%v want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires=%v want %v", fires, want)
+		}
+	}
+	assertLedger(t, w, 0)
+}
+
+// TestWheelStopSemantics matches time.Timer.Stop's contract.
+func TestWheelStopSemantics(t *testing.T) {
+	w := New(time.Millisecond)
+	var ran bool
+	tm := w.AfterFunc(5*w.Tick(), func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	w.AdvanceTo(100)
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+
+	tm2 := w.AfterFunc(5*w.Tick(), func() {})
+	w.AdvanceTo(200)
+	if tm2.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+	if (&Timer{}).Stop() {
+		t.Fatal("Stop on zero timer returned true")
+	}
+	assertLedger(t, w, 0)
+}
+
+// TestWheelRearmZeroAlloc is the steady-state allocation gate: once a
+// Timer exists, rescheduling it (the per-segment retransmit pattern)
+// must not allocate.
+func TestWheelRearmZeroAlloc(t *testing.T) {
+	w := New(time.Millisecond)
+	var tm Timer
+	fn := func() {}
+	w.Schedule(&tm, 50*w.Tick(), fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Schedule(&tm, 75*w.Tick(), fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("rearm allocates %.1f/op, want 0", allocs)
+	}
+	// Stop/arm cycling must also be allocation-free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		tm.Stop()
+		w.Schedule(&tm, 75*w.Tick(), fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("stop+arm allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWheelDriven exercises the wall-clock driver end to end: fire,
+// early-deadline poke, stop.
+func TestWheelDriven(t *testing.T) {
+	w := New(time.Millisecond).Start()
+	defer w.StopDriver()
+
+	done := make(chan int64, 1)
+	start := time.Now()
+	w.AfterFunc(20*time.Millisecond, func() { done <- int64(time.Since(start) / time.Millisecond) })
+
+	select {
+	case ms := <-done:
+		if ms < 19 {
+			t.Fatalf("fired early: %dms", ms)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("driven timer never fired")
+	}
+
+	// A long timer followed by a short one: the poke must cut the
+	// driver's long sleep short.
+	long := w.AfterFunc(30*time.Second, func() {})
+	defer long.Stop()
+	quick := make(chan struct{}, 1)
+	w.AfterFunc(15*time.Millisecond, func() { quick <- struct{}{} })
+	select {
+	case <-quick:
+	case <-time.After(2 * time.Second):
+		t.Fatal("short timer blocked behind a long sleep (poke lost)")
+	}
+}
+
+// TestWheelConcurrentScheduleStop hammers Schedule/Stop from many
+// goroutines against the driver — run under -race in make check.
+func TestWheelConcurrentScheduleStop(t *testing.T) {
+	w := New(200 * time.Microsecond).Start()
+	defer w.StopDriver()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	firedIDs := make(map[int]int)
+
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var tm Timer
+			for i := 0; i < 300; i++ {
+				id := g*1000 + i
+				w.Schedule(&tm, time.Duration(rng.Intn(3))*time.Millisecond, func() {
+					mu.Lock()
+					firedIDs[id]++
+					mu.Unlock()
+				})
+				if rng.Intn(3) == 0 {
+					tm.Stop()
+				}
+				if rng.Intn(5) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+			tm.Stop()
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce, then the ledger must balance exactly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l := w.Ledger()
+		if l.Pending == 0 || time.Now().After(deadline) {
+			if l.Scheduled != l.Fired+l.Canceled+uint64(l.Pending) {
+				t.Fatalf("ledger leak under concurrency: %+v", l)
+			}
+			if l.Pending != 0 {
+				t.Fatalf("timers leaked: %+v", l)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

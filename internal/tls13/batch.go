@@ -1,0 +1,202 @@
+package tls13
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+)
+
+// This file is the GSO-style batch surface of the record layer: seal N
+// records into one pooled buffer with one transport write, and drain
+// every complete buffered record with one lock acquisition. The batch
+// paths reuse the exact sealing/opening primitives of the single-record
+// paths (same nonce derivation, same additional data, same sequence
+// bookkeeping), so the wire bytes are identical by construction — and
+// pinned byte-identical by the differential tests in batch_test.go.
+
+// OutRecord describes one outbound record of a batch: a crypto context
+// (DefaultContext or a stream context id) and a payload gathered from
+// up to three parts (framing head, body, trailer), any of which may be
+// nil. The concatenated parts must not exceed MaxPlaintext.
+type OutRecord struct {
+	Ctx              uint32
+	Head, Body, Tail []byte
+}
+
+// InRecord is one inbound record drained by ReadRecordContextBatch.
+// Payload is backed by a bufpool buffer whose ownership transfers to
+// the caller (pass it to bufpool.Put when done; skipping the Put just
+// falls back to the garbage collector).
+type InRecord struct {
+	Ctx     uint32
+	Payload []byte
+}
+
+// batchBufCap is the sealed-batch staging buffer size — the largest
+// bufpool class, holding ~15 cwnd-matched 4K records or 3 max-size
+// ones. Batches larger than the buffer flush mid-batch and keep going;
+// the amortization loss is negligible at that size.
+const batchBufCap = 64 << 10
+
+// WriteRecordBatch seals every record of recs under its context and
+// writes them with as few transport writes as possible (one, for any
+// batch whose sealed bytes fit the staging buffer). It returns the
+// number of records sealed; on error, records [0, n) are on the wire
+// (or spent their sequence numbers) and the rest were not started.
+//
+// Wire bytes are identical to issuing WriteRecordParts per record.
+func (c *Conn) WriteRecordBatch(recs []OutRecord) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	c.muWrite.Lock()
+	defer c.muWrite.Unlock()
+	if err := c.handshakeNeeded(); err != nil {
+		return 0, err
+	}
+	if c.rl.out.aead == nil {
+		return 0, ErrHandshakeRequired
+	}
+	return c.rl.writeSealedBatch(recs)
+}
+
+// writeSealedBatch is the record-layer half of WriteRecordBatch.
+// Caller holds muWrite and has verified out.aead != nil. Written
+// closure-free so the steady-state batch write stays zero-alloc.
+func (rl *recordLayer) writeSealedBatch(recs []OutRecord) (sealed int, err error) {
+	overhead := rl.out.aead.Overhead()
+	buf := bufpool.Get(batchBufCap)
+	used := 0
+
+	for i := range recs {
+		r := &recs[i]
+		plen := len(r.Head) + len(r.Body) + len(r.Tail)
+		if plen > MaxPlaintext {
+			err = ErrRecordOverflow
+			break
+		}
+		n := plen + 1 + overhead
+		if used+recordHeader+n > len(buf) {
+			// Staging buffer full: flush what's sealed and keep going.
+			if _, err = rl.rw.Write(buf[:used]); err != nil {
+				used = 0
+				break
+			}
+			used = 0
+		}
+
+		// Resolve the context and check its key budget before spending
+		// a nonce, exactly like the single-record path.
+		var nonce []byte
+		if r.Ctx == DefaultContext {
+			if rl.out.seq >= aeadLimit {
+				err = ErrKeyLimit
+				break
+			}
+			nonce = rl.out.nonce()
+			rl.out.seq++
+		} else {
+			sc := rl.out.context(r.Ctx)
+			if sc == nil {
+				err = fmt.Errorf("tls13: unknown write context %d", r.Ctx)
+				break
+			}
+			if sc.seq >= aeadLimit {
+				err = ErrKeyLimit
+				break
+			}
+			nonce = rl.out.ctxNonce(sc)
+			sc.seq++
+		}
+
+		rec := buf[used : used+recordHeader+n]
+		rec[0] = RecordTypeApplicationData
+		binary.BigEndian.PutUint16(rec[1:], 0x0303)
+		binary.BigEndian.PutUint16(rec[3:], uint16(n))
+		p := rec[recordHeader:recordHeader]
+		p = append(p, r.Head...)
+		p = append(p, r.Body...)
+		p = append(p, r.Tail...)
+		p = append(p, RecordTypeApplicationData)
+		rl.out.aead.Seal(rec[:recordHeader], nonce, p, rec[:recordHeader])
+		used += recordHeader + n
+		sealed++
+	}
+
+	// Flush whatever sealed, even on the error paths: those records
+	// spent their nonces and belong on the wire.
+	if used > 0 {
+		if _, ferr := rl.rw.Write(buf[:used]); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	bufpool.Put(buf)
+	return sealed, err
+}
+
+// recordBuffered reports whether a complete record is already sitting
+// in the read buffer, i.e. whether another readRecordAny is guaranteed
+// not to touch the transport.
+func (rl *recordLayer) recordBuffered() bool {
+	avail := len(rl.buf) - rl.off
+	if avail < recordHeader {
+		return false
+	}
+	n := int(binary.BigEndian.Uint16(rl.buf[rl.off+3:]))
+	return avail >= recordHeader+n
+}
+
+// ReadRecordContextBatch drains application-data records into out: it
+// blocks for the first record like ReadRecordContext, then keeps
+// appending records that are already complete in the receive buffer —
+// one lock acquisition and zero extra transport reads for a whole
+// burst. Post-handshake messages are handled transparently mid-batch.
+//
+// It returns the number of records filled. n > 0 with a non-nil error
+// means records [0, n) are valid AND the stream then failed; callers
+// must consume the records before acting on the error. Each Payload's
+// ownership transfers to the caller as in ReadRecordContext.
+func (c *Conn) ReadRecordContextBatch(out []InRecord) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	c.muRead.Lock()
+	defer c.muRead.Unlock()
+	if err := c.handshakeNeeded(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(out) {
+		if n > 0 && !c.rl.recordBuffered() {
+			break // would block; deliver what we have
+		}
+		id, typ, payload, err := c.rl.readRecordAny()
+		if err != nil {
+			return n, err
+		}
+		switch typ {
+		case RecordTypeApplicationData:
+			out[n] = InRecord{Ctx: id, Payload: payload}
+			n++
+			if id == DefaultContext {
+				// Default-context records can carry control frames that
+				// register new crypto contexts. Later records of the same
+				// burst may only decrypt after the caller processes this
+				// one, so the batch must stop here — draining on would
+				// trial-open them against a context set that is about to
+				// change and misreport them as undecryptable.
+				return n, nil
+			}
+		case RecordTypeHandshake:
+			if err := c.handlePostHandshake(payload); err != nil {
+				return n, err
+			}
+		case RecordTypeAlert:
+			return n, alertToError(payload)
+		default:
+			return n, fmt.Errorf("tls13: unexpected record type %d", typ)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,381 @@
+package tls13
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/pluginized-protocols/gotcpls/internal/bufpool"
+)
+
+// rwPair glues a separate Reader and Writer into the io.ReadWriter the
+// record layer wants.
+type rwPair struct {
+	io.Reader
+	io.Writer
+}
+
+// fixedKeyLayer builds a record layer with deterministic keys over the
+// given transport, plus matching stream contexts — the fixture for
+// differential wire comparisons, where both sides must share exact
+// cipher state without a (randomized) handshake.
+func fixedKeyLayer(rw io.ReadWriter, streamIDs ...uint32) *recordLayer {
+	key := bytes.Repeat([]byte{0x42}, 16)
+	iv := bytes.Repeat([]byte{0x24}, 12)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic(err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	rl := &recordLayer{rw: rw}
+	rl.out.aead, rl.out.iv = gcm, iv
+	rl.in.aead, rl.in.iv = gcm, iv
+	for _, id := range streamIDs {
+		sIV := bytes.Repeat([]byte{byte(id) ^ 0x5a}, 12)
+		rl.out.addContext(id, sIV)
+		rl.in.addContext(id, sIV)
+	}
+	return rl
+}
+
+// writeSingle replays the exact WriteRecordParts logic (minus the Conn
+// locking) one record at a time — the reference implementation the
+// batch path must match byte for byte.
+func writeSingle(rl *recordLayer, r OutRecord) error {
+	if len(r.Head)+len(r.Body)+len(r.Tail) > MaxPlaintext {
+		return ErrRecordOverflow
+	}
+	if r.Ctx == DefaultContext {
+		if rl.out.seq >= aeadLimit {
+			return ErrKeyLimit
+		}
+		err := rl.writeSealed(rl.out.nonce(), r.Head, r.Body, r.Tail, RecordTypeApplicationData)
+		rl.out.seq++
+		return err
+	}
+	return rl.writeRecordContextParts(r.Ctx, r.Head, r.Body, r.Tail)
+}
+
+// randomRecords generates a batch with adversarial shape variety:
+// empty, tiny, cwnd-sized and limit-sized payloads, random part splits
+// and random context selection.
+func randomRecords(rng *rand.Rand, n int, ctxs []uint32) []OutRecord {
+	recs := make([]OutRecord, n)
+	for i := range recs {
+		var size int
+		switch rng.Intn(6) {
+		case 0:
+			size = rng.Intn(4) // empty-ish
+		case 1:
+			size = MaxPlaintext - rng.Intn(4) // at the record limit
+		case 2:
+			size = 4096 // the cwnd-matched shape core produces
+		default:
+			size = rng.Intn(2000) + 1
+		}
+		payload := make([]byte, size)
+		rng.Read(payload)
+		// Random three-way split into head|body|tail.
+		a := rng.Intn(size + 1)
+		b := a + rng.Intn(size-a+1)
+		recs[i] = OutRecord{
+			Ctx:  ctxs[rng.Intn(len(ctxs))],
+			Head: payload[:a],
+			Body: payload[a:b],
+			Tail: payload[b:],
+		}
+	}
+	return recs
+}
+
+// TestBatchSealMatchesSingleWire is the differential property test: for
+// random batch shapes, record sizes and context mixes, the batched
+// sealer must emit wire bytes identical to the single-record path, and
+// the batch opener must return the identical plaintexts and context
+// ids. Seeds are logged for replay.
+func TestBatchSealMatchesSingleWire(t *testing.T) {
+	ctxs := []uint32{DefaultContext, 3, 9}
+	for trial := 0; trial < 6; trial++ {
+		seed := time.Now().UnixNano() + int64(trial)*104729
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Logf("seed=%d", seed)
+			rng := rand.New(rand.NewSource(seed))
+
+			var wireSingle, wireBatch bytes.Buffer
+			rlS := fixedKeyLayer(&wireSingle, 3, 9)
+			rlB := fixedKeyLayer(&wireBatch, 3, 9)
+
+			var all []OutRecord
+			for round := 0; round < 8; round++ {
+				recs := randomRecords(rng, 1+rng.Intn(9), ctxs)
+				for _, r := range recs {
+					if err := writeSingle(rlS, r); err != nil {
+						t.Fatalf("seed=%d single write: %v", seed, err)
+					}
+				}
+				n, err := rlB.writeSealedBatch(recs)
+				if err != nil || n != len(recs) {
+					t.Fatalf("seed=%d batch write: n=%d err=%v", seed, n, err)
+				}
+				all = append(all, recs...)
+			}
+
+			if !bytes.Equal(wireSingle.Bytes(), wireBatch.Bytes()) {
+				t.Fatalf("seed=%d: batched wire differs from single-record wire (%d vs %d bytes)",
+					seed, wireSingle.Len(), wireBatch.Len())
+			}
+
+			// Open the batched wire and compare plaintexts + contexts.
+			rlR := fixedKeyLayer(&wireBatch, 3, 9)
+			for i, want := range all {
+				id, typ, payload, err := rlR.readRecordAny()
+				if err != nil {
+					t.Fatalf("seed=%d record %d: open: %v", seed, i, err)
+				}
+				if typ != RecordTypeApplicationData {
+					t.Fatalf("seed=%d record %d: type %d", seed, i, typ)
+				}
+				if id != want.Ctx {
+					t.Fatalf("seed=%d record %d: ctx %d want %d", seed, i, id, want.Ctx)
+				}
+				full := append(append(append([]byte{}, want.Head...), want.Body...), want.Tail...)
+				if !bytes.Equal(payload, full) {
+					t.Fatalf("seed=%d record %d: payload mismatch (%d vs %d bytes)",
+						seed, i, len(payload), len(full))
+				}
+				bufpool.Put(payload)
+			}
+		})
+	}
+}
+
+// TestBatchKeyLimitMidBatch pins behaviour at the AEAD usage limit
+// crossing inside a batch: the records before the boundary are sealed
+// and on the wire, the rest are refused with ErrKeyLimit, and the
+// receiver opens exactly the sealed prefix.
+func TestBatchKeyLimitMidBatch(t *testing.T) {
+	var wire bytes.Buffer
+	rl := fixedKeyLayer(&wire)
+	rl.out.seq = aeadLimit - 2
+
+	recs := make([]OutRecord, 5)
+	for i := range recs {
+		recs[i] = OutRecord{Ctx: DefaultContext, Body: []byte{byte(i), 1, 2, 3}}
+	}
+	n, err := rl.writeSealedBatch(recs)
+	if n != 2 || !errors.Is(err, ErrKeyLimit) {
+		t.Fatalf("n=%d err=%v, want 2, ErrKeyLimit", n, err)
+	}
+
+	rlR := fixedKeyLayer(&wire)
+	rlR.in.seq = aeadLimit - 2
+	for i := 0; i < 2; i++ {
+		_, _, payload, err := rlR.readRecordAny()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if payload[0] != byte(i) {
+			t.Fatalf("record %d: got marker %d", i, payload[0])
+		}
+		bufpool.Put(payload)
+	}
+	if wire.Len() != 0 {
+		t.Fatalf("%d stray wire bytes after the limit", wire.Len())
+	}
+
+	// Same boundary on a stream context.
+	var wire2 bytes.Buffer
+	rl2 := fixedKeyLayer(&wire2, 7)
+	rl2.out.context(7).seq = aeadLimit - 1
+	recs2 := []OutRecord{
+		{Ctx: 7, Body: []byte("ok")},
+		{Ctx: 7, Body: []byte("over")},
+		{Ctx: DefaultContext, Body: []byte("never")},
+	}
+	n, err = rl2.writeSealedBatch(recs2)
+	if n != 1 || !errors.Is(err, ErrKeyLimit) {
+		t.Fatalf("stream ctx: n=%d err=%v, want 1, ErrKeyLimit", n, err)
+	}
+}
+
+// TestBatchSpillsOverStagingBuffer checks a batch bigger than the
+// staging buffer flushes mid-batch and still produces the identical
+// wire stream.
+func TestBatchSpillsOverStagingBuffer(t *testing.T) {
+	var wireSingle, wireBatch bytes.Buffer
+	rlS := fixedKeyLayer(&wireSingle)
+	rlB := fixedKeyLayer(&wireBatch)
+
+	// 6 max-size records ≈ 100KB sealed — does not fit 64K staging.
+	payload := bytes.Repeat([]byte{0xab}, MaxPlaintext-1)
+	var recs []OutRecord
+	for i := 0; i < 6; i++ {
+		recs = append(recs, OutRecord{Ctx: DefaultContext, Body: payload})
+	}
+	for _, r := range recs {
+		if err := writeSingle(rlS, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := rlB.writeSealedBatch(recs)
+	if n != 6 || err != nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(wireSingle.Bytes(), wireBatch.Bytes()) {
+		t.Fatal("spilled batch wire differs from single-record wire")
+	}
+}
+
+// TestBatchReadStopsAtDefaultContext pins the ordering contract the
+// TCPLS core depends on: default-context records can carry control
+// frames that register new crypto contexts, so a batch read must end
+// at one — records behind it stay buffered until the caller has
+// processed it. Draining past it would trial-open later records
+// against a stale context set and drop them as undecryptable.
+func TestBatchReadStopsAtDefaultContext(t *testing.T) {
+	client, server := handshakePair(t, clientConfig(), serverConfig())
+	for _, c := range []*Conn{client, server} {
+		if err := c.AddStreamContext(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := []OutRecord{
+		{Ctx: 4, Body: []byte("data-0")},
+		{Ctx: 4, Body: []byte("data-1")},
+		{Ctx: DefaultContext, Body: []byte("control")},
+		{Ctx: 4, Body: []byte("data-2")},
+	}
+	if n, err := server.WriteRecordBatch(recs); n != len(recs) || err != nil {
+		t.Fatalf("write batch: n=%d err=%v", n, err)
+	}
+	buf := make([]InRecord, 8)
+	n, err := client.ReadRecordContextBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole burst is buffered (one transport write), yet the batch
+	// must stop at the default-context record even with room left.
+	if n != 3 || buf[2].Ctx != DefaultContext {
+		t.Fatalf("first drain n=%d lastCtx=%d, want 3 ending at the default context", n, buf[n-1].Ctx)
+	}
+	for i := 0; i < n; i++ {
+		bufpool.Put(buf[i].Payload)
+	}
+	n, err = client.ReadRecordContextBatch(buf)
+	if err != nil || n != 1 || buf[0].Ctx != 4 || !bytes.Equal(buf[0].Payload, []byte("data-2")) {
+		t.Fatalf("second drain n=%d err=%v, want the trailing data record", n, err)
+	}
+	bufpool.Put(buf[0].Payload)
+}
+
+// TestBatchReadDrainsBurst exercises the Conn-level batch read over a
+// real handshaked pair: a burst lands in one ReadRecordContextBatch
+// call (modulo transport fragmentation), with payload and context
+// fidelity, including post-handshake ticket records arriving mid-read.
+func TestBatchReadDrainsBurst(t *testing.T) {
+	client, server := handshakePair(t, clientConfig(), serverConfig())
+	if err := client.AddStreamContext(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.AddStreamContext(4); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := []OutRecord{
+		{Ctx: DefaultContext, Body: []byte("control-0")},
+		{Ctx: 4, Body: bytes.Repeat([]byte{1}, 4096)},
+		{Ctx: 4, Body: bytes.Repeat([]byte{2}, 4096)},
+		{Ctx: DefaultContext, Body: []byte("control-1")},
+		{Ctx: 4, Body: bytes.Repeat([]byte{3}, 4096)},
+	}
+	if n, err := server.WriteRecordBatch(recs); n != len(recs) || err != nil {
+		t.Fatalf("write batch: n=%d err=%v", n, err)
+	}
+
+	// The client side also absorbs the server's NewSessionTicket
+	// records transparently during the drain.
+	var got []InRecord
+	buf := make([]InRecord, 8)
+	for len(got) < len(recs) {
+		n, err := client.ReadRecordContextBatch(buf)
+		if err != nil {
+			t.Fatalf("batch read after %d records: %v", len(got), err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	for i, want := range recs {
+		if got[i].Ctx != want.Ctx {
+			t.Fatalf("record %d: ctx %d want %d", i, got[i].Ctx, want.Ctx)
+		}
+		if !bytes.Equal(got[i].Payload, want.Body) {
+			t.Fatalf("record %d: payload mismatch", i)
+		}
+		bufpool.Put(got[i].Payload)
+	}
+}
+
+// TestBatchWriteSteadyStateAllocs is the alloc gate for the batched
+// sender: sealing a 4-record cwnd-shaped burst must not allocate.
+func TestBatchWriteSteadyStateAllocs(t *testing.T) {
+	rl := fixedKeyLayer(rwPair{bytes.NewReader(nil), io.Discard})
+	body := bytes.Repeat([]byte{0x17}, 4096)
+	head := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	recs := []OutRecord{
+		{Ctx: DefaultContext, Head: head, Body: body},
+		{Ctx: DefaultContext, Head: head, Body: body},
+		{Ctx: DefaultContext, Head: head, Body: body},
+		{Ctx: DefaultContext, Head: head, Body: body},
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := rl.writeSealedBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("batched seal allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzBatchOpenFraming feeds arbitrary bytes to the batch-open framing
+// path (recordBuffered + readRecordAny drain loop) over keyed state: no
+// input may panic, loop forever, or smuggle a record through with a bad
+// tag.
+func FuzzBatchOpenFraming(f *testing.F) {
+	// Seed with a genuine sealed batch, a truncation and raw noise.
+	var wire bytes.Buffer
+	rl := fixedKeyLayer(&wire, 5)
+	rl.writeSealedBatch([]OutRecord{
+		{Ctx: DefaultContext, Body: []byte("seed-record-one")},
+		{Ctx: 5, Body: bytes.Repeat([]byte{9}, 600)},
+	})
+	valid := append([]byte(nil), wire.Bytes()...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{23, 3, 3, 0, 1, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 300))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rl := fixedKeyLayer(rwPair{bytes.NewReader(data), io.Discard}, 5)
+		for i := 0; i < 64; i++ {
+			if i > 0 && !rl.recordBuffered() {
+				break // batch drain stops exactly where blocking starts
+			}
+			_, typ, payload, err := rl.readRecordAny()
+			if err != nil {
+				return // framing/MAC rejection is the expected outcome
+			}
+			if typ == RecordTypeApplicationData && payload != nil {
+				bufpool.Put(payload)
+			}
+		}
+	})
+}

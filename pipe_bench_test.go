@@ -10,19 +10,37 @@ import (
 // bufferedPipe returns an in-memory full-duplex connection pair with
 // buffered writes, matching TCP semantics (net.Pipe is synchronous,
 // which deadlocks against post-handshake ticket writes).
+//
+// Each direction is bounded like a kernel socket buffer: writers block
+// once pipeBufCap bytes are outstanding, so a fast sender gets the same
+// backpressure TCP would apply instead of growing an unbounded slice.
+// The bound also keeps the benchmark harness itself quiet — an
+// unbounded append buffer reallocates and copies megabytes under a
+// multi-MB replay window, and that garbage would be billed to the
+// stack under test.
 func newBufferedPipe() (net.Conn, net.Conn) {
-	a2b := &pipeBuf{}
-	b2a := &pipeBuf{}
-	a2b.cond = sync.NewCond(&a2b.mu)
-	b2a.cond = sync.NewCond(&b2a.mu)
+	a2b := newPipeBuf()
+	b2a := newPipeBuf()
 	return &pipeEnd{r: b2a, w: a2b}, &pipeEnd{r: a2b, w: b2a}
 }
+
+// pipeBufCap mirrors a typical default socket-buffer size: big enough
+// to absorb a full write burst (15 max-size records), small enough to
+// bound the harness's working set.
+const pipeBufCap = 256 << 10
 
 type pipeBuf struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	data   []byte
+	buf    []byte // buf[off:] holds unread bytes
+	off    int
 	closed bool
+}
+
+func newPipeBuf() *pipeBuf {
+	b := &pipeBuf{buf: make([]byte, 0, pipeBufCap)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
 }
 
 type pipeEnd struct {
@@ -32,26 +50,48 @@ type pipeEnd struct {
 func (p *pipeEnd) Read(b []byte) (int, error) {
 	p.r.mu.Lock()
 	defer p.r.mu.Unlock()
-	for len(p.r.data) == 0 && !p.r.closed {
+	for len(p.r.buf) == p.r.off && !p.r.closed {
 		p.r.cond.Wait()
 	}
-	if len(p.r.data) == 0 {
+	if len(p.r.buf) == p.r.off {
 		return 0, io.EOF
 	}
-	n := copy(b, p.r.data)
-	p.r.data = p.r.data[n:]
+	n := copy(b, p.r.buf[p.r.off:])
+	p.r.off += n
+	if p.r.off == len(p.r.buf) {
+		p.r.buf = p.r.buf[:0] // fully drained: reuse the array from the start
+		p.r.off = 0
+	}
+	p.r.cond.Broadcast() // free space for blocked writers
 	return n, nil
 }
 
 func (p *pipeEnd) Write(b []byte) (int, error) {
 	p.w.mu.Lock()
 	defer p.w.mu.Unlock()
-	if p.w.closed {
-		return 0, io.ErrClosedPipe
+	total := 0
+	for len(b) > 0 {
+		if p.w.closed {
+			return total, io.ErrClosedPipe
+		}
+		// Compact or wait until there is room for at least one byte.
+		if len(p.w.buf)-p.w.off >= pipeBufCap {
+			p.w.cond.Wait()
+			continue
+		}
+		if p.w.off > 0 && cap(p.w.buf)-len(p.w.buf) < len(b) {
+			unread := copy(p.w.buf, p.w.buf[p.w.off:])
+			p.w.buf = p.w.buf[:unread]
+			p.w.off = 0
+		}
+		room := pipeBufCap - (len(p.w.buf) - p.w.off)
+		n := min(len(b), room)
+		p.w.buf = append(p.w.buf, b[:n]...)
+		b = b[n:]
+		total += n
+		p.w.cond.Broadcast()
 	}
-	p.w.data = append(p.w.data, b...)
-	p.w.cond.Broadcast()
-	return len(b), nil
+	return total, nil
 }
 
 func (p *pipeEnd) Close() error {

@@ -9,6 +9,7 @@ package tcpls_test
 // `make bench` / `make bench-check` (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"net/netip"
@@ -61,10 +62,27 @@ func (d pipeDialer) Dial(laddr netip.Addr, raddr netip.AddrPort, timeout time.Du
 	}
 }
 
-func BenchmarkStreamThroughput1K(b *testing.B)  { benchStreamThroughput(b, 1<<10) }
-func BenchmarkStreamThroughput16K(b *testing.B) { benchStreamThroughput(b, 16<<10) }
+func BenchmarkStreamThroughput1K(b *testing.B)  { benchStreamThroughput(b, 1<<10, 0) }
+func BenchmarkStreamThroughput16K(b *testing.B) { benchStreamThroughput(b, 16<<10, 0) }
 
-func benchStreamThroughput(b *testing.B, size int) {
+// BenchmarkRecordSizeSweep reproduces the shape of the paper's Figure 2:
+// goodput as a function of record size at a fixed window. Each sub-bench
+// pushes the same 256 KiB writes through the stack with the stream-chunk
+// size pinned via Config.RecordSize, so the sweep isolates per-record
+// overhead (framing, AEAD setup, record parsing) from copy costs. The
+// 64K point exercises the clamp to MaxRecordPayload — TLS caps records
+// at 16 KiB of plaintext, so 64K measures "as large as the protocol
+// allows", exactly the paper's right-hand asymptote.
+func BenchmarkRecordSizeSweep(b *testing.B) {
+	const writeSize = 256 << 10
+	for _, rs := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("record=%dK", rs>>10), func(b *testing.B) {
+			benchStreamThroughput(b, writeSize, rs)
+		})
+	}
+}
+
+func benchStreamThroughput(b *testing.B, size, recordSize int) {
 	pl := newPipeListener()
 	lst := tcpls.NewListener(pl, &tcpls.Config{
 		TLS: &tcpls.TLSConfig{Certificate: benchCert},
@@ -81,7 +99,8 @@ func benchStreamThroughput(b *testing.B, size int) {
 	}()
 
 	cli := tcpls.NewClient(&tcpls.Config{
-		TLS: &tcpls.TLSConfig{InsecureSkipVerify: true},
+		TLS:        &tcpls.TLSConfig{InsecureSkipVerify: true},
+		RecordSize: recordSize,
 	}, pipeDialer{l: pl})
 	defer cli.Close()
 	raddr := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), 443)
